@@ -1,0 +1,66 @@
+// bench_abl_epsilon - Ablation A1: sweep the acceptable-loss parameter
+// epsilon.  The paper notes epsilon "must be greater than the minimum
+// performance step caused by a change in frequency" — too small an epsilon
+// degenerates pass 1 to f_max for CPU-bound work; too large an epsilon
+// sacrifices real performance for power.
+#include "bench/common.h"
+
+#include "core/scheduler.h"
+#include "workload/mixes.h"
+
+using namespace fvsst;
+using units::MHz;
+
+int main() {
+  bench::banner("Ablation A1", "Epsilon sweep (unconstrained budget)");
+
+  const auto lat = mach::p630().latencies;
+  // A diverse 8-processor mix spanning CPU-bound to memory-bound.
+  const double stall_cpis[] = {0.05, 0.3, 0.8, 1.6, 3.2, 6.4, 10.0, 16.0};
+
+  sim::TextTable out("Mean CPU power and worst true loss vs epsilon");
+  out.set_header({"epsilon", "total W", "mean MHz", "worst true loss",
+                  "mean true loss"});
+  for (double eps : {0.01, 0.02, 0.04, 0.06, 0.08, 0.10, 0.15, 0.20}) {
+    core::FrequencyScheduler::Options opts;
+    opts.epsilon = eps;
+    const core::FrequencyScheduler sched(mach::p630_frequency_table(), lat,
+                                         opts);
+    std::vector<core::ProcView> views;
+    std::vector<workload::Phase> truth;
+    for (double m : stall_cpis) {
+      const auto phase =
+          workload::phase_from_stall_cpi("p", 1.6, m, lat, 1e9, 1e9);
+      truth.push_back(phase);
+      core::ProcView v;
+      v.estimate.valid = true;
+      v.estimate.alpha_inv = 1.0 / phase.alpha;
+      v.estimate.mem_time_per_instr =
+          workload::mem_time_per_instruction(phase, lat);
+      views.push_back(v);
+    }
+    const auto r = sched.schedule(views, 1e9);
+    double worst = 0.0, mean_loss = 0.0, mean_mhz = 0.0;
+    for (std::size_t p = 0; p < views.size(); ++p) {
+      const double perf =
+          workload::true_performance(truth[p], lat, r.decisions[p].hz);
+      const double perf_max =
+          workload::true_performance(truth[p], lat, 1e9);
+      const double loss = 1.0 - perf / perf_max;
+      worst = std::max(worst, loss);
+      mean_loss += loss / static_cast<double>(views.size());
+      mean_mhz += r.decisions[p].hz / MHz / static_cast<double>(views.size());
+    }
+    out.add_row({sim::TextTable::num(eps, 2),
+                 sim::TextTable::num(r.total_cpu_power_w, 0),
+                 sim::TextTable::num(mean_mhz, 0),
+                 sim::TextTable::pct(worst),
+                 sim::TextTable::pct(mean_loss)});
+  }
+  out.print();
+  std::printf(
+      "Expected: power falls monotonically with epsilon while the worst\n"
+      "true loss stays bounded by roughly epsilon + one frequency step;\n"
+      "below the ~5%% per-step granularity, raising epsilon buys little.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// bench_abl_estimators - Ablation A7: accuracy of the three workload
+// estimators (paper footnote 1) as the true memory latencies drift away
+// from the nominal constants the predictor assumes.
+//
+//   - single-point (the paper's prototype): trusts nominal latencies;
+//   - two-frequency (from [2]): solves latencies out entirely;
+//   - bounds: brackets the truth with best/worst-case latencies.
+#include "bench/common.h"
+
+#include "core/estimators.h"
+#include "workload/phase.h"
+
+using namespace fvsst;
+using units::GHz;
+using units::MHz;
+
+namespace {
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+core::CounterObservation observe(const workload::Phase& p, double g) {
+  core::CounterObservation obs;
+  obs.measured_hz = g;
+  obs.delta.instructions = 1e8;
+  obs.delta.cycles = 1e8 / workload::true_ipc(p, kLat, g);
+  obs.delta.l2_accesses = 1e8 * p.apki_l2 / 1000.0;
+  obs.delta.l3_accesses = 1e8 * p.apki_l3 / 1000.0;
+  obs.delta.mem_accesses = 1e8 * p.apki_mem / 1000.0;
+  return obs;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A7",
+                "Estimator accuracy vs true-latency drift (footnote 1)");
+
+  const core::IpcPredictor single(kLat);
+  const core::BoundsEstimator bounds(kLat, 0.85, 1.40);
+
+  sim::TextTable out(
+      "Worst |predicted - true| IPC over 250-1000 MHz, 30%-intensity phase");
+  out.set_header({"true latency / nominal", "single-point", "two-frequency",
+                  "bounds bracket truth?"});
+  for (double scale : {0.85, 1.0, 1.1, 1.2, 1.3, 1.4}) {
+    workload::Phase p = workload::synthetic_phase("p", 30.0, 1e9);
+    p.latency_scale = scale;
+
+    const auto est_single = single.estimate(observe(p, 1 * GHz));
+    const auto est_two = core::TwoPointEstimator::estimate(
+        observe(p, 1 * GHz), observe(p, 600 * MHz));
+    const auto est_bounds = bounds.estimate(observe(p, 1 * GHz));
+
+    double worst_single = 0.0, worst_two = 0.0;
+    bool bracketed = true;
+    for (double mhz = 250; mhz <= 1000; mhz += 50) {
+      const double truth = workload::true_ipc(p, kLat, mhz * MHz);
+      worst_single = std::max(
+          worst_single,
+          std::abs(single.predict_ipc(est_single, mhz * MHz) - truth));
+      worst_two = std::max(
+          worst_two,
+          std::abs(single.predict_ipc(est_two, mhz * MHz) - truth));
+      const double a = single.predict_ipc(est_bounds.best, mhz * MHz);
+      const double b = single.predict_ipc(est_bounds.worst, mhz * MHz);
+      if (truth < std::min(a, b) - 1e-9 || truth > std::max(a, b) + 1e-9) {
+        bracketed = false;
+      }
+    }
+    out.add_row({sim::TextTable::num(scale, 2),
+                 sim::TextTable::num(worst_single, 4),
+                 sim::TextTable::num(worst_two, 4),
+                 bracketed ? "yes" : "NO"});
+  }
+  out.print();
+  std::printf(
+      "Expected: the single-point estimator's error grows with latency\n"
+      "drift (the paper's acknowledged weakness); the two-frequency solve\n"
+      "is exact regardless (no latency constants enter it); the [0.85,1.40]\n"
+      "bounds bracket the truth across the drift range.\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// bench_abl_governors - Ablation A11: fvsst vs classic utilisation-driven
+// governors (the LongRun / Demand Based Switching mechanisms of the
+// paper's related work) run live on identical workloads.
+//
+// Two machines are tested: the hot-idle Power4+ (where non-halted-cycle
+// utilisation is blind to idleness) and a halting variant (where governors
+// at least see idle).  Neither machine lets a governor see *memory
+// saturation* — only fvsst's counter model does.
+#include "bench/common.h"
+
+#include "baselines/governor_daemon.h"
+
+using namespace fvsst;
+using units::ms;
+
+namespace {
+
+struct RunOutcome {
+  double mean_power_w = 0.0;
+  double throughput = 0.0;
+};
+
+enum class Mode { kFvsst, kOndemand, kConservative, kPerformance };
+
+RunOutcome run(Mode mode, bool halting_machine) {
+  sim::Simulation sim;
+  sim::Rng rng(31);
+  mach::MachineConfig machine = mach::p630();
+  machine.idles_by_halting = halting_machine;
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  // CPU 0: memory-bound; CPU 1: CPU-bound; CPUs 2-3 idle.
+  cluster.core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(10.0, 1e12));
+  cluster.core({0, 1}).add_workload(
+      workload::make_uniform_synthetic(100.0, 1e12));
+
+  power::PowerBudget budget(4 * 140.0);
+  std::unique_ptr<core::FvsstDaemon> fvsst;
+  std::unique_ptr<baselines::GovernorDaemon> governor;
+  if (mode == Mode::kFvsst) {
+    core::DaemonConfig cfg = bench::paper_daemon_config();
+    cfg.idle_signal = halting_machine ? core::IdleSignal::kHaltedCounter
+                                      : core::IdleSignal::kOsSignal;
+    fvsst = std::make_unique<core::FvsstDaemon>(
+        sim, cluster, machine.freq_table, budget, cfg);
+  } else {
+    baselines::GovernorDaemon::Config cfg;
+    cfg.policy = mode == Mode::kOndemand ? baselines::GovernorPolicy::kOndemand
+                 : mode == Mode::kConservative
+                     ? baselines::GovernorPolicy::kConservative
+                     : baselines::GovernorPolicy::kPerformance;
+    governor = std::make_unique<baselines::GovernorDaemon>(
+        sim, cluster, machine.freq_table, cfg);
+  }
+  power::PowerSensor sensor(sim, [&] { return cluster.cpu_power_w(); },
+                            10 * ms);
+  sim.run_for(5.0);
+  RunOutcome out;
+  out.mean_power_w = sensor.mean_power_w();
+  out.throughput = cluster.core({0, 0}).instructions_retired() +
+                   cluster.core({0, 1}).instructions_retired();
+  return out;
+}
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kFvsst: return "fvsst";
+    case Mode::kOndemand: return "ondemand";
+    case Mode::kConservative: return "conservative";
+    case Mode::kPerformance: return "performance";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A11",
+                "fvsst vs utilisation governors (1 mem CPU + 1 cpu CPU + "
+                "2 idle)");
+
+  for (bool halting : {false, true}) {
+    sim::TextTable out(halting ? "Halting-idle machine"
+                               : "Hot-idle machine (Power4+)");
+    out.set_header({"policy", "mean W", "throughput (1e9 instr)",
+                    "instr per joule"});
+    const RunOutcome ref = run(Mode::kPerformance, halting);
+    for (Mode mode : {Mode::kPerformance, Mode::kConservative,
+                      Mode::kOndemand, Mode::kFvsst}) {
+      const RunOutcome r = run(mode, halting);
+      out.add_row({mode_name(mode), sim::TextTable::num(r.mean_power_w, 1),
+                   sim::TextTable::num(r.throughput / 1e9, 2),
+                   sim::TextTable::num(
+                       r.throughput / (r.mean_power_w * 5.0) / 1e6, 1) +
+                       "e6"});
+      (void)ref;
+    }
+    out.print();
+  }
+  std::printf(
+      "Expected: on the hot-idle machine the governors see 100%%\n"
+      "utilisation everywhere and burn full power (the paper's critique);\n"
+      "on the halting machine they recover the idle CPUs but still can't\n"
+      "see memory saturation, so the memory-bound CPU stays at f_max.\n"
+      "fvsst saves on both axes at nearly identical throughput, giving the\n"
+      "best instructions-per-joule in every configuration.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// bench_abl_hetero - Ablation A9: heterogeneous operating-point tables.
+//
+// The paper: "It may be the case that the voltage table is different for
+// each processor if there is significant process variation among them."
+// This bench builds a 16-CPU system where half the parts are leaky (+20%
+// power at every setting, higher minimum voltage) and compares scheduling
+// with per-part tables against naively using the nominal table for all.
+#include "bench/common.h"
+
+#include "core/scheduler.h"
+#include "simkit/rng.h"
+#include "workload/phase.h"
+
+using namespace fvsst;
+using units::MHz;
+
+int main() {
+  bench::banner("Ablation A9",
+                "Per-processor tables under process variation");
+
+  const auto lat = mach::p630().latencies;
+  const mach::FrequencyTable nominal = mach::p630_frequency_table();
+  std::vector<mach::OperatingPoint> leaky_points;
+  for (const auto& p : nominal.points()) {
+    leaky_points.push_back({p.hz, p.volts * 1.05, p.watts * 1.20});
+  }
+  const mach::FrequencyTable leaky(std::move(leaky_points));
+
+  // 16 CPUs, alternating nominal/leaky parts, mixed workloads.
+  sim::Rng rng(8);
+  std::vector<core::ProcView> views(16);
+  std::vector<const mach::FrequencyTable*> tables(16);
+  std::vector<workload::Phase> truth;
+  for (std::size_t p = 0; p < 16; ++p) {
+    const double m = rng.uniform(0.0, 12.0);
+    const auto phase =
+        workload::phase_from_stall_cpi("p", 1.6, m, lat, 1e9, 1e9);
+    truth.push_back(phase);
+    views[p].estimate.valid = true;
+    views[p].estimate.alpha_inv = 1.0 / phase.alpha;
+    views[p].estimate.mem_time_per_instr =
+        workload::mem_time_per_instruction(phase, lat);
+    tables[p] = (p % 2 == 0) ? &nominal : &leaky;
+  }
+  auto true_power = [&](const core::ScheduleResult& r) {
+    // Charge each part its own real power for the granted frequency.
+    double w = 0.0;
+    for (std::size_t p = 0; p < 16; ++p) {
+      w += tables[p]->power(r.decisions[p].hz);
+    }
+    return w;
+  };
+  auto total_perf = [&](const core::ScheduleResult& r) {
+    double perf = 0.0;
+    for (std::size_t p = 0; p < 16; ++p) {
+      perf += workload::true_performance(truth[p], lat, r.decisions[p].hz);
+    }
+    return perf;
+  };
+
+  const core::FrequencyScheduler sched(nominal, lat, {});
+  sim::TextTable out("16 CPUs (8 nominal + 8 leaky parts)");
+  out.set_header({"budget W", "mode", "believed W", "true W", "violation",
+                  "perf vs aware"});
+  for (double budget : {2240.0, 1400.0, 900.0, 500.0}) {
+    // Part-aware: per-processor tables.
+    const auto aware = sched.schedule(views, tables, budget);
+    // Naive: nominal table for everyone (believed power is wrong for the
+    // leaky half).
+    const auto naive = sched.schedule(views, budget);
+    const double aware_true = true_power(aware);
+    const double naive_true = true_power(naive);
+    out.add_row({sim::TextTable::num(budget, 0), "part-aware",
+                 sim::TextTable::num(aware.total_cpu_power_w, 0),
+                 sim::TextTable::num(aware_true, 0),
+                 aware_true <= budget + 1e-9 ? "-" : "OVER",
+                 "1.00"});
+    out.add_row({sim::TextTable::num(budget, 0), "naive-nominal",
+                 sim::TextTable::num(naive.total_cpu_power_w, 0),
+                 sim::TextTable::num(naive_true, 0),
+                 naive_true <= budget + 1e-9 ? "-" : "OVER",
+                 sim::TextTable::num(total_perf(naive) / total_perf(aware),
+                                     2)});
+  }
+  out.print();
+  std::printf(
+      "Expected: the naive scheduler believes it fits the budget but the\n"
+      "leaky parts' real draw puts it OVER at constrained budgets — the\n"
+      "situation that would trip the cascade monitor.  The part-aware\n"
+      "scheduler stays compliant at a throughput cost of about a percent.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// bench_abl_hierarchy - Ablation A14: hierarchical power limits.
+//
+// The paper's motivation cites "limitations on their internal
+// power-delivery and cooling systems as well as installation limits on the
+// total power" — i.e. per-enclosure limits *and* a site limit.  This bench
+// compares scheduling against the full constraint hierarchy with the naive
+// alternative of enforcing only the site limit, which can silently
+// overload individual node feeds.
+#include "bench/common.h"
+
+#include "core/constrained_scheduler.h"
+#include "simkit/rng.h"
+#include "workload/phase.h"
+
+using namespace fvsst;
+using units::MHz;
+
+int main() {
+  bench::banner("Ablation A14",
+                "Hierarchical limits: per-node feeds + site budget");
+
+  const auto lat = mach::p630().latencies;
+  const auto table = mach::p630_frequency_table();
+  constexpr std::size_t kNodes = 4, kCpus = 4;
+
+  // Diverse cluster: node 0 all CPU-bound (the hot node), others mixed.
+  sim::Rng rng(21);
+  std::vector<core::ProcView> procs(kNodes * kCpus);
+  std::vector<workload::Phase> truth;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    const double m = (p < kCpus) ? 0.06 : rng.uniform(0.0, 10.0);
+    const auto phase =
+        workload::phase_from_stall_cpi("p", 1.6, m, lat, 1e9, 1e9);
+    truth.push_back(phase);
+    procs[p].estimate.valid = true;
+    procs[p].estimate.alpha_inv = 1.0 / phase.alpha;
+    procs[p].estimate.mem_time_per_instr =
+        workload::mem_time_per_instruction(phase, lat);
+  }
+
+  const double node_limit = 400.0;   // each node's feed
+  const double site_limit = 1400.0;  // the room's branch circuit
+
+  const core::ConstrainedScheduler sched(table, lat, {});
+  const core::FrequencyScheduler site_only(table, lat, {});
+
+  const auto full = sched.schedule(
+      procs, core::node_and_site_constraints(kNodes, kCpus, node_limit,
+                                             site_limit));
+  const auto naive = site_only.schedule(procs, site_limit);
+
+  sim::TextTable out("Per-node power (W); node feed limit 400 W");
+  out.set_header({"mode", "node0", "node1", "node2", "node3", "site",
+                  "feed overload?"});
+  auto row = [&](const char* name, const core::ScheduleResult& r) {
+    std::vector<std::string> cells{name};
+    bool overload = false;
+    double site = 0.0;
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      double w = 0.0;
+      for (std::size_t c = 0; c < kCpus; ++c) {
+        w += r.decisions[n * kCpus + c].watts;
+      }
+      site += w;
+      if (w > node_limit + 1e-9) overload = true;
+      cells.push_back(sim::TextTable::num(w, 0));
+    }
+    cells.push_back(sim::TextTable::num(site, 0));
+    cells.push_back(overload ? "YES" : "no");
+    out.add_row(std::move(cells));
+  };
+  row("node+site constraints", full.schedule);
+  row("site limit only", naive);
+  out.print();
+
+  double perf_full = 0.0, perf_naive = 0.0;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    perf_full += workload::true_performance(truth[p], lat,
+                                            full.schedule.decisions[p].hz);
+    perf_naive +=
+        workload::true_performance(truth[p], lat, naive.decisions[p].hz);
+  }
+  std::printf("aggregate performance: hierarchical %.3g, site-only %.3g "
+              "(%.1f%% delta)\n",
+              perf_full, perf_naive,
+              (perf_full / perf_naive - 1.0) * 100.0);
+  std::printf(
+      "Expected: enforcing only the site limit leaves the all-CPU-bound\n"
+      "node over its own 400 W feed (a tripped breaker in practice); the\n"
+      "hierarchical scheduler pulls that node under its feed at a small\n"
+      "aggregate performance cost, leaving the mixed nodes untouched.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// bench_abl_idle - Ablation A4: the cost of the Power4+ "idles hot"
+// behaviour and the value of an explicit idle signal.  The paper's
+// prototype lacked idle detection; this bench quantifies what that costs.
+#include "bench/common.h"
+
+using namespace fvsst;
+using units::MHz;
+
+namespace {
+
+double mean_cluster_power(bool idle_detection, std::size_t busy_cpus) {
+  sim::Simulation sim;
+  sim::Rng rng(5);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  for (std::size_t c = 0; c < busy_cpus; ++c) {
+    cluster.core({0, c}).add_workload(
+        workload::make_uniform_synthetic(40.0, 1e12));
+  }
+  power::PowerBudget budget(4 * 140.0);
+  core::DaemonConfig cfg = bench::paper_daemon_config();
+  cfg.scheduler.idle_detection = idle_detection;
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+  power::PowerSensor sensor(sim, [&] { return cluster.cpu_power_w(); },
+                            0.01);
+  sim.run_for(3.0);
+  // Skip the settling first half-second.
+  sim::TimeWeightedStat acc;
+  for (const auto& s : sensor.trace().samples()) {
+    if (s.t >= 0.5) acc.record(s.t, s.value);
+  }
+  return acc.mean_until(3.0);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A4", "Idle detection on/off (\"idles hot\")");
+
+  sim::TextTable out("Mean cluster CPU power (W), 4-CPU node");
+  out.set_header({"busy CPUs", "no idle detection", "with idle detection",
+                  "saved"});
+  for (std::size_t busy : {0u, 1u, 2u, 3u}) {
+    const double without = mean_cluster_power(false, busy);
+    const double with = mean_cluster_power(true, busy);
+    out.add_row({std::to_string(busy), sim::TextTable::num(without, 1),
+                 sim::TextTable::num(with, 1),
+                 sim::TextTable::num(without - with, 1)});
+  }
+  out.print();
+  std::printf(
+      "Expected: without the idle signal the predictor sees the hot idle\n"
+      "loop (IPC ~1.3, no memory traffic) as CPU-intensive work and runs\n"
+      "idle CPUs at f_max (140 W each); with the signal they drop to the\n"
+      "250 MHz floor (9 W), saving ~131 W per idle CPU.\n");
+  return 0;
+}

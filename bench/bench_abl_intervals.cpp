@@ -1,0 +1,66 @@
+// bench_abl_intervals - Ablation A2: sweep the scheduling interval T (with
+// t = T/10).  The paper picks T = 100 ms to amortise overhead and stay
+// stable while still catching phases "over a time-scale longer than
+// 100 ms"; settings much larger than the phase length obscure phases and
+// lose power savings.
+#include "bench/common.h"
+
+using namespace fvsst;
+using units::MHz;
+
+namespace {
+
+struct IntervalResult {
+  double mean_power_w;
+  double throughput;
+  std::size_t schedules;
+};
+
+IntervalResult run_with_T(double T) {
+  sim::Simulation sim;
+  sim::Rng rng(17);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  // Phases of ~400 ms / ~300 ms: trackable for T <= 100 ms, blurred above.
+  workload::SyntheticParams params;
+  params.phase1 = {100.0, 6e8};
+  params.phase2 = {15.0, 1.2e8};
+  cluster.core({0, 3}).add_workload(workload::make_synthetic(params));
+  power::PowerBudget budget(4 * 140.0);
+  core::DaemonConfig cfg;
+  cfg.t_sample_s = T / 10.0;
+  cfg.schedule_every_n_samples = 10;
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+  power::PowerSensor sensor(
+      sim, [&] { return machine.freq_table.power(
+                     cluster.core({0, 3}).frequency_hz()); }, 0.01);
+  sim.run_for(12.0);
+  return {sensor.mean_power_w(),
+          cluster.core({0, 3}).instructions_retired(),
+          daemon.schedules_run()};
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A2", "Scheduling interval sweep (T, with t = T/10)");
+
+  const IntervalResult ref = run_with_T(0.1);
+  sim::TextTable out("Benchmark-CPU mean power & throughput vs interval");
+  out.set_header({"T (ms)", "schedules", "mean W", "throughput vs T=100ms"});
+  for (double T : {0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0}) {
+    const IntervalResult r = run_with_T(T);
+    out.add_row({sim::TextTable::num(T * 1e3, 0),
+                 std::to_string(r.schedules),
+                 sim::TextTable::num(r.mean_power_w, 1),
+                 sim::TextTable::num(r.throughput / ref.throughput, 3)});
+  }
+  out.print();
+  std::printf(
+      "Expected: T well below the phase length keeps power low (phases are\n"
+      "tracked); T far above it blurs phases into one average workload, so\n"
+      "power rises (memory phases run too fast) and mispredictions grow.\n"
+      "The paper's T = 100 ms sits in the flat, cheap region.\n");
+  return 0;
+}

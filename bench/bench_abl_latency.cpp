@@ -1,0 +1,130 @@
+// bench_abl_latency - Ablation A10: response-time cost of a power cap on a
+// request-serving system, fvsst vs uniform scaling.
+//
+// The paper's domain is server sites; what an operator ultimately cares
+// about under a cap is request latency.  A Poisson stream of short
+// requests (a mix of CPU-bound and memory-touching work) is served by a
+// 4-CPU node; we sweep the CPU power budget and compare mean/p95 response
+// times under fvsst against uniform scaling at the same budget.
+#include "bench/common.h"
+
+#include "cluster/load_generator.h"
+
+using namespace fvsst;
+using units::MHz;
+using units::ms;
+
+namespace {
+
+struct LatencyResult {
+  double mean_ms = 0.0;
+  double p95_ms = 0.0;
+  double mean_power_w = 0.0;
+  std::size_t completions = 0;
+};
+
+workload::WorkloadSpec request_template() {
+  // ~1.4 ms of work at 1 GHz: parse (CPU) + lookup (memory-leaning).
+  workload::WorkloadSpec spec;
+  spec.name = "request";
+  spec.loop = false;
+  spec.phases = {workload::synthetic_phase("parse", 95.0, 1.2e6),
+                 workload::synthetic_phase("lookup", 30.0, 2.5e5)};
+  return spec;
+}
+
+enum class Policy { kFvsst, kFvsstFast, kFvsstBatch, kUniform };
+
+LatencyResult run(double budget_w, Policy policy) {
+  sim::Simulation sim;
+  sim::Rng rng(77);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+
+  power::PowerBudget budget(budget_w);
+  std::unique_ptr<core::FvsstDaemon> daemon;
+  if (policy != Policy::kUniform) {
+    core::DaemonConfig cfg = bench::paper_daemon_config();
+    if (policy == Policy::kFvsstFast || policy == Policy::kFvsstBatch) {
+      cfg.t_sample_s = 0.005;           // t = 5 ms
+      cfg.schedule_every_n_samples = 2; // T = 10 ms
+    }
+    daemon = std::make_unique<core::FvsstDaemon>(
+        sim, cluster, machine.freq_table, budget, cfg);
+  } else {
+    // Uniform scaling: highest common frequency within the budget.
+    const auto point = machine.freq_table.highest_under_power(budget_w / 4.0);
+    const double hz = point ? point->hz : machine.freq_table.min_hz();
+    for (std::size_t c = 0; c < 4; ++c) {
+      cluster.core({0, c}).set_frequency(hz);
+    }
+  }
+  power::PowerSensor sensor(sim, [&] { return cluster.cpu_power_w(); },
+                            10 * ms);
+
+  cluster::LoadGenerator::Options opts;
+  opts.request = request_template();
+  opts.base_rate_hz = 900.0;  // ~32% utilisation at f_max across 4 CPUs
+  if (policy == Policy::kFvsstBatch) {
+    // Request batching (Elnozahy et al.): trade bounded queueing delay
+    // for longer idle stretches.
+    opts.batch_size = 16;
+    opts.batch_timeout_s = 0.004;
+  }
+  cluster::LoadGenerator gen(sim, cluster, cluster.all_procs(), opts,
+                             sim::Rng(5));
+  sim.run_for(8.0);
+
+  LatencyResult out;
+  auto& rt = gen.response_times();
+  out.completions = gen.completions();
+  if (rt.count() > 0) {
+    out.mean_ms = rt.mean() * 1e3;
+    out.p95_ms = rt.percentile(0.95) * 1e3;
+  }
+  out.mean_power_w = sensor.mean_power_w();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A10",
+                "Request latency vs power budget (fvsst vs uniform)");
+
+  sim::TextTable out("Poisson requests, 4-CPU node, 8 s runs");
+  out.set_header({"budget W", "policy", "mean ms", "p95 ms", "mean W",
+                  "completed"});
+  for (double budget : {560.0, 294.0, 200.0, 150.0}) {
+    for (Policy policy : {Policy::kFvsst, Policy::kFvsstFast,
+                          Policy::kFvsstBatch, Policy::kUniform}) {
+      const LatencyResult r = run(budget, policy);
+      const char* name = policy == Policy::kFvsst       ? "fvsst T=100ms"
+                         : policy == Policy::kFvsstFast ? "fvsst T=10ms"
+                         : policy == Policy::kFvsstBatch
+                             ? "fvsst T=10ms + batching"
+                             : "uniform";
+      out.add_row({sim::TextTable::num(budget, 0), name,
+                   sim::TextTable::num(r.mean_ms, 2),
+                   sim::TextTable::num(r.p95_ms, 2),
+                   sim::TextTable::num(r.mean_power_w, 1),
+                   std::to_string(r.completions)});
+    }
+  }
+  out.print();
+  std::printf(
+      "Finding (honest negative result for bursty micro-requests): with\n"
+      "the paper's T = 100 ms, a request landing on an idle-pinned 250 MHz\n"
+      "CPU runs slow until the next scheduling point, so fvsst's latency\n"
+      "is *worse* than uniform scaling even though its power is far lower\n"
+      "at generous budgets.  Shrinking T to 10 ms recovers most of the\n"
+      "latency while keeping the power advantage — the T knob trades\n"
+      "scheduling overhead against reaction time, exactly the tension the\n"
+      "paper's Sec. 6 discusses.  For the paper's long-running batch\n"
+      "workloads (Table 3) the effect is negligible.  Request batching\n"
+      "(Elnozahy et al., the paper's related work) composes with fvsst:\n"
+      "a few more milliseconds of bounded queueing delay buy a further\n"
+      "power reduction from longer idle stretches.\n");
+  return 0;
+}

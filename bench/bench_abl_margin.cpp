@@ -1,0 +1,80 @@
+// bench_abl_margin - Ablation A8: the measured-power margin feedback loop
+// (paper Sec. 5: "the global limit may contain a margin of safety").
+//
+// Scenario: the scheduler's power table underestimates real consumption
+// (aging silicon, hot ambient: +15%).  Without the margin controller the
+// system persistently violates the absolute limit; with it, the margin
+// grows until measured power fits, then holds.
+#include "bench/common.h"
+
+#include "power/margin_controller.h"
+
+using namespace fvsst;
+using units::ms;
+
+namespace {
+
+struct Result {
+  double violation_time_s = 0.0;  ///< Time spent over the absolute limit.
+  double final_margin = 0.0;
+  double mean_true_power_w = 0.0;
+};
+
+Result run(bool with_controller, double bias) {
+  sim::Simulation sim;
+  sim::Rng rng(3);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  for (std::size_t c = 0; c < 4; ++c) {
+    cluster.core({0, c}).add_workload(
+        workload::make_uniform_synthetic(c < 2 ? 100.0 : 30.0, 1e12));
+  }
+  power::PowerBudget budget(294.0);
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget,
+                           bench::paper_daemon_config());
+  // True power = modelled power * (1 + bias).
+  auto true_power = [&, bias] { return cluster.cpu_power_w() * (1.0 + bias); };
+  std::unique_ptr<power::MarginController> controller;
+  if (with_controller) {
+    controller = std::make_unique<power::MarginController>(sim, budget,
+                                                           true_power);
+  }
+  Result out;
+  sim::TimeWeightedStat power_acc;
+  sim.schedule_every(5 * ms, [&] {
+    power_acc.record(sim.now(), true_power());
+    if (true_power() > budget.limit_w()) out.violation_time_s += 5e-3;
+  });
+  sim.run_for(10.0);
+  out.final_margin = budget.margin_fraction();
+  out.mean_true_power_w = power_acc.mean_until(sim.now());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A8",
+                "Margin feedback under power-model bias (294 W limit)");
+
+  sim::TextTable out("10 s run; true power = modelled * (1 + bias)");
+  out.set_header({"bias", "controller", "time over limit", "final margin",
+                  "mean true W"});
+  for (double bias : {0.0, 0.10, 0.20}) {
+    for (bool ctl : {false, true}) {
+      const Result r = run(ctl, bias);
+      out.add_row({sim::TextTable::pct(bias, 0), ctl ? "on" : "off",
+                   sim::TextTable::num(r.violation_time_s, 2) + " s",
+                   sim::TextTable::pct(r.final_margin),
+                   sim::TextTable::num(r.mean_true_power_w, 1)});
+    }
+  }
+  out.print();
+  std::printf(
+      "Expected: with zero bias the controller is inert.  Under bias, the\n"
+      "uncontrolled system stays over the absolute limit indefinitely; the\n"
+      "controller grows the margin within a few checks, after which true\n"
+      "power holds under the limit for the rest of the run.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// bench_abl_placement - Ablation A13: job placement x frequency scheduling.
+//
+// The paper's Sec. 4.2 observes that work assignment determines the
+// diversity fvsst can exploit, and its Sec. 5 stresses that fvsst "only
+// attempts to minimize total power" under whatever placement the cluster
+// software chose.  This bench crosses three placement policies with
+// fvsst on/off on a batch of mixed jobs and reports power and turnaround.
+#include "bench/common.h"
+
+#include "cluster/job_manager.h"
+
+using namespace fvsst;
+
+namespace {
+
+struct Outcome {
+  double mean_power_w = 0.0;
+  double p95_turnaround_s = 0.0;
+  double makespan_s = 0.0;
+};
+
+Outcome run(cluster::PlacementPolicy placement, bool with_fvsst) {
+  sim::Simulation sim;
+  sim::Rng rng(12);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cl = cluster::Cluster::homogeneous(sim, machine, 2, rng);
+  power::PowerBudget budget(8 * 140.0);
+  std::unique_ptr<core::FvsstDaemon> daemon;
+  if (with_fvsst) {
+    daemon = std::make_unique<core::FvsstDaemon>(
+        sim, cl, machine.freq_table, budget, bench::paper_daemon_config());
+  }
+  power::PowerSensor sensor(sim, [&] { return cl.cpu_power_w(); }, 0.01);
+
+  cluster::JobManager jm(sim, cl, placement);
+  // A half-loaded batch: 6 mixed jobs for 8 CPUs, arriving over 2 s —
+  // spreading placements busy 6 CPUs, packing busies 3.
+  constexpr int kJobs = 6;
+  sim::Rng mix(4);
+  for (int i = 0; i < kJobs; ++i) {
+    const double intensity = mix.uniform(10.0, 100.0);
+    jm.submit_at(mix.uniform(0.0, 2.0),
+                 workload::make_uniform_synthetic(intensity, 8e8, false));
+  }
+  sim.run_for(60.0);
+
+  Outcome out;
+  if (jm.completed() == kJobs) {
+    out.p95_turnaround_s = jm.turnaround_times().percentile(0.95);
+    double last = 0.0;
+    for (std::size_t j = 0; j < jm.submitted(); ++j) {
+      last = std::max(last, jm.job(j).finished_at);
+    }
+    out.makespan_s = last;
+    // Mean power over the busy window only, so the idle tail doesn't
+    // wash the comparison out.
+    sim::TimeWeightedStat acc;
+    for (const auto& s : sensor.trace().samples()) {
+      if (s.t > last) break;
+      acc.record(s.t, s.value);
+    }
+    out.mean_power_w = acc.mean_until(last);
+  }
+  return out;
+}
+
+const char* placement_name(cluster::PlacementPolicy p) {
+  switch (p) {
+    case cluster::PlacementPolicy::kRoundRobin: return "round-robin";
+    case cluster::PlacementPolicy::kLeastLoaded: return "least-loaded";
+    case cluster::PlacementPolicy::kPackFirstFit: return "pack-first-fit";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A13",
+                "Placement policy x fvsst (12 mixed jobs, 8 CPUs)");
+
+  sim::TextTable out("Unconstrained budget; power saved comes from fvsst");
+  out.set_header({"placement", "fvsst", "mean W", "p95 turnaround",
+                  "makespan"});
+  for (auto placement : {cluster::PlacementPolicy::kRoundRobin,
+                         cluster::PlacementPolicy::kLeastLoaded,
+                         cluster::PlacementPolicy::kPackFirstFit}) {
+    for (bool fvsst_on : {false, true}) {
+      const Outcome r = run(placement, fvsst_on);
+      out.add_row({placement_name(placement), fvsst_on ? "on" : "off",
+                   sim::TextTable::num(r.mean_power_w, 1),
+                   sim::TextTable::num(r.p95_turnaround_s, 2) + " s",
+                   sim::TextTable::num(r.makespan_s, 2) + " s"});
+    }
+  }
+  out.print();
+  std::printf(
+      "Expected: without fvsst, power is ~8x140 W regardless of placement\n"
+      "(hot idle burns like work).  With fvsst, spreading placements still\n"
+      "saves power on memory-bound jobs, while consolidating placements\n"
+      "save the most (idle CPUs parked at 9 W) at a turnaround cost from\n"
+      "time-sharing — the placement/power interplay the paper leaves to\n"
+      "the cluster software.\n");
+  return 0;
+}

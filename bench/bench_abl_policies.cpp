@@ -1,0 +1,107 @@
+// bench_abl_policies - Ablation A3: fvsst vs the alternatives the paper's
+// introduction dismisses — powering nodes down, slowing everything
+// uniformly, and utilisation-driven demand-based switching — on a tiered
+// cluster under a sweep of power budgets.
+#include "bench/common.h"
+
+#include "baselines/policies.h"
+#include "workload/mixes.h"
+
+using namespace fvsst;
+
+int main() {
+  bench::banner("Ablation A3",
+                "Policy comparison on a 8-node/32-CPU tiered cluster");
+
+  const auto lat = mach::p630().latencies;
+  const auto table = mach::p630_frequency_table();
+  sim::Rng rng(2026);
+  const auto assignment = workload::tiered_cluster_assignment(8, 4, rng);
+
+  // Flatten to per-processor dominant phases; a few CPUs are idle.
+  std::vector<workload::Phase> truth;
+  std::vector<bool> idle;
+  std::vector<baselines::ProcSample> samples;
+  for (const auto& node : assignment) {
+    for (const auto& spec : node) {
+      const bool is_idle = rng.bernoulli(0.125);
+      const auto& phase = spec.phases[0];
+      truth.push_back(phase);
+      idle.push_back(is_idle);
+      baselines::ProcSample s;
+      s.estimate = baselines::oracle_estimate(phase, lat);
+      s.idle = is_idle;
+      s.naive_utilization = 1.0;  // hot idle: non-halted cycles say busy
+      samples.push_back(s);
+    }
+  }
+  const std::size_t n = truth.size();
+  const double full_budget = 140.0 * static_cast<double>(n);
+
+  // Reference performance: everything at f_max.
+  double perf_ref = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (!idle[p]) {
+      perf_ref += workload::true_performance(truth[p], lat, table.max_hz());
+    }
+  }
+
+  const auto policies = baselines::standard_policies();
+  sim::TextTable out(
+      "Aggregate performance (vs all-at-fmax) under budget fractions");
+  std::vector<std::string> header{"policy"};
+  const double fractions[] = {1.0, 0.7, 0.5, 0.35, 0.25, 0.15};
+  for (double f : fractions) {
+    header.push_back(sim::TextTable::num(f * 100, 0) + "% budget");
+  }
+  out.set_header(header);
+
+  for (const auto& policy : policies) {
+    const bool is_consolidate = policy->name() == "consolidate";
+    std::vector<std::string> row{is_consolidate ? "consolidate (migration)"
+                                                : policy->name()};
+    for (double f : fractions) {
+      const double budget = full_budget * f;
+      const auto assignments = policy->decide(samples, table, budget);
+      double perf = 0.0;
+      bool within = true;
+      if (is_consolidate) {
+        // Consolidation moves jobs onto the surviving hosts, which plain
+        // evaluate() cannot express; score it with migration credit.
+        std::size_t hosts = 0;
+        double power = 0.0;
+        for (const auto& a : assignments) {
+          if (a.powered_on) {
+            ++hosts;
+            power += table.power(a.hz);
+          }
+        }
+        perf = baselines::ConsolidationPolicy::consolidated_performance(
+            truth, idle, hosts, table.max_hz(), lat);
+        within = power <= budget + 1e-9;
+      } else {
+        const auto ev = baselines::evaluate(assignments, truth, idle, lat,
+                                            table, budget);
+        perf = ev.total_performance;
+        within = ev.within_budget;
+      }
+      std::string cell = sim::TextTable::num(perf / perf_ref, 2);
+      if (!within) cell += "!";
+      row.push_back(std::move(cell));
+    }
+    out.add_row(std::move(row));
+  }
+  out.print();
+  std::printf(
+      "(\"!\" marks a budget violation — no-dvfs ignores the budget and\n"
+      "would cascade.)\n"
+      "Expected: fvsst dominates at every constrained budget: uniform\n"
+      "scaling and DBS tax everyone equally, power-down sacrifices whole\n"
+      "processors' work.  Consolidation — even granted free, instant job\n"
+      "migration (which the paper calls \"difficult or impossible\" in\n"
+      "clusters) — fares worst on this busy cluster: dropping pipelines\n"
+      "costs performance linearly, while slowing saturated memory-bound\n"
+      "work costs almost nothing.  Exactly the paper's argument for\n"
+      "scheduling frequencies instead of work.\n");
+  return 0;
+}

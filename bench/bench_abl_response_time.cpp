@@ -1,0 +1,120 @@
+// bench_abl_response_time - Ablation A6: how fast does the cluster come
+// under a new power limit after a supply failure, versus the supply's
+// cascade tolerance DT?  This is the paper's motivating requirement:
+// "the system must be under the new power limit in less than time DT".
+#include "bench/common.h"
+
+#include "core/cluster_daemon.h"
+
+using namespace fvsst;
+using units::ms;
+using units::us;
+
+namespace {
+
+double response_time(std::size_t nodes, double channel_latency_s) {
+  sim::Simulation sim;
+  sim::Rng rng(99);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, nodes, rng);
+  for (const auto& addr : cluster.all_procs()) {
+    cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(80.0, 1e12));
+  }
+  power::PowerBudget budget(static_cast<double>(nodes) * 4 * 140.0);
+  core::ClusterDaemonConfig cfg;
+  cfg.channel_latency_s = channel_latency_s;
+  cfg.channel_jitter_s = channel_latency_s * 0.25;
+  core::ClusterDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+  sim.run_for(1.0);
+
+  const double new_limit = static_cast<double>(nodes) * 4 * 140.0 * 0.5;
+  const double t_fail = 1.0123;
+  sim.schedule_at(t_fail, [&] { budget.set_limit_w(new_limit); });
+  double compliant_at = -1.0;
+  sim.schedule_every(0.1 * ms, [&] {
+    if (compliant_at < 0.0 && sim.now() > t_fail &&
+        cluster.cpu_power_w() <= new_limit) {
+      compliant_at = sim.now();
+    }
+  });
+  sim.run_for(1.0);
+  return compliant_at > 0.0 ? compliant_at - t_fail : -1.0;
+}
+
+}  // namespace
+
+namespace {
+
+double loss_compliance_time(double loss_probability) {
+  sim::Simulation sim;
+  sim::Rng rng(55);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 4, rng);
+  for (const auto& addr : cluster.all_procs()) {
+    cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(80.0, 1e12));
+  }
+  power::PowerBudget budget(4.0 * 4 * 140.0);
+  core::ClusterDaemonConfig cfg;
+  cfg.channel_loss_probability = loss_probability;
+  core::ClusterDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+  sim.run_for(1.0);
+  const double new_limit = 4.0 * 4 * 140.0 * 0.5;
+  const double t_fail = 1.0123;
+  sim.schedule_at(t_fail, [&] { budget.set_limit_w(new_limit); });
+  double compliant_at = -1.0;
+  sim.schedule_every(0.5 * ms, [&] {
+    if (compliant_at < 0.0 && sim.now() > t_fail &&
+        cluster.cpu_power_w() <= new_limit) {
+      compliant_at = sim.now();
+    }
+  });
+  sim.run_for(2.0);
+  return compliant_at > 0.0 ? compliant_at - t_fail : -1.0;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A6",
+                "Cluster response latency vs cascade tolerance DT");
+
+  sim::TextTable out(
+      "Time from budget drop to cluster-wide compliance (ms)");
+  out.set_header({"nodes", "lan 50us", "lan 200us", "wan 2ms", "wan 10ms"});
+  for (std::size_t nodes : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<std::string> row{std::to_string(nodes)};
+    for (double latency : {50 * us, 200 * us, 2 * ms, 10 * ms}) {
+      const double r = response_time(nodes, latency);
+      row.push_back(r < 0 ? "never" : sim::TextTable::num(r * 1e3, 2));
+    }
+    out.add_row(std::move(row));
+  }
+  out.print();
+  std::printf(
+      "Expected: response is dominated by one one-way settings message, so\n"
+      "it stays within a few milliseconds even at WAN latencies and is flat\n"
+      "in cluster size — comfortably inside any realistic supply tolerance\n"
+      "DT (tens to hundreds of milliseconds).  A timer-only scheduler\n"
+      "(no budget trigger) would instead respond in O(T) = 100 ms.\n");
+
+  sim::TextTable loss_table(
+      "Robustness: compliance time under message loss (4 nodes, 50% cut)");
+  loss_table.set_header({"loss probability", "time to comply"});
+  for (double p : {0.0, 0.1, 0.3, 0.5}) {
+    const double r = loss_compliance_time(p);
+    loss_table.add_row({sim::TextTable::pct(p, 0),
+                        r < 0 ? "never"
+                              : sim::TextTable::num(r * 1e3, 1) + " ms"});
+  }
+  loss_table.print();
+  std::printf(
+      "Expected: the budget-triggered settings message may be lost, but\n"
+      "the periodic global rounds (T = 100 ms) repair any gap, so\n"
+      "compliance degrades from sub-millisecond to at most a few rounds\n"
+      "even at 50%% loss — never to \"never\".\n");
+  return 0;
+}

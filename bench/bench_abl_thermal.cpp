@@ -1,0 +1,96 @@
+// bench_abl_thermal - Ablation A12: the "site air conditioning failure"
+// scenario from the paper's motivation, closed through a first-order
+// thermal model: ambient jumps from 25 C to 48 C mid-run; the thermal
+// governor converts the junction limit into budget cuts and fvsst
+// downshifts until the dies settle back under the limit.
+#include "bench/common.h"
+
+#include "power/thermal.h"
+
+using namespace fvsst;
+using units::MHz;
+
+namespace {
+
+struct Outcome {
+  double peak_c = 0.0;
+  double settled_c = 0.0;
+  double settled_mhz = 0.0;
+  double time_over_limit_s = 0.0;
+  sim::TimeSeries temp{"hottest_C"};
+};
+
+Outcome run(bool with_management) {
+  sim::Simulation sim;
+  sim::Rng rng(3);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  for (std::size_t c = 0; c < 4; ++c) {
+    cluster.core({0, c}).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  power::PowerBudget budget(560.0);
+  std::unique_ptr<core::FvsstDaemon> daemon;
+  if (with_management) {
+    daemon = std::make_unique<core::FvsstDaemon>(
+        sim, cluster, machine.freq_table, budget,
+        bench::paper_daemon_config());
+  }
+  power::ThermalGovernor::Config cfg;
+  power::ThermalGovernor gov(
+      sim, budget, 4,
+      [&](std::size_t i) {
+        return machine.freq_table.power(cluster.core({0, i}).frequency_hz());
+      },
+      cfg);
+
+  sim.run_for(60.0);
+  sim.schedule_at(sim.now(), [&] { gov.set_ambient_c(48.0); });  // A/C fails
+
+  Outcome out;
+  sim.schedule_every(0.25, [&] {
+    const double t = gov.hottest_c();
+    out.peak_c = std::max(out.peak_c, t);
+    if (t > cfg.limit_c) out.time_over_limit_s += 0.25;
+  });
+  sim.run_for(180.0);
+  out.settled_c = gov.hottest_c();
+  out.settled_mhz = cluster.core({0, 0}).frequency_hz() / MHz;
+  out.temp = gov.hottest_trace();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A12",
+                "A/C failure: thermal limit -> budget -> frequencies");
+
+  const Outcome with = run(true);
+  const Outcome without = run(false);
+
+  sim::TextTable out("Ambient 25 C -> 48 C at t = 60 s; junction limit 85 C");
+  out.set_header({"configuration", "peak C", "settled C", "time > limit",
+                  "settled MHz"});
+  out.add_row({"fvsst + thermal governor", sim::TextTable::num(with.peak_c, 1),
+               sim::TextTable::num(with.settled_c, 1),
+               sim::TextTable::num(with.time_over_limit_s, 1) + " s",
+               sim::TextTable::num(with.settled_mhz, 0)});
+  out.add_row({"no management", sim::TextTable::num(without.peak_c, 1),
+               sim::TextTable::num(without.settled_c, 1),
+               sim::TextTable::num(without.time_over_limit_s, 1) + " s",
+               sim::TextTable::num(without.settled_mhz, 0)});
+  out.print();
+
+  std::printf("%s", sim::render_ascii_chart({&with.temp, &without.temp}, 72,
+                                            12).c_str());
+  std::printf("  [*] with management   [o] without\n");
+  std::printf(
+      "Expected: unmanaged, the dies sit at ~94 C indefinitely (a thermal\n"
+      "trip in real hardware).  Managed, the governor sheds budget, fvsst\n"
+      "downshifts, and temperature settles at/below the 85 C limit at a\n"
+      "reduced but non-trivial frequency.\n");
+  bench::maybe_dump_csv("abl_thermal", {&with.temp, &without.temp}, 1.0);
+  return 0;
+}

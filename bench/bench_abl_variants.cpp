@@ -1,0 +1,127 @@
+// bench_abl_variants - Ablation A5: the paper's two-pass procedure vs the
+// single-pass implementation it mentions as possible, vs the continuous
+// f_ideal extension it sketches for hardware with many frequency settings.
+#include "bench/common.h"
+
+#include <chrono>
+
+#include "core/scheduler.h"
+#include "simkit/rng.h"
+
+using namespace fvsst;
+using units::MHz;
+
+namespace {
+
+std::vector<core::ProcView> random_views(std::size_t n, sim::Rng& rng) {
+  std::vector<core::ProcView> views(n);
+  for (auto& v : views) {
+    v.estimate.valid = true;
+    v.estimate.alpha_inv = 1.0 / rng.uniform(0.9, 2.0);
+    v.estimate.mem_time_per_instr = rng.uniform(0.0, 15.0) / 1e9;
+    v.idle = rng.bernoulli(0.15);
+  }
+  return views;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A5",
+                "Scheduler variants: two-pass vs single-pass vs continuous");
+
+  const auto lat = mach::p630().latencies;
+  const auto table = mach::p630_frequency_table();
+  sim::Rng rng(77);
+
+  // 1. Decision agreement & quality across 1000 random systems.
+  std::size_t agree_single = 0, agree_cont = 0, total = 0;
+  double power_two = 0.0, power_cont = 0.0;
+  double perf_ratio_greedy = 0.0;
+  std::size_t ratio_wins = 0, paper_wins = 0, constrained = 0;
+  const core::IpcPredictor pred(lat);
+  for (int trial = 0; trial < 1000; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 16));
+    const auto views = random_views(n, rng);
+    const double budget = rng.uniform(9.0 * n, 140.0 * n);
+    core::FrequencyScheduler::Options o2, o1, oc, ow;
+    o1.variant = core::SchedulerVariant::kSinglePass;
+    oc.variant = core::SchedulerVariant::kContinuous;
+    ow.variant = core::SchedulerVariant::kWattsPerLoss;
+    const auto r2 = core::FrequencyScheduler(table, lat, o2)
+                        .schedule(views, budget);
+    const auto r1 = core::FrequencyScheduler(table, lat, o1)
+                        .schedule(views, budget);
+    const auto rc = core::FrequencyScheduler(table, lat, oc)
+                        .schedule(views, budget);
+    const auto rw = core::FrequencyScheduler(table, lat, ow)
+                        .schedule(views, budget);
+    for (std::size_t p = 0; p < n; ++p) {
+      ++total;
+      if (r2.decisions[p].hz == r1.decisions[p].hz) ++agree_single;
+      if (r2.decisions[p].hz == rc.decisions[p].hz) ++agree_cont;
+    }
+    power_two += r2.total_cpu_power_w;
+    power_cont += rc.total_cpu_power_w;
+    if (r2.downgrade_steps > 0 && r2.feasible) {
+      double pa = 0.0, pb = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        pa += pred.predict_performance(views[p].estimate,
+                                       r2.decisions[p].hz);
+        pb += pred.predict_performance(views[p].estimate,
+                                       rw.decisions[p].hz);
+      }
+      ++constrained;
+      perf_ratio_greedy += pb / pa;
+      if (pb > pa * 1.001) ++ratio_wins;
+      if (pa > pb * 1.001) ++paper_wins;
+    }
+  }
+  std::printf("Decision agreement with two-pass over 1000 random systems:\n");
+  std::printf("  single-pass: %5.1f%% (expected: 100%% — same greedy order)\n",
+              100.0 * static_cast<double>(agree_single) / total);
+  std::printf("  continuous:  %5.1f%% (expected: high; snapping f_ideal up\n"
+              "               can differ by one grid step)\n",
+              100.0 * static_cast<double>(agree_cont) / total);
+  std::printf("Mean total power: two-pass %.1f W, continuous %.1f W\n",
+              power_two / 1000.0, power_cont / 1000.0);
+  std::printf(
+      "Watts-per-loss greedy vs the paper's min-loss greedy on the %zu\n"
+      "budget-constrained systems: mean perf ratio %.3f; ratio-greedy\n"
+      "strictly better on %zu, paper's greedy on %zu (both are knapsack\n"
+      "heuristics — neither dominates).\n\n",
+      constrained, perf_ratio_greedy / constrained, ratio_wins, paper_wins);
+
+  // 2. Scheduling-computation cost vs processor count (the continuous
+  // variant's selling point for large frequency sets / big clusters).
+  sim::TextTable out("Mean schedule() wall time (microseconds)");
+  out.set_header({"procs", "two-pass", "single-pass", "continuous"});
+  for (std::size_t n : {4u, 16u, 64u, 256u, 1024u}) {
+    const auto views = random_views(n, rng);
+    const double budget = 60.0 * static_cast<double>(n);
+    std::vector<std::string> row{std::to_string(n)};
+    for (auto variant : {core::SchedulerVariant::kTwoPass,
+                         core::SchedulerVariant::kSinglePass,
+                         core::SchedulerVariant::kContinuous}) {
+      core::FrequencyScheduler::Options opts;
+      opts.variant = variant;
+      const core::FrequencyScheduler sched(table, lat, opts);
+      const int reps = 200;
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) sched.schedule(views, budget);
+      const auto end = std::chrono::steady_clock::now();
+      const double us =
+          std::chrono::duration<double, std::micro>(end - start).count() /
+          reps;
+      row.push_back(sim::TextTable::num(us, 1));
+    }
+    out.add_row(std::move(row));
+  }
+  out.print();
+  std::printf(
+      "Expected: single-pass matches two-pass decisions exactly but scales\n"
+      "better on large clusters; the continuous variant avoids the\n"
+      "per-frequency scan entirely, which matters for hardware with many\n"
+      "or continuous settings (the paper's stated motivation).\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// bench_fig6_power_limits - Regenerates paper Figure 6: performance impact
+// of power limits on the synthetic benchmark's two phases (CPU-intensive at
+// 100%, memory-intensive at 20%), single-processor configuration.
+//
+// Paper shape: the memory-intensive phase shows no degradation across most
+// of the limit range; the CPU-intensive phase degrades slightly less than
+// one-to-one with frequency.
+#include "bench/common.h"
+
+using namespace fvsst;
+using units::MHz;
+
+int main() {
+  bench::banner("Figure 6", "Performance impact of power limits");
+
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  const workload::WorkloadSpec cpu_spec =
+      workload::make_uniform_synthetic(100.0, 3e9, false);
+  const workload::WorkloadSpec mem_spec =
+      workload::make_uniform_synthetic(20.0, 6e8, false);
+
+  const double cpu_ref = bench::run_single_cpu(cpu_spec, 140.0).runtime_s;
+  const double mem_ref = bench::run_single_cpu(mem_spec, 140.0).runtime_s;
+
+  sim::TextTable out(
+      "Normalised performance vs CPU power limit (single processor)");
+  out.set_header({"limit W", "max MHz", "cpu-intensive 100%",
+                  "mem-intensive 20%"});
+  sim::TimeSeries cpu_curve("cpu100"), mem_curve("mem20");
+  for (const auto& point : table.points()) {
+    const double limit = point.watts;
+    const double cpu_perf =
+        cpu_ref / bench::run_single_cpu(cpu_spec, limit).runtime_s;
+    const double mem_perf =
+        mem_ref / bench::run_single_cpu(mem_spec, limit).runtime_s;
+    out.add_row({sim::TextTable::num(limit, 0),
+                 sim::TextTable::num(point.hz / MHz, 0),
+                 sim::TextTable::num(cpu_perf, 3),
+                 sim::TextTable::num(mem_perf, 3)});
+    cpu_curve.add(limit, cpu_perf);
+    mem_curve.add(limit, mem_perf);
+  }
+  out.print();
+  std::printf(
+      "Shape to reproduce (paper): the 20%%-intensity phase holds ~1.0 down\n"
+      "to mid-range limits (performance saturation absorbs the cap); the\n"
+      "100%%-intensity phase degrades slightly less than one-to-one with\n"
+      "the frequency cap.\n");
+  bench::maybe_dump_csv("fig6_power_limits", {&cpu_curve, &mem_curve}, 5.0);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// bench_micro_substrate - google-benchmark microbenchmarks of the
+// simulation substrate: event queue, RNG, cache model, and the core's
+// execution loop.  These bound how much simulated time per wall second the
+// experiment harness can deliver.
+#include <benchmark/benchmark.h>
+
+#include "cpu/core.h"
+#include "mach/machine_config.h"
+#include "mem/cache.h"
+#include "mem/hierarchy.h"
+#include "simkit/event_queue.h"
+#include "simkit/rng.h"
+#include "workload/synthetic.h"
+
+namespace {
+
+using namespace fvsst;
+
+void BM_RngNextU64(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngNormal(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal());
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulation sim;
+    sim::Rng rng(7);
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(rng.uniform(0.0, 100.0), [] {});
+    }
+    sim.run_until(200.0);
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Range(1 << 10, 1 << 16);
+
+void BM_PeriodicEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t fired = 0;
+    sim.schedule_every(0.001, [&] { ++fired; });
+    sim.run_until(100.0);  // 100k firings
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          100000);
+}
+BENCHMARK(BM_PeriodicEventThroughput);
+
+void BM_CacheAccess(benchmark::State& state) {
+  mem::Cache cache({64ull * 1024, 128, 2});  // P630 L1D
+  sim::Rng rng(3);
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = rng.next_u64() % (512ull * 1024);
+    benchmark::DoNotOptimize(cache.access(addr));
+  }
+}
+BENCHMARK(BM_CacheAccess);
+
+void BM_HierarchyAccess(benchmark::State& state) {
+  mem::MemoryHierarchy h = mem::MemoryHierarchy::p630();
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.access(rng.next_u64() % (64ull << 20)));
+  }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void BM_CoreSimulatedSecond(benchmark::State& state) {
+  // How fast one core simulates one second of a phased workload.
+  for (auto _ : state) {
+    sim::Simulation sim;
+    cpu::Core::Config cfg;
+    cfg.latencies = mach::p630().latencies;
+    cfg.max_hz = 1e9;
+    cpu::Core core(sim, cfg, sim::Rng(4));
+    workload::SyntheticParams params;
+    params.phase1 = {100.0, 5e7};
+    params.phase2 = {20.0, 2e7};
+    core.add_workload(workload::make_synthetic(params));
+    sim.schedule_every(0.01, [&] { core.read_counters(); });  // sampler-like
+    sim.run_until(1.0);
+    benchmark::DoNotOptimize(core.read_counters().instructions);
+  }
+}
+BENCHMARK(BM_CoreSimulatedSecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// bench_sec5_worked_example - Reproduces the worked example of paper
+// Section 5: four processors, a 294 W CPU power constraint after a supply
+// failure at T0, and a workload shift on processor 0 at T1.
+//
+// Paper narrative: at T0 the epsilon-constrained vector is
+// [1.0, 0.7, 0.8, 0.8] GHz (374 W), which must be downgraded to fit 294 W;
+// at T1 processor 0 becomes memory-intensive, its epsilon frequency falls
+// to 0.6 GHz, and the whole epsilon vector [0.6, 0.7, 0.8, 0.8] GHz fits
+// outright at 282 W with only epsilon-level losses.
+#include "bench/common.h"
+
+#include "core/scheduler.h"
+#include "workload/mixes.h"
+
+using namespace fvsst;
+using units::MHz;
+
+namespace {
+
+void show(const char* label, const core::ScheduleResult& r, double budget) {
+  sim::TextTable out(label);
+  out.set_header({"proc", "desired MHz", "granted MHz", "W", "pred. loss"});
+  for (std::size_t p = 0; p < r.decisions.size(); ++p) {
+    const auto& d = r.decisions[p];
+    out.add_row({"p" + std::to_string(p),
+                 sim::TextTable::num(d.desired_hz / MHz, 0),
+                 sim::TextTable::num(d.hz / MHz, 0),
+                 sim::TextTable::num(d.watts, 0),
+                 sim::TextTable::pct(d.predicted_loss)});
+  }
+  out.print();
+  std::printf("total %.0f W vs budget %.0f W (%s), downgrade steps: %zu\n\n",
+              r.total_cpu_power_w, budget,
+              r.total_cpu_power_w <= budget ? "OK" : "OVER",
+              r.downgrade_steps);
+}
+
+std::vector<core::ProcView> views_for(bool t1) {
+  const auto lat = mach::p630().latencies;
+  const auto mixes = workload::section5_example_mixes(t1);
+  std::vector<core::ProcView> views(4);
+  for (std::size_t p = 0; p < 4; ++p) {
+    const auto& phase = mixes[p].phases[0];
+    views[p].estimate.valid = true;
+    views[p].estimate.alpha_inv = 1.0 / phase.alpha;
+    views[p].estimate.mem_time_per_instr =
+        workload::mem_time_per_instruction(phase, lat);
+  }
+  return views;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Section 5", "Worked scheduling example (294 W budget)");
+
+  const core::FrequencyScheduler sched(mach::p630_frequency_table(),
+                                       mach::p630().latencies, {});
+
+  std::printf("Paper at T0: epsilon vector [1000, 700, 800, 800] MHz "
+              "(374 W > 294 W), then\npower-constrained downgrades; at T1 "
+              "epsilon vector [600, 700, 800, 800] MHz\nfits outright at "
+              "282 W.\n\n");
+
+  const auto r0 = sched.schedule(views_for(false), 294.0);
+  show("T0: after supply failure (power-constrained)", r0, 294.0);
+
+  const auto r1 = sched.schedule(views_for(true), 294.0);
+  show("T1: processor 0 now memory-intensive", r1, 294.0);
+
+  std::printf(
+      "Shape to reproduce: the T0 budget forces downgrades chosen by least\n"
+      "performance loss; the T1 workload shift frees enough power that all\n"
+      "processors run at their epsilon-constrained frequencies (282 W) and\n"
+      "every predicted loss is below epsilon = 4%%.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// bench_table1_power - Regenerates paper Table 1: peak power at each
+// available frequency setting.
+//
+// The paper obtained these numbers from IBM's Lava circuit-level estimator;
+// our substitute is the analytic model P = C*V^2*f + B*V^2 with (C, B)
+// fitted by least squares against the embedded Table 1 (see DESIGN.md).
+// This bench prints the paper's values, the model's reproduction, and the
+// fit residuals — the validation that the substitution is sound.
+#include "bench/common.h"
+
+#include "power/power_model.h"
+
+using namespace fvsst;
+using units::MHz;
+
+int main() {
+  bench::banner("Table 1", "Frequencies available for scheduling");
+
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  const auto report = power::PowerModel::calibrate_report(table);
+  const power::PowerModel model(report.capacitance_f,
+                                report.leakage_w_per_v2);
+
+  sim::TextTable out("Operating points: paper (Lava) vs calibrated model");
+  out.set_header({"MHz", "min V", "paper W", "model W", "error", "rel"});
+  for (const auto& p : table.points()) {
+    const double w = model.power(p.hz, p.volts);
+    out.add_row({sim::TextTable::num(p.hz / MHz, 0),
+                 sim::TextTable::num(p.volts, 3),
+                 sim::TextTable::num(p.watts, 0),
+                 sim::TextTable::num(w, 1),
+                 sim::TextTable::num(w - p.watts, 2),
+                 sim::TextTable::pct((w - p.watts) / p.watts)});
+  }
+  out.print();
+
+  std::printf("Fitted coefficients: C = %.4e F, B = %.4f W/V^2\n",
+              report.capacitance_f, report.leakage_w_per_v2);
+  std::printf("Fit quality: max |err| = %.2f W, RMS = %.2f W, "
+              "max rel = %.1f%%\n",
+              report.max_abs_error_w, report.rms_error_w,
+              report.max_rel_error * 100.0);
+  std::printf(
+      "Expected (paper): power spans 9 W at 250 MHz to 140 W at 1000 MHz,\n"
+      "super-linear in frequency because the minimum stable voltage rises\n"
+      "with frequency.  (Paper notes estimates below 500 MHz are the least\n"
+      "accurate; our fit is also loosest there.)\n");
+
+  // Derived: active vs static split at the nominal point.
+  const auto& top = table.max_point();
+  std::printf("At %0.f MHz / %.2f V: active %.1f W, static %.1f W\n",
+              top.hz / MHz, top.volts, model.active_power(top.hz, top.volts),
+              model.static_power(top.volts));
+  return 0;
+}

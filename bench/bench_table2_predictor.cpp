@@ -1,0 +1,101 @@
+// bench_table2_predictor - Regenerates paper Table 2: predictor error (IPC
+// deviation) across synthetic-benchmark intensities.
+//
+// Setup per the paper: the synthetic benchmark runs on CPU 3 with CPUs 0-2
+// in the hot idle loop; T = 100 ms, t = 10 ms; the prototype had no idle
+// detection.  The final column (CPU3*) excludes the benchmark's
+// initialisation and termination phases, which the predictor tracks poorly
+// (cold misses at above-nominal latencies).
+//
+// Paper values: deviations of 0.008-0.010 on the idle CPUs, 0.011-0.025 on
+// CPU3, shrinking to 0.010-0.017 when init/exit are excluded.
+#include "bench/common.h"
+
+using namespace fvsst;
+using units::GHz;
+
+namespace {
+
+struct Row {
+  double intensity;
+  double dev[4];   // CPU0..CPU3
+  double dev3_star;
+};
+
+Row run_intensity(double intensity) {
+  sim::Simulation sim;
+  sim::Rng rng(1234 + static_cast<std::uint64_t>(intensity));
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+
+  // Long main phases so the run covers many T-intervals, as the paper's
+  // minutes-long runs did (one transition misprediction then washes out
+  // instead of dominating the mean).
+  const double instructions =
+      intensity >= 100.0 ? 5e9 : intensity >= 75.0 ? 2e9
+                               : intensity >= 50.0 ? 1.2e9
+                                                   : 8e8;
+  workload::SyntheticParams params;
+  params.phase1 = {intensity, instructions};
+  params.phase2 = {intensity, instructions};
+  params.with_init_exit = true;  // finite run with init/exit phases
+  cluster.core({0, 3}).add_workload(workload::make_synthetic(params));
+
+  power::PowerBudget budget(4 * 140.0);
+  core::DaemonConfig cfg = bench::paper_daemon_config();
+  cfg.scheduler.idle_detection = false;  // as in the paper's prototype
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+
+  // Track when CPU 3 is inside init/exit phases.
+  double init_ends = -1.0, exit_starts = -1.0;
+  sim.schedule_every(0.005, [&] {
+    const workload::Phase* phase = cluster.core({0, 3}).active_phase();
+    if (!phase) return;
+    if (init_ends < 0.0 && phase->name != "init") init_ends = sim.now();
+    if (exit_starts < 0.0 && phase->name == "exit") exit_starts = sim.now();
+  });
+
+  while (cluster.core({0, 3}).job_finish_time(0) < 0.0 && sim.now() < 120.0) {
+    sim.run_for(0.1);
+  }
+  const double finish = cluster.core({0, 3}).job_finish_time(0);
+  if (exit_starts < 0.0) exit_starts = finish > 0 ? finish : sim.now();
+
+  Row row{};
+  row.intensity = intensity;
+  for (std::size_t c = 0; c < 4; ++c) {
+    row.dev[c] = daemon.deviation_stat(c).mean();
+  }
+  // CPU3*: deviations recorded strictly between init end and exit start.
+  sim::RunningStat star;
+  for (const auto& s : daemon.deviation_trace(3).samples()) {
+    if (s.t > init_ends + 0.1 && s.t < exit_starts - 0.05) star.add(s.value);
+  }
+  row.dev3_star = star.mean();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2", "Predictor error (mean |predicted - measured| IPC)");
+
+  sim::TextTable out("IPC deviation; CPUs 0-2 hot idle, benchmark on CPU 3");
+  out.set_header({"CPU intensity", "CPU0", "CPU1", "CPU2", "CPU3", "CPU3*"});
+  for (double intensity : {100.0, 75.0, 50.0, 25.0}) {
+    const Row row = run_intensity(intensity);
+    out.add_row({sim::TextTable::num(intensity, 0),
+                 sim::TextTable::num(row.dev[0], 3),
+                 sim::TextTable::num(row.dev[1], 3),
+                 sim::TextTable::num(row.dev[2], 3),
+                 sim::TextTable::num(row.dev[3], 3),
+                 sim::TextTable::num(row.dev3_star, 3)});
+  }
+  out.print();
+  std::printf(
+      "Paper values: idle CPUs 0.008-0.010; CPU3 0.011-0.025; CPU3*\n"
+      "0.010-0.017.  Shape to reproduce: idle CPUs have tiny, stable error;\n"
+      "CPU3's error is larger and drops once init/exit are excluded.\n");
+  return 0;
+}

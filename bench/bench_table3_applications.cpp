@@ -1,0 +1,71 @@
+// bench_table3_applications - Regenerates paper Table 3: performance and
+// energy of gzip, gap, mcf and health under 140 W / 75 W / 35 W CPU power
+// constraints (single processor, fvsst active).
+//
+// Normalisation follows the paper: performance is relative to the
+// unconstrained (140 W) fvsst run; energy is relative to a non-fvsst system
+// running the same job at full power (140 W for the whole unconstrained
+// runtime).
+#include "bench/common.h"
+
+using namespace fvsst;
+
+int main() {
+  bench::banner("Table 3", "Performance and power under constraint");
+
+  struct PaperRow {
+    const char* app;
+    double perf75, perf35, e140, e75, e35;
+  };
+  const PaperRow paper[] = {
+      {"gzip", 0.79, 0.52, 0.94, 0.68, 0.47},
+      {"gap", 0.80, 0.54, 0.88, 0.67, 0.47},
+      {"mcf", 0.99, 0.81, 0.43, 0.43, 0.31},
+      {"health", 1.00, 0.72, 0.43, 0.43, 0.35},
+  };
+
+  sim::TextTable out("Measured (paper values in parentheses)");
+  out.set_header({"metric", "gzip", "gap", "mcf", "health"});
+
+  const auto apps = workload::paper_applications();
+  double perf[3][4], energy[3][4];
+  const double budgets[3] = {140.0, 75.0, 35.0};
+  double ref_runtime[4], ref_energy_nofvsst[4];
+
+  for (std::size_t a = 0; a < apps.size(); ++a) {
+    for (int b = 0; b < 3; ++b) {
+      const auto r = bench::run_single_cpu(apps[a], budgets[b], 100 + a);
+      if (b == 0) {
+        ref_runtime[a] = r.runtime_s;
+        ref_energy_nofvsst[a] = 140.0 * r.runtime_s;
+      }
+      perf[b][a] = ref_runtime[a] / r.runtime_s;
+      energy[b][a] = r.cpu_energy_j / ref_energy_nofvsst[a];
+    }
+  }
+
+  auto row = [&](const std::string& label, double measured[4],
+                 auto paper_of) {
+    std::vector<std::string> cells{label};
+    for (int a = 0; a < 4; ++a) {
+      cells.push_back(sim::TextTable::num(measured[a], 2) + " (" +
+                      sim::TextTable::num(paper_of(paper[a]), 2) + ")");
+    }
+    out.add_row(std::move(cells));
+  };
+  row("Perf @140W", perf[0], [](const PaperRow&) { return 1.0; });
+  row("Perf @75W", perf[1], [](const PaperRow& p) { return p.perf75; });
+  row("Perf @35W", perf[2], [](const PaperRow& p) { return p.perf35; });
+  row("Energy @140W", energy[0], [](const PaperRow& p) { return p.e140; });
+  row("Energy @75W", energy[1], [](const PaperRow& p) { return p.e75; });
+  row("Energy @35W", energy[2], [](const PaperRow& p) { return p.e35; });
+  out.print();
+
+  std::printf(
+      "Shape to reproduce (paper): CPU-intensive gzip/gap lose noticeably\n"
+      "but sub-linearly as the budget tightens; memory-intensive mcf/health\n"
+      "hold full performance at 75 W and dip only at 35 W; fvsst's energy\n"
+      "saving is largest (to ~0.43) for the memory-intensive applications\n"
+      "even when unconstrained.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// bench_table3_extended - Beyond the paper: Table 3's methodology applied
+// to the four additional SPEC CPU2000 profiles (crafty, parser, art,
+// equake), widening the workload spectrum between the paper's CPU-bound
+// and memory-bound extremes.
+#include "bench/common.h"
+
+using namespace fvsst;
+
+int main() {
+  bench::banner("Table 3 (extended)",
+                "Perf & energy under constraint, four additional profiles");
+
+  const workload::WorkloadSpec apps[] = {
+      workload::crafty(), workload::parser(), workload::art(),
+      workload::equake()};
+  const double budgets[3] = {140.0, 75.0, 35.0};
+
+  double perf[3][4], energy[3][4];
+  double ref_runtime[4];
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      const auto r = bench::run_single_cpu(apps[a], budgets[b], 300 + a);
+      if (b == 0) ref_runtime[a] = r.runtime_s;
+      perf[b][a] = ref_runtime[a] / r.runtime_s;
+      energy[b][a] = r.cpu_energy_j / (140.0 * ref_runtime[a]);
+    }
+  }
+
+  sim::TextTable out("Normalised as in the paper's Table 3");
+  out.set_header({"metric", "crafty", "parser", "art", "equake"});
+  const char* labels[] = {"Perf @140W",   "Perf @75W",   "Perf @35W",
+                          "Energy @140W", "Energy @75W", "Energy @35W"};
+  for (int row = 0; row < 6; ++row) {
+    std::vector<std::string> cells{labels[row]};
+    for (int a = 0; a < 4; ++a) {
+      const double v = row < 3 ? perf[row][a] : energy[row - 3][a];
+      cells.push_back(sim::TextTable::num(v, 2));
+    }
+    out.add_row(std::move(cells));
+  }
+  out.print();
+  std::printf(
+      "Expected spectrum: crafty is even more frequency-hungry than the\n"
+      "paper's gzip (near one-to-one losses, little unconstrained energy\n"
+      "saving); parser sits between gzip and gap; art/equake behave like\n"
+      "milder mcf's — little or no loss at 75 W and deep unconstrained\n"
+      "energy savings from running at their saturation frequencies.\n");
+  return 0;
+}

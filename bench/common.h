@@ -1,0 +1,121 @@
+// common.h - Shared rigs for the experiment benches.
+//
+// Every bench regenerates one table or figure from the paper's evaluation
+// (Sec. 7-8).  The helpers here encode the paper's experimental setup:
+// "All results were run with T of 100 ms and t of 10 ms.  When results are
+// reported for only a single benchmark, the benchmark was run on CPU 3, and
+// the remaining CPUs ran a 'hot' idle."  Single-benchmark power-constraint
+// experiments (Figs. 6-10, Table 3) use "the system configured to use only
+// a single processor".
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "power/sensor.h"
+#include "simkit/csv.h"
+#include "simkit/table.h"
+#include "simkit/time_series.h"
+#include "simkit/units.h"
+#include "workload/app_profiles.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::bench {
+
+/// The paper's daemon settings: t = 10 ms, T = 100 ms.
+inline core::DaemonConfig paper_daemon_config() {
+  core::DaemonConfig cfg;
+  cfg.t_sample_s = 0.010;
+  cfg.schedule_every_n_samples = 10;
+  return cfg;
+}
+
+/// Result of running one workload to completion under a budget.
+struct RunResult {
+  double runtime_s = 0.0;     ///< Wall time of the benchmark job.
+  double cpu_energy_j = 0.0;  ///< Energy of the benchmark CPU over the run.
+  double mean_power_w = 0.0;  ///< Mean benchmark-CPU power over the run.
+  sim::TimeSeries granted{"granted_hz"};
+  sim::TimeSeries desired{"desired_hz"};
+};
+
+/// Runs `spec` (non-looping) to completion on a single-CPU P630 under the
+/// fvsst daemon with CPU power budget `budget_w`.  This is the paper's
+/// "single processor" configuration for the power-constraint experiments.
+inline RunResult run_single_cpu(const workload::WorkloadSpec& spec,
+                                double budget_w,
+                                std::uint64_t seed = 42,
+                                bool with_daemon = true) {
+  sim::Simulation sim;
+  sim::Rng rng(seed);
+  mach::MachineConfig machine = mach::p630();
+  machine.num_cpus = 1;
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  cluster.core({0, 0}).add_workload(spec);
+
+  power::PowerBudget budget(budget_w);
+  std::unique_ptr<core::FvsstDaemon> daemon;
+  if (with_daemon) {
+    daemon = std::make_unique<core::FvsstDaemon>(
+        sim, cluster, machine.freq_table, budget, paper_daemon_config());
+  }
+  power::PowerSensor sensor(
+      sim, [&] { return cluster.cpu_power_w(); }, 0.005);
+
+  // Generous upper bound: even at the floor frequency the job finishes
+  // within ~8x its full-speed duration for the profiles used here.
+  const double t_max =
+      20.0 * spec.duration_at(machine.latencies, machine.nominal_hz) + 5.0;
+  double finished_at = -1.0;
+  while (finished_at < 0.0 && sim.now() < t_max) {
+    sim.run_for(0.05);
+    finished_at = cluster.core({0, 0}).job_finish_time(0);
+  }
+
+  RunResult out;
+  out.runtime_s = finished_at > 0.0 ? finished_at : t_max;
+  out.cpu_energy_j = sensor.trace().empty()
+                         ? 0.0
+                         : [&] {
+                             sim::TimeWeightedStat acc;
+                             for (const auto& s : sensor.trace().samples()) {
+                               if (s.t > out.runtime_s) break;
+                               acc.record(s.t, s.value);
+                             }
+                             return acc.integral_until(out.runtime_s);
+                           }();
+  out.mean_power_w = out.runtime_s > 0 ? out.cpu_energy_j / out.runtime_s : 0;
+  if (daemon) {
+    out.granted = daemon->granted_freq_trace(0);
+    out.desired = daemon->desired_freq_trace(0);
+  }
+  return out;
+}
+
+/// Prints a standard bench banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Optionally dumps series to $FVSST_CSV_DIR/<name>.csv.
+inline void maybe_dump_csv(const std::string& name,
+                           const std::vector<const sim::TimeSeries*>& series,
+                           double dt) {
+  const std::string dir = sim::csv_output_dir();
+  if (dir.empty()) return;
+  const std::string path = dir + "/" + name + ".csv";
+  if (sim::write_series_csv(path, series, dt)) {
+    std::printf("[csv] wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace fvsst::bench

@@ -1,0 +1,85 @@
+// batch_cluster.cpp - A batch cluster under power management: jobs arrive,
+// the job manager places them, fvsst schedules frequencies underneath,
+// and a supply failure mid-run forces the whole stack to adapt.
+//
+//   $ ./batch_cluster
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "cluster/job_manager.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "power/sensor.h"
+#include "simkit/table.h"
+#include "simkit/units.h"
+#include "workload/app_profiles.h"
+#include "workload/synthetic.h"
+
+using namespace fvsst;
+using units::MHz;
+
+int main() {
+  sim::Simulation sim;
+  sim::Rng rng(2026);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 2, rng);
+
+  power::PowerBudget budget(8 * 140.0);
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget,
+                           core::DaemonConfig{});
+  power::PowerSensor sensor(sim, [&] { return cluster.cpu_power_w(); },
+                            0.01);
+
+  cluster::JobManager jm(sim, cluster, cluster::PlacementPolicy::kLeastLoaded);
+  // A morning's batch queue: the paper's applications plus synthetic fill.
+  jm.submit_at(0.2, workload::gzip());
+  jm.submit_at(0.5, workload::mcf());
+  jm.submit_at(0.9, workload::health());
+  jm.submit_at(1.4, workload::gap());
+  sim::Rng mix(7);
+  for (int i = 0; i < 6; ++i) {
+    jm.submit_at(mix.uniform(0.0, 4.0),
+                 workload::make_uniform_synthetic(mix.uniform(20.0, 100.0),
+                                                  2e9, false));
+  }
+
+  // A power supply fails at t = 10 s and is repaired at t = 40 s.
+  sim.schedule_at(10.0, [&] {
+    std::printf("t=10s  supply failure: CPU budget 1120 W -> 500 W\n");
+    budget.set_limit_w(500.0);
+  });
+  sim.schedule_at(40.0, [&] {
+    std::printf("t=40s  supply repaired: budget restored\n");
+    budget.set_limit_w(8 * 140.0);
+  });
+
+  constexpr std::size_t kExpectedJobs = 10;
+  while ((jm.submitted() < kExpectedJobs ||
+          jm.completed() < jm.submitted()) &&
+         sim.now() < 300.0) {
+    sim.run_for(1.0);
+  }
+  const double done_at = sim.now();
+
+  std::printf("\nAll %zu jobs finished by t=%.0fs\n", jm.submitted(),
+              done_at);
+  sim::TextTable out("Batch results");
+  out.set_header({"job", "placed on", "turnaround"});
+  for (std::size_t j = 0; j < jm.submitted(); ++j) {
+    const auto& record = jm.job(j);
+    out.add_row({record.name,
+                 "node" + std::to_string(record.placed_on.node) + ".cpu" +
+                     std::to_string(record.placed_on.cpu),
+                 sim::TextTable::num(record.finished_at - record.submitted_at,
+                                     1) + " s"});
+  }
+  out.print();
+  std::printf("mean cluster CPU power over the run: %.0f W "
+              "(peak capacity %.0f W)\n",
+              sensor.mean_power_w(), 8 * 140.0);
+  std::printf("compliance now: %.0f W <= %.0f W\n", cluster.cpu_power_w(),
+              budget.effective_limit_w());
+  return 0;
+}

@@ -1,0 +1,95 @@
+// derive_profile.cpp - From address stream to frequency schedule.
+//
+// Demonstrates the full substrate chain: synthesise a data-reference
+// stream, push it through the P630's simulated L1/L2/L3 hierarchy to
+// derive a workload profile (the per-level access rates the paper reads
+// from hardware counters), and hand that profile to the fvsst scheduler to
+// see where it lands on the frequency table.
+//
+//   $ ./derive_profile
+#include <cstdio>
+#include <memory>
+
+#include "core/scheduler.h"
+#include "mach/machine_config.h"
+#include "mem/address_stream.h"
+#include "mem/hierarchy.h"
+#include "mem/profile_extractor.h"
+#include "simkit/table.h"
+#include "simkit/units.h"
+
+using namespace fvsst;
+using units::MHz;
+
+namespace {
+
+constexpr std::uint64_t KiB = 1024;
+constexpr std::uint64_t MiB = 1024 * 1024;
+
+struct Scenario {
+  const char* name;
+  std::unique_ptr<mem::AddressStream> stream;
+  double alpha;
+  double accesses_per_instruction;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"hot-loop (16KB strided)",
+                       std::make_unique<mem::StridedStream>(0, 16 * KiB, 128),
+                       1.7, 0.25});
+  scenarios.push_back(
+      {"L2-resident (512KB random)",
+       std::make_unique<mem::UniformRandomStream>(0, 512 * KiB,
+                                                  sim::Rng(1)),
+       1.5, 0.30});
+  scenarios.push_back(
+      {"L3-resident (16MB random)",
+       std::make_unique<mem::UniformRandomStream>(0, 16 * MiB, sim::Rng(2)),
+       1.4, 0.30});
+  scenarios.push_back(
+      {"pointer-chase (256MB)",
+       std::make_unique<mem::PointerChaseStream>(0, 256 * MiB, 128,
+                                                 sim::Rng(3)),
+       1.3, 0.35});
+
+  const mach::MachineConfig machine = mach::p630();
+  const core::FrequencyScheduler sched(machine.freq_table, machine.latencies,
+                                       {});
+
+  sim::TextTable out(
+      "Derived profiles (P630 hierarchy: 64KB L1 / 1.44MB L2 / 32MB L3)");
+  out.set_header({"reference stream", "L1", "L2", "L3", "mem",
+                  "apki_mem", "granted MHz", "pred. loss"});
+  for (auto& s : scenarios) {
+    mem::MemoryHierarchy hierarchy = mem::MemoryHierarchy::p630();
+    const mem::ExtractedProfile profile =
+        mem::extract_profile(*s.stream, hierarchy, 60000, 60000);
+    const workload::Phase phase = mem::to_phase(
+        s.name, s.alpha, profile, s.accesses_per_instruction, 1e9);
+
+    core::ProcView view;
+    view.estimate.valid = true;
+    view.estimate.alpha_inv = 1.0 / phase.alpha;
+    view.estimate.mem_time_per_instr =
+        workload::mem_time_per_instruction(phase, machine.latencies);
+    const auto result = sched.schedule({view}, 1e9);
+
+    out.add_row({s.name, sim::TextTable::pct(profile.l1_fraction, 0),
+                 sim::TextTable::pct(profile.l2_fraction, 0),
+                 sim::TextTable::pct(profile.l3_fraction, 0),
+                 sim::TextTable::pct(profile.mem_fraction, 0),
+                 sim::TextTable::num(phase.apki_mem, 1),
+                 sim::TextTable::num(result.decisions[0].hz / MHz, 0),
+                 sim::TextTable::pct(result.decisions[0].predicted_loss)});
+  }
+  out.print();
+  std::printf(
+      "The fvsst scheduler never sees the addresses — only the per-level\n"
+      "rates, exactly as on real hardware.  Streams that fit in cache get\n"
+      "f_max; the big pointer chase saturates and is scheduled far lower,\n"
+      "at a predicted loss below epsilon = 4%%.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// host_probe.cpp - Probe the real host's DVFS and performance-counter
+// capabilities through the src/host backends (the sysfs/perf_event
+// equivalents of the paper's kernel support).
+//
+//   $ ./host_probe
+//
+// Everything degrades gracefully: in a container without cpufreq or
+// perf_event access the probe reports what is missing and exits 0.
+#include <cstdio>
+
+#include "host/cpufreq_sysfs.h"
+#include "host/latency_probe.h"
+#include "host/perf_events.h"
+#include "host/proc_stat.h"
+#include "simkit/table.h"
+
+using namespace fvsst;
+
+int main() {
+  std::printf("== memory-hierarchy latencies (dependent pointer chase) ==\n");
+  // The paper's Sec. 7.1 methodology on this machine: per-access time vs
+  // working-set size, then distilled predictor constants.
+  const auto curve = host::latency_curve(16ull << 10, 64ull << 20, 1u << 17);
+  sim::TextTable lat_table("Chase latency vs working set");
+  lat_table.set_header({"working set", "ns/access"});
+  for (const auto& p : curve) {
+    const double kib = static_cast<double>(p.working_set_bytes) / 1024.0;
+    lat_table.add_row({kib >= 1024.0
+                           ? sim::TextTable::num(kib / 1024.0, 0) + " MiB"
+                           : sim::TextTable::num(kib, 0) + " KiB",
+                       sim::TextTable::num(p.ns_per_access, 2)});
+  }
+  lat_table.print();
+  const auto lat = host::latencies_from_curve(curve);
+  std::printf("distilled predictor constants: T_l2=%.1fns T_l3=%.1fns "
+              "T_mem=%.1fns\n(feed these into HostScheduler::Options::"
+              "latencies)\n\n",
+              lat.t_l2 * 1e9, lat.t_l3 * 1e9, lat.t_mem * 1e9);
+
+  std::printf("== cpufreq (sysfs) ==\n");
+  const host::CpufreqSysfs sysfs;
+  if (!sysfs.available()) {
+    std::printf(
+        "no cpufreq support visible at %s — typical inside containers or\n"
+        "on hosts without frequency scaling.  The simulator backends\n"
+        "(src/cpu) provide the same interfaces for experiments.\n",
+        sysfs.root().c_str());
+  } else {
+    sim::TextTable out("Per-CPU cpufreq state");
+    out.set_header({"cpu", "governor", "cur MHz", "min MHz", "max MHz",
+                    "settings"});
+    for (int cpu : sysfs.cpus()) {
+      const auto info = sysfs.info(cpu);
+      if (!info) continue;
+      out.add_row({std::to_string(cpu), info->governor,
+                   sim::TextTable::num(info->current_hz / 1e6, 0),
+                   sim::TextTable::num(info->min_hz / 1e6, 0),
+                   sim::TextTable::num(info->max_hz / 1e6, 0),
+                   std::to_string(info->available_hz.size())});
+    }
+    out.print();
+    std::printf(
+        "(A real deployment would set the userspace governor and drive\n"
+        "scaling_setspeed from the fvsst scheduler's decisions.)\n");
+  }
+
+  std::printf("\n== utilisation (/proc/stat) ==\n");
+  const auto stat = host::read_proc_stat();
+  if (stat.empty()) {
+    std::printf("/proc/stat not readable on this host.\n");
+  } else {
+    std::printf("%zu cpu rows; aggregate busy share since boot: %.1f%%\n",
+                stat.size(),
+                100.0 * static_cast<double>(stat.front().busy()) /
+                    static_cast<double>(stat.front().total()));
+    std::printf(
+        "(two snapshots of these rows give the live utilisation signal\n"
+        "the DBS-style governors consume — and exactly what they miss:\n"
+        "memory stalls count as busy.)\n");
+  }
+
+  std::printf("\n== hardware counters (perf_event_open) ==\n");
+  host::PerfEventGroup group;
+  if (!group.valid()) {
+    std::printf(
+        "perf_event_open denied or unavailable — run with\n"
+        "CAP_PERFMON / perf_event_paranoid <= 2 on a host with a PMU.\n");
+    return 0;
+  }
+  group.start();
+  // A small, memory-touching busy loop to count.
+  double acc = 0.0;
+  std::vector<double> buffer(1 << 20, 1.5);
+  for (std::size_t pass = 0; pass < 8; ++pass) {
+    for (std::size_t i = 0; i < buffer.size(); i += 64) acc += buffer[i];
+  }
+  volatile double sink = acc;  // keep the loop alive
+  (void)sink;
+  group.stop();
+  if (const auto counters = group.read()) {
+    std::printf("instructions: %.3e\ncycles:       %.3e\nIPC:          %.3f\n"
+                "LLC misses:   %.3e\n",
+                counters->instructions, counters->cycles, counters->ipc(),
+                counters->mem_accesses);
+    std::printf(
+        "These are exactly the inputs the fvsst predictor consumes; on a\n"
+        "DVFS-capable host the scheduler could drive real frequencies from\n"
+        "them (paper Sec. 6's kernel support, via modern interfaces).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// phase_explorer.cpp - Interactive-style exploration of performance
+// saturation: sweep the synthetic benchmark's CPU intensity and print, for
+// each setting, the saturation curve, the epsilon-constrained frequency,
+// and the power saved by running there instead of f_max.
+//
+//   $ ./phase_explorer [intensity_pct ...]
+//
+// With no arguments a standard sweep is shown.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/scheduler.h"
+#include "mach/machine_config.h"
+#include "simkit/table.h"
+#include "simkit/time_series.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+using namespace fvsst;
+using units::MHz;
+
+int main(int argc, char** argv) {
+  std::vector<double> intensities;
+  for (int i = 1; i < argc; ++i) {
+    const double v = std::atof(argv[i]);
+    if (v >= 0.0 && v <= 100.0) intensities.push_back(v);
+  }
+  if (intensities.empty()) intensities = {100, 80, 60, 40, 20, 5};
+
+  const mach::MachineConfig machine = mach::p630();
+  const core::FrequencyScheduler sched(machine.freq_table, machine.latencies,
+                                       {});
+
+  sim::TextTable out("Synthetic benchmark: saturation and scheduling");
+  out.set_header({"intensity", "IPC@1GHz", "mem-CPI@1GHz", "f_ideal MHz",
+                  "granted MHz", "power W", "saved vs f_max"});
+  for (double c : intensities) {
+    const auto phase = workload::synthetic_phase("p", c, 1e9);
+    core::WorkloadEstimate est;
+    est.valid = true;
+    est.alpha_inv = 1.0 / phase.alpha;
+    est.mem_time_per_instr =
+        workload::mem_time_per_instruction(phase, machine.latencies);
+
+    const double f_ideal =
+        core::ideal_frequency(est, machine.freq_table.max_hz(), 0.04);
+    const auto result =
+        sched.schedule({core::ProcView{est, false}}, 1e9);
+    const auto& d = result.decisions[0];
+    out.add_row({sim::TextTable::num(c, 0) + "%",
+                 sim::TextTable::num(
+                     workload::true_ipc(phase, machine.latencies, 1e9), 3),
+                 sim::TextTable::num(est.mem_time_per_instr * 1e9, 2),
+                 sim::TextTable::num(f_ideal / MHz, 0),
+                 sim::TextTable::num(d.hz / MHz, 0),
+                 sim::TextTable::num(d.watts, 0),
+                 sim::TextTable::num(140.0 - d.watts, 0) + " W"});
+  }
+  out.print();
+  std::printf(
+      "f_ideal is the continuous ideal frequency (paper Sec. 5); granted is\n"
+      "the discrete two-pass choice — the next table setting at or above\n"
+      "f_ideal.  Power saved comes at a predicted loss below epsilon = 4%%.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// power_supply_failure.cpp - The paper's motivating scenario (Sec. 2) as a
+// full timeline: a 746 W system on two 480 W supplies loses one supply at
+// T0 and must come under the surviving capacity before the cascade window
+// DT expires; later the supply is repaired and performance returns.
+//
+//   $ ./power_supply_failure
+//
+// The run is executed twice: once with fvsst managing frequencies and once
+// with no power management, to show the cascade that fvsst prevents.
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "power/sensor.h"
+#include "power/supply.h"
+#include "simkit/table.h"
+#include "simkit/time_series.h"
+#include "simkit/units.h"
+#include "workload/mixes.h"
+
+using namespace fvsst;
+using units::GHz;
+using units::MHz;
+using units::ms;
+
+namespace {
+
+constexpr double kCascadeToleranceS = 0.100;  // the supply's DT
+
+struct Outcome {
+  bool cascaded = false;
+  double compliance_latency_s = -1.0;
+  sim::TimeSeries power{"system_W"};
+};
+
+Outcome run_scenario(bool with_fvsst) {
+  sim::Simulation sim;
+  sim::Rng rng(11);
+  const mach::MachineConfig machine = mach::p630_motivating_example();
+  cluster::Cluster system =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+
+  // The Section 5 worked example's per-processor job mixes.
+  const auto mixes = workload::section5_example_mixes(false);
+  for (std::size_t c = 0; c < 4; ++c) {
+    system.node(0).core(c).add_workload(mixes[c]);
+  }
+
+  power::PowerDomain domain({{"ps0", 480.0, true}, {"ps1", 480.0, true}});
+  power::PowerBudget budget(domain.available_capacity_w() -
+                            machine.non_cpu_power_w);
+  domain.on_capacity_change([&](double capacity_w) {
+    budget.set_limit_w(std::max(0.0, capacity_w - machine.non_cpu_power_w));
+  });
+
+  auto total_power = [&] {
+    return system.cpu_power_w() + machine.non_cpu_power_w;
+  };
+  power::CascadeMonitor monitor(sim, domain, total_power,
+                                kCascadeToleranceS, 1 * ms);
+
+  std::unique_ptr<core::FvsstDaemon> daemon;
+  if (with_fvsst) {
+    daemon = std::make_unique<core::FvsstDaemon>(
+        sim, system, machine.freq_table, budget, core::DaemonConfig{});
+  }
+
+  Outcome out;
+  out.power = sim::TimeSeries(with_fvsst ? "with_fvsst_W" : "unmanaged_W");
+  const double t_fail = 2.0, t_repair = 5.0;
+  sim.schedule_at(t_fail, [&] { domain.fail_supply(0); });
+  sim.schedule_at(t_repair, [&] { domain.restore_supply(0); });
+  sim.schedule_every(5 * ms, [&] {
+    out.power.add(sim.now(), total_power());
+    if (out.compliance_latency_s < 0.0 && sim.now() > t_fail &&
+        total_power() <= domain.available_capacity_w()) {
+      out.compliance_latency_s = sim.now() - t_fail;
+    }
+  });
+  sim.run_for(7.0);
+  out.cascaded = monitor.cascaded();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Motivating scenario (paper Sec. 2): 746 W system, two 480 W\n"
+      "supplies, supply 0 fails at t=2.0 s (cascade tolerance DT = %.0f ms),\n"
+      "repaired at t=5.0 s.\n\n",
+      kCascadeToleranceS * 1e3);
+
+  const Outcome with = run_scenario(true);
+  const Outcome without = run_scenario(false);
+
+  std::printf("System power over time:\n%s\n",
+              sim::render_ascii_chart({&with.power, &without.power}, 72, 12)
+                  .c_str());
+  std::printf("  [*] with fvsst   [o] without power management\n\n");
+
+  sim::TextTable out("Outcome");
+  out.set_header({"configuration", "cascade?", "time to comply"});
+  out.add_row({"with fvsst", with.cascaded ? "CASCADE" : "no",
+               with.compliance_latency_s >= 0
+                   ? sim::TextTable::num(with.compliance_latency_s * 1e3, 1) +
+                         " ms"
+                   : "never"});
+  out.add_row({"no management", without.cascaded ? "CASCADE" : "no",
+               without.compliance_latency_s >= 0
+                   ? sim::TextTable::num(
+                         without.compliance_latency_s * 1e3, 1) + " ms"
+                   : "never"});
+  out.print();
+
+  // Wall-power view: PSU conversion losses on top of the DC load.
+  const power::SupplyEfficiency eta;
+  const double dc = 480.0;  // post-failure DC ceiling on one supply
+  std::printf(
+      "\nWall draw at the 480 W DC ceiling on the surviving supply:\n"
+      "  %.0f W AC (efficiency %.0f%% at %.0f%% load)\n",
+      eta.wall_power_w(dc, 480.0), eta.at(dc / 480.0) * 100.0,
+      dc / 480.0 * 100.0);
+  std::printf(
+      "\nfvsst's budget trigger reschedules immediately on the capacity\n"
+      "drop, landing the system under 480 W well inside DT; without it the\n"
+      "overload persists and the second supply fails too.\n");
+  return with.cascaded ? 1 : 0;
+}

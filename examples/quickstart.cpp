@@ -1,0 +1,101 @@
+// quickstart.cpp - Minimal end-to-end fvsst example.
+//
+// Builds the paper's experimental platform (IBM P630: 4x Power4+ at 1 GHz),
+// runs the synthetic benchmark on CPU 3 with the other CPUs in their hot
+// idle loop (the paper's single-benchmark setup), starts the fvsst daemon,
+// and then drops the power budget mid-run as if a power supply had failed.
+//
+//   $ ./quickstart
+//
+// Watch for: CPU 3 settling at its saturation frequency, the idle CPUs
+// pinned at the 250 MHz floor, and the budget drop forcing a cluster-wide
+// downshift within one scheduling interval.
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "power/sensor.h"
+#include "simkit/event_queue.h"
+#include "simkit/rng.h"
+#include "simkit/table.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+using namespace fvsst;
+using units::GHz;
+using units::MHz;
+using units::ms;
+
+int main() {
+  sim::Simulation sim;
+  sim::Rng rng(42);
+
+  // The paper's machine: 4 CPUs, the 16-point frequency table of Table 1.
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster system =
+      cluster::Cluster::homogeneous(sim, machine, /*count=*/1, rng);
+
+  // Synthetic benchmark on CPU 3: alternating 100%-CPU and 20%-CPU phases.
+  workload::SyntheticParams params;
+  params.phase1 = {/*cpu_intensity_pct=*/100.0, /*instructions=*/4e8};
+  params.phase2 = {/*cpu_intensity_pct=*/20.0, /*instructions=*/1e8};
+  system.node(0).core(3).add_workload(workload::make_synthetic(params));
+
+  // Unconstrained budget to start: all four CPUs at full power fit.
+  power::PowerBudget budget(4 * 140.0);
+
+  // The fvsst daemon: t = 10 ms, T = 100 ms, epsilon = 4%.
+  core::DaemonConfig cfg;
+  cfg.t_sample_s = 10 * ms;
+  cfg.schedule_every_n_samples = 10;
+  core::FvsstDaemon daemon(sim, system, machine.freq_table, budget, cfg);
+
+  power::PowerSensor sensor(sim, [&] { return system.cpu_power_w(); },
+                            10 * ms);
+
+  sim.run_for(2.0);
+  std::printf("t=2.0s  (unconstrained, budget %.0fW)\n", budget.limit_w());
+  sim::TextTable before("Per-CPU state");
+  before.set_header({"cpu", "granted", "desired", "pred.loss", "idle"});
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto& d = daemon.last_result().decisions[c];
+    before.add_row({"cpu" + std::to_string(c),
+                    sim::TextTable::num(d.hz / MHz, 0) + " MHz",
+                    sim::TextTable::num(d.desired_hz / MHz, 0) + " MHz",
+                    sim::TextTable::pct(d.predicted_loss),
+                    system.node(0).core(c).idle() ? "yes" : "no"});
+  }
+  before.print();
+  std::printf("cluster CPU power: %.1f W (mean %.1f W)\n\n",
+              system.cpu_power_w(), sensor.mean_power_w());
+
+  // A power supply fails: only 294 W remains for the CPUs.
+  sim.schedule_at(2.5, [&] {
+    std::printf("t=2.5s  POWER SUPPLY FAILURE -> CPU budget 294 W\n");
+    budget.set_limit_w(294.0);
+  });
+
+  sim.run_for(2.0);
+  std::printf("\nt=4.0s  (constrained, budget %.0fW)\n", budget.limit_w());
+  sim::TextTable after("Per-CPU state");
+  after.set_header({"cpu", "granted", "desired", "pred.loss", "idle"});
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto& d = daemon.last_result().decisions[c];
+    after.add_row({"cpu" + std::to_string(c),
+                   sim::TextTable::num(d.hz / MHz, 0) + " MHz",
+                   sim::TextTable::num(d.desired_hz / MHz, 0) + " MHz",
+                   sim::TextTable::pct(d.predicted_loss),
+                   system.node(0).core(c).idle() ? "yes" : "no"});
+  }
+  after.print();
+  std::printf("cluster CPU power: %.1f W <= budget %.1f W : %s\n",
+              system.cpu_power_w(), budget.effective_limit_w(),
+              system.cpu_power_w() <= budget.effective_limit_w() ? "OK"
+                                                                 : "VIOLATED");
+  std::printf("schedules run: %zu, benchmark passes: %zu\n",
+              daemon.schedules_run(),
+              system.node(0).core(3).passes_completed());
+  return 0;
+}

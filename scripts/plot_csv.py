@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Plot fvsst bench CSVs (written with FVSST_CSV_DIR set).
+
+Usage:  scripts/plot_csv.py results/fig5_phase.csv [out.png]
+
+Each CSV has a time_s column followed by one column per series; this
+renders them on a shared time axis.  Requires matplotlib.
+"""
+import csv
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    path = sys.argv[1]
+    out = sys.argv[2] if len(sys.argv) > 2 else None
+    try:
+        import matplotlib
+        if out:
+            matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not installed; try: pip install matplotlib")
+        return 1
+
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    header, data = rows[0], rows[1:]
+    t = [float(r[0]) for r in data]
+    plt.figure(figsize=(9, 4))
+    for i, name in enumerate(header[1:], start=1):
+        plt.plot(t, [float(r[i]) for r in data], label=name, linewidth=1.2)
+    plt.xlabel(header[0])
+    plt.legend()
+    plt.title(path)
+    plt.tight_layout()
+    if out:
+        plt.savefig(out, dpi=150)
+        print(f"wrote {out}")
+    else:
+        plt.show()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure and all ablations, teeing the output
+# and (optionally) dumping plottable CSVs.
+#
+#   scripts/run_experiments.sh [output_dir]
+set -euo pipefail
+OUT="${1:-results}"
+mkdir -p "$OUT"
+export FVSST_CSV_DIR="$OUT"
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure | tee "$OUT/test_output.txt"
+: > "$OUT/bench_output.txt"
+for b in build/bench/bench_*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "== $(basename "$b") ==" | tee -a "$OUT/bench_output.txt"
+  "$b" | tee -a "$OUT/bench_output.txt"
+done
+echo "Results in $OUT/"

@@ -1,0 +1,90 @@
+#include "baselines/governor_daemon.h"
+
+#include <algorithm>
+
+namespace fvsst::baselines {
+
+std::string governor_name(GovernorPolicy policy) {
+  switch (policy) {
+    case GovernorPolicy::kPerformance: return "performance";
+    case GovernorPolicy::kPowersave: return "powersave";
+    case GovernorPolicy::kOndemand: return "ondemand";
+    case GovernorPolicy::kConservative: return "conservative";
+  }
+  return "?";
+}
+
+GovernorDaemon::GovernorDaemon(sim::Simulation& sim,
+                               cluster::Cluster& cluster,
+                               const mach::FrequencyTable& table,
+                               Config config)
+    : sim_(sim),
+      cluster_(cluster),
+      table_(table),
+      config_(config),
+      procs_(cluster.all_procs()) {
+  last_.resize(procs_.size());
+  util_.assign(procs_.size(), 1.0);
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    last_[i] = cluster_.core(procs_[i]).read_counters();
+    traces_.emplace_back("gov_hz_cpu" + std::to_string(i));
+    proc_tables_.push_back(
+        &cluster_.node(procs_[i].node).machine().freq_table);
+  }
+  event_ = sim_.schedule_every(config_.period_s, [this] { tick(); });
+}
+
+GovernorDaemon::~GovernorDaemon() {
+  sim_.cancel(event_);
+}
+
+double GovernorDaemon::decide_hz(const mach::FrequencyTable& table,
+                                 double util, double current_hz) const {
+  switch (config_.policy) {
+    case GovernorPolicy::kPerformance:
+      return table.max_hz();
+    case GovernorPolicy::kPowersave:
+      return table.min_hz();
+    case GovernorPolicy::kOndemand: {
+      // Classic ondemand: saturate to f_max above the threshold, else run
+      // proportional to load (snapped up to an available setting).
+      if (util >= config_.up_threshold) return table.max_hz();
+      const double target = table.max_hz() * util / config_.up_threshold;
+      return table.ceil_point(std::max(target, table.min_hz())).hz;
+    }
+    case GovernorPolicy::kConservative: {
+      if (util >= config_.up_threshold) {
+        const auto higher = table.next_higher(current_hz);
+        return higher ? higher->hz : current_hz;
+      }
+      if (util <= config_.down_threshold) {
+        const auto lower = table.next_lower(current_hz);
+        return lower ? lower->hz : current_hz;
+      }
+      return current_hz;
+    }
+  }
+  return current_hz;
+}
+
+void GovernorDaemon::tick() {
+  ++evaluations_;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    auto& core = cluster_.core(procs_[i]);
+    const cpu::PerfCounters now = core.read_counters();
+    const cpu::PerfCounters delta = now - last_[i];
+    last_[i] = now;
+    // Non-halted fraction: the "simple metric" of LongRun/DBS.  Hot idle
+    // produces zero halted cycles, so this reads 1.0 — deliberately.
+    const double util =
+        delta.cycles > 0.0
+            ? 1.0 - std::clamp(delta.halted_cycles / delta.cycles, 0.0, 1.0)
+            : util_[i];
+    util_[i] = util;
+    const double hz = decide_hz(*proc_tables_[i], util, core.frequency_hz());
+    if (hz != core.frequency_hz()) core.set_frequency(hz);
+    if (config_.record_traces) traces_[i].add(sim_.now(), hz);
+  }
+}
+
+}  // namespace fvsst::baselines

@@ -1,0 +1,86 @@
+// governor_daemon.h - Classic utilisation-driven frequency governors.
+//
+// Transmeta's LongRun and Intel's Demand Based Switching — the mechanisms
+// the paper positions fvsst against — "respond to changes in demand ...
+// using a very simple model": frequency follows CPU utilisation, read from
+// non-halted-cycle style counters, with no knowledge of memory behaviour
+// or power budgets.  GovernorDaemon runs those policies live in the
+// simulation so benches can compare their dynamic behaviour with fvsst's:
+//
+//   kPerformance   always f_max
+//   kPowersave     always f_min
+//   kOndemand      jump to f_max above an up-threshold, else proportional
+//                  to utilisation (Linux's classic ondemand)
+//   kConservative  step one setting up/down on threshold crossings
+//
+// Utilisation is measured as the non-halted cycle fraction.  On hot-idle
+// processors (the Power4+) that reads 1.0 even when idle, so these
+// governors pin idle machines at f_max — the paper's core critique.  On
+// memory-stalled work it also reads 1.0, so they never exploit
+// performance saturation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cpu/perf_counters.h"
+#include "simkit/event_queue.h"
+#include "simkit/time_series.h"
+
+namespace fvsst::baselines {
+
+enum class GovernorPolicy { kPerformance, kPowersave, kOndemand, kConservative };
+
+/// Returns the policy's cpufreq-style name.
+std::string governor_name(GovernorPolicy policy);
+
+/// Per-CPU utilisation-driven governor daemon.
+class GovernorDaemon {
+ public:
+  struct Config {
+    GovernorPolicy policy = GovernorPolicy::kOndemand;
+    double period_s = 0.010;      ///< Linux default sampling rate scale.
+    double up_threshold = 0.80;   ///< ondemand/conservative step-up point.
+    double down_threshold = 0.30; ///< conservative step-down point.
+    bool record_traces = false;
+  };
+
+  /// `table` is the default operating-point set; on heterogeneous
+  /// clusters each processor is governed within its own node's table.
+  GovernorDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
+                 const mach::FrequencyTable& table, Config config);
+  ~GovernorDaemon();
+
+  GovernorDaemon(const GovernorDaemon&) = delete;
+  GovernorDaemon& operator=(const GovernorDaemon&) = delete;
+
+  /// Most recent per-CPU utilisation readings (non-halted fraction).
+  double utilization(std::size_t cpu) const { return util_.at(cpu); }
+
+  const sim::TimeSeries& freq_trace(std::size_t cpu) const {
+    return traces_.at(cpu);
+  }
+
+  std::size_t evaluations() const { return evaluations_; }
+
+ private:
+  void tick();
+  double decide_hz(const mach::FrequencyTable& table, double util,
+                   double current_hz) const;
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  const mach::FrequencyTable& table_;
+  Config config_;
+  std::vector<cluster::ProcAddress> procs_;
+  std::vector<const mach::FrequencyTable*> proc_tables_;
+  std::vector<cpu::PerfCounters> last_;
+  std::vector<double> util_;
+  std::vector<sim::TimeSeries> traces_;
+  sim::EventId event_ = 0;
+  std::size_t evaluations_ = 0;
+};
+
+}  // namespace fvsst::baselines

@@ -1,0 +1,162 @@
+// policies.h - Comparator power-management policies.
+//
+// The paper motivates fvsst against the practical alternatives for meeting
+// a shrinking power budget: "powering down some nodes or slowing all nodes
+// in a system uniformly", plus the utilisation-driven scaling of
+// Transmeta's LongRun and Intel's Demand Based Switching, which "rely on
+// simple metrics like the number of non-halted cycles" and ignore memory
+// behaviour.  Each policy here maps per-processor samples to frequency
+// assignments so the benches can compare them on identical workloads.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "core/scheduler.h"
+#include "mach/frequency_table.h"
+#include "workload/phase.h"
+
+namespace fvsst::baselines {
+
+/// Per-processor input to a policy.
+struct ProcSample {
+  core::WorkloadEstimate estimate;  ///< Workload model (oracle or measured).
+  bool idle = false;                ///< True idle state (OS knowledge).
+  /// Utilisation as a naive non-halted-cycle monitor reports it.  On
+  /// hot-idle hardware like the Power4+ this reads 1.0 even when idle —
+  /// exactly why the paper says such metrics mislead.
+  double naive_utilization = 1.0;
+};
+
+/// Per-processor outcome.
+struct Assignment {
+  double hz = 0.0;         ///< Assigned frequency (a table setting).
+  bool powered_on = true;  ///< False: processor/node switched off (0 W).
+};
+
+/// Interface for all policies.
+class Policy {
+ public:
+  virtual ~Policy() = default;
+  virtual std::string name() const = 0;
+  /// Chooses assignments under an aggregate CPU power budget (watts).
+  virtual std::vector<Assignment> decide(const std::vector<ProcSample>& procs,
+                                         const mach::FrequencyTable& table,
+                                         double budget_w) const = 0;
+};
+
+/// No power management: everything at f_max regardless of budget.  Under a
+/// reduced budget this policy rides straight into a cascade failure.
+class MaxFrequencyPolicy final : public Policy {
+ public:
+  std::string name() const override { return "no-dvfs"; }
+  std::vector<Assignment> decide(const std::vector<ProcSample>&,
+                                 const mach::FrequencyTable&,
+                                 double) const override;
+};
+
+/// Uniform scaling: every processor runs at the highest common frequency
+/// whose aggregate power fits the budget.
+class UniformScalingPolicy final : public Policy {
+ public:
+  std::string name() const override { return "uniform"; }
+  std::vector<Assignment> decide(const std::vector<ProcSample>&,
+                                 const mach::FrequencyTable&,
+                                 double budget_w) const override;
+};
+
+/// Node power-down: keep processors at f_max but switch processors off
+/// (idle ones first, then the lowest-demand ones) until the rest fit.
+class PowerDownPolicy final : public Policy {
+ public:
+  std::string name() const override { return "power-down"; }
+  std::vector<Assignment> decide(const std::vector<ProcSample>&,
+                                 const mach::FrequencyTable&,
+                                 double budget_w) const override;
+};
+
+/// Work consolidation: the "schedule work, not frequencies" alternative
+/// the paper's introduction weighs.  Migrates all jobs onto the fewest
+/// processors that fit the budget at f_max (each processor can absorb one
+/// extra job time-sliced), powers the rest off.  Requires the work
+/// migration the paper notes is "difficult or impossible" in clusters;
+/// included to quantify what fvsst gives up by not migrating.
+class ConsolidationPolicy final : public Policy {
+ public:
+  std::string name() const override { return "consolidate"; }
+  std::vector<Assignment> decide(const std::vector<ProcSample>&,
+                                 const mach::FrequencyTable&,
+                                 double budget_w) const override;
+
+  /// Consolidation changes which processor runs what, so evaluation
+  /// differs: total performance is preserved workloads time-shared on the
+  /// surviving processors.  Returns aggregate performance when `jobs`
+  /// real workloads are packed onto `hosts` processors at `hz`.
+  static double consolidated_performance(
+      const std::vector<workload::Phase>& jobs,
+      const std::vector<bool>& idle, std::size_t hosts, double hz,
+      const mach::MemoryLatencies& lat);
+};
+
+/// Utilisation-driven scaling in the style of LongRun / Demand Based
+/// Switching: frequency proportional to naive utilisation, snapped up to a
+/// table setting.  Knows nothing about memory behaviour or budgets; the
+/// optional uniform cap bolts budget compliance on top so it can be
+/// compared under constraint.
+class DemandBasedSwitchingPolicy final : public Policy {
+ public:
+  explicit DemandBasedSwitchingPolicy(bool budget_capped = true)
+      : budget_capped_(budget_capped) {}
+  std::string name() const override {
+    return budget_capped_ ? "dbs-capped" : "dbs";
+  }
+  std::vector<Assignment> decide(const std::vector<ProcSample>&,
+                                 const mach::FrequencyTable&,
+                                 double budget_w) const override;
+
+ private:
+  bool budget_capped_;
+};
+
+/// fvsst's scheduler wrapped as a Policy for apples-to-apples comparison.
+class FvsstPolicy final : public Policy {
+ public:
+  explicit FvsstPolicy(core::FrequencyScheduler::Options options = {})
+      : options_(options) {}
+  std::string name() const override { return "fvsst"; }
+  std::vector<Assignment> decide(const std::vector<ProcSample>&,
+                                 const mach::FrequencyTable&,
+                                 double budget_w) const override;
+
+ private:
+  core::FrequencyScheduler::Options options_;
+};
+
+/// Builds an oracle estimate straight from a phase's ground truth, so
+/// policies can be compared free of measurement noise.
+core::WorkloadEstimate oracle_estimate(const workload::Phase& phase,
+                                       const mach::MemoryLatencies& lat);
+
+/// Outcome of evaluating a set of assignments against ground truth.
+struct Evaluation {
+  double total_performance = 0.0;  ///< Sum of instructions/second.
+  double total_power_w = 0.0;      ///< Aggregate CPU power.
+  double worst_proc_loss = 0.0;    ///< Max per-proc loss vs f_max.
+  bool within_budget = true;
+  std::vector<double> per_proc_performance;
+};
+
+/// Scores assignments on the true phases (idle processors contribute no
+/// performance but full power when on).
+Evaluation evaluate(const std::vector<Assignment>& assignments,
+                    const std::vector<workload::Phase>& truth,
+                    const std::vector<bool>& idle,
+                    const mach::MemoryLatencies& lat,
+                    const mach::FrequencyTable& table, double budget_w);
+
+/// All standard policies, fvsst last.
+std::vector<std::unique_ptr<Policy>> standard_policies();
+
+}  // namespace fvsst::baselines

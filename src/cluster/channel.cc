@@ -1,0 +1,36 @@
+#include "cluster/channel.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace fvsst::cluster {
+
+Channel::Channel(sim::Simulation& sim, double latency_s, double jitter_s,
+                 sim::Rng rng)
+    : sim_(sim), latency_s_(latency_s), jitter_s_(jitter_s), rng_(rng) {
+  if (latency_s < 0.0 || jitter_s < 0.0) {
+    throw std::invalid_argument("Channel: negative latency/jitter");
+  }
+}
+
+void Channel::set_loss_probability(double p) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("Channel: loss probability in [0, 1)");
+  }
+  loss_probability_ = p;
+}
+
+void Channel::send(std::function<void()> handler) {
+  if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
+    ++dropped_;
+    return;
+  }
+  const double delay =
+      latency_s_ + (jitter_s_ > 0.0 ? rng_.uniform(0.0, jitter_s_) : 0.0);
+  sim_.schedule_after(delay, [this, h = std::move(handler)] {
+    ++delivered_;
+    h();
+  });
+}
+
+}  // namespace fvsst::cluster

@@ -1,0 +1,58 @@
+// channel.h - Latency-modelled messaging between node agents and the
+// global scheduler.
+//
+// In the cluster deployment the paper envisions, per-node agents ship
+// counter summaries to a global scheduler and receive frequency settings
+// back; the scheduling interval T is chosen large "to help stabilize the
+// scheduler and amortize the overhead of ... the inter-processor
+// communication required".  Channel models that communication as a fixed
+// one-way latency plus optional jitter, so the response-time experiments
+// can measure time-to-compliance against the supply's cascade deadline.
+#pragma once
+
+#include <functional>
+
+#include "simkit/event_queue.h"
+#include "simkit/rng.h"
+
+namespace fvsst::cluster {
+
+/// One-way message channel with latency, jitter and loss.
+class Channel {
+ public:
+  /// `latency_s` is the mean one-way delay; `jitter_s` adds a uniform
+  /// [0, jitter_s) component per message.
+  Channel(sim::Simulation& sim, double latency_s, double jitter_s = 0.0,
+          sim::Rng rng = sim::Rng(0x7a3d));
+
+  /// Delivers `handler` after the channel delay.  The payload is carried
+  /// inside the closure; this keeps the channel type-agnostic.  Lost
+  /// messages (see set_loss_probability) are silently dropped, as on a
+  /// real unreliable datagram path.
+  void send(std::function<void()> handler);
+
+  /// Fraction of messages dropped, in [0, 1).  The periodic scheduling
+  /// rounds make the cluster protocol naturally loss-tolerant; tests and
+  /// the robustness ablation exercise that.
+  void set_loss_probability(double p);
+  double loss_probability() const { return loss_probability_; }
+
+  double latency_s() const { return latency_s_; }
+
+  /// Messages delivered so far.
+  std::size_t delivered() const { return delivered_; }
+
+  /// Messages dropped so far.
+  std::size_t dropped() const { return dropped_; }
+
+ private:
+  sim::Simulation& sim_;
+  double latency_s_;
+  double jitter_s_;
+  double loss_probability_ = 0.0;
+  sim::Rng rng_;
+  std::size_t delivered_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace fvsst::cluster

@@ -1,0 +1,65 @@
+// cluster.h - A collection of nodes under one global power budget.
+//
+// The paper's power limit "is a global one" spanning every processor of
+// every node.  Cluster flattens (node, cpu) pairs for the scheduler and
+// aggregates power for the sensors and the cascade monitor.  A single SMP
+// server is simply a one-node cluster.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/node.h"
+
+namespace fvsst::cluster {
+
+/// Addressing a processor within the cluster.
+struct ProcAddress {
+  std::size_t node = 0;
+  std::size_t cpu = 0;
+};
+
+/// A set of nodes treated as one scheduling domain.
+class Cluster {
+ public:
+  explicit Cluster(std::vector<std::unique_ptr<Node>> nodes);
+
+  /// Builds `count` identical nodes from one machine description.
+  static Cluster homogeneous(sim::Simulation& sim, const mach::MachineConfig&,
+                             std::size_t count, sim::Rng& rng,
+                             const Node::Options& opts = NodeOptions());
+
+  /// Builds one node per machine description (mixed generations, derated
+  /// bins — the heterogeneous case of paper Sec. 5).
+  static Cluster heterogeneous(sim::Simulation& sim,
+                               const std::vector<mach::MachineConfig>& configs,
+                               sim::Rng& rng,
+                               const Node::Options& opts = NodeOptions());
+
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_.at(i); }
+  const Node& node(std::size_t i) const { return *nodes_.at(i); }
+
+  /// Total number of processors across nodes.
+  std::size_t cpu_count() const;
+
+  /// Flattened processor addresses in (node-major) order.
+  std::vector<ProcAddress> all_procs() const;
+
+  cpu::Core& core(const ProcAddress& addr) {
+    return nodes_.at(addr.node)->core(addr.cpu);
+  }
+
+  /// Aggregate CPU power of the whole cluster (the quantity the paper's
+  /// budget constrains).
+  double cpu_power_w() const;
+
+  /// CPU power plus every node's non-CPU overhead.
+  double total_power_w() const;
+
+ private:
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace fvsst::cluster

@@ -1,0 +1,109 @@
+#include "cluster/job_manager.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fvsst::cluster {
+
+JobManager::JobManager(sim::Simulation& sim, Cluster& cluster,
+                       PlacementPolicy policy)
+    : sim_(sim), cluster_(cluster), policy_(policy),
+      procs_(cluster.all_procs()) {}
+
+std::vector<std::size_t> JobManager::load_vector() {
+  refresh();
+  std::vector<std::size_t> load(procs_.size(), 0);
+  for (const auto& job : jobs_) {
+    if (job.finished_at >= 0.0) continue;
+    for (std::size_t p = 0; p < procs_.size(); ++p) {
+      if (procs_[p].node == job.placed_on.node &&
+          procs_[p].cpu == job.placed_on.cpu) {
+        ++load[p];
+        break;
+      }
+    }
+  }
+  return load;
+}
+
+ProcAddress JobManager::place() {
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin: {
+      const ProcAddress addr = procs_[rr_next_];
+      rr_next_ = (rr_next_ + 1) % procs_.size();
+      return addr;
+    }
+    case PlacementPolicy::kLeastLoaded: {
+      const auto load = load_vector();
+      const std::size_t best = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      return procs_[best];
+    }
+    case PlacementPolicy::kPackFirstFit: {
+      // Consolidating placement: fill the lowest-index processor up to a
+      // small multiprogramming level before spilling to the next — the
+      // assignment style that leaves whole processors idle for power
+      // management to harvest.
+      constexpr std::size_t kJobsPerProc = 2;
+      const auto load = load_vector();
+      for (std::size_t p = 0; p < procs_.size(); ++p) {
+        if (load[p] < kJobsPerProc) return procs_[p];
+      }
+      const std::size_t best = static_cast<std::size_t>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      return procs_[best];
+    }
+  }
+  throw std::logic_error("JobManager: unknown policy");
+}
+
+std::size_t JobManager::submit(const workload::WorkloadSpec& spec) {
+  if (spec.loop) {
+    throw std::invalid_argument("JobManager: batch jobs must be finite");
+  }
+  JobRecord record;
+  record.name = spec.name;
+  record.placed_on = place();
+  record.submitted_at = sim_.now();
+  record.job_index = cluster_.core(record.placed_on).add_workload(spec);
+  jobs_.push_back(record);
+  return jobs_.size() - 1;
+}
+
+void JobManager::submit_at(double when, workload::WorkloadSpec spec) {
+  sim_.schedule_at(when,
+                   [this, spec = std::move(spec)] { submit(spec); });
+}
+
+void JobManager::refresh() {
+  for (auto& job : jobs_) {
+    if (job.finished_at >= 0.0) continue;
+    const double finish =
+        cluster_.core(job.placed_on).job_finish_time(job.job_index);
+    if (finish >= 0.0) {
+      job.finished_at = finish;
+      turnaround_.add(finish - job.submitted_at);
+    }
+  }
+}
+
+const JobManager::JobRecord& JobManager::job(std::size_t id) {
+  refresh();
+  return jobs_.at(id);
+}
+
+std::size_t JobManager::completed() {
+  refresh();
+  std::size_t done = 0;
+  for (const auto& job : jobs_) {
+    if (job.finished_at >= 0.0) ++done;
+  }
+  return done;
+}
+
+const sim::SampleSet& JobManager::turnaround_times() {
+  refresh();
+  return turnaround_;
+}
+
+}  // namespace fvsst::cluster

@@ -1,0 +1,80 @@
+// job_manager.h - Batch job submission and placement.
+//
+// The paper deliberately leaves work placement to "the operating system or
+// cluster management software" and only schedules frequencies underneath
+// it (Sec. 5: "there is nothing in the frequency and voltage scheduler
+// that attempts to balance the system").  JobManager is that management
+// software: a batch queue that places submitted jobs on processors
+// according to a pluggable policy and tracks their lifetimes, so benches
+// can study how placement quality interacts with frequency scheduling.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "simkit/event_queue.h"
+#include "simkit/stats.h"
+#include "workload/phase.h"
+
+namespace fvsst::cluster {
+
+/// Placement policies for arriving jobs.
+enum class PlacementPolicy {
+  kRoundRobin,     ///< Cycle through processors.
+  kLeastLoaded,    ///< Fewest unfinished jobs (ties: lowest index).
+  kPackFirstFit,   ///< Fill processor 0 first, then 1, ... (consolidating).
+};
+
+/// Batch-queue manager over a cluster.
+class JobManager {
+ public:
+  struct JobRecord {
+    std::string name;
+    ProcAddress placed_on;
+    std::size_t job_index = 0;   ///< Index within the core's run queue.
+    double submitted_at = 0.0;
+    double finished_at = -1.0;   ///< Negative while running.
+  };
+
+  JobManager(sim::Simulation& sim, Cluster& cluster,
+             PlacementPolicy policy = PlacementPolicy::kLeastLoaded);
+
+  /// Places a job now.  Returns its JobManager id.
+  std::size_t submit(const workload::WorkloadSpec& spec);
+
+  /// Schedules a job submission at absolute time `when`.
+  void submit_at(double when, workload::WorkloadSpec spec);
+
+  /// Refreshes completion states; returns the record.
+  const JobRecord& job(std::size_t id);
+
+  std::size_t submitted() const { return jobs_.size(); }
+  std::size_t completed();
+
+  /// Turnaround times (submit to finish) of completed jobs.
+  const sim::SampleSet& turnaround_times();
+
+  /// Unfinished-job count per flattened processor (the load the
+  /// kLeastLoaded policy balances).
+  std::vector<std::size_t> load_vector();
+
+  PlacementPolicy policy() const { return policy_; }
+
+ private:
+  ProcAddress place();
+  void refresh();
+
+  sim::Simulation& sim_;
+  Cluster& cluster_;
+  PlacementPolicy policy_;
+  std::vector<ProcAddress> procs_;
+  std::size_t rr_next_ = 0;
+  std::vector<JobRecord> jobs_;
+  sim::SampleSet turnaround_;
+};
+
+}  // namespace fvsst::cluster

@@ -1,0 +1,152 @@
+#include "cluster/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fvsst::cluster {
+
+LoadGenerator::LoadGenerator(sim::Simulation& sim, Cluster& cluster,
+                             std::vector<ProcAddress> targets,
+                             Options options, sim::Rng rng)
+    : sim_(sim),
+      cluster_(cluster),
+      targets_(std::move(targets)),
+      options_(std::move(options)),
+      rng_(rng) {
+  if (targets_.empty()) {
+    throw std::invalid_argument("LoadGenerator: no target CPUs");
+  }
+  if (options_.request.phases.empty()) {
+    throw std::invalid_argument("LoadGenerator: empty request template");
+  }
+  if (options_.base_rate_hz <= 0.0) {
+    throw std::invalid_argument("LoadGenerator: rate must be positive");
+  }
+  options_.request.loop = false;  // requests are finite by definition
+  if (options_.closed_users > 0) {
+    if (options_.think_time_s <= 0.0) {
+      throw std::invalid_argument("LoadGenerator: think time must be > 0");
+    }
+    for (std::size_t u = 0; u < options_.closed_users; ++u) {
+      // Stagger the first submissions across one think time.
+      sim_.schedule_after(rng_.exponential(1.0 / options_.think_time_s),
+                          [this, alive = alive_] {
+                            if (*alive) start_user_cycle();
+                          });
+    }
+  } else {
+    schedule_next();
+  }
+}
+
+void LoadGenerator::start_user_cycle() {
+  const std::size_t index = dispatch_one();
+  watch_user_completion(index);
+}
+
+void LoadGenerator::watch_user_completion(std::size_t arrival_index) {
+  // Poll cheaply for this request's completion, then think and resubmit.
+  sim_.schedule_after(1e-3, [this, arrival_index, alive = alive_] {
+    if (!*alive) return;
+    const auto& a = arrivals_[arrival_index];
+    if (cluster_.core(a.target).job_finish_time(a.job_index) >= 0.0) {
+      sim_.schedule_after(rng_.exponential(1.0 / options_.think_time_s),
+                          [this, alive] {
+                            if (*alive) start_user_cycle();
+                          });
+    } else {
+      watch_user_completion(arrival_index);
+    }
+  });
+}
+
+LoadGenerator::~LoadGenerator() {
+  *alive_ = false;
+  sim_.cancel(pending_event_);
+  if (batch_timeout_event_ != 0) sim_.cancel(batch_timeout_event_);
+}
+
+void LoadGenerator::schedule_next() {
+  // Thinning-free approximation: draw the gap from the *current* rate.
+  // Adequate for modulations that vary slowly relative to the gap.
+  const double mod =
+      options_.modulation ? options_.modulation(sim_.now()) : 1.0;
+  const double rate = std::max(options_.base_rate_hz * mod, 1e-6);
+  const double gap = rng_.exponential(rate);
+  pending_event_ = sim_.schedule_after(gap, [this] {
+    on_arrival();
+    schedule_next();
+  });
+}
+
+void LoadGenerator::on_arrival() {
+  if (options_.batch_size <= 1) {
+    held_arrival_times_.push_back(sim_.now());
+    flush_batch();
+    return;
+  }
+  held_arrival_times_.push_back(sim_.now());
+  if (held_arrival_times_.size() == 1) {
+    batch_timeout_event_ = sim_.schedule_after(options_.batch_timeout_s,
+                                               [this] { flush_batch(); });
+  }
+  if (held_arrival_times_.size() >= options_.batch_size) {
+    sim_.cancel(batch_timeout_event_);
+    batch_timeout_event_ = 0;
+    flush_batch();
+  }
+}
+
+void LoadGenerator::flush_batch() {
+  if (held_arrival_times_.empty()) return;
+  ++batches_;
+  for (const double at : held_arrival_times_) {
+    dispatch_one();
+    arrivals_.back().at_s = at;  // latency counts from true arrival
+  }
+  held_arrival_times_.clear();
+  batch_timeout_event_ = 0;
+}
+
+std::size_t LoadGenerator::dispatch_one() {
+  const std::size_t ordinal = arrivals_.size();
+  const std::size_t slot = options_.placement
+                               ? options_.placement(ordinal) % targets_.size()
+                               : ordinal % targets_.size();
+  Arrival arrival;
+  arrival.target = targets_[slot];
+  arrival.at_s = sim_.now();
+  arrival.job_index =
+      cluster_.core(arrival.target).add_workload(options_.request);
+  arrivals_.push_back(arrival);
+  return arrivals_.size() - 1;
+}
+
+void LoadGenerator::harvest() {
+  for (auto& a : arrivals_) {
+    if (a.harvested) continue;
+    const double finish = cluster_.core(a.target).job_finish_time(a.job_index);
+    if (finish >= 0.0) {
+      a.harvested = true;
+      ++completed_;
+      response_times_.add(finish - a.at_s);
+    }
+  }
+}
+
+const sim::SampleSet& LoadGenerator::response_times() {
+  harvest();
+  return response_times_;
+}
+
+std::function<double(double)> diurnal_modulation(double low, double high,
+                                                 double period_s) {
+  return [low, high, period_s](double t) {
+    const double phase = 2.0 * M_PI * t / period_s;
+    // Trough at t = 0, peak at half period.
+    return low + (high - low) * 0.5 * (1.0 - std::cos(phase));
+  };
+}
+
+}  // namespace fvsst::cluster

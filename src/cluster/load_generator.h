@@ -1,0 +1,119 @@
+// load_generator.h - Open-loop request load for server experiments.
+//
+// The paper's domain is "server farm and cluster sites"; its related work
+// (Elnozahy et al.) manages web-server power against fluctuating demand.
+// LoadGenerator produces that demand: requests arrive as a Poisson process
+// whose rate can be modulated over time (diurnal load), each request is a
+// finite job executed by a core, and per-request response times (queueing
+// + service) are collected — so benches can study the latency cost of a
+// power cap under each scheduling policy.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "simkit/event_queue.h"
+#include "simkit/rng.h"
+#include "simkit/stats.h"
+#include "workload/phase.h"
+
+namespace fvsst::cluster {
+
+/// Poisson request generator with pluggable rate and placement.
+class LoadGenerator {
+ public:
+  struct Options {
+    /// Request template: executed once per arrival (loop flag is ignored).
+    workload::WorkloadSpec request;
+    /// Mean arrivals per second at modulation 1.0.
+    double base_rate_hz = 100.0;
+    /// Rate modulation over time (e.g. a diurnal curve); default constant 1.
+    std::function<double(double t)> modulation;
+    /// Placement: index of the target CPU among `targets`; default
+    /// round-robin.  Receives the arrival ordinal.
+    std::function<std::size_t(std::size_t arrival)> placement;
+    /// Request batching (Elnozahy et al., the paper's related work):
+    /// arrivals are held and dispatched together once `batch_size`
+    /// accumulate or `batch_timeout_s` elapses since the first held
+    /// request.  Lets processors idle in longer stretches during low
+    /// demand, at a bounded latency cost.  batch_size <= 1 disables.
+    std::size_t batch_size = 1;
+    double batch_timeout_s = 0.010;
+    /// Closed-loop mode: instead of an open Poisson stream, a fixed
+    /// population of `closed_users` virtual users each submits a request,
+    /// waits for its completion, thinks for an exponential time with mean
+    /// `think_time_s`, and repeats.  0 keeps the open-loop behaviour.
+    /// Closed loops self-throttle under slow service — the realistic model
+    /// for interactive clients.  base_rate_hz/modulation are ignored.
+    std::size_t closed_users = 0;
+    double think_time_s = 0.1;
+  };
+
+  /// Requests are dispatched onto `targets` (addresses into `cluster`).
+  LoadGenerator(sim::Simulation& sim, Cluster& cluster,
+                std::vector<ProcAddress> targets, Options options,
+                sim::Rng rng = sim::Rng(0x10ad));
+  ~LoadGenerator();
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  /// Requests dispatched so far.
+  std::size_t arrivals() const { return arrivals_.size(); }
+
+  /// Requests completed so far (harvests outstanding completions first).
+  std::size_t completions() {
+    harvest();
+    return completed_;
+  }
+
+  /// Response times (arrival to completion, seconds) of completed
+  /// requests.  Call after the run; harvests outstanding completions.
+  const sim::SampleSet& response_times();
+
+  /// Batches flushed so far (equals arrivals when batching is disabled).
+  std::size_t batches_dispatched() const { return batches_; }
+
+ private:
+  struct Arrival {
+    ProcAddress target;
+    std::size_t job_index = 0;
+    double at_s = 0.0;
+    bool harvested = false;
+  };
+
+  void schedule_next();
+  void on_arrival();
+  std::size_t dispatch_one();
+  void flush_batch();
+  void harvest();
+  void start_user_cycle();
+  void watch_user_completion(std::size_t arrival_index);
+
+  sim::Simulation& sim_;
+  Cluster& cluster_;
+  std::vector<ProcAddress> targets_;
+  Options options_;
+  sim::Rng rng_;
+  sim::EventId pending_event_ = 0;
+  /// Closed-loop callbacks are one-shot chains that can outlive the
+  /// generator in the event queue; they check this token and become
+  /// no-ops once the generator is destroyed.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  std::vector<Arrival> arrivals_;
+  std::size_t completed_ = 0;
+  sim::SampleSet response_times_;
+  std::vector<double> held_arrival_times_;  ///< The batch being formed.
+  sim::EventId batch_timeout_event_ = 0;
+  std::size_t batches_ = 0;
+};
+
+/// A diurnal modulation curve: sinusoid between `low` and `high` with the
+/// given period (default 24 "hours" compressed into `period_s`).
+std::function<double(double)> diurnal_modulation(double low, double high,
+                                                 double period_s);
+
+}  // namespace fvsst::cluster

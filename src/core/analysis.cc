@@ -1,0 +1,61 @@
+#include "core/analysis.h"
+
+#include <algorithm>
+
+namespace fvsst::core {
+
+sim::CategoryHistogram residency(const sim::TimeSeries& trace, double t_end) {
+  sim::CategoryHistogram hist;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    const double seg_end = std::min(trace[i].t, t_end);
+    const double dt = seg_end - trace[i - 1].t;
+    if (dt > 0.0) hist.add(trace[i - 1].value, dt);
+  }
+  // The final (open) segment up to t_end.
+  if (!trace.empty() && t_end > trace[trace.size() - 1].t) {
+    hist.add(trace[trace.size() - 1].value,
+             t_end - trace[trace.size() - 1].t);
+  }
+  return hist;
+}
+
+double mean_excluding(const sim::TimeSeries& samples,
+                      const std::vector<TimeWindow>& excluded) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples.samples()) {
+    bool drop = false;
+    for (const auto& w : excluded) {
+      if (s.t >= w.begin && s.t < w.end) {
+        drop = true;
+        break;
+      }
+    }
+    if (!drop) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double mean_within(const sim::TimeSeries& samples, const TimeWindow& window) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples.samples()) {
+    if (s.t >= window.begin && s.t < window.end) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+sim::TimeSeries normalised(const sim::TimeSeries& in, double scale,
+                           const std::string& name) {
+  sim::TimeSeries out(name);
+  for (const auto& s : in.samples()) out.add(s.t, s.value / scale);
+  return out;
+}
+
+}  // namespace fvsst::core

@@ -1,0 +1,42 @@
+// analysis.h - Post-processing helpers for scheduler logs.
+//
+// The paper's figures were produced by post-processing the fvsst
+// prototype's logs; these helpers are that post-processing as a library:
+// frequency residency (paper Fig. 8), time-windowed prediction accuracy
+// (Table 2's CPU3* exclusion of init/termination phases), and trace
+// normalisation for overlay charts (Fig. 5).
+#pragma once
+
+#include <vector>
+
+#include "simkit/stats.h"
+#include "simkit/time_series.h"
+
+namespace fvsst::core {
+
+/// Time-weighted share of each distinct value of a piecewise-constant
+/// trace over [trace start, t_end] — e.g. "% of time at each frequency"
+/// from a granted-frequency trace.  Values after t_end are ignored.
+sim::CategoryHistogram residency(const sim::TimeSeries& trace, double t_end);
+
+/// A half-open time window [begin, end).
+struct TimeWindow {
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// Mean of a sampled series with every sample inside any of `excluded`
+/// dropped — Table 2's CPU3* metric with init/exit windows excluded.
+/// Returns 0 when nothing survives the filter.
+double mean_excluding(const sim::TimeSeries& samples,
+                      const std::vector<TimeWindow>& excluded);
+
+/// Mean of samples strictly inside [begin, end).
+double mean_within(const sim::TimeSeries& samples, const TimeWindow& window);
+
+/// Rescales a series by 1/scale (for overlaying traces with different
+/// units on one chart, as the paper's Fig. 5 does).
+sim::TimeSeries normalised(const sim::TimeSeries& in, double scale,
+                           const std::string& name);
+
+}  // namespace fvsst::core

@@ -1,0 +1,166 @@
+#include "core/cluster_daemon.h"
+
+#include "simkit/log.h"
+
+namespace fvsst::core {
+
+ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
+                             const mach::FrequencyTable& table,
+                             power::PowerBudget& budget,
+                             ClusterDaemonConfig config)
+    : sim_(sim),
+      cluster_(cluster),
+      budget_(budget),
+      config_(config),
+      scheduler_(table, cluster.node(0).machine().latencies,
+                 config.scheduler),
+      up_channel_(sim, config.channel_latency_s, config.channel_jitter_s,
+                  sim::Rng(0xc1a0)),
+      down_channel_(sim, config.channel_latency_s, config.channel_jitter_s,
+                    sim::Rng(0xc1a1)) {
+  // Per-processor tables: each node's own operating points, so mixed
+  // generations and leaky bins are scheduled against their real options.
+  for (std::size_t n = 0; n < cluster_.node_count(); ++n) {
+    for (std::size_t c = 0; c < cluster_.node(n).cpu_count(); ++c) {
+      proc_tables_.push_back(&cluster_.node(n).machine().freq_table);
+    }
+  }
+  agents_.resize(cluster_.node_count());
+  for (std::size_t n = 0; n < cluster_.node_count(); ++n) {
+    auto& agent = agents_[n];
+    const std::size_t cpus = cluster_.node(n).cpu_count();
+    agent.last_snapshot.resize(cpus);
+    agent.aggregate.resize(cpus);
+    agent.estimates.resize(cpus);
+    agent.idle.assign(cpus, false);
+    agent.aggregate_started_at = sim_.now();
+    for (std::size_t c = 0; c < cpus; ++c) {
+      agent.last_snapshot[c] = cluster_.node(n).core(c).read_counters();
+    }
+    agent.tick_event = sim_.schedule_every(config_.t_sample_s,
+                                           [this, n] { node_tick(n); });
+  }
+  budget_.on_change(
+      [this](double) { global_schedule(/*budget_triggered=*/true); });
+  up_channel_.set_loss_probability(config.channel_loss_probability);
+  down_channel_.set_loss_probability(config.channel_loss_probability);
+  // The global scheduler runs on its own timer (the paper's periodic
+  // trigger), offset so each round sees the freshest summaries even when
+  // some were lost in transit.
+  const double period =
+      config_.t_sample_s * config_.schedule_every_n_samples;
+  global_event_ = sim_.schedule_every_from(
+      period + 2.0 * config_.channel_latency_s + config_.channel_jitter_s,
+      period, [this] { global_schedule(/*budget_triggered=*/false); });
+}
+
+ClusterDaemon::~ClusterDaemon() {
+  for (auto& agent : agents_) sim_.cancel(agent.tick_event);
+  sim_.cancel(global_event_);
+}
+
+void ClusterDaemon::node_tick(std::size_t node) {
+  auto& agent = agents_[node];
+  for (std::size_t c = 0; c < cluster_.node(node).cpu_count(); ++c) {
+    const cpu::PerfCounters now = cluster_.node(node).core(c).read_counters();
+    agent.aggregate[c] += now - agent.last_snapshot[c];
+    agent.last_snapshot[c] = now;
+  }
+  if (++agent.samples >= config_.schedule_every_n_samples) {
+    agent.samples = 0;
+    node_send_summary(node);
+  }
+}
+
+void ClusterDaemon::node_send_summary(std::size_t node) {
+  auto& agent = agents_[node];
+  const double elapsed = sim_.now() - agent.aggregate_started_at;
+  if (elapsed <= 0.0) return;
+
+  // Distil this interval into estimates and idle flags; ship only the
+  // summary across the network, as a real agent would.
+  std::vector<WorkloadEstimate> estimates(agent.aggregate.size());
+  std::vector<bool> idle(agent.aggregate.size());
+  for (std::size_t c = 0; c < agent.aggregate.size(); ++c) {
+    CounterObservation obs;
+    obs.delta = agent.aggregate[c];
+    obs.measured_hz = elapsed > 0.0 ? agent.aggregate[c].cycles / elapsed : 0;
+    estimates[c] = scheduler_.predictor().estimate(obs);
+    switch (config_.idle_signal) {
+      case IdleSignal::kOsSignal:
+        idle[c] = cluster_.node(node).core(c).idle();
+        break;
+      case IdleSignal::kHaltedCounter:
+        idle[c] = obs.delta.cycles > 0.0 &&
+                  obs.delta.halted_cycles / obs.delta.cycles >
+                      config_.halted_idle_threshold;
+        break;
+      case IdleSignal::kNone:
+        idle[c] = false;
+        break;
+    }
+    agent.aggregate[c] = cpu::PerfCounters{};
+  }
+  agent.aggregate_started_at = sim_.now();
+
+  up_channel_.send([this, node, estimates = std::move(estimates),
+                    idle = std::move(idle)]() mutable {
+    auto& remote = agents_[node];
+    for (std::size_t c = 0; c < estimates.size(); ++c) {
+      if (estimates[c].valid) remote.estimates[c] = estimates[c];
+      remote.idle[c] = idle[c];
+    }
+  });
+}
+
+void ClusterDaemon::global_schedule(bool budget_triggered) {
+  std::vector<ProcView> views;
+  views.reserve(cluster_.cpu_count());
+  for (const auto& agent : agents_) {
+    for (std::size_t c = 0; c < agent.estimates.size(); ++c) {
+      ProcView v;
+      v.estimate = agent.estimates[c];
+      v.idle = agent.idle[c];
+      views.push_back(v);
+    }
+  }
+  last_result_ =
+      scheduler_.schedule(views, proc_tables_, budget_.effective_limit_w());
+  ++rounds_;
+  if (budget_triggered) {
+    last_trigger_time_ = sim_.now();
+    last_applied_time_ = -1.0;
+    pending_trigger_applies_ = agents_.size();
+  }
+
+  // Fan the per-node frequency vectors back out over the network.
+  std::size_t flat = 0;
+  for (std::size_t n = 0; n < agents_.size(); ++n) {
+    std::vector<double> freqs(cluster_.node(n).cpu_count());
+    for (std::size_t c = 0; c < freqs.size(); ++c) {
+      freqs[c] = last_result_.decisions[flat++].hz;
+    }
+    down_channel_.send([this, n, freqs = std::move(freqs),
+                        budget_triggered]() mutable {
+      apply_on_node(n, std::move(freqs), budget_triggered);
+    });
+  }
+}
+
+void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
+                                  bool budget_triggered) {
+  for (std::size_t c = 0; c < freqs.size(); ++c) {
+    cluster_.node(node).core(c).set_frequency(freqs[c]);
+  }
+  if (budget_triggered && pending_trigger_applies_ > 0) {
+    if (--pending_trigger_applies_ == 0) {
+      last_applied_time_ = sim_.now();
+      sim::LogLine(sim::LogLevel::kInfo, "cluster-fvsst", sim_.now())
+          << "budget trigger applied cluster-wide in "
+          << (last_applied_time_ - last_trigger_time_) * 1e3 << " ms";
+    }
+  }
+  power_trace_.add(sim_.now(), cluster_.cpu_power_w());
+}
+
+}  // namespace fvsst::core

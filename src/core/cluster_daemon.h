@@ -1,0 +1,118 @@
+// cluster_daemon.h - Distributed fvsst for clusters.
+//
+// The paper's prototype ran on a single SMP; "the development of a
+// prototype for the cluster environment remains as future work."  This is
+// that future work, built to the design the paper sketches: per-node agents
+// gather counter data locally and a global scheduler enforces the single,
+// global power limit, with the inter-node communication the paper's large
+// T amortises modelled as explicit message latency.
+//
+//   node agent  --(summary, latency)-->  global scheduler
+//   node agent  <--(freq vector, latency)--  global scheduler
+//
+// The global scheduler runs on the paper's two triggers: the periodic timer
+// and a power-budget change.  Because summaries and settings both cross the
+// network, there is a measurable delay between a supply failure and cluster
+// compliance — bench_abl_response_time compares it against the supply's
+// cascade tolerance DT.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/channel.h"
+#include "cluster/cluster.h"
+#include "core/daemon.h"
+#include "core/scheduler.h"
+#include "power/budget.h"
+#include "simkit/time_series.h"
+
+namespace fvsst::core {
+
+/// Distributed scheduler configuration.
+struct ClusterDaemonConfig {
+  double t_sample_s = 0.010;         ///< Node-local sampling period.
+  int schedule_every_n_samples = 10; ///< Global period T = n * t.
+  FrequencyScheduler::Options scheduler;
+  double channel_latency_s = 200e-6; ///< One-way network latency.
+  double channel_jitter_s = 50e-6;
+  /// Message-loss probability on each channel direction.  The protocol is
+  /// loss-tolerant: the global round runs on its own timer from the
+  /// freshest summaries it has, and a lost settings message is repaired by
+  /// the next round.
+  double channel_loss_probability = 0.0;
+  IdleSignal idle_signal = IdleSignal::kOsSignal;
+  double halted_idle_threshold = 0.90;
+};
+
+/// Global scheduler plus one agent per node.
+///
+/// Heterogeneous clusters are handled natively: each processor is
+/// scheduled against its own node's operating-point table (paper Sec. 5's
+/// process-variation case and mixed machine generations); `table` is only
+/// the scheduler's default/validation table.
+class ClusterDaemon {
+ public:
+  ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
+                const mach::FrequencyTable& table, power::PowerBudget& budget,
+                ClusterDaemonConfig config);
+  ~ClusterDaemon();
+
+  ClusterDaemon(const ClusterDaemon&) = delete;
+  ClusterDaemon& operator=(const ClusterDaemon&) = delete;
+
+  /// Global scheduling rounds completed.
+  std::size_t rounds() const { return rounds_; }
+
+  /// Result of the latest global round.
+  const ScheduleResult& last_result() const { return last_result_; }
+
+  /// Simulated time of the most recent budget-triggered round (< 0: none).
+  double last_budget_trigger_time() const { return last_trigger_time_; }
+
+  /// Simulated time when the last budget-triggered settings finished
+  /// applying on every node (< 0 until it happens).  The difference to
+  /// last_budget_trigger_time() is the cluster's response latency.
+  double last_trigger_applied_time() const { return last_applied_time_; }
+
+  /// Trace of aggregate cluster CPU power as the scheduler believes it
+  /// (updated when settings are applied).
+  const sim::TimeSeries& scheduled_power_trace() const { return power_trace_; }
+
+ private:
+  struct NodeAgent {
+    std::vector<cpu::PerfCounters> last_snapshot;
+    std::vector<cpu::PerfCounters> aggregate;
+    double aggregate_started_at = 0.0;
+    std::vector<WorkloadEstimate> estimates;  ///< Latest at the *global* side.
+    std::vector<bool> idle;
+    sim::EventId tick_event = 0;
+    int samples = 0;
+  };
+
+  void node_tick(std::size_t node);
+  void node_send_summary(std::size_t node);
+  void global_schedule(bool budget_triggered);
+  void apply_on_node(std::size_t node, std::vector<double> freqs,
+                     bool budget_triggered);
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  power::PowerBudget& budget_;
+  ClusterDaemonConfig config_;
+  FrequencyScheduler scheduler_;
+  cluster::Channel up_channel_;    ///< Agents -> global.
+  cluster::Channel down_channel_;  ///< Global -> agents.
+  std::vector<NodeAgent> agents_;
+  /// Per flattened processor: its node's operating-point table.
+  std::vector<const mach::FrequencyTable*> proc_tables_;
+  sim::EventId global_event_ = 0;  ///< The global scheduler's own timer.
+  std::size_t rounds_ = 0;
+  ScheduleResult last_result_;
+  double last_trigger_time_ = -1.0;
+  double last_applied_time_ = -1.0;
+  std::size_t pending_trigger_applies_ = 0;
+  sim::TimeSeries power_trace_{"scheduled_cpu_power_w"};
+};
+
+}  // namespace fvsst::core

@@ -1,0 +1,129 @@
+#include "core/constrained_scheduler.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace fvsst::core {
+
+ConstrainedScheduler::ConstrainedScheduler(
+    mach::FrequencyTable table, mach::MemoryLatencies nominal_latencies,
+    FrequencyScheduler::Options options)
+    : base_(table, nominal_latencies, options), table_(std::move(table)) {}
+
+ConstrainedResult ConstrainedScheduler::schedule(
+    const std::vector<ProcView>& procs,
+    const std::vector<PowerConstraint>& constraints) const {
+  for (const auto& c : constraints) {
+    for (const std::size_t p : c.procs) {
+      if (p >= procs.size()) {
+        throw std::invalid_argument(
+            "ConstrainedScheduler: processor index out of range in '" +
+            c.name + "'");
+      }
+    }
+  }
+
+  // Pass 1: the paper's epsilon-constrained choice, via the base scheduler
+  // with an unconstrained budget.
+  const ScheduleResult unconstrained =
+      base_.schedule(procs, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> idx(procs.size());
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    idx[p] = *table_.index_of(unconstrained.decisions[p].hz);
+  }
+  const std::vector<std::size_t> desired = idx;
+
+  auto constraint_power = [&](const PowerConstraint& c) {
+    double w = 0.0;
+    for (const std::size_t p : c.procs) w += table_[idx[p]].watts;
+    return w;
+  };
+  auto loss_after_downgrade = [&](std::size_t p) {
+    const auto& view = procs[p];
+    if ((view.idle && base_.options().idle_detection) ||
+        !view.estimate.valid) {
+      return 0.0;
+    }
+    return base_.predicted_loss(view.estimate, table_[idx[p] - 1].hz);
+  };
+
+  ConstrainedResult out;
+  out.schedule.downgrade_steps = 0;
+
+  // Pass 2: while any constraint is violated, downgrade the least-loss
+  // processor covered by some violated constraint.
+  while (true) {
+    bool any_violated = false;
+    std::size_t best_proc = procs.size();
+    double best_loss = std::numeric_limits<double>::infinity();
+    for (const auto& c : constraints) {
+      if (constraint_power(c) <= c.limit_w) continue;
+      any_violated = true;
+      for (const std::size_t p : c.procs) {
+        if (idx[p] == 0) continue;
+        const double loss = loss_after_downgrade(p);
+        if (loss < best_loss) {
+          best_loss = loss;
+          best_proc = p;
+        }
+      }
+    }
+    if (!any_violated) break;
+    if (best_proc == procs.size()) {
+      out.feasible = false;  // everyone relevant is at the floor
+      break;
+    }
+    --idx[best_proc];
+    ++out.schedule.downgrade_steps;
+  }
+
+  // Finalize decisions.
+  out.schedule.decisions.resize(procs.size());
+  out.schedule.total_cpu_power_w = 0.0;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    auto& d = out.schedule.decisions[p];
+    const auto& granted = table_[idx[p]];
+    d.desired_hz = table_[desired[p]].hz;
+    d.hz = granted.hz;
+    d.volts = granted.volts;
+    d.watts = granted.watts;
+    d.predicted_loss =
+        (procs[p].idle && base_.options().idle_detection) ||
+                !procs[p].estimate.valid
+            ? 0.0
+            : base_.predicted_loss(procs[p].estimate, granted.hz);
+    out.schedule.total_cpu_power_w += granted.watts;
+  }
+  out.schedule.feasible = out.feasible;
+  out.constraint_w.reserve(constraints.size());
+  for (const auto& c : constraints) {
+    out.constraint_w.push_back(constraint_power(c));
+    out.satisfied.push_back(out.constraint_w.back() <= c.limit_w + 1e-12);
+  }
+  for (bool ok : out.satisfied) {
+    if (!ok) out.feasible = false;
+  }
+  out.schedule.feasible = out.feasible;
+  return out;
+}
+
+std::vector<PowerConstraint> node_and_site_constraints(
+    std::size_t nodes, std::size_t cpus_per_node, double per_node_limit_w,
+    double site_limit_w) {
+  std::vector<PowerConstraint> out;
+  std::vector<std::size_t> all;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    PowerConstraint c;
+    c.name = "node" + std::to_string(n);
+    c.limit_w = per_node_limit_w;
+    for (std::size_t k = 0; k < cpus_per_node; ++k) {
+      c.procs.push_back(n * cpus_per_node + k);
+      all.push_back(n * cpus_per_node + k);
+    }
+    out.push_back(std::move(c));
+  }
+  out.push_back({"site", std::move(all), site_limit_w});
+  return out;
+}
+
+}  // namespace fvsst::core

@@ -1,0 +1,68 @@
+// constrained_scheduler.h - Scheduling under hierarchical power limits.
+//
+// The paper's budget is a single global number, but it motivates the
+// problem with "limitations on their internal power-delivery and cooling
+// systems" — which are per-enclosure: a node's voltage regulators, a
+// chassis PDU, a rack's branch circuit, the site feed.  This extension
+// schedules under a *set* of power constraints, each covering a subset of
+// processors, using the same least-loss greedy the paper's pass 2 uses:
+// while any constraint is violated, downgrade the cheapest processor that
+// is under a violated constraint.
+//
+// The single-constraint case reduces exactly to the paper's algorithm.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+
+namespace fvsst::core {
+
+/// One power constraint over a set of processors.
+struct PowerConstraint {
+  std::string name;                 ///< e.g. "rack0", "site".
+  std::vector<std::size_t> procs;   ///< Flattened processor indices covered.
+  double limit_w = 0.0;
+};
+
+/// Result of a constrained schedule.
+struct ConstrainedResult {
+  ScheduleResult schedule;             ///< Per-processor decisions.
+  std::vector<double> constraint_w;    ///< Power under each constraint.
+  std::vector<bool> satisfied;         ///< Per-constraint compliance.
+  bool feasible = true;                ///< All constraints met.
+};
+
+/// Scheduler for hierarchical/overlapping power constraints.
+class ConstrainedScheduler {
+ public:
+  ConstrainedScheduler(mach::FrequencyTable table,
+                       mach::MemoryLatencies nominal_latencies,
+                       FrequencyScheduler::Options options =
+                           SchedulerOptions());
+
+  /// Pass 1 follows the paper (epsilon-constrained frequencies); pass 2
+  /// repeats least-loss downgrades until every constraint holds (or every
+  /// processor under a violated constraint sits at its floor, in which
+  /// case `feasible` is false).  Constraints may overlap arbitrarily;
+  /// indices out of range throw std::invalid_argument.
+  ConstrainedResult schedule(const std::vector<ProcView>& procs,
+                             const std::vector<PowerConstraint>& constraints)
+      const;
+
+  const FrequencyScheduler& base() const { return base_; }
+
+ private:
+  FrequencyScheduler base_;
+  mach::FrequencyTable table_;
+};
+
+/// Builds the standard two-level constraint set for a homogeneous cluster:
+/// one per-node limit plus one global limit.
+std::vector<PowerConstraint> node_and_site_constraints(
+    std::size_t nodes, std::size_t cpus_per_node, double per_node_limit_w,
+    double site_limit_w);
+
+}  // namespace fvsst::core

@@ -1,0 +1,171 @@
+// daemon.h - The fvsst daemon: the paper's prototype as a simulated process.
+//
+// The prototype (paper Sec. 6) is "a privileged user-level daemon ...
+// single-threaded" that collects performance-counter data every dispatch
+// interval t, and "after some number of collection cycles or when given a
+// signal with a new frequency limit, executes the scheduling calculation
+// and throttles the processors accordingly".  FvsstDaemon mirrors that:
+//
+//   - samples every core's counters each `t_sample_s` (paper: 10 ms);
+//   - runs the FrequencyScheduler every `schedule_every_n_samples` samples
+//     (paper: T = 10 * t = 100 ms);
+//   - reacts immediately to power-budget changes (the supply-failure
+//     trigger), rescheduling from the most recent estimates;
+//   - polls each core's idle state as a stand-in for the firmware/OS idle
+//     signal the paper calls for;
+//   - charges its own execution cost to the processor hosting the daemon
+//     (dead cycles), so benches can measure fvsst's overhead (Fig. 4);
+//   - keeps the scheduling and performance-counter logs the paper's
+//     post-processing relies on: per-CPU granted/desired frequency traces,
+//     predicted and measured IPC, and the running IPC-deviation statistics
+//     behind Table 2.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/scheduler.h"
+#include "power/budget.h"
+#include "simkit/event_queue.h"
+#include "simkit/stats.h"
+#include "simkit/time_series.h"
+
+namespace fvsst::core {
+
+/// How the daemon learns that a processor is idle (paper Sec. 5).
+enum class IdleSignal {
+  /// Poll the OS/firmware idle state (the explicit indicator the paper
+  /// calls for on hot-idle processors like the Power4+).
+  kOsSignal,
+  /// Infer idleness from the halted-cycle counter: on processors that
+  /// idle by halting, "there is no need for the idle indicator".
+  kHaltedCounter,
+  /// No idle knowledge at all (the paper's prototype, which implemented
+  /// none of the idle-detection techniques).
+  kNone,
+};
+
+/// Daemon configuration.
+struct DaemonConfig {
+  double t_sample_s = 0.010;            ///< Counter sampling period t.
+  int schedule_every_n_samples = 10;    ///< T = n * t.
+  FrequencyScheduler::Options scheduler;
+  IdleSignal idle_signal = IdleSignal::kOsSignal;
+  /// Halted-cycle fraction above which a processor counts as idle when
+  /// idle_signal == kHaltedCounter.
+  double halted_idle_threshold = 0.90;
+  /// EWMA weight of the *previous* estimate in [0, 1): 0 uses each
+  /// interval's fresh estimate alone (the paper's prototype); larger
+  /// values damp counter noise at the cost of slower phase response —
+  /// the stability the paper otherwise buys with a large T.
+  double estimate_smoothing = 0.0;
+  /// Daemon cost of reading one CPU's counters once (charged per sample).
+  double overhead_per_cpu_sample_s = 2e-6;
+  /// Daemon cost of one scheduling calculation (charged per schedule).
+  double overhead_per_schedule_s = 100e-6;
+  /// Flattened index of the processor hosting the daemon process.
+  std::size_t daemon_cpu = 0;
+  /// Paper Sec. 9's improved design: "multiple threads, two per processor"
+  /// — one collector and one actuator per CPU.  When true, per-CPU sampling
+  /// cost is charged to each CPU itself (local counter reads) instead of
+  /// funnelling everything through the daemon CPU.
+  bool per_cpu_threads = false;
+  /// Record per-CPU traces (disable for long bulk runs).
+  bool record_traces = true;
+};
+
+/// The frequency/voltage scheduling daemon.
+class FvsstDaemon {
+ public:
+  /// Starts sampling immediately.  The daemon registers itself on
+  /// `budget.on_change` and reschedules whenever the limit moves.
+  FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
+              const mach::FrequencyTable& table, power::PowerBudget& budget,
+              DaemonConfig config);
+  ~FvsstDaemon();
+
+  FvsstDaemon(const FvsstDaemon&) = delete;
+  FvsstDaemon& operator=(const FvsstDaemon&) = delete;
+
+  std::size_t cpu_count() const { return procs_.size(); }
+
+  /// Scheduling calculations executed so far (timer- and trigger-driven).
+  std::size_t schedules_run() const { return schedules_run_; }
+
+  /// Result of the most recent scheduling calculation.
+  const ScheduleResult& last_result() const { return last_result_; }
+
+  /// Most recent workload estimate per flattened CPU index.
+  const WorkloadEstimate& estimate(std::size_t cpu) const {
+    return states_.at(cpu).estimate;
+  }
+
+  // --- Logs (valid when record_traces) ---------------------------------
+  /// Granted frequency over time (Hz).
+  const sim::TimeSeries& granted_freq_trace(std::size_t cpu) const;
+  /// Epsilon-constrained ("desired") frequency over time (Hz).
+  const sim::TimeSeries& desired_freq_trace(std::size_t cpu) const;
+  /// IPC the predictor promised for each interval.
+  const sim::TimeSeries& predicted_ipc_trace(std::size_t cpu) const;
+  /// IPC actually measured over each interval.
+  const sim::TimeSeries& measured_ipc_trace(std::size_t cpu) const;
+  /// |predicted - measured| IPC per interval.
+  const sim::TimeSeries& deviation_trace(std::size_t cpu) const;
+
+  /// Running |predicted - measured| statistics (Table 2's "IPC deviation").
+  const sim::RunningStat& deviation_stat(std::size_t cpu) const {
+    return states_.at(cpu).deviation;
+  }
+
+  /// Energy charged to one CPU so far (peak-power convention: table watts
+  /// of the granted operating point integrated over time) — the quantity
+  /// behind the paper's Table 3 energy rows.
+  double cpu_energy_j(std::size_t cpu) const;
+
+  /// Time-weighted mean power of one CPU since the daemon started.
+  double cpu_mean_power_w(std::size_t cpu) const;
+
+  const FrequencyScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  struct CpuState {
+    cpu::PerfCounters last_snapshot;     ///< At the previous t boundary.
+    cpu::PerfCounters aggregate;         ///< Sum of deltas since last schedule.
+    double aggregate_started_at = 0.0;
+    WorkloadEstimate estimate;           ///< From the last completed interval.
+    double halted_fraction = 0.0;        ///< Of the last completed interval.
+    bool has_prediction = false;
+    double predicted_ipc = 0.0;          ///< Promise made at the last schedule.
+    sim::RunningStat deviation;
+    sim::TimeSeries granted{"granted_hz"};
+    sim::TimeSeries desired{"desired_hz"};
+    sim::TimeSeries pred_ipc{"predicted_ipc"};
+    sim::TimeSeries meas_ipc{"measured_ipc"};
+    sim::TimeSeries dev{"ipc_deviation"};
+    sim::TimeWeightedStat power_acc;  ///< Table watts of the granted point.
+  };
+
+  void on_sample_tick();
+  void run_schedule(bool triggered_by_budget);
+  std::vector<ProcView> build_views();
+  void apply(const ScheduleResult& result);
+
+  sim::Simulation& sim_;
+  cluster::Cluster& cluster_;
+  power::PowerBudget& budget_;
+  DaemonConfig config_;
+  FrequencyScheduler scheduler_;
+  std::vector<cluster::ProcAddress> procs_;
+  /// Per-processor operating-point tables (each node's own machine), so
+  /// heterogeneous clusters are scheduled within their real options.
+  std::vector<const mach::FrequencyTable*> proc_tables_;
+  std::vector<CpuState> states_;
+  sim::EventId tick_event_ = 0;
+  int samples_since_schedule_ = 0;
+  std::size_t schedules_run_ = 0;
+  ScheduleResult last_result_;
+};
+
+}  // namespace fvsst::core

@@ -1,0 +1,96 @@
+#include "core/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fvsst::core {
+namespace {
+
+constexpr double kMinInstructions = 1e3;
+
+bool usable(const CounterObservation& obs) {
+  return obs.delta.instructions >= kMinInstructions &&
+         obs.delta.cycles > 0.0 && obs.measured_hz > 0.0;
+}
+
+}  // namespace
+
+WorkloadEstimate TwoPointEstimator::estimate(const CounterObservation& a,
+                                             const CounterObservation& b) {
+  WorkloadEstimate est;
+  if (!usable(a) || !usable(b)) return est;
+  const double f1 = a.measured_hz, f2 = b.measured_hz;
+  const double f_hi = std::max(f1, f2);
+  if (std::abs(f1 - f2) < kMinSeparation * f_hi) return est;
+
+  const double cpi1 = a.delta.cycles / a.delta.instructions;
+  const double cpi2 = b.delta.cycles / b.delta.instructions;
+  // CPI(f) = 1/alpha + M*f  =>  M from the slope, 1/alpha from either point.
+  double m = (cpi1 - cpi2) / (f1 - f2);
+  m = std::max(m, 0.0);  // noise/non-stationarity can push it negative
+  const double alpha_inv = std::max(cpi1 - m * f1, 0.1);
+
+  est.mem_time_per_instr = m;
+  est.alpha_inv = alpha_inv;
+  est.valid = true;
+  return est;
+}
+
+BoundsEstimator::BoundsEstimator(const mach::MemoryLatencies& nominal,
+                                 double lo_scale, double hi_scale) {
+  lo_ = {nominal.t_l2 * lo_scale, nominal.t_l3 * lo_scale,
+         nominal.t_mem * lo_scale};
+  hi_ = {nominal.t_l2 * hi_scale, nominal.t_l3 * hi_scale,
+         nominal.t_mem * hi_scale};
+}
+
+EstimateBounds BoundsEstimator::estimate(const CounterObservation& obs) const {
+  // Both bound lines must pass through the observation:
+  //   CPI_pred(f) = CPI_obs + M_bound * (f - f_meas).
+  // Since the true M lies between the two bound slopes, the true CPI line
+  // is bracketed at every frequency.  When a bound's implied 1/alpha falls
+  // below the physical floor, that latency assumption is infeasible given
+  // the observation; the slope is reduced to the steepest feasible one
+  // (instead of breaking the line the way a plain clamp would).
+  EstimateBounds out;
+  if (!usable(obs)) return out;
+  const double cpi_obs = obs.delta.cycles / obs.delta.instructions;
+  const double f = obs.measured_hz;
+  constexpr double kAlphaInvFloor = 0.1;
+
+  auto bound_estimate = [&](const mach::MemoryLatencies& lat) {
+    WorkloadEstimate est;
+    double m = (obs.delta.l2_accesses * lat.t_l2 +
+                obs.delta.l3_accesses * lat.t_l3 +
+                obs.delta.mem_accesses * lat.t_mem) /
+               obs.delta.instructions;
+    double alpha_inv = cpi_obs - m * f;
+    if (alpha_inv < kAlphaInvFloor) {
+      alpha_inv = kAlphaInvFloor;
+      m = std::max((cpi_obs - kAlphaInvFloor) / f, 0.0);
+    }
+    est.alpha_inv = alpha_inv;
+    est.mem_time_per_instr = m;
+    est.valid = true;
+    return est;
+  };
+  out.best = bound_estimate(lo_);
+  out.worst = bound_estimate(hi_);
+  out.valid = true;
+  return out;
+}
+
+double BoundsEstimator::worst_case_loss(const EstimateBounds& bounds,
+                                        double hz, double f_max) {
+  if (!bounds.valid) return 0.0;
+  double worst = 0.0;
+  for (const WorkloadEstimate* est : {&bounds.best, &bounds.worst}) {
+    const IpcPredictor pred(mach::MemoryLatencies{});  // latencies unused
+    const double loss = perf_loss(pred.predict_performance(*est, f_max),
+                                  pred.predict_performance(*est, hz));
+    worst = std::max(worst, loss);
+  }
+  return worst;
+}
+
+}  // namespace fvsst::core

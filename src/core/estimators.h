@@ -1,0 +1,70 @@
+// estimators.h - Alternative workload estimators from the paper's
+// footnote 1.
+//
+// The baseline IpcPredictor assumes constant, nominal memory latencies,
+// "a source of error" the paper acknowledges.  It sketches two remedies,
+// both implemented here:
+//
+//  1. **Two-frequency estimation** (the approach of Kotla et al. [2]):
+//     observe the same workload at two different frequencies and solve
+//       CPI(f1) = 1/alpha + M*f1
+//       CPI(f2) = 1/alpha + M*f2
+//     for (1/alpha, M) directly — no latency constants needed at all, so
+//     latency mis-modelling cancels out.
+//
+//  2. **Best/worst-case latency bounds**: evaluate the predictor with both
+//     a lower and an upper latency bound, yielding a performance *interval*
+//     at each candidate frequency.  A conservative scheduler can then bound
+//     the worst-case loss instead of trusting a point estimate.
+#pragma once
+
+#include "core/predictor.h"
+
+namespace fvsst::core {
+
+/// Two-frequency estimator: recovers (1/alpha, M) from observations of the
+/// same (stationary) workload at two different frequencies.
+class TwoPointEstimator {
+ public:
+  /// Minimum frequency separation for a well-conditioned solve, as a
+  /// fraction of the higher frequency.
+  static constexpr double kMinSeparation = 0.02;
+
+  /// Solves for the estimate.  Returns an invalid estimate when either
+  /// observation is unusable or the frequencies are too close (the system
+  /// becomes singular).  Negative solutions (non-stationary workload
+  /// between the observations) are clamped into the physical domain.
+  static WorkloadEstimate estimate(const CounterObservation& a,
+                                   const CounterObservation& b);
+};
+
+/// A performance interval from latency bounds.
+struct EstimateBounds {
+  WorkloadEstimate best;   ///< Using the optimistic (low) latencies.
+  WorkloadEstimate worst;  ///< Using the pessimistic (high) latencies.
+  bool valid = false;
+};
+
+/// Bounds estimator: runs the standard single-observation estimation with
+/// latencies scaled by [lo_scale, hi_scale] (e.g. 0.85 and 1.30 around the
+/// nominal constants).
+class BoundsEstimator {
+ public:
+  BoundsEstimator(const mach::MemoryLatencies& nominal, double lo_scale,
+                  double hi_scale);
+
+  EstimateBounds estimate(const CounterObservation& obs) const;
+
+  /// Worst-case (largest) predicted performance loss at `hz` vs `f_max`
+  /// across the bound interval.  A scheduler using this instead of the
+  /// point estimate never under-provisions frequency because of latency
+  /// mis-modelling.
+  static double worst_case_loss(const EstimateBounds& bounds, double hz,
+                                double f_max);
+
+ private:
+  mach::MemoryLatencies lo_;
+  mach::MemoryLatencies hi_;
+};
+
+}  // namespace fvsst::core

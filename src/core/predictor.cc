@@ -1,0 +1,67 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+
+namespace fvsst::core {
+namespace {
+
+// Below this many instructions an interval is treated as noise.
+constexpr double kMinInstructions = 1e3;
+
+}  // namespace
+
+IpcPredictor::IpcPredictor(const mach::MemoryLatencies& nominal_latencies)
+    : nominal_(nominal_latencies) {}
+
+WorkloadEstimate IpcPredictor::estimate(const CounterObservation& obs) const {
+  WorkloadEstimate est;
+  const auto& d = obs.delta;
+  if (d.instructions < kMinInstructions || d.cycles <= 0.0 ||
+      obs.measured_hz <= 0.0) {
+    return est;  // invalid
+  }
+  const double cpi_observed = d.cycles / d.instructions;
+  const double mem_time = (d.l2_accesses * nominal_.t_l2 +
+                           d.l3_accesses * nominal_.t_l3 +
+                           d.mem_accesses * nominal_.t_mem) /
+                          d.instructions;
+  // 1/alpha is whatever CPI is left after removing the memory component at
+  // the measurement frequency.  Noise or latency mis-modelling can push the
+  // residue negative; clamp to a small positive floor (IPC <= 10).
+  est.mem_time_per_instr = mem_time;
+  est.alpha_inv = std::max(cpi_observed - mem_time * obs.measured_hz, 0.1);
+  est.valid = true;
+  return est;
+}
+
+double IpcPredictor::predict_ipc(const WorkloadEstimate& est,
+                                 double hz) const {
+  const double cpi = est.alpha_inv + est.mem_time_per_instr * hz;
+  return cpi > 0.0 ? 1.0 / cpi : 0.0;
+}
+
+double IpcPredictor::predict_performance(const WorkloadEstimate& est,
+                                         double hz) const {
+  return predict_ipc(est, hz) * hz;
+}
+
+double perf_loss(double perf_ref, double perf_f) {
+  if (perf_ref <= 0.0) return 0.0;
+  return (perf_ref - perf_f) / perf_ref;
+}
+
+double ideal_frequency(const WorkloadEstimate& est, double f_max,
+                       double epsilon) {
+  if (!est.valid) return f_max;
+  // Target performance: within epsilon of performance at f_max.
+  const double perf_max = f_max / (est.alpha_inv + est.mem_time_per_instr *
+                                                       f_max);
+  const double target = perf_max * (1.0 - epsilon);
+  // Solve Perf(f) = f / (a + M f) = target  =>  f = target*a/(1 - target*M).
+  const double denom = 1.0 - target * est.mem_time_per_instr;
+  if (denom <= 0.0) return f_max;  // demand unreachable below f_max
+  const double f = target * est.alpha_inv / denom;
+  return std::clamp(f, 0.0, f_max);
+}
+
+}  // namespace fvsst::core

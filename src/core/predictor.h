@@ -1,0 +1,70 @@
+// predictor.h - The paper's performance model (Sec. 4.3).
+//
+// The model splits cycles per instruction into a frequency-independent part
+// (1/alpha: ideal IPC with infinite L1 and no stalls) and a
+// frequency-dependent part (memory stall time per instruction, which costs
+// more cycles the faster the core runs):
+//
+//   CPI(f) = 1/alpha + (N_L2*T_L2 + N_L3*T_L3 + N_mem*T_mem)/Instr * f
+//
+// Given counters measured at frequency g, the predictor recovers
+// 1/alpha = CPI(g) - M*g using the machine's *nominal* latency constants
+// T_i ("T_i is pre-determined for the particular processor by measurement
+// of memory latencies and is assumed constant for simplicity" — a stated
+// source of error), then projects IPC and performance at any candidate
+// frequency.  Performance is Perf(f) = IPC(f) * f, and
+// PerfLoss(f_ref, f) = (Perf(f_ref) - Perf(f)) / Perf(f_ref).
+#pragma once
+
+#include "cpu/perf_counters.h"
+#include "mach/machine_config.h"
+
+namespace fvsst::core {
+
+/// Counter aggregate plus the frequency it was measured at.
+struct CounterObservation {
+  cpu::PerfCounters delta;  ///< Interval delta, not a monotonic snapshot.
+  double measured_hz = 0.0; ///< Frequency the core ran at during the interval.
+};
+
+/// Frequency-independent summary the scheduler carries per processor.
+struct WorkloadEstimate {
+  double alpha_inv = 0.0;          ///< Estimated 1/alpha (ideal CPI).
+  double mem_time_per_instr = 0.0; ///< Estimated M in seconds.
+  bool valid = false;              ///< False when the interval was unusable.
+};
+
+/// Predicts IPC/performance at candidate frequencies from counter data.
+class IpcPredictor {
+ public:
+  explicit IpcPredictor(const mach::MemoryLatencies& nominal_latencies);
+
+  /// Distils an observation into the two-parameter workload estimate.
+  /// Returns an invalid estimate when the interval has (near-)zero
+  /// instructions or cycles.
+  WorkloadEstimate estimate(const CounterObservation& obs) const;
+
+  /// Predicted IPC at frequency `hz`.
+  double predict_ipc(const WorkloadEstimate& est, double hz) const;
+
+  /// Predicted performance (instructions/second) at `hz`.
+  double predict_performance(const WorkloadEstimate& est, double hz) const;
+
+  const mach::MemoryLatencies& latencies() const { return nominal_; }
+
+ private:
+  mach::MemoryLatencies nominal_;
+};
+
+/// The paper's PerfLoss: fractional performance lost at `perf_f` relative
+/// to `perf_ref`.  Positive values are losses; negative values are gains.
+double perf_loss(double perf_ref, double perf_f);
+
+/// Continuous "ideal frequency" extension (paper Sec. 5): the lowest
+/// frequency at which predicted performance stays within `epsilon` of the
+/// performance at `f_max`.  Clamps into [0, f_max]; returns `f_max` for
+/// workloads whose demand cannot be met below it.
+double ideal_frequency(const WorkloadEstimate& est, double f_max,
+                       double epsilon);
+
+}  // namespace fvsst::core

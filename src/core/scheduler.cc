@@ -1,0 +1,306 @@
+#include "core/scheduler.h"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace fvsst::core {
+
+FrequencyScheduler::FrequencyScheduler(mach::FrequencyTable table,
+                                       mach::MemoryLatencies nominal_latencies,
+                                       Options options)
+    : table_(std::move(table)),
+      predictor_(nominal_latencies),
+      options_(options) {
+  if (table_.empty()) {
+    throw std::invalid_argument("FrequencyScheduler: empty frequency table");
+  }
+  if (options_.epsilon <= 0.0 || options_.epsilon >= 1.0) {
+    throw std::invalid_argument("FrequencyScheduler: epsilon out of (0,1)");
+  }
+}
+
+double FrequencyScheduler::loss_at(const WorkloadEstimate& est, double hz,
+                                   double f_max) const {
+  const double perf_max = predictor_.predict_performance(est, f_max);
+  const double perf_f = predictor_.predict_performance(est, hz);
+  return perf_loss(perf_max, perf_f);
+}
+
+double FrequencyScheduler::predicted_loss(const WorkloadEstimate& est,
+                                          double hz) const {
+  return loss_at(est, hz, table_.max_hz());
+}
+
+std::size_t FrequencyScheduler::pass1_index(
+    const ProcView& proc, const mach::FrequencyTable& table) const {
+  if (proc.idle && options_.idle_detection) {
+    return 0;  // idle: ignore the predictor, go to the minimum point
+  }
+  if (!proc.estimate.valid) {
+    // No usable counter data yet (first interval): run at f_max; the next
+    // interval will produce an estimate.
+    return table.size() - 1;
+  }
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (loss_at(proc.estimate, table[i].hz, table.max_hz()) <
+        options_.epsilon) {
+      return i;
+    }
+  }
+  return table.size() - 1;  // loss at f_max itself is 0 < epsilon
+}
+
+void FrequencyScheduler::pass2_power_fit(std::vector<std::size_t>& idx,
+                                         const std::vector<ProcView>& procs,
+                                         const Tables& tables,
+                                         double power_budget_w,
+                                         ScheduleResult& result) const {
+  auto total_power = [&] {
+    double w = 0.0;
+    for (std::size_t p = 0; p < idx.size(); ++p) {
+      w += (*tables[p])[idx[p]].watts;
+    }
+    return w;
+  };
+
+  double power = total_power();
+  while (power > power_budget_w) {
+    // Pick the processor whose next-lower setting costs the least
+    // performance ("select n,p with smallest PerfLoss(f_max, f_less)").
+    std::size_t best_proc = procs.size();
+    double best_loss = std::numeric_limits<double>::infinity();
+    for (std::size_t p = 0; p < procs.size(); ++p) {
+      if (idx[p] == 0) continue;  // already at the floor
+      const auto& table = *tables[p];
+      const double candidate_hz = table[idx[p] - 1].hz;
+      // Idle or estimate-less processors lose nothing by slowing down.
+      const double loss =
+          (procs[p].idle && options_.idle_detection) || !procs[p].estimate.valid
+              ? 0.0
+              : loss_at(procs[p].estimate, candidate_hz, table.max_hz());
+      if (loss < best_loss) {
+        best_loss = loss;
+        best_proc = p;
+      }
+    }
+    if (best_proc == procs.size()) {
+      // Everyone is at the minimum point and the budget is still exceeded:
+      // frequency scaling alone cannot satisfy it.
+      result.feasible = false;
+      break;
+    }
+    power -= (*tables[best_proc])[idx[best_proc]].watts;
+    --idx[best_proc];
+    power += (*tables[best_proc])[idx[best_proc]].watts;
+    ++result.downgrade_steps;
+  }
+}
+
+ScheduleResult FrequencyScheduler::finalize(
+    const std::vector<ProcView>& procs, const Tables& tables,
+    const std::vector<std::size_t>& desired_idx,
+    std::vector<std::size_t> granted_idx, ScheduleResult partial) const {
+  ScheduleResult result = std::move(partial);
+  result.decisions.resize(procs.size());
+  result.total_cpu_power_w = 0.0;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    auto& d = result.decisions[p];
+    const auto& table = *tables[p];
+    const auto& granted = table[granted_idx[p]];
+    d.desired_hz = table[desired_idx[p]].hz;
+    d.hz = granted.hz;
+    d.volts = granted.volts;  // pass 3: minimum-voltage table look-up
+    d.watts = granted.watts;
+    d.predicted_loss =
+        (procs[p].idle && options_.idle_detection) || !procs[p].estimate.valid
+            ? 0.0
+            : loss_at(procs[p].estimate, granted.hz, table.max_hz());
+    result.total_cpu_power_w += granted.watts;
+  }
+  return result;
+}
+
+ScheduleResult FrequencyScheduler::schedule_two_pass(
+    const std::vector<ProcView>& procs, const Tables& tables,
+    double power_budget_w) const {
+  ScheduleResult result;
+  std::vector<std::size_t> idx(procs.size());
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    idx[p] = pass1_index(procs[p], *tables[p]);
+  }
+  const std::vector<std::size_t> desired = idx;
+  pass2_power_fit(idx, procs, tables, power_budget_w, result);
+  return finalize(procs, tables, desired, std::move(idx), std::move(result));
+}
+
+ScheduleResult FrequencyScheduler::schedule_single_pass(
+    const std::vector<ProcView>& procs, const Tables& tables,
+    double power_budget_w) const {
+  // Single sweep with a priority queue of candidate downgrades.  Decisions
+  // are identical to the two-pass procedure (verified by test): the greedy
+  // order of downgrades is the same, only the bookkeeping differs.
+  ScheduleResult result;
+  std::vector<std::size_t> idx(procs.size());
+  double power = 0.0;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    idx[p] = pass1_index(procs[p], *tables[p]);
+    power += (*tables[p])[idx[p]].watts;
+  }
+  const std::vector<std::size_t> desired = idx;
+
+  struct Candidate {
+    double loss;
+    std::size_t proc;
+    std::size_t to_index;
+  };
+  struct Worse {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      if (a.loss != b.loss) return a.loss > b.loss;
+      return a.proc > b.proc;  // deterministic tie-break: lowest proc first
+    }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, Worse> queue;
+  auto push_candidate = [&](std::size_t p) {
+    if (idx[p] == 0) return;
+    const auto& table = *tables[p];
+    const double hz = table[idx[p] - 1].hz;
+    const double loss =
+        (procs[p].idle && options_.idle_detection) || !procs[p].estimate.valid
+            ? 0.0
+            : loss_at(procs[p].estimate, hz, table.max_hz());
+    queue.push({loss, p, idx[p] - 1});
+  };
+  for (std::size_t p = 0; p < procs.size(); ++p) push_candidate(p);
+
+  while (power > power_budget_w) {
+    // Skip stale candidates (a proc may have been downgraded since).
+    bool applied = false;
+    while (!queue.empty()) {
+      const Candidate c = queue.top();
+      queue.pop();
+      if (c.to_index + 1 != idx[c.proc]) continue;  // stale entry
+      power -= (*tables[c.proc])[idx[c.proc]].watts;
+      idx[c.proc] = c.to_index;
+      power += (*tables[c.proc])[idx[c.proc]].watts;
+      ++result.downgrade_steps;
+      push_candidate(c.proc);
+      applied = true;
+      break;
+    }
+    if (!applied) {
+      result.feasible = false;
+      break;
+    }
+  }
+  return finalize(procs, tables, desired, std::move(idx), std::move(result));
+}
+
+ScheduleResult FrequencyScheduler::schedule_continuous(
+    const std::vector<ProcView>& procs, const Tables& tables,
+    double power_budget_w) const {
+  ScheduleResult result;
+  std::vector<std::size_t> idx(procs.size());
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    const auto& proc = procs[p];
+    const auto& table = *tables[p];
+    if (proc.idle && options_.idle_detection) {
+      idx[p] = 0;
+    } else if (!proc.estimate.valid) {
+      idx[p] = table.size() - 1;
+    } else {
+      const double f_ideal =
+          ideal_frequency(proc.estimate, table.max_hz(), options_.epsilon);
+      // Snap upward: any grid point below f_ideal loses more than epsilon.
+      const auto& point = table.ceil_point(f_ideal);
+      idx[p] = *table.index_of(point.hz);
+    }
+  }
+  const std::vector<std::size_t> desired = idx;
+  pass2_power_fit(idx, procs, tables, power_budget_w, result);
+  return finalize(procs, tables, desired, std::move(idx), std::move(result));
+}
+
+ScheduleResult FrequencyScheduler::schedule_watts_per_loss(
+    const std::vector<ProcView>& procs, const Tables& tables,
+    double power_budget_w) const {
+  ScheduleResult result;
+  std::vector<std::size_t> idx(procs.size());
+  double power = 0.0;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    idx[p] = pass1_index(procs[p], *tables[p]);
+    power += (*tables[p])[idx[p]].watts;
+  }
+  const std::vector<std::size_t> desired = idx;
+
+  while (power > power_budget_w) {
+    // Pick the downgrade with the most watts saved per unit of *extra*
+    // predicted loss (the marginal cost, not the absolute loss).
+    std::size_t best_proc = procs.size();
+    double best_score = -1.0;
+    for (std::size_t p = 0; p < procs.size(); ++p) {
+      if (idx[p] == 0) continue;
+      const auto& table = *tables[p];
+      const double watts_saved =
+          table[idx[p]].watts - table[idx[p] - 1].watts;
+      double marginal_loss = 0.0;
+      if (!((procs[p].idle && options_.idle_detection) ||
+            !procs[p].estimate.valid)) {
+        const double loss_now =
+            loss_at(procs[p].estimate, table[idx[p]].hz, table.max_hz());
+        const double loss_next = loss_at(procs[p].estimate,
+                                         table[idx[p] - 1].hz,
+                                         table.max_hz());
+        marginal_loss = std::max(loss_next - loss_now, 0.0);
+      }
+      const double score = watts_saved / (marginal_loss + 1e-6);
+      if (score > best_score) {
+        best_score = score;
+        best_proc = p;
+      }
+    }
+    if (best_proc == procs.size()) {
+      result.feasible = false;
+      break;
+    }
+    power -= (*tables[best_proc])[idx[best_proc]].watts;
+    --idx[best_proc];
+    power += (*tables[best_proc])[idx[best_proc]].watts;
+    ++result.downgrade_steps;
+  }
+  return finalize(procs, tables, desired, std::move(idx), std::move(result));
+}
+
+ScheduleResult FrequencyScheduler::schedule(
+    const std::vector<ProcView>& procs,
+    const std::vector<const mach::FrequencyTable*>& tables,
+    double power_budget_w) const {
+  if (tables.size() != procs.size()) {
+    throw std::invalid_argument(
+        "FrequencyScheduler: tables must parallel procs");
+  }
+  for (const auto* t : tables) {
+    if (t == nullptr || t->empty()) {
+      throw std::invalid_argument("FrequencyScheduler: null/empty table");
+    }
+  }
+  switch (options_.variant) {
+    case SchedulerVariant::kTwoPass:
+      return schedule_two_pass(procs, tables, power_budget_w);
+    case SchedulerVariant::kSinglePass:
+      return schedule_single_pass(procs, tables, power_budget_w);
+    case SchedulerVariant::kContinuous:
+      return schedule_continuous(procs, tables, power_budget_w);
+    case SchedulerVariant::kWattsPerLoss:
+      return schedule_watts_per_loss(procs, tables, power_budget_w);
+  }
+  throw std::logic_error("FrequencyScheduler: unknown variant");
+}
+
+ScheduleResult FrequencyScheduler::schedule(const std::vector<ProcView>& procs,
+                                            double power_budget_w) const {
+  const Tables tables(procs.size(), &table_);
+  return schedule(procs, tables, power_budget_w);
+}
+
+}  // namespace fvsst::core

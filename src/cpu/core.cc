@@ -1,0 +1,191 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fvsst::cpu {
+namespace {
+
+constexpr double kTimeEpsilon = 1e-12;
+
+}  // namespace
+
+Core::Core(sim::Simulation& sim, Config cfg, sim::Rng rng)
+    : sim_(sim),
+      cfg_(std::move(cfg)),
+      rng_(rng),
+      requested_hz_(cfg_.max_hz),
+      effective_hz_(cfg_.max_hz),
+      throttle_(cfg_.scaling_mode, cfg_.max_hz, cfg_.throttle_steps),
+      idle_runner_(workload::idle_loop(cfg_.idle_ipc)),
+      synced_until_(sim.now()) {
+  if (cfg_.max_hz <= 0.0) {
+    throw std::invalid_argument("Core: max_hz must be positive");
+  }
+  effective_hz_ = throttle_.effective_hz(requested_hz_);
+}
+
+std::size_t Core::add_workload(workload::WorkloadSpec spec) {
+  sync();
+  jobs_.emplace_back(std::move(spec));
+  finish_times_.push_back(-1.0);
+  return jobs_.size() - 1;
+}
+
+bool Core::idle() {
+  sync();
+  return pick_runner() == nullptr;
+}
+
+void Core::set_frequency(double hz) {
+  if (hz <= 0.0 || hz > cfg_.max_hz + kTimeEpsilon) {
+    throw std::invalid_argument("Core: frequency out of range");
+  }
+  sync();
+  requested_hz_ = hz;
+  effective_hz_ = throttle_.effective_hz(hz);
+}
+
+PerfCounters Core::read_counters() {
+  sync();
+  return counters_;
+}
+
+double Core::instructions_retired() {
+  sync();
+  double total = 0.0;
+  for (const auto& j : jobs_) total += j.instructions_retired();
+  return total;
+}
+
+double Core::job_instructions_retired(std::size_t job) {
+  sync();
+  return jobs_.at(job).instructions_retired();
+}
+
+std::size_t Core::passes_completed() {
+  sync();
+  std::size_t total = 0;
+  for (const auto& j : jobs_) total += j.passes_completed();
+  return total;
+}
+
+double Core::job_finish_time(std::size_t job) {
+  sync();
+  return finish_times_.at(job);
+}
+
+const workload::Phase* Core::active_phase() {
+  sync();
+  WorkloadRunner* runner = pick_runner();
+  return runner ? &runner->current_phase() : nullptr;
+}
+
+void Core::steal_time(double seconds) {
+  if (seconds < 0.0) {
+    throw std::invalid_argument("Core: negative stolen time");
+  }
+  sync();
+  stolen_pending_s_ += seconds;
+}
+
+void Core::sync() {
+  const double dt = sim_.now() - synced_until_;
+  if (dt > kTimeEpsilon) advance(dt);
+  synced_until_ = sim_.now();
+}
+
+WorkloadRunner* Core::pick_runner() {
+  if (jobs_.empty()) return nullptr;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    auto& j = jobs_[(rr_index_ + i) % jobs_.size()];
+    if (!j.finished()) {
+      if (i != 0) {
+        rr_index_ = (rr_index_ + i) % jobs_.size();
+        quantum_used_s_ = 0.0;
+      }
+      return &j;
+    }
+  }
+  return nullptr;
+}
+
+void Core::rotate_if_quantum_expired() {
+  if (quantum_used_s_ + kTimeEpsilon < cfg_.quantum_s) return;
+  quantum_used_s_ = 0.0;
+  if (!jobs_.empty()) rr_index_ = (rr_index_ + 1) % jobs_.size();
+}
+
+void Core::advance(double dt) {
+  double remaining = dt;
+  while (remaining > kTimeEpsilon) {
+    // Scheduler/daemon overhead executes first: cycles pass, no retirement.
+    if (stolen_pending_s_ > kTimeEpsilon) {
+      const double chunk = std::min(remaining, stolen_pending_s_);
+      counters_.cycles += chunk * effective_hz_;
+      stolen_pending_s_ -= chunk;
+      remaining -= chunk;
+      continue;
+    }
+
+    WorkloadRunner* runner = pick_runner();
+    const bool is_idle = (runner == nullptr);
+    if (is_idle && cfg_.idles_by_halting) {
+      // Halting idle: cycles elapse and are flagged halted; nothing
+      // retires.  The daemon can infer idleness from the counter alone.
+      counters_.cycles += remaining * effective_hz_;
+      counters_.halted_cycles += remaining * effective_hz_;
+      remaining = 0.0;
+      continue;
+    }
+    WorkloadRunner& active = is_idle ? idle_runner_ : *runner;
+    const workload::Phase& phase = active.current_phase();
+
+    // Ground-truth retirement rate at the delivered frequency, with a small
+    // per-chunk execution jitter the predictor cannot anticipate.
+    double rate =
+        workload::true_performance(phase, cfg_.latencies, effective_hz_);
+    if (cfg_.execution_noise_sigma > 0.0) {
+      rate *= std::max(0.1, 1.0 + rng_.normal(0.0, cfg_.execution_noise_sigma));
+    }
+
+    double chunk = remaining;
+    if (!is_idle) {
+      chunk = std::min(chunk, cfg_.quantum_s - quantum_used_s_);
+    }
+    const double to_phase_end = active.instructions_left_in_phase() / rate;
+    chunk = std::min(chunk, to_phase_end);
+    chunk = std::max(chunk, kTimeEpsilon);
+
+    const double instr =
+        std::min(rate * chunk, active.instructions_left_in_phase());
+    active.retire(instr);
+
+    counters_.instructions += instr;
+    counters_.cycles += chunk * effective_hz_;
+    auto noisy = [&](double value) {
+      if (cfg_.counter_noise_sigma <= 0.0 || value <= 0.0) return value;
+      return value *
+             std::max(0.0, 1.0 + rng_.normal(0.0, cfg_.counter_noise_sigma));
+    };
+    counters_.l2_accesses += noisy(instr * phase.apki_l2 / 1000.0);
+    counters_.l3_accesses += noisy(instr * phase.apki_l3 / 1000.0);
+    counters_.mem_accesses += noisy(instr * phase.apki_mem / 1000.0);
+
+    if (!is_idle) {
+      quantum_used_s_ += chunk;
+      if (active.finished()) {
+        const double now_local = sim_.now() - remaining + chunk;
+        finish_times_[rr_index_] = now_local;
+        ++jobs_finished_;
+        quantum_used_s_ = 0.0;
+      } else {
+        rotate_if_quantum_expired();
+      }
+    }
+    remaining -= chunk;
+  }
+}
+
+}  // namespace fvsst::cpu

@@ -1,0 +1,141 @@
+// core.h - The simulated processor core.
+//
+// A Core executes one or more jobs (time-sliced round-robin, since the
+// paper targets multi-programmed systems) according to the phase-based
+// performance model: at effective frequency f a phase retires
+// 1 / (1/alpha + M_true * f) instructions per cycle.  The core maintains
+// the Power4+-style performance counters that are fvsst's only window into
+// the workload, including realistic imperfections:
+//
+//   - access counts carry small multiplicative sampling noise;
+//   - each phase's true service times may deviate from the machine's
+//     nominal latency constants (Phase::latency_scale);
+//   - with ScalingMode::kFetchThrottle, delivered frequency is a quantised
+//     duty cycle rather than the exact request;
+//   - an empty run queue executes the "hot idle" loop at IPC ~1.3 — the
+//     Power4+ behaviour that defeats naive utilisation-based scaling.
+//
+// The core is lazily synchronised: queries advance the model to the current
+// simulation time, so no per-tick events are needed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cpu/perf_counters.h"
+#include "cpu/runner.h"
+#include "cpu/throttle.h"
+#include "mach/machine_config.h"
+#include "simkit/event_queue.h"
+#include "simkit/rng.h"
+#include "workload/phase.h"
+
+namespace fvsst::cpu {
+
+/// Simulated processor core.
+class Core {
+ public:
+  struct Config {
+    std::string name = "cpu";
+    mach::MemoryLatencies latencies;
+    double max_hz = 0.0;       ///< Nameplate frequency (initial setting).
+    double idle_ipc = 1.3;     ///< IPC of the hot idle loop.
+    /// When true the core halts while idle: no instructions retire and the
+    /// halted-cycle counter advances (instead of the hot idle loop).
+    bool idles_by_halting = false;
+    ScalingMode scaling_mode = ScalingMode::kIdealDvfs;
+    int throttle_steps = 32;
+    /// Multiplicative noise (sigma) on per-interval access counts.
+    double counter_noise_sigma = 0.01;
+    /// Multiplicative noise (sigma) on the instruction retirement rate.
+    double execution_noise_sigma = 0.005;
+    /// Round-robin time slice for multiprogrammed jobs.
+    double quantum_s = 0.010;
+  };
+
+  Core(sim::Simulation& sim, Config cfg, sim::Rng rng);
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  const std::string& name() const { return cfg_.name; }
+
+  /// Enqueues a job; returns its index for later queries.
+  std::size_t add_workload(workload::WorkloadSpec spec);
+
+  /// True when no unfinished real job exists (the core is running the hot
+  /// idle loop).  This is the signal the paper's idle detector would send.
+  bool idle();
+
+  /// Requested frequency (one of the machine's settings).
+  double frequency_hz() const { return requested_hz_; }
+
+  /// Frequency actually delivered (after throttling quantisation).
+  double effective_hz() const { return effective_hz_; }
+
+  /// Changes the core's frequency.  Takes effect immediately; the model is
+  /// synchronised to the current time first so past work is charged at the
+  /// old frequency.
+  void set_frequency(double hz);
+
+  /// Reads the monotonic counters (synchronises first).
+  PerfCounters read_counters();
+
+  /// Total instructions retired by real jobs (idle loop excluded).
+  double instructions_retired();
+
+  /// Per-job retired instructions.
+  double job_instructions_retired(std::size_t job);
+
+  /// Completed passes over the phase list, summed across jobs (the
+  /// throughput metric the synthetic benchmark reports).
+  std::size_t passes_completed();
+
+  /// Simulated time at which job `job` finished; negative if still running.
+  /// Synchronises first so completions up to now() are visible.
+  double job_finish_time(std::size_t job);
+
+  /// Number of jobs that have finished (synchronises first).
+  std::size_t jobs_finished() {
+    sync();
+    return jobs_finished_;
+  }
+
+  /// Phase currently executing on the core, or nullptr when idling.
+  const workload::Phase* active_phase();
+
+  /// Injects scheduler/daemon overhead: the next `seconds` of core time
+  /// execute no workload instructions (used to model fvsst's own cost).
+  void steal_time(double seconds);
+
+  /// Advances the execution model to the current simulation time.
+  void sync();
+
+ private:
+  void advance(double dt);
+  WorkloadRunner* pick_runner();
+  void rotate_if_quantum_expired();
+
+  sim::Simulation& sim_;
+  Config cfg_;
+  sim::Rng rng_;
+
+  double requested_hz_;
+  double effective_hz_;
+  ThrottleModel throttle_;
+
+  std::vector<WorkloadRunner> jobs_;
+  std::vector<double> finish_times_;
+  std::size_t jobs_finished_ = 0;
+  WorkloadRunner idle_runner_;
+
+  std::size_t rr_index_ = 0;     ///< Round-robin cursor into jobs_.
+  double quantum_used_s_ = 0.0;  ///< Time used by the current job's slice.
+
+  double synced_until_ = 0.0;
+  double stolen_pending_s_ = 0.0;
+  PerfCounters counters_;
+};
+
+}  // namespace fvsst::cpu

@@ -1,0 +1,165 @@
+#include "cpu/counter_trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace fvsst::cpu {
+namespace {
+
+using workload::TraceParseError;
+
+constexpr double kMinInstructions = 1e3;
+
+double parse_number(const std::string& token, int line, const char* what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(token, &used);
+  } catch (const std::exception&) {
+    throw TraceParseError(line, std::string("bad ") + what);
+  }
+  if (used != token.size()) {
+    throw TraceParseError(line, std::string("trailing junk in ") + what);
+  }
+  return v;
+}
+
+}  // namespace
+
+CounterTraceRecorder::CounterTraceRecorder(sim::Simulation& sim, Core& core,
+                                           double period_s, std::string name)
+    : sim_(sim), core_(core), period_s_(period_s) {
+  trace_.name = std::move(name);
+  last_ = core_.read_counters();
+  event_ = sim_.schedule_every(period_s, [this] { sample(); });
+}
+
+CounterTraceRecorder::~CounterTraceRecorder() {
+  sim_.cancel(event_);
+}
+
+void CounterTraceRecorder::sample() {
+  const PerfCounters now = core_.read_counters();
+  trace_.intervals.push_back({period_s_, now - last_});
+  last_ = now;
+}
+
+std::string format_counter_trace(const CounterTrace& trace) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "countertrace " << trace.name << "\n";
+  for (const auto& iv : trace.intervals) {
+    out << "interval " << iv.duration_s << " " << iv.delta.instructions
+        << " " << iv.delta.cycles << " " << iv.delta.l2_accesses << " "
+        << iv.delta.l3_accesses << " " << iv.delta.mem_accesses << "\n";
+  }
+  return out.str();
+}
+
+CounterTrace parse_counter_trace(std::istream& in) {
+  CounterTrace trace;
+  bool have_header = false;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    std::vector<std::string> tokens;
+    for (std::string tok; line >> tok;) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "countertrace") {
+      if (tokens.size() != 2) {
+        throw TraceParseError(line_no, "countertrace takes one name");
+      }
+      if (have_header) throw TraceParseError(line_no, "duplicate header");
+      trace.name = tokens[1];
+      have_header = true;
+    } else if (tokens[0] == "interval") {
+      if (!have_header) {
+        throw TraceParseError(line_no, "interval before countertrace");
+      }
+      if (tokens.size() != 7) {
+        throw TraceParseError(
+            line_no, "interval needs: seconds instr cycles l2 l3 mem");
+      }
+      CounterInterval iv;
+      iv.duration_s = parse_number(tokens[1], line_no, "seconds");
+      iv.delta.instructions = parse_number(tokens[2], line_no, "instr");
+      iv.delta.cycles = parse_number(tokens[3], line_no, "cycles");
+      iv.delta.l2_accesses = parse_number(tokens[4], line_no, "l2");
+      iv.delta.l3_accesses = parse_number(tokens[5], line_no, "l3");
+      iv.delta.mem_accesses = parse_number(tokens[6], line_no, "mem");
+      if (iv.duration_s <= 0.0 || iv.delta.cycles < 0.0 ||
+          iv.delta.instructions < 0.0) {
+        throw TraceParseError(line_no, "negative interval field");
+      }
+      trace.intervals.push_back(iv);
+    } else {
+      throw TraceParseError(line_no,
+                            "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (!have_header) throw TraceParseError(line_no, "missing countertrace");
+  if (trace.intervals.empty()) {
+    throw TraceParseError(line_no, "trace has no intervals");
+  }
+  return trace;
+}
+
+CounterTrace parse_counter_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_counter_trace(in);
+}
+
+void save_counter_trace(const std::string& path, const CounterTrace& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  out << format_counter_trace(trace);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+CounterTrace load_counter_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return parse_counter_trace(in);
+}
+
+workload::WorkloadSpec counter_trace_to_workload(
+    const CounterTrace& trace, const mach::MemoryLatencies& lat, bool loop) {
+  workload::WorkloadSpec spec;
+  spec.name = "replay:" + trace.name;
+  spec.loop = loop;
+  std::size_t index = 0;
+  for (const auto& iv : trace.intervals) {
+    const std::string name = "iv" + std::to_string(index++);
+    workload::Phase p;
+    p.name = name;
+    const double f = iv.delta.cycles / iv.duration_s;  // measured frequency
+    if (iv.delta.instructions < kMinInstructions || iv.delta.cycles <= 0.0) {
+      // Idle gap: a slow CPU-bound filler that takes duration_s at the
+      // recorded frequency (or any frequency — it is frequency-linear).
+      p.alpha = 0.01;
+      p.instructions = std::max(iv.duration_s * std::max(f, 1e6) * 0.01, 1.0);
+      spec.phases.push_back(std::move(p));
+      continue;
+    }
+    const double cpi = iv.delta.cycles / iv.delta.instructions;
+    const double m = (iv.delta.l2_accesses * lat.t_l2 +
+                      iv.delta.l3_accesses * lat.t_l3 +
+                      iv.delta.mem_accesses * lat.t_mem) /
+                     iv.delta.instructions;
+    const double alpha_inv = std::max(cpi - m * f, 0.05);
+    p.alpha = 1.0 / alpha_inv;
+    p.apki_l2 = iv.delta.l2_accesses / iv.delta.instructions * 1000.0;
+    p.apki_l3 = iv.delta.l3_accesses / iv.delta.instructions * 1000.0;
+    p.apki_mem = iv.delta.mem_accesses / iv.delta.instructions * 1000.0;
+    p.instructions = iv.delta.instructions;
+    spec.phases.push_back(std::move(p));
+  }
+  return spec;
+}
+
+}  // namespace fvsst::cpu

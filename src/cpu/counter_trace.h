@@ -1,0 +1,83 @@
+// counter_trace.h - Capture and replay of performance-counter traces.
+//
+// The paper's prototype "generates both scheduling and performance counter
+// data logs that provide performance and frequency information for
+// monitoring and data analysis".  This module makes those logs round-trip:
+// a recorder captures per-interval counter deltas from a running core (or
+// they can come from a real machine via src/host — the schema is the
+// same), the trace serialises to a text file, and a converter turns it
+// back into a phase workload whose counter behaviour reproduces the
+// original: capture in production, replay in the simulator.
+//
+// File format (one directive per line, '#' comments):
+//   countertrace <name>
+//   interval <seconds> <instructions> <cycles> <l2> <l3> <mem>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cpu/core.h"
+#include "cpu/perf_counters.h"
+#include "mach/machine_config.h"
+#include "simkit/event_queue.h"
+#include "workload/phase.h"
+#include "workload/trace.h"  // TraceParseError
+
+namespace fvsst::cpu {
+
+/// One observation interval.
+struct CounterInterval {
+  double duration_s = 0.0;
+  PerfCounters delta;
+};
+
+/// A named sequence of intervals.
+struct CounterTrace {
+  std::string name;
+  std::vector<CounterInterval> intervals;
+};
+
+/// Records a core's counters every `period_s` into a CounterTrace.
+class CounterTraceRecorder {
+ public:
+  CounterTraceRecorder(sim::Simulation& sim, Core& core, double period_s,
+                       std::string name = "capture");
+  ~CounterTraceRecorder();
+
+  CounterTraceRecorder(const CounterTraceRecorder&) = delete;
+  CounterTraceRecorder& operator=(const CounterTraceRecorder&) = delete;
+
+  const CounterTrace& trace() const { return trace_; }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  Core& core_;
+  double period_s_;
+  sim::EventId event_ = 0;
+  PerfCounters last_;
+  CounterTrace trace_;
+};
+
+/// Serialisation.  Parsing throws workload::TraceParseError on malformed
+/// input (same error type as the workload trace format).
+std::string format_counter_trace(const CounterTrace& trace);
+CounterTrace parse_counter_trace(std::istream& in);
+CounterTrace parse_counter_trace_string(const std::string& text);
+void save_counter_trace(const std::string& path, const CounterTrace& trace);
+CounterTrace load_counter_trace(const std::string& path);
+
+/// Converts a counter trace into a replayable workload: each interval
+/// becomes one phase whose (alpha, access rates) reproduce the recorded
+/// IPC and counter rates under the paper's CPI decomposition with the
+/// given nominal latencies.  Intervals with (near-)zero instructions —
+/// halted idle gaps — are replayed as slow filler phases that preserve
+/// the interval's duration at its recorded frequency.
+workload::WorkloadSpec counter_trace_to_workload(
+    const CounterTrace& trace, const mach::MemoryLatencies& lat,
+    bool loop = false);
+
+}  // namespace fvsst::cpu

@@ -1,0 +1,51 @@
+// perf_counters.h - The performance-counter schema fvsst consumes.
+//
+// The Power4+ "has performance counters that a scheduling mechanism may use
+// to gather the number of accesses to each level of the memory hierarchy in
+// an interval of time" (paper Sec. 4.3).  This struct is that schema: it is
+// the *only* information the predictor and scheduler ever see about a
+// processor, whether the source is the simulator (src/cpu) or a real host
+// (src/host).
+#pragma once
+
+namespace fvsst::cpu {
+
+/// Monotonic counter values; subtract two snapshots to get an interval.
+struct PerfCounters {
+  double instructions = 0.0;   ///< Instructions completed.
+  double cycles = 0.0;         ///< Processor cycles elapsed (at current f).
+  double l2_accesses = 0.0;    ///< Accesses serviced by the L2.
+  double l3_accesses = 0.0;    ///< Accesses serviced by the L3.
+  double mem_accesses = 0.0;   ///< Accesses serviced by main memory.
+  double halted_cycles = 0.0;  ///< Halted cycles (0 on hot-idle cores).
+
+  PerfCounters& operator+=(const PerfCounters& o) {
+    instructions += o.instructions;
+    cycles += o.cycles;
+    l2_accesses += o.l2_accesses;
+    l3_accesses += o.l3_accesses;
+    mem_accesses += o.mem_accesses;
+    halted_cycles += o.halted_cycles;
+    return *this;
+  }
+
+  friend PerfCounters operator-(PerfCounters a, const PerfCounters& b) {
+    a.instructions -= b.instructions;
+    a.cycles -= b.cycles;
+    a.l2_accesses -= b.l2_accesses;
+    a.l3_accesses -= b.l3_accesses;
+    a.mem_accesses -= b.mem_accesses;
+    a.halted_cycles -= b.halted_cycles;
+    return a;
+  }
+
+  friend PerfCounters operator+(PerfCounters a, const PerfCounters& b) {
+    a += b;
+    return a;
+  }
+
+  /// Observed IPC over the interval this delta covers; 0 when no cycles.
+  double ipc() const { return cycles > 0.0 ? instructions / cycles : 0.0; }
+};
+
+}  // namespace fvsst::cpu

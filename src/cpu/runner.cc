@@ -1,0 +1,51 @@
+#include "cpu/runner.h"
+
+#include <stdexcept>
+
+namespace fvsst::cpu {
+
+WorkloadRunner::WorkloadRunner(workload::WorkloadSpec spec)
+    : spec_(std::move(spec)) {
+  if (spec_.phases.empty()) {
+    throw std::invalid_argument("WorkloadRunner: workload has no phases");
+  }
+  for (const auto& p : spec_.phases) {
+    if (p.instructions <= 0.0 || p.alpha <= 0.0) {
+      throw std::invalid_argument(
+          "WorkloadRunner: phase needs positive instructions and alpha");
+    }
+  }
+  finished_ = false;
+}
+
+const workload::Phase& WorkloadRunner::current_phase() const {
+  if (finished_) {
+    throw std::logic_error("WorkloadRunner: finished");
+  }
+  return spec_.phases[phase_index_];
+}
+
+double WorkloadRunner::instructions_left_in_phase() const {
+  return current_phase().instructions - done_in_phase_;
+}
+
+void WorkloadRunner::retire(double n) {
+  if (finished_) throw std::logic_error("WorkloadRunner: finished");
+  if (n < 0.0 || n > instructions_left_in_phase() + 1e-6) {
+    throw std::invalid_argument("WorkloadRunner: retire beyond phase end");
+  }
+  done_in_phase_ += n;
+  retired_total_ += n;
+  // Use a tolerance: floating-point chunking leaves sub-instruction dust.
+  if (instructions_left_in_phase() <= 1e-6) {
+    done_in_phase_ = 0.0;
+    ++phase_index_;
+    if (phase_index_ >= spec_.phases.size()) {
+      phase_index_ = 0;
+      ++passes_;
+      if (!spec_.loop) finished_ = true;
+    }
+  }
+}
+
+}  // namespace fvsst::cpu

@@ -1,0 +1,48 @@
+// runner.h - Walks a WorkloadSpec by retired instructions.
+#pragma once
+
+#include <cstddef>
+
+#include "workload/phase.h"
+
+namespace fvsst::cpu {
+
+/// Tracks progress of one job through its phase list.  The owning Core
+/// advances it by instruction counts; the runner reports the current phase
+/// and completion.
+class WorkloadRunner {
+ public:
+  explicit WorkloadRunner(workload::WorkloadSpec spec);
+
+  const workload::WorkloadSpec& spec() const { return spec_; }
+
+  /// True once a non-looping workload has retired all instructions.
+  bool finished() const { return finished_; }
+
+  /// Phase currently executing.  Precondition: !finished().
+  const workload::Phase& current_phase() const;
+
+  /// Instructions remaining in the current phase.
+  double instructions_left_in_phase() const;
+
+  /// Retires `n` instructions (must not exceed the current phase's
+  /// remainder); advances phase/loop state.
+  void retire(double n);
+
+  /// Total instructions retired across all phases (and loop iterations).
+  double instructions_retired() const { return retired_total_; }
+
+  /// Completed passes over the phase list (for looping workloads this is
+  /// the throughput numerator the synthetic benchmark reports).
+  std::size_t passes_completed() const { return passes_; }
+
+ private:
+  workload::WorkloadSpec spec_;
+  std::size_t phase_index_ = 0;
+  double done_in_phase_ = 0.0;
+  double retired_total_ = 0.0;
+  std::size_t passes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace fvsst::cpu

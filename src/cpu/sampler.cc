@@ -1,0 +1,30 @@
+#include "cpu/sampler.h"
+
+namespace fvsst::cpu {
+
+CounterSampler::CounterSampler(sim::Simulation& sim, Core& core,
+                               double period_s)
+    : sim_(sim), core_(core) {
+  previous_ = core_.read_counters();
+  event_id_ = sim_.schedule_every(period_s, [this] { sample(); });
+}
+
+CounterSampler::~CounterSampler() {
+  sim_.cancel(event_id_);
+}
+
+void CounterSampler::sample() {
+  const PerfCounters current = core_.read_counters();
+  last_delta_ = current - previous_;
+  aggregate_ += last_delta_;
+  previous_ = current;
+  ++samples_;
+}
+
+PerfCounters CounterSampler::take_aggregate() {
+  const PerfCounters out = aggregate_;
+  aggregate_ = PerfCounters{};
+  return out;
+}
+
+}  // namespace fvsst::cpu

@@ -1,0 +1,56 @@
+// sampler.h - Periodic performance-counter sampling.
+//
+// The paper's prototype "collects the performance-counter data periodically"
+// every dispatch interval t (>= 10 ms, below which Linux's time quantum
+// makes the data inaccurate) and schedules every T = n*t.  CounterSampler
+// implements the per-core sampling half: it snapshots counters every t and
+// exposes both the most recent interval delta and the aggregate since the
+// last scheduler consumption.
+#pragma once
+
+#include <vector>
+
+#include "cpu/core.h"
+#include "cpu/perf_counters.h"
+#include "simkit/event_queue.h"
+
+namespace fvsst::cpu {
+
+/// Samples one core's counters every `period_s`.
+class CounterSampler {
+ public:
+  CounterSampler(sim::Simulation& sim, Core& core, double period_s);
+  ~CounterSampler();
+
+  CounterSampler(const CounterSampler&) = delete;
+  CounterSampler& operator=(const CounterSampler&) = delete;
+
+  /// Delta observed over the most recent completed sampling interval.
+  const PerfCounters& last_interval() const { return last_delta_; }
+
+  /// Sum of deltas since the last take_aggregate() call (the T-interval
+  /// input to the scheduler).
+  const PerfCounters& aggregate() const { return aggregate_; }
+
+  /// Returns the aggregate and resets it; called by the scheduler at each
+  /// T boundary.
+  PerfCounters take_aggregate();
+
+  /// Number of samples taken so far.
+  std::size_t samples() const { return samples_; }
+
+  Core& core() { return core_; }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  Core& core_;
+  sim::EventId event_id_ = 0;
+  PerfCounters previous_;
+  PerfCounters last_delta_;
+  PerfCounters aggregate_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace fvsst::cpu

@@ -1,0 +1,32 @@
+#include "cpu/throttle.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fvsst::cpu {
+
+ThrottleModel::ThrottleModel(ScalingMode mode, double max_hz, int duty_steps)
+    : mode_(mode), max_hz_(max_hz), duty_steps_(duty_steps) {
+  if (mode_ == ScalingMode::kFetchThrottle) {
+    if (max_hz_ <= 0.0) {
+      throw std::invalid_argument("ThrottleModel: throttling needs max_hz");
+    }
+    if (duty_steps_ < 1) {
+      throw std::invalid_argument("ThrottleModel: duty_steps must be >= 1");
+    }
+  }
+}
+
+double ThrottleModel::effective_hz(double requested_hz) const {
+  if (mode_ == ScalingMode::kIdealDvfs) return requested_hz;
+  // Round the duty cycle to the nearest available throttle position; never
+  // exceed the request (the hardware cannot run faster than asked).
+  const double duty = requested_hz / max_hz_;
+  const double steps = std::floor(duty * duty_steps_ + 0.5);
+  const double granted =
+      std::min(steps / duty_steps_, 1.0) * max_hz_;
+  return granted > requested_hz ? (steps - 1.0) / duty_steps_ * max_hz_
+                                : granted;
+}
+
+}  // namespace fvsst::cpu

@@ -1,0 +1,40 @@
+// throttle.h - Fetch-throttling approximation of frequency scaling.
+//
+// The paper's prototype "relies on an approximation of frequency scaling and
+// cannot actually scale voltages.  The underlying hardware provides
+// mechanisms for throttling the pipeline...  Fetch throttling is used to
+// mimic the effects of frequency scaling" (Sec. 6).  ThrottleModel captures
+// that substitution: in kIdealDvfs mode the effective frequency equals the
+// requested one; in kFetchThrottle mode the request is realised as a duty
+// cycle quantised to a fixed number of steps, so the effective frequency
+// deviates slightly from the request — a realistic, bounded source of
+// prediction error.
+#pragma once
+
+namespace fvsst::cpu {
+
+enum class ScalingMode {
+  kIdealDvfs,     ///< Effective frequency == requested frequency.
+  kFetchThrottle, ///< Duty-cycle quantisation of the requested frequency.
+};
+
+/// Maps a requested core frequency to the effective one.
+class ThrottleModel {
+ public:
+  /// `duty_steps` is the number of distinct throttle positions between 0%
+  /// and 100% (the P630's throttle "can cover the entire range").
+  explicit ThrottleModel(ScalingMode mode = ScalingMode::kIdealDvfs,
+                         double max_hz = 0.0, int duty_steps = 32);
+
+  /// Effective frequency delivered for a request.
+  double effective_hz(double requested_hz) const;
+
+  ScalingMode mode() const { return mode_; }
+
+ private:
+  ScalingMode mode_;
+  double max_hz_;
+  int duty_steps_;
+};
+
+}  // namespace fvsst::cpu

@@ -1,0 +1,107 @@
+#include "host/cpufreq_sysfs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fvsst::host {
+namespace {
+
+namespace fs = std::filesystem;
+
+// sysfs cpufreq reports kilohertz.
+constexpr double kKhz = 1e3;
+
+std::string trim(std::string s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.pop_back();
+  }
+  std::size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return s.substr(i);
+}
+
+}  // namespace
+
+CpufreqSysfs::CpufreqSysfs(std::string root) : root_(std::move(root)) {}
+
+std::string CpufreqSysfs::cpu_dir(int cpu) const {
+  return root_ + "/cpu" + std::to_string(cpu) + "/cpufreq";
+}
+
+std::optional<std::string> CpufreqSysfs::read_file(
+    const std::string& path) const {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return trim(ss.str());
+}
+
+bool CpufreqSysfs::write_file(const std::string& path,
+                              const std::string& value) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << value;
+  return static_cast<bool>(out);
+}
+
+bool CpufreqSysfs::available() const {
+  return !cpus().empty();
+}
+
+std::vector<int> CpufreqSysfs::cpus() const {
+  std::vector<int> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.compare(0, 3, "cpu") != 0) continue;
+    const std::string digits = name.substr(3);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    if (!fs::is_directory(entry.path() / "cpufreq", ec)) continue;
+    out.push_back(std::stoi(digits));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::optional<CpuFreqInfo> CpufreqSysfs::info(int cpu) const {
+  const std::string dir = cpu_dir(cpu);
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec)) return std::nullopt;
+
+  CpuFreqInfo out;
+  out.cpu = cpu;
+  if (const auto v = read_file(dir + "/scaling_available_frequencies")) {
+    std::istringstream ss(*v);
+    double khz = 0.0;
+    while (ss >> khz) out.available_hz.push_back(khz * kKhz);
+    std::sort(out.available_hz.begin(), out.available_hz.end());
+  }
+  if (const auto v = read_file(dir + "/cpuinfo_min_freq")) {
+    out.min_hz = std::stod(*v) * kKhz;
+  }
+  if (const auto v = read_file(dir + "/cpuinfo_max_freq")) {
+    out.max_hz = std::stod(*v) * kKhz;
+  }
+  if (const auto v = read_file(dir + "/scaling_cur_freq")) {
+    out.current_hz = std::stod(*v) * kKhz;
+  }
+  if (const auto v = read_file(dir + "/scaling_governor")) {
+    out.governor = *v;
+  }
+  return out;
+}
+
+bool CpufreqSysfs::set_frequency(int cpu, double hz) const {
+  const long khz = static_cast<long>(hz / kKhz);
+  return write_file(cpu_dir(cpu) + "/scaling_setspeed", std::to_string(khz));
+}
+
+bool CpufreqSysfs::set_governor(int cpu, const std::string& governor) const {
+  return write_file(cpu_dir(cpu) + "/scaling_governor", governor);
+}
+
+}  // namespace fvsst::host

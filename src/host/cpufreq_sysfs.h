@@ -1,0 +1,61 @@
+// cpufreq_sysfs.h - Real-host frequency control via Linux sysfs.
+//
+// The paper's mechanism "can be implemented in a number of different ways
+// and in different portions of the hardware/software stack".  On a modern
+// Linux host the natural implementation reads and writes
+// /sys/devices/system/cpu/cpu*/cpufreq/.  This backend provides exactly the
+// queries the FrequencyScheduler needs (available settings, current
+// setting, set-frequency) and degrades gracefully: in containers or on
+// hosts without cpufreq every probe reports unavailable instead of failing.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fvsst::host {
+
+/// Snapshot of one CPU's cpufreq state.
+struct CpuFreqInfo {
+  int cpu = -1;
+  std::vector<double> available_hz;  ///< Sorted ascending; may be empty.
+  double min_hz = 0.0;
+  double max_hz = 0.0;
+  double current_hz = 0.0;
+  std::string governor;
+};
+
+/// Access to the host's cpufreq subsystem.
+class CpufreqSysfs {
+ public:
+  /// `root` overrides the sysfs base path (tests point it at a fixture
+  /// directory; production uses the default).
+  explicit CpufreqSysfs(std::string root = "/sys/devices/system/cpu");
+
+  /// True when at least one CPU exposes a cpufreq directory.
+  bool available() const;
+
+  /// CPUs with cpufreq directories, ascending.
+  std::vector<int> cpus() const;
+
+  /// Reads the full state of one CPU; nullopt when unavailable.
+  std::optional<CpuFreqInfo> info(int cpu) const;
+
+  /// Writes scaling_setspeed (requires the userspace governor and
+  /// privileges).  Returns false on any failure; never throws.
+  bool set_frequency(int cpu, double hz) const;
+
+  /// Writes scaling_governor.  Returns false on any failure.
+  bool set_governor(int cpu, const std::string& governor) const;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string cpu_dir(int cpu) const;
+  std::optional<std::string> read_file(const std::string& path) const;
+  bool write_file(const std::string& path, const std::string& value) const;
+
+  std::string root_;
+};
+
+}  // namespace fvsst::host

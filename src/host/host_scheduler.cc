@@ -1,0 +1,79 @@
+#include "host/host_scheduler.h"
+
+#include <algorithm>
+
+namespace fvsst::host {
+
+std::optional<mach::FrequencyTable> table_from_host(
+    const CpuFreqInfo& info, const power::PowerModel& model, double volt_min,
+    double volt_max) {
+  if (info.available_hz.empty()) return std::nullopt;
+  const double f_lo = info.available_hz.front();
+  const double f_hi = info.available_hz.back();
+  std::vector<mach::OperatingPoint> points;
+  for (double hz : info.available_hz) {
+    const double rel = f_hi > f_lo ? (hz - f_lo) / (f_hi - f_lo) : 1.0;
+    const double volts = volt_min + (volt_max - volt_min) * rel;
+    points.push_back({hz, volts, model.power(hz, volts)});
+  }
+  return mach::FrequencyTable(std::move(points));
+}
+
+HostScheduler::HostScheduler(Options options)
+    : options_(std::move(options)), sysfs_(options_.sysfs_root) {
+  cpus_ = sysfs_.cpus();
+  if (cpus_.empty()) return;
+  const auto info = sysfs_.info(cpus_.front());
+  if (!info) {
+    cpus_.clear();
+    return;
+  }
+  table_ = table_from_host(*info, options_.power_model);
+  if (!table_) {
+    cpus_.clear();
+    return;
+  }
+  scheduler_ = std::make_unique<core::FrequencyScheduler>(
+      *table_, options_.latencies, options_.scheduler);
+  counters_available_ = counters_.valid() && counters_.start();
+  if (counters_available_) {
+    if (const auto snap = counters_.read()) last_counters_ = *snap;
+  }
+}
+
+std::vector<core::ScheduleDecision> HostScheduler::step(double interval_s) {
+  if (!active()) return {};
+  ++steps_;
+
+  // Estimate the observed workload from the counter delta; without
+  // counters every CPU is treated as unknown (runs at f_max under the
+  // budget cap — still a useful power governor).
+  core::WorkloadEstimate estimate;  // invalid by default
+  if (counters_available_ && interval_s > 0.0) {
+    if (const auto snap = counters_.read()) {
+      core::CounterObservation obs;
+      obs.delta = *snap - last_counters_;
+      obs.measured_hz = obs.delta.cycles / interval_s;
+      last_counters_ = *snap;
+      const core::IpcPredictor predictor(options_.latencies);
+      estimate = predictor.estimate(obs);
+    }
+  }
+
+  std::vector<core::ProcView> views(cpus_.size());
+  for (auto& v : views) {
+    v.estimate = estimate;
+    v.idle = false;  // no reliable host-wide idle source at user level
+  }
+  const core::ScheduleResult result =
+      scheduler_->schedule(views, options_.power_budget_w);
+
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    if (!sysfs_.set_frequency(cpus_[i], result.decisions[i].hz)) {
+      ++failed_writes_;
+    }
+  }
+  return result.decisions;
+}
+
+}  // namespace fvsst::host

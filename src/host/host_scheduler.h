@@ -1,0 +1,92 @@
+// host_scheduler.h - fvsst wired to a real Linux host.
+//
+// The paper's prototype read Power4+ counters through kernel support and
+// throttled the pipeline; on a modern Linux machine the equivalents are
+// perf_event_open(2) for the counters and sysfs cpufreq for the actuator.
+// HostScheduler composes those backends with the same FrequencyScheduler
+// the simulator uses:
+//
+//   step():  read counter deltas -> estimate workloads -> run the
+//            two-pass schedule under the budget -> write scaling_setspeed
+//
+// The caller drives step() from its own timing loop (the simulator's T
+// becomes a wall-clock interval).  Everything degrades gracefully: where
+// counters or cpufreq are unavailable the affected piece reports itself
+// inactive instead of failing, so the class is constructible and testable
+// inside containers (tests point it at a fake sysfs tree).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "host/cpufreq_sysfs.h"
+#include "host/perf_events.h"
+#include "power/power_model.h"
+
+namespace fvsst::host {
+
+/// Builds an operating-point table from a host CPU's available frequencies.
+/// Voltages are unknown to sysfs, so a linear reduced-voltage curve is
+/// assumed between `volt_min` and `volt_max`, and per-point power comes
+/// from the analytic model with the given coefficients.  Returns nullopt
+/// when the CPU exposes no frequency list.
+std::optional<mach::FrequencyTable> table_from_host(
+    const CpuFreqInfo& info, const power::PowerModel& model,
+    double volt_min = 0.8, double volt_max = 1.2);
+
+/// Drives fvsst on the local machine.
+class HostScheduler {
+ public:
+  struct Options {
+    core::FrequencyScheduler::Options scheduler;
+    /// Memory latency constants for the predictor (seconds).  Defaults are
+    /// typical contemporary server values; calibrate per machine for
+    /// accuracy (paper Sec. 4.3).
+    mach::MemoryLatencies latencies{4e-9, 12e-9, 90e-9};
+    power::PowerModel power_model{50e-9, 1.0};
+    double power_budget_w = 1e9;  ///< Effectively unconstrained by default.
+    std::string sysfs_root = "/sys/devices/system/cpu";
+  };
+
+  explicit HostScheduler(Options options);
+
+  /// True when at least one CPU with cpufreq control was found.
+  bool active() const { return !cpus_.empty(); }
+
+  /// CPUs under management.
+  const std::vector<int>& cpus() const { return cpus_; }
+
+  /// True when hardware counters opened (otherwise step() only enforces
+  /// the budget cap, with no per-workload prediction).
+  bool counters_available() const { return counters_available_; }
+
+  /// One scheduling round over `interval_s` of wall-clock history.
+  /// Returns the decisions (empty when inactive).  Frequency writes that
+  /// fail (insufficient privilege) are counted, not fatal.
+  std::vector<core::ScheduleDecision> step(double interval_s);
+
+  std::size_t failed_writes() const { return failed_writes_; }
+  std::size_t steps() const { return steps_; }
+
+  void set_power_budget_w(double watts) { options_.power_budget_w = watts; }
+
+ private:
+  Options options_;
+  CpufreqSysfs sysfs_;
+  std::vector<int> cpus_;
+  std::optional<mach::FrequencyTable> table_;
+  std::unique_ptr<core::FrequencyScheduler> scheduler_;
+  // One counter group for the whole process (per-CPU counting needs
+  // elevated privileges; the prototype-grade fallback observes the calling
+  // workload only, mirroring the paper's single-threaded daemon).
+  PerfEventGroup counters_;
+  bool counters_available_ = false;
+  cpu::PerfCounters last_counters_;
+  std::size_t failed_writes_ = 0;
+  std::size_t steps_ = 0;
+};
+
+}  // namespace fvsst::host

@@ -1,0 +1,106 @@
+#include "host/latency_probe.h"
+
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "simkit/rng.h"
+
+namespace fvsst::host {
+namespace {
+
+// Builds a single-cycle random permutation chase over `n` slots (Sattolo).
+std::vector<std::uint32_t> build_cycle(std::uint32_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  for (std::uint32_t i = n - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.uniform_int(0, i - 1));
+    std::swap(order[i], order[j]);
+  }
+  std::vector<std::uint32_t> successor(n);
+  for (std::uint32_t i = 0; i + 1 < n; ++i) successor[order[i]] = order[i + 1];
+  successor[order[n - 1]] = order[0];
+  return successor;
+}
+
+}  // namespace
+
+double measure_chase_ns(std::uint64_t working_set_bytes,
+                        std::uint64_t accesses, std::uint64_t line_bytes,
+                        std::uint64_t seed) {
+  if (line_bytes < sizeof(std::uint64_t) ||
+      working_set_bytes < 2 * line_bytes) {
+    throw std::invalid_argument("measure_chase_ns: bad geometry");
+  }
+  const auto slots =
+      static_cast<std::uint32_t>(working_set_bytes / line_bytes);
+  const std::vector<std::uint32_t> successor = build_cycle(slots, seed);
+
+  // One 64-bit "next" pointer (as an index) at the head of each line.
+  const std::uint64_t words_per_line = line_bytes / sizeof(std::uint64_t);
+  std::vector<std::uint64_t> arena(
+      static_cast<std::size_t>(slots) * words_per_line, 0);
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    arena[static_cast<std::size_t>(s) * words_per_line] = successor[s];
+  }
+
+  // Warm-up: one full cycle touches every line.
+  volatile std::uint64_t cursor = 0;
+  for (std::uint32_t i = 0; i < slots; ++i) {
+    cursor = arena[static_cast<std::size_t>(cursor) * words_per_line];
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t c = cursor;
+  for (std::uint64_t i = 0; i < accesses; ++i) {
+    c = arena[static_cast<std::size_t>(c) * words_per_line];
+  }
+  const auto end = std::chrono::steady_clock::now();
+  cursor = c;  // defeat dead-code elimination
+
+  const double ns =
+      std::chrono::duration<double, std::nano>(end - start).count();
+  return ns / static_cast<double>(accesses);
+}
+
+std::vector<LatencyPoint> latency_curve(std::uint64_t min_bytes,
+                                        std::uint64_t max_bytes,
+                                        std::uint64_t accesses) {
+  if (min_bytes == 0 || max_bytes < min_bytes) {
+    throw std::invalid_argument("latency_curve: bad range");
+  }
+  std::vector<LatencyPoint> out;
+  for (std::uint64_t ws = min_bytes; ws <= max_bytes; ws *= 2) {
+    out.push_back({ws, measure_chase_ns(ws, accesses)});
+  }
+  return out;
+}
+
+mach::MemoryLatencies latencies_from_curve(
+    const std::vector<LatencyPoint>& curve, std::uint64_t l1_bytes,
+    std::uint64_t l2_bytes, std::uint64_t l3_bytes) {
+  if (curve.empty()) {
+    throw std::invalid_argument("latencies_from_curve: empty curve");
+  }
+  // The latency of level k is what a working set sees once it has clearly
+  // outgrown level k-1 (4x its size, so conflict tails don't pollute it).
+  auto at_or_above = [&](std::uint64_t bytes) {
+    const LatencyPoint* best = &curve.back();
+    for (const auto& p : curve) {
+      if (p.working_set_bytes >= bytes) {
+        best = &p;
+        break;
+      }
+    }
+    return best->ns_per_access * 1e-9;
+  };
+  mach::MemoryLatencies out;
+  out.t_l2 = at_or_above(4 * l1_bytes);
+  out.t_l3 = at_or_above(4 * l2_bytes);
+  out.t_mem = at_or_above(4 * l3_bytes);
+  return out;
+}
+
+}  // namespace fvsst::host

@@ -1,0 +1,47 @@
+// latency_probe.h - Measure the host's memory-hierarchy latencies.
+//
+// The paper calibrated its predictor "by measurement of memory latencies"
+// on the P630 (Sec. 7.1: 15 / 113 / 393 cycles).  This probe reproduces
+// that methodology on the real host: a dependent pointer chase (each load's
+// address comes from the previous load, defeating out-of-order overlap and
+// prefetching) over a range of working-set sizes yields a per-access time
+// curve whose plateaus are the cache-level latencies.  The result feeds
+// HostScheduler::Options::latencies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mach/machine_config.h"
+
+namespace fvsst::host {
+
+/// One point of the latency curve.
+struct LatencyPoint {
+  std::uint64_t working_set_bytes = 0;
+  double ns_per_access = 0.0;
+};
+
+/// Measures seconds-per-dependent-load at one working-set size.
+/// `accesses` chased pointers are timed after a full warm-up pass.
+double measure_chase_ns(std::uint64_t working_set_bytes,
+                        std::uint64_t accesses = 1u << 20,
+                        std::uint64_t line_bytes = 64,
+                        std::uint64_t seed = 42);
+
+/// Sweeps working sets from `min_bytes` to `max_bytes` (doubling), e.g.
+/// 16 KiB .. 256 MiB, returning the latency curve.
+std::vector<LatencyPoint> latency_curve(std::uint64_t min_bytes,
+                                        std::uint64_t max_bytes,
+                                        std::uint64_t accesses = 1u << 20);
+
+/// Distils a curve into predictor constants: the L2 estimate is the
+/// latency at the first size clearly past `l1_bytes`, L3 past `l2_bytes`,
+/// memory past `l3_bytes`.  Sizes default to typical modern-server caches;
+/// pass the host's real geometry when known.
+mach::MemoryLatencies latencies_from_curve(
+    const std::vector<LatencyPoint>& curve,
+    std::uint64_t l1_bytes = 32ull << 10, std::uint64_t l2_bytes = 1ull << 20,
+    std::uint64_t l3_bytes = 32ull << 20);
+
+}  // namespace fvsst::host

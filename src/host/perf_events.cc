@@ -1,0 +1,92 @@
+#include "host/perf_events.h"
+
+#include <cstring>
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace fvsst::host {
+
+#if defined(__linux__)
+
+long PerfEventGroup::open_counter(unsigned type, unsigned long long config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  return syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1,
+                 /*group_fd=*/-1, /*flags=*/0);
+}
+
+PerfEventGroup::PerfEventGroup() {
+  fd_instructions_ = static_cast<int>(
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS));
+  fd_cycles_ = static_cast<int>(
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES));
+  fd_llc_misses_ = static_cast<int>(
+      open_counter(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES));
+}
+
+PerfEventGroup::~PerfEventGroup() {
+  if (fd_instructions_ >= 0) close(fd_instructions_);
+  if (fd_cycles_ >= 0) close(fd_cycles_);
+  if (fd_llc_misses_ >= 0) close(fd_llc_misses_);
+}
+
+bool PerfEventGroup::start() {
+  if (!valid()) return false;
+  for (int fd : {fd_instructions_, fd_cycles_, fd_llc_misses_}) {
+    if (fd < 0) continue;
+    if (ioctl(fd, PERF_EVENT_IOC_RESET, 0) != 0) return false;
+    if (ioctl(fd, PERF_EVENT_IOC_ENABLE, 0) != 0) return false;
+  }
+  return true;
+}
+
+bool PerfEventGroup::stop() {
+  if (!valid()) return false;
+  bool ok = true;
+  for (int fd : {fd_instructions_, fd_cycles_, fd_llc_misses_}) {
+    if (fd >= 0 && ioctl(fd, PERF_EVENT_IOC_DISABLE, 0) != 0) ok = false;
+  }
+  return ok;
+}
+
+std::optional<cpu::PerfCounters> PerfEventGroup::read() const {
+  if (!valid()) return std::nullopt;
+  auto read_one = [](int fd, double& out) {
+    if (fd < 0) return true;  // optional counter
+    long long value = 0;
+    if (::read(fd, &value, sizeof(value)) != sizeof(value)) return false;
+    out = static_cast<double>(value);
+    return true;
+  };
+  cpu::PerfCounters c;
+  if (!read_one(fd_instructions_, c.instructions)) return std::nullopt;
+  if (!read_one(fd_cycles_, c.cycles)) return std::nullopt;
+  read_one(fd_llc_misses_, c.mem_accesses);
+  return c;
+}
+
+#else  // !__linux__
+
+long PerfEventGroup::open_counter(unsigned, unsigned long long) { return -1; }
+PerfEventGroup::PerfEventGroup() = default;
+PerfEventGroup::~PerfEventGroup() = default;
+bool PerfEventGroup::start() { return false; }
+bool PerfEventGroup::stop() { return false; }
+std::optional<cpu::PerfCounters> PerfEventGroup::read() const {
+  return std::nullopt;
+}
+
+#endif
+
+}  // namespace fvsst::host

@@ -1,0 +1,50 @@
+// perf_events.h - Real-host performance counters via perf_event_open(2).
+//
+// The Power4+ counters the paper reads through kernel support correspond on
+// a modern Linux host to the perf_event interface (what PAPI wraps).  This
+// backend counts instructions, cycles and last-level-cache misses for the
+// calling thread — the same schema cpu::PerfCounters uses — and degrades
+// gracefully where perf_event_open is unavailable (many containers deny
+// it): `valid()` is false and reads return nullopt.
+#pragma once
+
+#include <optional>
+
+#include "cpu/perf_counters.h"
+
+namespace fvsst::host {
+
+/// A group of per-thread hardware counters.
+class PerfEventGroup {
+ public:
+  /// Opens instructions/cycles/LLC-miss counters for the calling thread.
+  /// Failure (no permission, no PMU) leaves the group invalid.
+  PerfEventGroup();
+  ~PerfEventGroup();
+
+  PerfEventGroup(const PerfEventGroup&) = delete;
+  PerfEventGroup& operator=(const PerfEventGroup&) = delete;
+
+  /// True when at least instructions and cycles opened successfully.
+  bool valid() const { return fd_instructions_ >= 0 && fd_cycles_ >= 0; }
+
+  /// Resets and starts all counters.
+  bool start();
+
+  /// Stops counting.
+  bool stop();
+
+  /// Reads current values into the fvsst counter schema.  LLC misses are
+  /// reported as mem_accesses (the deepest level available portably);
+  /// l2/l3 splits require model-specific raw events and stay zero.
+  std::optional<cpu::PerfCounters> read() const;
+
+ private:
+  long open_counter(unsigned type, unsigned long long config);
+
+  int fd_instructions_ = -1;
+  int fd_cycles_ = -1;
+  int fd_llc_misses_ = -1;
+};
+
+}  // namespace fvsst::host

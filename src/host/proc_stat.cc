@@ -1,0 +1,56 @@
+#include "host/proc_stat.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace fvsst::host {
+
+std::vector<CpuTimes> parse_proc_stat(std::istream& in) {
+  std::vector<CpuTimes> out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("cpu", 0) != 0) continue;
+    std::istringstream row(line);
+    std::string label;
+    row >> label;
+    CpuTimes t;
+    if (label == "cpu") {
+      t.cpu = -1;
+    } else {
+      const std::string digits = label.substr(3);
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        continue;
+      }
+      t.cpu = std::stoi(digits);
+    }
+    // Missing trailing fields (older kernels) read as zero.
+    row >> t.user >> t.nice >> t.system >> t.idle >> t.iowait >> t.irq >>
+        t.softirq >> t.steal;
+    if (row.fail() && t.total() == 0) continue;  // malformed row
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<CpuTimes> read_proc_stat(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  return parse_proc_stat(in);
+}
+
+std::optional<double> utilization_between(const CpuTimes& earlier,
+                                          const CpuTimes& later) {
+  if (later.total() < earlier.total() || later.busy() < earlier.busy()) {
+    return std::nullopt;  // counter reset / mismatched CPUs
+  }
+  const auto total = later.total() - earlier.total();
+  if (total == 0) return std::nullopt;
+  const auto busy = later.busy() - earlier.busy();
+  double u = static_cast<double>(busy) / static_cast<double>(total);
+  if (u < 0.0) u = 0.0;
+  if (u > 1.0) u = 1.0;
+  return u;
+}
+
+}  // namespace fvsst::host

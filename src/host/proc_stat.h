@@ -1,0 +1,41 @@
+// proc_stat.h - Per-CPU utilisation from /proc/stat.
+//
+// The LongRun/DBS-style governors and the daemon's idle inference need a
+// utilisation signal; on a real Linux host the portable source is
+// /proc/stat's per-CPU jiffy counters.  Two snapshots give the busy
+// fraction of the interval between them.  (Unlike perf_event_open, this
+// works unprivileged in nearly every container.)
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fvsst::host {
+
+/// Jiffy counters for one CPU row of /proc/stat.
+struct CpuTimes {
+  int cpu = -1;  ///< -1 for the aggregate "cpu" row.
+  unsigned long long user = 0, nice = 0, system = 0, idle = 0, iowait = 0,
+                     irq = 0, softirq = 0, steal = 0;
+
+  unsigned long long busy() const {
+    return user + nice + system + irq + softirq + steal;
+  }
+  unsigned long long total() const { return busy() + idle + iowait; }
+};
+
+/// Parses the cpu rows of a /proc/stat-format stream (other rows are
+/// ignored).  Returns the aggregate row first if present, then cpu0..N.
+std::vector<CpuTimes> parse_proc_stat(std::istream& in);
+
+/// Reads and parses a /proc/stat-format file; empty vector if unreadable.
+std::vector<CpuTimes> read_proc_stat(const std::string& path = "/proc/stat");
+
+/// Busy fraction between two snapshots of the same CPU, in [0, 1];
+/// nullopt when no time passed or the counters went backwards.
+std::optional<double> utilization_between(const CpuTimes& earlier,
+                                          const CpuTimes& later);
+
+}  // namespace fvsst::host

@@ -1,0 +1,80 @@
+// machine_config.h - Descriptions of the simulated machines.
+//
+// The experimental platform in the paper is an IBM pSeries P630: four 1 GHz
+// Power4+ cores at 1.3 V, L1 4-5 cycles, L2 15 cycles, L3 113 cycles and
+// memory 393 cycles (all measured at 1 GHz), 746 W total system power of
+// which the four 140 W CPUs are ~75%, fed by two 480 W supplies.  The
+// factories below encode that machine plus cluster variants built from it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "mach/frequency_table.h"
+
+namespace fvsst::mach {
+
+/// Service times of the memory hierarchy, expressed in *seconds* so they are
+/// frequency-independent (the cycle counts the paper quotes are at the
+/// nominal 1 GHz).  L1 hit latency is folded into the ideal IPC `alpha` of
+/// each workload; the predictor only needs the miss targets L2/L3/memory.
+struct MemoryLatencies {
+  double t_l2 = 0.0;   ///< Seconds per access serviced by the L2.
+  double t_l3 = 0.0;   ///< Seconds per access serviced by the L3.
+  double t_mem = 0.0;  ///< Seconds per access serviced by main memory.
+
+  /// Converts a latency in cycles at `nominal_hz` into seconds.
+  static double cycles_to_seconds(double cycles, double nominal_hz) {
+    return cycles / nominal_hz;
+  }
+};
+
+/// Static description of one machine (an SMP node).
+struct MachineConfig {
+  std::string name;
+  std::size_t num_cpus = 1;
+  double nominal_hz = 0.0;      ///< Nameplate frequency (f_max).
+  double nominal_volts = 0.0;   ///< Core voltage at nominal frequency.
+  FrequencyTable freq_table;    ///< Available operating points.
+  MemoryLatencies latencies;    ///< True service times (seconds).
+  double idle_ipc = 0.0;        ///< IPC of the hot idle loop (Power4+: ~1.3).
+  /// True for processors that idle by halting (and expose a halted-cycle
+  /// counter), rather than spinning in the Power4+'s hot loop.  On such
+  /// machines the scheduler needs no explicit idle signal (paper Sec. 5).
+  bool idles_by_halting = false;
+  double non_cpu_power_w = 0.0; ///< Memory/fans/etc. power, frequency-independent.
+
+  /// Peak machine power: non-CPU power plus all CPUs at the top setting.
+  double peak_power_w() const {
+    return non_cpu_power_w +
+           static_cast<double>(num_cpus) * freq_table.max_point().watts;
+  }
+
+  /// Aggregate CPU power floor: all CPUs at the lowest setting.
+  double min_cpu_power_w() const {
+    return static_cast<double>(num_cpus) * freq_table.min_point().watts;
+  }
+};
+
+/// The sixteen operating points of the paper's Table 1 (frequencies in MHz
+/// and peak watts), with minimum voltages derived from the calibrated
+/// voltage curve in src/power (1.3 V at 1 GHz per the paper).
+FrequencyTable p630_frequency_table();
+
+/// The paper's experimental platform: 4 x 1 GHz Power4+, Table 1 operating
+/// points, measured memory latencies, hot idle at IPC 1.3.
+MachineConfig p630();
+
+/// The motivating example of Section 2: same CPUs, 746 W total system power
+/// with CPUs at 75%, i.e. 186 W of non-CPU power.
+MachineConfig p630_motivating_example();
+
+/// A derated variant of `base`: the operating-point table is capped at
+/// `hz_cap` and every point's power is scaled by `power_scale` (e.g. a
+/// low-power bin at 0.9, or a leaky part at 1.2).  The nominal frequency
+/// follows the new table top.  Models mixed-generation / process-variation
+/// clusters (paper Sec. 5).
+MachineConfig derated(const MachineConfig& base, double hz_cap,
+                      double power_scale = 1.0);
+
+}  // namespace fvsst::mach

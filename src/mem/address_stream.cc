@@ -1,0 +1,97 @@
+#include "mem/address_stream.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace fvsst::mem {
+
+StridedStream::StridedStream(std::uint64_t base,
+                             std::uint64_t working_set_bytes,
+                             std::uint64_t stride_bytes)
+    : base_(base), size_(working_set_bytes), stride_(stride_bytes) {
+  if (size_ == 0 || stride_ == 0) {
+    throw std::invalid_argument("StridedStream: zero size or stride");
+  }
+}
+
+std::uint64_t StridedStream::next() {
+  const std::uint64_t address = base_ + offset_;
+  offset_ = (offset_ + stride_) % size_;
+  return address;
+}
+
+UniformRandomStream::UniformRandomStream(std::uint64_t base,
+                                         std::uint64_t working_set_bytes,
+                                         sim::Rng rng)
+    : base_(base), size_(working_set_bytes), rng_(rng) {
+  if (size_ == 0) {
+    throw std::invalid_argument("UniformRandomStream: zero working set");
+  }
+}
+
+std::uint64_t UniformRandomStream::next() {
+  return base_ + rng_.next_u64() % size_;
+}
+
+PointerChaseStream::PointerChaseStream(std::uint64_t base,
+                                       std::uint64_t working_set_bytes,
+                                       std::uint64_t line_bytes,
+                                       sim::Rng rng)
+    : base_(base), line_(line_bytes) {
+  if (line_bytes == 0 || working_set_bytes < line_bytes) {
+    throw std::invalid_argument("PointerChaseStream: bad geometry");
+  }
+  const auto lines =
+      static_cast<std::uint32_t>(working_set_bytes / line_bytes);
+  // Sattolo's algorithm: a uniform random single-cycle permutation, so the
+  // chase visits every line before repeating (no short cycles).
+  std::vector<std::uint32_t> order(lines);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::uint32_t i = lines - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.uniform_int(0, i - 1));
+    std::swap(order[i], order[j]);
+  }
+  successor_.resize(lines);
+  for (std::uint32_t i = 0; i + 1 < lines; ++i) {
+    successor_[order[i]] = order[i + 1];
+  }
+  successor_[order[lines - 1]] = order[0];
+  current_ = order[0];
+}
+
+std::uint64_t PointerChaseStream::next() {
+  const std::uint64_t address = base_ + static_cast<std::uint64_t>(current_) *
+                                            line_;
+  current_ = successor_[current_];
+  return address;
+}
+
+MixStream::MixStream(std::vector<std::unique_ptr<AddressStream>> parts,
+                     std::vector<double> weights, sim::Rng rng)
+    : parts_(std::move(parts)), rng_(rng) {
+  if (parts_.empty() || parts_.size() != weights.size()) {
+    throw std::invalid_argument("MixStream: parts/weights mismatch");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("MixStream: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("MixStream: zero weight");
+  double acc = 0.0;
+  for (double w : weights) {
+    acc += w / total;
+    cumulative_.push_back(acc);
+  }
+  cumulative_.back() = 1.0;  // guard against rounding
+}
+
+std::uint64_t MixStream::next() {
+  const double u = rng_.uniform();
+  for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+    if (u < cumulative_[i]) return parts_[i]->next();
+  }
+  return parts_.back()->next();
+}
+
+}  // namespace fvsst::mem

@@ -1,0 +1,114 @@
+#include "mem/cache.h"
+
+#include <stdexcept>
+
+namespace fvsst::mem {
+namespace {
+
+bool is_power_of_two(std::uint64_t x) {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+}  // namespace
+
+Cache::Cache(CacheConfig config, std::uint64_t seed)
+    : config_(config), rng_state_(seed | 1) {
+  if (config_.size_bytes == 0 || config_.line_bytes == 0 ||
+      config_.associativity == 0) {
+    throw std::invalid_argument("Cache: zero geometry field");
+  }
+  if (!is_power_of_two(config_.line_bytes)) {
+    throw std::invalid_argument("Cache: line size must be a power of two");
+  }
+  if (config_.size_bytes % config_.line_bytes != 0) {
+    throw std::invalid_argument("Cache: size not a multiple of line size");
+  }
+  if (config_.num_lines() % config_.associativity != 0) {
+    throw std::invalid_argument("Cache: lines not divisible by ways");
+  }
+  ways_.resize(config_.num_lines());
+}
+
+std::uint64_t Cache::set_index(std::uint64_t address) const {
+  return (address / config_.line_bytes) % config_.num_sets();
+}
+
+std::uint64_t Cache::tag_of(std::uint64_t address) const {
+  return (address / config_.line_bytes) / config_.num_sets();
+}
+
+bool Cache::access(std::uint64_t address) {
+  ++accesses_;
+  ++tick_;
+  const std::uint64_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  Way* begin = &ways_[set * config_.associativity];
+
+  for (std::uint64_t w = 0; w < config_.associativity; ++w) {
+    if (begin[w].valid && begin[w].tag == tag) {
+      begin[w].last_use = tick_;
+      return true;
+    }
+  }
+
+  // Miss: fill into an invalid way if available, else evict per policy.
+  ++misses_;
+  Way* victim = nullptr;
+  for (std::uint64_t w = 0; w < config_.associativity; ++w) {
+    if (!begin[w].valid) {
+      victim = &begin[w];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    switch (config_.replacement) {
+      case ReplacementPolicy::kLru:
+        victim = begin;
+        for (std::uint64_t w = 1; w < config_.associativity; ++w) {
+          if (begin[w].last_use < victim->last_use) victim = &begin[w];
+        }
+        break;
+      case ReplacementPolicy::kFifo:
+        victim = begin;
+        for (std::uint64_t w = 1; w < config_.associativity; ++w) {
+          if (begin[w].filled_at < victim->filled_at) victim = &begin[w];
+        }
+        break;
+      case ReplacementPolicy::kRandom: {
+        // xorshift64*: deterministic, stateful, no allocation.
+        rng_state_ ^= rng_state_ >> 12;
+        rng_state_ ^= rng_state_ << 25;
+        rng_state_ ^= rng_state_ >> 27;
+        const std::uint64_t r = rng_state_ * 0x2545F4914F6CDD1Dull;
+        victim = &begin[r % config_.associativity];
+        break;
+      }
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->last_use = tick_;
+  victim->filled_at = tick_;
+  return false;
+}
+
+bool Cache::contains(std::uint64_t address) const {
+  const std::uint64_t set = set_index(address);
+  const std::uint64_t tag = tag_of(address);
+  const Way* begin = &ways_[set * config_.associativity];
+  for (std::uint64_t w = 0; w < config_.associativity; ++w) {
+    if (begin[w].valid && begin[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void Cache::flush() {
+  for (auto& way : ways_) way.valid = false;
+}
+
+void Cache::reset_stats() {
+  accesses_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace fvsst::mem

@@ -1,0 +1,85 @@
+// cache.h - Set-associative cache model.
+//
+// The phase model in src/workload characterises workloads by per-level
+// access counts; this module provides the substrate those counts come
+// from: a functional (timing-free) set-associative cache with true LRU,
+// composable into the P630's L1/L2/L3 hierarchy (mem/hierarchy.h).  The
+// profile extractor (mem/profile_extractor.h) drives synthetic address
+// streams through the hierarchy to derive apki_l2/l3/mem values from first
+// principles — validating, for example, the paper's claim that the
+// synthetic benchmark's large footprint makes "a miss in the L1 highly
+// likely to result in a memory access".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fvsst::mem {
+
+/// Victim-selection policy on a set-associative miss.
+enum class ReplacementPolicy {
+  kLru,     ///< True least-recently-used (default; worst-case thrashing).
+  kFifo,    ///< Evict the oldest fill, ignoring reuse.
+  kRandom,  ///< Uniform random way (deterministic via the cache's seed).
+};
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint64_t line_bytes = 0;     ///< Power of two.
+  std::uint64_t associativity = 0;  ///< Ways per set.
+  ReplacementPolicy replacement = ReplacementPolicy::kLru;
+
+  std::uint64_t num_lines() const { return size_bytes / line_bytes; }
+  std::uint64_t num_sets() const { return num_lines() / associativity; }
+};
+
+/// Functional set-associative cache with configurable replacement.
+class Cache {
+ public:
+  /// Throws std::invalid_argument for non-power-of-two line size, sizes
+  /// that don't divide evenly, or zero fields.  `seed` only matters for
+  /// ReplacementPolicy::kRandom (kept deterministic for reproducibility).
+  explicit Cache(CacheConfig config, std::uint64_t seed = 0x5eed);
+
+  /// Looks up the line containing `address`; on a miss the line is filled
+  /// (evicting the LRU way).  Returns true on hit.
+  bool access(std::uint64_t address);
+
+  /// Hit check without side effects.
+  bool contains(std::uint64_t address) const;
+
+  /// Invalidates everything (keeps statistics).
+  void flush();
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t misses() const { return misses_; }
+  double miss_rate() const {
+    return accesses_ ? static_cast<double>(misses_) /
+                           static_cast<double>(accesses_)
+                     : 0.0;
+  }
+  void reset_stats();
+
+  const CacheConfig& config() const { return config_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t last_use = 0;   ///< LRU ordering.
+    std::uint64_t filled_at = 0;  ///< FIFO ordering.
+    bool valid = false;
+  };
+
+  std::uint64_t set_index(std::uint64_t address) const;
+  std::uint64_t tag_of(std::uint64_t address) const;
+
+  CacheConfig config_;
+  std::vector<Way> ways_;  ///< num_sets * associativity, set-major.
+  std::uint64_t rng_state_;
+  std::uint64_t tick_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace fvsst::mem

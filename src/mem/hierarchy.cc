@@ -1,0 +1,49 @@
+#include "mem/hierarchy.h"
+
+namespace fvsst::mem {
+
+MemoryHierarchy::MemoryHierarchy(CacheConfig l1, CacheConfig l2,
+                                 CacheConfig l3)
+    : l1_(l1), l2_(l2), l3_(l3) {}
+
+ServiceLevel MemoryHierarchy::access(std::uint64_t address) {
+  if (l1_.access(address)) {
+    ++by_l1_;
+    return ServiceLevel::kL1;
+  }
+  if (l2_.access(address)) {
+    ++by_l2_;
+    return ServiceLevel::kL2;
+  }
+  if (l3_.access(address)) {
+    ++by_l3_;
+    return ServiceLevel::kL3;
+  }
+  ++by_mem_;
+  return ServiceLevel::kMemory;
+}
+
+void MemoryHierarchy::reset_stats() {
+  l1_.reset_stats();
+  l2_.reset_stats();
+  l3_.reset_stats();
+  by_l1_ = by_l2_ = by_l3_ = by_mem_ = 0;
+}
+
+void MemoryHierarchy::flush() {
+  l1_.flush();
+  l2_.flush();
+  l3_.flush();
+}
+
+MemoryHierarchy MemoryHierarchy::p630() {
+  // Paper Sec. 7.1 (data side): 64 KB L1 data cache, 1.44 MB unified L2
+  // shared by two cores, 32 MB L3.  Line sizes per the Power4 design:
+  // 128 B L1/L2, 512 B L3.
+  const CacheConfig l1{64ull * 1024, 128, 2};
+  const CacheConfig l2{1440ull * 1024, 128, 8};
+  const CacheConfig l3{32ull * 1024 * 1024, 512, 8};
+  return MemoryHierarchy(l1, l2, l3);
+}
+
+}  // namespace fvsst::mem

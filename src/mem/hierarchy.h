@@ -1,0 +1,51 @@
+// hierarchy.h - The P630's three-level cache hierarchy.
+#pragma once
+
+#include "mem/cache.h"
+
+namespace fvsst::mem {
+
+/// Which level serviced an access (kL1 = hit in the first level).
+enum class ServiceLevel { kL1, kL2, kL3, kMemory };
+
+/// An inclusive L1 -> L2 -> L3 -> memory lookup chain.
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy(CacheConfig l1, CacheConfig l2, CacheConfig l3);
+
+  /// Looks up `address`, filling every missed level (inclusive hierarchy).
+  /// Returns the level that serviced the access.
+  ServiceLevel access(std::uint64_t address);
+
+  const Cache& l1() const { return l1_; }
+  const Cache& l2() const { return l2_; }
+  const Cache& l3() const { return l3_; }
+
+  /// Per-level serviced-access counters.
+  std::uint64_t serviced_by_l1() const { return by_l1_; }
+  std::uint64_t serviced_by_l2() const { return by_l2_; }
+  std::uint64_t serviced_by_l3() const { return by_l3_; }
+  std::uint64_t serviced_by_memory() const { return by_mem_; }
+  std::uint64_t total_accesses() const {
+    return by_l1_ + by_l2_ + by_l3_ + by_mem_;
+  }
+
+  void reset_stats();
+  void flush();
+
+  /// The paper's platform (data side): 64 KB 2-way L1 (128 B lines),
+  /// 1.44 MB -> modelled as 1.5 MB 8-way shared L2, 32 MB 8-way L3 with
+  /// 512 B lines.
+  static MemoryHierarchy p630();
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  Cache l3_;
+  std::uint64_t by_l1_ = 0;
+  std::uint64_t by_l2_ = 0;
+  std::uint64_t by_l3_ = 0;
+  std::uint64_t by_mem_ = 0;
+};
+
+}  // namespace fvsst::mem

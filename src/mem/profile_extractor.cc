@@ -1,0 +1,50 @@
+#include "mem/profile_extractor.h"
+
+#include <stdexcept>
+
+namespace fvsst::mem {
+
+ExtractedProfile extract_profile(AddressStream& stream,
+                                 MemoryHierarchy& hierarchy,
+                                 std::uint64_t measured_references,
+                                 std::uint64_t warmup_references) {
+  if (measured_references == 0) {
+    throw std::invalid_argument("extract_profile: zero references");
+  }
+  for (std::uint64_t i = 0; i < warmup_references; ++i) {
+    hierarchy.access(stream.next());
+  }
+  hierarchy.reset_stats();
+  for (std::uint64_t i = 0; i < measured_references; ++i) {
+    hierarchy.access(stream.next());
+  }
+  ExtractedProfile out;
+  const auto total = static_cast<double>(hierarchy.total_accesses());
+  out.references = hierarchy.total_accesses();
+  out.l1_fraction = static_cast<double>(hierarchy.serviced_by_l1()) / total;
+  out.l2_fraction = static_cast<double>(hierarchy.serviced_by_l2()) / total;
+  out.l3_fraction = static_cast<double>(hierarchy.serviced_by_l3()) / total;
+  out.mem_fraction =
+      static_cast<double>(hierarchy.serviced_by_memory()) / total;
+  return out;
+}
+
+workload::Phase to_phase(const std::string& name, double alpha,
+                         const ExtractedProfile& profile,
+                         double accesses_per_instruction,
+                         double instructions) {
+  if (accesses_per_instruction <= 0.0) {
+    throw std::invalid_argument("to_phase: accesses/instruction must be > 0");
+  }
+  workload::Phase p;
+  p.name = name;
+  p.alpha = alpha;
+  p.instructions = instructions;
+  const double apki = accesses_per_instruction * 1000.0;
+  p.apki_l2 = profile.l2_fraction * apki;
+  p.apki_l3 = profile.l3_fraction * apki;
+  p.apki_mem = profile.mem_fraction * apki;
+  return p;
+}
+
+}  // namespace fvsst::mem

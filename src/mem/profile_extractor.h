@@ -1,0 +1,44 @@
+// profile_extractor.h - Derive workload phases from address streams.
+//
+// Bridges the cache substrate to the scheduling stack: drive an address
+// stream through a MemoryHierarchy, measure which level services each
+// reference, and express the result as the apki_l2/l3/mem parameters of a
+// workload::Phase.  This derives from first principles the numbers the
+// hand-authored profiles assert — and lets users model new applications by
+// describing their reference behaviour rather than their counter rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mem/address_stream.h"
+#include "mem/hierarchy.h"
+#include "workload/phase.h"
+
+namespace fvsst::mem {
+
+/// Per-level service distribution of a reference stream.
+struct ExtractedProfile {
+  double l1_fraction = 0.0;   ///< Share of references serviced by the L1.
+  double l2_fraction = 0.0;
+  double l3_fraction = 0.0;
+  double mem_fraction = 0.0;
+  std::uint64_t references = 0;
+};
+
+/// Runs `warmup + measured` references through the hierarchy; statistics
+/// are reset after warm-up so cold-start misses don't skew the profile.
+ExtractedProfile extract_profile(AddressStream& stream,
+                                 MemoryHierarchy& hierarchy,
+                                 std::uint64_t measured_references,
+                                 std::uint64_t warmup_references = 0);
+
+/// Converts a profile into a scheduling phase.  `accesses_per_instruction`
+/// is the workload's data-reference density (e.g. ~0.3 loads+stores per
+/// instruction for typical integer code).
+workload::Phase to_phase(const std::string& name, double alpha,
+                         const ExtractedProfile& profile,
+                         double accesses_per_instruction,
+                         double instructions);
+
+}  // namespace fvsst::mem

@@ -1,0 +1,44 @@
+#include "power/budget.h"
+
+#include <stdexcept>
+
+namespace fvsst::power {
+
+PowerBudget::PowerBudget(double limit_w, double margin_fraction)
+    : limit_w_(limit_w), margin_fraction_(margin_fraction) {
+  if (limit_w < 0.0) {
+    throw std::invalid_argument("PowerBudget: negative limit");
+  }
+  if (margin_fraction < 0.0 || margin_fraction >= 1.0) {
+    throw std::invalid_argument("PowerBudget: margin must be in [0, 1)");
+  }
+}
+
+void PowerBudget::set_limit_w(double limit_w) {
+  if (limit_w < 0.0) {
+    throw std::invalid_argument("PowerBudget: negative limit");
+  }
+  if (limit_w == limit_w_) return;
+  limit_w_ = limit_w;
+  notify();
+}
+
+void PowerBudget::set_margin_fraction(double margin_fraction) {
+  if (margin_fraction < 0.0 || margin_fraction >= 1.0) {
+    throw std::invalid_argument("PowerBudget: margin must be in [0, 1)");
+  }
+  if (margin_fraction == margin_fraction_) return;
+  margin_fraction_ = margin_fraction;
+  notify();
+}
+
+void PowerBudget::on_change(std::function<void(double)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void PowerBudget::notify() {
+  const double effective = effective_limit_w();
+  for (const auto& listener : listeners_) listener(effective);
+}
+
+}  // namespace fvsst::power

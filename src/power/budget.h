@@ -1,0 +1,50 @@
+// budget.h - The global CPU power budget the scheduler must respect.
+//
+// The paper's power limit is global ("the power must represent the aggregate
+// processor power consumption of the entire system") and may change at run
+// time when supplies fail or external caps arrive.  PowerBudget carries the
+// current limit, an optional safety margin, and change notifications — the
+// "power limit changed" trigger of the scheduling procedure.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace fvsst::power {
+
+/// Mutable global CPU power limit with listeners.
+class PowerBudget {
+ public:
+  /// `limit_w` is the raw available power for the CPUs; `margin_fraction`
+  /// (paper Sec. 5: "the global limit may contain a margin of safety")
+  /// shrinks the effective limit handed to the scheduler.
+  explicit PowerBudget(double limit_w, double margin_fraction = 0.0);
+
+  /// Raw limit in watts.
+  double limit_w() const { return limit_w_; }
+
+  /// Limit after applying the safety margin; this is what the scheduler
+  /// must stay under.
+  double effective_limit_w() const {
+    return limit_w_ * (1.0 - margin_fraction_);
+  }
+
+  double margin_fraction() const { return margin_fraction_; }
+
+  /// Updates the raw limit; notifies listeners when the value changes.
+  void set_limit_w(double limit_w);
+
+  void set_margin_fraction(double margin_fraction);
+
+  /// Registers a callback invoked with the new *effective* limit.
+  void on_change(std::function<void(double effective_limit_w)> listener);
+
+ private:
+  void notify();
+
+  double limit_w_;
+  double margin_fraction_;
+  std::vector<std::function<void(double)>> listeners_;
+};
+
+}  // namespace fvsst::power

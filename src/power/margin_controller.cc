@@ -1,0 +1,47 @@
+#include "power/margin_controller.h"
+
+#include <algorithm>
+
+#include "simkit/log.h"
+
+namespace fvsst::power {
+
+MarginController::MarginController(sim::Simulation& sim, PowerBudget& budget,
+                                   std::function<double()> measured_power_fn,
+                                   Config config)
+    : sim_(sim),
+      budget_(budget),
+      measured_power_fn_(std::move(measured_power_fn)),
+      config_(config) {
+  event_id_ = sim_.schedule_every(config_.check_period_s, [this] { check(); });
+}
+
+MarginController::~MarginController() {
+  sim_.cancel(event_id_);
+}
+
+void MarginController::check() {
+  const double measured = measured_power_fn_();
+  const double limit = budget_.limit_w();
+  if (limit <= 0.0) return;
+  const double margin = budget_.margin_fraction();
+  if (measured > limit) {
+    // The system is over the absolute limit: the scheduler's model is
+    // optimistic.  Grow the margin so the next schedule provisions less.
+    ++violations_;
+    const double grown =
+        std::min(margin + config_.grow_step, config_.max_margin);
+    if (grown != margin) {
+      sim::LogLine(sim::LogLevel::kInfo, "margin", sim_.now())
+          << "measured " << measured << "W > limit " << limit
+          << "W; margin -> " << grown;
+      budget_.set_margin_fraction(grown);
+    }
+  } else if (measured < limit * (1.0 - config_.headroom) && margin > 0.0) {
+    // Comfortably under: decay the margin so performance recovers.
+    budget_.set_margin_fraction(
+        std::max(0.0, margin - config_.decay_step));
+  }
+}
+
+}  // namespace fvsst::power

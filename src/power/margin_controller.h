@@ -1,0 +1,68 @@
+// margin_controller.h - Feedback between measured power and the budget's
+// safety margin.
+//
+// The paper (Sec. 5): "The use of power measurement to monitor the total
+// power consumption ensures that the system stays below the absolute
+// limit.  If necessary, the global limit may contain a margin of safety
+// that forces a downward adjustment of frequency and voltage before any
+// hardware-related, critical power limits are reached."
+//
+// MarginController implements that loop: it periodically compares measured
+// power against the budget's raw limit and grows the margin whenever
+// measurement exceeds what the scheduler believed it had provisioned
+// (model error, unmodelled components); when measurements sit comfortably
+// below the limit for a while, the margin decays back so performance is
+// not permanently sacrificed.
+#pragma once
+
+#include <functional>
+
+#include "power/budget.h"
+#include "simkit/event_queue.h"
+
+namespace fvsst::power {
+
+/// Tuning knobs for MarginController.
+struct MarginControllerConfig {
+  double check_period_s = 0.05;
+  /// Margin added per violation check, as a fraction of the limit.
+  double grow_step = 0.02;
+  /// Margin removed per comfortable check.
+  double decay_step = 0.002;
+  /// Measured power below (1 - headroom) * limit counts as comfortable.
+  double headroom = 0.05;
+  double max_margin = 0.30;
+};
+
+/// Adaptive safety-margin controller.
+class MarginController {
+ public:
+  using Config = MarginControllerConfig;
+
+  /// `measured_power_fn` returns the quantity the budget limits (aggregate
+  /// CPU power in the standard setup).
+  MarginController(sim::Simulation& sim, PowerBudget& budget,
+                   std::function<double()> measured_power_fn,
+                   Config config = MarginControllerConfig());
+  ~MarginController();
+
+  MarginController(const MarginController&) = delete;
+  MarginController& operator=(const MarginController&) = delete;
+
+  /// Number of checks where measured power exceeded the raw limit.
+  std::size_t violations() const { return violations_; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  void check();
+
+  sim::Simulation& sim_;
+  PowerBudget& budget_;
+  std::function<double()> measured_power_fn_;
+  Config config_;
+  sim::EventId event_id_ = 0;
+  std::size_t violations_ = 0;
+};
+
+}  // namespace fvsst::power

@@ -1,0 +1,81 @@
+#include "power/power_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fvsst::power {
+
+PowerModel::PowerModel(double capacitance_f, double leakage_w_per_v2)
+    : c_(capacitance_f), b_(leakage_w_per_v2) {
+  if (c_ < 0.0 || b_ < 0.0) {
+    throw std::invalid_argument("PowerModel: negative coefficient");
+  }
+}
+
+double PowerModel::active_power(double hz, double volts) const {
+  return c_ * volts * volts * hz;
+}
+
+double PowerModel::static_power(double volts) const {
+  return b_ * volts * volts;
+}
+
+double PowerModel::power(double hz, double volts) const {
+  return active_power(hz, volts) + static_power(volts);
+}
+
+PowerModel PowerModel::calibrate(const mach::FrequencyTable& reference) {
+  if (reference.size() < 2) {
+    throw std::invalid_argument("PowerModel::calibrate: need >= 2 points");
+  }
+  // P = C*x + B*y with x = V^2*f, y = V^2 is linear in (C, B); solve the
+  // 2x2 normal equations directly.
+  double sxx = 0.0, sxy = 0.0, syy = 0.0, sxp = 0.0, syp = 0.0;
+  for (const auto& p : reference.points()) {
+    const double x = p.volts * p.volts * p.hz;
+    const double y = p.volts * p.volts;
+    sxx += x * x;
+    sxy += x * y;
+    syy += y * y;
+    sxp += x * p.watts;
+    syp += y * p.watts;
+  }
+  const double det = sxx * syy - sxy * sxy;
+  if (std::abs(det) < 1e-30) {
+    throw std::invalid_argument("PowerModel::calibrate: degenerate table");
+  }
+  double c = (sxp * syy - syp * sxy) / det;
+  double b = (syp * sxx - sxp * sxy) / det;
+  // Physical coefficients cannot be negative; clamp and refit the other
+  // coefficient alone if the unconstrained optimum lies outside the domain.
+  if (b < 0.0) {
+    b = 0.0;
+    c = sxp / sxx;
+  }
+  if (c < 0.0) {
+    c = 0.0;
+    b = syp / syy;
+  }
+  return PowerModel(c, b);
+}
+
+CalibrationReport PowerModel::calibrate_report(
+    const mach::FrequencyTable& reference) {
+  const PowerModel model = calibrate(reference);
+  CalibrationReport report;
+  report.capacitance_f = model.capacitance();
+  report.leakage_w_per_v2 = model.leakage_coefficient();
+  double sq_sum = 0.0;
+  for (const auto& p : reference.points()) {
+    const double err = model.power(p.hz, p.volts) - p.watts;
+    sq_sum += err * err;
+    report.max_abs_error_w = std::max(report.max_abs_error_w, std::abs(err));
+    report.max_rel_error =
+        std::max(report.max_rel_error, std::abs(err) / p.watts);
+  }
+  report.rms_error_w =
+      std::sqrt(sq_sum / static_cast<double>(reference.size()));
+  return report;
+}
+
+}  // namespace fvsst::power

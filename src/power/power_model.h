@@ -1,0 +1,59 @@
+// power_model.h - Analytic CPU power model and its calibration.
+//
+// The paper uses P = C*Vdd^2*f + B*Vdd^2: the first term is active
+// (switching) power, the second is static (leakage) power, with B process-
+// and temperature-dependent.  The authors obtained per-frequency peak power
+// from IBM's Lava circuit-level estimator (their Table 1).  We substitute a
+// least-squares calibration of (C, B) against that same table, which both
+// validates the analytic form and gives us power at arbitrary
+// (frequency, voltage) points, e.g. for the continuous f_ideal extension.
+#pragma once
+
+#include <string>
+
+#include "mach/frequency_table.h"
+
+namespace fvsst::power {
+
+/// Result of calibrating the analytic model against a reference table.
+struct CalibrationReport {
+  double capacitance_f = 0.0;   ///< Fitted C in farads.
+  double leakage_w_per_v2 = 0.0;///< Fitted B in watts per volt^2.
+  double max_abs_error_w = 0.0; ///< Worst |model - table| over all points.
+  double rms_error_w = 0.0;     ///< RMS of (model - table).
+  double max_rel_error = 0.0;   ///< Worst |model - table| / table.
+};
+
+/// CPU power as a function of frequency and voltage: P = C*V^2*f + B*V^2.
+class PowerModel {
+ public:
+  /// Constructs with explicit parameters.  C in farads, B in W/V^2.
+  PowerModel(double capacitance_f, double leakage_w_per_v2);
+
+  /// Power in watts at the given operating condition.
+  double power(double hz, double volts) const;
+
+  /// Active (switching) component only.
+  double active_power(double hz, double volts) const;
+
+  /// Static (leakage) component only.
+  double static_power(double volts) const;
+
+  double capacitance() const { return c_; }
+  double leakage_coefficient() const { return b_; }
+
+  /// Fits (C, B) to the (frequency, voltage, watts) triples of a reference
+  /// table by linear least squares (the model is linear in C and B).
+  /// Throws std::invalid_argument for tables with fewer than two points.
+  static PowerModel calibrate(const mach::FrequencyTable& reference);
+
+  /// Calibrates and reports fit quality; used by bench_table1_power.
+  static CalibrationReport calibrate_report(
+      const mach::FrequencyTable& reference);
+
+ private:
+  double c_;
+  double b_;
+};
+
+}  // namespace fvsst::power

@@ -1,0 +1,31 @@
+#include "power/sensor.h"
+
+namespace fvsst::power {
+
+PowerSensor::PowerSensor(sim::Simulation& sim,
+                         std::function<double()> power_fn, double period_s,
+                         std::string name)
+    : sim_(sim), power_fn_(std::move(power_fn)), trace_(std::move(name)) {
+  sample();  // take an initial reading at t = now
+  event_id_ = sim_.schedule_every(period_s, [this] { sample(); });
+}
+
+PowerSensor::~PowerSensor() {
+  sim_.cancel(event_id_);
+}
+
+void PowerSensor::sample() {
+  const double watts = power_fn_();
+  trace_.add(sim_.now(), watts);
+  weighted_.record(sim_.now(), watts);
+}
+
+double PowerSensor::mean_power_w() const {
+  return weighted_.mean_until(sim_.now());
+}
+
+double PowerSensor::energy_j() const {
+  return weighted_.integral_until(sim_.now());
+}
+
+}  // namespace fvsst::power

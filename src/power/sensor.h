@@ -1,0 +1,51 @@
+// sensor.h - Periodic power measurement.
+//
+// The paper's system "uses power status and measurement data to determine
+// the value of the limit and to monitor compliance with it".  PowerSensor
+// samples an instantaneous-power source on a fixed period, recording a
+// trace (for the figures) and a time-weighted mean/energy integral (for
+// Table 3's energy rows).
+#pragma once
+
+#include <functional>
+
+#include "simkit/event_queue.h"
+#include "simkit/stats.h"
+#include "simkit/time_series.h"
+
+namespace fvsst::power {
+
+/// Samples a power source periodically into a TimeSeries + energy integral.
+class PowerSensor {
+ public:
+  /// Starts sampling immediately; `power_fn` returns watts.
+  PowerSensor(sim::Simulation& sim, std::function<double()> power_fn,
+              double period_s, std::string name = "power_w");
+  ~PowerSensor();
+
+  PowerSensor(const PowerSensor&) = delete;
+  PowerSensor& operator=(const PowerSensor&) = delete;
+
+  /// Full sampled trace (watts vs seconds).
+  const sim::TimeSeries& trace() const { return trace_; }
+
+  /// Mean power over [start, now] (time-weighted, piecewise constant).
+  double mean_power_w() const;
+
+  /// Energy consumed over [start, now] in joules.
+  double energy_j() const;
+
+  /// Most recent sample.
+  double last_sample_w() const { return weighted_.last_value(); }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  std::function<double()> power_fn_;
+  sim::EventId event_id_ = 0;
+  sim::TimeSeries trace_;
+  sim::TimeWeightedStat weighted_;
+};
+
+}  // namespace fvsst::power

@@ -1,0 +1,130 @@
+#include "power/supply.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "simkit/log.h"
+
+namespace fvsst::power {
+
+SupplyEfficiency::SupplyEfficiency()
+    : SupplyEfficiency(std::vector<Point>{{0.0, 0.60},
+                                          {0.10, 0.78},
+                                          {0.20, 0.84},
+                                          {0.50, 0.87},
+                                          {1.00, 0.83}}) {}
+
+SupplyEfficiency::SupplyEfficiency(std::vector<Point> curve)
+    : curve_(std::move(curve)) {
+  if (curve_.empty()) {
+    throw std::invalid_argument("SupplyEfficiency: empty curve");
+  }
+  std::sort(curve_.begin(), curve_.end(),
+            [](const Point& a, const Point& b) {
+              return a.load_fraction < b.load_fraction;
+            });
+  for (const auto& p : curve_) {
+    if (p.efficiency <= 0.0 || p.efficiency > 1.0) {
+      throw std::invalid_argument(
+          "SupplyEfficiency: efficiency outside (0, 1]");
+    }
+  }
+}
+
+double SupplyEfficiency::at(double load_fraction) const {
+  const double x = std::clamp(load_fraction, 0.0, 1.0);
+  if (x <= curve_.front().load_fraction) return curve_.front().efficiency;
+  if (x >= curve_.back().load_fraction) return curve_.back().efficiency;
+  for (std::size_t i = 1; i < curve_.size(); ++i) {
+    if (x <= curve_[i].load_fraction) {
+      const auto& lo = curve_[i - 1];
+      const auto& hi = curve_[i];
+      const double t =
+          (x - lo.load_fraction) / (hi.load_fraction - lo.load_fraction);
+      return lo.efficiency + t * (hi.efficiency - lo.efficiency);
+    }
+  }
+  return curve_.back().efficiency;
+}
+
+double SupplyEfficiency::wall_power_w(double dc_watts,
+                                      double capacity_w) const {
+  if (dc_watts <= 0.0) return 0.0;
+  if (capacity_w <= 0.0) {
+    throw std::invalid_argument("SupplyEfficiency: non-positive capacity");
+  }
+  return dc_watts / at(dc_watts / capacity_w);
+}
+
+PowerDomain::PowerDomain(std::vector<PowerSupply> supplies)
+    : supplies_(std::move(supplies)) {
+  if (supplies_.empty()) {
+    throw std::invalid_argument("PowerDomain: no supplies");
+  }
+}
+
+double PowerDomain::available_capacity_w() const {
+  double total = 0.0;
+  for (const auto& s : supplies_) {
+    if (s.healthy) total += s.capacity_w;
+  }
+  return total;
+}
+
+void PowerDomain::fail_supply(std::size_t i) {
+  auto& s = supplies_.at(i);
+  if (!s.healthy) return;
+  s.healthy = false;
+  notify();
+}
+
+void PowerDomain::restore_supply(std::size_t i) {
+  auto& s = supplies_.at(i);
+  if (s.healthy) return;
+  s.healthy = true;
+  notify();
+}
+
+void PowerDomain::on_capacity_change(CapacityListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void PowerDomain::notify() {
+  const double capacity = available_capacity_w();
+  for (const auto& listener : listeners_) listener(capacity);
+}
+
+CascadeMonitor::CascadeMonitor(sim::Simulation& sim, const PowerDomain& domain,
+                               std::function<double()> power_fn,
+                               double overload_tolerance_s,
+                               double check_period_s)
+    : sim_(sim),
+      domain_(domain),
+      power_fn_(std::move(power_fn)),
+      tolerance_s_(overload_tolerance_s) {
+  event_id_ = sim_.schedule_every(check_period_s, [this] { check(); });
+}
+
+CascadeMonitor::~CascadeMonitor() {
+  sim_.cancel(event_id_);
+}
+
+void CascadeMonitor::check() {
+  if (cascaded_) return;
+  const double consumption = power_fn_();
+  const double capacity = domain_.available_capacity_w();
+  if (consumption > capacity) {
+    if (overload_since_ < 0.0) overload_since_ = sim_.now();
+    if (sim_.now() - overload_since_ >= tolerance_s_) {
+      cascaded_ = true;
+      sim::LogLine(sim::LogLevel::kError, "cascade", sim_.now())
+          << "cascade failure: " << consumption << "W > " << capacity
+          << "W for " << tolerance_s_ << "s";
+      if (on_cascade_) on_cascade_();
+    }
+  } else {
+    overload_since_ = -1.0;
+  }
+}
+
+}  // namespace fvsst::power

@@ -1,0 +1,123 @@
+// supply.h - Redundant power supplies and the cascade-failure monitor.
+//
+// The motivating scenario of the paper (Sec. 2): a system drawing 746 W from
+// two 480 W supplies loses one supply at time T0.  Unless consumption drops
+// below the surviving capacity within the supply's overload tolerance DT, the
+// second supply also fails (a cascade).  PowerDomain models the supplies and
+// budget; CascadeMonitor watches measured consumption against capacity and
+// declares a cascade when the overload persists longer than DT.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simkit/event_queue.h"
+
+namespace fvsst::power {
+
+/// One power supply unit.
+struct PowerSupply {
+  std::string name;
+  double capacity_w = 0.0;
+  bool healthy = true;
+};
+
+/// Conversion efficiency of a PSU as a function of its load fraction —
+/// the familiar "80 PLUS" hump: poor at light load, peaking around 50%,
+/// easing off toward full load.  Wall (AC) draw = DC load / efficiency.
+class SupplyEfficiency {
+ public:
+  /// Piecewise-linear curve over load fractions in [0, 1].  The default
+  /// approximates an 80 PLUS Bronze unit.
+  struct Point {
+    double load_fraction;
+    double efficiency;
+  };
+
+  SupplyEfficiency();  ///< Default Bronze-like curve.
+  /// Custom curve; points are sorted by load fraction.  Throws
+  /// std::invalid_argument on empty curves or efficiencies outside (0, 1].
+  explicit SupplyEfficiency(std::vector<Point> curve);
+
+  /// Efficiency at the given load fraction (clamped to [0, 1],
+  /// linearly interpolated).
+  double at(double load_fraction) const;
+
+  /// AC wall power drawn to deliver `dc_watts` from a supply of
+  /// `capacity_w`.
+  double wall_power_w(double dc_watts, double capacity_w) const;
+
+ private:
+  std::vector<Point> curve_;
+};
+
+/// A set of supplies feeding one system or rack, with capacity-change
+/// notifications.  Capacity is the sum of healthy supplies' capacities.
+class PowerDomain {
+ public:
+  using CapacityListener = std::function<void(double new_capacity_w)>;
+
+  explicit PowerDomain(std::vector<PowerSupply> supplies);
+
+  std::size_t supply_count() const { return supplies_.size(); }
+  const PowerSupply& supply(std::size_t i) const { return supplies_.at(i); }
+
+  /// Total capacity of all currently healthy supplies.
+  double available_capacity_w() const;
+
+  /// Marks a supply failed/restored and notifies listeners on change.
+  void fail_supply(std::size_t i);
+  void restore_supply(std::size_t i);
+
+  /// Registers a callback invoked whenever available capacity changes.
+  void on_capacity_change(CapacityListener listener);
+
+ private:
+  void notify();
+
+  std::vector<PowerSupply> supplies_;
+  std::vector<CapacityListener> listeners_;
+};
+
+/// Watches measured system power against domain capacity.  If consumption
+/// exceeds capacity continuously for at least `overload_tolerance_s`
+/// (the paper's DT), the domain cascades: `cascaded()` becomes true and the
+/// optional callback fires once.
+class CascadeMonitor {
+ public:
+  /// `power_fn` returns instantaneous total system power in watts.
+  CascadeMonitor(sim::Simulation& sim, const PowerDomain& domain,
+                 std::function<double()> power_fn,
+                 double overload_tolerance_s, double check_period_s = 1e-3);
+  ~CascadeMonitor();
+
+  CascadeMonitor(const CascadeMonitor&) = delete;
+  CascadeMonitor& operator=(const CascadeMonitor&) = delete;
+
+  bool cascaded() const { return cascaded_; }
+
+  /// Time the domain first went into overload in the current episode;
+  /// negative when not currently overloaded.
+  double overload_since() const { return overload_since_; }
+
+  /// Invoked exactly once when a cascade occurs.
+  void on_cascade(std::function<void()> callback) {
+    on_cascade_ = std::move(callback);
+  }
+
+ private:
+  void check();
+
+  sim::Simulation& sim_;
+  const PowerDomain& domain_;
+  std::function<double()> power_fn_;
+  double tolerance_s_;
+  sim::EventId event_id_ = 0;
+  double overload_since_ = -1.0;
+  bool cascaded_ = false;
+  std::function<void()> on_cascade_;
+};
+
+}  // namespace fvsst::power

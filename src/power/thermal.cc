@@ -1,0 +1,87 @@
+#include "power/thermal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "simkit/log.h"
+
+namespace fvsst::power {
+
+ThermalModel::ThermalModel(Params params)
+    : params_(params), temp_c_(params.initial_c) {
+  if (params_.tau_s <= 0.0 || params_.r_c_per_w < 0.0) {
+    throw std::invalid_argument("ThermalModel: bad parameters");
+  }
+}
+
+void ThermalModel::step(double dt, double watts) {
+  if (dt < 0.0) throw std::invalid_argument("ThermalModel: negative dt");
+  const double target = steady_state_c(watts);
+  const double decay = std::exp(-dt / params_.tau_s);
+  temp_c_ = target + (temp_c_ - target) * decay;
+}
+
+ThermalGovernor::ThermalGovernor(
+    sim::Simulation& sim, PowerBudget& budget, std::size_t num_cpus,
+    std::function<double(std::size_t)> per_cpu_power_fn, Config config)
+    : sim_(sim),
+      budget_(budget),
+      per_cpu_power_fn_(std::move(per_cpu_power_fn)),
+      config_(config),
+      base_limit_w_(budget.limit_w()),
+      last_set_w_(budget.limit_w()) {
+  if (num_cpus == 0) {
+    throw std::invalid_argument("ThermalGovernor: no CPUs");
+  }
+  models_.assign(num_cpus, ThermalModel(config_.thermal));
+  event_ = sim_.schedule_every(config_.sample_period_s, [this] { sample(); });
+}
+
+ThermalGovernor::~ThermalGovernor() {
+  sim_.cancel(event_);
+}
+
+double ThermalGovernor::hottest_c() const {
+  double hottest = -1e9;
+  for (const auto& m : models_) hottest = std::max(hottest, m.temperature_c());
+  return hottest;
+}
+
+void ThermalGovernor::set_ambient_c(double ambient_c) {
+  for (auto& m : models_) m.set_ambient_c(ambient_c);
+}
+
+void ThermalGovernor::sample() {
+  for (std::size_t i = 0; i < models_.size(); ++i) {
+    models_[i].step(config_.sample_period_s, per_cpu_power_fn_(i));
+  }
+  const double hottest = hottest_c();
+  trace_.add(sim_.now(), hottest);
+
+  // Detect external limit changes (supply failure/restoration, operator
+  // caps): adopt the new value as the base our scale applies to.
+  if (budget_.limit_w() != last_set_w_) {
+    base_limit_w_ = budget_.limit_w();
+  }
+
+  if (hottest > config_.limit_c) {
+    ++shed_events_;
+    my_scale_ = std::max(my_scale_ * config_.shed_factor,
+                         config_.min_budget_fraction);
+    sim::LogLine(sim::LogLevel::kInfo, "thermal", sim_.now())
+        << "hottest " << hottest << "C over " << config_.limit_c
+        << "C: thermal scale -> " << my_scale_;
+  } else if (hottest < config_.limit_c - config_.hysteresis_c &&
+             my_scale_ < 1.0) {
+    my_scale_ = std::min(1.0, my_scale_ * config_.restore_factor);
+  }
+
+  const double target = base_limit_w_ * my_scale_;
+  if (target != budget_.limit_w()) {
+    budget_.set_limit_w(target);
+  }
+  last_set_w_ = budget_.limit_w();
+}
+
+}  // namespace fvsst::power

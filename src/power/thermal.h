@@ -1,0 +1,121 @@
+// thermal.h - First-order thermal model and thermal-limit trigger.
+//
+// Two of the paper's motivating failure modes are thermal: "site air
+// conditioning failures" and external requests to shed heat.  The related
+// work it builds on (Ghiasi & Grunwald) manages processor *temperature*
+// with heterogeneous cores.  This module closes that loop for fvsst:
+//
+//   ThermalModel     per-CPU die temperature as a first-order RC response
+//                    to dissipated power and ambient temperature,
+//                      dT/dt = (T_amb + R*P - T) / tau
+//   ThermalGovernor  watches modelled (or measured) temperatures and turns
+//                    a thermal limit into a CPU power budget adjustment —
+//                    another source for the paper's "power limit changed"
+//                    trigger.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "power/budget.h"
+#include "simkit/event_queue.h"
+#include "simkit/time_series.h"
+
+namespace fvsst::power {
+
+/// First-order (RC) die-temperature model for one CPU.
+class ThermalModel {
+ public:
+  struct Params {
+    double ambient_c = 25.0;       ///< Inlet/ambient temperature.
+    double r_c_per_w = 0.35;       ///< Thermal resistance junction->ambient.
+    double tau_s = 8.0;            ///< Thermal time constant.
+    double initial_c = 25.0;
+  };
+
+  explicit ThermalModel(Params params);
+
+  /// Advances the model by `dt` seconds with constant power `watts`.
+  /// Uses the exact exponential step, so large dt is fine.
+  void step(double dt, double watts);
+
+  double temperature_c() const { return temp_c_; }
+
+  /// Steady-state temperature at constant power.
+  double steady_state_c(double watts) const {
+    return params_.ambient_c + params_.r_c_per_w * watts;
+  }
+
+  /// Changes the ambient (e.g. the machine-room A/C failing mid-run).
+  void set_ambient_c(double ambient_c) { params_.ambient_c = ambient_c; }
+  double ambient_c() const { return params_.ambient_c; }
+
+ private:
+  Params params_;
+  double temp_c_;
+};
+
+/// Thermal-limit governor: samples per-CPU power, integrates the thermal
+/// models, and scales the power budget down when the hottest die crosses
+/// `limit_c` (restoring it as temperature recovers).
+class ThermalGovernor {
+ public:
+  struct Config {
+    double limit_c = 85.0;         ///< Junction limit.
+    double hysteresis_c = 5.0;     ///< Restore below limit - hysteresis.
+    double sample_period_s = 0.25;
+    /// Budget multiplier applied per over-limit sample (compounding).
+    double shed_factor = 0.85;
+    /// Budget multiplier applied per comfortable sample, up to the
+    /// original budget.
+    double restore_factor = 1.05;
+    /// Shedding never pushes the budget below this fraction of the
+    /// original (frequency scaling cannot reach zero power anyway).
+    double min_budget_fraction = 0.05;
+    ThermalModel::Params thermal;
+  };
+
+  /// `per_cpu_power_fn(i)` returns CPU i's current power in watts.
+  ThermalGovernor(sim::Simulation& sim, PowerBudget& budget,
+                  std::size_t num_cpus,
+                  std::function<double(std::size_t)> per_cpu_power_fn,
+                  Config config);
+  ~ThermalGovernor();
+
+  ThermalGovernor(const ThermalGovernor&) = delete;
+  ThermalGovernor& operator=(const ThermalGovernor&) = delete;
+
+  double temperature_c(std::size_t cpu) const {
+    return models_.at(cpu).temperature_c();
+  }
+  double hottest_c() const;
+
+  /// Simulated A/C failure: raises every model's ambient.
+  void set_ambient_c(double ambient_c);
+
+  /// Trace of the hottest die temperature.
+  const sim::TimeSeries& hottest_trace() const { return trace_; }
+
+  std::size_t shed_events() const { return shed_events_; }
+
+ private:
+  void sample();
+
+  sim::Simulation& sim_;
+  PowerBudget& budget_;
+  std::function<double(std::size_t)> per_cpu_power_fn_;
+  Config config_;
+  std::vector<ThermalModel> models_;
+  /// The governor only scales the budget by its own factor in
+  /// [min_budget_fraction, 1] on top of whatever base limit other actors
+  /// (supply failures, operators) have set — so a thermal restore never
+  /// undoes an external budget cut.
+  double base_limit_w_;
+  double my_scale_ = 1.0;
+  double last_set_w_;
+  sim::EventId event_ = 0;
+  sim::TimeSeries trace_{"hottest_c"};
+  std::size_t shed_events_ = 0;
+};
+
+}  // namespace fvsst::power

@@ -1,0 +1,90 @@
+#include "simkit/csv.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "simkit/time_series.h"
+
+namespace fvsst::sim {
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+bool write_series_csv(const std::string& path,
+                      const std::vector<const TimeSeries*>& series,
+                      double dt) {
+  std::ofstream probe(path);
+  if (!probe) return false;
+  probe.close();
+
+  CsvWriter csv(path);
+  std::vector<std::string> header{"time_s"};
+  double t0 = 0.0, t1 = 0.0;
+  bool any = false;
+  for (const auto* s : series) {
+    if (!s) continue;
+    header.push_back(s->name().empty() ? "series" : s->name());
+    if (!s->empty()) {
+      if (!any) {
+        t0 = s->first_time();
+        t1 = s->last_time();
+        any = true;
+      } else {
+        t0 = std::min(t0, s->first_time());
+        t1 = std::max(t1, s->last_time());
+      }
+    }
+  }
+  csv.write_row(header);
+  if (!any || dt <= 0.0) return true;
+  for (double t = t0; t <= t1 + dt * 0.5; t += dt) {
+    std::vector<double> row{t};
+    for (const auto* s : series) {
+      if (!s || s->empty()) continue;
+      const double tc = std::clamp(t, s->first_time(), s->last_time());
+      row.push_back(s->value_at(tc));
+    }
+    csv.write_row(row);
+  }
+  return true;
+}
+
+std::string csv_output_dir() {
+  const char* dir = std::getenv("FVSST_CSV_DIR");
+  return dir ? std::string(dir) : std::string();
+}
+
+}  // namespace fvsst::sim

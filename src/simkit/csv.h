@@ -1,0 +1,41 @@
+// csv.h - CSV export for traces and bench results.
+//
+// The paper's figures were produced by post-processing fvsst's logs; our
+// benches do the same, optionally dumping CSVs (set FVSST_CSV_DIR) that can
+// be plotted externally.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace fvsst::sim {
+
+class TimeSeries;
+
+/// Minimal CSV writer; quotes cells containing separators.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Convenience for numeric rows.
+  void write_row(const std::vector<double>& cells);
+
+ private:
+  std::ofstream out_;
+};
+
+/// Writes one or more time series as aligned columns (time, s1, s2, ...)
+/// resampled to `dt`.  Returns false (without throwing) if `path` cannot be
+/// opened; bench binaries treat CSV output as best effort.
+bool write_series_csv(const std::string& path,
+                      const std::vector<const TimeSeries*>& series, double dt);
+
+/// Returns $FVSST_CSV_DIR if set, else an empty string; benches call this to
+/// decide whether to dump CSVs.
+std::string csv_output_dir();
+
+}  // namespace fvsst::sim

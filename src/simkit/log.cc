@@ -1,0 +1,51 @@
+#include "simkit/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fvsst::sim {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void init_log_level_from_env() {
+  const char* env = std::getenv("FVSST_LOG");
+  if (!env) return;
+  if (std::strcmp(env, "debug") == 0) g_level = LogLevel::kDebug;
+  else if (std::strcmp(env, "info") == 0) g_level = LogLevel::kInfo;
+  else if (std::strcmp(env, "warn") == 0) g_level = LogLevel::kWarn;
+  else if (std::strcmp(env, "error") == 0) g_level = LogLevel::kError;
+  else if (std::strcmp(env, "off") == 0) g_level = LogLevel::kOff;
+}
+
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message, double sim_time) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  if (sim_time >= 0.0) {
+    std::fprintf(stderr, "[%s] [%s] [t=%.4fs] %s\n", level_name(level),
+                 component.c_str(), sim_time, message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] [%s] %s\n", level_name(level),
+                 component.c_str(), message.c_str());
+  }
+}
+
+}  // namespace fvsst::sim

@@ -1,0 +1,50 @@
+// log.h - Lightweight leveled logging.
+//
+// The fvsst daemon in the paper "generates both scheduling and performance
+// counter data logs"; this logger backs those logs in the reproduction.
+// It is intentionally simple: synchronous, single-threaded (the simulator
+// itself is single-threaded), with a process-global level.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace fvsst::sim {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parses FVSST_LOG (debug|info|warn|error|off) if set; call once at start.
+void init_log_level_from_env();
+
+/// Emits one log line: "[level] [component] message".  `sim_time` < 0 means
+/// "no simulated timestamp".
+void log_message(LogLevel level, const std::string& component,
+                 const std::string& message, double sim_time = -1.0);
+
+/// Stream-style helper: LOG_AT(kInfo, "sched", sim.now()) << "budget=" << b;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component, double sim_time)
+      : level_(level), component_(std::move(component)), sim_time_(sim_time) {}
+  ~LogLine() { log_message(level_, component_, stream_.str(), sim_time_); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  double sim_time_;
+  std::ostringstream stream_;
+};
+
+}  // namespace fvsst::sim

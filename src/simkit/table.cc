@@ -1,0 +1,75 @@
+#include "simkit/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace fvsst::sim {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << fraction * 100.0 << "%";
+  return os.str();
+}
+
+std::string TextTable::to_string() const {
+  // Compute per-column widths across header and all rows.
+  std::size_t cols = header_.size();
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> widths(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& os) {
+    os << "| ";
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string();
+      os << cell << std::string(widths[i] - cell.size(), ' ');
+      os << (i + 1 < cols ? " | " : " |");
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+  os << rule << "\n";
+  if (!header_.empty()) {
+    render_row(header_, os);
+    os << rule << "\n";
+  }
+  for (const auto& row : rows_) render_row(row, os);
+  os << rule << "\n";
+  return os.str();
+}
+
+void TextTable::print() const {
+  std::fputs(to_string().c_str(), stdout);
+}
+
+}  // namespace fvsst::sim

@@ -1,0 +1,42 @@
+// table.h - Aligned text tables for bench output.
+//
+// Every bench binary regenerates one of the paper's tables or figures; this
+// printer keeps that output readable and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fvsst::sim {
+
+/// Column-aligned text table with an optional title.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row of pre-formatted cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `precision` digits after the decimal point.
+  static std::string num(double v, int precision = 3);
+
+  /// Formats a fraction as a percentage string, e.g. 0.035 -> "3.5%".
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Renders the table with column alignment and separators.
+  std::string to_string() const;
+
+  /// Renders directly to stdout.
+  void print() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fvsst::sim

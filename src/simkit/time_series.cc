@@ -1,0 +1,144 @@
+#include "simkit/time_series.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace fvsst::sim {
+
+void TimeSeries::add(double t, double value) {
+  if (!samples_.empty() && t < samples_.back().t) {
+    throw std::invalid_argument("TimeSeries::add: non-monotonic time");
+  }
+  samples_.push_back({t, value});
+}
+
+double TimeSeries::first_time() const {
+  if (samples_.empty()) throw std::out_of_range("TimeSeries: empty");
+  return samples_.front().t;
+}
+
+double TimeSeries::last_time() const {
+  if (samples_.empty()) throw std::out_of_range("TimeSeries: empty");
+  return samples_.back().t;
+}
+
+double TimeSeries::value_at(double t) const {
+  if (samples_.empty() || t < samples_.front().t) {
+    throw std::out_of_range("TimeSeries::value_at: before first sample");
+  }
+  // Last sample with sample.t <= t.
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), t,
+      [](double lhs, const Sample& s) { return lhs < s.t; });
+  return std::prev(it)->value;
+}
+
+double TimeSeries::mean(double t0, double t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples_) {
+    if (s.t >= t0 && s.t <= t1) {
+      sum += s.value;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::min(double t0, double t1) const {
+  double out = std::numeric_limits<double>::infinity();
+  for (const auto& s : samples_) {
+    if (s.t >= t0 && s.t <= t1) out = std::min(out, s.value);
+  }
+  return out;
+}
+
+double TimeSeries::max(double t0, double t1) const {
+  double out = -std::numeric_limits<double>::infinity();
+  for (const auto& s : samples_) {
+    if (s.t >= t0 && s.t <= t1) out = std::max(out, s.value);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::slice(double t0, double t1) const {
+  TimeSeries out(name_);
+  for (const auto& s : samples_) {
+    if (s.t >= t0 && s.t <= t1) out.add(s.t, s.value);
+  }
+  return out;
+}
+
+TimeSeries TimeSeries::resample(double dt) const {
+  TimeSeries out(name_);
+  if (samples_.empty()) return out;
+  for (double t = first_time(); t <= last_time() + dt * 0.5; t += dt) {
+    out.add(t, value_at(std::min(t, last_time())));
+  }
+  return out;
+}
+
+std::string render_ascii_chart(const std::vector<const TimeSeries*>& series,
+                               std::size_t width, std::size_t height) {
+  static const char kMarks[] = "*o+x#@";
+  double t0 = std::numeric_limits<double>::infinity();
+  double t1 = -t0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -lo;
+  for (const auto* s : series) {
+    if (!s || s->empty()) continue;
+    t0 = std::min(t0, s->first_time());
+    t1 = std::max(t1, s->last_time());
+    for (const auto& smp : s->samples()) {
+      lo = std::min(lo, smp.value);
+      hi = std::max(hi, smp.value);
+    }
+  }
+  if (!(t1 > t0)) return "(empty chart)\n";
+  if (hi == lo) {
+    hi = lo + 1.0;  // flat line: widen range so the line renders mid-chart
+    lo -= 1.0;
+  }
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const auto* s = series[k];
+    if (!s || s->empty()) continue;
+    const char mark = kMarks[k % (sizeof(kMarks) - 1)];
+    for (std::size_t col = 0; col < width; ++col) {
+      const double t =
+          t0 + (t1 - t0) * static_cast<double>(col) /
+                   static_cast<double>(width - 1);
+      double v;
+      try {
+        v = s->value_at(std::clamp(t, s->first_time(), s->last_time()));
+      } catch (const std::out_of_range&) {
+        continue;
+      }
+      auto row = static_cast<std::size_t>(std::lround(
+          (hi - v) / (hi - lo) * static_cast<double>(height - 1)));
+      row = std::min(row, height - 1);
+      grid[row][col] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  os << "  ymax=" << hi << "\n";
+  for (const auto& line : grid) os << "  |" << line << "\n";
+  os << "  ymin=" << lo << "  t=[" << t0 << ", " << t1 << "]s";
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    if (series[k]) {
+      os << "  [" << kMarks[k % (sizeof(kMarks) - 1)] << "] "
+         << series[k]->name();
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace fvsst::sim

@@ -1,0 +1,63 @@
+// time_series.h - Sampled (time, value) traces for figures and analysis.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fvsst::sim {
+
+/// Append-only trace of (time, value) samples with non-decreasing times.
+/// Benches use these to regenerate the paper's time-series figures (phase
+/// tracking, actual-vs-desired frequency) and to compute windowed summaries.
+class TimeSeries {
+ public:
+  struct Sample {
+    double t;
+    double value;
+  };
+
+  explicit TimeSeries(std::string name = {}) : name_(std::move(name)) {}
+
+  /// Appends a sample; `t` must be >= the previous sample's time.
+  void add(double t, double value);
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  const Sample& operator[](std::size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  double first_time() const;
+  double last_time() const;
+
+  /// Value at time `t` treating the series as piecewise constant
+  /// (last sample at or before `t`).  Requires a sample at or before `t`.
+  double value_at(double t) const;
+
+  /// Mean of samples with t in [t0, t1] (simple average of samples).
+  double mean(double t0, double t1) const;
+
+  /// Min/max of samples with t in [t0, t1].
+  double min(double t0, double t1) const;
+  double max(double t0, double t1) const;
+
+  /// Extracts the sub-series with t in [t0, t1] (used for the paper's
+  /// "magnified time slice" figure).
+  TimeSeries slice(double t0, double t1) const;
+
+  /// Resamples onto a uniform grid with step `dt` using piecewise-constant
+  /// interpolation; handy for aligning multiple traces.
+  TimeSeries resample(double dt) const;
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+/// Renders one or more aligned series as a compact ASCII chart, used by the
+/// bench binaries to show figure "shape" directly in terminal output.
+std::string render_ascii_chart(const std::vector<const TimeSeries*>& series,
+                               std::size_t width = 72, std::size_t height = 12);
+
+}  // namespace fvsst::sim

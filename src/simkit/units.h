@@ -1,0 +1,39 @@
+// units.h - Unit conventions and conversion constants used across fvsst.
+//
+// All quantities are stored in SI base units as `double`:
+//   frequency  -> hertz (Hz)
+//   time       -> seconds (s)
+//   power      -> watts (W)
+//   voltage    -> volts (V)
+//   energy     -> joules (J)
+//
+// The constants below make call sites self-documenting, e.g.
+// `core.set_frequency(750 * units::MHz)` or `sim.run_for(100 * units::ms)`.
+#pragma once
+
+namespace fvsst::units {
+
+// --- Frequency ---------------------------------------------------------
+inline constexpr double Hz = 1.0;
+inline constexpr double kHz = 1e3;
+inline constexpr double MHz = 1e6;
+inline constexpr double GHz = 1e9;
+
+// --- Time ---------------------------------------------------------------
+inline constexpr double s = 1.0;
+inline constexpr double ms = 1e-3;
+inline constexpr double us = 1e-6;
+inline constexpr double ns = 1e-9;
+
+// --- Power / voltage ----------------------------------------------------
+inline constexpr double W = 1.0;
+inline constexpr double mW = 1e-3;
+inline constexpr double V = 1.0;
+inline constexpr double mV = 1e-3;
+
+// --- Counts -------------------------------------------------------------
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+
+}  // namespace fvsst::units

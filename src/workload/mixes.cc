@@ -1,0 +1,131 @@
+#include "workload/mixes.h"
+
+#include "simkit/units.h"
+#include "workload/app_profiles.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::workload {
+namespace {
+
+using units::GHz;
+
+// All mixes below are expressed against the P630's latency constants; the
+// stall-CPI targets were chosen so the epsilon-constrained frequencies land
+// where the paper's worked example puts them (see section5_example_mixes).
+const mach::MemoryLatencies& p630_latencies() {
+  static const mach::MemoryLatencies lat = mach::p630().latencies;
+  return lat;
+}
+
+WorkloadSpec single_phase_mix(const std::string& name, double alpha,
+                              double stall_cpi, double instructions) {
+  WorkloadSpec spec;
+  spec.name = name;
+  spec.loop = true;
+  spec.phases = {phase_from_stall_cpi(name, alpha, stall_cpi,
+                                      p630_latencies(), 1.0 * GHz,
+                                      instructions)};
+  return spec;
+}
+
+}  // namespace
+
+TaskMix masked_cpu_job_mix() {
+  TaskMix mix;
+  mix.name = "masked-cpu-job";
+  // Three memory-bound jobs hide one CPU-bound job; the aggregate counters
+  // look memory-intensive, so fvsst under-clocks and the CPU-bound job
+  // loses more performance than predicted (paper Sec. 5).
+  mix.jobs = {
+      make_uniform_synthetic(15.0, 5e8),
+      make_uniform_synthetic(20.0, 5e8),
+      make_uniform_synthetic(10.0, 5e8),
+      make_uniform_synthetic(100.0, 5e8),
+  };
+  return mix;
+}
+
+WorkloadSpec web_tier(sim::Rng& rng) {
+  // Request parse/respond cycles: mostly CPU with buffer-copy misses.
+  WorkloadSpec spec;
+  spec.name = "web-tier";
+  spec.loop = true;
+  const double jitter = rng.uniform(0.9, 1.1);
+  spec.phases = {
+      phase_from_stall_cpi("parse", 1.6, 0.8 * jitter, p630_latencies(),
+                           1.0 * GHz, 6e8),
+      phase_from_stall_cpi("respond", 1.5, 1.6 * jitter, p630_latencies(),
+                           1.0 * GHz, 4e8),
+  };
+  return spec;
+}
+
+WorkloadSpec app_tier(sim::Rng& rng) {
+  // Business logic: CPU-heavy, near f_max demand.
+  WorkloadSpec spec;
+  spec.name = "app-tier";
+  spec.loop = true;
+  const double jitter = rng.uniform(0.9, 1.1);
+  spec.phases = {
+      phase_from_stall_cpi("logic", 1.7, 0.15 * jitter, p630_latencies(),
+                           1.0 * GHz, 8e8),
+      phase_from_stall_cpi("marshal", 1.5, 0.9 * jitter, p630_latencies(),
+                           1.0 * GHz, 2e8),
+  };
+  return spec;
+}
+
+WorkloadSpec db_tier(sim::Rng& rng) {
+  // Index walks and buffer-pool misses: memory-heavy, saturates early.
+  WorkloadSpec spec;
+  spec.name = "db-tier";
+  spec.loop = true;
+  const double jitter = rng.uniform(0.9, 1.1);
+  spec.phases = {
+      phase_from_stall_cpi("index-walk", 1.3, 6.5 * jitter, p630_latencies(),
+                           1.0 * GHz, 5e8),
+      phase_from_stall_cpi("scan", 1.4, 4.0 * jitter, p630_latencies(),
+                           1.0 * GHz, 5e8),
+  };
+  return spec;
+}
+
+std::vector<std::vector<WorkloadSpec>> tiered_cluster_assignment(
+    std::size_t nodes, std::size_t procs_per_node, sim::Rng& rng) {
+  std::vector<std::vector<WorkloadSpec>> out(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    out[n].reserve(procs_per_node);
+    for (std::size_t p = 0; p < procs_per_node; ++p) {
+      // Tier assignment by node, web:app:db roughly 2:1:1 across nodes.
+      switch (n % 4) {
+        case 0:
+        case 1:
+          out[n].push_back(web_tier(rng));
+          break;
+        case 2:
+          out[n].push_back(app_tier(rng));
+          break;
+        default:
+          out[n].push_back(db_tier(rng));
+          break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<WorkloadSpec> section5_example_mixes(
+    bool processor0_more_memory_intensive) {
+  // Stall-CPI targets chosen (for epsilon = 0.04, alpha = 1.6) so pass 1 of
+  // the scheduler lands on the paper's epsilon-constrained vector:
+  //   T0: [1.0, 0.7, 0.8, 0.8] GHz;  T1: [0.6, 0.7, 0.8, 0.8] GHz.
+  const double m0 = processor0_more_memory_intensive ? 10.4 : 0.06;
+  return {
+      single_phase_mix("mix-p0", 1.6, m0, 1e9),
+      single_phase_mix("mix-p1", 1.6, 6.4, 1e9),
+      single_phase_mix("mix-p2", 1.6, 3.9, 1e9),
+      single_phase_mix("mix-p3", 1.6, 3.9, 1e9),
+  };
+}
+
+}  // namespace fvsst::workload

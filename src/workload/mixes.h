@@ -1,0 +1,55 @@
+// mixes.h - Multiprogrammed mixes and cluster-tier workload generators.
+//
+// The paper targets "multi-programmed, multi-tasking systems" and argues
+// that clusters assigned "by tiers, where some machines run the web server,
+// some the processing logic and some the database" show strong, persistent
+// workload diversity (Sec. 4.2).  These factories produce per-processor
+// workload assignments that exhibit exactly that diversity.
+#pragma once
+
+#include <cstddef>
+
+#include "simkit/rng.h"
+#include "workload/phase.h"
+
+namespace fvsst::workload {
+
+/// A multiprogrammed mix: several jobs time-sliced on one processor.  The
+/// scheduler only ever sees the aggregate counters — the paper notes this
+/// "may mask the presence of a high CPU-intensity application among many
+/// memory-intensive applications".
+struct TaskMix {
+  std::string name;
+  std::vector<WorkloadSpec> jobs;
+};
+
+/// The paper's masking example: one CPU-bound job hidden among
+/// memory-bound jobs.
+TaskMix masked_cpu_job_mix();
+
+/// Cluster tiers.  Each returns the aggregate per-processor workload of a
+/// node in that tier.
+///
+/// Web tier: request parsing and response assembly; moderately CPU-bound
+/// with bursts of buffer traffic.
+WorkloadSpec web_tier(sim::Rng& rng);
+/// Application/processing tier: business logic, CPU-heavy.
+WorkloadSpec app_tier(sim::Rng& rng);
+/// Database tier: index walks and buffer-pool misses, memory-heavy.
+WorkloadSpec db_tier(sim::Rng& rng);
+
+/// Per-processor assignments for a three-tier cluster of `nodes` nodes with
+/// `procs_per_node` processors each, split web/app/db roughly 2:1:1.
+/// The result is indexed [node][proc].
+std::vector<std::vector<WorkloadSpec>> tiered_cluster_assignment(
+    std::size_t nodes, std::size_t procs_per_node, sim::Rng& rng);
+
+/// The four per-processor aggregate mixes of the paper's Section 5 worked
+/// example at time T0: epsilon-constrained frequencies
+/// [1.0, 0.7, 0.8, 0.8] GHz.  `processor0_more_memory_intensive` selects
+/// the T1 variant where processor 0's jobs became more memory-intensive
+/// (epsilon frequency 0.6 GHz).
+std::vector<WorkloadSpec> section5_example_mixes(
+    bool processor0_more_memory_intensive);
+
+}  // namespace fvsst::workload

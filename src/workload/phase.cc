@@ -1,0 +1,79 @@
+#include "workload/phase.h"
+
+#include <limits>
+
+namespace fvsst::workload {
+
+double mem_time_per_instruction(const Phase& phase,
+                                const mach::MemoryLatencies& lat,
+                                bool use_true_latency) {
+  const double scale = use_true_latency ? phase.latency_scale : 1.0;
+  return scale * (phase.apki_l2 / 1000.0 * lat.t_l2 +
+                  phase.apki_l3 / 1000.0 * lat.t_l3 +
+                  phase.apki_mem / 1000.0 * lat.t_mem);
+}
+
+double true_ipc(const Phase& phase, const mach::MemoryLatencies& lat,
+                double hz) {
+  const double cpi = 1.0 / phase.alpha +
+                     mem_time_per_instruction(phase, lat) * hz;
+  return 1.0 / cpi;
+}
+
+double true_performance(const Phase& phase, const mach::MemoryLatencies& lat,
+                        double hz) {
+  return true_ipc(phase, lat, hz) * hz;
+}
+
+double saturation_performance(const Phase& phase,
+                              const mach::MemoryLatencies& lat) {
+  const double m = mem_time_per_instruction(phase, lat);
+  if (m <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / m;
+}
+
+double WorkloadSpec::total_instructions() const {
+  double total = 0.0;
+  for (const auto& p : phases) total += p.instructions;
+  return total;
+}
+
+double WorkloadSpec::duration_at(const mach::MemoryLatencies& lat,
+                                 double hz) const {
+  double seconds = 0.0;
+  for (const auto& p : phases) {
+    seconds += p.instructions / true_performance(p, lat, hz);
+  }
+  return seconds;
+}
+
+Phase phase_from_stall_cpi(const std::string& name, double alpha,
+                           double stall_cpi_at_nominal,
+                           const mach::MemoryLatencies& lat,
+                           double nominal_hz, double instructions,
+                           double frac_l2, double frac_l3, double frac_mem) {
+  const double m_seconds = stall_cpi_at_nominal / nominal_hz;
+  Phase p;
+  p.name = name;
+  p.alpha = alpha;
+  p.instructions = instructions;
+  // apki_level = (fraction of stall time at level) * M / T_level * 1000.
+  p.apki_l2 = frac_l2 * m_seconds / lat.t_l2 * 1000.0;
+  p.apki_l3 = frac_l3 * m_seconds / lat.t_l3 * 1000.0;
+  p.apki_mem = frac_mem * m_seconds / lat.t_mem * 1000.0;
+  return p;
+}
+
+WorkloadSpec idle_loop(double idle_ipc) {
+  Phase p;
+  p.name = "hot-idle";
+  p.alpha = idle_ipc;
+  p.instructions = 1e9;  // length is irrelevant: the loop repeats forever
+  WorkloadSpec spec;
+  spec.name = "idle";
+  spec.phases = {p};
+  spec.loop = true;
+  return spec;
+}
+
+}  // namespace fvsst::workload

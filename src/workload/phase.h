@@ -1,0 +1,99 @@
+// phase.h - The phase-based workload model.
+//
+// Following the paper's performance model, a workload phase is characterised
+// by a frequency-independent ideal IPC (alpha: "the IPC of a perfect machine
+// with infinite L1 caches and no stalls") plus per-instruction access counts
+// to each level of the memory hierarchy below L1.  Cycles per instruction at
+// frequency f decompose as
+//
+//   CPI(f) = 1/alpha + M * f,   M = sum_i (accesses_i / instr) * T_i
+//
+// where T_i are the *service times in seconds* of L2/L3/memory, so the
+// memory term grows linearly with frequency: this is what produces
+// performance saturation.  `latency_scale` lets a phase's true service
+// times deviate from the machine's nominal constants — the predictor only
+// knows the nominal values, which is one of the paper's stated error
+// sources ("uses constant memory latencies").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mach/machine_config.h"
+
+namespace fvsst::workload {
+
+/// One phase of execution with stationary behaviour.
+struct Phase {
+  std::string name;
+
+  /// Ideal IPC with infinite L1 and no stalls (paper's alpha).
+  double alpha = 1.0;
+
+  /// Accesses per kilo-instruction *serviced by* each level.
+  double apki_l2 = 0.0;
+  double apki_l3 = 0.0;
+  double apki_mem = 0.0;
+
+  /// Phase length in instructions.
+  double instructions = 0.0;
+
+  /// True service time = nominal latency * latency_scale.  Values != 1
+  /// model latency variation the predictor cannot see (overlap, queueing).
+  double latency_scale = 1.0;
+};
+
+/// Memory stall time per instruction (the paper's M, in seconds):
+/// sum over levels of (accesses/instr) * T_level.  When `use_true_latency`
+/// the phase's latency_scale is applied; the predictor variant uses the
+/// nominal constants only.
+double mem_time_per_instruction(const Phase& phase,
+                                const mach::MemoryLatencies& lat,
+                                bool use_true_latency = true);
+
+/// Ground-truth IPC of the phase at frequency `hz`:
+/// IPC(f) = 1 / (1/alpha + M*f).
+double true_ipc(const Phase& phase, const mach::MemoryLatencies& lat,
+                double hz);
+
+/// Ground-truth performance (instructions per second) at `hz`:
+/// Perf(f) = IPC(f) * f.
+double true_performance(const Phase& phase, const mach::MemoryLatencies& lat,
+                        double hz);
+
+/// Saturation performance as f -> infinity: 1 / M (infinite for phases with
+/// no memory accesses).
+double saturation_performance(const Phase& phase,
+                              const mach::MemoryLatencies& lat);
+
+/// A complete workload: an ordered list of phases, optionally looped.
+struct WorkloadSpec {
+  std::string name;
+  std::vector<Phase> phases;
+  bool loop = false;  ///< Repeat the phase list until the run ends.
+
+  /// Total instructions over one pass of the phase list.
+  double total_instructions() const;
+
+  /// Execution time of one pass at a fixed frequency (seconds).
+  double duration_at(const mach::MemoryLatencies& lat, double hz) const;
+};
+
+/// Builds a phase from a target memory-stall CPI.  `stall_cpi_at_nominal`
+/// is M * nominal_hz, i.e. the stall cycles per instruction the phase shows
+/// at the machine's nominal frequency; the access counts are split across
+/// L2/L3/memory by the given time fractions (which must sum to 1).  Used by
+/// tests and by workload factories that target a specific saturation point.
+Phase phase_from_stall_cpi(const std::string& name, double alpha,
+                           double stall_cpi_at_nominal,
+                           const mach::MemoryLatencies& lat,
+                           double nominal_hz, double instructions,
+                           double frac_l2 = 0.05, double frac_l3 = 0.15,
+                           double frac_mem = 0.80);
+
+/// The hot idle loop of the Power4+ (paper Sec. 7.1): a tight CPU-bound
+/// loop observed at IPC ~1.3 with no memory-hierarchy traffic.  Looped
+/// forever.  An fvsst without idle detection will schedule this at f_max.
+WorkloadSpec idle_loop(double idle_ipc = 1.3);
+
+}  // namespace fvsst::workload

@@ -1,0 +1,60 @@
+// synthetic.h - The paper's adjustable synthetic benchmark.
+//
+// The paper evaluates fvsst with "a single-threaded program that accepts
+// parameters that determine the ratio of memory-intensive to CPU-intensive
+// work as well as the length of phases.  It currently supports two phases,
+// but each phase may be of a different length and different memory-to-CPU
+// intensity.  It is constructed so that a miss in the L1 is highly likely to
+// result in a memory access due to the large memory footprint."
+//
+// Here a phase is parameterised by its *CPU intensity* in percent:
+// 100 = pure compute (tiny residual memory traffic, so degradation under a
+// frequency cap is "slightly less than one-to-one" as in the paper), and
+// lower values add main-memory accesses roughly linearly (the large
+// footprint sends most L1 misses to memory, with only light L2/L3 traffic).
+#pragma once
+
+#include "workload/phase.h"
+
+namespace fvsst::workload {
+
+/// Parameters of one synthetic phase.
+struct SyntheticPhaseParams {
+  double cpu_intensity_pct = 100.0;  ///< 100 = pure compute, 0 = max memory.
+  double instructions = 1e9;         ///< Phase length.
+};
+
+/// Parameters of the full synthetic benchmark.
+struct SyntheticParams {
+  SyntheticPhaseParams phase1;
+  SyntheticPhaseParams phase2;
+  bool loop = true;  ///< Alternate phase1/phase2 until the run ends.
+  /// When true, prepend a short CPU-bound initialisation phase and append a
+  /// short termination phase whose behaviour the predictor tracks poorly —
+  /// the distinction behind the paper's CPU3 vs CPU3* columns in Table 2.
+  bool with_init_exit = false;
+};
+
+/// Ideal IPC used by all synthetic phases (a modest superscalar core).
+inline constexpr double kSyntheticAlpha = 1.6;
+
+/// Builds one phase from a CPU-intensity percentage.  The mapping is
+/// calibrated so a 20%-intensity phase saturates near 650 MHz on the P630
+/// table, matching the paper's memory-intensive benchmarks (Fig. 8).
+Phase synthetic_phase(const std::string& name, double cpu_intensity_pct,
+                      double instructions);
+
+/// Builds the two-phase benchmark.
+WorkloadSpec make_synthetic(const SyntheticParams& params);
+
+/// Convenience: a single-phase benchmark at the given intensity.
+WorkloadSpec make_uniform_synthetic(double cpu_intensity_pct,
+                                    double instructions, bool loop = true);
+
+/// Generalisation beyond the paper's two-phase tool: an arbitrary phase
+/// list (the extension its Sec. 7.3 implies — "It currently supports two
+/// (2) phases" was a prototype limit, not a design one).
+WorkloadSpec make_multiphase_synthetic(
+    const std::vector<SyntheticPhaseParams>& phases, bool loop = true);
+
+}  // namespace fvsst::workload

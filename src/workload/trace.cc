@@ -1,0 +1,144 @@
+#include "workload/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace fvsst::workload {
+namespace {
+
+double parse_number(const std::string& token, int line,
+                    const std::string& what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    throw TraceParseError(line, "bad " + what + " '" + token + "'");
+  }
+  if (consumed != token.size()) {
+    throw TraceParseError(line, "trailing junk in " + what + " '" + token +
+                                    "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+WorkloadSpec parse_workload_trace(std::istream& in) {
+  WorkloadSpec spec;
+  bool have_workload = false;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    // Strip comments and tokenize.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream line(raw);
+    std::vector<std::string> tokens;
+    for (std::string tok; line >> tok;) tokens.push_back(tok);
+    if (tokens.empty()) continue;
+
+    const std::string& directive = tokens[0];
+    if (directive == "workload") {
+      if (tokens.size() != 2) {
+        throw TraceParseError(line_no, "workload takes exactly one name");
+      }
+      if (have_workload) {
+        throw TraceParseError(line_no, "duplicate workload directive");
+      }
+      spec.name = tokens[1];
+      have_workload = true;
+    } else if (directive == "loop") {
+      if (tokens.size() != 1) {
+        throw TraceParseError(line_no, "loop takes no arguments");
+      }
+      if (!have_workload) {
+        throw TraceParseError(line_no, "loop before workload");
+      }
+      spec.loop = true;
+    } else if (directive == "phase") {
+      if (!have_workload) {
+        throw TraceParseError(line_no, "phase before workload");
+      }
+      if (tokens.size() < 7 || tokens.size() > 8) {
+        throw TraceParseError(
+            line_no,
+            "phase needs: name alpha apki_l2 apki_l3 apki_mem instructions "
+            "[latency_scale]");
+      }
+      Phase p;
+      p.name = tokens[1];
+      p.alpha = parse_number(tokens[2], line_no, "alpha");
+      p.apki_l2 = parse_number(tokens[3], line_no, "apki_l2");
+      p.apki_l3 = parse_number(tokens[4], line_no, "apki_l3");
+      p.apki_mem = parse_number(tokens[5], line_no, "apki_mem");
+      p.instructions = parse_number(tokens[6], line_no, "instructions");
+      if (tokens.size() == 8) {
+        p.latency_scale =
+            parse_number(tokens[7], line_no, "latency_scale");
+      }
+      if (p.alpha <= 0.0) throw TraceParseError(line_no, "alpha must be > 0");
+      if (p.instructions <= 0.0) {
+        throw TraceParseError(line_no, "instructions must be > 0");
+      }
+      if (p.apki_l2 < 0.0 || p.apki_l3 < 0.0 || p.apki_mem < 0.0) {
+        throw TraceParseError(line_no, "access rates must be >= 0");
+      }
+      if (p.latency_scale <= 0.0) {
+        throw TraceParseError(line_no, "latency_scale must be > 0");
+      }
+      spec.phases.push_back(std::move(p));
+    } else {
+      throw TraceParseError(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+  if (!have_workload) {
+    throw TraceParseError(line_no, "missing workload directive");
+  }
+  if (spec.phases.empty()) {
+    throw TraceParseError(line_no, "workload has no phases");
+  }
+  return spec;
+}
+
+WorkloadSpec parse_workload_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_workload_trace(in);
+}
+
+WorkloadSpec load_workload_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open workload trace: " + path);
+  }
+  return parse_workload_trace(in);
+}
+
+std::string format_workload_trace(const WorkloadSpec& spec) {
+  std::ostringstream out;
+  out << "workload " << spec.name << "\n";
+  if (spec.loop) out << "loop\n";
+  out.precision(17);
+  for (const auto& p : spec.phases) {
+    out << "phase " << p.name << " " << p.alpha << " " << p.apki_l2 << " "
+        << p.apki_l3 << " " << p.apki_mem << " " << p.instructions;
+    if (p.latency_scale != 1.0) out << " " << p.latency_scale;
+    out << "\n";
+  }
+  return out.str();
+}
+
+void save_workload_trace(const std::string& path, const WorkloadSpec& spec) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write workload trace: " + path);
+  }
+  out << format_workload_trace(spec);
+  if (!out) {
+    throw std::runtime_error("write failed: " + path);
+  }
+}
+
+}  // namespace fvsst::workload

@@ -1,0 +1,58 @@
+// trace.h - Text-format workload definitions.
+//
+// Lets users describe workloads in files instead of code — the moral
+// equivalent of the parameter files driving the paper's synthetic
+// benchmark.  Format (one directive per line, '#' starts a comment):
+//
+//   workload <name>
+//   loop                      # optional: repeat the phase list forever
+//   phase <name> <alpha> <apki_l2> <apki_l3> <apki_mem> <instructions>
+//         [latency_scale]          (all on one line; latency optional)
+//
+// Example:
+//   workload my-mcf
+//   phase init     1.2 18 3  4   3e8 1.3
+//   phase simplex  1.3 30 10 24  2.6e9
+//
+// Parsing is strict: unknown directives, malformed numbers, out-of-domain
+// values and phase-before-workload all raise TraceParseError with the
+// offending line number.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "workload/phase.h"
+
+namespace fvsst::workload {
+
+/// Error with the 1-based line number where parsing failed.
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(int line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Parses a workload definition from a stream.  Throws TraceParseError.
+WorkloadSpec parse_workload_trace(std::istream& in);
+
+/// Parses from a string (convenience for tests and embedding).
+WorkloadSpec parse_workload_trace_string(const std::string& text);
+
+/// Loads from a file.  Throws std::runtime_error if the file cannot be
+/// opened, TraceParseError on malformed content.
+WorkloadSpec load_workload_trace(const std::string& path);
+
+/// Serialises a spec in the same format (round-trips through the parser).
+std::string format_workload_trace(const WorkloadSpec& spec);
+
+/// Writes to a file; throws std::runtime_error on I/O failure.
+void save_workload_trace(const std::string& path, const WorkloadSpec& spec);
+
+}  // namespace fvsst::workload

@@ -1,0 +1,74 @@
+// Tests for the log post-processing helpers (core/analysis.h).
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace fvsst::core {
+namespace {
+
+sim::TimeSeries step_trace() {
+  sim::TimeSeries ts("freq");
+  ts.add(0.0, 1000.0);
+  ts.add(2.0, 650.0);
+  ts.add(5.0, 1000.0);
+  return ts;
+}
+
+TEST(Residency, TimeWeightedShares) {
+  const auto hist = residency(step_trace(), 10.0);
+  // 1000 for [0,2) and [5,10) = 7s; 650 for [2,5) = 3s.
+  EXPECT_DOUBLE_EQ(hist.total(), 10.0);
+  EXPECT_DOUBLE_EQ(hist.fraction(1000.0), 0.7);
+  EXPECT_DOUBLE_EQ(hist.fraction(650.0), 0.3);
+}
+
+TEST(Residency, TruncatesAtTEnd) {
+  const auto hist = residency(step_trace(), 3.0);
+  // 1000 for [0,2), 650 for [2,3).
+  EXPECT_DOUBLE_EQ(hist.total(), 3.0);
+  EXPECT_NEAR(hist.fraction(1000.0), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Residency, EmptyAndSingleSample) {
+  sim::TimeSeries empty;
+  EXPECT_DOUBLE_EQ(residency(empty, 5.0).total(), 0.0);
+  sim::TimeSeries one;
+  one.add(1.0, 42.0);
+  const auto hist = residency(one, 4.0);
+  EXPECT_DOUBLE_EQ(hist.total(), 3.0);
+  EXPECT_DOUBLE_EQ(hist.fraction(42.0), 1.0);
+}
+
+TEST(MeanExcluding, DropsWindowedSamples) {
+  sim::TimeSeries s("dev");
+  for (int i = 0; i < 10; ++i) {
+    s.add(static_cast<double>(i), i < 2 || i >= 8 ? 100.0 : 1.0);
+  }
+  // Exclude the noisy head [0,2) and tail [8,10).
+  const double mean =
+      mean_excluding(s, {{0.0, 2.0}, {8.0, 10.0}});
+  EXPECT_DOUBLE_EQ(mean, 1.0);
+  // No exclusion: the noise dominates.
+  EXPECT_GT(mean_excluding(s, {}), 30.0);
+  // Everything excluded: defined as 0.
+  EXPECT_DOUBLE_EQ(mean_excluding(s, {{0.0, 100.0}}), 0.0);
+}
+
+TEST(MeanWithin, WindowOnly) {
+  sim::TimeSeries s("x");
+  s.add(0.0, 10.0);
+  s.add(1.0, 20.0);
+  s.add(2.0, 30.0);
+  EXPECT_DOUBLE_EQ(mean_within(s, {1.0, 2.0}), 20.0);  // [1,2) half-open
+  EXPECT_DOUBLE_EQ(mean_within(s, {5.0, 9.0}), 0.0);
+}
+
+TEST(Normalised, RescalesAndRenames) {
+  const auto out = normalised(step_trace(), 1000.0, "freq/1GHz");
+  EXPECT_EQ(out.name(), "freq/1GHz");
+  EXPECT_DOUBLE_EQ(out[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(out[1].value, 0.65);
+}
+
+}  // namespace
+}  // namespace fvsst::core

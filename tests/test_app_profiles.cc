@@ -1,0 +1,151 @@
+// Tests for the application profiles (workload/app_profiles.h): the
+// CPU-vs-memory dichotomy the paper's evaluation rests on must hold.
+#include "workload/app_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/phase.h"
+
+namespace fvsst::workload {
+namespace {
+
+using units::GHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+// Runtime-weighted performance loss of a whole workload at `hz` vs 1 GHz.
+double app_loss(const WorkloadSpec& spec, double hz) {
+  const double t_ref = spec.duration_at(kLat, 1 * GHz);
+  const double t_at = spec.duration_at(kLat, hz);
+  return 1.0 - t_ref / t_at;
+}
+
+TEST(AppProfiles, AllFourPresent) {
+  const auto apps = paper_applications();
+  ASSERT_EQ(apps.size(), 4u);
+  EXPECT_EQ(apps[0].name, "gzip");
+  EXPECT_EQ(apps[1].name, "gap");
+  EXPECT_EQ(apps[2].name, "mcf");
+  EXPECT_EQ(apps[3].name, "health");
+}
+
+TEST(AppProfiles, AllPhasesValid) {
+  for (const auto& app : paper_applications()) {
+    EXPECT_FALSE(app.loop) << app.name;
+    EXPECT_GE(app.phases.size(), 3u) << app.name;
+    for (const auto& p : app.phases) {
+      EXPECT_GT(p.alpha, 0.0) << app.name << "/" << p.name;
+      EXPECT_GT(p.instructions, 0.0) << app.name << "/" << p.name;
+      EXPECT_GE(p.apki_l2, 0.0);
+      EXPECT_GE(p.apki_l3, 0.0);
+      EXPECT_GE(p.apki_mem, 0.0);
+    }
+  }
+}
+
+TEST(AppProfiles, HaveInitAndExitPhases) {
+  for (const auto& app : paper_applications()) {
+    EXPECT_EQ(app.phases.front().name, "init") << app.name;
+    EXPECT_EQ(app.phases.back().name, "exit") << app.name;
+    EXPECT_GT(app.phases.front().latency_scale, 1.1) << app.name;
+  }
+}
+
+TEST(AppProfiles, CpuAppsLoseNearLinearlyUnderCaps) {
+  // Paper Table 3: gzip/gap at 750 MHz keep ~0.79-0.80, at 500 MHz ~0.52-0.54.
+  for (const auto& app : {gzip(), gap()}) {
+    const double loss750 = app_loss(app, 0.75 * GHz);
+    const double loss500 = app_loss(app, 0.50 * GHz);
+    EXPECT_GT(loss750, 0.15) << app.name;
+    EXPECT_LT(loss750, 0.25) << app.name;
+    EXPECT_GT(loss500, 0.40) << app.name;
+    EXPECT_LT(loss500, 0.50) << app.name;
+  }
+}
+
+TEST(AppProfiles, MemoryAppsSaturateBy750) {
+  // Paper Table 3: mcf/health lose <= 1% at 750 MHz.
+  for (const auto& app : {mcf(), health()}) {
+    EXPECT_LT(app_loss(app, 0.75 * GHz), 0.05) << app.name;
+  }
+}
+
+TEST(AppProfiles, MemoryAppsLoseFarLessThanCpuAppsAt500) {
+  const double mcf_loss = app_loss(mcf(), 0.5 * GHz);
+  const double health_loss = app_loss(health(), 0.5 * GHz);
+  const double gzip_loss = app_loss(gzip(), 0.5 * GHz);
+  EXPECT_LT(mcf_loss, 0.5 * gzip_loss);
+  EXPECT_LT(health_loss, 0.75 * gzip_loss);
+  // And the ordering the paper reports at 35 W: health dips harder than mcf.
+  EXPECT_GT(health_loss, mcf_loss);
+}
+
+TEST(AppProfiles, DominantPhaseMemoryIntensity) {
+  // The longest-running phase of mcf must be far more memory-intensive
+  // than the longest-running phase of gzip.
+  auto dominant_m = [](const WorkloadSpec& spec) {
+    double best_time = 0.0, m = 0.0;
+    for (const auto& p : spec.phases) {
+      const double t = p.instructions / true_performance(p, kLat, 1 * GHz);
+      if (t > best_time) {
+        best_time = t;
+        m = mem_time_per_instruction(p, kLat);
+      }
+    }
+    return m;
+  };
+  EXPECT_GT(dominant_m(mcf()), 20.0 * dominant_m(gzip()));
+}
+
+TEST(AppProfiles, RuntimesAreSimulationFriendly) {
+  // Each application should take seconds (not milliseconds or hours) at
+  // full frequency, so benches can run them end to end.
+  for (const auto& app : extended_applications()) {
+    const double t = app.duration_at(kLat, 1 * GHz);
+    EXPECT_GT(t, 5.0) << app.name;
+    EXPECT_LT(t, 300.0) << app.name;
+  }
+}
+
+TEST(ExtendedProfiles, EightApplicationsWithPaperSetFirst) {
+  const auto apps = extended_applications();
+  ASSERT_EQ(apps.size(), 8u);
+  EXPECT_EQ(apps[0].name, "gzip");
+  EXPECT_EQ(apps[4].name, "crafty");
+  EXPECT_EQ(apps[7].name, "equake");
+  for (const auto& app : apps) {
+    EXPECT_EQ(app.phases.front().name.find("init") != std::string::npos ||
+                  app.phases.front().name.find("mesh") != std::string::npos,
+              true)
+        << app.name;
+    EXPECT_FALSE(app.loop) << app.name;
+  }
+}
+
+TEST(ExtendedProfiles, SpectrumOrdering) {
+  // crafty is the most CPU-bound of all eight; art/equake sit between the
+  // paper's CPU-bound and memory-bound extremes.
+  const double crafty_loss = app_loss(crafty(), 0.5 * GHz);
+  const double gzip_loss = app_loss(gzip(), 0.5 * GHz);
+  const double art_loss = app_loss(art(), 0.5 * GHz);
+  const double equake_loss = app_loss(equake(), 0.5 * GHz);
+  const double mcf_loss = app_loss(mcf(), 0.5 * GHz);
+  EXPECT_GT(crafty_loss, gzip_loss);   // even more frequency-hungry
+  EXPECT_LT(art_loss, gzip_loss);      // memory-bound side
+  EXPECT_LT(equake_loss, gzip_loss);
+  EXPECT_GT(art_loss, mcf_loss);       // but less extreme than mcf
+  // parser is CPU-leaning: closer to gzip than to mcf.
+  const double parser_loss = app_loss(parser(), 0.5 * GHz);
+  EXPECT_GT(parser_loss, 2.0 * mcf_loss);
+}
+
+TEST(ExtendedProfiles, MemoryAppsSaturateBy800) {
+  for (const auto& app : {art(), equake()}) {
+    EXPECT_LT(app_loss(app, 0.8 * GHz), 0.04) << app.name;
+  }
+}
+
+}  // namespace
+}  // namespace fvsst::workload

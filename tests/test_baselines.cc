@@ -1,0 +1,279 @@
+// Tests for the comparator policies (baselines/policies.h).
+#include "baselines/policies.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/rng.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::baselines {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+const mach::FrequencyTable kTable = mach::p630_frequency_table();
+
+ProcSample sample_from_phase(const workload::Phase& p, bool idle = false) {
+  ProcSample s;
+  s.estimate = oracle_estimate(p, kLat);
+  s.idle = idle;
+  s.naive_utilization = 1.0;  // hot idle looks 100% busy
+  return s;
+}
+
+std::vector<workload::Phase> diverse_truth() {
+  return {
+      workload::synthetic_phase("cpu-a", 100.0, 1e9),
+      workload::synthetic_phase("cpu-b", 90.0, 1e9),
+      workload::synthetic_phase("mem-a", 15.0, 1e9),
+      workload::synthetic_phase("mem-b", 20.0, 1e9),
+  };
+}
+
+std::vector<ProcSample> diverse_samples() {
+  std::vector<ProcSample> out;
+  for (const auto& p : diverse_truth()) out.push_back(sample_from_phase(p));
+  return out;
+}
+
+TEST(OracleEstimate, MatchesGroundTruth) {
+  const auto p = workload::synthetic_phase("x", 30.0, 1e9);
+  const auto est = oracle_estimate(p, kLat);
+  EXPECT_TRUE(est.valid);
+  EXPECT_DOUBLE_EQ(est.alpha_inv, 1.0 / p.alpha);
+  EXPECT_DOUBLE_EQ(est.mem_time_per_instr,
+                   workload::mem_time_per_instruction(p, kLat));
+}
+
+TEST(MaxFrequencyPolicy, IgnoresBudget) {
+  MaxFrequencyPolicy policy;
+  const auto out = policy.decide(diverse_samples(), kTable, 100.0);
+  for (const auto& a : out) {
+    EXPECT_DOUBLE_EQ(a.hz, 1 * GHz);
+    EXPECT_TRUE(a.powered_on);
+  }
+}
+
+TEST(UniformScalingPolicy, FitsBudgetWithEqualFrequencies) {
+  UniformScalingPolicy policy;
+  const auto out = policy.decide(diverse_samples(), kTable, 294.0);
+  ASSERT_EQ(out.size(), 4u);
+  for (const auto& a : out) EXPECT_DOUBLE_EQ(a.hz, out[0].hz);
+  // 294/4 = 73.5 W per CPU -> 700 MHz (66 W).
+  EXPECT_DOUBLE_EQ(out[0].hz, 700 * MHz);
+  EXPECT_LE(4 * kTable.power(out[0].hz), 294.0);
+}
+
+TEST(UniformScalingPolicy, FloorsWhenBudgetTiny) {
+  UniformScalingPolicy policy;
+  const auto out = policy.decide(diverse_samples(), kTable, 10.0);
+  for (const auto& a : out) EXPECT_DOUBLE_EQ(a.hz, 250 * MHz);
+}
+
+TEST(PowerDownPolicy, ShutsIdleProcessorsFirst) {
+  PowerDownPolicy policy;
+  auto samples = diverse_samples();
+  samples[1].idle = true;
+  // Budget fits 3 of 4 CPUs at f_max.
+  const auto out = policy.decide(samples, kTable, 3 * 140.0);
+  EXPECT_FALSE(out[1].powered_on);
+  EXPECT_TRUE(out[0].powered_on);
+  EXPECT_TRUE(out[2].powered_on);
+  EXPECT_TRUE(out[3].powered_on);
+}
+
+TEST(PowerDownPolicy, ThenSheddsLowestDemand) {
+  PowerDownPolicy policy;
+  const auto samples = diverse_samples();  // none idle
+  // Budget fits 2 CPUs: the two memory-bound ones (lower perf at f_max)
+  // are shut first.
+  const auto out = policy.decide(samples, kTable, 2 * 140.0);
+  EXPECT_TRUE(out[0].powered_on);
+  EXPECT_TRUE(out[1].powered_on);
+  EXPECT_FALSE(out[2].powered_on);
+  EXPECT_FALSE(out[3].powered_on);
+}
+
+TEST(DemandBasedSwitching, HotIdleDrivenToFmax) {
+  DemandBasedSwitchingPolicy policy(/*budget_capped=*/false);
+  std::vector<ProcSample> samples{sample_from_phase(
+      workload::synthetic_phase("idle-ish", 100.0, 1e9), /*idle=*/true)};
+  samples[0].naive_utilization = 1.0;  // non-halted cycles say "busy"
+  const auto out = policy.decide(samples, kTable, 1e9);
+  // The pathology the paper describes: an idle hot-loop runs at f_max.
+  EXPECT_DOUBLE_EQ(out[0].hz, 1 * GHz);
+}
+
+TEST(DemandBasedSwitching, FollowsUtilization) {
+  DemandBasedSwitchingPolicy policy(/*budget_capped=*/false);
+  auto samples = diverse_samples();
+  samples[0].naive_utilization = 0.42;
+  const auto out = policy.decide(samples, kTable, 1e9);
+  // 0.42 * 1000 MHz = 420 -> snaps up to 450 MHz.
+  EXPECT_DOUBLE_EQ(out[0].hz, 450 * MHz);
+}
+
+TEST(DemandBasedSwitching, CappedVariantFitsBudget) {
+  DemandBasedSwitchingPolicy policy(/*budget_capped=*/true);
+  const auto out = policy.decide(diverse_samples(), kTable, 294.0);
+  double power = 0.0;
+  for (const auto& a : out) power += kTable.power(a.hz);
+  EXPECT_LE(power, 294.0);
+}
+
+TEST(FvsstPolicy, MatchesSchedulerBehaviour) {
+  FvsstPolicy policy;
+  const auto out = policy.decide(diverse_samples(), kTable, 294.0);
+  double power = 0.0;
+  for (const auto& a : out) power += kTable.power(a.hz);
+  EXPECT_LE(power, 294.0);
+  // CPU-bound processors keep more frequency than memory-bound ones.
+  EXPECT_GT(out[0].hz, out[2].hz);
+}
+
+TEST(Evaluate, AccountsPowerAndPerformance) {
+  const auto truth = diverse_truth();
+  const std::vector<bool> idle(4, false);
+  std::vector<Assignment> all_max(4, {1 * GHz, true});
+  const auto ev = evaluate(all_max, truth, idle, kLat, kTable, 560.0);
+  EXPECT_TRUE(ev.within_budget);
+  EXPECT_DOUBLE_EQ(ev.total_power_w, 560.0);
+  EXPECT_DOUBLE_EQ(ev.worst_proc_loss, 0.0);
+  EXPECT_GT(ev.total_performance, 0.0);
+}
+
+TEST(Evaluate, PoweredOffRealWorkIsTotalLoss) {
+  const auto truth = diverse_truth();
+  const std::vector<bool> idle(4, false);
+  std::vector<Assignment> a(4, {1 * GHz, true});
+  a[2].powered_on = false;
+  const auto ev = evaluate(a, truth, idle, kLat, kTable, 560.0);
+  EXPECT_DOUBLE_EQ(ev.worst_proc_loss, 1.0);
+  EXPECT_DOUBLE_EQ(ev.per_proc_performance[2], 0.0);
+}
+
+TEST(Comparison, FvsstBeatsUniformOnDiverseWorkloads) {
+  // The paper's core claim: slowing nodes *non-uniformly* by predicted
+  // demand loses less performance than uniform scaling at the same budget.
+  const auto truth = diverse_truth();
+  const std::vector<bool> idle(4, false);
+  const auto samples = diverse_samples();
+  const double budget = 294.0;
+
+  FvsstPolicy fvsst;
+  UniformScalingPolicy uniform;
+  const auto ev_fvsst = evaluate(fvsst.decide(samples, kTable, budget),
+                                 truth, idle, kLat, kTable, budget);
+  const auto ev_uniform = evaluate(uniform.decide(samples, kTable, budget),
+                                   truth, idle, kLat, kTable, budget);
+  EXPECT_TRUE(ev_fvsst.within_budget);
+  EXPECT_TRUE(ev_uniform.within_budget);
+  EXPECT_GT(ev_fvsst.total_performance, ev_uniform.total_performance);
+}
+
+TEST(Comparison, FvsstBeatsPowerDownOnBusyCluster) {
+  const auto truth = diverse_truth();
+  const std::vector<bool> idle(4, false);
+  const auto samples = diverse_samples();
+  const double budget = 294.0;
+  FvsstPolicy fvsst;
+  PowerDownPolicy down;
+  const auto ev_fvsst = evaluate(fvsst.decide(samples, kTable, budget),
+                                 truth, idle, kLat, kTable, budget);
+  const auto ev_down = evaluate(down.decide(samples, kTable, budget), truth,
+                                idle, kLat, kTable, budget);
+  EXPECT_LT(ev_fvsst.worst_proc_loss, ev_down.worst_proc_loss);
+  EXPECT_GT(ev_fvsst.total_performance, ev_down.total_performance);
+}
+
+TEST(StandardPolicies, AllPresentWithFvsstLast) {
+  const auto policies = standard_policies();
+  ASSERT_EQ(policies.size(), 6u);
+  EXPECT_EQ(policies.front()->name(), "no-dvfs");
+  EXPECT_EQ(policies.back()->name(), "fvsst");
+}
+
+TEST(ConsolidationPolicy, PowersOffAllButBudgetedHosts) {
+  ConsolidationPolicy policy;
+  const auto out = policy.decide(diverse_samples(), kTable, 2 * 140.0);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_TRUE(out[0].powered_on);
+  EXPECT_TRUE(out[1].powered_on);
+  EXPECT_FALSE(out[2].powered_on);
+  EXPECT_FALSE(out[3].powered_on);
+  EXPECT_DOUBLE_EQ(out[0].hz, 1 * GHz);
+}
+
+TEST(ConsolidationPolicy, AtLeastOneHostSurvives) {
+  ConsolidationPolicy policy;
+  const auto out = policy.decide(diverse_samples(), kTable, 10.0);
+  int on = 0;
+  for (const auto& a : out) on += a.powered_on ? 1 : 0;
+  EXPECT_EQ(on, 1);
+}
+
+TEST(ConsolidationPolicy, ConsolidatedPerformanceMath) {
+  const auto truth = diverse_truth();
+  const std::vector<bool> idle(4, false);
+  // 4 jobs on 4 hosts at f_max: the full aggregate.
+  const double full = ConsolidationPolicy::consolidated_performance(
+      truth, idle, 4, 1 * GHz, kLat);
+  double expected = 0.0;
+  for (const auto& p : truth) {
+    expected += workload::true_performance(p, kLat, 1 * GHz);
+  }
+  EXPECT_NEAR(full, expected, expected * 1e-9);
+  // 4 jobs on 2 hosts: half the pipelines, half the aggregate (mean mix).
+  const double halved = ConsolidationPolicy::consolidated_performance(
+      truth, idle, 2, 1 * GHz, kLat);
+  EXPECT_NEAR(halved, expected / 2.0, expected * 1e-9);
+  // More hosts than jobs doesn't help.
+  const double extra = ConsolidationPolicy::consolidated_performance(
+      truth, idle, 10, 1 * GHz, kLat);
+  EXPECT_NEAR(extra, expected, expected * 1e-9);
+  // No jobs -> nothing.
+  EXPECT_DOUBLE_EQ(ConsolidationPolicy::consolidated_performance(
+                       truth, {true, true, true, true}, 4, 1 * GHz, kLat),
+                   0.0);
+}
+
+// Property sweep: every budget-respecting policy stays within budget for
+// random diverse workloads at random feasible budgets.
+class PolicyBudgetProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(PolicyBudgetProperty, BudgetedPoliciesComply) {
+  sim::Rng rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 10));
+  std::vector<ProcSample> samples;
+  std::vector<workload::Phase> truth;
+  std::vector<bool> idle;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto p = workload::synthetic_phase(
+        "p" + std::to_string(i), rng.uniform(0.0, 100.0), 1e9);
+    truth.push_back(p);
+    idle.push_back(rng.bernoulli(0.2));
+    samples.push_back(sample_from_phase(p, idle.back()));
+  }
+  const double budget =
+      rng.uniform(9.0 * static_cast<double>(n), 140.0 * n);
+  for (const char* name : {"uniform", "power-down", "dbs-capped", "fvsst"}) {
+    for (const auto& policy : standard_policies()) {
+      if (policy->name() != name) continue;
+      const auto ev = evaluate(policy->decide(samples, kTable, budget),
+                               truth, idle, kLat, kTable, budget);
+      EXPECT_TRUE(ev.within_budget)
+          << policy->name() << " n=" << n << " budget=" << budget;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, PolicyBudgetProperty,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+}  // namespace
+}  // namespace fvsst::baselines

@@ -1,0 +1,156 @@
+// Tests for nodes, clusters and the message channel.
+#include <gtest/gtest.h>
+
+#include "cluster/channel.h"
+#include "cluster/cluster.h"
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::cluster {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+TEST(Node, BuildsCoresFromMachineConfig) {
+  sim::Simulation sim;
+  sim::Rng rng(1);
+  Node node(sim, "n0", mach::p630(), rng);
+  EXPECT_EQ(node.cpu_count(), 4u);
+  EXPECT_EQ(node.core(0).name(), "n0/cpu0");
+  EXPECT_DOUBLE_EQ(node.core(3).frequency_hz(), 1 * GHz);
+}
+
+TEST(Node, PowerIsTablePowerAtRequestedPoints) {
+  sim::Simulation sim;
+  sim::Rng rng(1);
+  Node node(sim, "n0", mach::p630(), rng);
+  EXPECT_DOUBLE_EQ(node.cpu_power_w(), 4 * 140.0);
+  node.core(0).set_frequency(250 * MHz);
+  node.core(1).set_frequency(600 * MHz);
+  EXPECT_DOUBLE_EQ(node.cpu_power_w(), 9.0 + 48.0 + 140.0 + 140.0);
+}
+
+TEST(Node, TotalPowerIncludesOverhead) {
+  sim::Simulation sim;
+  sim::Rng rng(1);
+  Node node(sim, "n0", mach::p630_motivating_example(), rng);
+  EXPECT_DOUBLE_EQ(node.total_power_w(), 746.0);
+}
+
+TEST(Node, ResetToMaxFrequency) {
+  sim::Simulation sim;
+  sim::Rng rng(1);
+  Node node(sim, "n0", mach::p630(), rng);
+  node.core(2).set_frequency(250 * MHz);
+  node.reset_to_max_frequency();
+  EXPECT_DOUBLE_EQ(node.core(2).frequency_hz(), 1 * GHz);
+}
+
+TEST(Cluster, RejectsEmpty) {
+  EXPECT_THROW(Cluster({}), std::invalid_argument);
+}
+
+TEST(Cluster, HomogeneousFlattening) {
+  sim::Simulation sim;
+  sim::Rng rng(1);
+  Cluster c = Cluster::homogeneous(sim, mach::p630(), 3, rng);
+  EXPECT_EQ(c.node_count(), 3u);
+  EXPECT_EQ(c.cpu_count(), 12u);
+  const auto procs = c.all_procs();
+  ASSERT_EQ(procs.size(), 12u);
+  EXPECT_EQ(procs[0].node, 0u);
+  EXPECT_EQ(procs[0].cpu, 0u);
+  EXPECT_EQ(procs[11].node, 2u);
+  EXPECT_EQ(procs[11].cpu, 3u);
+}
+
+TEST(Cluster, AggregatePower) {
+  sim::Simulation sim;
+  sim::Rng rng(1);
+  Cluster c = Cluster::homogeneous(sim, mach::p630(), 2, rng);
+  EXPECT_DOUBLE_EQ(c.cpu_power_w(), 8 * 140.0);
+  c.core({1, 2}).set_frequency(500 * MHz);
+  EXPECT_DOUBLE_EQ(c.cpu_power_w(), 7 * 140.0 + 35.0);
+}
+
+TEST(Cluster, CoresRunIndependently) {
+  sim::Simulation sim;
+  sim::Rng rng(1);
+  Cluster c = Cluster::homogeneous(sim, mach::p630(), 2, rng);
+  c.core({0, 0}).add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  c.core({1, 3}).add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  c.core({1, 3}).set_frequency(500 * MHz);
+  sim.run_for(0.1);
+  EXPECT_GT(c.core({0, 0}).instructions_retired(),
+            1.9 * c.core({1, 3}).instructions_retired());
+  EXPECT_DOUBLE_EQ(c.core({0, 1}).instructions_retired(), 0.0);
+}
+
+TEST(Channel, RejectsNegativeLatency) {
+  sim::Simulation sim;
+  EXPECT_THROW(Channel(sim, -1.0), std::invalid_argument);
+}
+
+TEST(Channel, DeliversAfterLatency) {
+  sim::Simulation sim;
+  Channel ch(sim, 0.5);
+  double delivered_at = -1.0;
+  ch.send([&] { delivered_at = sim.now(); });
+  sim.run_until(0.49);
+  EXPECT_DOUBLE_EQ(delivered_at, -1.0);
+  sim.run_until(1.0);
+  EXPECT_DOUBLE_EQ(delivered_at, 0.5);
+  EXPECT_EQ(ch.delivered(), 1u);
+}
+
+TEST(Channel, JitterStaysWithinBound) {
+  sim::Simulation sim;
+  Channel ch(sim, 0.1, 0.05, sim::Rng(3));
+  std::vector<double> times;
+  for (int i = 0; i < 50; ++i) {
+    ch.send([&] { times.push_back(sim.now()); });
+  }
+  sim.run_until(1.0);
+  ASSERT_EQ(times.size(), 50u);
+  for (double t : times) {
+    EXPECT_GE(t, 0.1);
+    EXPECT_LT(t, 0.15);
+  }
+}
+
+TEST(Channel, LossDropsExpectedFraction) {
+  sim::Simulation sim;
+  Channel ch(sim, 0.001, 0.0, sim::Rng(11));
+  ch.set_loss_probability(0.25);
+  int delivered = 0;
+  for (int i = 0; i < 4000; ++i) {
+    ch.send([&] { ++delivered; });
+  }
+  sim.run_until(1.0);
+  EXPECT_NEAR(static_cast<double>(delivered) / 4000.0, 0.75, 0.03);
+  EXPECT_EQ(ch.delivered() + ch.dropped(), 4000u);
+}
+
+TEST(Channel, LossProbabilityValidated) {
+  sim::Simulation sim;
+  Channel ch(sim, 0.001);
+  EXPECT_THROW(ch.set_loss_probability(-0.1), std::invalid_argument);
+  EXPECT_THROW(ch.set_loss_probability(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(ch.set_loss_probability(0.0));
+}
+
+TEST(Channel, PreservesOrderWithoutJitter) {
+  sim::Simulation sim;
+  Channel ch(sim, 0.01);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    ch.send([&, i] { order.push_back(i); });
+  }
+  sim.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace fvsst::cluster

@@ -1,0 +1,138 @@
+// Tests for the distributed cluster scheduler (core/cluster_daemon.h).
+#include "core/cluster_daemon.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "simkit/units.h"
+#include "workload/mixes.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::core {
+namespace {
+
+using units::GHz;
+using units::MHz;
+using units::ms;
+using units::us;
+
+struct ClusterRig {
+  explicit ClusterRig(std::size_t nodes)
+      : cluster(cluster::Cluster::homogeneous(sim, mach::p630(), nodes, rng)),
+        budget(static_cast<double>(nodes) * 4 * 140.0) {}
+  sim::Simulation sim;
+  sim::Rng rng{7};
+  cluster::Cluster cluster;
+  power::PowerBudget budget;
+};
+
+ClusterDaemonConfig default_config() {
+  ClusterDaemonConfig cfg;
+  cfg.t_sample_s = 10 * ms;
+  cfg.schedule_every_n_samples = 10;
+  cfg.channel_latency_s = 200 * us;
+  cfg.channel_jitter_s = 50 * us;
+  return cfg;
+}
+
+TEST(ClusterDaemon, RunsPeriodicGlobalRounds) {
+  ClusterRig rig(2);
+  ClusterDaemon daemon(rig.sim, rig.cluster, mach::p630_frequency_table(),
+                       rig.budget, default_config());
+  rig.sim.run_for(1.05);
+  EXPECT_GE(daemon.rounds(), 9u);
+  EXPECT_LE(daemon.rounds(), 11u);
+}
+
+TEST(ClusterDaemon, IdleClusterDropsToFloor) {
+  ClusterRig rig(2);
+  ClusterDaemon daemon(rig.sim, rig.cluster, mach::p630_frequency_table(),
+                       rig.budget, default_config());
+  rig.sim.run_for(0.5);
+  for (const auto& addr : rig.cluster.all_procs()) {
+    EXPECT_DOUBLE_EQ(rig.cluster.core(addr).frequency_hz(), 250 * MHz);
+  }
+}
+
+TEST(ClusterDaemon, EnforcesGlobalBudgetAcrossNodes) {
+  ClusterRig rig(2);
+  for (const auto& addr : rig.cluster.all_procs()) {
+    rig.cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  ClusterDaemon daemon(rig.sim, rig.cluster, mach::p630_frequency_table(),
+                       rig.budget, default_config());
+  rig.sim.run_for(1.0);
+  EXPECT_DOUBLE_EQ(rig.cluster.cpu_power_w(), 8 * 140.0);
+
+  rig.budget.set_limit_w(500.0);
+  rig.sim.run_for(0.2);
+  EXPECT_LE(rig.cluster.cpu_power_w(), 500.0);
+}
+
+TEST(ClusterDaemon, BudgetTriggerAppliesWithinChannelLatency) {
+  ClusterRig rig(4);
+  for (const auto& addr : rig.cluster.all_procs()) {
+    rig.cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  ClusterDaemon daemon(rig.sim, rig.cluster, mach::p630_frequency_table(),
+                       rig.budget, default_config());
+  rig.sim.run_for(1.0);
+  rig.sim.schedule_at(1.003, [&] { rig.budget.set_limit_w(800.0); });
+  rig.sim.run_for(0.1);
+  EXPECT_GE(daemon.last_budget_trigger_time(), 1.003);
+  ASSERT_GT(daemon.last_trigger_applied_time(), 0.0);
+  const double latency =
+      daemon.last_trigger_applied_time() - daemon.last_budget_trigger_time();
+  // One-way settings message: latency + jitter bound.
+  EXPECT_LE(latency, 300 * us);
+  EXPECT_LE(rig.cluster.cpu_power_w(), 800.0);
+}
+
+TEST(ClusterDaemon, ToleratesMessageLoss) {
+  // With 30% of all summary and settings messages dropped, the periodic
+  // global rounds still converge the cluster onto the budget — a lost
+  // settings vector is repaired by the next round.
+  ClusterRig rig(2);
+  for (const auto& addr : rig.cluster.all_procs()) {
+    rig.cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  core::ClusterDaemonConfig cfg = default_config();
+  cfg.channel_loss_probability = 0.30;
+  core::ClusterDaemon daemon(rig.sim, rig.cluster,
+                             mach::p630_frequency_table(), rig.budget, cfg);
+  rig.sim.run_for(1.0);
+  rig.budget.set_limit_w(500.0);
+  rig.sim.run_for(1.0);  // several rounds despite losses
+  EXPECT_LE(rig.cluster.cpu_power_w(), 500.0);
+  EXPECT_GE(daemon.rounds(), 10u);
+}
+
+TEST(ClusterDaemon, DiverseTiersGetDiverseFrequencies) {
+  ClusterRig rig(4);
+  sim::Rng wl_rng(11);
+  const auto assignment =
+      workload::tiered_cluster_assignment(4, 4, wl_rng);
+  for (std::size_t n = 0; n < 4; ++n) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      rig.cluster.core({n, c}).add_workload(assignment[n][c]);
+    }
+  }
+  ClusterDaemon daemon(rig.sim, rig.cluster, mach::p630_frequency_table(),
+                       rig.budget, default_config());
+  rig.sim.run_for(2.0);
+  // Web/app tiers (nodes 0-2) should run faster than the db tier (node 3).
+  double web_mean = 0.0, db_mean = 0.0;
+  for (std::size_t c = 0; c < 4; ++c) {
+    web_mean += rig.cluster.core({0, c}).frequency_hz() / 4.0;
+    db_mean += rig.cluster.core({3, c}).frequency_hz() / 4.0;
+  }
+  EXPECT_GT(web_mean, db_mean);
+  EXPECT_GT(daemon.scheduled_power_trace().size(), 10u);
+}
+
+}  // namespace
+}  // namespace fvsst::core

@@ -1,0 +1,149 @@
+// Tests for hierarchical power constraints (core/constrained_scheduler.h).
+#include "core/constrained_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/rng.h"
+#include "simkit/units.h"
+
+namespace fvsst::core {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+WorkloadEstimate est(double alpha, double stall_cpi) {
+  WorkloadEstimate e;
+  e.valid = true;
+  e.alpha_inv = 1.0 / alpha;
+  e.mem_time_per_instr = stall_cpi / 1e9;
+  return e;
+}
+
+ConstrainedScheduler make() {
+  return ConstrainedScheduler(mach::p630_frequency_table(), kLat, {});
+}
+
+TEST(ConstrainedScheduler, ValidatesIndices) {
+  const auto sched = make();
+  std::vector<ProcView> procs(2, ProcView{est(1.6, 0.1), false});
+  std::vector<PowerConstraint> bad{{"x", {0, 5}, 100.0}};
+  EXPECT_THROW(sched.schedule(procs, bad), std::invalid_argument);
+}
+
+TEST(ConstrainedScheduler, SingleGlobalConstraintMatchesBaseScheduler) {
+  const auto sched = make();
+  const FrequencyScheduler base(mach::p630_frequency_table(), kLat, {});
+  sim::Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ProcView> procs(4);
+    for (auto& p : procs) {
+      p.estimate = est(rng.uniform(1.0, 2.0), rng.uniform(0.0, 12.0));
+    }
+    const double budget = rng.uniform(40.0, 560.0);
+    std::vector<PowerConstraint> cs{{"site", {0, 1, 2, 3}, budget}};
+    const auto constrained = sched.schedule(procs, cs);
+    const auto plain = base.schedule(procs, budget);
+    for (std::size_t p = 0; p < 4; ++p) {
+      ASSERT_DOUBLE_EQ(constrained.schedule.decisions[p].hz,
+                       plain.decisions[p].hz)
+          << trial << "/" << p;
+    }
+    EXPECT_EQ(constrained.feasible, plain.feasible);
+  }
+}
+
+TEST(ConstrainedScheduler, PerNodeLimitBindsOnlyItsNode) {
+  const auto sched = make();
+  // Node 0 (procs 0-1) CPU-bound, node 1 (procs 2-3) CPU-bound; only
+  // node 0 has a tight limit.
+  std::vector<ProcView> procs(4, ProcView{est(1.6, 0.06), false});
+  std::vector<PowerConstraint> cs{
+      {"node0", {0, 1}, 150.0},   // two CPU-bound CPUs want 280 W
+      {"node1", {2, 3}, 1000.0},  // slack
+  };
+  const auto r = sched.schedule(procs, cs);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_LE(r.constraint_w[0], 150.0);
+  // Node 1 untouched at f_max.
+  EXPECT_DOUBLE_EQ(r.schedule.decisions[2].hz, 1 * GHz);
+  EXPECT_DOUBLE_EQ(r.schedule.decisions[3].hz, 1 * GHz);
+  // Node 0 squeezed below f_max.
+  EXPECT_LT(r.schedule.decisions[0].hz, 1 * GHz);
+  EXPECT_LT(r.schedule.decisions[1].hz, 1 * GHz);
+}
+
+TEST(ConstrainedScheduler, SiteLimitOnTopOfNodeLimits) {
+  const auto sched = make();
+  // Diverse workloads across two nodes; generous node limits, tight site.
+  std::vector<ProcView> procs{
+      {est(1.6, 0.06), false}, {est(1.6, 6.4), false},
+      {est(1.6, 0.06), false}, {est(1.6, 6.4), false}};
+  auto cs = node_and_site_constraints(2, 2, 280.0, 300.0);
+  const auto r = sched.schedule(procs, cs);
+  EXPECT_TRUE(r.feasible);
+  for (std::size_t c = 0; c < cs.size(); ++c) {
+    EXPECT_TRUE(r.satisfied[c]) << cs[c].name;
+  }
+  // The site limit forces the memory-bound processors down first; the
+  // CPU-bound ones keep more frequency.
+  EXPECT_GT(r.schedule.decisions[0].hz, r.schedule.decisions[1].hz);
+}
+
+TEST(ConstrainedScheduler, InfeasibleReportsPerConstraint) {
+  const auto sched = make();
+  std::vector<ProcView> procs(2, ProcView{est(1.6, 0.06), false});
+  std::vector<PowerConstraint> cs{{"tiny", {0, 1}, 10.0}};  // < 2 x 9 W
+  const auto r = sched.schedule(procs, cs);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_FALSE(r.satisfied[0]);
+  EXPECT_DOUBLE_EQ(r.schedule.decisions[0].hz, 250 * MHz);
+  EXPECT_DOUBLE_EQ(r.schedule.decisions[1].hz, 250 * MHz);
+}
+
+TEST(ConstrainedScheduler, OverlappingConstraintsAllHold) {
+  const auto sched = make();
+  sim::Rng rng(77);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<ProcView> procs(6);
+    for (auto& p : procs) {
+      p.estimate = est(rng.uniform(1.0, 2.0), rng.uniform(0.0, 12.0));
+    }
+    // Random overlapping constraint structure, each individually feasible.
+    std::vector<PowerConstraint> cs;
+    for (int c = 0; c < 4; ++c) {
+      PowerConstraint pc;
+      pc.name = "c" + std::to_string(c);
+      for (std::size_t p = 0; p < 6; ++p) {
+        if (rng.bernoulli(0.5)) pc.procs.push_back(p);
+      }
+      if (pc.procs.empty()) pc.procs.push_back(0);
+      pc.limit_w =
+          rng.uniform(9.0 * static_cast<double>(pc.procs.size()),
+                      140.0 * static_cast<double>(pc.procs.size()));
+      cs.push_back(std::move(pc));
+    }
+    const auto r = sched.schedule(procs, cs);
+    ASSERT_TRUE(r.feasible) << trial;
+    for (std::size_t c = 0; c < cs.size(); ++c) {
+      EXPECT_LE(r.constraint_w[c], cs[c].limit_w + 1e-9)
+          << trial << " " << cs[c].name;
+    }
+  }
+}
+
+TEST(NodeAndSiteConstraints, BuildsTwoLevels) {
+  const auto cs = node_and_site_constraints(3, 4, 300.0, 700.0);
+  ASSERT_EQ(cs.size(), 4u);
+  EXPECT_EQ(cs[0].name, "node0");
+  EXPECT_EQ(cs[0].procs, (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(cs[3].name, "site");
+  EXPECT_EQ(cs[3].procs.size(), 12u);
+  EXPECT_DOUBLE_EQ(cs[3].limit_w, 700.0);
+}
+
+}  // namespace
+}  // namespace fvsst::core

@@ -1,0 +1,210 @@
+// Tests for the simulated processor core (cpu/core.h).
+#include "cpu/core.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::cpu {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+Core::Config quiet_config() {
+  Core::Config cfg;
+  cfg.latencies = mach::p630().latencies;
+  cfg.max_hz = 1 * GHz;
+  cfg.counter_noise_sigma = 0.0;   // deterministic for exact checks
+  cfg.execution_noise_sigma = 0.0;
+  return cfg;
+}
+
+TEST(Core, RejectsBadConfigAndFrequency) {
+  sim::Simulation sim;
+  Core::Config bad = quiet_config();
+  bad.max_hz = 0.0;
+  EXPECT_THROW(Core(sim, bad, sim::Rng(1)), std::invalid_argument);
+
+  Core core(sim, quiet_config(), sim::Rng(1));
+  EXPECT_THROW(core.set_frequency(0.0), std::invalid_argument);
+  EXPECT_THROW(core.set_frequency(2 * GHz), std::invalid_argument);
+  EXPECT_THROW(core.steal_time(-1.0), std::invalid_argument);
+}
+
+TEST(Core, IdleWithNoJobsRunsHotIdleLoop) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  EXPECT_TRUE(core.idle());
+  sim.run_for(0.1);
+  const PerfCounters c = core.read_counters();
+  // Hot idle: cycles tick and instructions retire at the idle IPC (~1.3).
+  EXPECT_NEAR(c.cycles, 0.1 * 1e9, 1e-3);
+  EXPECT_NEAR(c.ipc(), 1.3, 1e-6);
+  EXPECT_DOUBLE_EQ(c.mem_accesses, 0.0);
+  // Idle work is not counted as retired job instructions.
+  EXPECT_DOUBLE_EQ(core.instructions_retired(), 0.0);
+}
+
+TEST(Core, CpuBoundExecutionMatchesModel) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  core.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  sim.run_for(0.5);
+  // IPC must equal the analytic model's value for the 100%-intensity phase
+  // (alpha = 1.6 minus the small residual memory component).
+  const PerfCounters c = core.read_counters();
+  const double expected = workload::true_ipc(
+      workload::synthetic_phase("x", 100.0, 1.0), mach::p630().latencies,
+      1 * GHz);
+  EXPECT_NEAR(c.ipc(), expected, 0.01);
+  EXPECT_FALSE(core.idle());
+}
+
+TEST(Core, CountersMatchAccessRates) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  core.add_workload(workload::make_uniform_synthetic(25.0, 1e12));
+  sim.run_for(0.2);
+  const PerfCounters c = core.read_counters();
+  const workload::Phase p = workload::synthetic_phase("x", 25.0, 1.0);
+  EXPECT_NEAR(c.l2_accesses / c.instructions, p.apki_l2 / 1000.0, 1e-9);
+  EXPECT_NEAR(c.l3_accesses / c.instructions, p.apki_l3 / 1000.0, 1e-9);
+  EXPECT_NEAR(c.mem_accesses / c.instructions, p.apki_mem / 1000.0, 1e-9);
+}
+
+TEST(Core, LowerFrequencySlowsCpuBoundWorkProportionally) {
+  sim::Simulation sim;
+  Core fast(sim, quiet_config(), sim::Rng(1));
+  Core slow(sim, quiet_config(), sim::Rng(2));
+  fast.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  slow.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  slow.set_frequency(500 * MHz);
+  sim.run_for(0.5);
+  // The residual memory traffic makes the slowdown "slightly less than
+  // one-to-one" (paper Sec. 8.3): the analytic ratio is ~1.91, not 2.0.
+  const workload::Phase p = workload::synthetic_phase("x", 100.0, 1.0);
+  const auto& lat = mach::p630().latencies;
+  const double expected = workload::true_performance(p, lat, 1 * GHz) /
+                          workload::true_performance(p, lat, 500 * MHz);
+  EXPECT_NEAR(fast.instructions_retired() / slow.instructions_retired(),
+              expected, 0.01);
+  EXPECT_LT(expected, 2.0);
+  EXPECT_GT(expected, 1.85);
+}
+
+TEST(Core, MemoryBoundWorkBarelySlowsDown) {
+  sim::Simulation sim;
+  Core fast(sim, quiet_config(), sim::Rng(1));
+  Core slow(sim, quiet_config(), sim::Rng(2));
+  fast.add_workload(workload::make_uniform_synthetic(10.0, 1e12));
+  slow.add_workload(workload::make_uniform_synthetic(10.0, 1e12));
+  slow.set_frequency(650 * MHz);
+  sim.run_for(0.5);
+  const double ratio =
+      fast.instructions_retired() / slow.instructions_retired();
+  EXPECT_LT(ratio, 1.10);  // performance saturation in action
+  EXPECT_GT(ratio, 1.0);
+}
+
+TEST(Core, FinishTimeMatchesAnalyticDuration) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  const auto spec = workload::make_uniform_synthetic(100.0, 1e8, false);
+  const double expected =
+      spec.duration_at(mach::p630().latencies, 1 * GHz);
+  const std::size_t job = core.add_workload(spec);
+  sim.run_for(expected * 2 + 0.1);
+  EXPECT_EQ(core.jobs_finished(), 1u);
+  EXPECT_NEAR(core.job_finish_time(job), expected, expected * 0.01);
+  EXPECT_TRUE(core.idle());  // back to hot idle after the job ends
+}
+
+TEST(Core, PassesCompletedCountsLoops) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  // One pass = 1e8 instructions at ~1.55e9 instr/s ≈ 64 ms.
+  core.add_workload(workload::make_uniform_synthetic(100.0, 1e8, true));
+  sim.run_for(1.0);
+  EXPECT_GE(core.passes_completed(), 14u);
+  EXPECT_LE(core.passes_completed(), 16u);
+}
+
+TEST(Core, MultiprogrammingSharesTimeFairly) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  const std::size_t a =
+      core.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  const std::size_t b =
+      core.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  sim.run_for(1.0);
+  const double ra = core.job_instructions_retired(a);
+  const double rb = core.job_instructions_retired(b);
+  EXPECT_NEAR(ra / rb, 1.0, 0.05);
+  // Together they should retire what one job would have alone.
+  const double solo_rate = workload::true_performance(
+      workload::synthetic_phase("x", 100.0, 1.0), mach::p630().latencies,
+      1 * GHz);
+  EXPECT_NEAR(ra + rb, solo_rate, 0.02 * solo_rate);
+}
+
+TEST(Core, AggregateCountersMaskJobMix) {
+  // A CPU-bound job among memory-bound jobs: the aggregate counters show a
+  // memory-intensive blend (the paper's masking caveat).
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  core.add_workload(workload::make_uniform_synthetic(10.0, 1e12));
+  core.add_workload(workload::make_uniform_synthetic(10.0, 1e12));
+  core.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  sim.run_for(0.5);
+  const PerfCounters c = core.read_counters();
+  const double apki_mem = c.mem_accesses / c.instructions * 1000.0;
+  // Aggregate looks memory-ish even though a pure-CPU job is present.
+  EXPECT_GT(apki_mem, 1.0);
+}
+
+TEST(Core, StealTimeProducesDeadCycles) {
+  sim::Simulation sim;
+  Core with_steal(sim, quiet_config(), sim::Rng(1));
+  Core without(sim, quiet_config(), sim::Rng(2));
+  with_steal.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  without.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  with_steal.steal_time(0.1);
+  sim.run_for(1.0);
+  const double lost = 1.0 - with_steal.instructions_retired() /
+                                without.instructions_retired();
+  EXPECT_NEAR(lost, 0.1, 0.01);  // 10% of the second went to the "daemon"
+  // Cycles still ticked during stolen time.
+  EXPECT_NEAR(with_steal.read_counters().cycles, 1e9, 1e6);
+}
+
+TEST(Core, ThrottleModeQuantisesEffectiveFrequency) {
+  sim::Simulation sim;
+  Core::Config cfg = quiet_config();
+  cfg.scaling_mode = ScalingMode::kFetchThrottle;
+  cfg.throttle_steps = 32;
+  Core core(sim, cfg, sim::Rng(1));
+  core.set_frequency(650 * MHz);  // not a multiple of 31.25 MHz
+  EXPECT_NE(core.effective_hz(), 650 * MHz);
+  EXPECT_LE(core.effective_hz(), 650 * MHz);
+  EXPECT_GE(core.effective_hz(), 650 * MHz - 1e9 / 32.0);
+  EXPECT_DOUBLE_EQ(core.frequency_hz(), 650 * MHz);
+}
+
+TEST(Core, CounterNoiseIsSmallAndUnbiased) {
+  sim::Simulation sim;
+  Core::Config cfg = quiet_config();
+  cfg.counter_noise_sigma = 0.01;
+  Core core(sim, cfg, sim::Rng(99));
+  core.add_workload(workload::make_uniform_synthetic(20.0, 1e12));
+  sim.run_for(1.0);
+  const PerfCounters c = core.read_counters();
+  const workload::Phase p = workload::synthetic_phase("x", 20.0, 1.0);
+  const double measured_apki = c.mem_accesses / c.instructions * 1000.0;
+  EXPECT_NEAR(measured_apki, p.apki_mem, p.apki_mem * 0.02);
+}
+
+}  // namespace
+}  // namespace fvsst::cpu

@@ -1,0 +1,152 @@
+// Tests for counter-trace capture/replay (cpu/counter_trace.h).
+#include "cpu/counter_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::cpu {
+namespace {
+
+namespace fs = std::filesystem;
+using units::GHz;
+using units::MHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+Core::Config quiet_config() {
+  Core::Config cfg;
+  cfg.latencies = kLat;
+  cfg.max_hz = 1 * GHz;
+  cfg.counter_noise_sigma = 0.0;
+  cfg.execution_noise_sigma = 0.0;
+  return cfg;
+}
+
+TEST(CounterTraceRecorder, CapturesIntervals) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  core.add_workload(workload::make_uniform_synthetic(40.0, 1e12));
+  CounterTraceRecorder recorder(sim, core, 0.01, "t");
+  sim.run_for(0.1001);
+  const auto& trace = recorder.trace();
+  EXPECT_EQ(trace.name, "t");
+  ASSERT_EQ(trace.intervals.size(), 10u);
+  for (const auto& iv : trace.intervals) {
+    EXPECT_DOUBLE_EQ(iv.duration_s, 0.01);
+    EXPECT_NEAR(iv.delta.cycles, 1e7, 1.0);
+    EXPECT_GT(iv.delta.instructions, 0.0);
+  }
+}
+
+TEST(CounterTrace, SerialisationRoundTrips) {
+  CounterTrace trace;
+  trace.name = "demo";
+  CounterInterval iv;
+  iv.duration_s = 0.01;
+  iv.delta.instructions = 1.25e6;
+  iv.delta.cycles = 1e7;
+  iv.delta.l2_accesses = 5000;
+  iv.delta.l3_accesses = 700;
+  iv.delta.mem_accesses = 12345;
+  trace.intervals = {iv, iv};
+  const CounterTrace back =
+      parse_counter_trace_string(format_counter_trace(trace));
+  EXPECT_EQ(back.name, "demo");
+  ASSERT_EQ(back.intervals.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.intervals[0].delta.mem_accesses, 12345);
+  EXPECT_DOUBLE_EQ(back.intervals[1].delta.instructions, 1.25e6);
+}
+
+TEST(CounterTrace, ParserRejectsMalformed) {
+  using workload::TraceParseError;
+  EXPECT_THROW(parse_counter_trace_string(""), TraceParseError);
+  EXPECT_THROW(parse_counter_trace_string("countertrace x\n"),
+               TraceParseError);
+  EXPECT_THROW(parse_counter_trace_string("interval 1 1 1 1 1 1\n"),
+               TraceParseError);
+  EXPECT_THROW(
+      parse_counter_trace_string("countertrace x\ninterval 1 2 3\n"),
+      TraceParseError);
+  EXPECT_THROW(parse_counter_trace_string(
+                   "countertrace x\ninterval -1 1 1 1 1 1\n"),
+               TraceParseError);
+  EXPECT_THROW(
+      parse_counter_trace_string("countertrace x\nbanana\n"),
+      TraceParseError);
+}
+
+TEST(CounterTrace, FileRoundTrip) {
+  const fs::path dir = fs::temp_directory_path() / "fvsst_ctrace_test";
+  fs::create_directories(dir);
+  const fs::path file = dir / "c.trace";
+  CounterTrace trace;
+  trace.name = "file";
+  trace.intervals.push_back({0.5, PerfCounters{1e6, 1e7, 10, 20, 30, 0}});
+  save_counter_trace(file.string(), trace);
+  const CounterTrace back = load_counter_trace(file.string());
+  EXPECT_EQ(back.name, "file");
+  EXPECT_DOUBLE_EQ(back.intervals.at(0).delta.l3_accesses, 20);
+  fs::remove_all(dir);
+  EXPECT_THROW(load_counter_trace("/nonexistent-dir-xyz/c.trace"),
+               std::runtime_error);
+}
+
+TEST(CounterTrace, ReplayReproducesRecordedBehaviour) {
+  // Capture a phased synthetic run, convert to a workload, replay it on a
+  // fresh core: per-interval IPC and memory rates must match the capture.
+  sim::Simulation sim;
+  Core original(sim, quiet_config(), sim::Rng(1));
+  workload::SyntheticParams params;
+  params.phase1 = {100.0, 3e8};
+  params.phase2 = {20.0, 1e8};
+  original.add_workload(workload::make_synthetic(params));
+  CounterTraceRecorder recorder(sim, original, 0.05, "cap");
+  sim.run_for(2.0);
+
+  const auto replay_spec =
+      counter_trace_to_workload(recorder.trace(), kLat, /*loop=*/false);
+  ASSERT_EQ(replay_spec.phases.size(), recorder.trace().intervals.size());
+
+  // Compare over exactly the captured window: the replay of the trace
+  // takes its recorded duration, and its counters must match the sums of
+  // the recorded intervals.
+  PerfCounters captured;
+  double window = 0.0;
+  for (const auto& iv : recorder.trace().intervals) {
+    captured += iv.delta;
+    window += iv.duration_s;
+  }
+  sim::Simulation sim2;
+  Core replayed(sim2, quiet_config(), sim::Rng(2));
+  replayed.add_workload(replay_spec);
+  EXPECT_NEAR(replay_spec.duration_at(kLat, 1 * GHz), window,
+              window * 0.001);
+  sim2.run_for(window);
+
+  const PerfCounters b = replayed.read_counters();
+  EXPECT_NEAR(b.instructions / captured.instructions, 1.0, 0.005);
+  EXPECT_NEAR(b.mem_accesses / captured.mem_accesses, 1.0, 0.005);
+  EXPECT_NEAR(b.cycles / captured.cycles, 1.0, 0.005);
+  EXPECT_NEAR(b.ipc() / captured.ipc(), 1.0, 0.005);
+}
+
+TEST(CounterTrace, IdleGapsBecomeFillerPhases) {
+  CounterTrace trace;
+  trace.name = "gappy";
+  // A busy interval, an idle gap (no instructions), another busy one.
+  trace.intervals.push_back({0.1, PerfCounters{1e8, 1e8, 1e5, 1e4, 1e5, 0}});
+  trace.intervals.push_back({0.1, PerfCounters{0, 1e8, 0, 0, 0, 1e8}});
+  trace.intervals.push_back({0.1, PerfCounters{1e8, 1e8, 1e5, 1e4, 1e5, 0}});
+  const auto spec = counter_trace_to_workload(trace, kLat);
+  ASSERT_EQ(spec.phases.size(), 3u);
+  EXPECT_LT(spec.phases[1].alpha, 0.05);  // slow filler
+  EXPECT_GT(spec.phases[1].instructions, 0.0);
+}
+
+}  // namespace
+}  // namespace fvsst::cpu

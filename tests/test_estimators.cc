@@ -1,0 +1,186 @@
+// Tests for the alternative estimators (core/estimators.h): the
+// two-frequency solve and the best/worst-case latency bounds from the
+// paper's footnote 1.
+#include "core/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::core {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+CounterObservation observe(const workload::Phase& p, double g,
+                           double instructions = 1e8) {
+  CounterObservation obs;
+  obs.measured_hz = g;
+  obs.delta.instructions = instructions;
+  // Ground truth uses the phase's *true* latencies (latency_scale applied).
+  obs.delta.cycles = instructions / workload::true_ipc(p, kLat, g);
+  obs.delta.l2_accesses = instructions * p.apki_l2 / 1000.0;
+  obs.delta.l3_accesses = instructions * p.apki_l3 / 1000.0;
+  obs.delta.mem_accesses = instructions * p.apki_mem / 1000.0;
+  return obs;
+}
+
+TEST(TwoPointEstimator, RecoversExactlyFromTwoFrequencies) {
+  const auto p = workload::synthetic_phase("x", 30.0, 1e9);
+  const auto est = TwoPointEstimator::estimate(observe(p, 1 * GHz),
+                                               observe(p, 600 * MHz));
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.alpha_inv, 1.0 / p.alpha, 1e-9);
+  EXPECT_NEAR(est.mem_time_per_instr,
+              workload::mem_time_per_instruction(p, kLat), 1e-15);
+}
+
+TEST(TwoPointEstimator, ImmuneToLatencyMisModelling) {
+  // The whole point of the two-frequency approach: a 40% latency error
+  // that fools the single-point predictor does not affect it, because no
+  // latency constants enter the solve.
+  workload::Phase p = workload::synthetic_phase("x", 30.0, 1e9);
+  p.latency_scale = 1.4;
+  const auto two = TwoPointEstimator::estimate(observe(p, 1 * GHz),
+                                               observe(p, 600 * MHz));
+  ASSERT_TRUE(two.valid);
+  // Recovered M is the *true* M (latency_scale included).
+  EXPECT_NEAR(two.mem_time_per_instr,
+              workload::mem_time_per_instruction(p, kLat), 1e-15);
+  EXPECT_NEAR(two.alpha_inv, 1.0 / p.alpha, 1e-9);
+
+  // The single-point predictor is biased on the same data.
+  const IpcPredictor single(kLat);
+  const auto one = single.estimate(observe(p, 1 * GHz));
+  EXPECT_GT(one.alpha_inv, two.alpha_inv + 0.1);
+}
+
+TEST(TwoPointEstimator, OrderOfObservationsIrrelevant) {
+  const auto p = workload::synthetic_phase("x", 50.0, 1e9);
+  const auto a = TwoPointEstimator::estimate(observe(p, 1 * GHz),
+                                             observe(p, 500 * MHz));
+  const auto b = TwoPointEstimator::estimate(observe(p, 500 * MHz),
+                                             observe(p, 1 * GHz));
+  ASSERT_TRUE(a.valid && b.valid);
+  EXPECT_DOUBLE_EQ(a.alpha_inv, b.alpha_inv);
+  EXPECT_DOUBLE_EQ(a.mem_time_per_instr, b.mem_time_per_instr);
+}
+
+TEST(TwoPointEstimator, RejectsTooCloseFrequencies) {
+  const auto p = workload::synthetic_phase("x", 50.0, 1e9);
+  const auto est = TwoPointEstimator::estimate(
+      observe(p, 1 * GHz), observe(p, 1 * GHz - 1 * MHz));
+  EXPECT_FALSE(est.valid);
+}
+
+TEST(TwoPointEstimator, RejectsDegenerateObservations) {
+  const auto p = workload::synthetic_phase("x", 50.0, 1e9);
+  CounterObservation empty;
+  EXPECT_FALSE(
+      TwoPointEstimator::estimate(observe(p, 1 * GHz), empty).valid);
+}
+
+TEST(TwoPointEstimator, ClampsNegativeSlope) {
+  // Non-stationary workload: higher CPI at the *lower* frequency implies a
+  // negative M; the estimator clamps into the physical domain.
+  CounterObservation a, b;
+  a.measured_hz = 1 * GHz;
+  a.delta.instructions = 1e8;
+  a.delta.cycles = 1e8;  // CPI 1 at 1 GHz
+  b.measured_hz = 500 * MHz;
+  b.delta.instructions = 1e8;
+  b.delta.cycles = 2e8;  // CPI 2 at 500 MHz (!)
+  const auto est = TwoPointEstimator::estimate(a, b);
+  ASSERT_TRUE(est.valid);
+  EXPECT_DOUBLE_EQ(est.mem_time_per_instr, 0.0);
+  EXPECT_GT(est.alpha_inv, 0.0);
+}
+
+TEST(BoundsEstimator, BoundsBracketTruthUnderLatencyError) {
+  // True latencies are 1.2x nominal; bounds [0.85, 1.3] must bracket the
+  // true performance at every frequency.
+  workload::Phase p = workload::synthetic_phase("x", 25.0, 1e9);
+  p.latency_scale = 1.2;
+  const BoundsEstimator estimator(kLat, 0.85, 1.30);
+  const auto bounds = estimator.estimate(observe(p, 1 * GHz));
+  ASSERT_TRUE(bounds.valid);
+  const IpcPredictor pred(kLat);
+  for (double mhz = 300; mhz <= 1000; mhz += 100) {
+    const double truth =
+        workload::true_performance(p, kLat, mhz * MHz);
+    const double lo =
+        std::min(pred.predict_performance(bounds.best, mhz * MHz),
+                 pred.predict_performance(bounds.worst, mhz * MHz));
+    const double hi =
+        std::max(pred.predict_performance(bounds.best, mhz * MHz),
+                 pred.predict_performance(bounds.worst, mhz * MHz));
+    EXPECT_LE(lo, truth * 1.001) << mhz;
+    EXPECT_GE(hi, truth * 0.999) << mhz;
+  }
+}
+
+TEST(BoundsEstimator, WorstCaseLossDominatesPointLoss) {
+  const auto p = workload::synthetic_phase("x", 25.0, 1e9);
+  const BoundsEstimator estimator(kLat, 0.85, 1.30);
+  const auto bounds = estimator.estimate(observe(p, 1 * GHz));
+  ASSERT_TRUE(bounds.valid);
+  const IpcPredictor pred(kLat);
+  const auto point = pred.estimate(observe(p, 1 * GHz));
+  for (double mhz = 300; mhz <= 950; mhz += 50) {
+    const double point_loss =
+        perf_loss(pred.predict_performance(point, 1 * GHz),
+                  pred.predict_performance(point, mhz * MHz));
+    const double wc =
+        BoundsEstimator::worst_case_loss(bounds, mhz * MHz, 1 * GHz);
+    EXPECT_GE(wc, point_loss - 1e-9) << mhz;
+  }
+}
+
+// Property sweep: whenever the true latency scale lies within the bound
+// interval, the bounds bracket true IPC at *every* frequency — including
+// heavily memory-bound workloads where the pessimistic bound would imply
+// an infeasible (sub-floor) alpha.
+class BoundsBracketProperty
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(BoundsBracketProperty, BracketsTruthEverywhere) {
+  const double scale = std::get<0>(GetParam());
+  const double intensity = std::get<1>(GetParam());
+  workload::Phase p = workload::synthetic_phase("x", intensity, 1e9);
+  p.latency_scale = scale;
+  const BoundsEstimator estimator(kLat, 0.85, 1.40);
+  const auto bounds = estimator.estimate(observe(p, 1 * GHz));
+  ASSERT_TRUE(bounds.valid);
+  const IpcPredictor pred(kLat);
+  for (double mhz = 250; mhz <= 1000; mhz += 50) {
+    const double truth = workload::true_ipc(p, kLat, mhz * MHz);
+    const double a = pred.predict_ipc(bounds.best, mhz * MHz);
+    const double b = pred.predict_ipc(bounds.worst, mhz * MHz);
+    EXPECT_LE(std::min(a, b), truth + 1e-9)
+        << "scale=" << scale << " intensity=" << intensity << " mhz=" << mhz;
+    EXPECT_GE(std::max(a, b), truth - 1e-9)
+        << "scale=" << scale << " intensity=" << intensity << " mhz=" << mhz;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ScaleByIntensity, BoundsBracketProperty,
+    ::testing::Combine(::testing::Values(0.85, 0.95, 1.0, 1.1, 1.25, 1.4),
+                       ::testing::Values(5.0, 25.0, 50.0, 75.0, 100.0)));
+
+TEST(BoundsEstimator, InvalidInputGivesInvalidBounds) {
+  const BoundsEstimator estimator(kLat, 0.85, 1.30);
+  CounterObservation empty;
+  const auto bounds = estimator.estimate(empty);
+  EXPECT_FALSE(bounds.valid);
+  EXPECT_DOUBLE_EQ(BoundsEstimator::worst_case_loss(bounds, 500 * MHz, 1e9),
+                   0.0);
+}
+
+}  // namespace
+}  // namespace fvsst::core

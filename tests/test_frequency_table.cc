@@ -1,0 +1,143 @@
+// Tests for FrequencyTable (mach/frequency_table.h).
+#include "mach/frequency_table.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+
+namespace fvsst::mach {
+namespace {
+
+using units::MHz;
+
+FrequencyTable small_table() {
+  return FrequencyTable({
+      {500 * MHz, 1.0, 35.0},
+      {250 * MHz, 0.8, 9.0},
+      {1000 * MHz, 1.3, 140.0},
+      {750 * MHz, 1.15, 75.0},
+  });
+}
+
+TEST(FrequencyTable, SortsAscending) {
+  const FrequencyTable t = small_table();
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t[0].hz, 250 * MHz);
+  EXPECT_DOUBLE_EQ(t[3].hz, 1000 * MHz);
+  EXPECT_DOUBLE_EQ(t.min_hz(), 250 * MHz);
+  EXPECT_DOUBLE_EQ(t.max_hz(), 1000 * MHz);
+}
+
+TEST(FrequencyTable, RejectsEmptyDuplicatesAndNonPositive) {
+  EXPECT_THROW(FrequencyTable(std::vector<OperatingPoint>{}),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({{1e9, 1.0, 10.0}, {1e9, 1.1, 11.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({{0.0, 1.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({{1e9, -1.0, 10.0}}), std::invalid_argument);
+  EXPECT_THROW(FrequencyTable({{1e9, 1.0, 0.0}}), std::invalid_argument);
+}
+
+TEST(FrequencyTable, IndexAndContains) {
+  const FrequencyTable t = small_table();
+  EXPECT_TRUE(t.contains(750 * MHz));
+  EXPECT_FALSE(t.contains(600 * MHz));
+  EXPECT_EQ(*t.index_of(250 * MHz), 0u);
+  EXPECT_EQ(*t.index_of(1000 * MHz), 3u);
+  EXPECT_FALSE(t.index_of(123.0).has_value());
+}
+
+TEST(FrequencyTable, VoltageAndPowerLookup) {
+  const FrequencyTable t = small_table();
+  EXPECT_DOUBLE_EQ(t.min_voltage(750 * MHz), 1.15);
+  EXPECT_DOUBLE_EQ(t.power(500 * MHz), 35.0);
+  EXPECT_THROW(t.min_voltage(600 * MHz), std::out_of_range);
+  EXPECT_THROW(t.power(600 * MHz), std::out_of_range);
+}
+
+TEST(FrequencyTable, NextLower) {
+  const FrequencyTable t = small_table();
+  EXPECT_DOUBLE_EQ(t.next_lower(1000 * MHz)->hz, 750 * MHz);
+  EXPECT_DOUBLE_EQ(t.next_lower(600 * MHz)->hz, 500 * MHz);  // between points
+  EXPECT_FALSE(t.next_lower(250 * MHz).has_value());
+}
+
+TEST(FrequencyTable, NextHigher) {
+  const FrequencyTable t = small_table();
+  EXPECT_DOUBLE_EQ(t.next_higher(250 * MHz)->hz, 500 * MHz);
+  EXPECT_DOUBLE_EQ(t.next_higher(600 * MHz)->hz, 750 * MHz);
+  EXPECT_FALSE(t.next_higher(1000 * MHz).has_value());
+}
+
+TEST(FrequencyTable, HighestUnderPower) {
+  const FrequencyTable t = small_table();
+  EXPECT_DOUBLE_EQ(t.highest_under_power(140.0)->hz, 1000 * MHz);
+  EXPECT_DOUBLE_EQ(t.highest_under_power(100.0)->hz, 750 * MHz);
+  EXPECT_DOUBLE_EQ(t.highest_under_power(9.0)->hz, 250 * MHz);
+  EXPECT_FALSE(t.highest_under_power(8.9).has_value());
+}
+
+TEST(FrequencyTable, HighestUnderFrequency) {
+  const FrequencyTable t = small_table();
+  EXPECT_DOUBLE_EQ(t.highest_under_frequency(800 * MHz)->hz, 750 * MHz);
+  EXPECT_DOUBLE_EQ(t.highest_under_frequency(250 * MHz)->hz, 250 * MHz);
+  EXPECT_FALSE(t.highest_under_frequency(200 * MHz).has_value());
+}
+
+TEST(FrequencyTable, CeilPoint) {
+  const FrequencyTable t = small_table();
+  EXPECT_DOUBLE_EQ(t.ceil_point(600 * MHz).hz, 750 * MHz);
+  EXPECT_DOUBLE_EQ(t.ceil_point(750 * MHz).hz, 750 * MHz);
+  EXPECT_DOUBLE_EQ(t.ceil_point(0.0).hz, 250 * MHz);
+  // Above the top: clamps to max.
+  EXPECT_DOUBLE_EQ(t.ceil_point(2000 * MHz).hz, 1000 * MHz);
+}
+
+TEST(FrequencyTable, CappedAt) {
+  const FrequencyTable t = small_table();
+  const FrequencyTable capped = t.capped_at(750 * MHz);
+  EXPECT_EQ(capped.size(), 3u);
+  EXPECT_DOUBLE_EQ(capped.max_hz(), 750 * MHz);
+  EXPECT_THROW(t.capped_at(100 * MHz), std::invalid_argument);
+}
+
+// ---- Property sweep over the full P630 table -----------------------------
+
+class P630TableTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(P630TableTest, PowerAndVoltageMonotoneInFrequency) {
+  const FrequencyTable t = p630_frequency_table();
+  const std::size_t i = GetParam();
+  if (i + 1 < t.size()) {
+    EXPECT_LT(t[i].hz, t[i + 1].hz);
+    EXPECT_LT(t[i].watts, t[i + 1].watts);
+    EXPECT_LT(t[i].volts, t[i + 1].volts);
+  }
+}
+
+TEST_P(P630TableTest, NextLowerInverts) {
+  const FrequencyTable t = p630_frequency_table();
+  const std::size_t i = GetParam();
+  const auto lower = t.next_lower(t[i].hz);
+  if (i == 0) {
+    EXPECT_FALSE(lower.has_value());
+  } else {
+    ASSERT_TRUE(lower.has_value());
+    EXPECT_DOUBLE_EQ(lower->hz, t[i - 1].hz);
+  }
+}
+
+TEST_P(P630TableTest, HighestUnderOwnPowerIsSelf) {
+  const FrequencyTable t = p630_frequency_table();
+  const std::size_t i = GetParam();
+  const auto point = t.highest_under_power(t[i].watts);
+  ASSERT_TRUE(point.has_value());
+  EXPECT_DOUBLE_EQ(point->hz, t[i].hz);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPoints, P630TableTest,
+                         ::testing::Range<std::size_t>(0, 16));
+
+}  // namespace
+}  // namespace fvsst::mach

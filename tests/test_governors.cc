@@ -1,0 +1,135 @@
+// Tests for the utilisation-driven governor daemon
+// (baselines/governor_daemon.h).
+#include "baselines/governor_daemon.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::baselines {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+struct Rig {
+  explicit Rig(bool halting = false) {
+    machine = mach::p630();
+    machine.idles_by_halting = halting;
+    cluster = std::make_unique<cluster::Cluster>(
+        cluster::Cluster::homogeneous(sim, machine, 1, rng));
+  }
+  sim::Simulation sim;
+  sim::Rng rng{5};
+  mach::MachineConfig machine;
+  std::unique_ptr<cluster::Cluster> cluster;
+};
+
+TEST(GovernorNames, MatchCpufreq) {
+  EXPECT_EQ(governor_name(GovernorPolicy::kPerformance), "performance");
+  EXPECT_EQ(governor_name(GovernorPolicy::kPowersave), "powersave");
+  EXPECT_EQ(governor_name(GovernorPolicy::kOndemand), "ondemand");
+  EXPECT_EQ(governor_name(GovernorPolicy::kConservative), "conservative");
+}
+
+TEST(GovernorDaemon, PerformanceAndPowersavePin) {
+  for (auto policy :
+       {GovernorPolicy::kPerformance, GovernorPolicy::kPowersave}) {
+    Rig rig;
+    GovernorDaemon::Config cfg;
+    cfg.policy = policy;
+    GovernorDaemon gov(rig.sim, *rig.cluster, rig.machine.freq_table, cfg);
+    rig.cluster->core({0, 0}).set_frequency(500 * MHz);
+    rig.sim.run_for(0.1);
+    const double expected = policy == GovernorPolicy::kPerformance
+                                ? rig.machine.freq_table.max_hz()
+                                : rig.machine.freq_table.min_hz();
+    EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), expected);
+    EXPECT_GT(gov.evaluations(), 0u);
+  }
+}
+
+TEST(GovernorDaemon, OndemandRacesToMaxUnderLoad) {
+  Rig rig(/*halting=*/true);
+  rig.cluster->core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(100.0, 1e12));
+  rig.cluster->core({0, 0}).set_frequency(250 * MHz);
+  GovernorDaemon gov(rig.sim, *rig.cluster, rig.machine.freq_table, {});
+  rig.sim.run_for(0.1);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 1 * GHz);
+  EXPECT_NEAR(gov.utilization(0), 1.0, 1e-9);
+}
+
+TEST(GovernorDaemon, OndemandDropsOnHaltingIdle) {
+  Rig rig(/*halting=*/true);
+  GovernorDaemon gov(rig.sim, *rig.cluster, rig.machine.freq_table, {});
+  rig.sim.run_for(0.1);
+  // Idle (halted) CPUs: utilisation ~0 -> minimum frequency.
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 1}).frequency_hz(), 250 * MHz);
+  EXPECT_NEAR(gov.utilization(1), 0.0, 1e-9);
+}
+
+TEST(GovernorDaemon, HotIdlePathologyPinsAtFmax) {
+  // The paper's critique: on a hot-idle Power4+ the non-halted metric says
+  // "busy" and the governor runs idle CPUs at full speed.
+  Rig rig(/*halting=*/false);
+  GovernorDaemon gov(rig.sim, *rig.cluster, rig.machine.freq_table, {});
+  rig.sim.run_for(0.2);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_DOUBLE_EQ(rig.cluster->core({0, c}).frequency_hz(), 1 * GHz) << c;
+    EXPECT_NEAR(gov.utilization(c), 1.0, 1e-9);
+  }
+}
+
+TEST(GovernorDaemon, BlindToMemorySaturation) {
+  // A fully memory-bound workload stalls the pipeline but never halts:
+  // utilisation reads 1.0 and ondemand keeps f_max, wasting the power
+  // fvsst would save.  This is the paper's second critique.
+  Rig rig(/*halting=*/true);
+  rig.cluster->core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(5.0, 1e12));
+  GovernorDaemon gov(rig.sim, *rig.cluster, rig.machine.freq_table, {});
+  rig.sim.run_for(0.3);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 1 * GHz);
+}
+
+TEST(GovernorDaemon, ConservativeStepsOneAtATime) {
+  Rig rig(/*halting=*/true);
+  rig.cluster->core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(100.0, 1e12));
+  rig.cluster->core({0, 0}).set_frequency(250 * MHz);
+  GovernorDaemon::Config cfg;
+  cfg.policy = GovernorPolicy::kConservative;
+  cfg.period_s = 0.010;
+  GovernorDaemon gov(rig.sim, *rig.cluster, rig.machine.freq_table, cfg);
+  rig.sim.run_for(0.0101);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 300 * MHz);
+  rig.sim.run_for(0.010);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 350 * MHz);
+  // Eventually reaches the top and stays.
+  rig.sim.run_for(0.3);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 1 * GHz);
+}
+
+TEST(GovernorDaemon, ConservativeStepsDownWhenIdle) {
+  Rig rig(/*halting=*/true);
+  GovernorDaemon::Config cfg;
+  cfg.policy = GovernorPolicy::kConservative;
+  GovernorDaemon gov(rig.sim, *rig.cluster, rig.machine.freq_table, cfg);
+  rig.sim.run_for(0.5);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 250 * MHz);
+}
+
+TEST(GovernorDaemon, TracesRecordedWhenEnabled) {
+  Rig rig(/*halting=*/true);
+  GovernorDaemon::Config cfg;
+  cfg.record_traces = true;
+  GovernorDaemon gov(rig.sim, *rig.cluster, rig.machine.freq_table, cfg);
+  rig.sim.run_for(0.1);
+  EXPECT_GE(gov.freq_trace(0).size(), 9u);
+}
+
+}  // namespace
+}  // namespace fvsst::baselines

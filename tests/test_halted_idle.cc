@@ -1,0 +1,171 @@
+// Tests for halting-idle machines and the daemon's idle-signal sources
+// (paper Sec. 5: halted-cycle counters make the explicit idle indicator
+// unnecessary).
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst {
+namespace {
+
+using units::GHz;
+using units::MHz;
+using units::ms;
+
+cpu::Core::Config halting_config() {
+  cpu::Core::Config cfg;
+  cfg.latencies = mach::p630().latencies;
+  cfg.max_hz = 1 * GHz;
+  cfg.idles_by_halting = true;
+  cfg.counter_noise_sigma = 0.0;
+  cfg.execution_noise_sigma = 0.0;
+  return cfg;
+}
+
+TEST(HaltingCore, IdleAccumulatesHaltedCycles) {
+  sim::Simulation sim;
+  cpu::Core core(sim, halting_config(), sim::Rng(1));
+  sim.run_for(0.25);
+  const cpu::PerfCounters c = core.read_counters();
+  EXPECT_NEAR(c.cycles, 0.25e9, 1.0);
+  EXPECT_NEAR(c.halted_cycles, 0.25e9, 1.0);
+  EXPECT_DOUBLE_EQ(c.instructions, 0.0);
+}
+
+TEST(HaltingCore, BusyCoreHasNoHaltedCycles) {
+  sim::Simulation sim;
+  cpu::Core core(sim, halting_config(), sim::Rng(1));
+  core.add_workload(workload::make_uniform_synthetic(50.0, 1e12));
+  sim.run_for(0.25);
+  const cpu::PerfCounters c = core.read_counters();
+  EXPECT_DOUBLE_EQ(c.halted_cycles, 0.0);
+  EXPECT_GT(c.instructions, 0.0);
+}
+
+TEST(HaltingCore, MixedPeriodSplitsCycles) {
+  sim::Simulation sim;
+  cpu::Core core(sim, halting_config(), sim::Rng(1));
+  sim.run_for(0.1);  // idle (halted)
+  core.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  sim.run_for(0.1);  // busy
+  const cpu::PerfCounters c = core.read_counters();
+  EXPECT_NEAR(c.halted_cycles / c.cycles, 0.5, 0.01);
+}
+
+struct HaltingRig {
+  HaltingRig() {
+    machine = mach::p630();
+    machine.idles_by_halting = true;
+    cluster = std::make_unique<cluster::Cluster>(
+        cluster::Cluster::homogeneous(sim, machine, 1, rng));
+  }
+  sim::Simulation sim;
+  sim::Rng rng{4};
+  mach::MachineConfig machine;
+  std::unique_ptr<cluster::Cluster> cluster;
+  power::PowerBudget budget{4 * 140.0};
+};
+
+TEST(HaltedIdleSignal, DaemonInfersIdleFromCounterAlone) {
+  HaltingRig rig;
+  core::DaemonConfig cfg;
+  cfg.idle_signal = core::IdleSignal::kHaltedCounter;  // no OS signal used
+  rig.cluster->core({0, 2}).add_workload(
+      workload::make_uniform_synthetic(60.0, 1e12));
+  core::FvsstDaemon daemon(rig.sim, *rig.cluster, rig.machine.freq_table,
+                           rig.budget, cfg);
+  rig.sim.run_for(0.5);
+  // Idle (halting) CPUs inferred idle -> pinned to the floor.
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 250 * MHz);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 1}).frequency_hz(), 250 * MHz);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 3}).frequency_hz(), 250 * MHz);
+  // The busy CPU is not mistaken for idle.
+  EXPECT_GT(rig.cluster->core({0, 2}).frequency_hz(), 700 * MHz);
+}
+
+TEST(HaltedIdleSignal, WakeupRestoresFrequency) {
+  HaltingRig rig;
+  core::DaemonConfig cfg;
+  cfg.idle_signal = core::IdleSignal::kHaltedCounter;
+  core::FvsstDaemon daemon(rig.sim, *rig.cluster, rig.machine.freq_table,
+                           rig.budget, cfg);
+  rig.sim.run_for(0.5);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 250 * MHz);
+  // Work arrives on CPU 0: within a couple of intervals it runs fast again.
+  rig.cluster->core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(100.0, 1e12));
+  rig.sim.run_for(0.3);
+  EXPECT_DOUBLE_EQ(rig.cluster->core({0, 0}).frequency_hz(), 1 * GHz);
+}
+
+TEST(HaltedIdleSignal, KNoneLeavesHotIdleAtFmax) {
+  // On the hot-idle Power4+ with no idle knowledge (the paper's prototype),
+  // idle CPUs run at f_max.
+  sim::Simulation sim;
+  sim::Rng rng(4);
+  const mach::MachineConfig machine = mach::p630();  // hot idle
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  power::PowerBudget budget(4 * 140.0);
+  core::DaemonConfig cfg;
+  cfg.idle_signal = core::IdleSignal::kNone;
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+  sim.run_for(0.5);
+  EXPECT_DOUBLE_EQ(cluster.core({0, 0}).frequency_hz(), 1 * GHz);
+}
+
+TEST(HaltedIdleSignal, HaltingMachineSavesPowerEvenWithoutOsSignal) {
+  // The headline of the halted-counter path: on halting machines, the
+  // counter alone achieves what the Power4+ needs an explicit signal for.
+  HaltingRig rig;
+  core::DaemonConfig cfg;
+  cfg.idle_signal = core::IdleSignal::kHaltedCounter;
+  core::FvsstDaemon daemon(rig.sim, *rig.cluster, rig.machine.freq_table,
+                           rig.budget, cfg);
+  rig.sim.run_for(1.0);
+  EXPECT_DOUBLE_EQ(rig.cluster->cpu_power_w(), 4 * 9.0);
+}
+
+TEST(PerCpuThreads, DistributesSamplingOverhead) {
+  // With single-threaded sampling all dead time lands on the daemon CPU;
+  // with per-CPU collector threads it spreads evenly (paper Sec. 9).
+  auto lost_instructions = [](bool per_cpu_threads) {
+    sim::Simulation sim;
+    sim::Rng rng(6);
+    const mach::MachineConfig machine = mach::p630();
+    cluster::Cluster cluster =
+        cluster::Cluster::homogeneous(sim, machine, 1, rng);
+    for (std::size_t c = 0; c < 4; ++c) {
+      cluster.core({0, c}).add_workload(
+          workload::make_uniform_synthetic(100.0, 1e12));
+    }
+    power::PowerBudget budget(4 * 140.0);
+    core::DaemonConfig cfg;
+    cfg.per_cpu_threads = per_cpu_threads;
+    cfg.overhead_per_cpu_sample_s = 50e-6;  // exaggerated, to be measurable
+    cfg.daemon_cpu = 0;
+    core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+    sim.run_for(2.0);
+    std::vector<double> retired(4);
+    for (std::size_t c = 0; c < 4; ++c) {
+      retired[c] = cluster.core({0, c}).instructions_retired();
+    }
+    return retired;
+  };
+  const auto single = lost_instructions(false);
+  const auto spread = lost_instructions(true);
+  // Single-threaded: CPU 0 noticeably behind its peers.
+  EXPECT_LT(single[0], single[1] * 0.99);
+  // Per-CPU threads: all CPUs within 0.5% of each other.
+  for (std::size_t c = 1; c < 4; ++c) {
+    EXPECT_NEAR(spread[c] / spread[0], 1.0, 0.005) << c;
+  }
+}
+
+}  // namespace
+}  // namespace fvsst

@@ -1,0 +1,113 @@
+// End-to-end tests for heterogeneous clusters: mixed machine generations
+// and leaky bins under the distributed ClusterDaemon.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/cluster_daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+struct HeteroRig {
+  HeteroRig() {
+    const mach::MachineConfig fast = mach::p630();
+    // A previous-generation node: 600 MHz top; and a leaky bin: +20% power.
+    const mach::MachineConfig slow = mach::derated(fast, 600 * MHz);
+    const mach::MachineConfig leaky = mach::derated(fast, 1 * GHz, 1.2);
+    cluster = std::make_unique<cluster::Cluster>(
+        cluster::Cluster::heterogeneous(sim, {fast, slow, leaky}, rng));
+  }
+  sim::Simulation sim;
+  sim::Rng rng{17};
+  std::unique_ptr<cluster::Cluster> cluster;
+};
+
+TEST(DeratedMachine, CapsTableAndScalesPower) {
+  const mach::MachineConfig base = mach::p630();
+  const mach::MachineConfig slow = mach::derated(base, 600 * MHz, 1.1);
+  EXPECT_DOUBLE_EQ(slow.nominal_hz, 600 * MHz);
+  EXPECT_EQ(slow.freq_table.size(), 8u);  // 250..600 MHz
+  EXPECT_NEAR(slow.freq_table.power(600 * MHz), 48.0 * 1.1, 1e-9);
+  EXPECT_DOUBLE_EQ(slow.freq_table.min_voltage(600 * MHz),
+                   base.freq_table.min_voltage(600 * MHz));
+  // Base untouched.
+  EXPECT_DOUBLE_EQ(base.freq_table.power(600 * MHz), 48.0);
+}
+
+TEST(HeteroCluster, NodesKeepTheirOwnLimits) {
+  HeteroRig rig;
+  EXPECT_DOUBLE_EQ(rig.cluster->node(0).machine().nominal_hz, 1 * GHz);
+  EXPECT_DOUBLE_EQ(rig.cluster->node(1).machine().nominal_hz, 600 * MHz);
+  EXPECT_DOUBLE_EQ(rig.cluster->node(1).core(0).frequency_hz(), 600 * MHz);
+  // Setting a slow node above its top is rejected by the core itself.
+  EXPECT_THROW(rig.cluster->node(1).core(0).set_frequency(1 * GHz),
+               std::invalid_argument);
+}
+
+TEST(HeteroCluster, PowerUsesPerNodeTables) {
+  HeteroRig rig;
+  // fast: 4x140; slow: 4x48; leaky: 4x168.
+  EXPECT_NEAR(rig.cluster->cpu_power_w(),
+              4 * 140.0 + 4 * 48.0 + 4 * 140.0 * 1.2, 1e-9);
+}
+
+TEST(HeteroClusterDaemon, SchedulesEachNodeWithinItsTable) {
+  HeteroRig rig;
+  for (const auto& addr : rig.cluster->all_procs()) {
+    rig.cluster->core(addr).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  power::PowerBudget budget(1e9);  // unconstrained
+  core::ClusterDaemon daemon(rig.sim, *rig.cluster,
+                             mach::p630_frequency_table(), budget, {});
+  rig.sim.run_for(1.0);
+  // CPU-bound work: every node at its own f_max.
+  EXPECT_DOUBLE_EQ(rig.cluster->node(0).core(0).frequency_hz(), 1 * GHz);
+  EXPECT_DOUBLE_EQ(rig.cluster->node(1).core(0).frequency_hz(), 600 * MHz);
+  EXPECT_DOUBLE_EQ(rig.cluster->node(2).core(0).frequency_hz(), 1 * GHz);
+}
+
+TEST(HeteroClusterDaemon, BudgetUsesTruePerNodeWatts) {
+  HeteroRig rig;
+  for (const auto& addr : rig.cluster->all_procs()) {
+    rig.cluster->core(addr).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  // Demand: 560 (fast) + 192 (slow) + 672 (leaky) = 1424 W.  Cap at 900 W.
+  power::PowerBudget budget(900.0);
+  core::ClusterDaemon daemon(rig.sim, *rig.cluster,
+                             mach::p630_frequency_table(), budget, {});
+  rig.sim.run_for(1.0);
+  EXPECT_LE(rig.cluster->cpu_power_w(), 900.0);
+  EXPECT_GT(rig.cluster->cpu_power_w(), 500.0);  // not collapsed to floor
+}
+
+TEST(HeteroClusterDaemon, HaltedIdleSignalWorksClusterWide) {
+  mach::MachineConfig halting = mach::p630();
+  halting.idles_by_halting = true;
+  sim::Simulation sim;
+  sim::Rng rng(9);
+  cluster::Cluster cluster = cluster::Cluster::heterogeneous(
+      sim, {halting, mach::derated(halting, 600 * MHz)}, rng);
+  cluster.core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(100.0, 1e12));
+  power::PowerBudget budget(1e9);
+  core::ClusterDaemonConfig cfg;
+  cfg.idle_signal = core::IdleSignal::kHaltedCounter;
+  core::ClusterDaemon daemon(sim, cluster, mach::p630_frequency_table(),
+                             budget, cfg);
+  sim.run_for(1.0);
+  EXPECT_DOUBLE_EQ(cluster.core({0, 0}).frequency_hz(), 1 * GHz);  // busy
+  EXPECT_DOUBLE_EQ(cluster.core({0, 1}).frequency_hz(), 250 * MHz);
+  EXPECT_DOUBLE_EQ(cluster.core({1, 3}).frequency_hz(), 250 * MHz);
+}
+
+}  // namespace
+}  // namespace fvsst

@@ -1,0 +1,123 @@
+// Tests for the real-host backends (src/host).  CpufreqSysfs is tested
+// against a synthetic sysfs tree; PerfEventGroup degrades gracefully when
+// the kernel denies perf_event_open (common in containers).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "host/cpufreq_sysfs.h"
+#include "host/perf_events.h"
+
+namespace fvsst::host {
+namespace {
+
+namespace fs = std::filesystem;
+
+class FakeSysfs : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "fvsst_sysfs_test";
+    fs::remove_all(root_);
+    for (int cpu = 0; cpu < 2; ++cpu) {
+      const fs::path dir = root_ / ("cpu" + std::to_string(cpu)) / "cpufreq";
+      fs::create_directories(dir);
+      write(dir / "scaling_available_frequencies",
+            "1000000 750000 500000 250000\n");
+      write(dir / "cpuinfo_min_freq", "250000\n");
+      write(dir / "cpuinfo_max_freq", "1000000\n");
+      write(dir / "scaling_cur_freq", "750000\n");
+      write(dir / "scaling_governor", "userspace\n");
+    }
+    // A cpu directory without cpufreq must be skipped.
+    fs::create_directories(root_ / "cpu7");
+    // Non-cpu entries must be ignored.
+    fs::create_directories(root_ / "cpufreq");
+    fs::create_directories(root_ / "cpuidle");
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const fs::path& p, const std::string& content) {
+    std::ofstream out(p);
+    out << content;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(FakeSysfs, EnumeratesCpusWithCpufreq) {
+  CpufreqSysfs sysfs(root_.string());
+  EXPECT_TRUE(sysfs.available());
+  EXPECT_EQ(sysfs.cpus(), (std::vector<int>{0, 1}));
+}
+
+TEST_F(FakeSysfs, ReadsFullInfo) {
+  CpufreqSysfs sysfs(root_.string());
+  const auto info = sysfs.info(0);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->cpu, 0);
+  ASSERT_EQ(info->available_hz.size(), 4u);
+  EXPECT_DOUBLE_EQ(info->available_hz.front(), 250e6);  // sorted ascending
+  EXPECT_DOUBLE_EQ(info->available_hz.back(), 1000e6);
+  EXPECT_DOUBLE_EQ(info->min_hz, 250e6);
+  EXPECT_DOUBLE_EQ(info->max_hz, 1000e6);
+  EXPECT_DOUBLE_EQ(info->current_hz, 750e6);
+  EXPECT_EQ(info->governor, "userspace");
+}
+
+TEST_F(FakeSysfs, MissingCpuReturnsNullopt) {
+  CpufreqSysfs sysfs(root_.string());
+  EXPECT_FALSE(sysfs.info(7).has_value());  // no cpufreq dir
+  EXPECT_FALSE(sysfs.info(99).has_value());
+}
+
+TEST_F(FakeSysfs, SetFrequencyWritesKhz) {
+  CpufreqSysfs sysfs(root_.string());
+  ASSERT_TRUE(sysfs.set_frequency(1, 500e6));
+  std::ifstream in(root_ / "cpu1" / "cpufreq" / "scaling_setspeed");
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "500000");
+}
+
+TEST_F(FakeSysfs, SetGovernorWrites) {
+  CpufreqSysfs sysfs(root_.string());
+  ASSERT_TRUE(sysfs.set_governor(0, "performance"));
+  std::ifstream in(root_ / "cpu0" / "cpufreq" / "scaling_governor");
+  std::string content;
+  std::getline(in, content);
+  EXPECT_EQ(content, "performance");
+}
+
+TEST(CpufreqSysfs, UnavailableRootDegradesGracefully) {
+  CpufreqSysfs sysfs("/nonexistent-dir-xyz");
+  EXPECT_FALSE(sysfs.available());
+  EXPECT_TRUE(sysfs.cpus().empty());
+  EXPECT_FALSE(sysfs.info(0).has_value());
+  EXPECT_FALSE(sysfs.set_frequency(0, 1e9));
+  EXPECT_FALSE(sysfs.set_governor(0, "userspace"));
+}
+
+TEST(PerfEvents, GracefulWhetherOrNotAvailable) {
+  PerfEventGroup group;
+  if (!group.valid()) {
+    // Denied (container): all operations fail cleanly.
+    EXPECT_FALSE(group.start());
+    EXPECT_FALSE(group.stop());
+    EXPECT_FALSE(group.read().has_value());
+    GTEST_SKIP() << "perf_event_open unavailable in this environment";
+  }
+  ASSERT_TRUE(group.start());
+  // Burn some instructions.
+  volatile double x = 1.0;
+  for (int i = 0; i < 1000000; ++i) x = x * 1.0000001 + 0.5;
+  ASSERT_TRUE(group.stop());
+  const auto counters = group.read();
+  ASSERT_TRUE(counters.has_value());
+  EXPECT_GT(counters->instructions, 1e6);
+  EXPECT_GT(counters->cycles, 0.0);
+  EXPECT_GT(counters->ipc(), 0.0);
+}
+
+}  // namespace
+}  // namespace fvsst::host

@@ -1,0 +1,138 @@
+// Tests for HostScheduler against a synthetic sysfs tree.
+#include "host/host_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace fvsst::host {
+namespace {
+
+namespace fs = std::filesystem;
+
+class HostSchedulerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() / "fvsst_hostsched_test";
+    fs::remove_all(root_);
+    for (int cpu = 0; cpu < 4; ++cpu) {
+      const fs::path dir = root_ / ("cpu" + std::to_string(cpu)) / "cpufreq";
+      fs::create_directories(dir);
+      write(dir / "scaling_available_frequencies",
+            "2400000 2000000 1600000 1200000 800000\n");
+      write(dir / "cpuinfo_min_freq", "800000\n");
+      write(dir / "cpuinfo_max_freq", "2400000\n");
+      write(dir / "scaling_cur_freq", "2400000\n");
+      write(dir / "scaling_governor", "userspace\n");
+    }
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void write(const fs::path& p, const std::string& content) {
+    std::ofstream out(p);
+    out << content;
+  }
+
+  std::string read_setspeed(int cpu) {
+    std::ifstream in(root_ / ("cpu" + std::to_string(cpu)) / "cpufreq" /
+                     "scaling_setspeed");
+    std::string s;
+    std::getline(in, s);
+    return s;
+  }
+
+  HostScheduler::Options options() {
+    HostScheduler::Options opts;
+    opts.sysfs_root = root_.string();
+    return opts;
+  }
+
+  fs::path root_;
+};
+
+TEST(TableFromHost, BuildsAscendingTableWithModelPower) {
+  CpuFreqInfo info;
+  info.available_hz = {800e6, 1600e6, 2400e6};
+  const power::PowerModel model(50e-9, 1.0);
+  const auto table = table_from_host(info, model, 0.8, 1.2);
+  ASSERT_TRUE(table.has_value());
+  ASSERT_EQ(table->size(), 3u);
+  EXPECT_DOUBLE_EQ((*table)[0].hz, 800e6);
+  EXPECT_DOUBLE_EQ((*table)[0].volts, 0.8);
+  EXPECT_DOUBLE_EQ((*table)[2].volts, 1.2);
+  EXPECT_LT((*table)[0].watts, (*table)[2].watts);
+}
+
+TEST(TableFromHost, EmptyFrequencyListGivesNullopt) {
+  CpuFreqInfo info;
+  const power::PowerModel model(50e-9, 1.0);
+  EXPECT_FALSE(table_from_host(info, model).has_value());
+}
+
+TEST_F(HostSchedulerTest, ActivatesOnFakeSysfs) {
+  HostScheduler sched(options());
+  EXPECT_TRUE(sched.active());
+  EXPECT_EQ(sched.cpus().size(), 4u);
+}
+
+TEST_F(HostSchedulerTest, InactiveWithoutSysfs) {
+  HostScheduler::Options opts = options();
+  opts.sysfs_root = "/nonexistent-dir-xyz";
+  HostScheduler sched(opts);
+  EXPECT_FALSE(sched.active());
+  EXPECT_TRUE(sched.step(0.1).empty());
+}
+
+TEST_F(HostSchedulerTest, StepWritesFrequenciesWithinBudget) {
+  HostScheduler::Options opts = options();
+  // Budget forces everyone below the top setting.  Model power at 2.4 GHz
+  // / 1.2 V is ~173 W per CPU; cap the aggregate well below 4x that.
+  opts.power_budget_w = 300.0;
+  HostScheduler sched(opts);
+  ASSERT_TRUE(sched.active());
+  const auto decisions = sched.step(0.1);
+  ASSERT_EQ(decisions.size(), 4u);
+  double total = 0.0;
+  for (const auto& d : decisions) total += d.watts;
+  EXPECT_LE(total, 300.0 + 1e-9);
+  // scaling_setspeed written in kHz, matching each CPU's own decision
+  // (estimate-less downgrades are tie-broken by index, so they differ).
+  for (int cpu = 0; cpu < 4; ++cpu) {
+    const std::string written = read_setspeed(cpu);
+    ASSERT_FALSE(written.empty()) << cpu;
+    EXPECT_EQ(written,
+              std::to_string(static_cast<long>(
+                  decisions[static_cast<std::size_t>(cpu)].hz / 1e3)))
+        << cpu;
+  }
+  EXPECT_EQ(sched.failed_writes(), 0u);
+  EXPECT_EQ(sched.steps(), 1u);
+}
+
+TEST_F(HostSchedulerTest, UnconstrainedWithoutCountersRunsFmax) {
+  // In containers counters are typically denied: with no estimate and no
+  // budget pressure, the safe choice is f_max.
+  HostScheduler sched(options());
+  ASSERT_TRUE(sched.active());
+  const auto decisions = sched.step(0.1);
+  ASSERT_EQ(decisions.size(), 4u);
+  if (!sched.counters_available()) {
+    for (const auto& d : decisions) EXPECT_DOUBLE_EQ(d.hz, 2400e6);
+  }
+}
+
+TEST_F(HostSchedulerTest, BudgetCanChangeBetweenSteps) {
+  HostScheduler::Options opts = options();
+  HostScheduler sched(opts);
+  ASSERT_TRUE(sched.active());
+  sched.step(0.1);
+  sched.set_power_budget_w(150.0);
+  const auto decisions = sched.step(0.1);
+  double total = 0.0;
+  for (const auto& d : decisions) total += d.watts;
+  EXPECT_LE(total, 150.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace fvsst::host

@@ -1,0 +1,57 @@
+// Tests for the real-host latency probe (host/latency_probe.h).  These run
+// real timed pointer chases, so assertions are kept loose enough for noisy
+// CI machines while still catching broken plumbing.
+#include "host/latency_probe.h"
+
+#include <gtest/gtest.h>
+
+namespace fvsst::host {
+namespace {
+
+TEST(LatencyProbe, ValidatesGeometry) {
+  EXPECT_THROW(measure_chase_ns(64, 100, 64), std::invalid_argument);
+  EXPECT_THROW(measure_chase_ns(1 << 20, 100, 4), std::invalid_argument);
+  EXPECT_THROW(latency_curve(0, 1 << 20), std::invalid_argument);
+  EXPECT_THROW(latency_curve(1 << 20, 1 << 10), std::invalid_argument);
+  EXPECT_THROW(latencies_from_curve({}), std::invalid_argument);
+}
+
+TEST(LatencyProbe, MeasuresPlausibleCacheLatency) {
+  // A 16 KiB chase lives in L1 on any machine this runs on: a dependent
+  // load takes somewhere between a fraction of a ns and a few tens of ns.
+  const double ns = measure_chase_ns(16 << 10, 1 << 18);
+  EXPECT_GT(ns, 0.05);
+  EXPECT_LT(ns, 100.0);
+}
+
+TEST(LatencyProbe, LargerWorkingSetsAreSlower) {
+  // 16 KiB (L1) vs 64 MiB (beyond L2/L3 on all current CPUs): the memory
+  // chase must be clearly slower.
+  const double small = measure_chase_ns(16 << 10, 1 << 17);
+  const double large = measure_chase_ns(64 << 20, 1 << 17);
+  EXPECT_GT(large, 2.0 * small);
+}
+
+TEST(LatencyProbe, CurveIsOrderedAndMonotoneOverall) {
+  const auto curve = latency_curve(16 << 10, 16 << 20, 1 << 16);
+  ASSERT_GE(curve.size(), 10u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].working_set_bytes,
+              2 * curve[i - 1].working_set_bytes);
+  }
+  // Overall trend: the last point is slower than the first.
+  EXPECT_GT(curve.back().ns_per_access, curve.front().ns_per_access);
+}
+
+TEST(LatencyProbe, DistilsOrderedConstants) {
+  const auto curve = latency_curve(16 << 10, 64 << 20, 1 << 16);
+  const auto lat = latencies_from_curve(curve);
+  EXPECT_GT(lat.t_l2, 0.0);
+  EXPECT_GE(lat.t_l3, lat.t_l2 * 0.9);   // allow measurement noise
+  EXPECT_GE(lat.t_mem, lat.t_l3 * 0.9);
+  EXPECT_GT(lat.t_mem, lat.t_l2);        // memory clearly above L2
+  EXPECT_LT(lat.t_mem, 2e-6);            // sanity: < 2 us per access
+}
+
+}  // namespace
+}  // namespace fvsst::host

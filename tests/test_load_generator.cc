@@ -1,0 +1,255 @@
+// Tests for the request load generator (cluster/load_generator.h) and the
+// SampleSet percentile utility it relies on.
+#include "cluster/load_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::cluster {
+namespace {
+
+using units::GHz;
+
+TEST(SampleSet, ExactPercentiles) {
+  sim::SampleSet s;
+  for (int i = 10; i >= 1; --i) s.add(i);  // 1..10, added unsorted
+  EXPECT_EQ(s.count(), 10u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 5.0);   // nearest-rank
+  EXPECT_DOUBLE_EQ(s.percentile(0.95), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 10.0);
+}
+
+TEST(SampleSet, ErrorsOnEmptyOrBadP) {
+  sim::SampleSet s;
+  EXPECT_THROW(s.percentile(0.5), std::out_of_range);
+  EXPECT_THROW(s.min(), std::out_of_range);
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-0.1), std::out_of_range);
+  EXPECT_THROW(s.percentile(1.1), std::out_of_range);
+}
+
+TEST(SampleSet, InterleavedAddAndQuery) {
+  sim::SampleSet s;
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 3.0);
+  s.add(1.0);  // must re-sort lazily
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+}
+
+struct LoadRig {
+  LoadRig() : cluster(Cluster::homogeneous(sim, mach::p630(), 1, rng)) {}
+  sim::Simulation sim;
+  sim::Rng rng{21};
+  Cluster cluster;
+};
+
+LoadGenerator::Options small_requests(double rate_hz) {
+  LoadGenerator::Options opts;
+  // ~1 ms of CPU-bound work per request at 1 GHz.
+  opts.request = workload::make_uniform_synthetic(100.0, 1.5e6, false);
+  opts.base_rate_hz = rate_hz;
+  return opts;
+}
+
+TEST(LoadGenerator, ValidatesInputs) {
+  LoadRig rig;
+  EXPECT_THROW(LoadGenerator(rig.sim, rig.cluster, {}, small_requests(10)),
+               std::invalid_argument);
+  LoadGenerator::Options no_request;
+  no_request.base_rate_hz = 10;
+  EXPECT_THROW(
+      LoadGenerator(rig.sim, rig.cluster, {{0, 0}}, no_request),
+      std::invalid_argument);
+  auto bad_rate = small_requests(10);
+  bad_rate.base_rate_hz = 0.0;
+  EXPECT_THROW(LoadGenerator(rig.sim, rig.cluster, {{0, 0}}, bad_rate),
+               std::invalid_argument);
+}
+
+TEST(LoadGenerator, ArrivalRateMatchesPoissonMean) {
+  LoadRig rig;
+  LoadGenerator gen(rig.sim, rig.cluster, {{0, 0}}, small_requests(200.0));
+  rig.sim.run_for(10.0);
+  // 200 req/s * 10 s = 2000 expected; allow 4 sigma (~180).
+  EXPECT_NEAR(static_cast<double>(gen.arrivals()), 2000.0, 200.0);
+}
+
+TEST(LoadGenerator, LightLoadCompletesWithServiceTimeLatency) {
+  LoadRig rig;
+  LoadGenerator gen(rig.sim, rig.cluster, {{0, 0}}, small_requests(50.0));
+  rig.sim.run_for(5.0);
+  rig.sim.run_for(1.0);  // drain
+  EXPECT_GT(gen.completions(), 100u);
+  auto& rt = gen.response_times();
+  // Service time ~1 ms at 1 GHz; light load (utilisation ~5%) keeps the
+  // median near pure service time.
+  EXPECT_LT(rt.percentile(0.5), 3e-3);
+  EXPECT_GE(rt.min(), 0.5e-3);
+}
+
+TEST(LoadGenerator, RoundRobinSpreadsAcrossTargets) {
+  LoadRig rig;
+  std::vector<ProcAddress> targets{{0, 0}, {0, 1}, {0, 2}, {0, 3}};
+  LoadGenerator gen(rig.sim, rig.cluster, targets, small_requests(200.0));
+  rig.sim.run_for(3.0);
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_GT(rig.cluster.core({0, c}).instructions_retired(), 0.0) << c;
+  }
+  // Even split within 20%.
+  const double total = [&] {
+    double t = 0.0;
+    for (std::size_t c = 0; c < 4; ++c) {
+      t += rig.cluster.core({0, c}).instructions_retired();
+    }
+    return t;
+  }();
+  for (std::size_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(rig.cluster.core({0, c}).instructions_retired() / total,
+                0.25, 0.05);
+  }
+}
+
+TEST(LoadGenerator, SlowerCoreMeansHigherLatency) {
+  LoadRig rig;
+  LoadGenerator fast(rig.sim, rig.cluster, {{0, 0}}, small_requests(100.0),
+                     sim::Rng(1));
+  LoadGenerator slow(rig.sim, rig.cluster, {{0, 1}}, small_requests(100.0),
+                     sim::Rng(2));
+  rig.cluster.core({0, 1}).set_frequency(250e6);
+  rig.sim.run_for(5.0);
+  rig.sim.run_for(2.0);
+  EXPECT_GT(slow.response_times().percentile(0.5),
+            2.0 * fast.response_times().percentile(0.5));
+}
+
+TEST(LoadGenerator, DiurnalModulationShapesArrivals) {
+  LoadRig rig;
+  auto opts = small_requests(400.0);
+  opts.modulation = diurnal_modulation(0.1, 1.0, 10.0);
+  LoadGenerator gen(rig.sim, rig.cluster, {{0, 0}}, opts);
+  // Trough [0, 2]s vs peak [4, 6]s.
+  rig.sim.run_for(2.0);
+  const std::size_t at_trough = gen.arrivals();
+  rig.sim.run_for(2.0);
+  const std::size_t before_peak = gen.arrivals();
+  rig.sim.run_for(2.0);
+  const std::size_t at_peak = gen.arrivals();
+  EXPECT_GT(at_peak - before_peak, 3 * at_trough);
+}
+
+TEST(LoadGenerator, BatchingFlushesOnSizeOrTimeout) {
+  LoadRig rig;
+  auto opts = small_requests(1000.0);
+  opts.batch_size = 8;
+  opts.batch_timeout_s = 0.005;
+  LoadGenerator gen(rig.sim, rig.cluster, {{0, 0}}, opts);
+  rig.sim.run_for(4.0);
+  rig.sim.run_for(0.5);
+  EXPECT_GT(gen.batches_dispatched(), 0u);
+  // Mean batch size is bounded by the size cap and must exceed 1 (at
+  // 1000 req/s, ~5 requests arrive per 5 ms timeout window).
+  const double mean_batch = static_cast<double>(gen.arrivals()) /
+                            static_cast<double>(gen.batches_dispatched());
+  EXPECT_GT(mean_batch, 2.0);
+  EXPECT_LE(mean_batch, 8.0 + 1e-9);
+  EXPECT_GT(gen.completions(), 1000u);
+}
+
+TEST(LoadGenerator, BatchingLatencyBoundedByTimeout) {
+  // At a very low rate every batch flushes by timeout: the response time
+  // of each request grows by at most batch_timeout (plus service).
+  LoadRig rig;
+  auto batched = small_requests(40.0);
+  batched.batch_size = 64;          // never reached at this rate
+  batched.batch_timeout_s = 0.020;
+  LoadGenerator gen(rig.sim, rig.cluster, {{0, 0}}, batched, sim::Rng(3));
+  rig.sim.run_for(5.0);
+  rig.sim.run_for(0.5);
+  auto& rt = gen.response_times();
+  ASSERT_GT(rt.count(), 50u);
+  EXPECT_GT(rt.mean(), 0.010);          // batching delay is visible...
+  EXPECT_LT(rt.percentile(0.95), 0.030);  // ...but bounded by the timeout
+}
+
+TEST(LoadGenerator, BatchingDisabledByDefault) {
+  LoadRig rig;
+  LoadGenerator gen(rig.sim, rig.cluster, {{0, 0}}, small_requests(100.0));
+  rig.sim.run_for(2.0);
+  EXPECT_EQ(gen.batches_dispatched(), gen.arrivals());
+}
+
+TEST(LoadGenerator, ClosedLoopBoundsConcurrency) {
+  // N users, each with one outstanding request: arrivals per second are
+  // bounded by N / (service + think), and outstanding work never exceeds N.
+  LoadRig rig;
+  auto opts = small_requests(1.0);  // rate ignored in closed mode
+  opts.closed_users = 8;
+  opts.think_time_s = 0.010;
+  LoadGenerator gen(rig.sim, rig.cluster, rig.cluster.all_procs(), opts);
+  rig.sim.run_for(5.0);
+  const std::size_t outstanding = gen.arrivals() - gen.completions();
+  EXPECT_LE(outstanding, 8u);
+  // Throughput ceiling: 8 users / (1ms service + 10ms think) ~ 720/s.
+  EXPECT_LT(gen.arrivals(), 5000u);
+  EXPECT_GT(gen.arrivals(), 1000u);
+}
+
+TEST(LoadGenerator, ClosedLoopSelfThrottlesOnSlowService) {
+  // Same users on a 4x slower core: a closed loop submits *fewer*
+  // requests instead of building an unbounded queue.
+  auto arrivals_at = [](double hz) {
+    LoadRig rig;
+    rig.cluster.core({0, 0}).set_frequency(hz);
+    LoadGenerator::Options opts;
+    opts.request = workload::make_uniform_synthetic(100.0, 1.5e7, false);
+    opts.base_rate_hz = 1.0;
+    opts.closed_users = 4;
+    opts.think_time_s = 0.005;
+    LoadGenerator gen(rig.sim, rig.cluster, {{0, 0}}, opts);
+    rig.sim.run_for(5.0);
+    return gen.arrivals();
+  };
+  const auto fast = arrivals_at(1e9);
+  const auto slow = arrivals_at(250e6);
+  EXPECT_LT(slow, fast);
+  EXPECT_GT(slow, fast / 8);  // throttled, not collapsed
+}
+
+TEST(LoadGenerator, ClosedLoopValidatesThinkTime) {
+  LoadRig rig;
+  auto opts = small_requests(1.0);
+  opts.closed_users = 2;
+  opts.think_time_s = 0.0;
+  EXPECT_THROW(LoadGenerator(rig.sim, rig.cluster, {{0, 0}}, opts),
+               std::invalid_argument);
+}
+
+TEST(LoadGenerator, DestructionSilencesClosedLoopCallbacks) {
+  LoadRig rig;
+  {
+    auto opts = small_requests(1.0);
+    opts.closed_users = 4;
+    LoadGenerator gen(rig.sim, rig.cluster, {{0, 0}}, opts);
+    rig.sim.run_for(0.5);
+  }
+  // The polling chains still in the queue must be inert.
+  rig.sim.run_for(2.0);
+  SUCCEED();
+}
+
+TEST(DiurnalModulation, CurveShape) {
+  const auto f = diurnal_modulation(0.2, 1.0, 24.0);
+  EXPECT_NEAR(f(0.0), 0.2, 1e-12);   // trough
+  EXPECT_NEAR(f(12.0), 1.0, 1e-12);  // peak at half period
+  EXPECT_NEAR(f(24.0), 0.2, 1e-9);   // periodic
+}
+
+}  // namespace
+}  // namespace fvsst::cluster

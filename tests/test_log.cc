@@ -1,0 +1,77 @@
+// Tests for the logging subsystem (simkit/log.h).
+#include "simkit/log.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace fvsst::sim {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = log_level(); }
+  void TearDown() override {
+    set_log_level(previous_);
+    unsetenv("FVSST_LOG");
+  }
+  LogLevel previous_;
+};
+
+TEST_F(LogTest, LevelFiltering) {
+  set_log_level(LogLevel::kWarn);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kDebug, "t", "dropped");
+  log_message(LogLevel::kInfo, "t", "dropped too");
+  log_message(LogLevel::kWarn, "t", "kept-warn");
+  log_message(LogLevel::kError, "t", "kept-error");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("kept-warn"), std::string::npos);
+  EXPECT_NE(out.find("kept-error"), std::string::npos);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  set_log_level(LogLevel::kOff);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kError, "t", "should not appear");
+  EXPECT_TRUE(testing::internal::GetCapturedStderr().empty());
+}
+
+TEST_F(LogTest, SimTimestampFormatting) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  log_message(LogLevel::kInfo, "sched", "with time", 1.25);
+  log_message(LogLevel::kInfo, "sched", "without time");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[t=1.2500s]"), std::string::npos);
+  EXPECT_NE(out.find("[sched] without time"), std::string::npos);
+}
+
+TEST_F(LogTest, StreamStyleLogLine) {
+  set_log_level(LogLevel::kInfo);
+  testing::internal::CaptureStderr();
+  { LogLine(LogLevel::kInfo, "x", 2.0) << "value=" << 42 << " ok"; }
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("value=42 ok"), std::string::npos);
+}
+
+TEST_F(LogTest, EnvInitialisation) {
+  setenv("FVSST_LOG", "debug", 1);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  setenv("FVSST_LOG", "off", 1);
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  setenv("FVSST_LOG", "nonsense", 1);
+  const LogLevel before = log_level();
+  init_log_level_from_env();
+  EXPECT_EQ(log_level(), before);  // unknown values leave the level alone
+  unsetenv("FVSST_LOG");
+  set_log_level(LogLevel::kInfo);
+  init_log_level_from_env();  // unset: no change
+  EXPECT_EQ(log_level(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace fvsst::sim

@@ -1,0 +1,82 @@
+// Tests for the machine descriptions (mach/machine_config.h) against the
+// values the paper states for the experimental platform.
+#include "mach/machine_config.h"
+
+#include <gtest/gtest.h>
+
+#include "simkit/units.h"
+
+namespace fvsst::mach {
+namespace {
+
+using units::GHz;
+using units::MHz;
+using units::ns;
+
+TEST(P630, TableMatchesPaperTable1) {
+  const FrequencyTable t = p630_frequency_table();
+  ASSERT_EQ(t.size(), 16u);
+  // Spot-check the paper's Table 1 values.
+  EXPECT_DOUBLE_EQ(t.power(250 * MHz), 9.0);
+  EXPECT_DOUBLE_EQ(t.power(500 * MHz), 35.0);
+  EXPECT_DOUBLE_EQ(t.power(600 * MHz), 48.0);
+  EXPECT_DOUBLE_EQ(t.power(650 * MHz), 57.0);
+  EXPECT_DOUBLE_EQ(t.power(750 * MHz), 75.0);
+  EXPECT_DOUBLE_EQ(t.power(900 * MHz), 109.0);
+  EXPECT_DOUBLE_EQ(t.power(1000 * MHz), 140.0);
+}
+
+TEST(P630, FrequenciesAre50MHzStepsFrom250) {
+  const FrequencyTable t = p630_frequency_table();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t[i].hz, (250.0 + 50.0 * static_cast<double>(i)) * MHz);
+  }
+}
+
+TEST(P630, NominalVoltageIs1_3AtMax) {
+  const FrequencyTable t = p630_frequency_table();
+  EXPECT_NEAR(t.min_voltage(1000 * MHz), 1.3, 1e-12);
+  // Reduced-voltage curve is strictly below nominal elsewhere.
+  EXPECT_LT(t.min_voltage(250 * MHz), 1.0);
+}
+
+TEST(P630, MachineShape) {
+  const MachineConfig cfg = p630();
+  EXPECT_EQ(cfg.num_cpus, 4u);
+  EXPECT_DOUBLE_EQ(cfg.nominal_hz, 1 * GHz);
+  EXPECT_DOUBLE_EQ(cfg.nominal_volts, 1.3);
+  EXPECT_DOUBLE_EQ(cfg.idle_ipc, 1.3);  // the Power4+ idles hot
+}
+
+TEST(P630, LatenciesMatchMeasuredCycles) {
+  const MachineConfig cfg = p630();
+  // Paper Sec 7.1: 15 / 113 / 393 cycles at 1 GHz.
+  EXPECT_NEAR(cfg.latencies.t_l2, 15 * ns, 1e-15);
+  EXPECT_NEAR(cfg.latencies.t_l3, 113 * ns, 1e-15);
+  EXPECT_NEAR(cfg.latencies.t_mem, 393 * ns, 1e-15);
+}
+
+TEST(P630, CyclesToSecondsConversion) {
+  EXPECT_DOUBLE_EQ(MemoryLatencies::cycles_to_seconds(393, 1 * GHz),
+                   393e-9);
+  EXPECT_DOUBLE_EQ(MemoryLatencies::cycles_to_seconds(100, 500 * MHz),
+                   200e-9);
+}
+
+TEST(P630, PeakAndFloorPower) {
+  const MachineConfig cfg = p630();
+  EXPECT_DOUBLE_EQ(cfg.peak_power_w(), 4 * 140.0);
+  EXPECT_DOUBLE_EQ(cfg.min_cpu_power_w(), 4 * 9.0);
+}
+
+TEST(MotivatingExample, MatchesSection2) {
+  const MachineConfig cfg = p630_motivating_example();
+  // 746 W total with 4x140 W CPUs (~75% of system power).
+  EXPECT_DOUBLE_EQ(cfg.non_cpu_power_w, 746.0 - 560.0);
+  EXPECT_DOUBLE_EQ(cfg.peak_power_w(), 746.0);
+  const double cpu_share = 560.0 / cfg.peak_power_w();
+  EXPECT_NEAR(cpu_share, 0.75, 0.01);
+}
+
+}  // namespace
+}  // namespace fvsst::mach

@@ -1,0 +1,82 @@
+// Tests for the measured-power feedback loop (power/margin_controller.h).
+#include "power/margin_controller.h"
+
+#include <gtest/gtest.h>
+
+#include "simkit/event_queue.h"
+
+namespace fvsst::power {
+namespace {
+
+TEST(MarginController, GrowsMarginOnViolation) {
+  sim::Simulation sim;
+  PowerBudget budget(100.0);
+  double measured = 110.0;  // over the absolute limit
+  MarginController controller(sim, budget, [&] { return measured; });
+  sim.run_for(0.3);
+  EXPECT_GT(controller.violations(), 0u);
+  EXPECT_GT(budget.margin_fraction(), 0.0);
+  EXPECT_LT(budget.effective_limit_w(), 100.0);
+}
+
+TEST(MarginController, MarginCapped) {
+  sim::Simulation sim;
+  PowerBudget budget(100.0);
+  MarginController controller(sim, budget, [] { return 500.0; });
+  sim.run_for(10.0);
+  EXPECT_LE(budget.margin_fraction(),
+            controller.config().max_margin + 1e-12);
+}
+
+TEST(MarginController, DecaysWhenComfortable) {
+  sim::Simulation sim;
+  PowerBudget budget(100.0, 0.2);  // start with a 20% margin
+  MarginController controller(sim, budget, [] { return 50.0; });
+  sim.run_for(2.0);
+  EXPECT_LT(budget.margin_fraction(), 0.2);
+  sim.run_for(20.0);
+  EXPECT_DOUBLE_EQ(budget.margin_fraction(), 0.0);
+}
+
+TEST(MarginController, HoldsSteadyInsideHeadroomBand) {
+  // Measured power just under the limit (within headroom): neither grow
+  // nor decay.
+  sim::Simulation sim;
+  PowerBudget budget(100.0, 0.1);
+  MarginController controller(sim, budget, [] { return 97.0; });
+  sim.run_for(2.0);
+  EXPECT_DOUBLE_EQ(budget.margin_fraction(), 0.1);
+  EXPECT_EQ(controller.violations(), 0u);
+}
+
+TEST(MarginController, ClosedLoopConvergesUnderModelBias) {
+  // Scheduler model underestimates power by 15%: consumption follows the
+  // effective limit * 1.15.  The controller must find a margin that brings
+  // true consumption under the absolute limit and then stop growing.
+  sim::Simulation sim;
+  PowerBudget budget(100.0);
+  MarginController controller(sim, budget,
+                              [&] { return budget.effective_limit_w() * 1.15; });
+  sim.run_for(5.0);
+  EXPECT_LE(budget.effective_limit_w() * 1.15, 100.0 + 1e-9);
+  const double settled = budget.margin_fraction();
+  sim.run_for(5.0);
+  // Stable: margin oscillates at most one step around the fixed point.
+  EXPECT_NEAR(budget.margin_fraction(), settled,
+              controller.config().grow_step + 1e-12);
+}
+
+TEST(MarginController, StopsAfterDestruction) {
+  sim::Simulation sim;
+  PowerBudget budget(100.0);
+  {
+    MarginController controller(sim, budget, [] { return 200.0; });
+    sim.run_for(0.2);
+  }
+  const double margin = budget.margin_fraction();
+  sim.run_for(5.0);
+  EXPECT_DOUBLE_EQ(budget.margin_fraction(), margin);
+}
+
+}  // namespace
+}  // namespace fvsst::power

@@ -1,0 +1,143 @@
+// Tests for the phase performance model (workload/phase.h) — the ground
+// truth the predictor is later validated against.
+#include "workload/phase.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+
+namespace fvsst::workload {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+Phase cpu_bound() {
+  Phase p;
+  p.name = "cpu";
+  p.alpha = 1.6;
+  p.instructions = 1e9;
+  return p;
+}
+
+Phase mem_bound() {
+  Phase p;
+  p.name = "mem";
+  p.alpha = 1.6;
+  p.apki_mem = 15.0;
+  p.apki_l3 = 2.0;
+  p.apki_l2 = 5.0;
+  p.instructions = 1e9;
+  return p;
+}
+
+TEST(PhaseModel, PureCpuIpcIsAlphaAtAnyFrequency) {
+  const Phase p = cpu_bound();
+  EXPECT_NEAR(true_ipc(p, kLat, 250 * MHz), 1.6, 1e-12);
+  EXPECT_NEAR(true_ipc(p, kLat, 1 * GHz), 1.6, 1e-12);
+}
+
+TEST(PhaseModel, PureCpuPerformanceLinearInFrequency) {
+  const Phase p = cpu_bound();
+  const double perf_half = true_performance(p, kLat, 500 * MHz);
+  const double perf_full = true_performance(p, kLat, 1 * GHz);
+  EXPECT_NEAR(perf_full / perf_half, 2.0, 1e-9);
+}
+
+TEST(PhaseModel, MemTimeMatchesHandComputation) {
+  const Phase p = mem_bound();
+  // 5/1000*15ns + 2/1000*113ns + 15/1000*393ns
+  const double expected =
+      0.005 * 15e-9 + 0.002 * 113e-9 + 0.015 * 393e-9;
+  EXPECT_NEAR(mem_time_per_instruction(p, kLat), expected, 1e-18);
+}
+
+TEST(PhaseModel, LatencyScaleOnlyAffectsTrueLatency) {
+  Phase p = mem_bound();
+  p.latency_scale = 1.5;
+  const double with_true = mem_time_per_instruction(p, kLat, true);
+  const double nominal = mem_time_per_instruction(p, kLat, false);
+  EXPECT_NEAR(with_true, 1.5 * nominal, 1e-18);
+}
+
+TEST(PhaseModel, IpcDecreasesWithFrequencyForMemoryWork) {
+  const Phase p = mem_bound();
+  double prev = 1e9;
+  for (double mhz = 250; mhz <= 1000; mhz += 50) {
+    const double ipc = true_ipc(p, kLat, mhz * MHz);
+    EXPECT_LT(ipc, prev);
+    prev = ipc;
+  }
+}
+
+TEST(PhaseModel, PerformanceIncreasesButSaturates) {
+  const Phase p = mem_bound();
+  // Performance is monotone increasing in frequency...
+  double prev = 0.0;
+  for (double mhz = 250; mhz <= 1000; mhz += 50) {
+    const double perf = true_performance(p, kLat, mhz * MHz);
+    EXPECT_GT(perf, prev);
+    prev = perf;
+  }
+  // ...but bounded by the saturation limit 1/M.
+  EXPECT_LT(prev, saturation_performance(p, kLat));
+  // And the marginal gain shrinks: the last 250 MHz buys less than the
+  // first 250 MHz did.
+  const double low_gain = true_performance(p, kLat, 500 * MHz) -
+                          true_performance(p, kLat, 250 * MHz);
+  const double high_gain = true_performance(p, kLat, 1000 * MHz) -
+                           true_performance(p, kLat, 750 * MHz);
+  EXPECT_LT(high_gain, 0.5 * low_gain);
+}
+
+TEST(PhaseModel, PureCpuSaturationIsInfinite) {
+  EXPECT_TRUE(std::isinf(saturation_performance(cpu_bound(), kLat)));
+}
+
+TEST(PhaseModel, PhaseFromStallCpiRoundTrips) {
+  const double target_cpi = 5.0;
+  const Phase p = phase_from_stall_cpi("t", 1.6, target_cpi, kLat, 1 * GHz,
+                                       1e9);
+  // Stall time per instruction * nominal frequency recovers the target.
+  EXPECT_NEAR(mem_time_per_instruction(p, kLat) * 1e9, target_cpi, 1e-9);
+  // IPC at nominal = 1 / (1/alpha + CPI_stall).
+  EXPECT_NEAR(true_ipc(p, kLat, 1 * GHz), 1.0 / (1.0 / 1.6 + 5.0), 1e-9);
+}
+
+TEST(PhaseModel, PhaseFromStallCpiCustomSplit) {
+  const Phase p = phase_from_stall_cpi("t", 1.0, 2.0, kLat, 1 * GHz, 1e9,
+                                       /*frac_l2=*/1.0, /*frac_l3=*/0.0,
+                                       /*frac_mem=*/0.0);
+  EXPECT_GT(p.apki_l2, 0.0);
+  EXPECT_DOUBLE_EQ(p.apki_l3, 0.0);
+  EXPECT_DOUBLE_EQ(p.apki_mem, 0.0);
+  EXPECT_NEAR(mem_time_per_instruction(p, kLat) * 1e9, 2.0, 1e-9);
+}
+
+TEST(WorkloadSpec, TotalsAndDuration) {
+  WorkloadSpec spec;
+  spec.phases = {cpu_bound(), mem_bound()};
+  EXPECT_DOUBLE_EQ(spec.total_instructions(), 2e9);
+  const double d = spec.duration_at(kLat, 1 * GHz);
+  const double d_cpu = 1e9 / true_performance(cpu_bound(), kLat, 1 * GHz);
+  const double d_mem = 1e9 / true_performance(mem_bound(), kLat, 1 * GHz);
+  EXPECT_NEAR(d, d_cpu + d_mem, 1e-9);
+}
+
+TEST(IdleLoop, MatchesPaperCharacterisation) {
+  const WorkloadSpec idle = idle_loop();
+  ASSERT_EQ(idle.phases.size(), 1u);
+  EXPECT_TRUE(idle.loop);
+  // "The observed IPC of the idle loop is quite high, generally around 1.3"
+  EXPECT_NEAR(true_ipc(idle.phases[0], kLat, 1 * GHz), 1.3, 1e-12);
+  // Hot idle is CPU-intensive: IPC unchanged at low frequency.
+  EXPECT_NEAR(true_ipc(idle.phases[0], kLat, 250 * MHz), 1.3, 1e-12);
+}
+
+}  // namespace
+}  // namespace fvsst::workload

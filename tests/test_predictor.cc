@@ -1,0 +1,190 @@
+// Tests for the IPC predictor (core/predictor.h): the paper's performance
+// model must recover ground truth exactly on clean data and project IPC
+// correctly across the frequency range.
+#include "core/predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::core {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+// Builds a clean observation from a phase's ground truth at frequency g.
+CounterObservation observe(const workload::Phase& p, double g,
+                           double instructions = 1e8) {
+  CounterObservation obs;
+  obs.measured_hz = g;
+  obs.delta.instructions = instructions;
+  obs.delta.cycles =
+      instructions / workload::true_ipc(p, kLat, g);
+  obs.delta.l2_accesses = instructions * p.apki_l2 / 1000.0;
+  obs.delta.l3_accesses = instructions * p.apki_l3 / 1000.0;
+  obs.delta.mem_accesses = instructions * p.apki_mem / 1000.0;
+  return obs;
+}
+
+TEST(IpcPredictor, RejectsDegenerateIntervals) {
+  const IpcPredictor pred(kLat);
+  CounterObservation obs;
+  EXPECT_FALSE(pred.estimate(obs).valid);
+  obs.delta.instructions = 10.0;  // below the floor
+  obs.delta.cycles = 100.0;
+  obs.measured_hz = 1 * GHz;
+  EXPECT_FALSE(pred.estimate(obs).valid);
+}
+
+TEST(IpcPredictor, RecoversAlphaAndMemTimeExactly) {
+  const IpcPredictor pred(kLat);
+  const workload::Phase p = workload::synthetic_phase("x", 30.0, 1e9);
+  const WorkloadEstimate est = pred.estimate(observe(p, 1 * GHz));
+  ASSERT_TRUE(est.valid);
+  EXPECT_NEAR(est.alpha_inv, 1.0 / p.alpha, 1e-9);
+  EXPECT_NEAR(est.mem_time_per_instr,
+              workload::mem_time_per_instruction(p, kLat), 1e-15);
+}
+
+TEST(IpcPredictor, PredictionMatchesTruthAtOtherFrequencies) {
+  // Observe at 1 GHz, predict at every other setting: the prediction must
+  // equal ground truth since the data is noiseless.
+  const IpcPredictor pred(kLat);
+  const workload::Phase p = workload::synthetic_phase("x", 40.0, 1e9);
+  const WorkloadEstimate est = pred.estimate(observe(p, 1 * GHz));
+  for (double mhz = 250; mhz <= 1000; mhz += 50) {
+    EXPECT_NEAR(pred.predict_ipc(est, mhz * MHz),
+                workload::true_ipc(p, kLat, mhz * MHz), 1e-9)
+        << mhz;
+  }
+}
+
+TEST(IpcPredictor, CrossFrequencyObservationAlsoWorks) {
+  // Observe at 500 MHz, predict at 1 GHz: same recovery.
+  const IpcPredictor pred(kLat);
+  const workload::Phase p = workload::synthetic_phase("x", 15.0, 1e9);
+  const WorkloadEstimate est = pred.estimate(observe(p, 500 * MHz));
+  EXPECT_NEAR(pred.predict_performance(est, 1 * GHz),
+              workload::true_performance(p, kLat, 1 * GHz), 1.0);
+}
+
+TEST(IpcPredictor, LatencyMismatchBiasesAlpha) {
+  // A phase whose true latencies are 30% above nominal: the predictor
+  // attributes the extra stall time to alpha (a known error source), so
+  // alpha_inv is overestimated — but stays positive and finite.
+  const IpcPredictor pred(kLat);
+  workload::Phase p = workload::synthetic_phase("x", 40.0, 1e9);
+  p.latency_scale = 1.3;
+  const WorkloadEstimate est = pred.estimate(observe(p, 1 * GHz));
+  ASSERT_TRUE(est.valid);
+  EXPECT_GT(est.alpha_inv, 1.0 / p.alpha);
+}
+
+TEST(IpcPredictor, ClampsNegativeAlphaResidue) {
+  // Corrupt counters claiming more memory time than total CPI: the clamp
+  // keeps alpha_inv at a small positive floor.
+  const IpcPredictor pred(kLat);
+  CounterObservation obs;
+  obs.measured_hz = 1 * GHz;
+  obs.delta.instructions = 1e6;
+  obs.delta.cycles = 1e6;           // CPI 1
+  obs.delta.mem_accesses = 1e5;     // 0.1 apI * 393ns * 1GHz = CPI 39
+  const WorkloadEstimate est = pred.estimate(obs);
+  ASSERT_TRUE(est.valid);
+  EXPECT_GT(est.alpha_inv, 0.0);
+}
+
+TEST(PerfLoss, SignConvention) {
+  EXPECT_DOUBLE_EQ(perf_loss(100.0, 90.0), 0.1);   // loss
+  EXPECT_DOUBLE_EQ(perf_loss(100.0, 110.0), -0.1); // gain
+  EXPECT_DOUBLE_EQ(perf_loss(100.0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(perf_loss(0.0, 50.0), 0.0);     // guarded
+}
+
+TEST(IdealFrequency, CpuBoundWantsNearFmax) {
+  WorkloadEstimate est;
+  est.valid = true;
+  est.alpha_inv = 1.0 / 1.6;
+  est.mem_time_per_instr = 0.0;
+  // Pure CPU work: f_ideal = (1 - eps) * f_max exactly.
+  EXPECT_NEAR(ideal_frequency(est, 1e9, 0.04), 0.96e9, 1.0);
+}
+
+TEST(IdealFrequency, MemoryBoundWantsLess) {
+  WorkloadEstimate est;
+  est.valid = true;
+  est.alpha_inv = 1.0 / 1.6;
+  est.mem_time_per_instr = 6e-9;  // heavy
+  const double f = ideal_frequency(est, 1e9, 0.04);
+  EXPECT_LT(f, 0.8e9);
+  EXPECT_GT(f, 0.3e9);
+}
+
+TEST(IdealFrequency, ExactlyEpsilonLossAtIdealFrequency) {
+  // Check the defining property: Perf(f_ideal) = (1-eps) * Perf(f_max).
+  WorkloadEstimate est;
+  est.valid = true;
+  est.alpha_inv = 0.7;
+  est.mem_time_per_instr = 3.5e-9;
+  const double eps = 0.05;
+  const double f = ideal_frequency(est, 1e9, eps);
+  const IpcPredictor pred(kLat);
+  const double ratio = pred.predict_performance(est, f) /
+                       pred.predict_performance(est, 1e9);
+  EXPECT_NEAR(ratio, 1.0 - eps, 1e-9);
+}
+
+TEST(IdealFrequency, InvalidEstimateFallsBackToFmax) {
+  WorkloadEstimate est;  // invalid
+  EXPECT_DOUBLE_EQ(ideal_frequency(est, 1e9, 0.04), 1e9);
+}
+
+// --- End-to-end predictor accuracy on the simulated core -----------------
+// This is the Table 2 mechanism in miniature: run the synthetic benchmark
+// on a noisy core, estimate from one interval's counters, compare the
+// predicted IPC with the subsequently measured IPC.
+
+class PredictorAccuracy : public ::testing::TestWithParam<double> {};
+
+TEST_P(PredictorAccuracy, DeviationSmallAcrossIntensities) {
+  const double intensity = GetParam();
+  sim::Simulation sim;
+  cpu::Core::Config cfg;
+  cfg.latencies = kLat;
+  cfg.max_hz = 1 * GHz;
+  cfg.counter_noise_sigma = 0.01;
+  cfg.execution_noise_sigma = 0.005;
+  cpu::Core core(sim, cfg, sim::Rng(7));
+  core.add_workload(workload::make_uniform_synthetic(intensity, 1e12));
+
+  const IpcPredictor pred(kLat);
+  // First interval: estimate.
+  cpu::PerfCounters before = core.read_counters();
+  sim.run_for(0.1);
+  cpu::PerfCounters mid = core.read_counters();
+  CounterObservation obs{mid - before, 1 * GHz};
+  const WorkloadEstimate est = pred.estimate(obs);
+  ASSERT_TRUE(est.valid);
+
+  // Second interval at a reduced frequency: measure and compare.
+  core.set_frequency(700 * MHz);
+  cpu::PerfCounters start = core.read_counters();
+  sim.run_for(0.1);
+  cpu::PerfCounters end = core.read_counters();
+  const double measured = (end - start).ipc();
+  const double predicted = pred.predict_ipc(est, 700 * MHz);
+  EXPECT_NEAR(predicted, measured, 0.03)
+      << "intensity=" << intensity;
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, PredictorAccuracy,
+                         ::testing::Values(100.0, 75.0, 50.0, 25.0, 10.0));
+
+}  // namespace
+}  // namespace fvsst::core

@@ -1,0 +1,84 @@
+// Tests for the /proc/stat utilisation reader (host/proc_stat.h).
+#include "host/proc_stat.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fvsst::host {
+namespace {
+
+constexpr const char* kSample =
+    "cpu  100 10 50 800 20 5 5 10 0 0\n"
+    "cpu0 60 5 30 400 10 3 2 5 0 0\n"
+    "cpu1 40 5 20 400 10 2 3 5 0 0\n"
+    "intr 12345 0 0\n"
+    "ctxt 999\n"
+    "btime 1\n";
+
+TEST(ProcStat, ParsesAggregateAndPerCpuRows) {
+  std::istringstream in(kSample);
+  const auto rows = parse_proc_stat(in);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].cpu, -1);
+  EXPECT_EQ(rows[1].cpu, 0);
+  EXPECT_EQ(rows[2].cpu, 1);
+  EXPECT_EQ(rows[0].user, 100ull);
+  EXPECT_EQ(rows[0].idle, 800ull);
+  EXPECT_EQ(rows[1].busy(), 60ull + 5 + 30 + 3 + 2 + 5);
+  EXPECT_EQ(rows[0].total(), rows[0].busy() + 800 + 20);
+}
+
+TEST(ProcStat, IgnoresNonCpuAndMalformedRows) {
+  std::istringstream in("cpufreq 1 2 3\ncpu0 1 1 1 1 1 1 1 1\nfoo\n");
+  const auto rows = parse_proc_stat(in);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].cpu, 0);
+}
+
+TEST(ProcStat, UtilizationBetweenSnapshots) {
+  CpuTimes a, b;
+  a.user = 100;
+  a.idle = 900;
+  b.user = 150;       // +50 busy
+  b.idle = 950;       // +50 idle
+  const auto u = utilization_between(a, b);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_DOUBLE_EQ(*u, 0.5);
+}
+
+TEST(ProcStat, UtilizationEdgeCases) {
+  CpuTimes a, b;
+  a.user = 100;
+  b.user = 100;
+  EXPECT_FALSE(utilization_between(a, b).has_value());  // no time passed
+  b.user = 50;                                          // went backwards
+  EXPECT_FALSE(utilization_between(a, b).has_value());
+}
+
+TEST(ProcStat, MissingFileReturnsEmpty) {
+  EXPECT_TRUE(read_proc_stat("/nonexistent-dir-xyz/stat").empty());
+}
+
+TEST(ProcStat, ReadsTheRealProcStatWhenPresent) {
+  const auto rows = read_proc_stat();
+  if (rows.empty()) {
+    GTEST_SKIP() << "/proc/stat not available";
+  }
+  // Aggregate row exists and the counters are sane.
+  EXPECT_EQ(rows.front().cpu, -1);
+  EXPECT_GT(rows.front().total(), 0ull);
+  // Live utilisation over a busy loop is measurable.
+  const auto before = read_proc_stat();
+  volatile double x = 1.0;
+  for (int i = 0; i < 20000000; ++i) x = x * 1.0000001 + 0.1;
+  const auto after = read_proc_stat();
+  const auto u = utilization_between(before.front(), after.front());
+  if (u.has_value()) {
+    EXPECT_GE(*u, 0.0);
+    EXPECT_LE(*u, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace fvsst::host

@@ -1,0 +1,82 @@
+// Tests for WorkloadRunner (cpu/runner.h).
+#include "cpu/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/synthetic.h"
+
+namespace fvsst::cpu {
+namespace {
+
+workload::WorkloadSpec two_phase(bool loop) {
+  workload::WorkloadSpec spec;
+  spec.name = "t";
+  spec.loop = loop;
+  spec.phases = {workload::synthetic_phase("a", 100.0, 1000.0),
+                 workload::synthetic_phase("b", 50.0, 500.0)};
+  return spec;
+}
+
+TEST(WorkloadRunner, RejectsEmptyOrDegenerateSpecs) {
+  workload::WorkloadSpec empty;
+  EXPECT_THROW(WorkloadRunner r(empty), std::invalid_argument);
+
+  workload::WorkloadSpec zero;
+  zero.phases = {workload::synthetic_phase("z", 50.0, 1.0)};
+  zero.phases[0].instructions = 0.0;
+  EXPECT_THROW(WorkloadRunner r(zero), std::invalid_argument);
+}
+
+TEST(WorkloadRunner, WalksPhasesInOrder) {
+  WorkloadRunner r(two_phase(false));
+  EXPECT_EQ(r.current_phase().name, "a");
+  r.retire(1000.0);
+  EXPECT_EQ(r.current_phase().name, "b");
+  EXPECT_DOUBLE_EQ(r.instructions_left_in_phase(), 500.0);
+}
+
+TEST(WorkloadRunner, PartialRetirement) {
+  WorkloadRunner r(two_phase(false));
+  r.retire(400.0);
+  EXPECT_EQ(r.current_phase().name, "a");
+  EXPECT_DOUBLE_EQ(r.instructions_left_in_phase(), 600.0);
+  EXPECT_DOUBLE_EQ(r.instructions_retired(), 400.0);
+}
+
+TEST(WorkloadRunner, NonLoopingFinishes) {
+  WorkloadRunner r(two_phase(false));
+  r.retire(1000.0);
+  r.retire(500.0);
+  EXPECT_TRUE(r.finished());
+  EXPECT_EQ(r.passes_completed(), 1u);
+  EXPECT_THROW(r.current_phase(), std::logic_error);
+  EXPECT_THROW(r.retire(1.0), std::logic_error);
+}
+
+TEST(WorkloadRunner, LoopingWrapsAround) {
+  WorkloadRunner r(two_phase(true));
+  for (int pass = 0; pass < 3; ++pass) {
+    r.retire(1000.0);
+    r.retire(500.0);
+  }
+  EXPECT_FALSE(r.finished());
+  EXPECT_EQ(r.passes_completed(), 3u);
+  EXPECT_EQ(r.current_phase().name, "a");
+  EXPECT_DOUBLE_EQ(r.instructions_retired(), 4500.0);
+}
+
+TEST(WorkloadRunner, RejectsOverRetirement) {
+  WorkloadRunner r(two_phase(false));
+  EXPECT_THROW(r.retire(1001.0), std::invalid_argument);
+  EXPECT_THROW(r.retire(-1.0), std::invalid_argument);
+}
+
+TEST(WorkloadRunner, ToleratesFloatingPointDust) {
+  WorkloadRunner r(two_phase(false));
+  // Retiring within 1e-6 of the boundary must roll the phase.
+  r.retire(1000.0 - 1e-7);
+  EXPECT_EQ(r.current_phase().name, "b");
+}
+
+}  // namespace
+}  // namespace fvsst::cpu

@@ -1,0 +1,76 @@
+// Tests for the counter sampler (cpu/sampler.h).
+#include "cpu/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::cpu {
+namespace {
+
+using units::GHz;
+using units::ms;
+
+Core::Config quiet_config() {
+  Core::Config cfg;
+  cfg.latencies = mach::p630().latencies;
+  cfg.max_hz = 1 * GHz;
+  cfg.counter_noise_sigma = 0.0;
+  cfg.execution_noise_sigma = 0.0;
+  return cfg;
+}
+
+TEST(CounterSampler, DeltasCoverOneInterval) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  core.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  CounterSampler sampler(sim, core, 10 * ms);
+  sim.run_for(0.1001);
+  EXPECT_EQ(sampler.samples(), 10u);
+  // One 10 ms interval at 1 GHz = 1e7 cycles.
+  EXPECT_NEAR(sampler.last_interval().cycles, 1e7, 1.0);
+}
+
+TEST(CounterSampler, AggregateAccumulatesAndResets) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  core.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  CounterSampler sampler(sim, core, 10 * ms);
+  sim.run_for(0.1001);
+  EXPECT_NEAR(sampler.aggregate().cycles, 1e8, 10.0);
+  const PerfCounters agg = sampler.take_aggregate();
+  EXPECT_NEAR(agg.cycles, 1e8, 10.0);
+  EXPECT_DOUBLE_EQ(sampler.aggregate().cycles, 0.0);
+  sim.run_for(0.05);
+  EXPECT_NEAR(sampler.aggregate().cycles, 5e7, 10.0);
+}
+
+TEST(CounterSampler, StopsAfterDestruction) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  {
+    CounterSampler sampler(sim, core, 10 * ms);
+    sim.run_for(0.05);
+  }
+  // No events left over from the destroyed sampler.
+  sim.run_for(1.0);
+  SUCCEED();
+}
+
+TEST(CounterSampler, SeesFrequencyChanges) {
+  sim::Simulation sim;
+  Core core(sim, quiet_config(), sim::Rng(1));
+  core.add_workload(workload::make_uniform_synthetic(100.0, 1e12));
+  CounterSampler sampler(sim, core, 10 * ms);
+  sim.run_for(0.1001);
+  const double cycles_fast = sampler.last_interval().cycles;
+  core.set_frequency(500e6);
+  sim.run_for(0.05);
+  const double cycles_slow = sampler.last_interval().cycles;
+  EXPECT_NEAR(cycles_fast / cycles_slow, 2.0, 0.01);
+}
+
+}  // namespace
+}  // namespace fvsst::cpu

@@ -1,0 +1,321 @@
+// Tests for the frequency/voltage scheduling algorithm (core/scheduler.h).
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/rng.h"
+#include "simkit/units.h"
+#include "workload/mixes.h"
+
+namespace fvsst::core {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+WorkloadEstimate make_estimate(double alpha, double stall_cpi_at_1ghz) {
+  WorkloadEstimate est;
+  est.valid = true;
+  est.alpha_inv = 1.0 / alpha;
+  est.mem_time_per_instr = stall_cpi_at_1ghz / 1e9;
+  return est;
+}
+
+FrequencyScheduler make_scheduler(
+    SchedulerVariant variant = SchedulerVariant::kTwoPass,
+    double epsilon = 0.04) {
+  FrequencyScheduler::Options opts;
+  opts.epsilon = epsilon;
+  opts.variant = variant;
+  return FrequencyScheduler(mach::p630_frequency_table(), kLat, opts);
+}
+
+TEST(Scheduler, ValidatesOptions) {
+  FrequencyScheduler::Options opts;
+  opts.epsilon = 0.0;
+  EXPECT_THROW(
+      FrequencyScheduler(mach::p630_frequency_table(), kLat, opts),
+      std::invalid_argument);
+  opts.epsilon = 1.0;
+  EXPECT_THROW(
+      FrequencyScheduler(mach::p630_frequency_table(), kLat, opts),
+      std::invalid_argument);
+}
+
+TEST(Scheduler, CpuBoundUnconstrainedGetsFmax) {
+  const auto sched = make_scheduler();
+  std::vector<ProcView> procs{{make_estimate(1.6, 0.06), false}};
+  const auto result = sched.schedule(procs, 1e9);
+  EXPECT_DOUBLE_EQ(result.decisions[0].hz, 1 * GHz);
+  EXPECT_DOUBLE_EQ(result.decisions[0].desired_hz, 1 * GHz);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.downgrade_steps, 0u);
+}
+
+TEST(Scheduler, MemoryBoundGetsSaturationFrequency) {
+  // Stall CPI 6.4 at 1 GHz with alpha 1.6 was calibrated (mixes.cc) to
+  // epsilon-schedule at 700 MHz for epsilon = 0.04.
+  const auto sched = make_scheduler();
+  std::vector<ProcView> procs{{make_estimate(1.6, 6.4), false}};
+  const auto result = sched.schedule(procs, 1e9);
+  EXPECT_DOUBLE_EQ(result.decisions[0].hz, 700 * MHz);
+}
+
+TEST(Scheduler, PredictedLossRespectsEpsilonWhenUnconstrained) {
+  const auto sched = make_scheduler();
+  for (double stall_cpi : {0.1, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+    std::vector<ProcView> procs{{make_estimate(1.5, stall_cpi), false}};
+    const auto result = sched.schedule(procs, 1e9);
+    EXPECT_LT(result.decisions[0].predicted_loss, 0.04) << stall_cpi;
+  }
+}
+
+TEST(Scheduler, ChoosesLowestFrequencyWithinEpsilon) {
+  // The setting just below the chosen one must violate epsilon.
+  const auto sched = make_scheduler();
+  const auto table = mach::p630_frequency_table();
+  const WorkloadEstimate est = make_estimate(1.6, 3.9);
+  std::vector<ProcView> procs{{est, false}};
+  const auto result = sched.schedule(procs, 1e9);
+  const auto lower = table.next_lower(result.decisions[0].hz);
+  ASSERT_TRUE(lower.has_value());
+  EXPECT_GE(sched.predicted_loss(est, lower->hz), 0.04);
+}
+
+TEST(Scheduler, PowerConstraintForcesDowngrades) {
+  const auto sched = make_scheduler();
+  // Four CPU-bound processors want 4 x 140 W = 560 W; only 294 W allowed.
+  std::vector<ProcView> procs(4, ProcView{make_estimate(1.6, 0.06), false});
+  const auto result = sched.schedule(procs, 294.0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LE(result.total_cpu_power_w, 294.0);
+  EXPECT_GT(result.downgrade_steps, 0u);
+  // Desired frequencies stay at f_max even though granted ones dropped.
+  for (const auto& d : result.decisions) {
+    EXPECT_DOUBLE_EQ(d.desired_hz, 1 * GHz);
+    EXPECT_LT(d.hz, 1 * GHz);
+  }
+}
+
+TEST(Scheduler, DowngradesHitMemoryBoundProcessorsFirst) {
+  const auto sched = make_scheduler();
+  // One CPU-bound, one memory-bound; small squeeze below their epsilon sum.
+  std::vector<ProcView> procs{{make_estimate(1.6, 0.06), false},
+                              {make_estimate(1.6, 6.4), false}};
+  // Epsilon choice: 140 + 66 = 206 W.  Budget 197.5 W needs one downgrade,
+  // and the memory-bound processor's step (700 -> 650 MHz, ~4.6% predicted
+  // loss) is marginally cheaper than the CPU-bound one's, so it goes first.
+  const auto result = sched.schedule(procs, 197.5);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_LE(result.total_cpu_power_w, 197.5);
+  EXPECT_EQ(result.downgrade_steps, 1u);
+  EXPECT_DOUBLE_EQ(result.decisions[0].hz, 1 * GHz);
+  EXPECT_DOUBLE_EQ(result.decisions[1].hz, 650 * MHz);
+}
+
+TEST(Scheduler, InfeasibleBudgetReportsAndFloors) {
+  const auto sched = make_scheduler();
+  std::vector<ProcView> procs(4, ProcView{make_estimate(1.6, 0.06), false});
+  const auto result = sched.schedule(procs, 20.0);  // < 4 x 9 W floor
+  EXPECT_FALSE(result.feasible);
+  for (const auto& d : result.decisions) {
+    EXPECT_DOUBLE_EQ(d.hz, 250 * MHz);
+  }
+  EXPECT_DOUBLE_EQ(result.total_cpu_power_w, 36.0);
+}
+
+TEST(Scheduler, IdleDetectionPinsToMinimum) {
+  const auto sched = make_scheduler();
+  std::vector<ProcView> procs{
+      {make_estimate(1.3, 0.0), true},   // idle with hot-idle counters
+      {make_estimate(1.6, 0.06), false}};
+  const auto result = sched.schedule(procs, 1e9);
+  EXPECT_DOUBLE_EQ(result.decisions[0].hz, 250 * MHz);
+  EXPECT_DOUBLE_EQ(result.decisions[1].hz, 1 * GHz);
+}
+
+TEST(Scheduler, WithoutIdleDetectionHotIdleDemandsFmax) {
+  FrequencyScheduler::Options opts;
+  opts.idle_detection = false;
+  const FrequencyScheduler sched(mach::p630_frequency_table(), kLat, opts);
+  std::vector<ProcView> procs{{make_estimate(1.3, 0.0), true}};
+  const auto result = sched.schedule(procs, 1e9);
+  // The predictor sees a CPU-intensive loop and schedules f_max: the
+  // paper's "idles hot" pathology.
+  EXPECT_DOUBLE_EQ(result.decisions[0].hz, 1 * GHz);
+}
+
+TEST(Scheduler, InvalidEstimateRunsAtFmax) {
+  const auto sched = make_scheduler();
+  std::vector<ProcView> procs{{WorkloadEstimate{}, false}};
+  const auto result = sched.schedule(procs, 1e9);
+  EXPECT_DOUBLE_EQ(result.decisions[0].hz, 1 * GHz);
+}
+
+TEST(Scheduler, VoltageIsTableMinimumForGrantedFrequency) {
+  const auto sched = make_scheduler();
+  const auto table = mach::p630_frequency_table();
+  std::vector<ProcView> procs{{make_estimate(1.6, 6.4), false}};
+  const auto result = sched.schedule(procs, 1e9);
+  const auto& d = result.decisions[0];
+  EXPECT_DOUBLE_EQ(d.volts, table.min_voltage(d.hz));
+  EXPECT_DOUBLE_EQ(d.watts, table.power(d.hz));
+}
+
+TEST(Scheduler, UpwardAdjustmentWhenWorkloadBecomesCpuBound) {
+  // Same processor, two consecutive scheduling rounds: memory-bound then
+  // CPU-bound.  The second round must raise the frequency (paper: pass 1
+  // "may, in fact, adjust it upward").
+  const auto sched = make_scheduler();
+  std::vector<ProcView> memory{{make_estimate(1.6, 6.4), false}};
+  std::vector<ProcView> cpu{{make_estimate(1.6, 0.06), false}};
+  const double f1 = sched.schedule(memory, 1e9).decisions[0].hz;
+  const double f2 = sched.schedule(cpu, 1e9).decisions[0].hz;
+  EXPECT_LT(f1, f2);
+}
+
+TEST(Scheduler, Section5WorkedExampleVectors) {
+  // The paper's Section 5 example: epsilon-constrained vector
+  // [1.0, 0.7, 0.8, 0.8] GHz at T0; power-constrained under 294 W; at T1
+  // processor 0 becomes memory-intensive and the epsilon vector
+  // [0.6, 0.7, 0.8, 0.8] GHz fits the budget outright.
+  const auto sched = make_scheduler();
+  const auto t0_mixes = workload::section5_example_mixes(false);
+  std::vector<ProcView> t0(4);
+  for (int p = 0; p < 4; ++p) {
+    const auto& phase = t0_mixes[static_cast<std::size_t>(p)].phases[0];
+    t0[static_cast<std::size_t>(p)].estimate =
+        make_estimate(phase.alpha,
+                      workload::mem_time_per_instruction(phase, kLat) * 1e9);
+  }
+  const auto r0 = sched.schedule(t0, 294.0);
+  EXPECT_DOUBLE_EQ(r0.decisions[0].desired_hz, 1000 * MHz);
+  EXPECT_DOUBLE_EQ(r0.decisions[1].desired_hz, 700 * MHz);
+  EXPECT_DOUBLE_EQ(r0.decisions[2].desired_hz, 800 * MHz);
+  EXPECT_DOUBLE_EQ(r0.decisions[3].desired_hz, 800 * MHz);
+  EXPECT_LE(r0.total_cpu_power_w, 294.0);
+  EXPECT_GT(r0.downgrade_steps, 0u);
+
+  const auto t1_mixes = workload::section5_example_mixes(true);
+  std::vector<ProcView> t1(4);
+  for (int p = 0; p < 4; ++p) {
+    const auto& phase = t1_mixes[static_cast<std::size_t>(p)].phases[0];
+    t1[static_cast<std::size_t>(p)].estimate =
+        make_estimate(phase.alpha,
+                      workload::mem_time_per_instruction(phase, kLat) * 1e9);
+  }
+  const auto r1 = sched.schedule(t1, 294.0);
+  EXPECT_DOUBLE_EQ(r1.decisions[0].desired_hz, 600 * MHz);
+  // All epsilon frequencies now fit: 48 + 66 + 84 + 84 = 282 W <= 294 W.
+  EXPECT_EQ(r1.downgrade_steps, 0u);
+  EXPECT_NEAR(r1.total_cpu_power_w, 282.0, 1e-9);
+}
+
+TEST(Scheduler, WattsPerLossVariantCompliesAndOftenWins) {
+  // The beyond-paper greedy must always meet the budget, and on diverse
+  // workloads it should deliver at least the paper greedy's aggregate
+  // predicted performance at the same budget.
+  // Both greedies are heuristics for the same knapsack-like problem;
+  // neither dominates per-instance.  Require: always budget-compliant,
+  // comparable on average, and each wins a nontrivial share of systems.
+  const auto paper = make_scheduler(SchedulerVariant::kTwoPass);
+  const auto ratio = make_scheduler(SchedulerVariant::kWattsPerLoss);
+  const IpcPredictor pred(kLat);
+  sim::Rng rng(2718);
+  int ratio_at_least = 0, trials = 0;
+  double sum_ratio = 0.0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 10));
+    std::vector<ProcView> procs(n);
+    for (auto& p : procs) {
+      p.estimate = make_estimate(rng.uniform(0.9, 2.0),
+                                 rng.uniform(0.0, 14.0));
+    }
+    const double budget = rng.uniform(9.0 * n, 140.0 * n);
+    const auto a = paper.schedule(procs, budget);
+    const auto b = ratio.schedule(procs, budget);
+    if (a.feasible) {
+      ASSERT_LE(b.total_cpu_power_w, budget + 1e-9);
+      double perf_a = 0.0, perf_b = 0.0;
+      for (std::size_t p = 0; p < n; ++p) {
+        perf_a += pred.predict_performance(procs[p].estimate,
+                                           a.decisions[p].hz);
+        perf_b += pred.predict_performance(procs[p].estimate,
+                                           b.decisions[p].hz);
+      }
+      ++trials;
+      sum_ratio += perf_b / perf_a;
+      if (perf_b >= perf_a * 0.999) ++ratio_at_least;
+    }
+  }
+  ASSERT_GT(trials, 100);
+  EXPECT_GT(sum_ratio / trials, 0.98);  // comparable on average
+  EXPECT_GT(static_cast<double>(ratio_at_least) / trials, 0.5);
+}
+
+// --- Variant equivalence & budget-compliance property sweep ---------------
+
+struct RandomCase {
+  std::uint64_t seed;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperty, SinglePassMatchesTwoPassAndBudgetHolds) {
+  sim::Rng rng(GetParam());
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 12));
+  std::vector<ProcView> procs(n);
+  for (auto& p : procs) {
+    p.estimate = make_estimate(rng.uniform(0.8, 2.0), rng.uniform(0.0, 20.0));
+    p.idle = rng.bernoulli(0.2);
+  }
+  const double floor = 9.0 * static_cast<double>(n);
+  const double budget = rng.uniform(floor * 0.5, 140.0 * n * 1.1);
+
+  const auto two = make_scheduler(SchedulerVariant::kTwoPass)
+                       .schedule(procs, budget);
+  const auto one = make_scheduler(SchedulerVariant::kSinglePass)
+                       .schedule(procs, budget);
+
+  ASSERT_EQ(two.decisions.size(), one.decisions.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_DOUBLE_EQ(two.decisions[i].hz, one.decisions[i].hz) << i;
+  }
+  EXPECT_EQ(two.feasible, one.feasible);
+  EXPECT_EQ(two.downgrade_steps, one.downgrade_steps);
+  if (two.feasible) {
+    EXPECT_LE(two.total_cpu_power_w, budget + 1e-9);
+  } else {
+    EXPECT_DOUBLE_EQ(two.total_cpu_power_w, floor);
+  }
+}
+
+TEST_P(SchedulerProperty, ContinuousVariantNeverBelowDiscreteDemand) {
+  sim::Rng rng(GetParam() ^ 0xabcdef);
+  std::vector<ProcView> procs(4);
+  for (auto& p : procs) {
+    p.estimate = make_estimate(rng.uniform(0.8, 2.0), rng.uniform(0.0, 15.0));
+  }
+  const auto cont = make_scheduler(SchedulerVariant::kContinuous)
+                        .schedule(procs, 1e9);
+  const FrequencyScheduler sched = make_scheduler();
+  for (std::size_t i = 0; i < procs.size(); ++i) {
+    // Snapping f_ideal up onto the grid keeps predicted loss under epsilon.
+    EXPECT_LT(sched.predicted_loss(procs[i].estimate, cont.decisions[i].hz),
+              0.04 + 1e-12);
+    // And never differs from the discrete choice by more than one step.
+    const auto disc = sched.schedule(procs, 1e9);
+    const double diff =
+        std::abs(disc.decisions[i].hz - cont.decisions[i].hz);
+    EXPECT_LE(diff, 50 * MHz + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomCases, SchedulerProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace fvsst::core

@@ -1,0 +1,160 @@
+// Tests for streaming statistics (simkit/stats.h).
+#include "simkit/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fvsst::sim {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, KnownValues) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, / 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceZero) {
+  RunningStat s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+}
+
+TEST(RunningStat, MergeMatchesCombined) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  empty.merge(a);
+  EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(TimeWeightedStat, PiecewiseConstantMean) {
+  TimeWeightedStat s;
+  s.record(0.0, 10.0);  // 10 for [0, 2)
+  s.record(2.0, 20.0);  // 20 for [2, 3)
+  EXPECT_NEAR(s.mean_until(3.0), (10.0 * 2 + 20.0 * 1) / 3.0, 1e-12);
+}
+
+TEST(TimeWeightedStat, IntegralIsEnergy) {
+  TimeWeightedStat s;
+  s.record(0.0, 100.0);
+  s.record(5.0, 50.0);
+  // 100 W for 5 s + 50 W for 5 s = 750 J.
+  EXPECT_NEAR(s.integral_until(10.0), 750.0, 1e-9);
+}
+
+TEST(TimeWeightedStat, RepeatedSameTimeKeepsLast) {
+  TimeWeightedStat s;
+  s.record(0.0, 1.0);
+  s.record(0.0, 9.0);  // overrides before any time passes
+  EXPECT_NEAR(s.mean_until(1.0), 9.0, 1e-12);
+}
+
+TEST(TimeWeightedStat, EmptyIsZero) {
+  TimeWeightedStat s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_DOUBLE_EQ(s.mean_until(5.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.integral_until(5.0), 0.0);
+}
+
+TEST(Histogram, BinningAndFractions) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(9.99);  // bin 4
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.fraction(4), 0.5);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(+100.0);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, WeightedSamples) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 3.0);
+  h.add(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(CategoryHistogram, ExactKeys) {
+  CategoryHistogram h;
+  h.add(650e6, 2.0);
+  h.add(1000e6, 1.0);
+  h.add(650e6, 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+  EXPECT_DOUBLE_EQ(h.fraction(650e6), 0.75);
+  EXPECT_DOUBLE_EQ(h.fraction(1000e6), 0.25);
+  EXPECT_DOUBLE_EQ(h.fraction(42.0), 0.0);
+}
+
+TEST(CategoryHistogram, SortedAscending) {
+  CategoryHistogram h;
+  h.add(3.0);
+  h.add(1.0);
+  h.add(2.0);
+  const auto entries = h.sorted();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_DOUBLE_EQ(entries[0].key, 1.0);
+  EXPECT_DOUBLE_EQ(entries[1].key, 2.0);
+  EXPECT_DOUBLE_EQ(entries[2].key, 3.0);
+}
+
+TEST(CategoryHistogram, EmptyFractionIsZero) {
+  CategoryHistogram h;
+  EXPECT_DOUBLE_EQ(h.fraction(1.0), 0.0);
+  EXPECT_TRUE(h.sorted().empty());
+}
+
+}  // namespace
+}  // namespace fvsst::sim

@@ -1,0 +1,175 @@
+// Tests for power supplies, cascade monitoring, budget and sensor.
+#include <gtest/gtest.h>
+
+#include "power/budget.h"
+#include "power/sensor.h"
+#include "power/supply.h"
+#include "simkit/event_queue.h"
+
+namespace fvsst::power {
+namespace {
+
+std::vector<PowerSupply> two_supplies() {
+  return {{"ps0", 480.0, true}, {"ps1", 480.0, true}};
+}
+
+TEST(PowerDomain, CapacitySumsHealthySupplies) {
+  PowerDomain domain(two_supplies());
+  EXPECT_DOUBLE_EQ(domain.available_capacity_w(), 960.0);
+  domain.fail_supply(0);
+  EXPECT_DOUBLE_EQ(domain.available_capacity_w(), 480.0);
+  domain.restore_supply(0);
+  EXPECT_DOUBLE_EQ(domain.available_capacity_w(), 960.0);
+}
+
+TEST(PowerDomain, RejectsEmpty) {
+  EXPECT_THROW(PowerDomain({}), std::invalid_argument);
+}
+
+TEST(PowerDomain, NotifiesOnChangeOnly) {
+  PowerDomain domain(two_supplies());
+  int notifications = 0;
+  double last_capacity = -1.0;
+  domain.on_capacity_change([&](double w) {
+    ++notifications;
+    last_capacity = w;
+  });
+  domain.fail_supply(1);
+  EXPECT_EQ(notifications, 1);
+  EXPECT_DOUBLE_EQ(last_capacity, 480.0);
+  domain.fail_supply(1);  // already failed: no notification
+  EXPECT_EQ(notifications, 1);
+  domain.restore_supply(1);
+  EXPECT_EQ(notifications, 2);
+  domain.restore_supply(1);  // already healthy
+  EXPECT_EQ(notifications, 2);
+}
+
+TEST(CascadeMonitor, TriggersAfterSustainedOverload) {
+  sim::Simulation sim;
+  PowerDomain domain(two_supplies());
+  double consumption = 700.0;
+  CascadeMonitor monitor(sim, domain, [&] { return consumption; },
+                         /*overload_tolerance_s=*/0.5);
+  sim.schedule_at(1.0, [&] { domain.fail_supply(0); });  // capacity -> 480
+  sim.run_until(1.4);
+  EXPECT_FALSE(monitor.cascaded());  // overloaded only 0.4 s
+  sim.run_until(2.0);
+  EXPECT_TRUE(monitor.cascaded());
+}
+
+TEST(CascadeMonitor, NoCascadeIfLoadDropsInTime) {
+  sim::Simulation sim;
+  PowerDomain domain(two_supplies());
+  double consumption = 700.0;
+  CascadeMonitor monitor(sim, domain, [&] { return consumption; },
+                         /*overload_tolerance_s=*/0.5);
+  sim.schedule_at(1.0, [&] { domain.fail_supply(0); });
+  sim.schedule_at(1.3, [&] { consumption = 300.0; });  // responds in 0.3 s
+  sim.run_until(5.0);
+  EXPECT_FALSE(monitor.cascaded());
+}
+
+TEST(CascadeMonitor, OverloadEpisodeResets) {
+  sim::Simulation sim;
+  PowerDomain domain(two_supplies());
+  double consumption = 500.0;
+  CascadeMonitor monitor(sim, domain, [&] { return consumption; },
+                         /*overload_tolerance_s=*/1.0);
+  sim.schedule_at(1.0, [&] { domain.fail_supply(0); });
+  sim.schedule_at(1.5, [&] { consumption = 100.0; });  // recovers
+  sim.schedule_at(3.0, [&] { consumption = 500.0; });  // overloads again
+  sim.run_until(3.8);
+  EXPECT_FALSE(monitor.cascaded());  // second episode only 0.8 s old
+  sim.run_until(4.2);
+  EXPECT_TRUE(monitor.cascaded());
+}
+
+TEST(CascadeMonitor, CallbackFiresOnce) {
+  sim::Simulation sim;
+  PowerDomain domain({{"ps", 100.0, true}});
+  CascadeMonitor monitor(sim, domain, [] { return 200.0; }, 0.1);
+  int fired = 0;
+  monitor.on_cascade([&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PowerBudget, EffectiveLimitAppliesMargin) {
+  PowerBudget budget(300.0, 0.1);
+  EXPECT_DOUBLE_EQ(budget.limit_w(), 300.0);
+  EXPECT_DOUBLE_EQ(budget.effective_limit_w(), 270.0);
+}
+
+TEST(PowerBudget, RejectsInvalidArguments) {
+  EXPECT_THROW(PowerBudget(-1.0), std::invalid_argument);
+  EXPECT_THROW(PowerBudget(100.0, 1.0), std::invalid_argument);
+  PowerBudget b(100.0);
+  EXPECT_THROW(b.set_limit_w(-5.0), std::invalid_argument);
+  EXPECT_THROW(b.set_margin_fraction(-0.1), std::invalid_argument);
+}
+
+TEST(PowerBudget, NotifiesListenersWithEffectiveLimit) {
+  PowerBudget budget(300.0, 0.1);
+  std::vector<double> seen;
+  budget.on_change([&](double w) { seen.push_back(w); });
+  budget.set_limit_w(200.0);
+  budget.set_limit_w(200.0);  // unchanged: no notification
+  budget.set_margin_fraction(0.5);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_DOUBLE_EQ(seen[0], 180.0);
+  EXPECT_DOUBLE_EQ(seen[1], 100.0);
+}
+
+TEST(SupplyEfficiency, DefaultCurveShape) {
+  SupplyEfficiency eff;
+  // Poor at light load, peaking mid-range, easing off at full load.
+  EXPECT_LT(eff.at(0.02), eff.at(0.5));
+  EXPECT_GT(eff.at(0.5), eff.at(1.0));
+  EXPECT_NEAR(eff.at(0.5), 0.87, 1e-12);
+  // Clamps out-of-range loads.
+  EXPECT_DOUBLE_EQ(eff.at(-1.0), eff.at(0.0));
+  EXPECT_DOUBLE_EQ(eff.at(2.0), eff.at(1.0));
+}
+
+TEST(SupplyEfficiency, LinearInterpolation) {
+  SupplyEfficiency eff({{0.0, 0.5}, {1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(eff.at(0.5), 0.75);
+  EXPECT_DOUBLE_EQ(eff.at(0.25), 0.625);
+}
+
+TEST(SupplyEfficiency, Validates) {
+  EXPECT_THROW(SupplyEfficiency(std::vector<SupplyEfficiency::Point>{}),
+               std::invalid_argument);
+  EXPECT_THROW(SupplyEfficiency({{0.5, 0.0}}), std::invalid_argument);
+  EXPECT_THROW(SupplyEfficiency({{0.5, 1.5}}), std::invalid_argument);
+}
+
+TEST(SupplyEfficiency, WallPowerExceedsDcPower) {
+  SupplyEfficiency eff;
+  // 240 W DC from a 480 W supply (50% load, eta 0.87).
+  EXPECT_NEAR(eff.wall_power_w(240.0, 480.0), 240.0 / 0.87, 1e-9);
+  EXPECT_DOUBLE_EQ(eff.wall_power_w(0.0, 480.0), 0.0);
+  EXPECT_THROW(eff.wall_power_w(100.0, 0.0), std::invalid_argument);
+  // Power management that drops a supply to 5% load pays an efficiency
+  // penalty: wall savings are smaller than DC savings.
+  const double wall_hi = eff.wall_power_w(240.0, 480.0);
+  const double wall_lo = eff.wall_power_w(24.0, 480.0);
+  EXPECT_GT(wall_lo / 24.0, wall_hi / 240.0);  // worse W_ac per W_dc
+}
+
+TEST(PowerSensor, TracksMeanAndEnergy) {
+  sim::Simulation sim;
+  double power = 100.0;
+  PowerSensor sensor(sim, [&] { return power; }, 0.1);
+  sim.schedule_at(1.0, [&] { power = 50.0; });
+  sim.run_until(2.0);
+  // 100 W for 1 s + 50 W for 1 s (sampling grid aligns with the change).
+  EXPECT_NEAR(sensor.energy_j(), 150.0, 5.0 + 1e-9);
+  EXPECT_NEAR(sensor.mean_power_w(), 75.0, 3.0);
+  EXPECT_DOUBLE_EQ(sensor.last_sample_w(), 50.0);
+  EXPECT_GT(sensor.trace().size(), 15u);
+}
+
+}  // namespace
+}  // namespace fvsst::power

@@ -1,0 +1,128 @@
+// Tests for the synthetic benchmark (workload/synthetic.h).
+#include "workload/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+
+namespace fvsst::workload {
+namespace {
+
+using units::GHz;
+
+const mach::MemoryLatencies kLat = mach::p630().latencies;
+
+TEST(Synthetic, IntensityBoundsChecked) {
+  EXPECT_THROW(synthetic_phase("x", -1.0, 1e9), std::invalid_argument);
+  EXPECT_THROW(synthetic_phase("x", 100.1, 1e9), std::invalid_argument);
+  EXPECT_NO_THROW(synthetic_phase("x", 0.0, 1e9));
+  EXPECT_NO_THROW(synthetic_phase("x", 100.0, 1e9));
+}
+
+TEST(Synthetic, HigherIntensityMeansFewerMemoryAccesses) {
+  double prev_mem = 1e18;
+  for (double intensity : {0.0, 25.0, 50.0, 75.0, 100.0}) {
+    const Phase p = synthetic_phase("x", intensity, 1e9);
+    EXPECT_LT(p.apki_mem, prev_mem);
+    prev_mem = p.apki_mem;
+  }
+}
+
+TEST(Synthetic, FullIntensityStillHasResidualStalls) {
+  // The paper's CPU-intensive phase degrades "slightly less than
+  // one-to-one" under a frequency cap: some memory stalls remain.
+  const Phase p = synthetic_phase("x", 100.0, 1e9);
+  EXPECT_GT(mem_time_per_instruction(p, kLat), 0.0);
+  // But it must be small: IPC at 1 GHz within ~10% of alpha, so the phase
+  // still reads as CPU-bound to the scheduler.
+  EXPECT_GT(true_ipc(p, kLat, 1 * GHz), 0.90 * kSyntheticAlpha);
+}
+
+TEST(Synthetic, MemoryIntensePhaseSaturates) {
+  // 20% CPU intensity should lose well under 10% of its 1 GHz performance
+  // when run at 750 MHz (performance saturation).
+  const Phase p = synthetic_phase("x", 20.0, 1e9);
+  const double loss = 1.0 - true_performance(p, kLat, 0.75 * GHz) /
+                                true_performance(p, kLat, 1.0 * GHz);
+  EXPECT_LT(loss, 0.06);
+  EXPECT_GT(loss, 0.0);
+}
+
+TEST(Synthetic, TwoPhaseStructure) {
+  SyntheticParams params;
+  params.phase1 = {100.0, 4e8};
+  params.phase2 = {25.0, 2e8};
+  const WorkloadSpec spec = make_synthetic(params);
+  ASSERT_EQ(spec.phases.size(), 2u);
+  EXPECT_TRUE(spec.loop);
+  EXPECT_DOUBLE_EQ(spec.phases[0].instructions, 4e8);
+  EXPECT_DOUBLE_EQ(spec.phases[1].instructions, 2e8);
+  EXPECT_LT(spec.phases[0].apki_mem, spec.phases[1].apki_mem);
+}
+
+TEST(Synthetic, InitExitPhasesAddedAndDisableLoop) {
+  SyntheticParams params;
+  params.phase1 = {100.0, 4e8};
+  params.phase2 = {25.0, 2e8};
+  params.with_init_exit = true;
+  const WorkloadSpec spec = make_synthetic(params);
+  ASSERT_EQ(spec.phases.size(), 4u);
+  EXPECT_FALSE(spec.loop);
+  EXPECT_EQ(spec.phases.front().name, "init");
+  EXPECT_EQ(spec.phases.back().name, "exit");
+  // Init/exit phases carry the latency mis-modelling that degrades the
+  // predictor (paper Table 2, CPU3 vs CPU3*).
+  EXPECT_GT(spec.phases.front().latency_scale, 1.1);
+  EXPECT_GT(spec.phases.back().latency_scale, 1.1);
+}
+
+TEST(Synthetic, MultiphaseGeneralisation) {
+  const WorkloadSpec spec = make_multiphase_synthetic(
+      {{100.0, 1e8}, {60.0, 2e8}, {20.0, 3e8}, {80.0, 4e8}}, true);
+  ASSERT_EQ(spec.phases.size(), 4u);
+  EXPECT_TRUE(spec.loop);
+  EXPECT_EQ(spec.phases[2].name, "phase3");
+  EXPECT_DOUBLE_EQ(spec.phases[3].instructions, 4e8);
+  // Memory intensity ordering follows the intensity parameters.
+  EXPECT_LT(spec.phases[0].apki_mem, spec.phases[1].apki_mem);
+  EXPECT_GT(spec.phases[2].apki_mem, spec.phases[1].apki_mem);
+  EXPECT_THROW(make_multiphase_synthetic({}), std::invalid_argument);
+}
+
+TEST(Synthetic, UniformHelper) {
+  const WorkloadSpec spec = make_uniform_synthetic(50.0, 3e8, false);
+  ASSERT_EQ(spec.phases.size(), 1u);
+  EXPECT_FALSE(spec.loop);
+  EXPECT_DOUBLE_EQ(spec.phases[0].instructions, 3e8);
+}
+
+// Property sweep: saturation frequency is monotone in intensity — more
+// memory-bound workloads saturate earlier.
+class SyntheticSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SyntheticSweep, SaturationPerformanceDecreasesWithMemoryShare) {
+  const double intensity = GetParam();
+  const Phase p = synthetic_phase("x", intensity, 1e9);
+  const Phase p_more_mem =
+      synthetic_phase("y", std::max(0.0, intensity - 10.0), 1e9);
+  EXPECT_GT(saturation_performance(p, kLat),
+            saturation_performance(p_more_mem, kLat));
+}
+
+TEST_P(SyntheticSweep, PerfLossAtHalfFrequencyBounded) {
+  // At 500 MHz no workload can lose more than 50% (the frequency ratio) of
+  // its 1 GHz performance, and every workload loses something.
+  const Phase p = synthetic_phase("x", GetParam(), 1e9);
+  const double loss = 1.0 - true_performance(p, kLat, 0.5 * GHz) /
+                                true_performance(p, kLat, 1.0 * GHz);
+  EXPECT_GT(loss, 0.0);
+  EXPECT_LE(loss, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intensities, SyntheticSweep,
+                         ::testing::Values(10.0, 20.0, 25.0, 40.0, 50.0,
+                                           60.0, 75.0, 90.0, 100.0));
+
+}  // namespace
+}  // namespace fvsst::workload

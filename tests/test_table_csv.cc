@@ -1,0 +1,116 @@
+// Tests for the table printer and CSV writer.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "simkit/csv.h"
+#include "simkit/table.h"
+#include "simkit/time_series.h"
+
+namespace fvsst::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(TextTable, FormatsAlignedColumns) {
+  TextTable t("Title");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"much-longer-name", "23456"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("much-longer-name"), std::string::npos);
+  // All data lines equal length (aligned).
+  std::istringstream in(s);
+  std::string line;
+  std::getline(in, line);  // title
+  std::size_t len = 0;
+  while (std::getline(in, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+}
+
+TEST(TextTable, HandlesRaggedRows) {
+  TextTable t;
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3", "4"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(5.0, 0), "5");
+  EXPECT_EQ(TextTable::pct(0.0351, 1), "3.5%");
+  EXPECT_EQ(TextTable::pct(1.0, 0), "100%");
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "fvsst_csv_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string read_all(const fs::path& p) {
+    std::ifstream in(p);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CsvTest, WritesRows) {
+  const fs::path p = dir_ / "out.csv";
+  {
+    CsvWriter w(p.string());
+    w.write_row(std::vector<std::string>{"a", "b"});
+    w.write_row(std::vector<double>{1.5, 2.5});
+  }
+  EXPECT_EQ(read_all(p), "a,b\n1.5,2.5\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters) {
+  const fs::path p = dir_ / "esc.csv";
+  {
+    CsvWriter w(p.string());
+    w.write_row(std::vector<std::string>{"has,comma", "has\"quote"});
+  }
+  EXPECT_EQ(read_all(p), "\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvTest, ThrowsOnBadPath) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-xyz/file.csv"),
+               std::runtime_error);
+}
+
+TEST_F(CsvTest, SeriesCsvAlignsColumns) {
+  TimeSeries a("alpha"), b("beta");
+  a.add(0.0, 1.0);
+  a.add(1.0, 2.0);
+  b.add(0.0, 10.0);
+  b.add(1.0, 20.0);
+  const fs::path p = dir_ / "series.csv";
+  ASSERT_TRUE(write_series_csv(p.string(), {&a, &b}, 0.5));
+  const std::string content = read_all(p);
+  EXPECT_NE(content.find("time_s,alpha,beta"), std::string::npos);
+  EXPECT_NE(content.find("0.5,1,10"), std::string::npos);
+}
+
+TEST_F(CsvTest, SeriesCsvBadPathReturnsFalse) {
+  TimeSeries a("a");
+  a.add(0.0, 1.0);
+  EXPECT_FALSE(
+      write_series_csv("/nonexistent-dir-xyz/s.csv", {&a}, 0.1));
+}
+
+}  // namespace
+}  // namespace fvsst::sim

@@ -1,0 +1,138 @@
+// Tests for the thermal model and thermal-limit governor (power/thermal.h).
+#include "power/thermal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::power {
+namespace {
+
+using units::MHz;
+
+TEST(ThermalModel, ValidatesParameters) {
+  ThermalModel::Params p;
+  p.tau_s = 0.0;
+  EXPECT_THROW(ThermalModel m(p), std::invalid_argument);
+  p.tau_s = 1.0;
+  p.r_c_per_w = -1.0;
+  EXPECT_THROW(ThermalModel m(p), std::invalid_argument);
+}
+
+TEST(ThermalModel, ConvergesToSteadyState) {
+  ThermalModel::Params p;
+  p.ambient_c = 25.0;
+  p.r_c_per_w = 0.4;
+  p.tau_s = 5.0;
+  ThermalModel m(p);
+  EXPECT_DOUBLE_EQ(m.steady_state_c(140.0), 25.0 + 0.4 * 140.0);
+  for (int i = 0; i < 100; ++i) m.step(1.0, 140.0);
+  EXPECT_NEAR(m.temperature_c(), 81.0, 0.01);
+  // Cooling back down at zero power.
+  for (int i = 0; i < 100; ++i) m.step(1.0, 0.0);
+  EXPECT_NEAR(m.temperature_c(), 25.0, 0.01);
+}
+
+TEST(ThermalModel, ExactExponentialStepIsStepSizeInvariant) {
+  ThermalModel::Params p;
+  p.tau_s = 3.0;
+  ThermalModel coarse(p), fine(p);
+  coarse.step(6.0, 100.0);
+  for (int i = 0; i < 60; ++i) fine.step(0.1, 100.0);
+  EXPECT_NEAR(coarse.temperature_c(), fine.temperature_c(), 1e-9);
+}
+
+TEST(ThermalModel, OneTimeConstantReaches63Percent) {
+  ThermalModel::Params p;
+  p.ambient_c = 0.0;
+  p.r_c_per_w = 1.0;
+  p.tau_s = 4.0;
+  p.initial_c = 0.0;
+  ThermalModel m(p);
+  m.step(4.0, 100.0);  // one tau toward 100 C
+  EXPECT_NEAR(m.temperature_c(), 100.0 * (1.0 - std::exp(-1.0)), 1e-9);
+}
+
+TEST(ThermalModel, AmbientChangeShiftsTarget) {
+  ThermalModel::Params p;
+  ThermalModel m(p);
+  m.set_ambient_c(40.0);
+  for (int i = 0; i < 100; ++i) m.step(1.0, 0.0);
+  EXPECT_NEAR(m.temperature_c(), 40.0, 0.01);
+}
+
+TEST(ThermalGovernor, ShedsBudgetWhenHot) {
+  sim::Simulation sim;
+  PowerBudget budget(560.0);
+  // Constant 140 W per CPU with default R = 0.35: steady state 74 C; with
+  // a raised ambient it crosses the 85 C limit.
+  ThermalGovernor::Config cfg;
+  cfg.thermal.ambient_c = 45.0;  // steady state 94 C > 85 C limit
+  ThermalGovernor gov(sim, budget, 4, [](std::size_t) { return 140.0; },
+                      cfg);
+  sim.run_for(60.0);
+  EXPECT_GT(gov.shed_events(), 0u);
+  EXPECT_LT(budget.limit_w(), 560.0);
+  EXPECT_GT(gov.hottest_trace().size(), 100u);
+}
+
+TEST(ThermalGovernor, RestoresWhenCool) {
+  sim::Simulation sim;
+  PowerBudget budget(560.0);
+  double power = 140.0;
+  ThermalGovernor::Config cfg;
+  cfg.thermal.ambient_c = 45.0;
+  ThermalGovernor gov(sim, budget, 4,
+                      [&power](std::size_t) { return power; }, cfg);
+  sim.run_for(60.0);
+  const double shed_limit = budget.limit_w();
+  ASSERT_LT(shed_limit, 560.0);
+  power = 9.0;  // workload ends; dies cool
+  sim.run_for(120.0);
+  EXPECT_DOUBLE_EQ(budget.limit_w(), 560.0);  // fully restored, not above
+}
+
+TEST(ThermalGovernor, ClosedLoopWithFvsstAvoidsThermalRunaway) {
+  // Full loop: A/C failure raises ambient; the thermal governor shrinks
+  // the budget; fvsst downshifts; temperatures settle under the limit.
+  sim::Simulation sim;
+  sim::Rng rng(5);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  for (std::size_t c = 0; c < 4; ++c) {
+    cluster.core({0, c}).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  PowerBudget budget(560.0);
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget,
+                           core::DaemonConfig{});
+  ThermalGovernor::Config cfg;
+  cfg.thermal.ambient_c = 25.0;
+  ThermalGovernor gov(
+      sim, budget, 4,
+      [&](std::size_t i) {
+        return machine.freq_table.power(
+            cluster.core({0, i}).frequency_hz());
+      },
+      cfg);
+  sim.run_for(30.0);
+  EXPECT_LT(gov.hottest_c(), cfg.limit_c);  // fine at 25 C ambient
+
+  gov.set_ambient_c(48.0);  // machine-room A/C fails
+  sim.run_for(120.0);
+  // The loop must settle: temperature at or under the limit (small
+  // overshoot allowed during transients) and the CPUs still doing work.
+  EXPECT_LT(gov.hottest_c(), cfg.limit_c + 2.0);
+  EXPECT_LT(cluster.core({0, 0}).frequency_hz(), 1000 * MHz);
+  EXPECT_GT(cluster.core({0, 0}).frequency_hz(), 250 * MHz);
+}
+
+}  // namespace
+}  // namespace fvsst::power

@@ -1,0 +1,62 @@
+// Tests for the fetch-throttling model (cpu/throttle.h).
+#include "cpu/throttle.h"
+
+#include <gtest/gtest.h>
+
+#include "simkit/units.h"
+
+namespace fvsst::cpu {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+TEST(Throttle, IdealModePassesThrough) {
+  const ThrottleModel m(ScalingMode::kIdealDvfs);
+  EXPECT_DOUBLE_EQ(m.effective_hz(123.456 * MHz), 123.456 * MHz);
+  EXPECT_DOUBLE_EQ(m.effective_hz(1 * GHz), 1 * GHz);
+}
+
+TEST(Throttle, FetchModeValidation) {
+  EXPECT_THROW(ThrottleModel(ScalingMode::kFetchThrottle, 0.0, 32),
+               std::invalid_argument);
+  EXPECT_THROW(ThrottleModel(ScalingMode::kFetchThrottle, 1 * GHz, 0),
+               std::invalid_argument);
+}
+
+TEST(Throttle, ExactDutyStepsPassThrough) {
+  // 32 steps at 1 GHz: multiples of 31.25 MHz are exact.
+  const ThrottleModel m(ScalingMode::kFetchThrottle, 1 * GHz, 32);
+  EXPECT_DOUBLE_EQ(m.effective_hz(1 * GHz), 1 * GHz);
+  EXPECT_DOUBLE_EQ(m.effective_hz(500 * MHz), 500 * MHz);
+  EXPECT_DOUBLE_EQ(m.effective_hz(250 * MHz), 250 * MHz);
+}
+
+TEST(Throttle, NeverExceedsRequest) {
+  const ThrottleModel m(ScalingMode::kFetchThrottle, 1 * GHz, 32);
+  for (double mhz = 250; mhz <= 1000; mhz += 50) {
+    EXPECT_LE(m.effective_hz(mhz * MHz), mhz * MHz + 1e-6) << mhz;
+  }
+}
+
+TEST(Throttle, QuantisationErrorBoundedByOneStep) {
+  const ThrottleModel m(ScalingMode::kFetchThrottle, 1 * GHz, 32);
+  const double step = 1e9 / 32.0;
+  for (double mhz = 250; mhz <= 1000; mhz += 10) {
+    const double got = m.effective_hz(mhz * MHz);
+    EXPECT_LE(mhz * MHz - got, step + 1e-6) << mhz;
+  }
+}
+
+TEST(Throttle, MonotoneInRequest) {
+  const ThrottleModel m(ScalingMode::kFetchThrottle, 1 * GHz, 32);
+  double prev = 0.0;
+  for (double mhz = 100; mhz <= 1000; mhz += 5) {
+    const double got = m.effective_hz(mhz * MHz);
+    EXPECT_GE(got, prev - 1e-6);
+    prev = got;
+  }
+}
+
+}  // namespace
+}  // namespace fvsst::cpu

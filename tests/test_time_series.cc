@@ -1,0 +1,116 @@
+// Tests for TimeSeries and the ASCII chart renderer.
+#include "simkit/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace fvsst::sim {
+namespace {
+
+TimeSeries make_ramp() {
+  TimeSeries ts("ramp");
+  ts.add(0.0, 0.0);
+  ts.add(1.0, 10.0);
+  ts.add(2.0, 20.0);
+  ts.add(3.0, 30.0);
+  return ts;
+}
+
+TEST(TimeSeries, BasicAccess) {
+  const TimeSeries ts = make_ramp();
+  EXPECT_EQ(ts.name(), "ramp");
+  EXPECT_EQ(ts.size(), 4u);
+  EXPECT_DOUBLE_EQ(ts.first_time(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.last_time(), 3.0);
+  EXPECT_DOUBLE_EQ(ts[2].value, 20.0);
+}
+
+TEST(TimeSeries, RejectsNonMonotonicTime) {
+  TimeSeries ts;
+  ts.add(1.0, 5.0);
+  EXPECT_THROW(ts.add(0.5, 6.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, AllowsEqualTimes) {
+  TimeSeries ts;
+  ts.add(1.0, 5.0);
+  EXPECT_NO_THROW(ts.add(1.0, 6.0));
+}
+
+TEST(TimeSeries, ValueAtPiecewiseConstant) {
+  const TimeSeries ts = make_ramp();
+  EXPECT_DOUBLE_EQ(ts.value_at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(2.5), 20.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(100.0), 30.0);
+}
+
+TEST(TimeSeries, ValueAtBeforeFirstThrows) {
+  const TimeSeries ts = make_ramp();
+  EXPECT_THROW(ts.value_at(-0.1), std::out_of_range);
+}
+
+TEST(TimeSeries, EmptyQueriesThrow) {
+  TimeSeries ts;
+  EXPECT_THROW(ts.first_time(), std::out_of_range);
+  EXPECT_THROW(ts.last_time(), std::out_of_range);
+  EXPECT_THROW(ts.value_at(0.0), std::out_of_range);
+}
+
+TEST(TimeSeries, WindowedAggregates) {
+  const TimeSeries ts = make_ramp();
+  EXPECT_DOUBLE_EQ(ts.mean(1.0, 3.0), 20.0);
+  EXPECT_DOUBLE_EQ(ts.min(1.0, 3.0), 10.0);
+  EXPECT_DOUBLE_EQ(ts.max(1.0, 3.0), 30.0);
+}
+
+TEST(TimeSeries, SliceExtractsWindow) {
+  const TimeSeries ts = make_ramp();
+  const TimeSeries cut = ts.slice(0.5, 2.5);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_DOUBLE_EQ(cut[0].t, 1.0);
+  EXPECT_DOUBLE_EQ(cut[1].t, 2.0);
+  EXPECT_EQ(cut.name(), "ramp");
+}
+
+TEST(TimeSeries, ResampleUniformGrid) {
+  const TimeSeries ts = make_ramp();
+  const TimeSeries rs = ts.resample(0.5);
+  ASSERT_GE(rs.size(), 7u);
+  EXPECT_DOUBLE_EQ(rs.value_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(rs.value_at(1.5), 10.0);
+}
+
+TEST(AsciiChart, RendersWithoutCrashing) {
+  const TimeSeries ts = make_ramp();
+  const std::string chart = render_ascii_chart({&ts}, 40, 8);
+  EXPECT_NE(chart.find("ymax"), std::string::npos);
+  EXPECT_NE(chart.find("ramp"), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesEmptyAndFlat) {
+  TimeSeries empty;
+  EXPECT_EQ(render_ascii_chart({&empty}), "(empty chart)\n");
+
+  TimeSeries flat("flat");
+  flat.add(0.0, 5.0);
+  flat.add(1.0, 5.0);
+  const std::string chart = render_ascii_chart({&flat}, 20, 4);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesUseDistinctMarks) {
+  TimeSeries a("a"), b("b");
+  a.add(0.0, 0.0);
+  a.add(1.0, 1.0);
+  b.add(0.0, 1.0);
+  b.add(1.0, 0.0);
+  const std::string chart = render_ascii_chart({&a, &b}, 30, 6);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fvsst::sim

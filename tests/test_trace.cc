@@ -1,0 +1,157 @@
+// Tests for the workload trace format (workload/trace.h).
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "simkit/rng.h"
+
+#include "workload/app_profiles.h"
+
+namespace fvsst::workload {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kValid = R"(
+# a comment
+workload my-app
+loop
+phase init 1.2 18 3 4 3e8 1.3
+phase main 1.5 5 0.3 0.1 7e9   # trailing comment
+)";
+
+TEST(Trace, ParsesValidDefinition) {
+  const WorkloadSpec spec = parse_workload_trace_string(kValid);
+  EXPECT_EQ(spec.name, "my-app");
+  EXPECT_TRUE(spec.loop);
+  ASSERT_EQ(spec.phases.size(), 2u);
+  EXPECT_EQ(spec.phases[0].name, "init");
+  EXPECT_DOUBLE_EQ(spec.phases[0].alpha, 1.2);
+  EXPECT_DOUBLE_EQ(spec.phases[0].apki_mem, 4.0);
+  EXPECT_DOUBLE_EQ(spec.phases[0].instructions, 3e8);
+  EXPECT_DOUBLE_EQ(spec.phases[0].latency_scale, 1.3);
+  EXPECT_DOUBLE_EQ(spec.phases[1].latency_scale, 1.0);  // defaulted
+}
+
+TEST(Trace, ErrorsCarryLineNumbers) {
+  try {
+    parse_workload_trace_string("workload x\nphase bad 1.0 0 0 0 oops\n");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_NE(std::string(e.what()).find("instructions"), std::string::npos);
+  }
+}
+
+TEST(Trace, RejectsMalformedInput) {
+  EXPECT_THROW(parse_workload_trace_string(""), TraceParseError);
+  EXPECT_THROW(parse_workload_trace_string("workload x\n"), TraceParseError);
+  EXPECT_THROW(parse_workload_trace_string("phase p 1 0 0 0 1e9\n"),
+               TraceParseError);  // phase before workload
+  EXPECT_THROW(parse_workload_trace_string("loop\n"), TraceParseError);
+  EXPECT_THROW(parse_workload_trace_string("workload a\nworkload b\n"),
+               TraceParseError);
+  EXPECT_THROW(parse_workload_trace_string("banana\n"), TraceParseError);
+  EXPECT_THROW(
+      parse_workload_trace_string("workload x\nphase p 1 0 0 0\n"),
+      TraceParseError);  // too few fields
+  EXPECT_THROW(
+      parse_workload_trace_string("workload x\nphase p 1 0 0 0 1e9 1 1\n"),
+      TraceParseError);  // too many fields
+}
+
+TEST(Trace, RejectsOutOfDomainValues) {
+  EXPECT_THROW(
+      parse_workload_trace_string("workload x\nphase p 0 0 0 0 1e9\n"),
+      TraceParseError);  // alpha
+  EXPECT_THROW(
+      parse_workload_trace_string("workload x\nphase p 1 -1 0 0 1e9\n"),
+      TraceParseError);  // negative rate
+  EXPECT_THROW(
+      parse_workload_trace_string("workload x\nphase p 1 0 0 0 0\n"),
+      TraceParseError);  // instructions
+  EXPECT_THROW(
+      parse_workload_trace_string("workload x\nphase p 1 0 0 0 1e9 -1\n"),
+      TraceParseError);  // latency_scale
+  EXPECT_THROW(
+      parse_workload_trace_string("workload x\nphase p 1 0 0 0 1e9x\n"),
+      TraceParseError);  // trailing junk
+}
+
+TEST(Trace, RoundTripsThroughFormatter) {
+  const WorkloadSpec original = mcf();
+  const WorkloadSpec reparsed =
+      parse_workload_trace_string(format_workload_trace(original));
+  EXPECT_EQ(reparsed.name, original.name);
+  EXPECT_EQ(reparsed.loop, original.loop);
+  ASSERT_EQ(reparsed.phases.size(), original.phases.size());
+  for (std::size_t i = 0; i < original.phases.size(); ++i) {
+    EXPECT_EQ(reparsed.phases[i].name, original.phases[i].name);
+    EXPECT_DOUBLE_EQ(reparsed.phases[i].alpha, original.phases[i].alpha);
+    EXPECT_DOUBLE_EQ(reparsed.phases[i].apki_l2, original.phases[i].apki_l2);
+    EXPECT_DOUBLE_EQ(reparsed.phases[i].apki_l3, original.phases[i].apki_l3);
+    EXPECT_DOUBLE_EQ(reparsed.phases[i].apki_mem,
+                     original.phases[i].apki_mem);
+    EXPECT_DOUBLE_EQ(reparsed.phases[i].instructions,
+                     original.phases[i].instructions);
+    EXPECT_DOUBLE_EQ(reparsed.phases[i].latency_scale,
+                     original.phases[i].latency_scale);
+  }
+}
+
+TEST(Trace, SaveAndLoadFile) {
+  const fs::path dir = fs::temp_directory_path() / "fvsst_trace_test";
+  fs::create_directories(dir);
+  const fs::path file = dir / "wl.trace";
+  save_workload_trace(file.string(), gzip());
+  const WorkloadSpec loaded = load_workload_trace(file.string());
+  EXPECT_EQ(loaded.name, "gzip");
+  EXPECT_EQ(loaded.phases.size(), gzip().phases.size());
+  fs::remove_all(dir);
+}
+
+TEST(Trace, LoadMissingFileThrows) {
+  EXPECT_THROW(load_workload_trace("/nonexistent-dir-xyz/wl.trace"),
+               std::runtime_error);
+}
+
+// Fuzz-ish robustness: random token soup either parses or raises
+// TraceParseError — never crashes, never returns a half-formed spec.
+class TraceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceFuzz, GarbageNeverCrashes) {
+  sim::Rng rng(GetParam());
+  static const char* kTokens[] = {
+      "workload", "loop", "phase", "p", "1.5", "-3", "1e9", "0", "abc",
+      "#", "\n", "1e", "nan", "inf", "9e999", "2.5", "100", "x1",
+  };
+  std::string text;
+  const int lines = static_cast<int>(rng.uniform_int(1, 12));
+  for (int l = 0; l < lines; ++l) {
+    const int words = static_cast<int>(rng.uniform_int(0, 8));
+    for (int w = 0; w < words; ++w) {
+      text += kTokens[rng.uniform_int(0, std::size(kTokens) - 1)];
+      text += ' ';
+    }
+    text += '\n';
+  }
+  try {
+    const WorkloadSpec spec = parse_workload_trace_string(text);
+    // If it parsed, it must be a usable spec.
+    EXPECT_FALSE(spec.phases.empty());
+    for (const auto& p : spec.phases) {
+      EXPECT_GT(p.alpha, 0.0);
+      EXPECT_GT(p.instructions, 0.0);
+    }
+  } catch (const TraceParseError& e) {
+    EXPECT_GE(e.line(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzz,
+                         ::testing::Range<std::uint64_t>(1, 65));
+
+}  // namespace
+}  // namespace fvsst::workload

@@ -1,0 +1,511 @@
+// fvsst_sim - Command-line scenario driver for the fvsst simulator.
+//
+// Compose a machine, workloads and a power-budget timeline from flags, run
+// the fvsst daemon over it, and get a per-CPU report — no C++ required.
+//
+// Examples:
+//   # mcf on CPU 3 of a P630, supply failure at t=5s
+//   fvsst_sim --workload app:mcf@0.3 --budget 560 --budget-at 5:294
+//
+//   # 4-node cluster, synthetic workloads, distributed scheduler
+//   fvsst_sim --nodes 4 --cluster --workload synth:20@0.0 ...
+//     (multiple --workload flags compose a cluster-wide assignment)
+
+//
+//   # workload from a trace file, halted-idle machine, CSV dump
+//   fvsst_sim --workload trace:examples/workloads/dbtier.trace@0.0 ...
+//     with --idle-signal halted --csv /tmp/out
+//
+// Flags:
+//   --nodes N            homogeneous P630 nodes (default 1)
+//   --workload S@n.c     assign workload S to node n, cpu c; S is one of
+//                        synth:INTENSITY[:INSTRUCTIONS]  (looping)
+//                        app:gzip|gap|mcf|health|crafty|parser|art|equake
+//                        trace:FILE
+//   --budget W           initial CPU power budget in watts (default: peak)
+//   --budget-at T:W      budget change at time T seconds (repeatable)
+//   --duration S         simulated seconds (default 10)
+//   --epsilon E          acceptable predicted loss (default 0.04)
+//   --variant V          two-pass | single-pass | continuous
+//   --idle-signal V      os | halted | none     (default os)
+//   --t MS               sampling period t in ms (default 10)
+//   --multiplier N       T = N * t (default 10)
+//   --cluster            use the distributed ClusterDaemon
+//   --margin-controller  enable the measured-power margin feedback loop
+//   --seed S             RNG seed (default 42)
+//   --csv DIR            dump frequency/power traces as CSV
+//   --help               this text
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/governor_daemon.h"
+#include "cluster/cluster.h"
+#include "cluster/job_manager.h"
+#include "core/cluster_daemon.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "power/margin_controller.h"
+#include "power/sensor.h"
+#include "simkit/csv.h"
+#include "simkit/log.h"
+#include "simkit/table.h"
+#include "simkit/units.h"
+#include "workload/app_profiles.h"
+#include "workload/synthetic.h"
+#include "workload/trace.h"
+
+using namespace fvsst;
+using units::MHz;
+using units::ms;
+
+namespace {
+
+struct Assignment {
+  std::size_t node = 0;
+  std::size_t cpu = 0;
+  workload::WorkloadSpec spec;
+};
+
+struct BudgetChange {
+  double at_s = 0.0;
+  double watts = 0.0;
+};
+
+struct CliOptions {
+  std::size_t nodes = 1;
+  std::size_t slow_nodes = 0;  ///< Last K nodes derated to 600 MHz.
+  std::optional<baselines::GovernorPolicy> governor;  ///< Replaces fvsst.
+  double smoothing = 0.0;
+  std::vector<Assignment> assignments;
+  /// Batch jobs: (submit time, spec); placed by the job manager.
+  std::vector<std::pair<double, workload::WorkloadSpec>> batch_jobs;
+  cluster::PlacementPolicy placement =
+      cluster::PlacementPolicy::kLeastLoaded;
+  double budget_w = -1.0;  // negative: peak
+  std::vector<BudgetChange> budget_changes;
+  double duration_s = 10.0;
+  core::FrequencyScheduler::Options scheduler;
+  core::IdleSignal idle_signal = core::IdleSignal::kOsSignal;
+  double t_ms = 10.0;
+  int multiplier = 10;
+  bool use_cluster_daemon = false;
+  bool margin_controller = false;
+  std::uint64_t seed = 42;
+  std::string csv_dir;
+  bool json = false;  ///< Machine-readable summary on stdout.
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "fvsst_sim: %s\nrun with --help for usage\n",
+               message.c_str());
+  std::exit(2);
+}
+
+void print_help() {
+  std::printf(
+      "usage: fvsst_sim [--nodes N] [--slow-nodes K] [--workload SPEC@n.c]\n"
+      "                 [--budget W] [--budget-at T:W ...] [--duration S]\n"
+      "                 [--epsilon E] [--smoothing S] [--variant V]\n"
+      "                 [--idle-signal os|halted|none] [--t MS]\n"
+      "                 [--multiplier N] [--cluster] [--governor G]\n"
+      "                 [--margin-controller] [--seed S] [--csv DIR]\n"
+      "SPEC: synth:INTENSITY[:INSTRUCTIONS] | app:NAME | trace:FILE\n"
+      "G: performance | powersave | ondemand | conservative\n"
+      "(see docs/fvsst_sim.md for the full manual)\n");
+}
+
+double parse_double(const std::string& s, const char* what) {
+  std::size_t used = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(s, &used);
+  } catch (const std::exception&) {
+    usage_error(std::string("bad ") + what + ": '" + s + "'");
+  }
+  if (used != s.size()) {
+    usage_error(std::string("trailing junk in ") + what + ": '" + s + "'");
+  }
+  return v;
+}
+
+Assignment parse_workload(const std::string& arg) {
+  const std::size_t at = arg.rfind('@');
+  if (at == std::string::npos) {
+    usage_error("--workload needs SPEC@node.cpu: '" + arg + "'");
+  }
+  Assignment out;
+  const std::string where = arg.substr(at + 1);
+  const std::size_t dot = where.find('.');
+  if (dot == std::string::npos) {
+    usage_error("--workload placement must be node.cpu: '" + where + "'");
+  }
+  out.node = static_cast<std::size_t>(
+      parse_double(where.substr(0, dot), "node index"));
+  out.cpu = static_cast<std::size_t>(
+      parse_double(where.substr(dot + 1), "cpu index"));
+
+  const std::string spec = arg.substr(0, at);
+  if (spec.rfind("synth:", 0) == 0) {
+    const std::string rest = spec.substr(6);
+    const std::size_t colon = rest.find(':');
+    const double intensity =
+        parse_double(colon == std::string::npos ? rest : rest.substr(0, colon),
+                     "synth intensity");
+    const double instructions =
+        colon == std::string::npos
+            ? 5e8
+            : parse_double(rest.substr(colon + 1), "synth instructions");
+    out.spec = workload::make_uniform_synthetic(intensity, instructions,
+                                                /*loop=*/true);
+  } else if (spec.rfind("app:", 0) == 0) {
+    const std::string name = spec.substr(4);
+    bool found = false;
+    for (auto& app : workload::extended_applications()) {
+      if (app.name == name) {
+        out.spec = std::move(app);
+        found = true;
+        break;
+      }
+    }
+    if (!found) usage_error("unknown app '" + name + "'");
+  } else if (spec.rfind("trace:", 0) == 0) {
+    try {
+      out.spec = workload::load_workload_trace(spec.substr(6));
+    } catch (const std::exception& e) {
+      usage_error(e.what());
+    }
+  } else {
+    usage_error("unknown workload spec '" + spec + "'");
+  }
+  return out;
+}
+
+BudgetChange parse_budget_at(const std::string& arg) {
+  const std::size_t colon = arg.find(':');
+  if (colon == std::string::npos) {
+    usage_error("--budget-at needs T:W: '" + arg + "'");
+  }
+  return {parse_double(arg.substr(0, colon), "budget time"),
+          parse_double(arg.substr(colon + 1), "budget watts")};
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opts;
+  auto next_value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      print_help();
+      std::exit(0);
+    } else if (flag == "--nodes") {
+      opts.nodes = static_cast<std::size_t>(
+          parse_double(next_value(i, "--nodes"), "node count"));
+      if (opts.nodes == 0) usage_error("--nodes must be >= 1");
+    } else if (flag == "--workload") {
+      opts.assignments.push_back(parse_workload(next_value(i, "--workload")));
+    } else if (flag == "--batch") {
+      // SPEC@T: submit SPEC (same syntax as --workload, minus placement)
+      // to the job manager at time T.  Batch jobs never loop.
+      const std::string arg = next_value(i, "--batch");
+      const std::size_t at = arg.rfind('@');
+      if (at == std::string::npos) {
+        usage_error("--batch needs SPEC@time: '" + arg + "'");
+      }
+      const double when = parse_double(arg.substr(at + 1), "batch time");
+      Assignment parsed = parse_workload(arg.substr(0, at) + "@0.0");
+      parsed.spec.loop = false;
+      opts.batch_jobs.emplace_back(when, std::move(parsed.spec));
+    } else if (flag == "--placement") {
+      const std::string v = next_value(i, "--placement");
+      if (v == "round-robin") {
+        opts.placement = cluster::PlacementPolicy::kRoundRobin;
+      } else if (v == "least-loaded") {
+        opts.placement = cluster::PlacementPolicy::kLeastLoaded;
+      } else if (v == "pack") {
+        opts.placement = cluster::PlacementPolicy::kPackFirstFit;
+      } else {
+        usage_error("unknown placement '" + v + "'");
+      }
+    } else if (flag == "--budget") {
+      opts.budget_w = parse_double(next_value(i, "--budget"), "budget");
+    } else if (flag == "--budget-at") {
+      opts.budget_changes.push_back(
+          parse_budget_at(next_value(i, "--budget-at")));
+    } else if (flag == "--duration") {
+      opts.duration_s = parse_double(next_value(i, "--duration"), "duration");
+    } else if (flag == "--epsilon") {
+      opts.scheduler.epsilon =
+          parse_double(next_value(i, "--epsilon"), "epsilon");
+    } else if (flag == "--variant") {
+      const std::string v = next_value(i, "--variant");
+      if (v == "two-pass") {
+        opts.scheduler.variant = core::SchedulerVariant::kTwoPass;
+      } else if (v == "single-pass") {
+        opts.scheduler.variant = core::SchedulerVariant::kSinglePass;
+      } else if (v == "continuous") {
+        opts.scheduler.variant = core::SchedulerVariant::kContinuous;
+      } else {
+        usage_error("unknown variant '" + v + "'");
+      }
+    } else if (flag == "--idle-signal") {
+      const std::string v = next_value(i, "--idle-signal");
+      if (v == "os") opts.idle_signal = core::IdleSignal::kOsSignal;
+      else if (v == "halted") opts.idle_signal = core::IdleSignal::kHaltedCounter;
+      else if (v == "none") opts.idle_signal = core::IdleSignal::kNone;
+      else usage_error("unknown idle signal '" + v + "'");
+    } else if (flag == "--t") {
+      opts.t_ms = parse_double(next_value(i, "--t"), "t");
+    } else if (flag == "--multiplier") {
+      opts.multiplier = static_cast<int>(
+          parse_double(next_value(i, "--multiplier"), "multiplier"));
+    } else if (flag == "--slow-nodes") {
+      opts.slow_nodes = static_cast<std::size_t>(
+          parse_double(next_value(i, "--slow-nodes"), "slow node count"));
+    } else if (flag == "--smoothing") {
+      opts.smoothing =
+          parse_double(next_value(i, "--smoothing"), "smoothing");
+      if (opts.smoothing < 0.0 || opts.smoothing >= 1.0) {
+        usage_error("--smoothing must be in [0, 1)");
+      }
+    } else if (flag == "--governor") {
+      const std::string v = next_value(i, "--governor");
+      if (v == "performance") {
+        opts.governor = baselines::GovernorPolicy::kPerformance;
+      } else if (v == "powersave") {
+        opts.governor = baselines::GovernorPolicy::kPowersave;
+      } else if (v == "ondemand") {
+        opts.governor = baselines::GovernorPolicy::kOndemand;
+      } else if (v == "conservative") {
+        opts.governor = baselines::GovernorPolicy::kConservative;
+      } else {
+        usage_error("unknown governor '" + v + "'");
+      }
+    } else if (flag == "--cluster") {
+      opts.use_cluster_daemon = true;
+    } else if (flag == "--margin-controller") {
+      opts.margin_controller = true;
+    } else if (flag == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(
+          parse_double(next_value(i, "--seed"), "seed"));
+    } else if (flag == "--json") {
+      opts.json = true;
+    } else if (flag == "--csv") {
+      opts.csv_dir = next_value(i, "--csv");
+    } else {
+      usage_error("unknown flag '" + flag + "'");
+    }
+  }
+  return opts;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sim::init_log_level_from_env();
+  const CliOptions opts = parse_args(argc, argv);
+
+  sim::Simulation sim;
+  sim::Rng rng(opts.seed);
+  mach::MachineConfig machine = mach::p630();
+  if (opts.idle_signal == core::IdleSignal::kHaltedCounter) {
+    machine.idles_by_halting = true;
+  }
+  if (opts.slow_nodes > opts.nodes) {
+    usage_error("--slow-nodes exceeds --nodes");
+  }
+  std::vector<mach::MachineConfig> configs(opts.nodes, machine);
+  for (std::size_t i = opts.nodes - opts.slow_nodes; i < opts.nodes; ++i) {
+    configs[i] = mach::derated(machine, 600e6);
+  }
+  cluster::Cluster cluster =
+      cluster::Cluster::heterogeneous(sim, configs, rng);
+
+  for (const auto& a : opts.assignments) {
+    if (a.node >= cluster.node_count() ||
+        a.cpu >= cluster.node(a.node).cpu_count()) {
+      usage_error("workload placement out of range");
+    }
+    cluster.core({a.node, a.cpu}).add_workload(a.spec);
+  }
+
+  const double peak =
+      static_cast<double>(cluster.cpu_count()) * 140.0;
+  power::PowerBudget budget(opts.budget_w > 0 ? opts.budget_w : peak);
+  for (const auto& change : opts.budget_changes) {
+    sim.schedule_at(change.at_s,
+                    [&budget, w = change.watts] { budget.set_limit_w(w); });
+  }
+
+  core::DaemonConfig dcfg;
+  dcfg.t_sample_s = opts.t_ms * ms;
+  dcfg.schedule_every_n_samples = opts.multiplier;
+  dcfg.scheduler = opts.scheduler;
+  dcfg.idle_signal = opts.idle_signal;
+  dcfg.estimate_smoothing = opts.smoothing;
+
+  std::unique_ptr<core::FvsstDaemon> daemon;
+  std::unique_ptr<core::ClusterDaemon> cluster_daemon;
+  std::unique_ptr<baselines::GovernorDaemon> governor;
+  if (opts.governor) {
+    baselines::GovernorDaemon::Config gcfg;
+    gcfg.policy = *opts.governor;
+    gcfg.period_s = opts.t_ms * ms;
+    governor = std::make_unique<baselines::GovernorDaemon>(
+        sim, cluster, machine.freq_table, gcfg);
+  } else if (opts.use_cluster_daemon) {
+    core::ClusterDaemonConfig ccfg;
+    ccfg.t_sample_s = dcfg.t_sample_s;
+    ccfg.schedule_every_n_samples = dcfg.schedule_every_n_samples;
+    ccfg.scheduler = opts.scheduler;
+    ccfg.idle_signal = opts.idle_signal;
+    cluster_daemon = std::make_unique<core::ClusterDaemon>(
+        sim, cluster, machine.freq_table, budget, ccfg);
+  } else {
+    daemon = std::make_unique<core::FvsstDaemon>(
+        sim, cluster, machine.freq_table, budget, dcfg);
+  }
+
+  std::unique_ptr<cluster::JobManager> job_manager;
+  if (!opts.batch_jobs.empty()) {
+    job_manager =
+        std::make_unique<cluster::JobManager>(sim, cluster, opts.placement);
+    for (auto& [when, spec] : opts.batch_jobs) {
+      job_manager->submit_at(when, spec);
+    }
+  }
+
+  std::unique_ptr<power::MarginController> margin;
+  if (opts.margin_controller) {
+    margin = std::make_unique<power::MarginController>(
+        sim, budget, [&] { return cluster.cpu_power_w(); });
+  }
+
+  power::PowerSensor sensor(sim, [&] { return cluster.cpu_power_w(); },
+                            5 * ms);
+
+  sim.run_for(opts.duration_s);
+
+  // ---- Report -----------------------------------------------------------
+  if (opts.json) {
+    std::printf("{\n  \"nodes\": %zu,\n  \"cpus\": %zu,\n"
+                "  \"simulated_s\": %.6f,\n  \"budget_w\": %.3f,\n"
+                "  \"effective_budget_w\": %.3f,\n  \"cpu_power_w\": %.3f,\n"
+                "  \"compliant\": %s,\n  \"mean_power_w\": %.3f,\n"
+                "  \"energy_j\": %.3f,\n  \"cpus_detail\": [\n",
+                cluster.node_count(), cluster.cpu_count(), sim.now(),
+                budget.limit_w(), budget.effective_limit_w(),
+                cluster.cpu_power_w(),
+                cluster.cpu_power_w() <= budget.effective_limit_w() + 1e-9
+                    ? "true"
+                    : "false",
+                sensor.mean_power_w(), sensor.energy_j());
+    bool first = true;
+    for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+      for (std::size_t c = 0; c < cluster.node(n).cpu_count(); ++c) {
+        auto& core_ref = cluster.core({n, c});
+        std::printf(
+            "%s    {\"node\": %zu, \"cpu\": %zu, \"freq_hz\": %.0f, "
+            "\"idle\": %s, \"instructions\": %.6e, \"name\": \"%s\"}",
+            first ? "" : ",\n", n, c, core_ref.frequency_hz(),
+            core_ref.idle() ? "true" : "false",
+            core_ref.instructions_retired(),
+            json_escape(core_ref.name()).c_str());
+        first = false;
+      }
+    }
+    std::printf("\n  ]\n}\n");
+    return 0;
+  }
+  std::printf("fvsst_sim: %zu node(s), %zu CPU(s), %.1f s simulated\n",
+              cluster.node_count(), cluster.cpu_count(), sim.now());
+  std::printf("budget: %.1f W effective (raw %.1f W, margin %.1f%%)\n",
+              budget.effective_limit_w(), budget.limit_w(),
+              budget.margin_fraction() * 100.0);
+  std::printf("CPU power now: %.1f W (%s); mean %.1f W; energy %.1f J\n",
+              cluster.cpu_power_w(),
+              cluster.cpu_power_w() <= budget.effective_limit_w() + 1e-9
+                  ? "compliant"
+                  : "OVER BUDGET",
+              sensor.mean_power_w(), sensor.energy_j());
+  if (daemon) {
+    std::printf("schedules run: %zu\n", daemon->schedules_run());
+  } else if (cluster_daemon) {
+    std::printf("global rounds: %zu\n", cluster_daemon->rounds());
+  } else if (governor) {
+    std::printf("governor: %s, %zu evaluations\n",
+                baselines::governor_name(*opts.governor).c_str(),
+                governor->evaluations());
+  }
+
+  sim::TextTable out("Per-CPU state at end of run");
+  out.set_header({"cpu", "freq MHz", "idle", "instr retired", "mean IPC"});
+  std::size_t flat = 0;
+  for (std::size_t n = 0; n < cluster.node_count(); ++n) {
+    for (std::size_t c = 0; c < cluster.node(n).cpu_count(); ++c, ++flat) {
+      auto& core_ref = cluster.core({n, c});
+      const auto counters = core_ref.read_counters();
+      out.add_row({"node" + std::to_string(n) + ".cpu" + std::to_string(c),
+                   sim::TextTable::num(core_ref.frequency_hz() / MHz, 0),
+                   core_ref.idle() ? "yes" : "no",
+                   sim::TextTable::num(core_ref.instructions_retired() / 1e9,
+                                       2) + "e9",
+                   sim::TextTable::num(counters.ipc(), 3)});
+    }
+  }
+  out.print();
+
+  if (job_manager) {
+    sim::TextTable batch("Batch jobs");
+    batch.set_header({"job", "placed on", "turnaround"});
+    for (std::size_t j = 0; j < job_manager->submitted(); ++j) {
+      const auto& record = job_manager->job(j);
+      batch.add_row(
+          {record.name,
+           "node" + std::to_string(record.placed_on.node) + ".cpu" +
+               std::to_string(record.placed_on.cpu),
+           record.finished_at >= 0
+               ? sim::TextTable::num(record.finished_at - record.submitted_at,
+                                     2) + " s"
+               : "(running)"});
+    }
+    batch.print();
+  }
+
+  if (!opts.csv_dir.empty() && daemon) {
+    for (std::size_t i = 0; i < daemon->cpu_count(); ++i) {
+      const std::string path =
+          opts.csv_dir + "/cpu" + std::to_string(i) + "_freq.csv";
+      if (sim::write_series_csv(path, {&daemon->granted_freq_trace(i),
+                                       &daemon->desired_freq_trace(i)},
+                                dcfg.t_sample_s)) {
+        std::printf("[csv] wrote %s\n", path.c_str());
+      }
+    }
+    const std::string ppath = opts.csv_dir + "/cpu_power.csv";
+    if (sim::write_series_csv(ppath, {&sensor.trace()}, 5 * ms)) {
+      std::printf("[csv] wrote %s\n", ppath.c_str());
+    }
+  }
+  return 0;
+}
