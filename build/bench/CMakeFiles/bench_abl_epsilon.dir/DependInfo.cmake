@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_abl_epsilon.cpp" "bench/CMakeFiles/bench_abl_epsilon.dir/bench_abl_epsilon.cpp.o" "gcc" "bench/CMakeFiles/bench_abl_epsilon.dir/bench_abl_epsilon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fvsst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/fvsst_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fvsst_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fvsst_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fvsst_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fvsst_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/fvsst_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_epsilon.dir/bench_abl_epsilon.cpp.o"
+  "CMakeFiles/bench_abl_epsilon.dir/bench_abl_epsilon.cpp.o.d"
+  "bench_abl_epsilon"
+  "bench_abl_epsilon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_epsilon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

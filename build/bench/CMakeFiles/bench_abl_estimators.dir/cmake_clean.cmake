@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_estimators.dir/bench_abl_estimators.cpp.o"
+  "CMakeFiles/bench_abl_estimators.dir/bench_abl_estimators.cpp.o.d"
+  "bench_abl_estimators"
+  "bench_abl_estimators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_estimators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

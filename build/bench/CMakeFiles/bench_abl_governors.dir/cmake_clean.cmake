@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_governors.dir/bench_abl_governors.cpp.o"
+  "CMakeFiles/bench_abl_governors.dir/bench_abl_governors.cpp.o.d"
+  "bench_abl_governors"
+  "bench_abl_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_hetero.dir/bench_abl_hetero.cpp.o"
+  "CMakeFiles/bench_abl_hetero.dir/bench_abl_hetero.cpp.o.d"
+  "bench_abl_hetero"
+  "bench_abl_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_idle.dir/bench_abl_idle.cpp.o"
+  "CMakeFiles/bench_abl_idle.dir/bench_abl_idle.cpp.o.d"
+  "bench_abl_idle"
+  "bench_abl_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_intervals.dir/bench_abl_intervals.cpp.o"
+  "CMakeFiles/bench_abl_intervals.dir/bench_abl_intervals.cpp.o.d"
+  "bench_abl_intervals"
+  "bench_abl_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_latency.dir/bench_abl_latency.cpp.o"
+  "CMakeFiles/bench_abl_latency.dir/bench_abl_latency.cpp.o.d"
+  "bench_abl_latency"
+  "bench_abl_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

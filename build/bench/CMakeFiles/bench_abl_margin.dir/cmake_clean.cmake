@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_margin.dir/bench_abl_margin.cpp.o"
+  "CMakeFiles/bench_abl_margin.dir/bench_abl_margin.cpp.o.d"
+  "bench_abl_margin"
+  "bench_abl_margin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_margin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

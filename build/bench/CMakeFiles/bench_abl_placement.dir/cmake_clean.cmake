@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_placement.dir/bench_abl_placement.cpp.o"
+  "CMakeFiles/bench_abl_placement.dir/bench_abl_placement.cpp.o.d"
+  "bench_abl_placement"
+  "bench_abl_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_variants.dir/bench_abl_variants.cpp.o"
+  "CMakeFiles/bench_abl_variants.dir/bench_abl_variants.cpp.o.d"
+  "bench_abl_variants"
+  "bench_abl_variants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_variants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

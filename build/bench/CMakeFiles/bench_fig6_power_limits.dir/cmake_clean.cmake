@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_power_limits.dir/bench_fig6_power_limits.cpp.o"
+  "CMakeFiles/bench_fig6_power_limits.dir/bench_fig6_power_limits.cpp.o.d"
+  "bench_fig6_power_limits"
+  "bench_fig6_power_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_power_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

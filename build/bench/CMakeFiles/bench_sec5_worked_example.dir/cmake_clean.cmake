@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec5_worked_example.dir/bench_sec5_worked_example.cpp.o"
+  "CMakeFiles/bench_sec5_worked_example.dir/bench_sec5_worked_example.cpp.o.d"
+  "bench_sec5_worked_example"
+  "bench_sec5_worked_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec5_worked_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_predictor.dir/bench_table2_predictor.cpp.o"
+  "CMakeFiles/bench_table2_predictor.dir/bench_table2_predictor.cpp.o.d"
+  "bench_table2_predictor"
+  "bench_table2_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

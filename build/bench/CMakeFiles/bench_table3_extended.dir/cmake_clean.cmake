@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_extended.dir/bench_table3_extended.cpp.o"
+  "CMakeFiles/bench_table3_extended.dir/bench_table3_extended.cpp.o.d"
+  "bench_table3_extended"
+  "bench_table3_extended.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_extended.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_tiers.dir/cluster_tiers.cpp.o"
+  "CMakeFiles/cluster_tiers.dir/cluster_tiers.cpp.o.d"
+  "cluster_tiers"
+  "cluster_tiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_tiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

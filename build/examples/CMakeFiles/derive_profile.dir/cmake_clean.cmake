@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derive_profile.dir/derive_profile.cpp.o"
+  "CMakeFiles/derive_profile.dir/derive_profile.cpp.o.d"
+  "derive_profile"
+  "derive_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derive_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_probe.dir/host_probe.cpp.o"
+  "CMakeFiles/host_probe.dir/host_probe.cpp.o.d"
+  "host_probe"
+  "host_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

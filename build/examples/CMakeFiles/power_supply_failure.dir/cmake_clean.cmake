@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_supply_failure.dir/power_supply_failure.cpp.o"
+  "CMakeFiles/power_supply_failure.dir/power_supply_failure.cpp.o.d"
+  "power_supply_failure"
+  "power_supply_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_supply_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

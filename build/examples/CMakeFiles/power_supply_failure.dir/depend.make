@@ -1,0 +1,2 @@
+# Empty dependencies file for power_supply_failure.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_baselines.dir/governor_daemon.cc.o"
+  "CMakeFiles/fvsst_baselines.dir/governor_daemon.cc.o.d"
+  "CMakeFiles/fvsst_baselines.dir/policies.cc.o"
+  "CMakeFiles/fvsst_baselines.dir/policies.cc.o.d"
+  "libfvsst_baselines.a"
+  "libfvsst_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

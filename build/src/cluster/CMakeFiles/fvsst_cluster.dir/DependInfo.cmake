@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/channel.cc" "src/cluster/CMakeFiles/fvsst_cluster.dir/channel.cc.o" "gcc" "src/cluster/CMakeFiles/fvsst_cluster.dir/channel.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/fvsst_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/fvsst_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/job_manager.cc" "src/cluster/CMakeFiles/fvsst_cluster.dir/job_manager.cc.o" "gcc" "src/cluster/CMakeFiles/fvsst_cluster.dir/job_manager.cc.o.d"
+  "/root/repo/src/cluster/load_generator.cc" "src/cluster/CMakeFiles/fvsst_cluster.dir/load_generator.cc.o" "gcc" "src/cluster/CMakeFiles/fvsst_cluster.dir/load_generator.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/cluster/CMakeFiles/fvsst_cluster.dir/node.cc.o" "gcc" "src/cluster/CMakeFiles/fvsst_cluster.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/fvsst_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/fvsst_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fvsst_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_cluster.dir/channel.cc.o"
+  "CMakeFiles/fvsst_cluster.dir/channel.cc.o.d"
+  "CMakeFiles/fvsst_cluster.dir/cluster.cc.o"
+  "CMakeFiles/fvsst_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/fvsst_cluster.dir/job_manager.cc.o"
+  "CMakeFiles/fvsst_cluster.dir/job_manager.cc.o.d"
+  "CMakeFiles/fvsst_cluster.dir/load_generator.cc.o"
+  "CMakeFiles/fvsst_cluster.dir/load_generator.cc.o.d"
+  "CMakeFiles/fvsst_cluster.dir/node.cc.o"
+  "CMakeFiles/fvsst_cluster.dir/node.cc.o.d"
+  "libfvsst_cluster.a"
+  "libfvsst_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/fvsst_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/fvsst_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/cluster_daemon.cc" "src/core/CMakeFiles/fvsst_core.dir/cluster_daemon.cc.o" "gcc" "src/core/CMakeFiles/fvsst_core.dir/cluster_daemon.cc.o.d"
+  "/root/repo/src/core/constrained_scheduler.cc" "src/core/CMakeFiles/fvsst_core.dir/constrained_scheduler.cc.o" "gcc" "src/core/CMakeFiles/fvsst_core.dir/constrained_scheduler.cc.o.d"
+  "/root/repo/src/core/daemon.cc" "src/core/CMakeFiles/fvsst_core.dir/daemon.cc.o" "gcc" "src/core/CMakeFiles/fvsst_core.dir/daemon.cc.o.d"
+  "/root/repo/src/core/estimators.cc" "src/core/CMakeFiles/fvsst_core.dir/estimators.cc.o" "gcc" "src/core/CMakeFiles/fvsst_core.dir/estimators.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/fvsst_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/fvsst_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/fvsst_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/fvsst_core.dir/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/fvsst_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fvsst_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fvsst_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/fvsst_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fvsst_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

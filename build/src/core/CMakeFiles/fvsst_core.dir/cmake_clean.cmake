@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_core.dir/analysis.cc.o"
+  "CMakeFiles/fvsst_core.dir/analysis.cc.o.d"
+  "CMakeFiles/fvsst_core.dir/cluster_daemon.cc.o"
+  "CMakeFiles/fvsst_core.dir/cluster_daemon.cc.o.d"
+  "CMakeFiles/fvsst_core.dir/constrained_scheduler.cc.o"
+  "CMakeFiles/fvsst_core.dir/constrained_scheduler.cc.o.d"
+  "CMakeFiles/fvsst_core.dir/daemon.cc.o"
+  "CMakeFiles/fvsst_core.dir/daemon.cc.o.d"
+  "CMakeFiles/fvsst_core.dir/estimators.cc.o"
+  "CMakeFiles/fvsst_core.dir/estimators.cc.o.d"
+  "CMakeFiles/fvsst_core.dir/predictor.cc.o"
+  "CMakeFiles/fvsst_core.dir/predictor.cc.o.d"
+  "CMakeFiles/fvsst_core.dir/scheduler.cc.o"
+  "CMakeFiles/fvsst_core.dir/scheduler.cc.o.d"
+  "libfvsst_core.a"
+  "libfvsst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/fvsst_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/fvsst_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/counter_trace.cc" "src/cpu/CMakeFiles/fvsst_cpu.dir/counter_trace.cc.o" "gcc" "src/cpu/CMakeFiles/fvsst_cpu.dir/counter_trace.cc.o.d"
+  "/root/repo/src/cpu/runner.cc" "src/cpu/CMakeFiles/fvsst_cpu.dir/runner.cc.o" "gcc" "src/cpu/CMakeFiles/fvsst_cpu.dir/runner.cc.o.d"
+  "/root/repo/src/cpu/sampler.cc" "src/cpu/CMakeFiles/fvsst_cpu.dir/sampler.cc.o" "gcc" "src/cpu/CMakeFiles/fvsst_cpu.dir/sampler.cc.o.d"
+  "/root/repo/src/cpu/throttle.cc" "src/cpu/CMakeFiles/fvsst_cpu.dir/throttle.cc.o" "gcc" "src/cpu/CMakeFiles/fvsst_cpu.dir/throttle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/fvsst_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/fvsst_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_cpu.dir/core.cc.o"
+  "CMakeFiles/fvsst_cpu.dir/core.cc.o.d"
+  "CMakeFiles/fvsst_cpu.dir/counter_trace.cc.o"
+  "CMakeFiles/fvsst_cpu.dir/counter_trace.cc.o.d"
+  "CMakeFiles/fvsst_cpu.dir/runner.cc.o"
+  "CMakeFiles/fvsst_cpu.dir/runner.cc.o.d"
+  "CMakeFiles/fvsst_cpu.dir/sampler.cc.o"
+  "CMakeFiles/fvsst_cpu.dir/sampler.cc.o.d"
+  "CMakeFiles/fvsst_cpu.dir/throttle.cc.o"
+  "CMakeFiles/fvsst_cpu.dir/throttle.cc.o.d"
+  "libfvsst_cpu.a"
+  "libfvsst_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/cpufreq_sysfs.cc" "src/host/CMakeFiles/fvsst_host.dir/cpufreq_sysfs.cc.o" "gcc" "src/host/CMakeFiles/fvsst_host.dir/cpufreq_sysfs.cc.o.d"
+  "/root/repo/src/host/host_scheduler.cc" "src/host/CMakeFiles/fvsst_host.dir/host_scheduler.cc.o" "gcc" "src/host/CMakeFiles/fvsst_host.dir/host_scheduler.cc.o.d"
+  "/root/repo/src/host/latency_probe.cc" "src/host/CMakeFiles/fvsst_host.dir/latency_probe.cc.o" "gcc" "src/host/CMakeFiles/fvsst_host.dir/latency_probe.cc.o.d"
+  "/root/repo/src/host/perf_events.cc" "src/host/CMakeFiles/fvsst_host.dir/perf_events.cc.o" "gcc" "src/host/CMakeFiles/fvsst_host.dir/perf_events.cc.o.d"
+  "/root/repo/src/host/proc_stat.cc" "src/host/CMakeFiles/fvsst_host.dir/proc_stat.cc.o" "gcc" "src/host/CMakeFiles/fvsst_host.dir/proc_stat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/fvsst_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/fvsst_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/fvsst_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/fvsst_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/fvsst_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/fvsst_mach.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_host.dir/cpufreq_sysfs.cc.o"
+  "CMakeFiles/fvsst_host.dir/cpufreq_sysfs.cc.o.d"
+  "CMakeFiles/fvsst_host.dir/host_scheduler.cc.o"
+  "CMakeFiles/fvsst_host.dir/host_scheduler.cc.o.d"
+  "CMakeFiles/fvsst_host.dir/latency_probe.cc.o"
+  "CMakeFiles/fvsst_host.dir/latency_probe.cc.o.d"
+  "CMakeFiles/fvsst_host.dir/perf_events.cc.o"
+  "CMakeFiles/fvsst_host.dir/perf_events.cc.o.d"
+  "CMakeFiles/fvsst_host.dir/proc_stat.cc.o"
+  "CMakeFiles/fvsst_host.dir/proc_stat.cc.o.d"
+  "libfvsst_host.a"
+  "libfvsst_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

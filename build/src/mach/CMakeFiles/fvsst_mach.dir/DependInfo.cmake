@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mach/frequency_table.cc" "src/mach/CMakeFiles/fvsst_mach.dir/frequency_table.cc.o" "gcc" "src/mach/CMakeFiles/fvsst_mach.dir/frequency_table.cc.o.d"
+  "/root/repo/src/mach/machine_config.cc" "src/mach/CMakeFiles/fvsst_mach.dir/machine_config.cc.o" "gcc" "src/mach/CMakeFiles/fvsst_mach.dir/machine_config.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_mach.dir/frequency_table.cc.o"
+  "CMakeFiles/fvsst_mach.dir/frequency_table.cc.o.d"
+  "CMakeFiles/fvsst_mach.dir/machine_config.cc.o"
+  "CMakeFiles/fvsst_mach.dir/machine_config.cc.o.d"
+  "libfvsst_mach.a"
+  "libfvsst_mach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_mach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

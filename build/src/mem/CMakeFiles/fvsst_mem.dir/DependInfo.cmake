@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/address_stream.cc" "src/mem/CMakeFiles/fvsst_mem.dir/address_stream.cc.o" "gcc" "src/mem/CMakeFiles/fvsst_mem.dir/address_stream.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/mem/CMakeFiles/fvsst_mem.dir/cache.cc.o" "gcc" "src/mem/CMakeFiles/fvsst_mem.dir/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/mem/CMakeFiles/fvsst_mem.dir/hierarchy.cc.o" "gcc" "src/mem/CMakeFiles/fvsst_mem.dir/hierarchy.cc.o.d"
+  "/root/repo/src/mem/profile_extractor.cc" "src/mem/CMakeFiles/fvsst_mem.dir/profile_extractor.cc.o" "gcc" "src/mem/CMakeFiles/fvsst_mem.dir/profile_extractor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/fvsst_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/mach/CMakeFiles/fvsst_mach.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

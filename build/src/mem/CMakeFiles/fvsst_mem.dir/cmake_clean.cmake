@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_mem.dir/address_stream.cc.o"
+  "CMakeFiles/fvsst_mem.dir/address_stream.cc.o.d"
+  "CMakeFiles/fvsst_mem.dir/cache.cc.o"
+  "CMakeFiles/fvsst_mem.dir/cache.cc.o.d"
+  "CMakeFiles/fvsst_mem.dir/hierarchy.cc.o"
+  "CMakeFiles/fvsst_mem.dir/hierarchy.cc.o.d"
+  "CMakeFiles/fvsst_mem.dir/profile_extractor.cc.o"
+  "CMakeFiles/fvsst_mem.dir/profile_extractor.cc.o.d"
+  "libfvsst_mem.a"
+  "libfvsst_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/budget.cc" "src/power/CMakeFiles/fvsst_power.dir/budget.cc.o" "gcc" "src/power/CMakeFiles/fvsst_power.dir/budget.cc.o.d"
+  "/root/repo/src/power/margin_controller.cc" "src/power/CMakeFiles/fvsst_power.dir/margin_controller.cc.o" "gcc" "src/power/CMakeFiles/fvsst_power.dir/margin_controller.cc.o.d"
+  "/root/repo/src/power/power_model.cc" "src/power/CMakeFiles/fvsst_power.dir/power_model.cc.o" "gcc" "src/power/CMakeFiles/fvsst_power.dir/power_model.cc.o.d"
+  "/root/repo/src/power/sensor.cc" "src/power/CMakeFiles/fvsst_power.dir/sensor.cc.o" "gcc" "src/power/CMakeFiles/fvsst_power.dir/sensor.cc.o.d"
+  "/root/repo/src/power/supply.cc" "src/power/CMakeFiles/fvsst_power.dir/supply.cc.o" "gcc" "src/power/CMakeFiles/fvsst_power.dir/supply.cc.o.d"
+  "/root/repo/src/power/thermal.cc" "src/power/CMakeFiles/fvsst_power.dir/thermal.cc.o" "gcc" "src/power/CMakeFiles/fvsst_power.dir/thermal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mach/CMakeFiles/fvsst_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_power.dir/budget.cc.o"
+  "CMakeFiles/fvsst_power.dir/budget.cc.o.d"
+  "CMakeFiles/fvsst_power.dir/margin_controller.cc.o"
+  "CMakeFiles/fvsst_power.dir/margin_controller.cc.o.d"
+  "CMakeFiles/fvsst_power.dir/power_model.cc.o"
+  "CMakeFiles/fvsst_power.dir/power_model.cc.o.d"
+  "CMakeFiles/fvsst_power.dir/sensor.cc.o"
+  "CMakeFiles/fvsst_power.dir/sensor.cc.o.d"
+  "CMakeFiles/fvsst_power.dir/supply.cc.o"
+  "CMakeFiles/fvsst_power.dir/supply.cc.o.d"
+  "CMakeFiles/fvsst_power.dir/thermal.cc.o"
+  "CMakeFiles/fvsst_power.dir/thermal.cc.o.d"
+  "libfvsst_power.a"
+  "libfvsst_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

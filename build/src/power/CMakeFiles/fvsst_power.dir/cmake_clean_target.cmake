@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfvsst_power.a"
+)

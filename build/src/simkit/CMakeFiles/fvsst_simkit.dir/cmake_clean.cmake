@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_simkit.dir/csv.cc.o"
+  "CMakeFiles/fvsst_simkit.dir/csv.cc.o.d"
+  "CMakeFiles/fvsst_simkit.dir/event_queue.cc.o"
+  "CMakeFiles/fvsst_simkit.dir/event_queue.cc.o.d"
+  "CMakeFiles/fvsst_simkit.dir/log.cc.o"
+  "CMakeFiles/fvsst_simkit.dir/log.cc.o.d"
+  "CMakeFiles/fvsst_simkit.dir/rng.cc.o"
+  "CMakeFiles/fvsst_simkit.dir/rng.cc.o.d"
+  "CMakeFiles/fvsst_simkit.dir/stats.cc.o"
+  "CMakeFiles/fvsst_simkit.dir/stats.cc.o.d"
+  "CMakeFiles/fvsst_simkit.dir/table.cc.o"
+  "CMakeFiles/fvsst_simkit.dir/table.cc.o.d"
+  "CMakeFiles/fvsst_simkit.dir/time_series.cc.o"
+  "CMakeFiles/fvsst_simkit.dir/time_series.cc.o.d"
+  "libfvsst_simkit.a"
+  "libfvsst_simkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

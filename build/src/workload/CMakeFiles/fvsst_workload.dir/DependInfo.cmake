@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profiles.cc" "src/workload/CMakeFiles/fvsst_workload.dir/app_profiles.cc.o" "gcc" "src/workload/CMakeFiles/fvsst_workload.dir/app_profiles.cc.o.d"
+  "/root/repo/src/workload/mixes.cc" "src/workload/CMakeFiles/fvsst_workload.dir/mixes.cc.o" "gcc" "src/workload/CMakeFiles/fvsst_workload.dir/mixes.cc.o.d"
+  "/root/repo/src/workload/phase.cc" "src/workload/CMakeFiles/fvsst_workload.dir/phase.cc.o" "gcc" "src/workload/CMakeFiles/fvsst_workload.dir/phase.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/fvsst_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/fvsst_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/fvsst_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/fvsst_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mach/CMakeFiles/fvsst_mach.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/fvsst_simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

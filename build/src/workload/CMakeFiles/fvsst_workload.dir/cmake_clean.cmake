@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_workload.dir/app_profiles.cc.o"
+  "CMakeFiles/fvsst_workload.dir/app_profiles.cc.o.d"
+  "CMakeFiles/fvsst_workload.dir/mixes.cc.o"
+  "CMakeFiles/fvsst_workload.dir/mixes.cc.o.d"
+  "CMakeFiles/fvsst_workload.dir/phase.cc.o"
+  "CMakeFiles/fvsst_workload.dir/phase.cc.o.d"
+  "CMakeFiles/fvsst_workload.dir/synthetic.cc.o"
+  "CMakeFiles/fvsst_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/fvsst_workload.dir/trace.cc.o"
+  "CMakeFiles/fvsst_workload.dir/trace.cc.o.d"
+  "libfvsst_workload.a"
+  "libfvsst_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_app_profiles.dir/test_app_profiles.cc.o"
+  "CMakeFiles/test_app_profiles.dir/test_app_profiles.cc.o.d"
+  "test_app_profiles"
+  "test_app_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_app_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

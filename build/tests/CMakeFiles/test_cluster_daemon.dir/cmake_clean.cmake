@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster_daemon.dir/test_cluster_daemon.cc.o"
+  "CMakeFiles/test_cluster_daemon.dir/test_cluster_daemon.cc.o.d"
+  "test_cluster_daemon"
+  "test_cluster_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_constrained_scheduler.dir/test_constrained_scheduler.cc.o"
+  "CMakeFiles/test_constrained_scheduler.dir/test_constrained_scheduler.cc.o.d"
+  "test_constrained_scheduler"
+  "test_constrained_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_constrained_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_counter_trace.dir/test_counter_trace.cc.o"
+  "CMakeFiles/test_counter_trace.dir/test_counter_trace.cc.o.d"
+  "test_counter_trace"
+  "test_counter_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_counter_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

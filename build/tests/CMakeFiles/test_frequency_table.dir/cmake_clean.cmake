@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_frequency_table.dir/test_frequency_table.cc.o"
+  "CMakeFiles/test_frequency_table.dir/test_frequency_table.cc.o.d"
+  "test_frequency_table"
+  "test_frequency_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_frequency_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

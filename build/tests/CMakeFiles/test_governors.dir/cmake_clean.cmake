@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_governors.dir/test_governors.cc.o"
+  "CMakeFiles/test_governors.dir/test_governors.cc.o.d"
+  "test_governors"
+  "test_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_halted_idle.dir/test_halted_idle.cc.o"
+  "CMakeFiles/test_halted_idle.dir/test_halted_idle.cc.o.d"
+  "test_halted_idle"
+  "test_halted_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_halted_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetero_cluster.dir/test_hetero_cluster.cc.o"
+  "CMakeFiles/test_hetero_cluster.dir/test_hetero_cluster.cc.o.d"
+  "test_hetero_cluster"
+  "test_hetero_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetero_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_scheduler.dir/test_host_scheduler.cc.o"
+  "CMakeFiles/test_host_scheduler.dir/test_host_scheduler.cc.o.d"
+  "test_host_scheduler"
+  "test_host_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

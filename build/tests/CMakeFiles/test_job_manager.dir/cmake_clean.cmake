@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_job_manager.dir/test_job_manager.cc.o"
+  "CMakeFiles/test_job_manager.dir/test_job_manager.cc.o.d"
+  "test_job_manager"
+  "test_job_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_job_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latency_probe.dir/test_latency_probe.cc.o"
+  "CMakeFiles/test_latency_probe.dir/test_latency_probe.cc.o.d"
+  "test_latency_probe"
+  "test_latency_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latency_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

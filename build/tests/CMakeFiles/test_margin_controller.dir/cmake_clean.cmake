@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_margin_controller.dir/test_margin_controller.cc.o"
+  "CMakeFiles/test_margin_controller.dir/test_margin_controller.cc.o.d"
+  "test_margin_controller"
+  "test_margin_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_margin_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proc_stat.dir/test_proc_stat.cc.o"
+  "CMakeFiles/test_proc_stat.dir/test_proc_stat.cc.o.d"
+  "test_proc_stat"
+  "test_proc_stat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proc_stat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scheduler_hetero.dir/test_scheduler_hetero.cc.o"
+  "CMakeFiles/test_scheduler_hetero.dir/test_scheduler_hetero.cc.o.d"
+  "test_scheduler_hetero"
+  "test_scheduler_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scheduler_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

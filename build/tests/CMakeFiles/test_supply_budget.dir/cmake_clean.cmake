@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_supply_budget.dir/test_supply_budget.cc.o"
+  "CMakeFiles/test_supply_budget.dir/test_supply_budget.cc.o.d"
+  "test_supply_budget"
+  "test_supply_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_supply_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fvsst_sim.dir/fvsst_sim.cpp.o"
+  "CMakeFiles/fvsst_sim.dir/fvsst_sim.cpp.o.d"
+  "fvsst_sim"
+  "fvsst_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fvsst_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
