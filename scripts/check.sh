@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# check.sh - the full local gate: configure with warnings-as-errors,
+# build everything, run the whole test suite.  CI runs exactly this.
+#
+# Usage: scripts/check.sh [build-dir]   (default: build-check)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-${repo_root}/build-check}"
+
+generator=()
+if command -v ninja >/dev/null 2>&1; then
+  generator=(-G Ninja)
+fi
+
+cmake -S "${repo_root}" -B "${build_dir}" "${generator[@]}" -DFVSST_WERROR=ON
+cmake --build "${build_dir}" -j "$(nproc)"
+ctest --test-dir "${build_dir}" --output-on-failure

@@ -1,6 +1,8 @@
 #include "baselines/governor_daemon.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 namespace fvsst::baselines {
 
@@ -14,33 +16,32 @@ std::string governor_name(GovernorPolicy policy) {
   return "?";
 }
 
-GovernorDaemon::GovernorDaemon(sim::Simulation& sim,
-                               cluster::Cluster& cluster,
-                               const mach::FrequencyTable& table,
-                               Config config)
-    : sim_(sim),
-      cluster_(cluster),
-      table_(table),
-      config_(config),
-      procs_(cluster.all_procs()) {
-  last_.resize(procs_.size());
-  util_.assign(procs_.size(), 1.0);
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    last_[i] = cluster_.core(procs_[i]).read_counters();
-    traces_.emplace_back("gov_hz_cpu" + std::to_string(i));
-    proc_tables_.push_back(
-        &cluster_.node(procs_[i].node).machine().freq_table);
+void UtilizationEstimator::update(
+    const std::vector<core::IntervalSample>& samples,
+    std::vector<core::ProcView>& views) {
+  for (std::size_t i = 0; i < samples.size() && i < views.size(); ++i) {
+    const core::IntervalSample& s = samples[i];
+    core::ProcView& v = views[i];
+    // Non-halted fraction: the "simple metric" of LongRun/DBS.  Hot idle
+    // produces zero halted cycles, so this reads 1.0 — deliberately.
+    if (s.valid) {
+      v.utilization =
+          1.0 - std::clamp(s.delta.halted_cycles / s.delta.cycles, 0.0, 1.0);
+    }
+    v.current_hz = s.current_hz;
   }
-  event_ = sim_.schedule_every(config_.period_s, [this] { tick(); });
 }
 
-GovernorDaemon::~GovernorDaemon() {
-  sim_.cancel(event_);
-}
+GovernorPolicyStage::GovernorPolicyStage(GovernorPolicy policy,
+                                         double up_threshold,
+                                         double down_threshold)
+    : policy_(policy),
+      up_threshold_(up_threshold),
+      down_threshold_(down_threshold) {}
 
-double GovernorDaemon::decide_hz(const mach::FrequencyTable& table,
-                                 double util, double current_hz) const {
-  switch (config_.policy) {
+double GovernorPolicyStage::decide_hz(const mach::FrequencyTable& table,
+                                      double util, double current_hz) const {
+  switch (policy_) {
     case GovernorPolicy::kPerformance:
       return table.max_hz();
     case GovernorPolicy::kPowersave:
@@ -48,16 +49,16 @@ double GovernorDaemon::decide_hz(const mach::FrequencyTable& table,
     case GovernorPolicy::kOndemand: {
       // Classic ondemand: saturate to f_max above the threshold, else run
       // proportional to load (snapped up to an available setting).
-      if (util >= config_.up_threshold) return table.max_hz();
-      const double target = table.max_hz() * util / config_.up_threshold;
+      if (util >= up_threshold_) return table.max_hz();
+      const double target = table.max_hz() * util / up_threshold_;
       return table.ceil_point(std::max(target, table.min_hz())).hz;
     }
     case GovernorPolicy::kConservative: {
-      if (util >= config_.up_threshold) {
+      if (util >= up_threshold_) {
         const auto higher = table.next_higher(current_hz);
         return higher ? higher->hz : current_hz;
       }
-      if (util <= config_.down_threshold) {
+      if (util <= down_threshold_) {
         const auto lower = table.next_lower(current_hz);
         return lower ? lower->hz : current_hz;
       }
@@ -67,24 +68,73 @@ double GovernorDaemon::decide_hz(const mach::FrequencyTable& table,
   return current_hz;
 }
 
-void GovernorDaemon::tick() {
-  ++evaluations_;
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    auto& core = cluster_.core(procs_[i]);
-    const cpu::PerfCounters now = core.read_counters();
-    const cpu::PerfCounters delta = now - last_[i];
-    last_[i] = now;
-    // Non-halted fraction: the "simple metric" of LongRun/DBS.  Hot idle
-    // produces zero halted cycles, so this reads 1.0 — deliberately.
-    const double util =
-        delta.cycles > 0.0
-            ? 1.0 - std::clamp(delta.halted_cycles / delta.cycles, 0.0, 1.0)
-            : util_[i];
-    util_[i] = util;
-    const double hz = decide_hz(*proc_tables_[i], util, core.frequency_hz());
-    if (hz != core.frequency_hz()) core.set_frequency(hz);
-    if (config_.record_traces) traces_[i].add(sim_.now(), hz);
+core::ScheduleResult GovernorPolicyStage::decide(
+    const std::vector<core::ProcView>& views,
+    const std::vector<const mach::FrequencyTable*>& tables,
+    double power_budget_w) {
+  (void)power_budget_w;  // Budget-blind — the paper's core critique.
+  core::ScheduleResult result;
+  result.decisions.resize(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    const mach::FrequencyTable& table = *tables[i];
+    const double hz = decide_hz(table, views[i].utilization,
+                                views[i].current_hz);
+    auto& d = result.decisions[i];
+    d.desired_hz = hz;
+    d.hz = hz;
+    const auto point = table.ceil_point(hz);
+    d.volts = point.volts;
+    d.watts = point.watts;
+    result.total_cpu_power_w += d.watts;
   }
+  return result;
+}
+
+GovernorDaemon::GovernorDaemon(sim::Simulation& sim,
+                               cluster::Cluster& cluster,
+                               const mach::FrequencyTable& table,
+                               Config config)
+    : sim_(sim),
+      cluster_(cluster),
+      config_(config),
+      procs_(cluster.all_procs()) {
+  (void)table;  // Kept for interface symmetry; per-node tables are used.
+  for (const auto& addr : procs_) {
+    proc_tables_.push_back(&cluster_.node(addr.node).machine().freq_table);
+  }
+
+  core::ControlLoopConfig loop_config;
+  loop_config.schedule_every_n_samples = 1;  // Every tick is an evaluation.
+  loop_config.record_traces = config_.record_traces;
+  loop_config.metric_prefix = "gov_cpu";
+  loop_config.naming.granted = "gov_hz_cpu";
+  loop_config.naming.desired = "gov_desired_hz_cpu";
+  loop_config.naming.predicted_ipc = "gov_predicted_ipc_cpu";
+  loop_config.naming.measured_ipc = "gov_measured_ipc_cpu";
+  loop_config.naming.deviation = "gov_ipc_deviation_cpu";
+  loop_config.naming.append_cpu_index = true;
+  loop_ = std::make_unique<core::ControlLoop>(
+      std::move(loop_config),
+      std::make_unique<core::SimCoreSampler>(
+          cluster_, procs_, core::SimCoreSampler::ResetPolicy::kOnElapsed,
+          sim_.now()),
+      std::make_unique<UtilizationEstimator>(),
+      std::make_unique<GovernorPolicyStage>(
+          config_.policy, config_.up_threshold, config_.down_threshold),
+      std::make_unique<core::SimCoreActuator>(cluster_, procs_,
+                                              /*skip_unchanged=*/true),
+      proc_tables_, &telemetry_);
+
+  event_ = sim_.schedule_every(config_.period_s, [this] { tick(); });
+}
+
+GovernorDaemon::~GovernorDaemon() {
+  sim_.cancel(event_);
+}
+
+void GovernorDaemon::tick() {
+  loop_->run_cycle(sim_.now(), std::numeric_limits<double>::infinity(),
+                   core::CycleTrigger::kTimer);
 }
 
 }  // namespace fvsst::baselines

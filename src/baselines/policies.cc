@@ -180,6 +180,38 @@ Evaluation evaluate(const std::vector<Assignment>& assignments,
   return ev;
 }
 
+core::ScheduleResult PolicyStageAdapter::decide(
+    const std::vector<core::ProcView>& views,
+    const std::vector<const mach::FrequencyTable*>& tables,
+    double power_budget_w) {
+  std::vector<ProcSample> samples(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    samples[i].estimate = views[i].estimate;
+    samples[i].idle = views[i].idle;
+    samples[i].naive_utilization = views[i].utilization;
+  }
+  const mach::FrequencyTable& table = *tables.front();
+  const std::vector<Assignment> assignments =
+      policy_->decide(samples, table, power_budget_w);
+
+  core::ScheduleResult result;
+  result.decisions.resize(assignments.size());
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    const Assignment& a = assignments[i];
+    auto& d = result.decisions[i];
+    d.desired_hz = a.hz;
+    d.hz = a.hz;
+    if (a.powered_on) {
+      const auto& point = table.ceil_point(a.hz);
+      d.volts = point.volts;
+      d.watts = point.watts;
+    }
+    result.total_cpu_power_w += d.watts;
+  }
+  result.feasible = result.total_cpu_power_w <= power_budget_w + 1e-9;
+  return result;
+}
+
 std::vector<std::unique_ptr<Policy>> standard_policies() {
   std::vector<std::unique_ptr<Policy>> out;
   out.push_back(std::make_unique<MaxFrequencyPolicy>());

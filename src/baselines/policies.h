@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/control_loop.h"
 #include "core/predictor.h"
 #include "core/scheduler.h"
 #include "mach/frequency_table.h"
@@ -132,6 +133,29 @@ class FvsstPolicy final : public Policy {
 
  private:
   core::FrequencyScheduler::Options options_;
+};
+
+/// Runs any comparator Policy as a core::ControlLoop policy stage, so the
+/// alternatives can be driven by the same live engine as fvsst itself.
+/// ProcViews map onto ProcSamples (estimate, idle, utilisation) and
+/// assignments map back onto ScheduleDecisions; a powered-off processor
+/// keeps its assigned frequency but contributes 0 W.  The wrapped Policy
+/// takes a single table, so the cluster must be homogeneous (the stage
+/// uses the first per-processor table).
+class PolicyStageAdapter final : public core::PolicyStage {
+ public:
+  explicit PolicyStageAdapter(std::unique_ptr<Policy> policy)
+      : policy_(std::move(policy)) {}
+
+  core::ScheduleResult decide(
+      const std::vector<core::ProcView>& views,
+      const std::vector<const mach::FrequencyTable*>& tables,
+      double power_budget_w) override;
+
+  const Policy& policy() const { return *policy_; }
+
+ private:
+  std::unique_ptr<Policy> policy_;
 };
 
 /// Builds an oracle estimate straight from a phase's ground truth, so

@@ -1,8 +1,57 @@
 #include "core/cluster_daemon.h"
 
+#include <utility>
+
 #include "simkit/log.h"
 
 namespace fvsst::core {
+
+// The global scheduler has no counters of its own: its knowledge arrives as
+// summary messages.  The sampler therefore reports every interval as
+// invalid (there is nothing to score locally) and the estimator copies the
+// freshest delivered views out of the mailbox.
+class ClusterDaemon::SummarySampler final : public Sampler {
+ public:
+  explicit SummarySampler(std::size_t cpus) : cpus_(cpus) {}
+
+  std::size_t cpu_count() const override { return cpus_; }
+  std::vector<IntervalSample> end_interval(double now) override {
+    (void)now;
+    return std::vector<IntervalSample>(cpus_);
+  }
+
+ private:
+  std::size_t cpus_;
+};
+
+class ClusterDaemon::MailboxEstimator final : public Estimator {
+ public:
+  explicit MailboxEstimator(const std::vector<ProcView>* mailbox)
+      : mailbox_(mailbox) {}
+
+  void update(const std::vector<IntervalSample>& samples,
+              std::vector<ProcView>& views) override {
+    (void)samples;
+    views = *mailbox_;
+  }
+
+ private:
+  const std::vector<ProcView>* mailbox_;
+};
+
+class ClusterDaemon::SettingsActuator final : public Actuator {
+ public:
+  explicit SettingsActuator(ClusterDaemon& daemon) : daemon_(daemon) {}
+
+  void apply(const ScheduleResult& result, double now,
+             CycleTrigger trigger) override {
+    (void)now;
+    daemon_.fan_out(result, trigger == CycleTrigger::kBudget);
+  }
+
+ private:
+  ClusterDaemon& daemon_;
+};
 
 ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
                              const mach::FrequencyTable& table,
@@ -12,8 +61,6 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       cluster_(cluster),
       budget_(budget),
       config_(config),
-      scheduler_(table, cluster.node(0).machine().latencies,
-                 config.scheduler),
       up_channel_(sim, config.channel_latency_s, config.channel_jitter_s,
                   sim::Rng(0xc1a0)),
       down_channel_(sim, config.channel_latency_s, config.channel_jitter_s,
@@ -25,23 +72,41 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       proc_tables_.push_back(&cluster_.node(n).machine().freq_table);
     }
   }
-  agents_.resize(cluster_.node_count());
+  mailbox_.resize(proc_tables_.size());
+
+  IpcEstimator::Options est_opts;
+  est_opts.idle_signal = config_.idle_signal;
+  est_opts.halted_idle_threshold = config_.halted_idle_threshold;
+  std::size_t flat = 0;
   for (std::size_t n = 0; n < cluster_.node_count(); ++n) {
-    auto& agent = agents_[n];
-    const std::size_t cpus = cluster_.node(n).cpu_count();
-    agent.last_snapshot.resize(cpus);
-    agent.aggregate.resize(cpus);
-    agent.estimates.resize(cpus);
-    agent.idle.assign(cpus, false);
-    agent.aggregate_started_at = sim_.now();
-    for (std::size_t c = 0; c < cpus; ++c) {
-      agent.last_snapshot[c] = cluster_.node(n).core(c).read_counters();
+    std::vector<cluster::ProcAddress> procs;
+    for (std::size_t c = 0; c < cluster_.node(n).cpu_count(); ++c) {
+      procs.push_back({n, c});
     }
-    agent.tick_event = sim_.schedule_every(config_.t_sample_s,
-                                           [this, n] { node_tick(n); });
+    auto agent = std::make_unique<NodeAgent>(
+        cluster_, std::move(procs), cluster_.node(0).machine().latencies,
+        est_opts, sim_.now());
+    agent->first_cpu = flat;
+    flat += agent->sampler.cpu_count();
+    agent->tick_event =
+        sim_.schedule_every(config_.t_sample_s, [this, n] { node_tick(n); });
+    agents_.push_back(std::move(agent));
   }
-  budget_.on_change(
-      [this](double) { global_schedule(/*budget_triggered=*/true); });
+
+  ControlLoopConfig loop_config;
+  loop_config.schedule_every_n_samples = config_.schedule_every_n_samples;
+  loop_config.record_traces = false;  // Nothing to score at the global side.
+  loop_ = std::make_unique<ControlLoop>(
+      std::move(loop_config),
+      std::make_unique<SummarySampler>(proc_tables_.size()),
+      std::make_unique<MailboxEstimator>(&mailbox_),
+      std::make_unique<SchedulerPolicyStage>(
+          table, cluster_.node(0).machine().latencies, config_.scheduler),
+      std::make_unique<SettingsActuator>(*this), proc_tables_, &telemetry_);
+  power_trace_ =
+      &telemetry_.series("cluster/scheduled_power_w", "scheduled_cpu_power_w");
+
+  budget_.on_change([this](double) { global_cycle(CycleTrigger::kBudget); });
   up_channel_.set_loss_probability(config.channel_loss_probability);
   down_channel_.set_loss_probability(config.channel_loss_probability);
   // The global scheduler runs on its own timer (the paper's periodic
@@ -51,21 +116,17 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       config_.t_sample_s * config_.schedule_every_n_samples;
   global_event_ = sim_.schedule_every_from(
       period + 2.0 * config_.channel_latency_s + config_.channel_jitter_s,
-      period, [this] { global_schedule(/*budget_triggered=*/false); });
+      period, [this] { global_cycle(CycleTrigger::kTimer); });
 }
 
 ClusterDaemon::~ClusterDaemon() {
-  for (auto& agent : agents_) sim_.cancel(agent.tick_event);
+  for (auto& agent : agents_) sim_.cancel(agent->tick_event);
   sim_.cancel(global_event_);
 }
 
 void ClusterDaemon::node_tick(std::size_t node) {
-  auto& agent = agents_[node];
-  for (std::size_t c = 0; c < cluster_.node(node).cpu_count(); ++c) {
-    const cpu::PerfCounters now = cluster_.node(node).core(c).read_counters();
-    agent.aggregate[c] += now - agent.last_snapshot[c];
-    agent.last_snapshot[c] = now;
-  }
+  auto& agent = *agents_[node];
+  agent.sampler.collect();
   if (++agent.samples >= config_.schedule_every_n_samples) {
     agent.samples = 0;
     node_send_summary(node);
@@ -73,60 +134,27 @@ void ClusterDaemon::node_tick(std::size_t node) {
 }
 
 void ClusterDaemon::node_send_summary(std::size_t node) {
-  auto& agent = agents_[node];
-  const double elapsed = sim_.now() - agent.aggregate_started_at;
-  if (elapsed <= 0.0) return;
+  auto& agent = *agents_[node];
+  std::vector<IntervalSample> samples = agent.sampler.end_interval(sim_.now());
+  if (samples.empty() || samples.front().elapsed_s <= 0.0) return;
 
-  // Distil this interval into estimates and idle flags; ship only the
-  // summary across the network, as a real agent would.
-  std::vector<WorkloadEstimate> estimates(agent.aggregate.size());
-  std::vector<bool> idle(agent.aggregate.size());
-  for (std::size_t c = 0; c < agent.aggregate.size(); ++c) {
-    CounterObservation obs;
-    obs.delta = agent.aggregate[c];
-    obs.measured_hz = elapsed > 0.0 ? agent.aggregate[c].cycles / elapsed : 0;
-    estimates[c] = scheduler_.predictor().estimate(obs);
-    switch (config_.idle_signal) {
-      case IdleSignal::kOsSignal:
-        idle[c] = cluster_.node(node).core(c).idle();
-        break;
-      case IdleSignal::kHaltedCounter:
-        idle[c] = obs.delta.cycles > 0.0 &&
-                  obs.delta.halted_cycles / obs.delta.cycles >
-                      config_.halted_idle_threshold;
-        break;
-      case IdleSignal::kNone:
-        idle[c] = false;
-        break;
-    }
-    agent.aggregate[c] = cpu::PerfCounters{};
-  }
-  agent.aggregate_started_at = sim_.now();
-
-  up_channel_.send([this, node, estimates = std::move(estimates),
-                    idle = std::move(idle)]() mutable {
-    auto& remote = agents_[node];
-    for (std::size_t c = 0; c < estimates.size(); ++c) {
-      if (estimates[c].valid) remote.estimates[c] = estimates[c];
-      remote.idle[c] = idle[c];
+  // Distil this interval into per-CPU views and ship only the summary
+  // across the network, as a real agent would.
+  agent.estimator.update(samples, agent.views);
+  up_channel_.send([this, node, summary = agent.views]() {
+    const auto& agent_at_arrival = *agents_[node];
+    for (std::size_t c = 0; c < summary.size(); ++c) {
+      mailbox_[agent_at_arrival.first_cpu + c] = summary[c];
     }
   });
 }
 
-void ClusterDaemon::global_schedule(bool budget_triggered) {
-  std::vector<ProcView> views;
-  views.reserve(cluster_.cpu_count());
-  for (const auto& agent : agents_) {
-    for (std::size_t c = 0; c < agent.estimates.size(); ++c) {
-      ProcView v;
-      v.estimate = agent.estimates[c];
-      v.idle = agent.idle[c];
-      views.push_back(v);
-    }
-  }
-  last_result_ =
-      scheduler_.schedule(views, proc_tables_, budget_.effective_limit_w());
-  ++rounds_;
+void ClusterDaemon::global_cycle(CycleTrigger trigger) {
+  loop_->run_cycle(sim_.now(), budget_.effective_limit_w(), trigger);
+}
+
+void ClusterDaemon::fan_out(const ScheduleResult& result,
+                            bool budget_triggered) {
   if (budget_triggered) {
     last_trigger_time_ = sim_.now();
     last_applied_time_ = -1.0;
@@ -138,7 +166,7 @@ void ClusterDaemon::global_schedule(bool budget_triggered) {
   for (std::size_t n = 0; n < agents_.size(); ++n) {
     std::vector<double> freqs(cluster_.node(n).cpu_count());
     for (std::size_t c = 0; c < freqs.size(); ++c) {
-      freqs[c] = last_result_.decisions[flat++].hz;
+      freqs[c] = result.decisions[flat++].hz;
     }
     down_channel_.send([this, n, freqs = std::move(freqs),
                         budget_triggered]() mutable {
@@ -160,7 +188,7 @@ void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
           << (last_applied_time_ - last_trigger_time_) * 1e3 << " ms";
     }
   }
-  power_trace_.add(sim_.now(), cluster_.cpu_power_w());
+  power_trace_->add(sim_.now(), cluster_.cpu_power_w());
 }
 
 }  // namespace fvsst::core

@@ -10,6 +10,12 @@
 //   node agent  --(summary, latency)-->  global scheduler
 //   node agent  <--(freq vector, latency)--  global scheduler
 //
+// Both halves are built from the shared control-loop stages: every node
+// agent is a SimCoreSampler + IpcEstimator pair whose views are shipped as
+// the summary message, and the global side is a ControlLoop whose Sampler
+// is the summary mailbox and whose Actuator fans settings back out over the
+// down channel.
+//
 // The global scheduler runs on the paper's two triggers: the periodic timer
 // and a power-budget change.  Because summaries and settings both cross the
 // network, there is a measurable delay between a supply failure and cluster
@@ -18,13 +24,15 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "cluster/channel.h"
 #include "cluster/cluster.h"
-#include "core/daemon.h"
+#include "core/control_loop.h"
 #include "core/scheduler.h"
 #include "power/budget.h"
+#include "simkit/telemetry.h"
 #include "simkit/time_series.h"
 
 namespace fvsst::core {
@@ -62,10 +70,10 @@ class ClusterDaemon {
   ClusterDaemon& operator=(const ClusterDaemon&) = delete;
 
   /// Global scheduling rounds completed.
-  std::size_t rounds() const { return rounds_; }
+  std::size_t rounds() const { return loop_->cycles_run(); }
 
   /// Result of the latest global round.
-  const ScheduleResult& last_result() const { return last_result_; }
+  const ScheduleResult& last_result() const { return loop_->last_result(); }
 
   /// Simulated time of the most recent budget-triggered round (< 0: none).
   double last_budget_trigger_time() const { return last_trigger_time_; }
@@ -77,22 +85,52 @@ class ClusterDaemon {
 
   /// Trace of aggregate cluster CPU power as the scheduler believes it
   /// (updated when settings are applied).
-  const sim::TimeSeries& scheduled_power_trace() const { return power_trace_; }
+  const sim::TimeSeries& scheduled_power_trace() const { return *power_trace_; }
+
+  /// Summary messages lost on the up (agents -> global) channel so far.
+  std::size_t summaries_dropped() const { return up_channel_.dropped(); }
+
+  /// Settings messages lost on the down (global -> agents) channel so far.
+  /// Each loss leaves one node on stale settings until the next round.
+  std::size_t settings_dropped() const { return down_channel_.dropped(); }
+
+  /// The global scheduler's engine (stage timings, latest mailbox views).
+  const ControlLoop& loop() const { return *loop_; }
+
+  sim::MetricRegistry& telemetry() { return telemetry_; }
+  const sim::MetricRegistry& telemetry() const { return telemetry_; }
 
  private:
+  /// One per node: the local half of the distributed daemon, built from the
+  /// same stages the SMP daemon uses.
   struct NodeAgent {
-    std::vector<cpu::PerfCounters> last_snapshot;
-    std::vector<cpu::PerfCounters> aggregate;
-    double aggregate_started_at = 0.0;
-    std::vector<WorkloadEstimate> estimates;  ///< Latest at the *global* side.
-    std::vector<bool> idle;
+    NodeAgent(cluster::Cluster& cluster,
+              std::vector<cluster::ProcAddress> procs,
+              const mach::MemoryLatencies& latencies,
+              IpcEstimator::Options options, double start_time)
+        : sampler(cluster, std::move(procs),
+                  SimCoreSampler::ResetPolicy::kOnElapsed, start_time),
+          estimator(latencies, options) {
+      views.resize(sampler.cpu_count());
+    }
+
+    SimCoreSampler sampler;
+    IpcEstimator estimator;
+    /// Latest local views; shipped wholesale as the summary message.
+    std::vector<ProcView> views;
+    std::size_t first_cpu = 0;  ///< Flattened index of this node's cpu 0.
     sim::EventId tick_event = 0;
     int samples = 0;
   };
 
+  class SummarySampler;
+  class MailboxEstimator;
+  class SettingsActuator;
+
   void node_tick(std::size_t node);
   void node_send_summary(std::size_t node);
-  void global_schedule(bool budget_triggered);
+  void global_cycle(CycleTrigger trigger);
+  void fan_out(const ScheduleResult& result, bool budget_triggered);
   void apply_on_node(std::size_t node, std::vector<double> freqs,
                      bool budget_triggered);
 
@@ -100,19 +138,21 @@ class ClusterDaemon {
   cluster::Cluster& cluster_;
   power::PowerBudget& budget_;
   ClusterDaemonConfig config_;
-  FrequencyScheduler scheduler_;
   cluster::Channel up_channel_;    ///< Agents -> global.
   cluster::Channel down_channel_;  ///< Global -> agents.
-  std::vector<NodeAgent> agents_;
+  std::vector<std::unique_ptr<NodeAgent>> agents_;
+  /// Freshest delivered summary per flattened processor (the global
+  /// scheduler's knowledge of the cluster).
+  std::vector<ProcView> mailbox_;
   /// Per flattened processor: its node's operating-point table.
   std::vector<const mach::FrequencyTable*> proc_tables_;
+  sim::MetricRegistry telemetry_;
+  std::unique_ptr<ControlLoop> loop_;
   sim::EventId global_event_ = 0;  ///< The global scheduler's own timer.
-  std::size_t rounds_ = 0;
-  ScheduleResult last_result_;
   double last_trigger_time_ = -1.0;
   double last_applied_time_ = -1.0;
   std::size_t pending_trigger_applies_ = 0;
-  sim::TimeSeries power_trace_{"scheduled_cpu_power_w"};
+  sim::TimeSeries* power_trace_ = nullptr;  ///< Registry-owned.
 };
 
 }  // namespace fvsst::core

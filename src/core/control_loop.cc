@@ -1,0 +1,327 @@
+#include "core/control_loop.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+namespace fvsst::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+ControlLoop::ControlLoop(ControlLoopConfig config,
+                         std::unique_ptr<Sampler> sampler,
+                         std::unique_ptr<Estimator> estimator,
+                         std::unique_ptr<PolicyStage> policy,
+                         std::unique_ptr<Actuator> actuator,
+                         std::vector<const mach::FrequencyTable*> tables,
+                         sim::MetricRegistry* telemetry)
+    : config_(std::move(config)),
+      sampler_(std::move(sampler)),
+      estimator_(std::move(estimator)),
+      policy_(std::move(policy)),
+      actuator_(std::move(actuator)),
+      tables_(std::move(tables)),
+      telemetry_(telemetry) {
+  const std::size_t cpus = sampler_->cpu_count();
+  if (tables_.size() != cpus) {
+    throw std::invalid_argument(
+        "ControlLoop: tables must parallel the sampler's CPUs");
+  }
+  views_.resize(cpus);
+  states_.resize(cpus);
+  if (telemetry_ && config_.record_traces) {
+    const auto& nm = config_.naming;
+    for (std::size_t i = 0; i < cpus; ++i) {
+      const std::string prefix = config_.metric_prefix + std::to_string(i) + "/";
+      const std::string suffix =
+          nm.append_cpu_index ? std::to_string(i) : std::string();
+      auto& st = states_[i];
+      st.granted = &telemetry_->series(prefix + "granted_hz", nm.granted + suffix);
+      st.desired = &telemetry_->series(prefix + "desired_hz", nm.desired + suffix);
+      st.pred_ipc =
+          &telemetry_->series(prefix + "predicted_ipc", nm.predicted_ipc + suffix);
+      st.meas_ipc =
+          &telemetry_->series(prefix + "measured_ipc", nm.measured_ipc + suffix);
+      st.dev = &telemetry_->series(prefix + "ipc_deviation", nm.deviation + suffix);
+    }
+  }
+}
+
+void ControlLoop::prime(double now, const std::vector<double>& hz,
+                        const std::vector<double>& watts) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    auto& st = states_[i];
+    if (i < watts.size()) st.power_acc.record(now, watts[i]);
+    if (i < hz.size()) {
+      if (st.granted) st.granted->add(now, hz[i]);
+      if (st.desired) st.desired->add(now, hz[i]);
+    }
+  }
+}
+
+bool ControlLoop::collect(double now) {
+  (void)now;
+  const auto t0 = Clock::now();
+  sampler_->collect();
+  ++timings_.sample.invocations;
+  timings_.sample.total_s += seconds_since(t0);
+  return ++samples_since_cycle_ >= config_.schedule_every_n_samples;
+}
+
+const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
+                                             CycleTrigger trigger) {
+  // --- Sample + Estimate: close the interval, score the previous cycle's
+  // predictions against what was measured, refresh the workload views.
+  auto t0 = Clock::now();
+  const std::vector<IntervalSample> samples = sampler_->end_interval(now);
+  for (std::size_t i = 0; i < states_.size() && i < samples.size(); ++i) {
+    const IntervalSample& s = samples[i];
+    if (!s.valid) continue;
+    auto& st = states_[i];
+    if (!st.has_prediction) continue;
+    const double measured_ipc = s.delta.ipc();
+    const double deviation = std::abs(st.predicted_ipc - measured_ipc);
+    if (st.meas_ipc) st.meas_ipc->add(now, measured_ipc);
+    if (st.dev) st.dev->add(now, deviation);
+    st.deviation.add(deviation);
+  }
+  estimator_->update(samples, views_);
+  ++timings_.estimate.invocations;
+  timings_.estimate.total_s += seconds_since(t0);
+
+  // The facade's modelled scheduling cost (dead cycles) is charged here,
+  // outside the stage timers, so measured and modelled overhead stay
+  // separable.
+  if (config_.pre_policy) config_.pre_policy(trigger);
+
+  // --- Policy.
+  t0 = Clock::now();
+  last_result_ = policy_->decide(views_, tables_, power_budget_w);
+  ++cycles_run_;
+  samples_since_cycle_ = 0;
+  ++timings_.policy.invocations;
+  timings_.policy.total_s += seconds_since(t0);
+
+  // --- Actuate, then account for what was granted: record the promise the
+  // policy's model makes for the next interval, and the operating point's
+  // power/frequency traces.
+  t0 = Clock::now();
+  actuator_->apply(last_result_, now, trigger);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const ScheduleDecision& d = last_result_.decisions[i];
+    auto& st = states_[i];
+    const double predicted =
+        views_[i].estimate.valid ? policy_->predict_ipc(views_[i], d.hz) : -1.0;
+    if (predicted >= 0.0) {
+      st.predicted_ipc = predicted;
+      st.has_prediction = true;
+      if (st.pred_ipc) st.pred_ipc->add(now, predicted);
+    } else {
+      st.has_prediction = false;
+    }
+    st.power_acc.record(now, d.watts);
+    if (st.granted) st.granted->add(now, d.hz);
+    if (st.desired) st.desired->add(now, d.desired_hz);
+  }
+  ++timings_.actuate.invocations;
+  timings_.actuate.total_s += seconds_since(t0);
+  publish_timings();
+  return last_result_;
+}
+
+void ControlLoop::publish_timings() {
+  if (!telemetry_) return;
+  auto put = [this](const char* name, double value) {
+    telemetry_->counter(std::string("loop/") + name) = value;
+  };
+  put("cycles", static_cast<double>(cycles_run_));
+  put("sample_count", static_cast<double>(timings_.sample.invocations));
+  put("sample_s", timings_.sample.total_s);
+  put("estimate_count", static_cast<double>(timings_.estimate.invocations));
+  put("estimate_s", timings_.estimate.total_s);
+  put("policy_count", static_cast<double>(timings_.policy.invocations));
+  put("policy_s", timings_.policy.total_s);
+  put("actuate_count", static_cast<double>(timings_.actuate.invocations));
+  put("actuate_s", timings_.actuate.total_s);
+}
+
+const sim::RunningStat& ControlLoop::deviation_stat(std::size_t cpu) const {
+  return states_.at(cpu).deviation;
+}
+
+double ControlLoop::cpu_energy_j(std::size_t cpu, double now) const {
+  return states_.at(cpu).power_acc.integral_until(now);
+}
+
+double ControlLoop::cpu_mean_power_w(std::size_t cpu, double now) const {
+  return states_.at(cpu).power_acc.mean_until(now);
+}
+
+const sim::TimeSeries& ControlLoop::trace(std::size_t cpu, Trace which) const {
+  static const sim::TimeSeries kEmpty{};
+  const CpuState& st = states_.at(cpu);
+  const sim::TimeSeries* s = nullptr;
+  switch (which) {
+    case Trace::kGranted: s = st.granted; break;
+    case Trace::kDesired: s = st.desired; break;
+    case Trace::kPredictedIpc: s = st.pred_ipc; break;
+    case Trace::kMeasuredIpc: s = st.meas_ipc; break;
+    case Trace::kDeviation: s = st.dev; break;
+  }
+  return s ? *s : kEmpty;
+}
+
+// ---------------------------------------------------------------------------
+// SimCoreSampler
+// ---------------------------------------------------------------------------
+
+SimCoreSampler::SimCoreSampler(cluster::Cluster& cluster,
+                               std::vector<cluster::ProcAddress> procs,
+                               ResetPolicy reset, double start_time)
+    : cluster_(cluster), procs_(std::move(procs)), reset_(reset) {
+  last_snapshot_.resize(procs_.size());
+  aggregate_.resize(procs_.size());
+  aggregate_started_at_.assign(procs_.size(), start_time);
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    last_snapshot_[i] = cluster_.core(procs_[i]).read_counters();
+  }
+}
+
+void SimCoreSampler::collect() {
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const cpu::PerfCounters now = cluster_.core(procs_[i]).read_counters();
+    aggregate_[i] += now - last_snapshot_[i];
+    last_snapshot_[i] = now;
+  }
+}
+
+std::vector<IntervalSample> SimCoreSampler::end_interval(double now) {
+  collect();  // fold anything gathered since the last tick
+  std::vector<IntervalSample> out(procs_.size());
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    IntervalSample& s = out[i];
+    auto& core = cluster_.core(procs_[i]);
+    const double elapsed = now - aggregate_started_at_[i];
+    s.delta = aggregate_[i];
+    s.elapsed_s = elapsed;
+    s.os_idle = core.idle();
+    s.current_hz = core.frequency_hz();
+    s.valid = elapsed > 0.0 && s.delta.cycles > 0.0;
+    if (s.valid) s.measured_hz = s.delta.cycles / elapsed;
+    const bool reset =
+        reset_ == ResetPolicy::kOnElapsed ? elapsed > 0.0 : s.valid;
+    if (reset) {
+      aggregate_[i] = cpu::PerfCounters{};
+      aggregate_started_at_[i] = now;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// IpcEstimator
+// ---------------------------------------------------------------------------
+
+IpcEstimator::IpcEstimator(const mach::MemoryLatencies& latencies,
+                           Options options)
+    : predictor_(latencies), options_(options) {}
+
+void IpcEstimator::update(const std::vector<IntervalSample>& samples,
+                          std::vector<ProcView>& views) {
+  if (halted_fraction_.size() < samples.size()) {
+    halted_fraction_.resize(samples.size(), 0.0);
+  }
+  for (std::size_t i = 0; i < samples.size() && i < views.size(); ++i) {
+    const IntervalSample& s = samples[i];
+    ProcView& v = views[i];
+    if (s.valid) {
+      halted_fraction_[i] = s.delta.halted_cycles / s.delta.cycles;
+      CounterObservation obs;
+      obs.delta = s.delta;
+      obs.measured_hz = s.measured_hz;
+      const WorkloadEstimate est = predictor_.estimate(obs);
+      if (est.valid) {
+        const double sm = options_.smoothing;
+        if (sm > 0.0 && v.estimate.valid) {
+          v.estimate.alpha_inv =
+              sm * v.estimate.alpha_inv + (1.0 - sm) * est.alpha_inv;
+          v.estimate.mem_time_per_instr =
+              sm * v.estimate.mem_time_per_instr +
+              (1.0 - sm) * est.mem_time_per_instr;
+        } else {
+          v.estimate = est;
+        }
+      } else if (options_.reset_on_invalid) {
+        v.estimate = est;
+      }
+    } else if (options_.reset_on_invalid) {
+      v.estimate = WorkloadEstimate{};
+    }
+    switch (options_.idle_signal) {
+      case IdleSignal::kOsSignal:
+        v.idle = s.os_idle;
+        break;
+      case IdleSignal::kHaltedCounter:
+        v.idle = halted_fraction_[i] > options_.halted_idle_threshold;
+        break;
+      case IdleSignal::kNone:
+        v.idle = false;
+        break;
+    }
+    v.current_hz = s.current_hz;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SchedulerPolicyStage
+// ---------------------------------------------------------------------------
+
+SchedulerPolicyStage::SchedulerPolicyStage(const mach::FrequencyTable& table,
+                                           const mach::MemoryLatencies& latencies,
+                                           FrequencyScheduler::Options options)
+    : scheduler_(table, latencies, options) {}
+
+ScheduleResult SchedulerPolicyStage::decide(
+    const std::vector<ProcView>& views,
+    const std::vector<const mach::FrequencyTable*>& tables,
+    double power_budget_w) {
+  return scheduler_.schedule(views, tables, power_budget_w);
+}
+
+double SchedulerPolicyStage::predict_ipc(const ProcView& view,
+                                         double hz) const {
+  return scheduler_.predictor().predict_ipc(view.estimate, hz);
+}
+
+// ---------------------------------------------------------------------------
+// SimCoreActuator
+// ---------------------------------------------------------------------------
+
+SimCoreActuator::SimCoreActuator(cluster::Cluster& cluster,
+                                 std::vector<cluster::ProcAddress> procs,
+                                 bool skip_unchanged)
+    : cluster_(cluster), procs_(std::move(procs)),
+      skip_unchanged_(skip_unchanged) {}
+
+void SimCoreActuator::apply(const ScheduleResult& result, double now,
+                            CycleTrigger trigger) {
+  (void)now;
+  (void)trigger;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    auto& core = cluster_.core(procs_[i]);
+    const double hz = result.decisions[i].hz;
+    if (skip_unchanged_ && hz == core.frequency_hz()) continue;
+    core.set_frequency(hz);
+  }
+}
+
+}  // namespace fvsst::core

@@ -1,0 +1,392 @@
+// control_loop.h - The generic sample -> estimate -> decide -> actuate
+// engine behind every fvsst daemon.
+//
+// The paper's daemon (Sec. 6) is one control cycle: collect
+// performance-counter data every dispatch interval t, estimate each
+// processor's workload, run the scheduling calculation every T = n*t (or
+// when the power budget moves), and throttle the processors accordingly.
+// The repo used to implement that cycle four separate times — the SMP
+// daemon, the distributed cluster scheduler, the Linux-host port and the
+// baseline governors — each with its own trace bookkeeping.  ControlLoop
+// is the one implementation, split into four pluggable stages:
+//
+//   Sampler    where counters come from: simulated cores, cluster-channel
+//              summaries, or a real host's perf_event_open(2);
+//   Estimator  interval samples -> per-CPU ProcViews (the predictor's
+//              workload estimate + EWMA smoothing + idle resolution);
+//   Policy     views -> frequency decisions (the paper's two-pass
+//              scheduler, its variants, or a comparator governor);
+//   Actuator   decisions -> the world (core throttles, cluster settings
+//              messages, sysfs scaling_setspeed).
+//
+// The engine owns the shared telemetry: per-CPU granted/desired frequency,
+// predicted/measured IPC, prediction deviation and power are registered in
+// a sim::MetricRegistry, and every stage's wall-clock cost is accumulated
+// in per-stage timing counters, so the daemon overhead the paper estimates
+// for Fig. 4 is measured by the framework itself.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/scheduler.h"
+#include "simkit/stats.h"
+#include "simkit/telemetry.h"
+
+namespace fvsst::core {
+
+/// How a loop learns that a processor is idle (paper Sec. 5).
+enum class IdleSignal {
+  /// Poll the OS/firmware idle state (the explicit indicator the paper
+  /// calls for on hot-idle processors like the Power4+).
+  kOsSignal,
+  /// Infer idleness from the halted-cycle counter: on processors that
+  /// idle by halting, "there is no need for the idle indicator".
+  kHaltedCounter,
+  /// No idle knowledge at all (the paper's prototype, which implemented
+  /// none of the idle-detection techniques).
+  kNone,
+};
+
+/// One CPU's measurements over a closed sampling interval.
+struct IntervalSample {
+  cpu::PerfCounters delta;   ///< Counter deltas accumulated this interval.
+  double elapsed_s = 0.0;    ///< Interval length in (simulated) seconds.
+  double measured_hz = 0.0;  ///< Effective frequency: cycles / elapsed.
+  double current_hz = 0.0;   ///< Set-point frequency at interval close.
+  bool os_idle = false;      ///< OS/firmware idle flag at interval close.
+  bool valid = false;        ///< Usable: elapsed > 0 and cycles > 0.
+};
+
+/// Stage 1: where counter data comes from.
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Number of processors under management.
+  virtual std::size_t cpu_count() const = 0;
+
+  /// Cheap per-t accumulation (fold counter deltas into the running
+  /// interval).  On-demand backends may no-op.
+  virtual void collect() {}
+
+  /// Folds outstanding counters, closes the measurement interval ending at
+  /// `now`, and returns one sample per CPU.
+  virtual std::vector<IntervalSample> end_interval(double now) = 0;
+};
+
+/// Stage 2: interval samples -> persistent per-CPU views.
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  /// Folds this interval's samples into `views` (one per CPU, persistent
+  /// across cycles — estimators carry smoothing state forward).
+  virtual void update(const std::vector<IntervalSample>& samples,
+                      std::vector<ProcView>& views) = 0;
+};
+
+/// Stage 3: views -> frequency decisions.  One contract for the paper's
+/// FrequencyScheduler variants, the utilisation governors, and the
+/// comparator policies in baselines/ (see baselines::PolicyStageAdapter).
+class PolicyStage {
+ public:
+  virtual ~PolicyStage() = default;
+
+  /// Decides every processor's operating point under the aggregate budget.
+  /// `tables` parallels `views` (per-processor operating points).
+  virtual ScheduleResult decide(
+      const std::vector<ProcView>& views,
+      const std::vector<const mach::FrequencyTable*>& tables,
+      double power_budget_w) = 0;
+
+  /// IPC this policy's model promises for `view` at `hz`; negative when
+  /// the policy makes no prediction (the engine then skips scoring).
+  virtual double predict_ipc(const ProcView& view, double hz) const {
+    (void)view;
+    (void)hz;
+    return -1.0;
+  }
+};
+
+/// What caused a scheduling cycle.
+enum class CycleTrigger {
+  kTimer,   ///< The periodic T boundary.
+  kBudget,  ///< A power-budget change (the supply-failure trigger).
+  kManual,  ///< Externally driven (the host port's step()).
+};
+
+/// Stage 4: applies decisions to the world.
+class Actuator {
+ public:
+  virtual ~Actuator() = default;
+  virtual void apply(const ScheduleResult& result, double now,
+                     CycleTrigger trigger) = 0;
+};
+
+/// Wall-clock cost of one stage, accumulated across cycles.
+struct StageTiming {
+  std::uint64_t invocations = 0;
+  double total_s = 0.0;
+
+  double mean_s() const {
+    return invocations ? total_s / static_cast<double>(invocations) : 0.0;
+  }
+};
+
+/// Per-stage timing of the whole loop (real host time, measured with a
+/// monotonic clock; purely observational, so simulations stay
+/// deterministic).
+struct ControlLoopTimings {
+  StageTiming sample;    ///< Sampler::collect ticks.
+  StageTiming estimate;  ///< Interval close + Estimator::update.
+  StageTiming policy;    ///< PolicyStage::decide.
+  StageTiming actuate;   ///< Actuator::apply + telemetry recording.
+
+  /// Total measured cost of one full scheduling cycle (excluding ticks).
+  double cycle_total_s() const {
+    return estimate.total_s + policy.total_s + actuate.total_s;
+  }
+};
+
+/// Display names for the engine's per-CPU trace metrics.  Keys in the
+/// registry are structured ("cpu3/granted_hz"); display names keep the
+/// historical labels benches and CSV headers rely on.
+struct TraceNaming {
+  std::string granted = "granted_hz";
+  std::string desired = "desired_hz";
+  std::string predicted_ipc = "predicted_ipc";
+  std::string measured_ipc = "measured_ipc";
+  std::string deviation = "ipc_deviation";
+  std::string power = "power_w";
+  /// Appends the CPU index to each display name (the governors' historic
+  /// "gov_hz_cpu0" style).
+  bool append_cpu_index = false;
+};
+
+/// Engine configuration.
+struct ControlLoopConfig {
+  /// Scheduling cycle every n collect() ticks (the paper's T = n * t).
+  int schedule_every_n_samples = 10;
+  /// Register and append the per-CPU trace series.
+  bool record_traces = true;
+  /// Registry key prefix: "<metric_prefix><cpu>/<metric>".
+  std::string metric_prefix = "cpu";
+  TraceNaming naming;
+  /// Invoked between estimation and the policy run — facades charge their
+  /// modelled scheduling cost (dead cycles) here.
+  std::function<void(CycleTrigger)> pre_policy;
+};
+
+/// The unified control-loop engine.  Passive: facades own the timers (or
+/// wall clock) and drive collect()/run_cycle(); the engine owns the stage
+/// pipeline, per-CPU prediction scoring, power accounting, trace recording
+/// and per-stage timing.
+class ControlLoop {
+ public:
+  ControlLoop(ControlLoopConfig config, std::unique_ptr<Sampler> sampler,
+              std::unique_ptr<Estimator> estimator,
+              std::unique_ptr<PolicyStage> policy,
+              std::unique_ptr<Actuator> actuator,
+              std::vector<const mach::FrequencyTable*> tables,
+              sim::MetricRegistry* telemetry = nullptr);
+
+  ControlLoop(const ControlLoop&) = delete;
+  ControlLoop& operator=(const ControlLoop&) = delete;
+
+  /// Registers the starting operating point of every CPU for power
+  /// accounting and the trace baselines (the pre-first-cycle state).
+  void prime(double now, const std::vector<double>& hz,
+             const std::vector<double>& watts);
+
+  /// One sampling tick.  Returns true when a scheduled cycle is now due
+  /// (i.e. n ticks have elapsed since the last cycle).
+  bool collect(double now);
+
+  /// One full cycle: close interval -> estimate -> policy -> actuate.
+  /// Resets the tick count (a budget-triggered cycle restarts T).
+  const ScheduleResult& run_cycle(double now, double power_budget_w,
+                                  CycleTrigger trigger);
+
+  std::size_t cpu_count() const { return views_.size(); }
+  std::size_t cycles_run() const { return cycles_run_; }
+  const ScheduleResult& last_result() const { return last_result_; }
+
+  /// Latest per-CPU views (estimate, idle, utilisation).
+  const std::vector<ProcView>& views() const { return views_; }
+
+  const ControlLoopTimings& timings() const { return timings_; }
+
+  /// Running |predicted - measured| IPC statistics (paper Table 2).
+  const sim::RunningStat& deviation_stat(std::size_t cpu) const;
+
+  /// Energy charged to one CPU up to `now` (peak-power convention: table
+  /// watts of the granted point integrated over time).
+  double cpu_energy_j(std::size_t cpu, double now) const;
+
+  /// Time-weighted mean power of one CPU up to `now`.
+  double cpu_mean_power_w(std::size_t cpu, double now) const;
+
+  /// Trace metrics recorded by the engine.
+  enum class Trace { kGranted, kDesired, kPredictedIpc, kMeasuredIpc, kDeviation };
+
+  /// Engine-recorded trace for one CPU.  Returns a shared empty series
+  /// when traces are disabled (matching the pre-engine daemons' empty
+  /// members).
+  const sim::TimeSeries& trace(std::size_t cpu, Trace which) const;
+
+  Sampler& sampler() { return *sampler_; }
+  const Sampler& sampler() const { return *sampler_; }
+  PolicyStage& policy() { return *policy_; }
+  const PolicyStage& policy() const { return *policy_; }
+  Actuator& actuator() { return *actuator_; }
+
+  sim::MetricRegistry* telemetry() { return telemetry_; }
+
+ private:
+  struct CpuState {
+    bool has_prediction = false;
+    double predicted_ipc = 0.0;   ///< Promise made at the last cycle.
+    sim::RunningStat deviation;
+    sim::TimeWeightedStat power_acc;
+    // Registry-owned series; null when traces are disabled.
+    sim::TimeSeries* granted = nullptr;
+    sim::TimeSeries* desired = nullptr;
+    sim::TimeSeries* pred_ipc = nullptr;
+    sim::TimeSeries* meas_ipc = nullptr;
+    sim::TimeSeries* dev = nullptr;
+  };
+
+  void publish_timings();
+
+  ControlLoopConfig config_;
+  std::unique_ptr<Sampler> sampler_;
+  std::unique_ptr<Estimator> estimator_;
+  std::unique_ptr<PolicyStage> policy_;
+  std::unique_ptr<Actuator> actuator_;
+  std::vector<const mach::FrequencyTable*> tables_;
+  sim::MetricRegistry* telemetry_;
+  std::vector<ProcView> views_;
+  std::vector<CpuState> states_;
+  int samples_since_cycle_ = 0;
+  std::size_t cycles_run_ = 0;
+  ScheduleResult last_result_;
+  ControlLoopTimings timings_;
+};
+
+// ---------------------------------------------------------------------------
+// Reusable concrete stages (the simulator backends).
+// ---------------------------------------------------------------------------
+
+/// Samples simulated cores' performance counters.  Used directly by the
+/// SMP daemon and the governors, and per node by the cluster agents.
+class SimCoreSampler final : public Sampler {
+ public:
+  /// What an unusable interval (elapsed <= 0 or no cycles) does to the
+  /// running aggregate, mirroring the historical daemons:
+  enum class ResetPolicy {
+    /// Keep accumulating into the next interval (the SMP daemon).
+    kOnValidInterval,
+    /// Reset whenever any time elapsed, even with no cycles (the cluster
+    /// node agents).
+    kOnElapsed,
+  };
+
+  /// Takes the construction-time snapshot of every core's counters.
+  /// `start_time` is the current simulated time (the first interval's
+  /// start).
+  SimCoreSampler(cluster::Cluster& cluster,
+                 std::vector<cluster::ProcAddress> procs,
+                 ResetPolicy reset = ResetPolicy::kOnValidInterval,
+                 double start_time = 0.0);
+
+  std::size_t cpu_count() const override { return procs_.size(); }
+  void collect() override;
+  std::vector<IntervalSample> end_interval(double now) override;
+
+  const std::vector<cluster::ProcAddress>& procs() const { return procs_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  std::vector<cluster::ProcAddress> procs_;
+  ResetPolicy reset_;
+  std::vector<cpu::PerfCounters> last_snapshot_;
+  std::vector<cpu::PerfCounters> aggregate_;
+  std::vector<double> aggregate_started_at_;
+};
+
+/// The paper's workload estimation stage: distils counter deltas into
+/// (1/alpha, M) estimates, optionally EWMA-smoothed, and resolves each
+/// processor's idle flag from the configured signal.
+class IpcEstimator final : public Estimator {
+ public:
+  struct Options {
+    IdleSignal idle_signal = IdleSignal::kOsSignal;
+    /// Halted-cycle fraction above which a processor counts as idle when
+    /// idle_signal == kHaltedCounter.
+    double halted_idle_threshold = 0.90;
+    /// EWMA weight of the *previous* estimate in [0, 1): 0 uses each
+    /// interval's fresh estimate alone (the paper's prototype).
+    double smoothing = 0.0;
+    /// Invalidate a CPU's estimate when its interval was unusable instead
+    /// of keeping the last good one (the host port's stateless behaviour).
+    bool reset_on_invalid = false;
+  };
+
+  IpcEstimator(const mach::MemoryLatencies& latencies, Options options);
+
+  void update(const std::vector<IntervalSample>& samples,
+              std::vector<ProcView>& views) override;
+
+  const IpcPredictor& predictor() const { return predictor_; }
+
+ private:
+  IpcPredictor predictor_;
+  Options options_;
+  std::vector<double> halted_fraction_;  ///< Of the last valid interval.
+};
+
+/// The paper's frequency/voltage scheduler as a policy stage.
+class SchedulerPolicyStage final : public PolicyStage {
+ public:
+  SchedulerPolicyStage(const mach::FrequencyTable& table,
+                       const mach::MemoryLatencies& latencies,
+                       FrequencyScheduler::Options options);
+
+  ScheduleResult decide(
+      const std::vector<ProcView>& views,
+      const std::vector<const mach::FrequencyTable*>& tables,
+      double power_budget_w) override;
+
+  double predict_ipc(const ProcView& view, double hz) const override;
+
+  const FrequencyScheduler& scheduler() const { return scheduler_; }
+
+ private:
+  FrequencyScheduler scheduler_;
+};
+
+/// Applies decisions straight to simulated cores.
+class SimCoreActuator final : public Actuator {
+ public:
+  /// `skip_unchanged` suppresses writes that would not change the
+  /// set-point (the governors' historical behaviour).
+  SimCoreActuator(cluster::Cluster& cluster,
+                  std::vector<cluster::ProcAddress> procs,
+                  bool skip_unchanged = false);
+
+  void apply(const ScheduleResult& result, double now,
+             CycleTrigger trigger) override;
+
+ private:
+  cluster::Cluster& cluster_;
+  std::vector<cluster::ProcAddress> procs_;
+  bool skip_unchanged_;
+};
+
+}  // namespace fvsst::core

@@ -1,6 +1,6 @@
 #include "core/daemon.h"
 
-#include <cmath>
+#include <utility>
 
 #include "simkit/log.h"
 
@@ -13,27 +13,47 @@ FvsstDaemon::FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       cluster_(cluster),
       budget_(budget),
       config_(config),
-      scheduler_(table, cluster.node(0).machine().latencies,
-                 config.scheduler),
       procs_(cluster.all_procs()) {
-  states_.resize(procs_.size());
   for (const auto& addr : procs_) {
     proc_tables_.push_back(&cluster_.node(addr.node).machine().freq_table);
   }
+
+  auto sampler = std::make_unique<SimCoreSampler>(
+      cluster_, procs_, SimCoreSampler::ResetPolicy::kOnValidInterval,
+      sim_.now());
+  IpcEstimator::Options est_opts;
+  est_opts.idle_signal = config_.idle_signal;
+  est_opts.halted_idle_threshold = config_.halted_idle_threshold;
+  est_opts.smoothing = config_.estimate_smoothing;
+  auto estimator = std::make_unique<IpcEstimator>(
+      cluster_.node(0).machine().latencies, est_opts);
+  auto policy = std::make_unique<SchedulerPolicyStage>(
+      table, cluster_.node(0).machine().latencies, config_.scheduler);
+  policy_ = policy.get();
+  auto actuator = std::make_unique<SimCoreActuator>(cluster_, procs_);
+
+  ControlLoopConfig loop_config;
+  loop_config.schedule_every_n_samples = config_.schedule_every_n_samples;
+  loop_config.record_traces = config_.record_traces;
+  // The scheduling calculation itself costs daemon time (dead cycles on the
+  // hosting CPU), charged just before the policy runs.
+  loop_config.pre_policy = [this](CycleTrigger) {
+    cluster_.core(procs_[config_.daemon_cpu])
+        .steal_time(config_.overhead_per_schedule_s);
+  };
+  loop_ = std::make_unique<ControlLoop>(
+      std::move(loop_config), std::move(sampler), std::move(estimator),
+      std::move(policy), std::move(actuator), proc_tables_, &telemetry_);
+
+  std::vector<double> hz(procs_.size());
+  std::vector<double> watts(procs_.size());
   for (std::size_t i = 0; i < procs_.size(); ++i) {
-    states_[i].last_snapshot = cluster_.core(procs_[i]).read_counters();
-    states_[i].aggregate_started_at = sim_.now();
-    states_[i].power_acc.record(
-        sim_.now(),
-        proc_tables_[i]->power(cluster_.core(procs_[i]).frequency_hz()));
-    if (config_.record_traces) {
-      states_[i].granted.add(sim_.now(),
-                             cluster_.core(procs_[i]).frequency_hz());
-      states_[i].desired.add(sim_.now(),
-                             cluster_.core(procs_[i]).frequency_hz());
-    }
+    hz[i] = cluster_.core(procs_[i]).frequency_hz();
+    watts[i] = proc_tables_[i]->power(hz[i]);
   }
-  budget_.on_change([this](double) { run_schedule(/*triggered_by_budget=*/true); });
+  loop_->prime(sim_.now(), hz, watts);
+
+  budget_.on_change([this](double) { run_cycle(CycleTrigger::kBudget); });
   tick_event_ =
       sim_.schedule_every(config_.t_sample_s, [this] { on_sample_tick(); });
 }
@@ -43,20 +63,20 @@ FvsstDaemon::~FvsstDaemon() {
 }
 
 const sim::TimeSeries& FvsstDaemon::granted_freq_trace(std::size_t cpu) const {
-  return states_.at(cpu).granted;
+  return loop_->trace(cpu, ControlLoop::Trace::kGranted);
 }
 const sim::TimeSeries& FvsstDaemon::desired_freq_trace(std::size_t cpu) const {
-  return states_.at(cpu).desired;
+  return loop_->trace(cpu, ControlLoop::Trace::kDesired);
 }
 const sim::TimeSeries& FvsstDaemon::predicted_ipc_trace(
     std::size_t cpu) const {
-  return states_.at(cpu).pred_ipc;
+  return loop_->trace(cpu, ControlLoop::Trace::kPredictedIpc);
 }
 const sim::TimeSeries& FvsstDaemon::measured_ipc_trace(std::size_t cpu) const {
-  return states_.at(cpu).meas_ipc;
+  return loop_->trace(cpu, ControlLoop::Trace::kMeasuredIpc);
 }
 const sim::TimeSeries& FvsstDaemon::deviation_trace(std::size_t cpu) const {
-  return states_.at(cpu).dev;
+  return loop_->trace(cpu, ControlLoop::Trace::kDeviation);
 }
 
 void FvsstDaemon::on_sample_tick() {
@@ -72,142 +92,34 @@ void FvsstDaemon::on_sample_tick() {
         .steal_time(config_.overhead_per_cpu_sample_s *
                     static_cast<double>(procs_.size()));
   }
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    const cpu::PerfCounters now = cluster_.core(procs_[i]).read_counters();
-    states_[i].aggregate += now - states_[i].last_snapshot;
-    states_[i].last_snapshot = now;
-  }
-  if (++samples_since_schedule_ >= config_.schedule_every_n_samples) {
-    run_schedule(/*triggered_by_budget=*/false);
+  if (loop_->collect(sim_.now())) {
+    run_cycle(CycleTrigger::kTimer);
   }
 }
 
-std::vector<ProcView> FvsstDaemon::build_views() {
-  std::vector<ProcView> views(procs_.size());
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    views[i].estimate = states_[i].estimate;
-    switch (config_.idle_signal) {
-      case IdleSignal::kOsSignal:
-        views[i].idle = cluster_.core(procs_[i]).idle();
-        break;
-      case IdleSignal::kHaltedCounter:
-        views[i].idle =
-            states_[i].halted_fraction > config_.halted_idle_threshold;
-        break;
-      case IdleSignal::kNone:
-        views[i].idle = false;
-        break;
-    }
-  }
-  return views;
-}
-
-void FvsstDaemon::run_schedule(bool triggered_by_budget) {
+void FvsstDaemon::run_cycle(CycleTrigger trigger) {
   const double now = sim_.now();
-
-  // Fold any counters gathered since the last tick into the aggregates so a
-  // budget-triggered run uses the freshest data available.
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    const cpu::PerfCounters snap = cluster_.core(procs_[i]).read_counters();
-    states_[i].aggregate += snap - states_[i].last_snapshot;
-    states_[i].last_snapshot = snap;
-  }
-
-  // Close out the previous interval: measure IPC, score the prediction,
-  // and refresh the workload estimate.
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    auto& st = states_[i];
-    const double elapsed = now - st.aggregate_started_at;
-    if (elapsed <= 0.0 || st.aggregate.cycles <= 0.0) continue;
-    const double measured_ipc = st.aggregate.ipc();
-    // Effective frequency over the interval, robust to mid-interval
-    // changes and throttle quantisation: cycles happened / wall time.
-    const double measured_hz = st.aggregate.cycles / elapsed;
-    if (st.has_prediction && config_.record_traces) {
-      st.meas_ipc.add(now, measured_ipc);
-      st.dev.add(now, std::abs(st.predicted_ipc - measured_ipc));
-    }
-    if (st.has_prediction) {
-      st.deviation.add(std::abs(st.predicted_ipc - measured_ipc));
-    }
-    st.halted_fraction =
-        st.aggregate.cycles > 0.0
-            ? st.aggregate.halted_cycles / st.aggregate.cycles
-            : 0.0;
-    CounterObservation obs;
-    obs.delta = st.aggregate;
-    obs.measured_hz = measured_hz;
-    const WorkloadEstimate est = scheduler_.predictor().estimate(obs);
-    if (est.valid) {
-      const double s = config_.estimate_smoothing;
-      if (s > 0.0 && st.estimate.valid) {
-        st.estimate.alpha_inv = s * st.estimate.alpha_inv +
-                                (1.0 - s) * est.alpha_inv;
-        st.estimate.mem_time_per_instr =
-            s * st.estimate.mem_time_per_instr +
-            (1.0 - s) * est.mem_time_per_instr;
-      } else {
-        st.estimate = est;
-      }
-    }
-    st.aggregate = cpu::PerfCounters{};
-    st.aggregate_started_at = now;
-  }
-
-  // The scheduling calculation itself costs daemon time.
-  cluster_.core(procs_[config_.daemon_cpu])
-      .steal_time(config_.overhead_per_schedule_s);
-
-  const std::vector<ProcView> views = build_views();
-  last_result_ =
-      scheduler_.schedule(views, proc_tables_, budget_.effective_limit_w());
-  ++schedules_run_;
-  samples_since_schedule_ = 0;
-
-  if (!last_result_.feasible) {
+  const ScheduleResult& result =
+      loop_->run_cycle(now, budget_.effective_limit_w(), trigger);
+  if (!result.feasible) {
     sim::LogLine(sim::LogLevel::kWarn, "fvsst", now)
         << "budget " << budget_.effective_limit_w()
         << "W infeasible even at minimum frequencies";
   }
-  if (triggered_by_budget) {
+  if (trigger == CycleTrigger::kBudget) {
     sim::LogLine(sim::LogLevel::kInfo, "fvsst", now)
         << "budget trigger: rescheduled to "
-        << last_result_.total_cpu_power_w << "W (limit "
+        << result.total_cpu_power_w << "W (limit "
         << budget_.effective_limit_w() << "W)";
-  }
-
-  apply(last_result_);
-}
-
-void FvsstDaemon::apply(const ScheduleResult& result) {
-  const double now = sim_.now();
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    const auto& d = result.decisions[i];
-    cluster_.core(procs_[i]).set_frequency(d.hz);
-    auto& st = states_[i];
-    // Record the promise so the next interval can score it.
-    if (st.estimate.valid) {
-      st.predicted_ipc =
-          scheduler_.predictor().predict_ipc(st.estimate, d.hz);
-      st.has_prediction = true;
-      if (config_.record_traces) st.pred_ipc.add(now, st.predicted_ipc);
-    } else {
-      st.has_prediction = false;
-    }
-    st.power_acc.record(now, d.watts);
-    if (config_.record_traces) {
-      st.granted.add(now, d.hz);
-      st.desired.add(now, d.desired_hz);
-    }
   }
 }
 
 double FvsstDaemon::cpu_energy_j(std::size_t cpu) const {
-  return states_.at(cpu).power_acc.integral_until(sim_.now());
+  return loop_->cpu_energy_j(cpu, sim_.now());
 }
 
 double FvsstDaemon::cpu_mean_power_w(std::size_t cpu) const {
-  return states_.at(cpu).power_acc.mean_until(sim_.now());
+  return loop_->cpu_mean_power_w(cpu, sim_.now());
 }
 
 }  // namespace fvsst::core

@@ -4,21 +4,18 @@
 // single-threaded" that collects performance-counter data every dispatch
 // interval t, and "after some number of collection cycles or when given a
 // signal with a new frequency limit, executes the scheduling calculation
-// and throttles the processors accordingly".  FvsstDaemon mirrors that:
+// and throttles the processors accordingly".  FvsstDaemon is a thin facade
+// over the shared ControlLoop engine wired with the simulator stages:
 //
-//   - samples every core's counters each `t_sample_s` (paper: 10 ms);
-//   - runs the FrequencyScheduler every `schedule_every_n_samples` samples
-//     (paper: T = 10 * t = 100 ms);
-//   - reacts immediately to power-budget changes (the supply-failure
-//     trigger), rescheduling from the most recent estimates;
-//   - polls each core's idle state as a stand-in for the firmware/OS idle
-//     signal the paper calls for;
-//   - charges its own execution cost to the processor hosting the daemon
-//     (dead cycles), so benches can measure fvsst's overhead (Fig. 4);
-//   - keeps the scheduling and performance-counter logs the paper's
-//     post-processing relies on: per-CPU granted/desired frequency traces,
-//     predicted and measured IPC, and the running IPC-deviation statistics
-//     behind Table 2.
+//   SimCoreSampler -> IpcEstimator -> SchedulerPolicyStage -> SimCoreActuator
+//
+// The facade owns what is specific to the prototype: the sampling timer
+// (paper: t = 10 ms, T = 10 * t), the power-budget trigger (the
+// supply-failure signal), and the modelled daemon cost charged to the
+// processor hosting the daemon (dead cycles, paper Fig. 4).  Everything
+// else — prediction scoring, per-CPU power accounting, the scheduling and
+// performance-counter logs the paper's post-processing relies on — lives in
+// the engine and its telemetry registry.
 #pragma once
 
 #include <cstddef>
@@ -26,26 +23,15 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "core/control_loop.h"
 #include "core/scheduler.h"
 #include "power/budget.h"
 #include "simkit/event_queue.h"
 #include "simkit/stats.h"
+#include "simkit/telemetry.h"
 #include "simkit/time_series.h"
 
 namespace fvsst::core {
-
-/// How the daemon learns that a processor is idle (paper Sec. 5).
-enum class IdleSignal {
-  /// Poll the OS/firmware idle state (the explicit indicator the paper
-  /// calls for on hot-idle processors like the Power4+).
-  kOsSignal,
-  /// Infer idleness from the halted-cycle counter: on processors that
-  /// idle by halting, "there is no need for the idle indicator".
-  kHaltedCounter,
-  /// No idle knowledge at all (the paper's prototype, which implemented
-  /// none of the idle-detection techniques).
-  kNone,
-};
 
 /// Daemon configuration.
 struct DaemonConfig {
@@ -89,17 +75,17 @@ class FvsstDaemon {
   FvsstDaemon(const FvsstDaemon&) = delete;
   FvsstDaemon& operator=(const FvsstDaemon&) = delete;
 
-  std::size_t cpu_count() const { return procs_.size(); }
+  std::size_t cpu_count() const { return loop_->cpu_count(); }
 
   /// Scheduling calculations executed so far (timer- and trigger-driven).
-  std::size_t schedules_run() const { return schedules_run_; }
+  std::size_t schedules_run() const { return loop_->cycles_run(); }
 
   /// Result of the most recent scheduling calculation.
-  const ScheduleResult& last_result() const { return last_result_; }
+  const ScheduleResult& last_result() const { return loop_->last_result(); }
 
   /// Most recent workload estimate per flattened CPU index.
   const WorkloadEstimate& estimate(std::size_t cpu) const {
-    return states_.at(cpu).estimate;
+    return loop_->views().at(cpu).estimate;
   }
 
   // --- Logs (valid when record_traces) ---------------------------------
@@ -116,7 +102,7 @@ class FvsstDaemon {
 
   /// Running |predicted - measured| statistics (Table 2's "IPC deviation").
   const sim::RunningStat& deviation_stat(std::size_t cpu) const {
-    return states_.at(cpu).deviation;
+    return loop_->deviation_stat(cpu);
   }
 
   /// Energy charged to one CPU so far (peak-power convention: table watts
@@ -127,45 +113,32 @@ class FvsstDaemon {
   /// Time-weighted mean power of one CPU since the daemon started.
   double cpu_mean_power_w(std::size_t cpu) const;
 
-  const FrequencyScheduler& scheduler() const { return scheduler_; }
+  const FrequencyScheduler& scheduler() const { return policy_->scheduler(); }
+
+  /// The underlying engine (per-stage timings, latest views).
+  const ControlLoop& loop() const { return *loop_; }
+
+  /// Registry holding the per-CPU traces ("cpu<i>/granted_hz", ...) and the
+  /// engine's stage-timing counters ("loop/policy_s", ...).
+  sim::MetricRegistry& telemetry() { return telemetry_; }
+  const sim::MetricRegistry& telemetry() const { return telemetry_; }
 
  private:
-  struct CpuState {
-    cpu::PerfCounters last_snapshot;     ///< At the previous t boundary.
-    cpu::PerfCounters aggregate;         ///< Sum of deltas since last schedule.
-    double aggregate_started_at = 0.0;
-    WorkloadEstimate estimate;           ///< From the last completed interval.
-    double halted_fraction = 0.0;        ///< Of the last completed interval.
-    bool has_prediction = false;
-    double predicted_ipc = 0.0;          ///< Promise made at the last schedule.
-    sim::RunningStat deviation;
-    sim::TimeSeries granted{"granted_hz"};
-    sim::TimeSeries desired{"desired_hz"};
-    sim::TimeSeries pred_ipc{"predicted_ipc"};
-    sim::TimeSeries meas_ipc{"measured_ipc"};
-    sim::TimeSeries dev{"ipc_deviation"};
-    sim::TimeWeightedStat power_acc;  ///< Table watts of the granted point.
-  };
-
   void on_sample_tick();
-  void run_schedule(bool triggered_by_budget);
-  std::vector<ProcView> build_views();
-  void apply(const ScheduleResult& result);
+  void run_cycle(CycleTrigger trigger);
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
   power::PowerBudget& budget_;
   DaemonConfig config_;
-  FrequencyScheduler scheduler_;
+  sim::MetricRegistry telemetry_;
   std::vector<cluster::ProcAddress> procs_;
   /// Per-processor operating-point tables (each node's own machine), so
   /// heterogeneous clusters are scheduled within their real options.
   std::vector<const mach::FrequencyTable*> proc_tables_;
-  std::vector<CpuState> states_;
+  SchedulerPolicyStage* policy_ = nullptr;  ///< Owned by loop_.
+  std::unique_ptr<ControlLoop> loop_;
   sim::EventId tick_event_ = 0;
-  int samples_since_schedule_ = 0;
-  std::size_t schedules_run_ = 0;
-  ScheduleResult last_result_;
 };
 
 }  // namespace fvsst::core

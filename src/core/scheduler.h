@@ -33,6 +33,11 @@ namespace fvsst::core {
 struct ProcView {
   WorkloadEstimate estimate;  ///< From the latest T-interval counters.
   bool idle = false;          ///< Idle signal from firmware/OS, if enabled.
+  /// Busy fraction as a naive non-halted-cycle monitor reports it (the
+  /// utilisation governors' input; stuck at 1.0 on hot-idle hardware).
+  double utilization = 1.0;
+  /// Set-point frequency when the latest interval closed.
+  double current_hz = 0.0;
 };
 
 /// Per-processor outcome.

@@ -1,6 +1,6 @@
 #include "host/host_scheduler.h"
 
-#include <algorithm>
+#include <utility>
 
 namespace fvsst::host {
 
@@ -19,6 +19,45 @@ std::optional<mach::FrequencyTable> table_from_host(
   return mach::FrequencyTable(std::move(points));
 }
 
+PerfEventSampler::PerfEventSampler(std::size_t cpu_count) : cpus_(cpu_count) {
+  available_ = group_.valid() && group_.start();
+  if (available_) {
+    if (const auto snap = group_.read()) last_ = *snap;
+  }
+}
+
+std::vector<core::IntervalSample> PerfEventSampler::end_interval(double now) {
+  (void)now;
+  std::vector<core::IntervalSample> out(cpus_);
+  core::IntervalSample sample;
+  sample.elapsed_s = interval_s_;
+  if (available_ && interval_s_ > 0.0) {
+    if (const auto snap = group_.read()) {
+      sample.delta = *snap - last_;
+      sample.measured_hz = sample.delta.cycles / interval_s_;
+      last_ = *snap;
+      sample.valid = true;
+    }
+  }
+  // The single process-wide observation stands in for every managed CPU.
+  for (auto& s : out) s = sample;
+  return out;
+}
+
+SysfsActuator::SysfsActuator(CpufreqSysfs& sysfs, std::vector<int> cpus)
+    : sysfs_(sysfs), cpus_(std::move(cpus)) {}
+
+void SysfsActuator::apply(const core::ScheduleResult& result, double now,
+                          core::CycleTrigger trigger) {
+  (void)now;
+  (void)trigger;
+  for (std::size_t i = 0; i < cpus_.size(); ++i) {
+    if (!sysfs_.set_frequency(cpus_[i], result.decisions[i].hz)) {
+      ++failed_writes_;
+    }
+  }
+}
+
 HostScheduler::HostScheduler(Options options)
     : options_(std::move(options)), sysfs_(options_.sysfs_root) {
   cpus_ = sysfs_.cpus();
@@ -33,46 +72,36 @@ HostScheduler::HostScheduler(Options options)
     cpus_.clear();
     return;
   }
-  scheduler_ = std::make_unique<core::FrequencyScheduler>(
-      *table_, options_.latencies, options_.scheduler);
-  counters_available_ = counters_.valid() && counters_.start();
-  if (counters_available_) {
-    if (const auto snap = counters_.read()) last_counters_ = *snap;
-  }
+  proc_tables_.assign(cpus_.size(), &*table_);
+
+  auto sampler = std::make_unique<PerfEventSampler>(cpus_.size());
+  sampler_ = sampler.get();
+  counters_available_ = sampler_->available();
+  core::IpcEstimator::Options est_opts;
+  est_opts.idle_signal = core::IdleSignal::kNone;
+  // Stateless like the original host port: an unusable interval demotes
+  // every CPU back to "unknown workload" (f_max under the budget cap).
+  est_opts.reset_on_invalid = true;
+  auto actuator = std::make_unique<SysfsActuator>(sysfs_, cpus_);
+  actuator_ = actuator.get();
+
+  core::ControlLoopConfig loop_config;
+  loop_config.schedule_every_n_samples = 1;  // step() is externally paced.
+  loop_config.record_traces = options_.record_traces;
+  loop_ = std::make_unique<core::ControlLoop>(
+      std::move(loop_config), std::move(sampler),
+      std::make_unique<core::IpcEstimator>(options_.latencies, est_opts),
+      std::make_unique<core::SchedulerPolicyStage>(*table_, options_.latencies,
+                                                   options_.scheduler),
+      std::move(actuator), proc_tables_, &telemetry_);
 }
 
 std::vector<core::ScheduleDecision> HostScheduler::step(double interval_s) {
   if (!active()) return {};
-  ++steps_;
-
-  // Estimate the observed workload from the counter delta; without
-  // counters every CPU is treated as unknown (runs at f_max under the
-  // budget cap — still a useful power governor).
-  core::WorkloadEstimate estimate;  // invalid by default
-  if (counters_available_ && interval_s > 0.0) {
-    if (const auto snap = counters_.read()) {
-      core::CounterObservation obs;
-      obs.delta = *snap - last_counters_;
-      obs.measured_hz = obs.delta.cycles / interval_s;
-      last_counters_ = *snap;
-      const core::IpcPredictor predictor(options_.latencies);
-      estimate = predictor.estimate(obs);
-    }
-  }
-
-  std::vector<core::ProcView> views(cpus_.size());
-  for (auto& v : views) {
-    v.estimate = estimate;
-    v.idle = false;  // no reliable host-wide idle source at user level
-  }
-  const core::ScheduleResult result =
-      scheduler_->schedule(views, options_.power_budget_w);
-
-  for (std::size_t i = 0; i < cpus_.size(); ++i) {
-    if (!sysfs_.set_frequency(cpus_[i], result.decisions[i].hz)) {
-      ++failed_writes_;
-    }
-  }
+  sampler_->set_interval(interval_s);
+  if (interval_s > 0.0) clock_s_ += interval_s;
+  const core::ScheduleResult& result = loop_->run_cycle(
+      clock_s_, options_.power_budget_w, core::CycleTrigger::kManual);
   return result.decisions;
 }
 

@@ -3,11 +3,10 @@
 // The paper's prototype read Power4+ counters through kernel support and
 // throttled the pipeline; on a modern Linux machine the equivalents are
 // perf_event_open(2) for the counters and sysfs cpufreq for the actuator.
-// HostScheduler composes those backends with the same FrequencyScheduler
-// the simulator uses:
+// HostScheduler is the shared core::ControlLoop engine wired with host
+// backends:
 //
-//   step():  read counter deltas -> estimate workloads -> run the
-//            two-pass schedule under the budget -> write scaling_setspeed
+//   PerfEventSampler -> IpcEstimator -> SchedulerPolicyStage -> SysfsActuator
 //
 // The caller drives step() from its own timing loop (the simulator's T
 // becomes a wall-clock interval).  Everything degrades gracefully: where
@@ -16,15 +15,18 @@
 // inside containers (tests point it at a fake sysfs tree).
 #pragma once
 
+#include <cstddef>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "core/control_loop.h"
 #include "core/scheduler.h"
 #include "host/cpufreq_sysfs.h"
 #include "host/perf_events.h"
 #include "power/power_model.h"
+#include "simkit/telemetry.h"
 
 namespace fvsst::host {
 
@@ -36,6 +38,50 @@ namespace fvsst::host {
 std::optional<mach::FrequencyTable> table_from_host(
     const CpuFreqInfo& info, const power::PowerModel& model,
     double volt_min = 0.8, double volt_max = 1.2);
+
+/// Sampler over one process-wide perf_event_open(2) counter group.
+/// Per-CPU counting needs elevated privileges; this prototype-grade
+/// fallback observes the calling workload only, mirroring the paper's
+/// single-threaded daemon, and reports the same interval sample for every
+/// managed CPU.  The interval length is supplied by the caller's timing
+/// loop via set_interval().
+class PerfEventSampler final : public core::Sampler {
+ public:
+  explicit PerfEventSampler(std::size_t cpu_count);
+
+  std::size_t cpu_count() const override { return cpus_; }
+  std::vector<core::IntervalSample> end_interval(double now) override;
+
+  /// Wall-clock length of the interval the next end_interval() closes.
+  void set_interval(double seconds) { interval_s_ = seconds; }
+
+  /// True when the hardware counter group opened and started.
+  bool available() const { return available_; }
+
+ private:
+  std::size_t cpus_;
+  PerfEventGroup group_;
+  bool available_ = false;
+  cpu::PerfCounters last_;
+  double interval_s_ = 0.0;
+};
+
+/// Actuator writing granted frequencies to sysfs scaling_setspeed.  Writes
+/// that fail (insufficient privilege) are counted, not fatal.
+class SysfsActuator final : public core::Actuator {
+ public:
+  SysfsActuator(CpufreqSysfs& sysfs, std::vector<int> cpus);
+
+  void apply(const core::ScheduleResult& result, double now,
+             core::CycleTrigger trigger) override;
+
+  std::size_t failed_writes() const { return failed_writes_; }
+
+ private:
+  CpufreqSysfs& sysfs_;
+  std::vector<int> cpus_;
+  std::size_t failed_writes_ = 0;
+};
 
 /// Drives fvsst on the local machine.
 class HostScheduler {
@@ -49,6 +95,8 @@ class HostScheduler {
     power::PowerModel power_model{50e-9, 1.0};
     double power_budget_w = 1e9;  ///< Effectively unconstrained by default.
     std::string sysfs_root = "/sys/devices/system/cpu";
+    /// Record per-CPU traces in telemetry() (off for long-lived daemons).
+    bool record_traces = false;
   };
 
   explicit HostScheduler(Options options);
@@ -64,29 +112,34 @@ class HostScheduler {
   bool counters_available() const { return counters_available_; }
 
   /// One scheduling round over `interval_s` of wall-clock history.
-  /// Returns the decisions (empty when inactive).  Frequency writes that
-  /// fail (insufficient privilege) are counted, not fatal.
+  /// Returns the decisions (empty when inactive).
   std::vector<core::ScheduleDecision> step(double interval_s);
 
-  std::size_t failed_writes() const { return failed_writes_; }
-  std::size_t steps() const { return steps_; }
+  std::size_t failed_writes() const {
+    return actuator_ ? actuator_->failed_writes() : 0;
+  }
+  std::size_t steps() const { return loop_ ? loop_->cycles_run() : 0; }
 
   void set_power_budget_w(double watts) { options_.power_budget_w = watts; }
+
+  /// The underlying engine; null when inactive.
+  const core::ControlLoop* loop() const { return loop_.get(); }
+
+  sim::MetricRegistry& telemetry() { return telemetry_; }
+  const sim::MetricRegistry& telemetry() const { return telemetry_; }
 
  private:
   Options options_;
   CpufreqSysfs sysfs_;
   std::vector<int> cpus_;
   std::optional<mach::FrequencyTable> table_;
-  std::unique_ptr<core::FrequencyScheduler> scheduler_;
-  // One counter group for the whole process (per-CPU counting needs
-  // elevated privileges; the prototype-grade fallback observes the calling
-  // workload only, mirroring the paper's single-threaded daemon).
-  PerfEventGroup counters_;
+  std::vector<const mach::FrequencyTable*> proc_tables_;
+  sim::MetricRegistry telemetry_;
+  PerfEventSampler* sampler_ = nullptr;    ///< Owned by loop_.
+  SysfsActuator* actuator_ = nullptr;      ///< Owned by loop_.
+  std::unique_ptr<core::ControlLoop> loop_;
   bool counters_available_ = false;
-  cpu::PerfCounters last_counters_;
-  std::size_t failed_writes_ = 0;
-  std::size_t steps_ = 0;
+  double clock_s_ = 0.0;  ///< Accumulated wall-clock time across steps.
 };
 
 }  // namespace fvsst::host

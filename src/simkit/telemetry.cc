@@ -1,0 +1,140 @@
+#include "simkit/telemetry.h"
+
+#include <ostream>
+#include <stdexcept>
+
+#include "simkit/csv.h"
+
+namespace fvsst::sim {
+
+TimeSeries& MetricRegistry::series(const std::string& key,
+                                   const std::string& display_name) {
+  if (const auto it = series_index_.find(key); it != series_index_.end()) {
+    return series_storage_[it->second];
+  }
+  series_index_.emplace(key, series_storage_.size());
+  series_keys_.push_back(key);
+  series_storage_.emplace_back(display_name.empty() ? key : display_name);
+  return series_storage_.back();
+}
+
+const TimeSeries* MetricRegistry::find_series(const std::string& key) const {
+  const auto it = series_index_.find(key);
+  return it == series_index_.end() ? nullptr : &series_storage_[it->second];
+}
+
+const TimeSeries& MetricRegistry::at(const std::string& key) const {
+  if (const TimeSeries* s = find_series(key)) return *s;
+  throw std::out_of_range("MetricRegistry: no series named " + key);
+}
+
+double& MetricRegistry::counter(const std::string& key) {
+  if (const auto it = counter_index_.find(key); it != counter_index_.end()) {
+    return counter_storage_[it->second];
+  }
+  counter_index_.emplace(key, counter_storage_.size());
+  counter_keys_.push_back(key);
+  counter_storage_.push_back(0.0);
+  return counter_storage_.back();
+}
+
+double MetricRegistry::counter_value(const std::string& key) const {
+  const auto it = counter_index_.find(key);
+  return it == counter_index_.end() ? 0.0 : counter_storage_[it->second];
+}
+
+void MetricRegistry::export_to(MetricSink& sink) const {
+  for (std::size_t i = 0; i < series_keys_.size(); ++i) {
+    sink.series(series_keys_[i], series_storage_[i]);
+  }
+  for (std::size_t i = 0; i < counter_keys_.size(); ++i) {
+    sink.counter(counter_keys_[i], counter_storage_[i]);
+  }
+}
+
+namespace {
+
+std::string sanitize(const std::string& key) {
+  std::string out = key;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ':') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+CsvDirectorySink::CsvDirectorySink(std::string dir, double dt)
+    : dir_(std::move(dir)), dt_(dt) {}
+
+CsvDirectorySink::~CsvDirectorySink() {
+  if (counters_.empty()) return;
+  try {
+    CsvWriter out(dir_ + "/counters.csv");
+    out.write_row(std::vector<std::string>{"counter", "value"});
+    for (const auto& [key, value] : counters_) {
+      out.write_row({key, std::to_string(value)});
+    }
+  } catch (const std::exception&) {
+    ++failures_;
+  }
+}
+
+void CsvDirectorySink::series(const std::string& key, const TimeSeries& s) {
+  const std::string path = dir_ + "/" + sanitize(key) + ".csv";
+  if (dt_ > 0.0) {
+    if (!write_series_csv(path, {&s}, dt_)) ++failures_;
+    return;
+  }
+  try {
+    CsvWriter out(path);
+    out.write_row(std::vector<std::string>{"time_s", s.name()});
+    for (const auto& sample : s.samples()) {
+      out.write_row(std::vector<double>{sample.t, sample.value});
+    }
+  } catch (const std::exception&) {
+    ++failures_;
+  }
+}
+
+void CsvDirectorySink::counter(const std::string& key, double value) {
+  counters_.emplace_back(key, value);
+}
+
+namespace {
+
+void json_string(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      default: out << c;
+    }
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void JsonLinesSink::series(const std::string& key, const TimeSeries& s) {
+  out_ << "{\"metric\":";
+  json_string(out_, key);
+  out_ << ",\"name\":";
+  json_string(out_, s.name());
+  out_ << ",\"samples\":[";
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << '[' << s[i].t << ',' << s[i].value << ']';
+  }
+  out_ << "]}\n";
+}
+
+void JsonLinesSink::counter(const std::string& key, double value) {
+  out_ << "{\"metric\":";
+  json_string(out_, key);
+  out_ << ",\"value\":" << value << "}\n";
+}
+
+}  // namespace fvsst::sim

@@ -1,0 +1,115 @@
+// telemetry.h - Named-metric registry shared by the control-loop daemons.
+//
+// The paper's post-processing relies on the daemon's scheduling and
+// performance-counter logs (per-CPU granted/desired frequency, predicted
+// and measured IPC, deviation, power).  Instead of every daemon carrying
+// hand-rolled trace members, a MetricRegistry owns the traces under
+// structured keys ("cpu3/granted_hz") and exports them through pluggable
+// sinks: the in-memory TimeSeries themselves, one-CSV-per-metric
+// directories, or JSON lines.  Scalar counters (cycle counts, per-stage
+// wall time) live alongside the series so daemon overhead is a first-class
+// metric rather than an estimated constant.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simkit/time_series.h"
+
+namespace fvsst::sim {
+
+/// Receives every metric in a registry; implement to add export formats.
+class MetricSink {
+ public:
+  virtual ~MetricSink() = default;
+  virtual void series(const std::string& key, const TimeSeries& s) = 0;
+  virtual void counter(const std::string& key, double value) = 0;
+};
+
+/// Owner of named metrics.  References returned by series()/counter() stay
+/// valid for the registry's lifetime (storage is a deque), so hot paths can
+/// hold the pointer and append without lookups.
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Finds or registers the series stored under `key`.  `display_name`
+  /// (used for chart labels and CSV headers) is applied only on first
+  /// registration and defaults to the key itself.
+  TimeSeries& series(const std::string& key, const std::string& display_name = {});
+
+  /// Series stored under `key`, or nullptr when absent.
+  const TimeSeries* find_series(const std::string& key) const;
+
+  /// Series stored under `key`; throws std::out_of_range when absent.
+  const TimeSeries& at(const std::string& key) const;
+
+  /// Finds or registers a scalar counter (starts at 0).
+  double& counter(const std::string& key);
+
+  /// Counter value, or 0 when absent.
+  double counter_value(const std::string& key) const;
+
+  /// Registration-ordered keys.
+  std::vector<std::string> series_keys() const { return series_keys_; }
+  std::vector<std::string> counter_keys() const { return counter_keys_; }
+
+  std::size_t series_count() const { return series_keys_.size(); }
+  std::size_t counter_count() const { return counter_keys_.size(); }
+
+  /// Streams every metric through `sink` in registration order (series
+  /// first, then counters).
+  void export_to(MetricSink& sink) const;
+
+ private:
+  std::deque<TimeSeries> series_storage_;
+  std::vector<std::string> series_keys_;
+  std::unordered_map<std::string, std::size_t> series_index_;
+  std::deque<double> counter_storage_;
+  std::vector<std::string> counter_keys_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+};
+
+/// Writes each series as `<dir>/<key>.csv` ('/' in keys becomes '_') and
+/// all counters into `<dir>/counters.csv`.  Best effort: unwritable paths
+/// are counted, not thrown.
+class CsvDirectorySink final : public MetricSink {
+ public:
+  /// `dt` > 0 resamples each series onto a uniform grid; 0 writes raw
+  /// samples.
+  explicit CsvDirectorySink(std::string dir, double dt = 0.0);
+  ~CsvDirectorySink() override;
+
+  void series(const std::string& key, const TimeSeries& s) override;
+  void counter(const std::string& key, double value) override;
+
+  std::size_t failures() const { return failures_; }
+
+ private:
+  std::string dir_;
+  double dt_;
+  std::size_t failures_ = 0;
+  std::vector<std::pair<std::string, double>> counters_;
+};
+
+/// Writes one JSON object per line:
+///   {"metric":"cpu0/granted_hz","name":"granted_hz","samples":[[t,v],...]}
+///   {"metric":"loop/policy_s","value":0.00012}
+class JsonLinesSink final : public MetricSink {
+ public:
+  explicit JsonLinesSink(std::ostream& out) : out_(out) {}
+
+  void series(const std::string& key, const TimeSeries& s) override;
+  void counter(const std::string& key, double value) override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace fvsst::sim

@@ -111,6 +111,38 @@ TEST(ClusterDaemon, ToleratesMessageLoss) {
   EXPECT_GE(daemon.rounds(), 10u);
 }
 
+TEST(ClusterDaemon, LostSettingsAreRepairedByLaterRounds) {
+  // Drop half of all messages.  Nodes that miss a settings vector keep
+  // running on stale frequencies, so the cluster may transiently exceed a
+  // tightened budget — but every periodic round re-sends the full settings
+  // vector, so once messages get through the whole cluster complies.
+  ClusterRig rig(4);
+  for (const auto& addr : rig.cluster.all_procs()) {
+    rig.cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  ClusterDaemonConfig cfg = default_config();
+  cfg.channel_loss_probability = 0.50;
+  ClusterDaemon daemon(rig.sim, rig.cluster, mach::p630_frequency_table(),
+                       rig.budget, cfg);
+  rig.sim.run_for(1.0);
+  rig.budget.set_limit_w(1200.0);
+  rig.sim.run_for(2.0);
+
+  // The loss actually happened on both channels; this is not a quiet run.
+  EXPECT_GT(daemon.summaries_dropped(), 0u);
+  EXPECT_GT(daemon.settings_dropped(), 0u);
+  // Repair: despite every individual settings message being a coin flip,
+  // the periodic rounds converged the cluster onto the budget.
+  EXPECT_LE(rig.cluster.cpu_power_w(), 1200.0);
+  // All nodes ended on the same settings (homogeneous cluster, identical
+  // load): nobody is left behind on a stale vector.
+  const double hz0 = rig.cluster.core({0, 0}).frequency_hz();
+  for (const auto& addr : rig.cluster.all_procs()) {
+    EXPECT_DOUBLE_EQ(rig.cluster.core(addr).frequency_hz(), hz0);
+  }
+}
+
 TEST(ClusterDaemon, DiverseTiersGetDiverseFrequencies) {
   ClusterRig rig(4);
   sim::Rng wl_rng(11);

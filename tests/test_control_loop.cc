@@ -1,0 +1,304 @@
+// Tests for the shared control-loop engine (core/control_loop.h) and the
+// telemetry registry (simkit/telemetry.h): stage wiring, EWMA estimate
+// smoothing, per-stage timing counters, and metric export.
+#include "core/control_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include <unistd.h>
+
+#include "baselines/governor_daemon.h"
+#include "baselines/policies.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "simkit/telemetry.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::core {
+namespace {
+
+using units::GHz;
+using units::ms;
+
+struct Rig {
+  sim::Simulation sim;
+  sim::Rng rng{42};
+  mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  power::PowerBudget budget{4 * 140.0};
+};
+
+IntervalSample make_sample(double instructions, double cycles,
+                           double mem_accesses, double elapsed_s) {
+  IntervalSample s;
+  s.delta.instructions = instructions;
+  s.delta.cycles = cycles;
+  s.delta.l2_accesses = mem_accesses;
+  s.delta.l3_accesses = mem_accesses / 2;
+  s.delta.mem_accesses = mem_accesses / 4;
+  s.elapsed_s = elapsed_s;
+  s.measured_hz = cycles / elapsed_s;
+  s.valid = true;
+  return s;
+}
+
+// --- IpcEstimator ---------------------------------------------------------
+
+TEST(IpcEstimator, ZeroSmoothingMatchesFreshEstimate) {
+  const mach::MemoryLatencies lat = mach::p630().latencies;
+  const IntervalSample a = make_sample(8e6, 2e7, 4e4, 0.1);
+  const IntervalSample b = make_sample(5e6, 2e7, 9e4, 0.1);
+
+  // The prototype path: each interval's estimate taken as-is.
+  IpcEstimator::Options opts;
+  opts.idle_signal = IdleSignal::kNone;
+  IpcEstimator estimator(lat, opts);
+  std::vector<ProcView> views(1);
+  estimator.update({a}, views);
+  estimator.update({b}, views);
+
+  const IpcPredictor predictor(lat);
+  CounterObservation obs;
+  obs.delta = b.delta;
+  obs.measured_hz = b.measured_hz;
+  const WorkloadEstimate fresh = predictor.estimate(obs);
+  ASSERT_TRUE(fresh.valid);
+  ASSERT_TRUE(views[0].estimate.valid);
+  EXPECT_DOUBLE_EQ(views[0].estimate.alpha_inv, fresh.alpha_inv);
+  EXPECT_DOUBLE_EQ(views[0].estimate.mem_time_per_instr,
+                   fresh.mem_time_per_instr);
+}
+
+TEST(IpcEstimator, SmoothingBlendsOldAndFreshEstimates) {
+  const mach::MemoryLatencies lat = mach::p630().latencies;
+  const IntervalSample a = make_sample(8e6, 2e7, 4e4, 0.1);
+  const IntervalSample b = make_sample(5e6, 2e7, 9e4, 0.1);
+
+  const IpcPredictor predictor(lat);
+  CounterObservation obs_a, obs_b;
+  obs_a.delta = a.delta;
+  obs_a.measured_hz = a.measured_hz;
+  obs_b.delta = b.delta;
+  obs_b.measured_hz = b.measured_hz;
+  const WorkloadEstimate ea = predictor.estimate(obs_a);
+  const WorkloadEstimate eb = predictor.estimate(obs_b);
+  ASSERT_TRUE(ea.valid && eb.valid);
+
+  const double s = 0.7;
+  IpcEstimator::Options opts;
+  opts.idle_signal = IdleSignal::kNone;
+  opts.smoothing = s;
+  IpcEstimator estimator(lat, opts);
+  std::vector<ProcView> views(1);
+  estimator.update({a}, views);  // first estimate: taken as-is (no old one)
+  EXPECT_DOUBLE_EQ(views[0].estimate.alpha_inv, ea.alpha_inv);
+  estimator.update({b}, views);  // second: EWMA of old and fresh
+  EXPECT_DOUBLE_EQ(views[0].estimate.alpha_inv,
+                   s * ea.alpha_inv + (1.0 - s) * eb.alpha_inv);
+  EXPECT_DOUBLE_EQ(
+      views[0].estimate.mem_time_per_instr,
+      s * ea.mem_time_per_instr + (1.0 - s) * eb.mem_time_per_instr);
+}
+
+TEST(IpcEstimator, InvalidIntervalKeepsLastEstimateUnlessReset) {
+  const mach::MemoryLatencies lat = mach::p630().latencies;
+  const IntervalSample good = make_sample(8e6, 2e7, 4e4, 0.1);
+  IntervalSample bad;  // valid == false
+
+  IpcEstimator::Options keep_opts;
+  keep_opts.idle_signal = IdleSignal::kNone;
+  IpcEstimator keeper(lat, keep_opts);
+  std::vector<ProcView> views(1);
+  keeper.update({good}, views);
+  ASSERT_TRUE(views[0].estimate.valid);
+  keeper.update({bad}, views);
+  EXPECT_TRUE(views[0].estimate.valid);  // last good estimate retained
+
+  IpcEstimator::Options reset_opts;
+  reset_opts.idle_signal = IdleSignal::kNone;
+  reset_opts.reset_on_invalid = true;
+  IpcEstimator resetter(lat, reset_opts);
+  std::vector<ProcView> views2(1);
+  resetter.update({good}, views2);
+  ASSERT_TRUE(views2[0].estimate.valid);
+  resetter.update({bad}, views2);
+  EXPECT_FALSE(views2[0].estimate.valid);  // stateless host behaviour
+}
+
+// --- Stage timing counters ------------------------------------------------
+
+TEST(ControlLoopTimings, StagesAreCountedAndPublished) {
+  Rig rig;
+  rig.cluster.core({0, 1}).add_workload(
+      workload::make_uniform_synthetic(50.0, 1e12));
+  FvsstDaemon daemon(rig.sim, rig.cluster, rig.machine.freq_table, rig.budget,
+                     DaemonConfig{});
+  rig.sim.run_for(1.001);
+
+  const ControlLoopTimings& t = daemon.loop().timings();
+  // 100 ticks at t = 10 ms; each T boundary (10 of them) runs the cycle.
+  EXPECT_EQ(t.sample.invocations, 100u);
+  EXPECT_EQ(t.estimate.invocations, daemon.schedules_run());
+  EXPECT_EQ(t.policy.invocations, daemon.schedules_run());
+  EXPECT_EQ(t.actuate.invocations, daemon.schedules_run());
+  EXPECT_GT(t.policy.total_s, 0.0);
+  EXPECT_GE(t.cycle_total_s(),
+            t.estimate.total_s + t.policy.total_s + t.actuate.total_s - 1e-12);
+  EXPECT_GE(t.policy.mean_s(), 0.0);
+
+  // The same numbers are published as telemetry counters.
+  const auto& reg = daemon.telemetry();
+  EXPECT_DOUBLE_EQ(reg.counter_value("loop/cycles"),
+                   static_cast<double>(daemon.schedules_run()));
+  EXPECT_DOUBLE_EQ(reg.counter_value("loop/policy_count"),
+                   static_cast<double>(daemon.schedules_run()));
+  EXPECT_DOUBLE_EQ(reg.counter_value("loop/policy_s"), t.policy.total_s);
+}
+
+// --- Engine trace registry ------------------------------------------------
+
+TEST(ControlLoopTraces, RegistryKeysKeepLegacyDisplayNames) {
+  Rig rig;
+  FvsstDaemon daemon(rig.sim, rig.cluster, rig.machine.freq_table, rig.budget,
+                     DaemonConfig{});
+  rig.sim.run_for(0.201);
+
+  // The accessor and the registry resolve to the same series object.
+  EXPECT_EQ(&daemon.granted_freq_trace(0),
+            &daemon.telemetry().at("cpu0/granted_hz"));
+  // Display names stay what benches and CSV headers always used.
+  EXPECT_EQ(daemon.telemetry().at("cpu0/granted_hz").name(), "granted_hz");
+  EXPECT_EQ(daemon.telemetry().at("cpu3/ipc_deviation").name(),
+            "ipc_deviation");
+  EXPECT_GT(daemon.granted_freq_trace(0).size(), 0u);
+}
+
+TEST(ControlLoopTraces, DisabledTracesRegisterNothing) {
+  Rig rig;
+  DaemonConfig cfg;
+  cfg.record_traces = false;
+  FvsstDaemon daemon(rig.sim, rig.cluster, rig.machine.freq_table, rig.budget,
+                     cfg);
+  rig.sim.run_for(0.301);
+  EXPECT_EQ(daemon.telemetry().series_count(), 0u);
+  EXPECT_EQ(daemon.granted_freq_trace(0).size(), 0u);
+  EXPECT_EQ(daemon.predicted_ipc_trace(2).size(), 0u);
+  // Counters (stage timings) are still published.
+  EXPECT_GT(daemon.telemetry().counter_value("loop/cycles"), 0.0);
+}
+
+TEST(ControlLoopTraces, GovernorHonoursRecordTracesFlag) {
+  // The governors used to allocate trace vectors unconditionally; with the
+  // engine they only exist when asked for.
+  Rig rig;
+  baselines::GovernorDaemon::Config cfg;
+  cfg.record_traces = false;
+  baselines::GovernorDaemon off(rig.sim, rig.cluster, rig.machine.freq_table,
+                                cfg);
+  rig.sim.run_for(0.1);
+  EXPECT_EQ(off.telemetry().series_count(), 0u);
+  EXPECT_EQ(off.freq_trace(0).size(), 0u);
+
+  Rig rig2;
+  cfg.record_traces = true;
+  baselines::GovernorDaemon on(rig2.sim, rig2.cluster,
+                               rig2.machine.freq_table, cfg);
+  rig2.sim.run_for(0.1);
+  EXPECT_GT(on.freq_trace(0).size(), 0u);
+  EXPECT_EQ(on.telemetry().at("gov_cpu0/granted_hz").name(), "gov_hz_cpu0");
+}
+
+// --- PolicyStageAdapter ---------------------------------------------------
+
+TEST(PolicyStageAdapter, RunsComparatorPoliciesOnTheEngineContract) {
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  std::vector<const mach::FrequencyTable*> tables(3, &table);
+  std::vector<ProcView> views(3);
+
+  baselines::PolicyStageAdapter adapter(
+      std::make_unique<baselines::MaxFrequencyPolicy>());
+  const ScheduleResult result = adapter.decide(views, tables, 1e9);
+  ASSERT_EQ(result.decisions.size(), 3u);
+  for (const auto& d : result.decisions) {
+    EXPECT_DOUBLE_EQ(d.hz, table.max_hz());
+    EXPECT_GT(d.watts, 0.0);
+  }
+  EXPECT_TRUE(result.feasible);
+  // No prediction contract: the engine must skip scoring entirely.
+  EXPECT_LT(adapter.predict_ipc(views[0], table.max_hz()), 0.0);
+}
+
+// --- MetricRegistry and sinks --------------------------------------------
+
+TEST(MetricRegistry, FindOrCreateAndCounters) {
+  sim::MetricRegistry reg;
+  sim::TimeSeries& s1 = reg.series("cpu0/granted_hz", "granted_hz");
+  sim::TimeSeries& s2 = reg.series("cpu0/granted_hz", "ignored-second-name");
+  EXPECT_EQ(&s1, &s2);
+  EXPECT_EQ(s1.name(), "granted_hz");
+  EXPECT_EQ(reg.series_count(), 1u);
+  EXPECT_EQ(reg.find_series("nope"), nullptr);
+  EXPECT_THROW(reg.at("nope"), std::out_of_range);
+
+  reg.counter("loop/cycles") = 12.0;
+  reg.counter("loop/cycles") += 1.0;
+  EXPECT_DOUBLE_EQ(reg.counter_value("loop/cycles"), 13.0);
+  EXPECT_DOUBLE_EQ(reg.counter_value("absent"), 0.0);
+}
+
+TEST(MetricRegistry, JsonLinesExport) {
+  sim::MetricRegistry reg;
+  reg.series("cpu0/granted_hz", "granted_hz").add(0.0, 1e9);
+  reg.counter("loop/cycles") = 3.0;
+  std::ostringstream out;
+  sim::JsonLinesSink sink(out);
+  reg.export_to(sink);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"metric\":\"cpu0/granted_hz\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"granted_hz\""), std::string::npos);
+  EXPECT_NE(text.find("\"metric\":\"loop/cycles\""), std::string::npos);
+  EXPECT_NE(text.find("\"value\":3"), std::string::npos);
+}
+
+TEST(MetricRegistry, CsvDirectorySinkWritesPerMetricFiles) {
+  sim::MetricRegistry reg;
+  auto& s = reg.series("cpu0/granted_hz", "granted_hz");
+  s.add(0.0, 1e9);
+  s.add(0.1, 2e9);
+  reg.counter("loop/cycles") = 2.0;
+
+  char dir_template[] = "/tmp/fvsst_telemetry_XXXXXX";
+  ASSERT_NE(mkdtemp(dir_template), nullptr);
+  const std::string dir = dir_template;
+  {
+    sim::CsvDirectorySink sink(dir);
+    reg.export_to(sink);
+    EXPECT_EQ(sink.failures(), 0u);
+  }  // destructor flushes counters.csv
+
+  std::FILE* f = std::fopen((dir + "/cpu0_granted_hz.csv").c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char header[64] = {0};
+  ASSERT_NE(std::fgets(header, sizeof header, f), nullptr);
+  std::fclose(f);
+  EXPECT_NE(std::string(header).find("granted_hz"), std::string::npos);
+
+  std::FILE* c = std::fopen((dir + "/counters.csv").c_str(), "r");
+  ASSERT_NE(c, nullptr);
+  std::fclose(c);
+  std::remove((dir + "/cpu0_granted_hz.csv").c_str());
+  std::remove((dir + "/counters.csv").c_str());
+  rmdir(dir.c_str());
+}
+
+}  // namespace
+}  // namespace fvsst::core
