@@ -67,10 +67,14 @@ int main() {
   // the engine also measures the real host cost of each pipeline stage
   // (ControlLoop's monotonic-clock timing, last run, 25% setting).
   sim::TextTable cost("Measured engine cost per stage (host wall clock)");
-  cost.set_header({"stage", "invocations", "mean", "total"});
+  cost.set_header(
+      {"stage", "invocations", "mean", "p50", "p95", "p99", "total"});
   const auto row = [&](const char* name, const core::StageTiming& t) {
     cost.add_row({name, sim::TextTable::num(t.invocations, 0),
                   sim::TextTable::num(t.mean_s() * 1e6, 2) + " us",
+                  sim::TextTable::num(t.quantile_s(0.50) * 1e6, 2) + " us",
+                  sim::TextTable::num(t.quantile_s(0.95) * 1e6, 2) + " us",
+                  sim::TextTable::num(t.quantile_s(0.99) * 1e6, 2) + " us",
                   sim::TextTable::num(t.total_s * 1e3, 3) + " ms"});
   };
   row("sample", timings.sample);

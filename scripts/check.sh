@@ -16,3 +16,29 @@ fi
 cmake -S "${repo_root}" -B "${build_dir}" "${generator[@]}" -DFVSST_WERROR=ON
 cmake --build "${build_dir}" -j "$(nproc)"
 ctest --test-dir "${build_dir}" --output-on-failure
+
+# Observability smoke: a journalled run must produce a JSONL journal the
+# inspector accepts and a Chrome trace that is valid JSON.
+smoke_dir="${build_dir}/observability-smoke"
+mkdir -p "${smoke_dir}"
+"${build_dir}/tools/fvsst_sim" \
+  --workload synth:50@0.0 --budget 500 --budget-at 1:280 --duration 2 \
+  --explain --journal "${smoke_dir}/run.jsonl" \
+  --chrome-trace "${smoke_dir}/trace.json"
+"${build_dir}/tools/fvsst_inspect" "${smoke_dir}/run.jsonl" --check
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "${smoke_dir}/trace.json" >/dev/null
+  python3 - "${smoke_dir}/run.jsonl" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as fh:
+    lines = [line for line in fh if line.strip()]
+for n, line in enumerate(lines, 1):
+    try:
+        json.loads(line)
+    except ValueError as err:
+        raise SystemExit(f"journal line {n} is not valid JSON: {err}")
+print(f"journal OK: {len(lines)} valid JSON lines")
+EOF
+else
+  echo "python3 not found; skipping JSON validation of the smoke outputs"
+fi

@@ -113,6 +113,17 @@ GovernorDaemon::GovernorDaemon(sim::Simulation& sim,
   loop_config.naming.measured_ipc = "gov_measured_ipc_cpu";
   loop_config.naming.deviation = "gov_ipc_deviation_cpu";
   loop_config.naming.append_cpu_index = true;
+  loop_config.journal = config_.journal;
+  if (config_.journal) {
+    // Governors evaluate every tick (multiplier 1) and know nothing of
+    // budget triggers, so no T-restart semantic to verify.
+    config_.journal->append(sim_.now(), sim::EventType::kRunMeta)
+        .set("t_sample_s", config_.period_s)
+        .set("multiplier", 1.0)
+        .set("cpus", static_cast<double>(procs_.size()))
+        .set("t_restarts", 0.0)
+        .set("daemon", governor_name(config_.policy));
+  }
   loop_ = std::make_unique<core::ControlLoop>(
       std::move(loop_config),
       std::make_unique<core::SimCoreSampler>(

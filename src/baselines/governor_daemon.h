@@ -84,6 +84,8 @@ class GovernorDaemon {
     double up_threshold = 0.80;   ///< ondemand/conservative step-up point.
     double down_threshold = 0.30; ///< conservative step-down point.
     bool record_traces = false;
+    /// Decision journal (not owned; must outlive the daemon).
+    sim::EventLog* journal = nullptr;
   };
 
   /// `table` is the default operating-point set; on heterogeneous

@@ -96,6 +96,17 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   ControlLoopConfig loop_config;
   loop_config.schedule_every_n_samples = config_.schedule_every_n_samples;
   loop_config.record_traces = false;  // Nothing to score at the global side.
+  loop_config.journal = config_.journal;
+  if (config_.journal) {
+    // t_restarts = 0: the global round runs on its own absolute timer, so
+    // a budget trigger does NOT restart T (unlike the SMP daemon).
+    config_.journal->append(sim_.now(), sim::EventType::kRunMeta)
+        .set("t_sample_s", config_.t_sample_s)
+        .set("multiplier", static_cast<double>(config_.schedule_every_n_samples))
+        .set("cpus", static_cast<double>(proc_tables_.size()))
+        .set("t_restarts", 0.0)
+        .set("daemon", std::string("cluster"));
+  }
   loop_ = std::make_unique<ControlLoop>(
       std::move(loop_config),
       std::make_unique<SummarySampler>(proc_tables_.size()),
@@ -106,7 +117,13 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   power_trace_ =
       &telemetry_.series("cluster/scheduled_power_w", "scheduled_cpu_power_w");
 
-  budget_.on_change([this](double) { global_cycle(CycleTrigger::kBudget); });
+  budget_.on_change([this](double limit) {
+    if (config_.journal) {
+      config_.journal->append(sim_.now(), sim::EventType::kBudgetChange)
+          .set("budget_w", limit);
+    }
+    global_cycle(CycleTrigger::kBudget);
+  });
   up_channel_.set_loss_probability(config.channel_loss_probability);
   down_channel_.set_loss_probability(config.channel_loss_probability);
   // The global scheduler runs on its own timer (the paper's periodic
@@ -189,6 +206,14 @@ void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
     }
   }
   power_trace_->add(sim_.now(), cluster_.cpu_power_w());
+  if (config_.journal) {
+    // The deferred, per-node half of the actuation: settings landed after
+    // crossing the down channel.
+    config_.journal->append(sim_.now(), sim::EventType::kActuation)
+        .set("node", static_cast<double>(node))
+        .set("cluster_power_w", cluster_.cpu_power_w())
+        .set("stage", std::string("node_apply"));
+  }
 }
 
 }  // namespace fvsst::core

@@ -51,6 +51,10 @@ struct ClusterDaemonConfig {
   double channel_loss_probability = 0.0;
   IdleSignal idle_signal = IdleSignal::kOsSignal;
   double halted_idle_threshold = 0.90;
+  /// Decision journal (not owned; must outlive the daemon).  Records the
+  /// global scheduler's rounds plus deferred per-node applies (actuation
+  /// events with stage = "node_apply").
+  sim::EventLog* journal = nullptr;
 };
 
 /// Global scheduler plus one agent per node.

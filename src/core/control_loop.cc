@@ -17,6 +17,15 @@ double seconds_since(Clock::time_point t0) {
 
 }  // namespace
 
+std::string_view cycle_trigger_name(CycleTrigger trigger) {
+  switch (trigger) {
+    case CycleTrigger::kTimer: return "timer";
+    case CycleTrigger::kBudget: return "budget";
+    case CycleTrigger::kManual: return "manual";
+  }
+  return "?";
+}
+
 ControlLoop::ControlLoop(ControlLoopConfig config,
                          std::unique_ptr<Sampler> sampler,
                          std::unique_ptr<Estimator> estimator,
@@ -54,6 +63,21 @@ ControlLoop::ControlLoop(ControlLoopConfig config,
       st.dev = &telemetry_->series(prefix + "ipc_deviation", nm.deviation + suffix);
     }
   }
+  if (config_.journal) {
+    prev_idle_.assign(cpus, 0);
+    // The operating-point tables are the inspector's ground truth for the
+    // minimum-voltage check; record them up front.
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+      for (std::size_t k = 0; k < tables_[i]->size(); ++k) {
+        const auto& point = (*tables_[i])[k];
+        config_.journal->append(0.0, sim::EventType::kTablePoint,
+                                static_cast<int>(i))
+            .set("hz", point.hz)
+            .set("volts", point.volts)
+            .set("watts", point.watts);
+      }
+    }
+  }
 }
 
 void ControlLoop::prime(double now, const std::vector<double>& hz,
@@ -73,12 +97,21 @@ bool ControlLoop::collect(double now) {
   const auto t0 = Clock::now();
   sampler_->collect();
   ++timings_.sample.invocations;
-  timings_.sample.total_s += seconds_since(t0);
+  const double elapsed = seconds_since(t0);
+  timings_.sample.total_s += elapsed;
+  timings_.sample.samples.add(elapsed);
   return ++samples_since_cycle_ >= config_.schedule_every_n_samples;
 }
 
 const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
                                              CycleTrigger trigger) {
+  if (config_.journal) {
+    config_.journal->append(now, sim::EventType::kCycleStart)
+        .set("cycle", static_cast<double>(cycles_run_))
+        .set("budget_w", power_budget_w)
+        .set("trigger", std::string(cycle_trigger_name(trigger)));
+  }
+
   // --- Sample + Estimate: close the interval, score the previous cycle's
   // predictions against what was measured, refresh the workload views.
   auto t0 = Clock::now();
@@ -96,7 +129,22 @@ const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
   }
   estimator_->update(samples, views_);
   ++timings_.estimate.invocations;
-  timings_.estimate.total_s += seconds_since(t0);
+  const double estimate_s = seconds_since(t0);
+  timings_.estimate.total_s += estimate_s;
+  timings_.estimate.samples.add(estimate_s);
+
+  if (config_.journal) {
+    for (std::size_t i = 0; i < views_.size(); ++i) {
+      const char idle = views_[i].idle ? 1 : 0;
+      if (idle != prev_idle_[i]) {
+        config_.journal->append(now,
+                                idle ? sim::EventType::kIdleEnter
+                                     : sim::EventType::kIdleExit,
+                                static_cast<int>(i));
+        prev_idle_[i] = idle;
+      }
+    }
+  }
 
   // The facade's modelled scheduling cost (dead cycles) is charged here,
   // outside the stage timers, so measured and modelled overhead stay
@@ -109,7 +157,9 @@ const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
   ++cycles_run_;
   samples_since_cycle_ = 0;
   ++timings_.policy.invocations;
-  timings_.policy.total_s += seconds_since(t0);
+  const double policy_s = seconds_since(t0);
+  timings_.policy.total_s += policy_s;
+  timings_.policy.samples.add(policy_s);
 
   // --- Actuate, then account for what was granted: record the promise the
   // policy's model makes for the next interval, and the operating point's
@@ -133,9 +183,65 @@ const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
     if (st.desired) st.desired->add(now, d.desired_hz);
   }
   ++timings_.actuate.invocations;
-  timings_.actuate.total_s += seconds_since(t0);
+  const double actuate_s = seconds_since(t0);
+  timings_.actuate.total_s += actuate_s;
+  timings_.actuate.samples.add(actuate_s);
   publish_timings();
+  if (config_.journal) {
+    journal_cycle(now, trigger, power_budget_w, estimate_s, policy_s,
+                  actuate_s);
+  }
   return last_result_;
+}
+
+void ControlLoop::journal_cycle(double now, CycleTrigger trigger,
+                                double power_budget_w, double estimate_s,
+                                double policy_s, double actuate_s) {
+  (void)trigger;
+  sim::EventLog& journal = *config_.journal;
+  for (std::size_t i = 0; i < last_result_.decisions.size(); ++i) {
+    const ScheduleDecision& d = last_result_.decisions[i];
+    sim::Event& e = journal.append(now, sim::EventType::kDecision,
+                                   static_cast<int>(i));
+    e.set("granted_hz", d.hz)
+        .set("desired_hz", d.desired_hz)
+        .set("volts", d.volts)
+        .set("watts", d.watts)
+        .set("predicted_loss", d.predicted_loss)
+        .set("idle", i < views_.size() && views_[i].idle ? 1.0 : 0.0);
+    if (d.pass1_reason != Pass1Reason::kUnspecified) {
+      e.set("pass1", std::string(pass1_reason_name(d.pass1_reason)));
+    }
+    if (last_result_.explained) {
+      e.set("pass1_loss", d.pass1_loss);
+      e.set("rejected_loss", d.rejected_loss);
+    }
+  }
+  for (std::size_t k = 0; k < last_result_.downgrades.size(); ++k) {
+    const DowngradeStep& step = last_result_.downgrades[k];
+    journal.append(now, sim::EventType::kDowngrade,
+                   static_cast<int>(step.proc))
+        .set("seq", static_cast<double>(k))
+        .set("from_hz", step.from_hz)
+        .set("to_hz", step.to_hz)
+        .set("loss_after", step.loss_after)
+        .set("marginal_loss", step.marginal_loss)
+        .set("watts_saved", step.watts_saved);
+  }
+  if (!last_result_.feasible) {
+    journal.append(now, sim::EventType::kInfeasibleBudget)
+        .set("budget_w", power_budget_w)
+        .set("total_power_w", last_result_.total_cpu_power_w);
+  }
+  journal.append(now, sim::EventType::kActuation)
+      .set("total_power_w", last_result_.total_cpu_power_w)
+      .set("budget_w", power_budget_w)
+      .set("feasible", last_result_.feasible ? 1.0 : 0.0)
+      .set("downgrade_steps",
+           static_cast<double>(last_result_.downgrade_steps))
+      .set("estimate_s", estimate_s)
+      .set("policy_s", policy_s)
+      .set("actuate_s", actuate_s);
 }
 
 void ControlLoop::publish_timings() {
@@ -152,6 +258,16 @@ void ControlLoop::publish_timings() {
   put("policy_s", timings_.policy.total_s);
   put("actuate_count", static_cast<double>(timings_.actuate.invocations));
   put("actuate_s", timings_.actuate.total_s);
+  const auto put_quantiles = [&](const char* stage, const StageTiming& t) {
+    if (!t.samples.count()) return;
+    put((std::string(stage) + "_p50_s").c_str(), t.quantile_s(0.50));
+    put((std::string(stage) + "_p95_s").c_str(), t.quantile_s(0.95));
+    put((std::string(stage) + "_p99_s").c_str(), t.quantile_s(0.99));
+  };
+  put_quantiles("sample", timings_.sample);
+  put_quantiles("estimate", timings_.estimate);
+  put_quantiles("policy", timings_.policy);
+  put_quantiles("actuate", timings_.actuate);
 }
 
 const sim::RunningStat& ControlLoop::deviation_stat(std::size_t cpu) const {

@@ -35,6 +35,7 @@
 
 #include "cluster/cluster.h"
 #include "core/scheduler.h"
+#include "simkit/event_log.h"
 #include "simkit/stats.h"
 #include "simkit/telemetry.h"
 
@@ -121,6 +122,9 @@ enum class CycleTrigger {
   kManual,  ///< Externally driven (the host port's step()).
 };
 
+/// Stable wire name ("timer", "budget", "manual") for journals and logs.
+std::string_view cycle_trigger_name(CycleTrigger trigger);
+
 /// Stage 4: applies decisions to the world.
 class Actuator {
  public:
@@ -133,9 +137,17 @@ class Actuator {
 struct StageTiming {
   std::uint64_t invocations = 0;
   double total_s = 0.0;
+  /// Every per-invocation cost, kept for order statistics (a mean hides
+  /// the tail the paper's overhead argument cares about).
+  sim::SampleSet samples;
 
   double mean_s() const {
     return invocations ? total_s / static_cast<double>(invocations) : 0.0;
+  }
+  /// p-quantile of the per-invocation cost (p in [0, 1]); 0 before the
+  /// first invocation.
+  double quantile_s(double p) const {
+    return samples.count() ? samples.percentile(p) : 0.0;
   }
 };
 
@@ -181,6 +193,12 @@ struct ControlLoopConfig {
   /// Invoked between estimation and the policy run — facades charge their
   /// modelled scheduling cost (dead cycles) here.
   std::function<void(CycleTrigger)> pre_policy;
+  /// Decision journal (not owned; must outlive the loop).  When set, the
+  /// engine emits table_point events at construction and cycle_start /
+  /// idle transitions / decision / downgrade / infeasible_budget /
+  /// actuation events per cycle.  Purely observational: with it null the
+  /// loop's behaviour is bit-for-bit identical.
+  sim::EventLog* journal = nullptr;
 };
 
 /// The unified control-loop engine.  Passive: facades own the timers (or
@@ -263,6 +281,8 @@ class ControlLoop {
   };
 
   void publish_timings();
+  void journal_cycle(double now, CycleTrigger trigger, double power_budget_w,
+                     double estimate_s, double policy_s, double actuate_s);
 
   ControlLoopConfig config_;
   std::unique_ptr<Sampler> sampler_;
@@ -273,6 +293,7 @@ class ControlLoop {
   sim::MetricRegistry* telemetry_;
   std::vector<ProcView> views_;
   std::vector<CpuState> states_;
+  std::vector<char> prev_idle_;  ///< Journal-only idle-transition memory.
   int samples_since_cycle_ = 0;
   std::size_t cycles_run_ = 0;
   ScheduleResult last_result_;

@@ -35,6 +35,17 @@ FvsstDaemon::FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   ControlLoopConfig loop_config;
   loop_config.schedule_every_n_samples = config_.schedule_every_n_samples;
   loop_config.record_traces = config_.record_traces;
+  loop_config.journal = config_.journal;
+  if (config_.journal) {
+    // t_restarts = 1: a budget trigger resets the tick count, restarting T
+    // (the paper's SMP daemon semantic the inspector verifies).
+    config_.journal->append(sim_.now(), sim::EventType::kRunMeta)
+        .set("t_sample_s", config_.t_sample_s)
+        .set("multiplier", static_cast<double>(config_.schedule_every_n_samples))
+        .set("cpus", static_cast<double>(procs_.size()))
+        .set("t_restarts", 1.0)
+        .set("daemon", std::string("fvsst"));
+  }
   // The scheduling calculation itself costs daemon time (dead cycles on the
   // hosting CPU), charged just before the policy runs.
   loop_config.pre_policy = [this](CycleTrigger) {
@@ -53,7 +64,13 @@ FvsstDaemon::FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   }
   loop_->prime(sim_.now(), hz, watts);
 
-  budget_.on_change([this](double) { run_cycle(CycleTrigger::kBudget); });
+  budget_.on_change([this](double limit) {
+    if (config_.journal) {
+      config_.journal->append(sim_.now(), sim::EventType::kBudgetChange)
+          .set("budget_w", limit);
+    }
+    run_cycle(CycleTrigger::kBudget);
+  });
   tick_event_ =
       sim_.schedule_every(config_.t_sample_s, [this] { on_sample_tick(); });
 }

@@ -60,6 +60,10 @@ struct DaemonConfig {
   bool per_cpu_threads = false;
   /// Record per-CPU traces (disable for long bulk runs).
   bool record_traces = true;
+  /// Decision journal (not owned; must outlive the daemon).  The daemon
+  /// contributes run_meta and budget_change events; the engine emits the
+  /// per-cycle record.  Null disables journalling.
+  sim::EventLog* journal = nullptr;
 };
 
 /// The frequency/voltage scheduling daemon.

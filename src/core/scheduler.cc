@@ -1,10 +1,22 @@
 #include "core/scheduler.h"
 
+#include <algorithm>
 #include <limits>
 #include <queue>
 #include <stdexcept>
 
 namespace fvsst::core {
+
+std::string_view pass1_reason_name(Pass1Reason reason) {
+  switch (reason) {
+    case Pass1Reason::kUnspecified: return "unspecified";
+    case Pass1Reason::kIdle: return "idle";
+    case Pass1Reason::kNoEstimate: return "no_estimate";
+    case Pass1Reason::kEpsilon: return "epsilon";
+    case Pass1Reason::kFmax: return "fmax";
+  }
+  return "?";
+}
 
 FrequencyScheduler::FrequencyScheduler(mach::FrequencyTable table,
                                        mach::MemoryLatencies nominal_latencies,
@@ -32,23 +44,54 @@ double FrequencyScheduler::predicted_loss(const WorkloadEstimate& est,
   return loss_at(est, hz, table_.max_hz());
 }
 
-std::size_t FrequencyScheduler::pass1_index(
-    const ProcView& proc, const mach::FrequencyTable& table) const {
+std::size_t FrequencyScheduler::pass1_index(const ProcView& proc,
+                                            const mach::FrequencyTable& table,
+                                            Pass1Reason* reason) const {
+  const auto classified = [&](std::size_t i, Pass1Reason r) {
+    if (reason) *reason = r;
+    return i;
+  };
   if (proc.idle && options_.idle_detection) {
-    return 0;  // idle: ignore the predictor, go to the minimum point
+    // Idle: ignore the predictor, go to the minimum point.
+    return classified(0, Pass1Reason::kIdle);
   }
   if (!proc.estimate.valid) {
     // No usable counter data yet (first interval): run at f_max; the next
     // interval will produce an estimate.
-    return table.size() - 1;
+    return classified(table.size() - 1, Pass1Reason::kNoEstimate);
   }
-  for (std::size_t i = 0; i < table.size(); ++i) {
+  for (std::size_t i = 0; i + 1 < table.size(); ++i) {
     if (loss_at(proc.estimate, table[i].hz, table.max_hz()) <
         options_.epsilon) {
-      return i;
+      return classified(i, Pass1Reason::kEpsilon);
     }
   }
-  return table.size() - 1;  // loss at f_max itself is 0 < epsilon
+  // Loss at f_max itself is 0 < epsilon; no lower setting qualified.
+  return classified(table.size() - 1, Pass1Reason::kFmax);
+}
+
+void FrequencyScheduler::record_downgrade(std::size_t proc,
+                                          std::size_t from_idx,
+                                          const std::vector<ProcView>& procs,
+                                          const Tables& tables,
+                                          ScheduleResult& result) const {
+  const auto& table = *tables[proc];
+  DowngradeStep step;
+  step.proc = proc;
+  step.from_hz = table[from_idx].hz;
+  step.to_hz = table[from_idx - 1].hz;
+  step.watts_saved = table[from_idx].watts - table[from_idx - 1].watts;
+  const bool no_loss =
+      (procs[proc].idle && options_.idle_detection) ||
+      !procs[proc].estimate.valid;
+  if (!no_loss) {
+    const double before =
+        loss_at(procs[proc].estimate, step.from_hz, table.max_hz());
+    step.loss_after =
+        loss_at(procs[proc].estimate, step.to_hz, table.max_hz());
+    step.marginal_loss = std::max(step.loss_after - before, 0.0);
+  }
+  result.downgrades.push_back(step);
 }
 
 void FrequencyScheduler::pass2_power_fit(std::vector<std::size_t>& idx,
@@ -90,6 +133,9 @@ void FrequencyScheduler::pass2_power_fit(std::vector<std::size_t>& idx,
       result.feasible = false;
       break;
     }
+    if (options_.explain) {
+      record_downgrade(best_proc, idx[best_proc], procs, tables, result);
+    }
     power -= (*tables[best_proc])[idx[best_proc]].watts;
     --idx[best_proc];
     power += (*tables[best_proc])[idx[best_proc]].watts;
@@ -100,22 +146,35 @@ void FrequencyScheduler::pass2_power_fit(std::vector<std::size_t>& idx,
 ScheduleResult FrequencyScheduler::finalize(
     const std::vector<ProcView>& procs, const Tables& tables,
     const std::vector<std::size_t>& desired_idx,
-    std::vector<std::size_t> granted_idx, ScheduleResult partial) const {
+    std::vector<std::size_t> granted_idx,
+    const std::vector<Pass1Reason>& reasons, ScheduleResult partial) const {
   ScheduleResult result = std::move(partial);
+  result.explained = options_.explain;
   result.decisions.resize(procs.size());
   result.total_cpu_power_w = 0.0;
   for (std::size_t p = 0; p < procs.size(); ++p) {
     auto& d = result.decisions[p];
     const auto& table = *tables[p];
     const auto& granted = table[granted_idx[p]];
+    const bool no_loss =
+        (procs[p].idle && options_.idle_detection) || !procs[p].estimate.valid;
     d.desired_hz = table[desired_idx[p]].hz;
     d.hz = granted.hz;
     d.volts = granted.volts;  // pass 3: minimum-voltage table look-up
     d.watts = granted.watts;
     d.predicted_loss =
-        (procs[p].idle && options_.idle_detection) || !procs[p].estimate.valid
-            ? 0.0
-            : loss_at(procs[p].estimate, granted.hz, table.max_hz());
+        no_loss ? 0.0 : loss_at(procs[p].estimate, granted.hz, table.max_hz());
+    d.pass1_reason = reasons[p];
+    if (options_.explain) {
+      d.pass1_loss =
+          no_loss ? 0.0
+                  : loss_at(procs[p].estimate, d.desired_hz, table.max_hz());
+      if (desired_idx[p] > 0 && !no_loss) {
+        d.rejected_loss = loss_at(procs[p].estimate,
+                                  table[desired_idx[p] - 1].hz,
+                                  table.max_hz());
+      }
+    }
     result.total_cpu_power_w += granted.watts;
   }
   return result;
@@ -126,12 +185,14 @@ ScheduleResult FrequencyScheduler::schedule_two_pass(
     double power_budget_w) const {
   ScheduleResult result;
   std::vector<std::size_t> idx(procs.size());
+  std::vector<Pass1Reason> reasons(procs.size());
   for (std::size_t p = 0; p < procs.size(); ++p) {
-    idx[p] = pass1_index(procs[p], *tables[p]);
+    idx[p] = pass1_index(procs[p], *tables[p], &reasons[p]);
   }
   const std::vector<std::size_t> desired = idx;
   pass2_power_fit(idx, procs, tables, power_budget_w, result);
-  return finalize(procs, tables, desired, std::move(idx), std::move(result));
+  return finalize(procs, tables, desired, std::move(idx), reasons,
+                  std::move(result));
 }
 
 ScheduleResult FrequencyScheduler::schedule_single_pass(
@@ -142,9 +203,10 @@ ScheduleResult FrequencyScheduler::schedule_single_pass(
   // order of downgrades is the same, only the bookkeeping differs.
   ScheduleResult result;
   std::vector<std::size_t> idx(procs.size());
+  std::vector<Pass1Reason> reasons(procs.size());
   double power = 0.0;
   for (std::size_t p = 0; p < procs.size(); ++p) {
-    idx[p] = pass1_index(procs[p], *tables[p]);
+    idx[p] = pass1_index(procs[p], *tables[p], &reasons[p]);
     power += (*tables[p])[idx[p]].watts;
   }
   const std::vector<std::size_t> desired = idx;
@@ -180,6 +242,9 @@ ScheduleResult FrequencyScheduler::schedule_single_pass(
       const Candidate c = queue.top();
       queue.pop();
       if (c.to_index + 1 != idx[c.proc]) continue;  // stale entry
+      if (options_.explain) {
+        record_downgrade(c.proc, idx[c.proc], procs, tables, result);
+      }
       power -= (*tables[c.proc])[idx[c.proc]].watts;
       idx[c.proc] = c.to_index;
       power += (*tables[c.proc])[idx[c.proc]].watts;
@@ -193,7 +258,8 @@ ScheduleResult FrequencyScheduler::schedule_single_pass(
       break;
     }
   }
-  return finalize(procs, tables, desired, std::move(idx), std::move(result));
+  return finalize(procs, tables, desired, std::move(idx), reasons,
+                  std::move(result));
 }
 
 ScheduleResult FrequencyScheduler::schedule_continuous(
@@ -201,24 +267,30 @@ ScheduleResult FrequencyScheduler::schedule_continuous(
     double power_budget_w) const {
   ScheduleResult result;
   std::vector<std::size_t> idx(procs.size());
+  std::vector<Pass1Reason> reasons(procs.size());
   for (std::size_t p = 0; p < procs.size(); ++p) {
     const auto& proc = procs[p];
     const auto& table = *tables[p];
     if (proc.idle && options_.idle_detection) {
       idx[p] = 0;
+      reasons[p] = Pass1Reason::kIdle;
     } else if (!proc.estimate.valid) {
       idx[p] = table.size() - 1;
+      reasons[p] = Pass1Reason::kNoEstimate;
     } else {
       const double f_ideal =
           ideal_frequency(proc.estimate, table.max_hz(), options_.epsilon);
       // Snap upward: any grid point below f_ideal loses more than epsilon.
       const auto& point = table.ceil_point(f_ideal);
       idx[p] = *table.index_of(point.hz);
+      reasons[p] = idx[p] + 1 == table.size() ? Pass1Reason::kFmax
+                                              : Pass1Reason::kEpsilon;
     }
   }
   const std::vector<std::size_t> desired = idx;
   pass2_power_fit(idx, procs, tables, power_budget_w, result);
-  return finalize(procs, tables, desired, std::move(idx), std::move(result));
+  return finalize(procs, tables, desired, std::move(idx), reasons,
+                  std::move(result));
 }
 
 ScheduleResult FrequencyScheduler::schedule_watts_per_loss(
@@ -226,9 +298,10 @@ ScheduleResult FrequencyScheduler::schedule_watts_per_loss(
     double power_budget_w) const {
   ScheduleResult result;
   std::vector<std::size_t> idx(procs.size());
+  std::vector<Pass1Reason> reasons(procs.size());
   double power = 0.0;
   for (std::size_t p = 0; p < procs.size(); ++p) {
-    idx[p] = pass1_index(procs[p], *tables[p]);
+    idx[p] = pass1_index(procs[p], *tables[p], &reasons[p]);
     power += (*tables[p])[idx[p]].watts;
   }
   const std::vector<std::size_t> desired = idx;
@@ -263,12 +336,16 @@ ScheduleResult FrequencyScheduler::schedule_watts_per_loss(
       result.feasible = false;
       break;
     }
+    if (options_.explain) {
+      record_downgrade(best_proc, idx[best_proc], procs, tables, result);
+    }
     power -= (*tables[best_proc])[idx[best_proc]].watts;
     --idx[best_proc];
     power += (*tables[best_proc])[idx[best_proc]].watts;
     ++result.downgrade_steps;
   }
-  return finalize(procs, tables, desired, std::move(idx), std::move(result));
+  return finalize(procs, tables, desired, std::move(idx), reasons,
+                  std::move(result));
 }
 
 ScheduleResult FrequencyScheduler::schedule(

@@ -22,6 +22,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "core/predictor.h"
@@ -40,6 +42,18 @@ struct ProcView {
   double current_hz = 0.0;
 };
 
+/// Why pass 1 picked a processor's desired frequency.
+enum class Pass1Reason : std::uint8_t {
+  kUnspecified,  ///< Policy did not classify (baseline governors).
+  kIdle,         ///< Idle signal: predictor ignored, minimum point.
+  kNoEstimate,   ///< No usable counter data yet: run at f_max.
+  kEpsilon,      ///< Lowest frequency whose predicted loss < epsilon.
+  kFmax,         ///< No lower setting satisfied epsilon; pinned to f_max.
+};
+
+/// Stable wire name ("idle", "epsilon", ...).
+std::string_view pass1_reason_name(Pass1Reason reason);
+
 /// Per-processor outcome.
 struct ScheduleDecision {
   double desired_hz = 0.0;  ///< Pass-1 (epsilon-constrained) frequency.
@@ -47,6 +61,23 @@ struct ScheduleDecision {
   double volts = 0.0;       ///< Minimum stable voltage for `hz`.
   double watts = 0.0;       ///< Peak power at (hz, volts).
   double predicted_loss = 0.0;  ///< Predicted PerfLoss(f_max, hz).
+  Pass1Reason pass1_reason = Pass1Reason::kUnspecified;
+  // Explain mode (SchedulerOptions::explain) only:
+  double pass1_loss = 0.0;     ///< Predicted loss at the desired frequency.
+  /// Predicted loss at the next setting below desired — the cutoff that
+  /// pass 1 rejected (>= epsilon by construction); -1 when desired is
+  /// already the table floor.
+  double rejected_loss = -1.0;
+};
+
+/// One pass-2 downgrade, in the order taken (explain mode only).
+struct DowngradeStep {
+  std::size_t proc = 0;        ///< Index into the scheduled views.
+  double from_hz = 0.0;
+  double to_hz = 0.0;
+  double loss_after = 0.0;     ///< Predicted loss at to_hz — the greedy key.
+  double marginal_loss = 0.0;  ///< loss_after minus loss before the step.
+  double watts_saved = 0.0;
 };
 
 /// Whole-system outcome.
@@ -55,6 +86,10 @@ struct ScheduleResult {
   double total_cpu_power_w = 0.0;
   bool feasible = true;     ///< False when even all-minimum exceeds budget.
   std::size_t downgrade_steps = 0;  ///< Pass-2 iterations taken.
+  /// The ordered pass-2 sequence; populated only in explain mode (in which
+  /// case explained is true and downgrades.size() == downgrade_steps).
+  std::vector<DowngradeStep> downgrades;
+  bool explained = false;
 };
 
 /// Algorithm variants.
@@ -79,6 +114,10 @@ struct SchedulerOptions {
   /// Honour ProcView::idle by pinning idle processors to the minimum
   /// operating point.
   bool idle_detection = true;
+  /// Record decision rationale: pass-1 cutoff losses on every decision and
+  /// the ordered pass-2 downgrade sequence (ScheduleResult::downgrades).
+  /// Costs extra predictor evaluations; never changes the decisions.
+  bool explain = false;
 };
 
 /// The frequency/voltage scheduler.
@@ -118,7 +157,11 @@ class FrequencyScheduler {
 
   double loss_at(const WorkloadEstimate& est, double hz, double f_max) const;
   std::size_t pass1_index(const ProcView& proc,
-                          const mach::FrequencyTable& table) const;
+                          const mach::FrequencyTable& table,
+                          Pass1Reason* reason = nullptr) const;
+  void record_downgrade(std::size_t proc, std::size_t from_idx,
+                        const std::vector<ProcView>& procs,
+                        const Tables& tables, ScheduleResult& result) const;
   void pass2_power_fit(std::vector<std::size_t>& idx,
                        const std::vector<ProcView>& procs,
                        const Tables& tables, double power_budget_w,
@@ -139,6 +182,7 @@ class FrequencyScheduler {
                           const Tables& tables,
                           const std::vector<std::size_t>& desired_idx,
                           std::vector<std::size_t> granted_idx,
+                          const std::vector<Pass1Reason>& reasons,
                           ScheduleResult partial) const;
 
   mach::FrequencyTable table_;

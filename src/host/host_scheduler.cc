@@ -88,6 +88,17 @@ HostScheduler::HostScheduler(Options options)
   core::ControlLoopConfig loop_config;
   loop_config.schedule_every_n_samples = 1;  // step() is externally paced.
   loop_config.record_traces = options_.record_traces;
+  loop_config.journal = options_.journal;
+  if (options_.journal) {
+    // t_sample_s = 0: cycles are externally paced (wall clock), so the
+    // inspector has no fixed period to verify.
+    options_.journal->append(0.0, sim::EventType::kRunMeta)
+        .set("t_sample_s", 0.0)
+        .set("multiplier", 1.0)
+        .set("cpus", static_cast<double>(cpus_.size()))
+        .set("t_restarts", 0.0)
+        .set("daemon", std::string("host"));
+  }
   loop_ = std::make_unique<core::ControlLoop>(
       std::move(loop_config), std::move(sampler),
       std::make_unique<core::IpcEstimator>(options_.latencies, est_opts),

@@ -97,6 +97,8 @@ class HostScheduler {
     std::string sysfs_root = "/sys/devices/system/cpu";
     /// Record per-CPU traces in telemetry() (off for long-lived daemons).
     bool record_traces = false;
+    /// Decision journal (not owned; must outlive the scheduler).
+    sim::EventLog* journal = nullptr;
   };
 
   explicit HostScheduler(Options options);

@@ -1,0 +1,637 @@
+#include "simkit/event_log.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "simkit/telemetry.h"
+
+namespace fvsst::sim {
+
+namespace {
+
+struct TypeName {
+  EventType type;
+  std::string_view name;
+};
+
+constexpr std::array<TypeName, 10> kTypeNames{{
+    {EventType::kRunMeta, "run_meta"},
+    {EventType::kTablePoint, "table_point"},
+    {EventType::kCycleStart, "cycle_start"},
+    {EventType::kDecision, "decision"},
+    {EventType::kDowngrade, "downgrade"},
+    {EventType::kBudgetChange, "budget_change"},
+    {EventType::kIdleEnter, "idle_enter"},
+    {EventType::kIdleExit, "idle_exit"},
+    {EventType::kInfeasibleBudget, "infeasible_budget"},
+    {EventType::kActuation, "actuation"},
+}};
+
+}  // namespace
+
+std::string_view event_type_name(EventType type) {
+  for (const auto& tn : kTypeNames) {
+    if (tn.type == type) return tn.name;
+  }
+  return "?";
+}
+
+std::optional<EventType> event_type_from_name(std::string_view name) {
+  for (const auto& tn : kTypeNames) {
+    if (tn.name == name) return tn.type;
+  }
+  return std::nullopt;
+}
+
+bool Event::has_num(std::string_view key) const {
+  for (const auto& [k, v] : num) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double Event::num_or(std::string_view key, double fallback) const {
+  for (const auto& [k, v] : num) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+const std::string* Event::find_str(std::string_view key) const {
+  for (const auto& [k, v] : str) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Event& EventLog::append(double t, EventType type, int cpu) {
+  Event e;
+  e.t = t;
+  e.type = type;
+  e.cpu = cpu;
+  push(std::move(e));
+  return events_.back();
+}
+
+void EventLog::push(Event event) {
+  if (capacity_ > 0 && events_.size() >= capacity_) {
+    events_.pop_front();
+    ++dropped_;
+  }
+  events_.push_back(std::move(event));
+}
+
+void EventLog::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// JSONL export / import
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// JSON has no Infinity/NaN literals; clamp to the representable range so
+// the journal of an unconstrained run (budget = +inf) stays parseable.
+void write_number(std::ostream& out, double v) {
+  if (std::isnan(v)) v = 0.0;
+  v = std::clamp(v, -std::numeric_limits<double>::max(),
+                 std::numeric_limits<double>::max());
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.write(buf, res.ptr - buf);
+}
+
+}  // namespace
+
+void write_jsonl(std::ostream& out, const EventLog& log) {
+  for (const Event& e : log.events()) {
+    out << "{\"t\":";
+    write_number(out, e.t);
+    out << ",\"type\":";
+    write_json_string(out, event_type_name(e.type));
+    if (e.cpu >= 0) out << ",\"cpu\":" << e.cpu;
+    for (const auto& [key, value] : e.num) {
+      out << ',';
+      write_json_string(out, key);
+      out << ':';
+      write_number(out, value);
+    }
+    for (const auto& [key, value] : e.str) {
+      out << ',';
+      write_json_string(out, key);
+      out << ':';
+      write_json_string(out, value);
+    }
+    out << "}\n";
+  }
+}
+
+namespace {
+
+/// Minimal parser for the flat one-object-per-line JSON that write_jsonl
+/// emits: string and number values only (bool/null tolerated as numbers).
+class LineParser {
+ public:
+  LineParser(const std::string& line, std::size_t line_no)
+      : s_(line), line_no_(line_no) {}
+
+  Event parse() {
+    Event e;
+    bool have_type = false;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      fail("event object is empty");
+    }
+    while (true) {
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const char c = peek();
+      if (c == '"') {
+        std::string value = parse_string();
+        if (key == "type") {
+          const auto type = event_type_from_name(value);
+          if (!type) fail("unknown event type '" + value + "'");
+          e.type = *type;
+          have_type = true;
+        } else {
+          e.str.emplace_back(key, std::move(value));
+        }
+      } else {
+        const double value = parse_number();
+        if (key == "t") {
+          e.t = value;
+        } else if (key == "cpu") {
+          e.cpu = static_cast<int>(value);
+        } else {
+          e.num.emplace_back(key, value);
+        }
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        skip_ws();
+        continue;
+      }
+      break;
+    }
+    expect('}');
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after object");
+    if (!have_type) fail("event has no \"type\" field");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("journal line " + std::to_string(line_no_) +
+                             ": " + why);
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (peek() != c) {
+      fail(std::string("expected '") + c + "' at column " +
+           std::to_string(pos_ + 1));
+    }
+    ++pos_;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      char c = s_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape digit");
+          }
+          // The writer only \u-escapes control characters; anything wider
+          // degrades to '?' rather than growing a UTF-8 encoder here.
+          out += code < 0x80 ? static_cast<char>(code) : '?';
+          break;
+        }
+        default:
+          fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+    if (pos_ >= s_.size()) fail("unterminated string");
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  double parse_number() {
+    // Tolerate the JSON literals a hand-edited journal might contain.
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      return 1.0;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      return 0.0;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return 0.0;
+    }
+    const char* begin = s_.c_str() + pos_;
+    char* end = nullptr;
+    const double v = std::strtod(begin, &end);
+    if (end == begin) fail("expected a number at column " + std::to_string(pos_ + 1));
+    pos_ += static_cast<std::size_t>(end - begin);
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t line_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+EventLog read_jsonl(std::istream& in) {
+  EventLog log;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    bool blank = true;
+    for (char c : line) {
+      if (c != ' ' && c != '\t' && c != '\r') {
+        blank = false;
+        break;
+      }
+    }
+    if (blank) continue;
+    log.push(LineParser(line, line_no).parse());
+  }
+  return log;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr double kMicro = 1e6;  ///< Simulated seconds -> trace microseconds.
+
+/// Emits one trace-event object; `extra` is the raw tail after the common
+/// fields (caller supplies leading comma-separated members).
+class ChromeWriter {
+ public:
+  explicit ChromeWriter(std::ostream& out) : out_(out) {
+    out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    meta("process_name", "{\"name\":\"fvsst\"}", /*tid=*/-1);
+    meta("thread_name", "{\"name\":\"control loop\"}", /*tid=*/1);
+  }
+
+  void finish() { out_ << "\n]}\n"; }
+
+  void slice(std::string_view name, double ts_us, double dur_us,
+             const std::string& args_json) {
+    begin();
+    out_ << "{\"name\":";
+    write_json_string(out_, name);
+    out_ << ",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":";
+    write_number(out_, ts_us);
+    out_ << ",\"dur\":";
+    write_number(out_, std::max(dur_us, 0.001));  // visible at any zoom
+    if (!args_json.empty()) out_ << ",\"args\":" << args_json;
+    out_ << '}';
+  }
+
+  void counter(std::string_view name, double ts_us,
+               const std::string& args_json) {
+    begin();
+    out_ << "{\"name\":";
+    write_json_string(out_, name);
+    out_ << ",\"ph\":\"C\",\"pid\":1,\"ts\":";
+    write_number(out_, ts_us);
+    out_ << ",\"args\":" << args_json << '}';
+  }
+
+  void instant(std::string_view name, double ts_us,
+               const std::string& args_json) {
+    begin();
+    out_ << "{\"name\":";
+    write_json_string(out_, name);
+    out_ << ",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,\"tid\":1,\"ts\":";
+    write_number(out_, ts_us);
+    if (!args_json.empty()) out_ << ",\"args\":" << args_json;
+    out_ << '}';
+  }
+
+  /// Builds an args object from (key, value) pairs.
+  static std::string args(
+      std::initializer_list<std::pair<std::string_view, double>> fields) {
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : fields) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += k;
+      out += "\":";
+      char buf[32];
+      double clamped = std::isnan(v) ? 0.0 : v;
+      clamped = std::clamp(clamped, -std::numeric_limits<double>::max(),
+                           std::numeric_limits<double>::max());
+      const auto res = std::to_chars(buf, buf + sizeof buf, clamped);
+      out.append(buf, res.ptr);
+    }
+    out += '}';
+    return out;
+  }
+
+ private:
+  void begin() {
+    out_ << (first_ ? "\n " : ",\n ");
+    first_ = false;
+  }
+
+  void meta(std::string_view name, const std::string& args_json, int tid) {
+    begin();
+    out_ << "{\"name\":";
+    write_json_string(out_, name);
+    out_ << ",\"ph\":\"M\",\"pid\":1";
+    if (tid >= 0) out_ << ",\"tid\":" << tid;
+    out_ << ",\"args\":" << args_json << '}';
+  }
+
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const EventLog& log) {
+  ChromeWriter w(out);
+  for (const Event& e : log.events()) {
+    const double ts = e.t * kMicro;
+    switch (e.type) {
+      case EventType::kRunMeta:
+      case EventType::kTablePoint:
+      case EventType::kCycleStart:
+      case EventType::kDowngrade:
+        break;  // folded into the actuation slice / decision counters
+      case EventType::kDecision: {
+        const std::string name = "cpu" + std::to_string(e.cpu) + " freq_mhz";
+        w.counter(name, ts,
+                  ChromeWriter::args(
+                      {{"granted", e.num_or("granted_hz") / 1e6},
+                       {"desired", e.num_or("desired_hz") / 1e6}}));
+        break;
+      }
+      case EventType::kBudgetChange:
+        w.instant("budget_change", ts,
+                  ChromeWriter::args({{"budget_w", e.num_or("budget_w")}}));
+        break;
+      case EventType::kIdleEnter:
+        w.instant("cpu" + std::to_string(e.cpu) + " idle_enter", ts, {});
+        break;
+      case EventType::kIdleExit:
+        w.instant("cpu" + std::to_string(e.cpu) + " idle_exit", ts, {});
+        break;
+      case EventType::kInfeasibleBudget:
+        w.instant("infeasible_budget", ts,
+                  ChromeWriter::args(
+                      {{"budget_w", e.num_or("budget_w")},
+                       {"total_power_w", e.num_or("total_power_w")}}));
+        break;
+      case EventType::kActuation: {
+        if (const std::string* stage = e.find_str("stage")) {
+          if (*stage == "node_apply") {
+            w.instant("node" +
+                          std::to_string(static_cast<int>(e.num_or("node"))) +
+                          " apply",
+                      ts, {});
+            w.counter("cluster power (W)", ts,
+                      ChromeWriter::args(
+                          {{"power", e.num_or("cluster_power_w")}}));
+          }
+          break;
+        }
+        // The engine's end-of-cycle record: measured stage wall costs as
+        // nested slices at the cycle instant, power/budget as a counter.
+        const double est = e.num_or("estimate_s") * kMicro;
+        const double pol = e.num_or("policy_s") * kMicro;
+        const double act = e.num_or("actuate_s") * kMicro;
+        w.slice("cycle", ts, est + pol + act,
+                ChromeWriter::args(
+                    {{"total_power_w", e.num_or("total_power_w")},
+                     {"budget_w", e.num_or("budget_w")},
+                     {"feasible", e.num_or("feasible", 1.0)},
+                     {"downgrade_steps", e.num_or("downgrade_steps")}}));
+        w.slice("estimate", ts, est, {});
+        w.slice("policy", ts + est, pol, {});
+        w.slice("actuate", ts + est + pol, act, {});
+        w.counter("cpu power (W)", ts,
+                  ChromeWriter::args(
+                      {{"power", e.num_or("total_power_w")},
+                       {"budget", e.num_or("budget_w")}}));
+        break;
+      }
+    }
+  }
+  w.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Invariant checks
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string at_time(double t) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, t);
+  return " at t=" + std::string(buf, res.ptr) + "s";
+}
+
+}  // namespace
+
+JournalCheckReport check_journal(const EventLog& log) {
+  JournalCheckReport report;
+  constexpr double kPowerTolW = 1e-6;
+  constexpr double kVoltTol = 1e-9;
+
+  // 1. Budget compliance: whenever the scheduler claims feasibility, the
+  //    total it granted must fit under the budget it was given.
+  for (const Event& e : log.events()) {
+    if (e.type != EventType::kActuation || e.find_str("stage")) continue;
+    ++report.checks_run;
+    const double total = e.num_or("total_power_w");
+    const double budget = e.num_or("budget_w",
+                                   std::numeric_limits<double>::max());
+    if (e.num_or("feasible", 1.0) != 0.0 && total > budget + kPowerTolW) {
+      report.violations.push_back(
+          "feasible actuation exceeds budget" + at_time(e.t) + ": " +
+          std::to_string(total) + " W > " + std::to_string(budget) + " W");
+    }
+  }
+
+  // 2. Voltage is the table minimum for every granted frequency.
+  std::map<int, std::map<double, const Event*>> tables;
+  for (const Event& e : log.events()) {
+    if (e.type == EventType::kTablePoint) {
+      tables[e.cpu][e.num_or("hz")] = &e;
+    }
+  }
+  if (tables.empty()) {
+    report.skipped.push_back(
+        "voltage-table check: no table_point events in journal");
+  } else {
+    for (const Event& e : log.events()) {
+      if (e.type != EventType::kDecision) continue;
+      const auto table_it = tables.find(e.cpu);
+      if (table_it == tables.end()) continue;
+      ++report.checks_run;
+      const double hz = e.num_or("granted_hz");
+      const auto point_it = table_it->second.find(hz);
+      if (point_it == table_it->second.end()) {
+        report.violations.push_back(
+            "cpu" + std::to_string(e.cpu) + " granted " +
+            std::to_string(hz / 1e6) + " MHz" + at_time(e.t) +
+            ", not an operating point of its table");
+        continue;
+      }
+      const double table_volts = point_it->second->num_or("volts");
+      if (std::abs(e.num_or("volts") - table_volts) > kVoltTol) {
+        report.violations.push_back(
+            "cpu" + std::to_string(e.cpu) + at_time(e.t) + ": voltage " +
+            std::to_string(e.num_or("volts")) + " V is not the table minimum " +
+            std::to_string(table_volts) + " V for its granted frequency");
+      }
+    }
+  }
+
+  // 3. T restarts after a budget trigger (only meaningful for daemons with
+  //    tick-counted periods, declared via run_meta t_restarts = 1).
+  const Event* meta = nullptr;
+  for (const Event& e : log.events()) {
+    if (e.type == EventType::kRunMeta) {
+      meta = &e;
+      break;
+    }
+  }
+  const double t_sample = meta ? meta->num_or("t_sample_s") : 0.0;
+  const double multiplier = meta ? meta->num_or("multiplier") : 0.0;
+  if (!meta || meta->num_or("t_restarts") == 0.0 || t_sample <= 0.0 ||
+      multiplier <= 0.0) {
+    report.skipped.push_back(
+        "T-restart check: journal does not declare a tick-counted period");
+  } else {
+    // After a budget cycle the tick count restarts, so the next timer
+    // cycle comes at least (n - 1) ticks later.
+    const double min_gap = (multiplier - 1.0) * t_sample - 1e-9;
+    const Event* pending_budget_cycle = nullptr;
+    for (const Event& e : log.events()) {
+      if (e.type != EventType::kCycleStart) continue;
+      const std::string* trigger = e.find_str("trigger");
+      if (!trigger) continue;
+      if (*trigger == "budget") {
+        pending_budget_cycle = &e;
+      } else if (*trigger == "timer" && pending_budget_cycle) {
+        ++report.checks_run;
+        if (e.t - pending_budget_cycle->t < min_gap) {
+          report.violations.push_back(
+              "timer cycle" + at_time(e.t) +
+              " fired only " + std::to_string(e.t - pending_budget_cycle->t) +
+              "s after the budget trigger" +
+              at_time(pending_budget_cycle->t) +
+              "; T did not restart");
+        }
+        pending_budget_cycle = nullptr;
+      }
+    }
+  }
+
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Journal diff
+// ---------------------------------------------------------------------------
+
+JournalDiff diff_journals(const EventLog& a, const EventLog& b) {
+  JournalDiff diff;
+  for (const auto& tn : kTypeNames) {
+    JournalDiff::TypeCount tc;
+    tc.type = std::string(tn.name);
+    for (const Event& e : a.events()) {
+      if (e.type == tn.type) ++tc.a;
+    }
+    for (const Event& e : b.events()) {
+      if (e.type == tn.type) ++tc.b;
+    }
+    if (tc.a > 0 || tc.b > 0) diff.type_counts.push_back(std::move(tc));
+  }
+
+  std::vector<const Event*> da, db;
+  for (const Event& e : a.events()) {
+    if (e.type == EventType::kDecision) da.push_back(&e);
+  }
+  for (const Event& e : b.events()) {
+    if (e.type == EventType::kDecision) db.push_back(&e);
+  }
+  const std::size_t n = std::min(da.size(), db.size());
+  diff.decisions_compared = n;
+  diff.decisions_unmatched = std::max(da.size(), db.size()) - n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (da[i]->cpu != db[i]->cpu ||
+        da[i]->num_or("granted_hz") != db[i]->num_or("granted_hz")) {
+      ++diff.decisions_differing;
+      if (diff.first_divergence_t < 0.0) {
+        diff.first_divergence_t = da[i]->t;
+        diff.first_divergence_cpu = da[i]->cpu;
+      }
+    }
+  }
+  return diff;
+}
+
+}  // namespace fvsst::sim

@@ -1,0 +1,194 @@
+// event_log.h - Structured decision journal for the control loop.
+//
+// The paper's evaluation (Fig. 4-9, Table 2) is post-processing of the
+// daemon's scheduling logs, and PAPERS.md's trace-driven schedulability
+// work validates frequency-scaling behaviour the same way: from execution
+// traces.  MetricRegistry records *what* was decided (named series); the
+// EventLog records *why*: timestamped, typed events for every scheduling
+// cycle — the trigger, each processor's decision with its pass-1 rationale,
+// the pass-2 downgrade order, budget changes, idle transitions, infeasible
+// budgets and actuations — each carrying a small key/value payload.
+//
+// The journal is purely observational: recording reads simulation state and
+// never mutates it, so schedules are bit-for-bit identical with it on or
+// off.  A bounded ring-buffer mode (capacity > 0) keeps long-lived daemons
+// at fixed memory by dropping the oldest events.
+//
+// Two export formats plus a reader:
+//   write_jsonl        one JSON object per line; read_jsonl loads it back.
+//   write_chrome_trace Chrome trace-event JSON (open in Perfetto or
+//                      chrome://tracing): per-cycle stage costs as duration
+//                      slices, power/budget/frequency as counter tracks,
+//                      triggers and idle transitions as instant events.
+// check_journal verifies scheduling invariants over a journal and
+// diff_journals compares two runs — the engine behind tools/fvsst_inspect.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fvsst::sim {
+
+/// What a journal event describes.  The schema (payload keys per type) is
+/// documented next to each enumerator; producers live in core::ControlLoop
+/// and the daemon facades.
+enum class EventType {
+  /// Once per run, from the facade: "t_sample_s", "multiplier", "cpus",
+  /// "t_restarts" (1 when a budget trigger restarts the period T, the SMP
+  /// daemon's semantic); str "daemon".
+  kRunMeta,
+  /// One per (cpu, operating point): "hz", "volts", "watts" — the ground
+  /// truth for the inspector's minimum-voltage check.
+  kTablePoint,
+  /// One per scheduling cycle: "cycle", "budget_w"; str "trigger"
+  /// (timer | budget | manual).
+  kCycleStart,
+  /// One per CPU per cycle: "granted_hz", "desired_hz", "volts", "watts",
+  /// "predicted_loss", "idle"; str "pass1" (the pass-1 rationale) when the
+  /// policy classifies; explain mode adds "pass1_loss", "rejected_loss".
+  kDecision,
+  /// Explain mode, one per pass-2 step: "seq", "from_hz", "to_hz",
+  /// "marginal_loss", "watts_saved".
+  kDowngrade,
+  /// Power-limit move (the supply-failure trigger): "budget_w".
+  kBudgetChange,
+  kIdleEnter,  ///< A CPU's idle flag rose (no payload beyond cpu).
+  kIdleExit,   ///< A CPU's idle flag cleared.
+  /// Even all-minimum settings exceed the budget: "budget_w",
+  /// "total_power_w".
+  kInfeasibleBudget,
+  /// Cycle applied: "total_power_w", "budget_w", "feasible",
+  /// "downgrade_steps", plus this cycle's measured stage cost
+  /// ("estimate_s", "policy_s", "actuate_s").  The cluster daemon also
+  /// emits deferred per-node applies with str "stage" = "node_apply" and
+  /// "node", "cluster_power_w".
+  kActuation,
+};
+
+/// Stable wire name ("cycle_start", "decision", ...).
+std::string_view event_type_name(EventType type);
+
+/// Inverse of event_type_name; nullopt for unknown names.
+std::optional<EventType> event_type_from_name(std::string_view name);
+
+/// One journal entry: a timestamped, typed record with a small flat
+/// key/value payload (numeric and string fields kept separately).
+struct Event {
+  double t = 0.0;                      ///< Simulated seconds.
+  EventType type = EventType::kCycleStart;
+  int cpu = -1;                        ///< Flattened CPU index; -1: global.
+  std::vector<std::pair<std::string, double>> num;
+  std::vector<std::pair<std::string, std::string>> str;
+
+  Event& set(std::string key, double value) {
+    num.emplace_back(std::move(key), value);
+    return *this;
+  }
+  Event& set(std::string key, std::string value) {
+    str.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+
+  bool has_num(std::string_view key) const;
+  /// Value of numeric field `key`, or `fallback` when absent.
+  double num_or(std::string_view key, double fallback = 0.0) const;
+  /// String field `key`, or nullptr when absent.
+  const std::string* find_str(std::string_view key) const;
+};
+
+/// Append-only journal, optionally bounded.  With capacity > 0 the log is a
+/// ring buffer: appending past capacity drops the oldest event (counted in
+/// dropped()).  References returned by append() stay valid until that event
+/// is itself dropped (storage is a deque).
+class EventLog {
+ public:
+  /// `capacity` 0 keeps everything (unbounded).
+  explicit EventLog(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  /// Appends and returns a new event for in-place payload population:
+  ///   log.append(now, EventType::kDecision, cpu).set("granted_hz", hz);
+  Event& append(double t, EventType type, int cpu = -1);
+
+  /// Appends a fully built event (the JSONL reader's path).
+  void push(Event event);
+
+  const std::deque<Event>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Events discarded by the ring buffer so far.
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::deque<Event> events_;
+};
+
+/// Writes one JSON object per event, one per line:
+///   {"t":1.2,"type":"decision","cpu":3,"granted_hz":8e+08,"pass1":"epsilon"}
+/// Reserved keys t/type/cpu come first; payload fields follow in insertion
+/// order.  Non-finite values are clamped to the double range (JSON has no
+/// infinity).
+void write_jsonl(std::ostream& out, const EventLog& log);
+
+/// Parses what write_jsonl wrote.  Unknown payload keys are kept; unknown
+/// event types or malformed JSON throw std::runtime_error with a line
+/// number.  Blank lines are skipped.
+EventLog read_jsonl(std::istream& in);
+
+/// Writes Chrome trace-event JSON (load in Perfetto or chrome://tracing).
+/// The timeline is simulated time in microseconds; each cycle's measured
+/// stage costs render as nested duration slices at the cycle instant,
+/// power/budget and per-CPU granted/desired frequency render as counter
+/// tracks, and triggers/idle transitions/infeasible budgets as instants.
+void write_chrome_trace(std::ostream& out, const EventLog& log);
+
+/// Outcome of check_journal.
+struct JournalCheckReport {
+  std::size_t checks_run = 0;               ///< Individual assertions made.
+  std::vector<std::string> skipped;         ///< Checks lacking data.
+  std::vector<std::string> violations;
+  bool ok() const { return violations.empty(); }
+};
+
+/// Verifies scheduling invariants over a journal:
+///   1. whenever an actuation reports feasible, total power <= budget;
+///   2. every granted frequency is an operating point of its CPU's table
+///      and carries that point's minimum stable voltage (needs kTablePoint
+///      events);
+///   3. the scheduling period T restarts after a budget trigger (needs a
+///      kRunMeta with t_restarts = 1): the next timer cycle comes no sooner
+///      than (multiplier - 1) * t_sample_s after the budget cycle.
+JournalCheckReport check_journal(const EventLog& log);
+
+/// Outcome of diff_journals.
+struct JournalDiff {
+  struct TypeCount {
+    std::string type;
+    std::size_t a = 0;
+    std::size_t b = 0;
+  };
+  std::vector<TypeCount> type_counts;       ///< Only types seen in either.
+  std::size_t decisions_compared = 0;       ///< Pairwise-aligned decisions.
+  std::size_t decisions_differing = 0;      ///< Granted-frequency mismatches.
+  std::size_t decisions_unmatched = 0;      ///< Length difference remainder.
+  double first_divergence_t = -1.0;         ///< < 0 when decisions agree.
+  int first_divergence_cpu = -1;
+  bool identical_decisions() const {
+    return decisions_differing == 0 && decisions_unmatched == 0;
+  }
+};
+
+/// Compares two journals: per-type event counts and an in-order alignment
+/// of decision events (granted frequency per cycle per CPU).
+JournalDiff diff_journals(const EventLog& a, const EventLog& b);
+
+}  // namespace fvsst::sim

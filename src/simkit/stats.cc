@@ -94,6 +94,28 @@ double Histogram::fraction(std::size_t i) const {
   return total_ > 0.0 ? counts_[i] / total_ : 0.0;
 }
 
+double Histogram::quantile(double p) const {
+  if (total_ <= 0.0) throw std::out_of_range("Histogram: empty");
+  if (p < 0.0 || p > 1.0) throw std::out_of_range("Histogram: p in [0,1]");
+  const double target = p * total_;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] <= 0.0) continue;
+    if (cumulative + counts_[i] >= target) {
+      // Linear interpolation within the bin that crosses the target.
+      const double inside = std::clamp(
+          (target - cumulative) / counts_[i], 0.0, 1.0);
+      return bin_lo(i) + inside * (bin_hi(i) - bin_lo(i));
+    }
+    cumulative += counts_[i];
+  }
+  // Rounding left p * total just past the last weight: top of the range.
+  for (std::size_t i = counts_.size(); i-- > 0;) {
+    if (counts_[i] > 0.0) return bin_hi(i);
+  }
+  return hi_;
+}
+
 void SampleSet::add(double x) {
   samples_.push_back(x);
   sorted_ = false;

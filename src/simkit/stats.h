@@ -77,6 +77,13 @@ class Histogram {
   /// Fraction of total weight in bin i (0 when empty).
   double fraction(std::size_t i) const;
 
+  /// Approximate p-quantile (p in [0, 1]): finds the bin where the
+  /// cumulative weight crosses p and interpolates linearly inside it, so
+  /// resolution is the bin width.  Throws std::out_of_range when the
+  /// histogram is empty or p is outside [0, 1].  For exact order
+  /// statistics use SampleSet::percentile.
+  double quantile(double p) const;
+
  private:
   double lo_, hi_;
   std::vector<double> counts_;

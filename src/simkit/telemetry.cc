@@ -1,11 +1,37 @@
 #include "simkit/telemetry.h"
 
+#include <filesystem>
 #include <ostream>
 #include <stdexcept>
+#include <system_error>
 
 #include "simkit/csv.h"
 
 namespace fvsst::sim {
+
+void write_json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      case '\r': out << "\\r"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          const auto u = static_cast<unsigned char>(c);
+          out << "\\u00" << hex[u >> 4] << hex[u & 0xf];
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
 
 TimeSeries& MetricRegistry::series(const std::string& key,
                                    const std::string& display_name) {
@@ -65,7 +91,12 @@ std::string sanitize(const std::string& key) {
 }  // namespace
 
 CsvDirectorySink::CsvDirectorySink(std::string dir, double dt)
-    : dir_(std::move(dir)), dt_(dt) {}
+    : dir_(std::move(dir)), dt_(dt) {
+  // Best effort, like the writes: an uncreatable directory surfaces as
+  // per-file failures() rather than a throw.
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
 
 CsvDirectorySink::~CsvDirectorySink() {
   if (counters_.empty()) return;
@@ -101,28 +132,11 @@ void CsvDirectorySink::counter(const std::string& key, double value) {
   counters_.emplace_back(key, value);
 }
 
-namespace {
-
-void json_string(std::ostream& out, const std::string& s) {
-  out << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out << "\\\""; break;
-      case '\\': out << "\\\\"; break;
-      case '\n': out << "\\n"; break;
-      default: out << c;
-    }
-  }
-  out << '"';
-}
-
-}  // namespace
-
 void JsonLinesSink::series(const std::string& key, const TimeSeries& s) {
   out_ << "{\"metric\":";
-  json_string(out_, key);
+  write_json_string(out_, key);
   out_ << ",\"name\":";
-  json_string(out_, s.name());
+  write_json_string(out_, s.name());
   out_ << ",\"samples\":[";
   for (std::size_t i = 0; i < s.size(); ++i) {
     if (i) out_ << ',';
@@ -133,7 +147,7 @@ void JsonLinesSink::series(const std::string& key, const TimeSeries& s) {
 
 void JsonLinesSink::counter(const std::string& key, double value) {
   out_ << "{\"metric\":";
-  json_string(out_, key);
+  write_json_string(out_, key);
   out_ << ",\"value\":" << value << "}\n";
 }
 

@@ -15,12 +15,18 @@
 #include <deque>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "simkit/time_series.h"
 
 namespace fvsst::sim {
+
+/// Writes `s` to `out` as a JSON string literal: `"` and `\` are
+/// backslash-escaped and every control character < 0x20 becomes `\uXXXX`
+/// (`\n`/`\t`/`\r`/`\b`/`\f` use their short forms).
+void write_json_string(std::ostream& out, std::string_view s);
 
 /// Receives every metric in a registry; implement to add export formats.
 class MetricSink {
@@ -57,8 +63,8 @@ class MetricRegistry {
   double counter_value(const std::string& key) const;
 
   /// Registration-ordered keys.
-  std::vector<std::string> series_keys() const { return series_keys_; }
-  std::vector<std::string> counter_keys() const { return counter_keys_; }
+  const std::vector<std::string>& series_keys() const { return series_keys_; }
+  const std::vector<std::string>& counter_keys() const { return counter_keys_; }
 
   std::size_t series_count() const { return series_keys_.size(); }
   std::size_t counter_count() const { return counter_keys_.size(); }

@@ -11,6 +11,7 @@
 #include "core/daemon.h"
 #include "mach/machine_config.h"
 #include "power/budget.h"
+#include "simkit/event_log.h"
 #include "simkit/units.h"
 #include "workload/synthetic.h"
 
@@ -19,7 +20,9 @@ namespace {
 
 using units::ms;
 
-std::vector<double> run_trace(std::uint64_t seed) {
+std::vector<double> run_trace(std::uint64_t seed,
+                              sim::EventLog* journal = nullptr,
+                              bool explain = false) {
   sim::Simulation sim;
   sim::Rng rng(seed);
   const mach::MachineConfig machine = mach::p630();
@@ -32,8 +35,10 @@ std::vector<double> run_trace(std::uint64_t seed) {
   cluster.core({0, 2}).add_workload(
       workload::make_uniform_synthetic(50.0, 1e12));
   power::PowerBudget budget(300.0);
-  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget,
-                           core::DaemonConfig{});
+  core::DaemonConfig config;
+  config.journal = journal;
+  config.scheduler.explain = explain;
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget, config);
   sim.run_for(3.0);
   std::vector<double> out;
   for (const auto& s : daemon.granted_freq_trace(1).samples()) {
@@ -53,6 +58,28 @@ TEST(Determinism, SameSeedBitIdenticalTraces) {
   for (std::size_t i = 0; i < a.size(); ++i) {
     ASSERT_DOUBLE_EQ(a[i], b[i]) << i;
   }
+}
+
+TEST(Determinism, JournalIsPurelyObservational) {
+  // Recording (even with explain-mode rationale) must not perturb the run:
+  // the granted/measured traces stay bit-for-bit identical with the
+  // journal off, on, and on-with-explain.
+  const auto off = run_trace(777);
+  sim::EventLog journal;
+  const auto on = run_trace(777, &journal);
+  sim::EventLog explained;
+  const auto on_explained = run_trace(777, &explained, /*explain=*/true);
+  EXPECT_FALSE(journal.empty());
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    ASSERT_DOUBLE_EQ(off[i], on[i]) << i;
+  }
+  ASSERT_EQ(off.size(), on_explained.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    ASSERT_DOUBLE_EQ(off[i], on_explained[i]) << i;
+  }
+  // And the two recorded runs made identical decisions.
+  EXPECT_TRUE(sim::diff_journals(journal, explained).identical_decisions());
 }
 
 TEST(Determinism, DifferentSeedsDiffer) {

@@ -1,0 +1,418 @@
+// Tests for the decision journal (simkit/event_log.h): ring-buffer
+// semantics, JSONL round-trip, Chrome-trace shape, the end-to-end journal a
+// daemon run emits, explain-mode rationale, the invariant checker, and the
+// run differ.
+#include "simkit/event_log.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/daemon.h"
+#include "core/scheduler.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst {
+namespace {
+
+using units::GHz;
+using units::MHz;
+
+TEST(EventLog, TypeNamesRoundTrip) {
+  for (sim::EventType type :
+       {sim::EventType::kRunMeta, sim::EventType::kTablePoint,
+        sim::EventType::kCycleStart, sim::EventType::kDecision,
+        sim::EventType::kDowngrade, sim::EventType::kBudgetChange,
+        sim::EventType::kIdleEnter, sim::EventType::kIdleExit,
+        sim::EventType::kInfeasibleBudget, sim::EventType::kActuation}) {
+    const auto name = sim::event_type_name(type);
+    const auto back = sim::event_type_from_name(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, type) << name;
+  }
+  EXPECT_FALSE(sim::event_type_from_name("nonsense").has_value());
+}
+
+TEST(EventLog, UnboundedKeepsEverything) {
+  sim::EventLog log;
+  for (int i = 0; i < 100; ++i) {
+    log.append(i * 0.01, sim::EventType::kCycleStart).set("cycle", i);
+  }
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_EQ(log.dropped(), 0u);
+}
+
+TEST(EventLog, RingBufferDropsOldest) {
+  sim::EventLog log(10);
+  for (int i = 0; i < 25; ++i) {
+    log.append(i * 0.01, sim::EventType::kCycleStart).set("cycle", i);
+  }
+  EXPECT_EQ(log.size(), 10u);
+  EXPECT_EQ(log.dropped(), 15u);
+  // Survivors are the newest ten, oldest first.
+  EXPECT_DOUBLE_EQ(log.events().front().num_or("cycle"), 15.0);
+  EXPECT_DOUBLE_EQ(log.events().back().num_or("cycle"), 24.0);
+}
+
+TEST(EventLog, JsonlRoundTripPreservesPayload) {
+  sim::EventLog log;
+  log.append(0.0, sim::EventType::kRunMeta)
+      .set("t_sample_s", 0.010)
+      .set("multiplier", 10.0)
+      .set("daemon", std::string("fvsst"));
+  log.append(0.1, sim::EventType::kDecision, 3)
+      .set("granted_hz", 8e8)
+      .set("predicted_loss", 0.031)
+      .set("pass1", std::string("epsilon"));
+  log.append(0.2, sim::EventType::kCycleStart)
+      .set("trigger", std::string("line\nbreak\tand \"quote\" \x01 end"));
+
+  std::ostringstream out;
+  sim::write_jsonl(out, log);
+  std::istringstream in(out.str());
+  const sim::EventLog back = sim::read_jsonl(in);
+
+  ASSERT_EQ(back.size(), 3u);
+  const sim::Event& meta = back.events()[0];
+  EXPECT_EQ(meta.type, sim::EventType::kRunMeta);
+  EXPECT_DOUBLE_EQ(meta.num_or("t_sample_s"), 0.010);
+  ASSERT_NE(meta.find_str("daemon"), nullptr);
+  EXPECT_EQ(*meta.find_str("daemon"), "fvsst");
+
+  const sim::Event& decision = back.events()[1];
+  EXPECT_EQ(decision.cpu, 3);
+  EXPECT_DOUBLE_EQ(decision.num_or("granted_hz"), 8e8);
+  EXPECT_DOUBLE_EQ(decision.num_or("predicted_loss"), 0.031);
+  ASSERT_NE(decision.find_str("pass1"), nullptr);
+  EXPECT_EQ(*decision.find_str("pass1"), "epsilon");
+
+  // Control characters survive the escape round trip.
+  const sim::Event& cycle = back.events()[2];
+  ASSERT_NE(cycle.find_str("trigger"), nullptr);
+  EXPECT_EQ(*cycle.find_str("trigger"),
+            "line\nbreak\tand \"quote\" \x01 end");
+}
+
+TEST(EventLog, JsonlClampsNonFiniteNumbers) {
+  sim::EventLog log;
+  log.append(0.0, sim::EventType::kBudgetChange)
+      .set("budget_w", std::numeric_limits<double>::infinity())
+      .set("undefined", std::nan(""));
+  std::ostringstream out;
+  sim::write_jsonl(out, log);
+  // Valid JSON: no bare inf/nan tokens on the wire.
+  EXPECT_EQ(out.str().find("inf"), std::string::npos);
+  EXPECT_EQ(out.str().find("nan"), std::string::npos);
+  std::istringstream in(out.str());
+  const sim::EventLog back = sim::read_jsonl(in);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_DOUBLE_EQ(back.events()[0].num_or("budget_w"),
+                   std::numeric_limits<double>::max());
+  EXPECT_DOUBLE_EQ(back.events()[0].num_or("undefined"), 0.0);
+}
+
+TEST(EventLog, ReaderRejectsMalformedLines) {
+  std::istringstream bad_json("{\"t\":0.0,\"type\":\"decision\"");
+  EXPECT_THROW(sim::read_jsonl(bad_json), std::runtime_error);
+  std::istringstream bad_type("{\"t\":0.0,\"type\":\"warp_drive\"}");
+  EXPECT_THROW(sim::read_jsonl(bad_type), std::runtime_error);
+  std::istringstream blank_ok("\n{\"t\":1.5,\"type\":\"idle_enter\",\"cpu\":2}\n\n");
+  const sim::EventLog log = sim::read_jsonl(blank_ok);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.events()[0].type, sim::EventType::kIdleEnter);
+  EXPECT_EQ(log.events()[0].cpu, 2);
+}
+
+// --- End-to-end journals from a daemon run ------------------------------
+
+sim::EventLog run_daemon_journal(bool explain, double budget_w = 300.0,
+                                 std::size_t capacity = 0) {
+  sim::EventLog journal(capacity);
+  sim::Simulation simulation;
+  sim::Rng rng(4242);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(simulation, machine, 1, rng);
+  cluster.core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(100.0, 1e12));
+  cluster.core({0, 1}).add_workload(
+      workload::make_uniform_synthetic(25.0, 1e12));
+  power::PowerBudget budget(budget_w);
+  core::DaemonConfig config;
+  config.journal = &journal;
+  config.scheduler.explain = explain;
+  core::FvsstDaemon daemon(simulation, cluster, machine.freq_table, budget,
+                           config);
+  simulation.run_for(1.0);
+  budget.set_limit_w(budget_w * 0.6);  // exercise the budget trigger
+  simulation.run_for(1.0);
+  return journal;
+}
+
+std::size_t count_type(const sim::EventLog& log, sim::EventType type) {
+  std::size_t n = 0;
+  for (const sim::Event& e : log.events()) n += e.type == type;
+  return n;
+}
+
+TEST(EventLogDaemon, JournalHasExpectedShape) {
+  const sim::EventLog journal = run_daemon_journal(/*explain=*/false);
+  ASSERT_FALSE(journal.empty());
+
+  // run_meta leads, before the machine's operating-point dump.
+  EXPECT_EQ(journal.events().front().type, sim::EventType::kRunMeta);
+  EXPECT_DOUBLE_EQ(journal.events().front().num_or("t_restarts"), 1.0);
+  // 4 CPUs x 16 operating points.
+  EXPECT_EQ(count_type(journal, sim::EventType::kTablePoint), 64u);
+
+  const std::size_t cycles = count_type(journal, sim::EventType::kCycleStart);
+  EXPECT_GT(cycles, 15u);  // ~20 timer cycles over 2 s with T = 100 ms
+  // Every cycle carries one decision per CPU and one actuation record.
+  EXPECT_EQ(count_type(journal, sim::EventType::kDecision), cycles * 4);
+  EXPECT_EQ(count_type(journal, sim::EventType::kActuation), cycles);
+  EXPECT_EQ(count_type(journal, sim::EventType::kBudgetChange), 1u);
+
+  // The budget move produced a budget-triggered cycle.
+  std::size_t budget_cycles = 0;
+  for (const sim::Event& e : journal.events()) {
+    if (e.type != sim::EventType::kCycleStart) continue;
+    const std::string* trigger = e.find_str("trigger");
+    ASSERT_NE(trigger, nullptr);
+    budget_cycles += *trigger == "budget";
+  }
+  EXPECT_EQ(budget_cycles, 1u);
+
+  // Off-explain journals still carry the pass-1 rationale name.
+  for (const sim::Event& e : journal.events()) {
+    if (e.type != sim::EventType::kDecision) continue;
+    ASSERT_NE(e.find_str("pass1"), nullptr);
+    break;
+  }
+}
+
+TEST(EventLogDaemon, CheckPassesOnRealRun) {
+  const sim::EventLog journal = run_daemon_journal(/*explain=*/true);
+  const sim::JournalCheckReport report = sim::check_journal(journal);
+  EXPECT_TRUE(report.ok()) << (report.violations.empty()
+                                   ? ""
+                                   : report.violations.front());
+  EXPECT_GT(report.checks_run, 0u);
+  EXPECT_TRUE(report.skipped.empty());
+}
+
+TEST(EventLogDaemon, ExplainRecordsDowngradeSequence) {
+  // Budget 150 W for four CPUs forces pass 2 below the 2x140 W peak ask.
+  const sim::EventLog journal =
+      run_daemon_journal(/*explain=*/true, /*budget_w=*/150.0);
+  const std::size_t downgrades =
+      count_type(journal, sim::EventType::kDowngrade);
+  ASSERT_GT(downgrades, 0u);
+
+  // Downgrade records carry the greedy-choice evidence and each step's
+  // sequence number restarts per cycle.
+  std::size_t last_seq = 0;
+  for (const sim::Event& e : journal.events()) {
+    if (e.type == sim::EventType::kActuation) last_seq = 0;
+    if (e.type != sim::EventType::kDowngrade) continue;
+    EXPECT_GE(e.cpu, 0);
+    EXPECT_GT(e.num_or("from_hz"), e.num_or("to_hz"));
+    EXPECT_GT(e.num_or("watts_saved"), 0.0);
+    EXPECT_GE(e.num_or("marginal_loss"), 0.0);
+    EXPECT_EQ(e.num_or("seq"), static_cast<double>(last_seq));
+    ++last_seq;
+  }
+
+  // Explain decisions expose the pass-1 cutoff: when a lower setting was
+  // rejected, its loss must be at or above epsilon (0.04 default).
+  bool saw_rejection = false;
+  for (const sim::Event& e : journal.events()) {
+    if (e.type != sim::EventType::kDecision) continue;
+    ASSERT_TRUE(e.has_num("pass1_loss"));
+    const double rejected = e.num_or("rejected_loss", -1.0);
+    if (rejected >= 0.0 && e.find_str("pass1") &&
+        *e.find_str("pass1") == "epsilon") {
+      EXPECT_GE(rejected, 0.04);
+      saw_rejection = true;
+    }
+  }
+  EXPECT_TRUE(saw_rejection);
+}
+
+TEST(EventLogDaemon, RingBufferJournalSkipsTableChecks) {
+  // A small ring drops run_meta and the table dump; the checker must
+  // degrade to "skipped", not report false violations.
+  const sim::EventLog journal =
+      run_daemon_journal(/*explain=*/false, 300.0, /*capacity=*/50);
+  EXPECT_EQ(journal.size(), 50u);
+  EXPECT_GT(journal.dropped(), 0u);
+  const sim::JournalCheckReport report = sim::check_journal(journal);
+  EXPECT_TRUE(report.ok());
+  EXPECT_FALSE(report.skipped.empty());
+}
+
+TEST(EventLogDaemon, ChromeTraceIsBalancedJson) {
+  const sim::EventLog journal = run_daemon_journal(/*explain=*/false);
+  std::ostringstream out;
+  sim::write_chrome_trace(out, journal);
+  const std::string trace = out.str();
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.rfind("{\"displayTimeUnit\"", 0), 0u);
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);  // slices
+  EXPECT_NE(trace.find("\"ph\":\"C\""), std::string::npos);  // counters
+
+  // Structurally valid: braces and brackets balance outside strings.
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const char c = trace[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    ASSERT_GE(braces, 0);
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+// --- Invariant checker on hand-built journals ---------------------------
+
+sim::EventLog minimal_table_journal() {
+  sim::EventLog log;
+  log.append(0.0, sim::EventType::kRunMeta)
+      .set("t_sample_s", 0.01)
+      .set("multiplier", 10.0)
+      .set("cpus", 1.0)
+      .set("t_restarts", 1.0)
+      .set("daemon", std::string("fvsst"));
+  log.append(0.0, sim::EventType::kTablePoint, 0)
+      .set("hz", 500 * MHz)
+      .set("volts", 1.1)
+      .set("watts", 35.0);
+  log.append(0.0, sim::EventType::kTablePoint, 0)
+      .set("hz", 1 * GHz)
+      .set("volts", 1.3)
+      .set("watts", 140.0);
+  return log;
+}
+
+TEST(JournalCheck, DetectsBudgetOverrunClaimedFeasible) {
+  sim::EventLog log = minimal_table_journal();
+  log.append(0.1, sim::EventType::kActuation)
+      .set("total_power_w", 180.0)
+      .set("budget_w", 140.0)
+      .set("feasible", 1.0)
+      .set("downgrade_steps", 0.0);
+  const auto report = sim::check_journal(log);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations.front().find("budget"), std::string::npos);
+}
+
+TEST(JournalCheck, AcceptsOverrunWhenMarkedInfeasible) {
+  sim::EventLog log = minimal_table_journal();
+  log.append(0.1, sim::EventType::kActuation)
+      .set("total_power_w", 180.0)
+      .set("budget_w", 140.0)
+      .set("feasible", 0.0)
+      .set("downgrade_steps", 5.0);
+  EXPECT_TRUE(sim::check_journal(log).ok());
+}
+
+TEST(JournalCheck, DetectsVoltageOffTableMinimum) {
+  sim::EventLog log = minimal_table_journal();
+  log.append(0.1, sim::EventType::kDecision, 0)
+      .set("granted_hz", 500 * MHz)
+      .set("volts", 1.3)  // table minimum for 500 MHz is 1.1 V
+      .set("watts", 35.0);
+  const auto report = sim::check_journal(log);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations.front().find("volt"), std::string::npos);
+}
+
+TEST(JournalCheck, DetectsGrantOffTheFrequencyGrid) {
+  sim::EventLog log = minimal_table_journal();
+  log.append(0.1, sim::EventType::kDecision, 0)
+      .set("granted_hz", 777 * MHz)
+      .set("volts", 1.2);
+  EXPECT_FALSE(sim::check_journal(log).ok());
+}
+
+TEST(JournalCheck, DetectsMissedPeriodRestart) {
+  sim::EventLog log = minimal_table_journal();  // t = 10 ms, T = 100 ms
+  auto cycle = [&log](double t, const char* trigger) {
+    log.append(t, sim::EventType::kCycleStart)
+        .set("cycle", 0.0)
+        .set("budget_w", 200.0)
+        .set("trigger", std::string(trigger));
+  };
+  cycle(0.10, "timer");
+  cycle(0.15, "budget");
+  // A restarted period would next fire no earlier than ~0.24; firing at
+  // 0.20 means the old timer phase survived the trigger.
+  cycle(0.20, "timer");
+  const auto report = sim::check_journal(log);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.violations.front().find("restart"), std::string::npos);
+
+  // The same timeline is fine when the run declares no-restart semantics
+  // (the cluster daemon's global timer).
+  sim::EventLog global;
+  global.append(0.0, sim::EventType::kRunMeta)
+      .set("t_sample_s", 0.01)
+      .set("multiplier", 10.0)
+      .set("t_restarts", 0.0)
+      .set("daemon", std::string("cluster"));
+  global.push(log.events()[3]);
+  global.push(log.events()[4]);
+  global.push(log.events()[5]);
+  const auto global_report = sim::check_journal(global);
+  EXPECT_TRUE(global_report.ok());
+}
+
+// --- Diff ----------------------------------------------------------------
+
+TEST(JournalDiff, IdenticalRunsAgree) {
+  const sim::EventLog a = run_daemon_journal(/*explain=*/false);
+  const sim::EventLog b = run_daemon_journal(/*explain=*/false);
+  const sim::JournalDiff diff = sim::diff_journals(a, b);
+  EXPECT_TRUE(diff.identical_decisions());
+  EXPECT_GT(diff.decisions_compared, 0u);
+  EXPECT_LT(diff.first_divergence_t, 0.0);
+}
+
+TEST(JournalDiff, DivergingBudgetsDetected) {
+  const sim::EventLog a = run_daemon_journal(/*explain=*/false, 300.0);
+  const sim::EventLog b = run_daemon_journal(/*explain=*/false, 150.0);
+  const sim::JournalDiff diff = sim::diff_journals(a, b);
+  EXPECT_FALSE(diff.identical_decisions());
+  EXPECT_GT(diff.decisions_differing, 0u);
+  EXPECT_GE(diff.first_divergence_t, 0.0);
+  EXPECT_GE(diff.first_divergence_cpu, 0);
+}
+
+}  // namespace
+}  // namespace fvsst

@@ -1,0 +1,157 @@
+// Edge cases for the telemetry export sinks (simkit/telemetry.h): JSON
+// string escaping, the JSON-lines format, resampled CSV export, and the
+// CsvDirectorySink's directory-creation/failure accounting.
+#include "simkit/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace fvsst::sim {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string escaped(std::string_view in) {
+  std::ostringstream out;
+  write_json_string(out, in);
+  return out.str();
+}
+
+TEST(JsonString, EscapesQuotesBackslashesAndShortForms) {
+  EXPECT_EQ(escaped("plain"), "\"plain\"");
+  EXPECT_EQ(escaped("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(escaped("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(escaped("a\nb\tc\rd\be\ff"), "\"a\\nb\\tc\\rd\\be\\ff\"");
+}
+
+TEST(JsonString, EscapesRemainingControlCharsAsUnicode) {
+  // Every control character < 0x20 without a short form must come out as
+  // \u00XX — a bare 0x01 or 0x1f in the stream is invalid JSON.
+  EXPECT_EQ(escaped(std::string(1, '\x01')), "\"\\u0001\"");
+  EXPECT_EQ(escaped(std::string(1, '\x0b')), "\"\\u000b\"");
+  EXPECT_EQ(escaped(std::string(1, '\x1f')), "\"\\u001f\"");
+  // 0x20 and up pass through.
+  EXPECT_EQ(escaped(" ~"), "\" ~\"");
+}
+
+TEST(JsonLinesSink, WritesOneParseableObjectPerMetric) {
+  MetricRegistry registry;
+  TimeSeries& s = registry.series("cpu0/granted_hz", "granted_hz");
+  s.add(0.0, 1e9);
+  s.add(0.1, 8e8);
+  registry.counter("loop/cycles") = 20.0;
+
+  std::ostringstream out;
+  JsonLinesSink sink(out);
+  registry.export_to(sink);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"metric\":\"cpu0/granted_hz\""), std::string::npos);
+  EXPECT_NE(line.find("\"samples\":[[0,1e+09],[0.1,8e+08]]"),
+            std::string::npos)
+      << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("\"metric\":\"loop/cycles\""), std::string::npos);
+  EXPECT_NE(line.find("\"value\":20"), std::string::npos);
+  EXPECT_FALSE(std::getline(lines, line));
+}
+
+TEST(MetricRegistry, KeyListsAreRegistrationOrdered) {
+  MetricRegistry registry;
+  registry.series("b");
+  registry.series("a");
+  registry.series("b");  // no duplicate registration
+  registry.counter("z");
+  registry.counter("y");
+  const std::vector<std::string>& series = registry.series_keys();
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0], "b");
+  EXPECT_EQ(series[1], "a");
+  const std::vector<std::string>& counters = registry.counter_keys();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0], "z");
+  EXPECT_EQ(counters[1], "y");
+}
+
+class CsvSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("fvsst_sink_test_" +
+             std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+             "_" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  void fill(MetricRegistry& registry) {
+    TimeSeries& s = registry.series("cpu0/granted_hz");
+    s.add(0.0, 1e9);
+    s.add(0.05, 8e8);
+    s.add(0.20, 9e8);
+    registry.counter("loop/cycles") = 3.0;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(CsvSinkTest, CreatesMissingDirectoryTree) {
+  // The target (including intermediate components) does not exist yet; the
+  // sink must create it rather than failing every write.
+  const fs::path dir = root_ / "nested" / "csv";
+  ASSERT_FALSE(fs::exists(dir));
+  MetricRegistry registry;
+  fill(registry);
+  {
+    CsvDirectorySink sink(dir.string());
+    registry.export_to(sink);
+    EXPECT_EQ(sink.failures(), 0u);
+  }
+  EXPECT_TRUE(fs::exists(dir / "cpu0_granted_hz.csv"));
+  EXPECT_TRUE(fs::exists(dir / "counters.csv"));
+}
+
+TEST_F(CsvSinkTest, ResamplesOntoUniformGridWhenDtPositive) {
+  MetricRegistry registry;
+  fill(registry);
+  {
+    CsvDirectorySink sink((root_ / "csv").string(), /*dt=*/0.1);
+    registry.export_to(sink);
+    EXPECT_EQ(sink.failures(), 0u);
+  }
+  std::ifstream in(root_ / "csv" / "cpu0_granted_hz.csv");
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) ++rows;
+  // Header + samples on the 0.1 s grid over [0, 0.2]: t = 0, 0.1, 0.2.
+  EXPECT_EQ(rows, 4u);
+}
+
+TEST_F(CsvSinkTest, CountsFailuresWhenDirectoryIsAFile) {
+  // A plain file where the directory should go: create_directories fails,
+  // and every subsequent write is counted in failures() instead of thrown.
+  fs::create_directories(root_);
+  const fs::path clash = root_ / "not_a_dir";
+  std::ofstream(clash).put('x');
+  MetricRegistry registry;
+  fill(registry);
+  std::size_t failures = 0;
+  {
+    CsvDirectorySink sink(clash.string());
+    registry.export_to(sink);
+    failures = sink.failures();
+  }
+  EXPECT_GT(failures, 0u);
+}
+
+}  // namespace
+}  // namespace fvsst::sim

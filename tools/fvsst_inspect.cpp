@@ -1,0 +1,243 @@
+// fvsst_inspect - Reads a decision journal (fvsst_sim --journal) and prints
+// a run summary, checks scheduling invariants, or diffs two runs.
+//
+// Usage:
+//   fvsst_inspect JOURNAL             per-run summary
+//   fvsst_inspect JOURNAL --check     verify invariants; exit 1 on violation
+//   fvsst_inspect JOURNAL --diff B    compare decisions; exit 1 on divergence
+//
+// The checks (--check):
+//   1. total power <= budget whenever the scheduler claims feasibility;
+//   2. each granted frequency is an operating point of its CPU's table and
+//      carries that point's minimum stable voltage (pass 3);
+//   3. the scheduling period T restarts after a budget trigger (SMP daemon
+//      journals only — declared by run_meta t_restarts).
+// All checking logic lives in sim::check_journal / sim::diff_journals
+// (src/simkit/event_log.h); this binary is the command-line face.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "simkit/event_log.h"
+#include "simkit/table.h"
+
+using namespace fvsst;
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr,
+               "fvsst_inspect: %s\n"
+               "usage: fvsst_inspect JOURNAL [--check] [--diff OTHER]\n",
+               message.c_str());
+  std::exit(2);
+}
+
+sim::EventLog load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) usage_error("cannot open journal '" + path + "'");
+  try {
+    return sim::read_jsonl(in);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fvsst_inspect: %s: %s\n", path.c_str(), e.what());
+    std::exit(2);
+  }
+}
+
+void print_summary(const std::string& path, const sim::EventLog& log) {
+  std::printf("journal: %s (%zu events)\n", path.c_str(), log.size());
+  if (log.empty()) return;
+
+  // Run metadata and the journal's time span.
+  double t_lo = log.events().front().t;
+  double t_hi = t_lo;
+  for (const sim::Event& e : log.events()) {
+    t_lo = std::min(t_lo, e.t);
+    t_hi = std::max(t_hi, e.t);
+  }
+  for (const sim::Event& e : log.events()) {
+    if (e.type != sim::EventType::kRunMeta) continue;
+    const std::string* daemon = e.find_str("daemon");
+    std::printf(
+        "run: daemon=%s, %d CPU(s), t=%.0f ms, T=%.0f ms%s\n",
+        daemon ? daemon->c_str() : "?",
+        static_cast<int>(e.num_or("cpus")), e.num_or("t_sample_s") * 1e3,
+        e.num_or("t_sample_s") * e.num_or("multiplier") * 1e3,
+        e.num_or("t_restarts") != 0.0 ? " (T restarts on budget trigger)"
+                                      : "");
+    break;
+  }
+  std::printf("time span: %.3f s .. %.3f s\n", t_lo, t_hi);
+
+  // Event counts by type, cycle counts by trigger, decision stats.
+  std::map<std::string, std::size_t> by_type;
+  std::map<std::string, std::size_t> by_trigger;
+  std::map<int, std::pair<std::size_t, std::map<double, std::size_t>>> by_cpu;
+  std::size_t infeasible = 0;
+  std::vector<double> budget_moves;
+  for (const sim::Event& e : log.events()) {
+    ++by_type[std::string(sim::event_type_name(e.type))];
+    switch (e.type) {
+      case sim::EventType::kCycleStart:
+        if (const std::string* trigger = e.find_str("trigger")) {
+          ++by_trigger[*trigger];
+        }
+        break;
+      case sim::EventType::kDecision: {
+        auto& [count, freqs] = by_cpu[e.cpu];
+        ++count;
+        ++freqs[e.num_or("granted_hz")];
+        break;
+      }
+      case sim::EventType::kInfeasibleBudget:
+        ++infeasible;
+        break;
+      case sim::EventType::kBudgetChange:
+        budget_moves.push_back(e.num_or("budget_w"));
+        break;
+      default:
+        break;
+    }
+  }
+
+  sim::TextTable types("Events by type");
+  types.set_header({"type", "count"});
+  for (const auto& [type, count] : by_type) {
+    types.add_row({type, sim::TextTable::num(count, 0)});
+  }
+  types.print();
+
+  if (!by_trigger.empty()) {
+    std::printf("cycles by trigger:");
+    for (const auto& [trigger, count] : by_trigger) {
+      std::printf(" %s=%zu", trigger.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (!budget_moves.empty()) {
+    std::printf("budget changes: %zu (", budget_moves.size());
+    for (std::size_t i = 0; i < budget_moves.size(); ++i) {
+      std::printf("%s%.0f W", i ? ", " : "", budget_moves[i]);
+    }
+    std::printf(")\n");
+  }
+  if (infeasible > 0) {
+    std::printf("infeasible-budget cycles: %zu\n", infeasible);
+  }
+
+  if (!by_cpu.empty()) {
+    sim::TextTable decisions("Decisions per CPU");
+    decisions.set_header({"cpu", "decisions", "distinct freqs", "top freq MHz",
+                          "share"});
+    for (const auto& [cpu, stats] : by_cpu) {
+      const auto& [count, freqs] = stats;
+      double top_hz = 0.0;
+      std::size_t top_count = 0;
+      for (const auto& [hz, n] : freqs) {
+        if (n > top_count) {
+          top_count = n;
+          top_hz = hz;
+        }
+      }
+      decisions.add_row(
+          {"cpu" + std::to_string(cpu), sim::TextTable::num(count, 0),
+           sim::TextTable::num(freqs.size(), 0),
+           sim::TextTable::num(top_hz / 1e6, 0),
+           sim::TextTable::pct(static_cast<double>(top_count) /
+                                   static_cast<double>(count),
+                               1)});
+    }
+    decisions.print();
+  }
+  if (log.dropped() > 0) {
+    std::printf("note: ring buffer dropped %zu events before export\n",
+                log.dropped());
+  }
+}
+
+int run_check(const sim::EventLog& log) {
+  const sim::JournalCheckReport report = sim::check_journal(log);
+  for (const std::string& s : report.skipped) {
+    std::printf("skipped: %s\n", s.c_str());
+  }
+  for (const std::string& v : report.violations) {
+    std::printf("VIOLATION: %s\n", v.c_str());
+  }
+  std::printf("%s: %zu check(s) run, %zu violation(s)\n",
+              report.ok() ? "OK" : "FAILED", report.checks_run,
+              report.violations.size());
+  return report.ok() ? 0 : 1;
+}
+
+int run_diff(const std::string& path_a, const sim::EventLog& a,
+             const std::string& path_b, const sim::EventLog& b) {
+  const sim::JournalDiff diff = sim::diff_journals(a, b);
+  sim::TextTable counts("Event counts: A=" + path_a + "  B=" + path_b);
+  counts.set_header({"type", "A", "B"});
+  for (const auto& tc : diff.type_counts) {
+    counts.add_row({tc.type, sim::TextTable::num(tc.a, 0),
+                    sim::TextTable::num(tc.b, 0)});
+  }
+  counts.print();
+  std::printf("decisions: %zu compared, %zu differing, %zu unmatched\n",
+              diff.decisions_compared, diff.decisions_differing,
+              diff.decisions_unmatched);
+  if (diff.first_divergence_t >= 0.0) {
+    std::printf("first divergence: t=%.3f s cpu%d\n", diff.first_divergence_t,
+                diff.first_divergence_cpu);
+  }
+  std::printf("%s\n", diff.identical_decisions() ? "runs agree"
+                                                 : "runs DIVERGE");
+  return diff.identical_decisions() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal_path;
+  std::string diff_path;
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      std::printf(
+          "usage: fvsst_inspect JOURNAL [--check] [--diff OTHER]\n"
+          "Reads a JSON-lines decision journal written by fvsst_sim "
+          "--journal.\n"
+          "  (no flags)   print a run summary\n"
+          "  --check      verify scheduling invariants; exit 1 on "
+          "violation\n"
+          "  --diff B     compare decisions against journal B; exit 1 when "
+          "they diverge\n");
+      return 0;
+    } else if (flag == "--check") {
+      check = true;
+    } else if (flag == "--diff") {
+      if (i + 1 >= argc) usage_error("--diff needs a journal path");
+      diff_path = argv[++i];
+    } else if (!flag.empty() && flag[0] == '-') {
+      usage_error("unknown flag '" + flag + "'");
+    } else if (journal_path.empty()) {
+      journal_path = flag;
+    } else {
+      usage_error("more than one journal given; use --diff for comparisons");
+    }
+  }
+  if (journal_path.empty()) usage_error("no journal given");
+
+  const sim::EventLog log = load(journal_path);
+  if (!diff_path.empty()) {
+    const sim::EventLog other = load(diff_path);
+    return run_diff(journal_path, log, diff_path, other);
+  }
+  print_summary(journal_path, log);
+  if (check) {
+    std::printf("\n");
+    return run_check(log);
+  }
+  return 0;
+}

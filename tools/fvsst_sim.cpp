@@ -34,12 +34,19 @@
 //   --margin-controller  enable the measured-power margin feedback loop
 //   --seed S             RNG seed (default 42)
 //   --csv DIR            dump frequency/power traces as CSV
+//   --journal FILE       write the decision journal as JSON lines
+//   --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto-loadable)
+//   --journal-cap N      ring-buffer the journal at N events (0: unbounded)
+//   --explain            record pass-1/pass-2 rationale in the journal
 //   --help               this text
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include "baselines/governor_daemon.h"
@@ -52,6 +59,7 @@
 #include "power/margin_controller.h"
 #include "power/sensor.h"
 #include "simkit/csv.h"
+#include "simkit/event_log.h"
 #include "simkit/log.h"
 #include "simkit/table.h"
 #include "simkit/units.h"
@@ -98,6 +106,10 @@ struct CliOptions {
   std::uint64_t seed = 42;
   std::string csv_dir;
   bool json = false;  ///< Machine-readable summary on stdout.
+  std::string journal_path;       ///< JSON-lines decision journal.
+  std::string chrome_trace_path;  ///< Chrome trace-event JSON.
+  std::size_t journal_cap = 0;    ///< Ring-buffer capacity (0: unbounded).
+  bool explain = false;           ///< Record scheduler rationale.
 };
 
 std::string json_escape(const std::string& s) {
@@ -107,7 +119,17 @@ std::string json_escape(const std::string& s) {
       case '"': out += "\\\""; break;
       case '\\': out += "\\\\"; break;
       case '\n': out += "\\n"; break;
-      default: out += c;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
     }
   }
   return out;
@@ -127,6 +149,8 @@ void print_help() {
       "                 [--idle-signal os|halted|none] [--t MS]\n"
       "                 [--multiplier N] [--cluster] [--governor G]\n"
       "                 [--margin-controller] [--seed S] [--csv DIR]\n"
+      "                 [--journal FILE] [--chrome-trace FILE]\n"
+      "                 [--journal-cap N] [--explain]\n"
       "SPEC: synth:INTENSITY[:INSTRUCTIONS] | app:NAME | trace:FILE\n"
       "G: performance | powersave | ondemand | conservative\n"
       "(see docs/fvsst_sim.md for the full manual)\n");
@@ -312,6 +336,15 @@ CliOptions parse_args(int argc, char** argv) {
       opts.json = true;
     } else if (flag == "--csv") {
       opts.csv_dir = next_value(i, "--csv");
+    } else if (flag == "--journal") {
+      opts.journal_path = next_value(i, "--journal");
+    } else if (flag == "--chrome-trace") {
+      opts.chrome_trace_path = next_value(i, "--chrome-trace");
+    } else if (flag == "--journal-cap") {
+      opts.journal_cap = static_cast<std::size_t>(
+          parse_double(next_value(i, "--journal-cap"), "journal cap"));
+    } else if (flag == "--explain") {
+      opts.explain = true;
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -357,12 +390,21 @@ int main(int argc, char** argv) {
                     [&budget, w = change.watts] { budget.set_limit_w(w); });
   }
 
+  // Journal: one log shared by whichever daemon runs; files written after
+  // the run.  --explain works even without an output file (it enriches
+  // ScheduleResult), but is most useful combined with --journal.
+  const bool want_journal =
+      !opts.journal_path.empty() || !opts.chrome_trace_path.empty();
+  sim::EventLog journal(opts.journal_cap);
+
   core::DaemonConfig dcfg;
   dcfg.t_sample_s = opts.t_ms * ms;
   dcfg.schedule_every_n_samples = opts.multiplier;
   dcfg.scheduler = opts.scheduler;
+  dcfg.scheduler.explain = opts.explain;
   dcfg.idle_signal = opts.idle_signal;
   dcfg.estimate_smoothing = opts.smoothing;
+  if (want_journal) dcfg.journal = &journal;
 
   std::unique_ptr<core::FvsstDaemon> daemon;
   std::unique_ptr<core::ClusterDaemon> cluster_daemon;
@@ -371,14 +413,16 @@ int main(int argc, char** argv) {
     baselines::GovernorDaemon::Config gcfg;
     gcfg.policy = *opts.governor;
     gcfg.period_s = opts.t_ms * ms;
+    if (want_journal) gcfg.journal = &journal;
     governor = std::make_unique<baselines::GovernorDaemon>(
         sim, cluster, machine.freq_table, gcfg);
   } else if (opts.use_cluster_daemon) {
     core::ClusterDaemonConfig ccfg;
     ccfg.t_sample_s = dcfg.t_sample_s;
     ccfg.schedule_every_n_samples = dcfg.schedule_every_n_samples;
-    ccfg.scheduler = opts.scheduler;
+    ccfg.scheduler = dcfg.scheduler;
     ccfg.idle_signal = opts.idle_signal;
+    if (want_journal) ccfg.journal = &journal;
     cluster_daemon = std::make_unique<core::ClusterDaemon>(
         sim, cluster, machine.freq_table, budget, ccfg);
   } else {
@@ -405,6 +449,41 @@ int main(int argc, char** argv) {
                             5 * ms);
 
   sim.run_for(opts.duration_s);
+
+  // ---- Journal exports --------------------------------------------------
+  int exit_code = 0;
+  const auto write_journal_file = [&](const std::string& path, auto writer,
+                                      const char* what) {
+    std::ofstream out(path);
+    if (out) writer(out, journal);
+    out.flush();
+    if (!out) {
+      std::fprintf(stderr, "fvsst_sim: failed to write %s '%s'\n", what,
+                   path.c_str());
+      exit_code = 1;
+      return;
+    }
+    std::fprintf(stderr, "[journal] wrote %zu events to %s%s\n",
+                 journal.size(), path.c_str(),
+                 journal.dropped()
+                     ? (" (" + std::to_string(journal.dropped()) +
+                        " dropped by --journal-cap)").c_str()
+                     : "");
+  };
+  if (!opts.journal_path.empty()) {
+    write_journal_file(opts.journal_path,
+                       [](std::ostream& o, const sim::EventLog& l) {
+                         sim::write_jsonl(o, l);
+                       },
+                       "journal");
+  }
+  if (!opts.chrome_trace_path.empty()) {
+    write_journal_file(opts.chrome_trace_path,
+                       [](std::ostream& o, const sim::EventLog& l) {
+                         sim::write_chrome_trace(o, l);
+                       },
+                       "chrome trace");
+  }
 
   // ---- Report -----------------------------------------------------------
   if (opts.json) {
@@ -435,7 +514,7 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\n  ]\n}\n");
-    return 0;
+    return exit_code;
   }
   std::printf("fvsst_sim: %zu node(s), %zu CPU(s), %.1f s simulated\n",
               cluster.node_count(), cluster.cpu_count(), sim.now());
@@ -493,6 +572,9 @@ int main(int argc, char** argv) {
   }
 
   if (!opts.csv_dir.empty() && daemon) {
+    std::error_code ec;
+    std::filesystem::create_directories(opts.csv_dir, ec);
+    std::size_t csv_failures = 0;
     for (std::size_t i = 0; i < daemon->cpu_count(); ++i) {
       const std::string path =
           opts.csv_dir + "/cpu" + std::to_string(i) + "_freq.csv";
@@ -500,12 +582,23 @@ int main(int argc, char** argv) {
                                        &daemon->desired_freq_trace(i)},
                                 dcfg.t_sample_s)) {
         std::printf("[csv] wrote %s\n", path.c_str());
+      } else {
+        ++csv_failures;
       }
     }
     const std::string ppath = opts.csv_dir + "/cpu_power.csv";
     if (sim::write_series_csv(ppath, {&sensor.trace()}, 5 * ms)) {
       std::printf("[csv] wrote %s\n", ppath.c_str());
+    } else {
+      ++csv_failures;
+    }
+    if (csv_failures > 0) {
+      std::fprintf(stderr,
+                   "fvsst_sim: warning: %zu CSV file(s) could not be written "
+                   "under '%s'\n",
+                   csv_failures, opts.csv_dir.c_str());
+      exit_code = 1;
     }
   }
-  return 0;
+  return exit_code;
 }
