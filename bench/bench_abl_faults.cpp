@@ -1,0 +1,169 @@
+// bench_abl_faults - Ablation A15: scheduling under injected faults.
+//
+// The paper's premise is operation *during* failure: fvsst exists so a
+// server survives a power-supply failure within the cascade deadline, which
+// only matters if the daemon itself tolerates misbehaving sensors and
+// actuators while enforcing the reduced budget.  This ablation runs the
+// same four-processor mix under a fixed budget while injecting actuation
+// and sensor faults of increasing severity, and reports what the fault
+// machinery cost: journalled fault events, degraded-mode (fail-safe f_min)
+// entries, the faulted CPU's mean grant, and whether the aggregate power
+// ever exceeded the budget after the first scheduling round.
+//
+// Expected: single-CPU reject windows keep power compliant (the engine
+// pins unactuatable CPUs at their real set-point and schedules the others
+// around them); short reject bursts ride through on retries alone, long
+// ones escalate to the f_min fail-safe and recover once the window closes.
+// Over-budget watts appear only where no actuation could help: reject-all
+// (journalled as infeasible) and the silent sticky/delayed failures.
+#include "bench/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "simkit/event_log.h"
+#include "simkit/fault_plan.h"
+#include "simkit/log.h"
+
+using namespace fvsst;
+using units::MHz;
+using units::ms;
+
+namespace {
+
+struct ScenarioResult {
+  std::size_t fault_events = 0;
+  std::size_t degraded_enters = 0;
+  double mean_granted_mhz = 0.0;  // CPU 1, the faulted processor
+  double worst_over_w = 0.0;      // max aggregate power minus budget
+  bool recovered = true;          // no retry/degraded state at the end
+  bool journal_ok = true;         // fvsst_inspect-style invariant check
+};
+
+ScenarioResult run_scenario(const sim::FaultPlan& plan) {
+  sim::Simulation simulation;
+  sim::Rng rng(7);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(simulation, machine, 1, rng);
+  const double intensities[] = {100.0, 70.0, 40.0, 25.0};
+  for (std::size_t c = 0; c < 4; ++c) {
+    cluster.core({0, c}).add_workload(
+        workload::make_uniform_synthetic(intensities[c], 1e12));
+  }
+  power::PowerBudget budget(400.0);
+  sim::EventLog journal;
+  core::DaemonConfig cfg = bench::paper_daemon_config();
+  cfg.journal = &journal;
+  if (!plan.empty()) cfg.fault_plan = &plan;
+  core::FvsstDaemon daemon(simulation, cluster, machine.freq_table, budget,
+                           cfg);
+  power::PowerSensor sensor(
+      simulation, [&] { return cluster.cpu_power_w(); }, 5 * ms);
+  if (!plan.empty()) sensor.set_fault_plan(&plan, &journal);
+
+  ScenarioResult out;
+  simulation.run_for(0.101);  // one full scheduling round
+  simulation.schedule_every(7 * ms, [&] {
+    out.worst_over_w =
+        std::max(out.worst_over_w,
+                 cluster.cpu_power_w() - budget.effective_limit_w());
+  });
+  // A budget swing mid-run forces regrants inside every fault window —
+  // without it a steady workload re-requests the same point each cycle and
+  // sticky hardware is indistinguishable from working hardware.
+  simulation.schedule_at(0.8, [&] { budget.set_limit_w(250.0); });
+  simulation.schedule_at(1.6, [&] { budget.set_limit_w(400.0); });
+  simulation.run_for(3.0 - 0.101);
+
+  for (const sim::Event& e : journal.events()) {
+    out.fault_events += e.type == sim::EventType::kFault;
+    if (e.type == sim::EventType::kDegradedMode) {
+      const std::string* state = e.find_str("state");
+      out.degraded_enters += state && *state == "enter";
+    }
+  }
+  sim::TimeWeightedStat granted;
+  for (const auto& s : daemon.granted_freq_trace(1).samples()) {
+    granted.record(s.t, s.value);
+  }
+  out.mean_granted_mhz = granted.mean_until(simulation.now()) / MHz;
+  out.recovered = daemon.loop().degraded_cpu_count() == 0 &&
+                  daemon.loop().retrying_cpu_count() == 0;
+  out.journal_ok = sim::check_journal(journal).ok();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A15", "Fault injection: actuation and sensor faults");
+  // The reject-all scenario legitimately floods the warn log (a budget cut
+  // while every CPU refuses writes *is* infeasible); the table already
+  // reports the outcome, so keep the stream clean.
+  sim::set_log_level(sim::LogLevel::kError);
+
+  struct Scenario {
+    const char* name;
+    sim::FaultPlan plan;
+  };
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"none", sim::FaultPlan()});
+  {
+    sim::FaultPlan p(1);
+    p.add({sim::FaultKind::kActuationReject, 0.5, 0.52, 1, 0.0});
+    scenarios.push_back({"reject cpu1 20ms", std::move(p)});
+  }
+  {
+    sim::FaultPlan p(2);
+    p.add({sim::FaultKind::kActuationReject, 0.5, 1.8, 1, 0.0});
+    scenarios.push_back({"reject cpu1 1.3s", std::move(p)});
+  }
+  {
+    sim::FaultPlan p(3);
+    p.add({sim::FaultKind::kActuationReject, 0.5, 1.5, -1, 0.0});
+    scenarios.push_back({"reject all 1.0s", std::move(p)});
+  }
+  {
+    sim::FaultPlan p(4);
+    p.add({sim::FaultKind::kActuationSticky, 0.5, 1.2, 2, 0.0});
+    scenarios.push_back({"sticky cpu2 0.7s", std::move(p)});
+  }
+  {
+    sim::FaultPlan p(5);
+    p.add({sim::FaultKind::kActuationDelay, 0.5, 1.5, 1, 0.004});
+    scenarios.push_back({"delay cpu1 4ms", std::move(p)});
+  }
+  {
+    sim::FaultPlan p(6);
+    p.add({sim::FaultKind::kSensorNoise, 0.0, 2.5, -1, 15.0});
+    p.add({sim::FaultKind::kSensorDropout, 1.0, 1.6, -1, 0.0});
+    scenarios.push_back({"sensor noise+dropout", std::move(p)});
+  }
+
+  sim::TextTable out("4 CPUs, 400 W budget, 3 s run; faulted CPU is cpu 1");
+  out.set_header({"scenario", "faults", "degraded", "cpu1 MHz",
+                  "worst over W", "recovered", "journal"});
+  for (const Scenario& s : scenarios) {
+    const ScenarioResult r = run_scenario(s.plan);
+    out.add_row({s.name, sim::TextTable::num(r.fault_events, 0),
+                 sim::TextTable::num(r.degraded_enters, 0),
+                 sim::TextTable::num(r.mean_granted_mhz, 0),
+                 sim::TextTable::num(r.worst_over_w, 3),
+                 r.recovered ? "yes" : "NO",
+                 r.journal_ok ? "ok" : "VIOLATED"});
+  }
+  out.print();
+  std::printf(
+      "Expected: the 20 ms burst rides through on retries alone while the\n"
+      "long window escalates to the f_min fail-safe (degraded = 1) and\n"
+      "recovers; single-CPU reject windows stay at zero over-budget watts\n"
+      "because pinning keeps the accounting honest while the other CPUs\n"
+      "absorb the cut.  Over-budget watts appear only where physics allows\n"
+      "nothing better: reject-all leaves no actuatable CPU (the journal\n"
+      "marks those cycles infeasible), and sticky/delayed writes fail\n"
+      "silently, overshooting until detection (sticky mismatch events) or\n"
+      "the late write catches up.  Sensor faults never move a grant: the\n"
+      "daemon plans from the model, not the sensor.\n");
+  return 0;
+}

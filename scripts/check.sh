@@ -42,3 +42,17 @@ EOF
 else
   echo "python3 not found; skipping JSON validation of the smoke outputs"
 fi
+
+# Sanitizer gate: rebuild with ASan + UBSan and run the suites that
+# exercise the engine's fault paths, the chaos harness, and the JSONL
+# reader fuzzers — the code most likely to hide memory or UB mistakes.
+# FVSST_CHAOS_ITERATIONS is dialled down: sanitized builds are ~5x slower
+# and the full sweep already ran unsanitized above.
+asan_dir="${build_dir}-asan"
+cmake -S "${repo_root}" -B "${asan_dir}" "${generator[@]}" \
+  -DFVSST_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${asan_dir}" -j "$(nproc)" --target \
+  test_chaos test_scheduler_properties test_event_log test_control_loop \
+  test_determinism fvsst_sim fvsst_inspect
+FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${asan_dir}" --output-on-failure \
+  -R 'chaos|scheduler_properties|event_log|control_loop|determinism|cli_fault_plan'

@@ -20,10 +20,15 @@ void Channel::set_loss_probability(double p) {
   loss_probability_ = p;
 }
 
-void Channel::send(std::function<void()> handler) {
+void Channel::set_drop_handler(std::function<void()> handler) {
+  drop_handler_ = std::move(handler);
+}
+
+bool Channel::send(std::function<void()> handler) {
   if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
     ++dropped_;
-    return;
+    if (drop_handler_) drop_handler_();
+    return false;
   }
   const double delay =
       latency_s_ + (jitter_s_ > 0.0 ? rng_.uniform(0.0, jitter_s_) : 0.0);
@@ -31,6 +36,7 @@ void Channel::send(std::function<void()> handler) {
     ++delivered_;
     h();
   });
+  return true;
 }
 
 }  // namespace fvsst::cluster

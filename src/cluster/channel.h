@@ -27,15 +27,20 @@ class Channel {
 
   /// Delivers `handler` after the channel delay.  The payload is carried
   /// inside the closure; this keeps the channel type-agnostic.  Lost
-  /// messages (see set_loss_probability) are silently dropped, as on a
-  /// real unreliable datagram path.
-  void send(std::function<void()> handler);
+  /// messages (see set_loss_probability) are dropped as on a real
+  /// unreliable datagram path; returns false for a drop so the sender can
+  /// account the loss instead of inferring it.
+  bool send(std::function<void()> handler);
 
   /// Fraction of messages dropped, in [0, 1).  The periodic scheduling
   /// rounds make the cluster protocol naturally loss-tolerant; tests and
   /// the robustness ablation exercise that.
   void set_loss_probability(double p);
   double loss_probability() const { return loss_probability_; }
+
+  /// Invoked synchronously for every dropped message, before send()
+  /// returns false — the owner's hook for counting and journalling losses.
+  void set_drop_handler(std::function<void()> handler);
 
   double latency_s() const { return latency_s_; }
 
@@ -50,6 +55,7 @@ class Channel {
   double latency_s_;
   double jitter_s_;
   double loss_probability_ = 0.0;
+  std::function<void()> drop_handler_;
   sim::Rng rng_;
   std::size_t delivered_ = 0;
   std::size_t dropped_ = 0;

@@ -43,10 +43,13 @@ class ClusterDaemon::SettingsActuator final : public Actuator {
  public:
   explicit SettingsActuator(ClusterDaemon& daemon) : daemon_(daemon) {}
 
-  void apply(const ScheduleResult& result, double now,
-             CycleTrigger trigger) override {
+  ActuationReport apply(const ScheduleResult& result, double now,
+                        CycleTrigger trigger) override {
     (void)now;
     daemon_.fan_out(result, trigger == CycleTrigger::kBudget);
+    // Message loss is handled by the protocol (the next round repairs a
+    // lost settings message), not by per-CPU retries.
+    return {};
   }
 
  private:
@@ -126,6 +129,14 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   });
   up_channel_.set_loss_probability(config.channel_loss_probability);
   down_channel_.set_loss_probability(config.channel_loss_probability);
+  // Losses are counted at the sender via the drop callbacks, not inferred
+  // after the fact; sending_node_ attributes each drop (single-threaded).
+  up_channel_.set_drop_handler(
+      [this] { journal_message_lost(sending_node_, "up", "channel"); });
+  down_channel_.set_drop_handler(
+      [this] { journal_message_lost(sending_node_, "down", "channel"); });
+  last_summary_at_.assign(cluster_.node_count(), sim_.now());
+  node_silent_.assign(cluster_.node_count(), 0);
   // The global scheduler runs on its own timer (the paper's periodic
   // trigger), offset so each round sees the freshest summaries even when
   // some were lost in transit.
@@ -142,6 +153,13 @@ ClusterDaemon::~ClusterDaemon() {
 }
 
 void ClusterDaemon::node_tick(std::size_t node) {
+  // A crashed node's agent does nothing: no sampling, no summaries.  Its
+  // interval keeps accumulating and is shipped after the restart.
+  if (config_.fault_plan &&
+      config_.fault_plan->active(sim::FaultKind::kNodeCrash,
+                                 static_cast<int>(node), sim_.now())) {
+    return;
+  }
   auto& agent = *agents_[node];
   agent.sampler.collect();
   if (++agent.samples >= config_.schedule_every_n_samples) {
@@ -156,17 +174,100 @@ void ClusterDaemon::node_send_summary(std::size_t node) {
   if (samples.empty() || samples.front().elapsed_s <= 0.0) return;
 
   // Distil this interval into per-CPU views and ship only the summary
-  // across the network, as a real agent would.
-  agent.estimator.update(samples, agent.views);
+  // across the network, as a real agent would.  A wedged sensor path
+  // (kStaleSummaries) keeps sending but the views stay frozen.
+  const bool stale =
+      config_.fault_plan &&
+      config_.fault_plan->active(sim::FaultKind::kStaleSummaries,
+                                 static_cast<int>(node), sim_.now());
+  if (!stale) agent.estimator.update(samples, agent.views);
+
+  // An injected loss burst drops the message before it ever leaves.
+  if (const sim::FaultSpec* loss =
+          config_.fault_plan
+              ? config_.fault_plan->active(sim::FaultKind::kChannelLoss,
+                                           static_cast<int>(node), sim_.now())
+              : nullptr;
+      loss && config_.fault_plan->chance(sim::FaultKind::kChannelLoss,
+                                         static_cast<int>(node), sim_.now(),
+                                         loss->value)) {
+    journal_message_lost(node, "up", "fault");
+    return;
+  }
+
+  sending_node_ = node;
   up_channel_.send([this, node, summary = agent.views]() {
     const auto& agent_at_arrival = *agents_[node];
     for (std::size_t c = 0; c < summary.size(); ++c) {
       mailbox_[agent_at_arrival.first_cpu + c] = summary[c];
     }
+    on_summary_arrived(node);
   });
 }
 
+void ClusterDaemon::on_summary_arrived(std::size_t node) {
+  last_summary_at_[node] = sim_.now();
+  if (!node_silent_[node]) return;
+  // The node is talking again: lift the conservative f_max accounting.
+  node_silent_[node] = 0;
+  const auto& agent = *agents_[node];
+  for (std::size_t c = 0; c < agent.views.size(); ++c) {
+    loop_->unpin_cpu(agent.first_cpu + c);
+  }
+  if (config_.journal) {
+    config_.journal->append(sim_.now(), sim::EventType::kDegradedMode)
+        .set("node", static_cast<double>(node))
+        .set("state", std::string("exit"))
+        .set("reason", std::string("node_silent"));
+  }
+}
+
+void ClusterDaemon::refresh_silent_nodes() {
+  if (config_.silent_node_factor <= 0.0) return;
+  const double period =
+      config_.t_sample_s * config_.schedule_every_n_samples;
+  const double threshold = config_.silent_node_factor * period;
+  for (std::size_t n = 0; n < agents_.size(); ++n) {
+    if (node_silent_[n]) continue;
+    if (sim_.now() - last_summary_at_[n] <= threshold) continue;
+    // No word from the node for > k*T: its true draw is unknown, so the
+    // budget math assumes the worst case — every CPU flat out at f_max.
+    node_silent_[n] = 1;
+    const auto& agent = *agents_[n];
+    for (std::size_t c = 0; c < agent.views.size(); ++c) {
+      const std::size_t flat = agent.first_cpu + c;
+      loop_->pin_cpu(flat, proc_tables_[flat]->max_hz());
+    }
+    if (config_.journal) {
+      config_.journal->append(sim_.now(), sim::EventType::kDegradedMode)
+          .set("node", static_cast<double>(n))
+          .set("silent_s", sim_.now() - last_summary_at_[n])
+          .set("state", std::string("enter"))
+          .set("reason", std::string("node_silent"));
+    }
+  }
+}
+
+std::size_t ClusterDaemon::stale_node_count() const {
+  std::size_t n = 0;
+  for (char s : node_silent_) n += s ? 1 : 0;
+  return n;
+}
+
+void ClusterDaemon::journal_message_lost(std::size_t node,
+                                         const char* direction,
+                                         const char* cause) {
+  ++messages_lost_;
+  if (config_.journal) {
+    config_.journal->append(sim_.now(), sim::EventType::kMessageLost)
+        .set("node", static_cast<double>(node))
+        .set("direction", std::string(direction))
+        .set("cause", std::string(cause));
+  }
+}
+
 void ClusterDaemon::global_cycle(CycleTrigger trigger) {
+  refresh_silent_nodes();
   loop_->run_cycle(sim_.now(), budget_.effective_limit_w(), trigger);
 }
 
@@ -185,6 +286,18 @@ void ClusterDaemon::fan_out(const ScheduleResult& result,
     for (std::size_t c = 0; c < freqs.size(); ++c) {
       freqs[c] = result.decisions[flat++].hz;
     }
+    if (const sim::FaultSpec* loss =
+            config_.fault_plan
+                ? config_.fault_plan->active(sim::FaultKind::kChannelLoss,
+                                             static_cast<int>(n), sim_.now())
+                : nullptr;
+        loss && config_.fault_plan->chance(sim::FaultKind::kChannelLoss,
+                                           static_cast<int>(n), sim_.now(),
+                                           loss->value)) {
+      journal_message_lost(n, "down", "fault");
+      continue;
+    }
+    sending_node_ = n;
     down_channel_.send([this, n, freqs = std::move(freqs),
                         budget_triggered]() mutable {
       apply_on_node(n, std::move(freqs), budget_triggered);
@@ -194,6 +307,13 @@ void ClusterDaemon::fan_out(const ScheduleResult& result,
 
 void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
                                   bool budget_triggered) {
+  // Settings arriving at a crashed node land on nothing.
+  if (config_.fault_plan &&
+      config_.fault_plan->active(sim::FaultKind::kNodeCrash,
+                                 static_cast<int>(node), sim_.now())) {
+    journal_message_lost(node, "down", "node_crash");
+    return;
+  }
   for (std::size_t c = 0; c < freqs.size(); ++c) {
     cluster_.node(node).core(c).set_frequency(freqs[c]);
   }

@@ -53,8 +53,19 @@ struct ClusterDaemonConfig {
   double halted_idle_threshold = 0.90;
   /// Decision journal (not owned; must outlive the daemon).  Records the
   /// global scheduler's rounds plus deferred per-node applies (actuation
-  /// events with stage = "node_apply").
+  /// events with stage = "node_apply"), lost messages and degraded modes.
   sim::EventLog* journal = nullptr;
+  /// Injected faults (not owned; must outlive the daemon).  Cluster kinds
+  /// consulted here: kNodeCrash (agent stops sampling/summarising and
+  /// arriving settings are lost), kStaleSummaries (agent ships frozen
+  /// views), kChannelLoss (per-node loss bursts on both directions).
+  /// Null or empty: no injection, bit-for-bit identical behaviour.
+  const sim::FaultPlan* fault_plan = nullptr;
+  /// A node silent for more than this many global periods T is pinned at
+  /// f_max in the power accounting (the conservative assumption that keeps
+  /// the global budget honoured when its true draw is unknown).  0
+  /// disables silent-node detection.
+  double silent_node_factor = 3.0;
 };
 
 /// Global scheduler plus one agent per node.
@@ -98,6 +109,13 @@ class ClusterDaemon {
   /// Each loss leaves one node on stale settings until the next round.
   std::size_t settings_dropped() const { return down_channel_.dropped(); }
 
+  /// Messages counted lost via the channels' drop callbacks plus those a
+  /// fault plan forced (the journal's message_lost events).
+  std::size_t messages_lost() const { return messages_lost_; }
+
+  /// Nodes currently treated as silent (accounted at f_max).
+  std::size_t stale_node_count() const;
+
   /// The global scheduler's engine (stage timings, latest mailbox views).
   const ControlLoop& loop() const { return *loop_; }
 
@@ -137,6 +155,10 @@ class ClusterDaemon {
   void fan_out(const ScheduleResult& result, bool budget_triggered);
   void apply_on_node(std::size_t node, std::vector<double> freqs,
                      bool budget_triggered);
+  void journal_message_lost(std::size_t node, const char* direction,
+                            const char* cause);
+  void on_summary_arrived(std::size_t node);
+  void refresh_silent_nodes();
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
@@ -157,6 +179,12 @@ class ClusterDaemon {
   double last_applied_time_ = -1.0;
   std::size_t pending_trigger_applies_ = 0;
   sim::TimeSeries* power_trace_ = nullptr;  ///< Registry-owned.
+  /// Node a send is in flight for, so the channels' drop callbacks can
+  /// attribute the loss (everything is single-threaded).
+  std::size_t sending_node_ = 0;
+  std::size_t messages_lost_ = 0;
+  std::vector<double> last_summary_at_;  ///< Per node, simulated seconds.
+  std::vector<char> node_silent_;        ///< Per node: pinned at f_max.
 };
 
 }  // namespace fvsst::core

@@ -47,6 +47,10 @@ ControlLoop::ControlLoop(ControlLoopConfig config,
   }
   views_.resize(cpus);
   states_.resize(cpus);
+  real_tables_ = tables_;
+  pinned_tables_.resize(cpus);
+  retries_.resize(cpus);
+  last_written_hz_.assign(cpus, -1.0);
   if (telemetry_ && config_.record_traces) {
     const auto& nm = config_.naming;
     for (std::size_t i = 0; i < cpus; ++i) {
@@ -93,13 +97,13 @@ void ControlLoop::prime(double now, const std::vector<double>& hz,
 }
 
 bool ControlLoop::collect(double now) {
-  (void)now;
   const auto t0 = Clock::now();
   sampler_->collect();
   ++timings_.sample.invocations;
   const double elapsed = seconds_since(t0);
   timings_.sample.total_s += elapsed;
   timings_.sample.samples.add(elapsed);
+  process_retries(now);
   return ++samples_since_cycle_ >= config_.schedule_every_n_samples;
 }
 
@@ -144,6 +148,21 @@ const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
         prev_idle_[i] = idle;
       }
     }
+    // Sticky-write detection (observation only): the set-point measured at
+    // interval close disagrees with the last write the actuator accepted.
+    if (config_.detect_actuation_mismatch) {
+      for (std::size_t i = 0; i < views_.size(); ++i) {
+        if (retries_[i].active || last_written_hz_[i] < 0.0) continue;
+        const double measured = views_[i].current_hz;
+        if (measured > 0.0 && measured != last_written_hz_[i]) {
+          config_.journal->append(now, sim::EventType::kFault,
+                                  static_cast<int>(i))
+              .set("expected_hz", last_written_hz_[i])
+              .set("observed_hz", measured)
+              .set("kind", std::string("actuation_sticky"));
+        }
+      }
+    }
   }
 
   // The facade's modelled scheduling cost (dead cycles) is charged here,
@@ -165,7 +184,8 @@ const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
   // policy's model makes for the next interval, and the operating point's
   // power/frequency traces.
   t0 = Clock::now();
-  actuator_->apply(last_result_, now, trigger);
+  const ActuationReport report = actuator_->apply(last_result_, now, trigger);
+  handle_rejections(report, now);
   for (std::size_t i = 0; i < states_.size(); ++i) {
     const ScheduleDecision& d = last_result_.decisions[i];
     auto& st = states_[i];
@@ -178,7 +198,13 @@ const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
     } else {
       st.has_prediction = false;
     }
-    st.power_acc.record(now, d.watts);
+    // A rejected write leaves the hardware at its pinned point; charge the
+    // true draw, not the grant that never landed.
+    const double actual_watts =
+        retries_[i].active && pinned_tables_[i]
+            ? pinned_tables_[i]->max_point().watts
+            : d.watts;
+    st.power_acc.record(now, actual_watts);
     if (st.granted) st.granted->add(now, d.hz);
     if (st.desired) st.desired->add(now, d.desired_hz);
   }
@@ -242,6 +268,137 @@ void ControlLoop::journal_cycle(double now, CycleTrigger trigger,
       .set("estimate_s", estimate_s)
       .set("policy_s", policy_s)
       .set("actuate_s", actuate_s);
+}
+
+void ControlLoop::handle_rejections(const ActuationReport& report,
+                                    double now) {
+  for (std::size_t i = 0; i < last_result_.decisions.size(); ++i) {
+    const bool rejected =
+        std::find(report.rejected.begin(), report.rejected.end(), i) !=
+        report.rejected.end();
+    RetryState& retry = retries_[i];
+    if (!rejected) {
+      // The cycle's own write landed; an in-flight retry is moot.
+      if (retry.active) finish_recovery(i, last_result_.decisions[i].hz, now);
+      last_written_hz_[i] = last_result_.decisions[i].hz;
+      continue;
+    }
+    const double target = last_result_.decisions[i].hz;
+    if (!retry.active) {
+      retry.active = true;
+      retry.attempts = 1;
+      retry.backoff_ticks = std::max(1, config_.actuation_backoff_ticks);
+      retry.ticks_until_retry = retry.backoff_ticks;
+      // The write failed, so the hardware is still at its pre-cycle point;
+      // schedule it there until the write lands so the power accounting
+      // stays honest and the others absorb the budget.
+      pin_cpu(i, views_[i].current_hz);
+    }
+    // A fresh grant re-aims an in-flight retry without resetting its
+    // attempt budget (otherwise a permanently failing CPU never
+    // fail-safes).
+    if (!retry.degraded) retry.target_hz = target;
+    if (config_.journal) {
+      config_.journal->append(now, sim::EventType::kFault,
+                              static_cast<int>(i))
+          .set("attempt", static_cast<double>(retry.attempts))
+          .set("target_hz", retry.target_hz)
+          .set("kind", std::string("actuation_reject"));
+    }
+  }
+}
+
+void ControlLoop::process_retries(double now) {
+  for (std::size_t i = 0; i < retries_.size(); ++i) {
+    RetryState& retry = retries_[i];
+    if (!retry.active) continue;
+    if (--retry.ticks_until_retry > 0) continue;
+    if (actuator_->write_one(i, retry.target_hz, now)) {
+      finish_recovery(i, retry.target_hz, now);
+      continue;
+    }
+    ++retry.attempts;
+    if (config_.journal) {
+      config_.journal->append(now, sim::EventType::kFault,
+                              static_cast<int>(i))
+          .set("attempt", static_cast<double>(retry.attempts))
+          .set("target_hz", retry.target_hz)
+          .set("kind", std::string("actuation_reject"));
+    }
+    if (!retry.degraded && retry.attempts > config_.actuation_max_retries) {
+      // Retry budget spent: fail-safe.  Hold the table-minimum grant (the
+      // most conservative request) and keep knocking at a bounded pace.
+      retry.degraded = true;
+      retry.target_hz = real_tables_[i]->min_hz();
+      if (config_.journal) {
+        config_.journal->append(now, sim::EventType::kDegradedMode,
+                                static_cast<int>(i))
+            .set("hz", retry.target_hz)
+            .set("state", std::string("enter"))
+            .set("reason", std::string("actuation_failsafe"));
+      }
+    }
+    // Exponential backoff capped near T/2 so a cleared fault is noticed
+    // within about one scheduling period.
+    const int cap = std::max(1, config_.schedule_every_n_samples / 2);
+    retry.backoff_ticks = std::min(retry.backoff_ticks * 2, cap);
+    retry.ticks_until_retry = retry.backoff_ticks;
+  }
+}
+
+void ControlLoop::finish_recovery(std::size_t cpu, double hz_written,
+                                  double now) {
+  RetryState& retry = retries_[cpu];
+  last_written_hz_[cpu] = hz_written;
+  const bool was_degraded = retry.degraded;
+  const int attempts = retry.attempts;
+  retry = RetryState{};
+  unpin_cpu(cpu);
+  if (config_.journal) {
+    if (was_degraded) {
+      config_.journal->append(now, sim::EventType::kDegradedMode,
+                              static_cast<int>(cpu))
+          .set("hz", hz_written)
+          .set("state", std::string("exit"))
+          .set("reason", std::string("actuation_failsafe"));
+    }
+    config_.journal->append(now, sim::EventType::kFault,
+                            static_cast<int>(cpu))
+        .set("attempt", static_cast<double>(attempts))
+        .set("recovered_hz", hz_written)
+        .set("kind", std::string("actuation_reject"))
+        .set("state", std::string("exit"));
+  }
+}
+
+void ControlLoop::pin_cpu(std::size_t cpu, double hz) {
+  const mach::FrequencyTable* real = real_tables_.at(cpu);
+  const mach::OperatingPoint& point =
+      hz > 0.0 ? real->ceil_point(hz) : real->max_point();
+  pinned_tables_[cpu] = std::make_unique<mach::FrequencyTable>(
+      std::vector<mach::OperatingPoint>{point});
+  tables_[cpu] = pinned_tables_[cpu].get();
+}
+
+void ControlLoop::unpin_cpu(std::size_t cpu) {
+  tables_.at(cpu) = real_tables_.at(cpu);
+  pinned_tables_[cpu].reset();
+}
+
+bool ControlLoop::pinned(std::size_t cpu) const {
+  return pinned_tables_.at(cpu) != nullptr;
+}
+
+std::size_t ControlLoop::degraded_cpu_count() const {
+  std::size_t n = 0;
+  for (const RetryState& r : retries_) n += r.degraded ? 1 : 0;
+  return n;
+}
+
+std::size_t ControlLoop::retrying_cpu_count() const {
+  std::size_t n = 0;
+  for (const RetryState& r : retries_) n += r.active ? 1 : 0;
+  return n;
 }
 
 void ControlLoop::publish_timings() {
@@ -428,16 +585,55 @@ SimCoreActuator::SimCoreActuator(cluster::Cluster& cluster,
     : cluster_(cluster), procs_(std::move(procs)),
       skip_unchanged_(skip_unchanged) {}
 
-void SimCoreActuator::apply(const ScheduleResult& result, double now,
-                            CycleTrigger trigger) {
-  (void)now;
-  (void)trigger;
-  for (std::size_t i = 0; i < procs_.size(); ++i) {
-    auto& core = cluster_.core(procs_[i]);
-    const double hz = result.decisions[i].hz;
-    if (skip_unchanged_ && hz == core.frequency_hz()) continue;
-    core.set_frequency(hz);
+void SimCoreActuator::set_fault_plan(const sim::FaultPlan* plan,
+                                     sim::Simulation* sim) {
+  faults_ = plan && !plan->empty() ? plan : nullptr;
+  sim_ = sim;
+}
+
+// Performs one frequency write under the fault plan.  Returns false when
+// the write was refused (kActuationReject); a sticky write (claims success,
+// changes nothing) and a delayed write both return true — no error is the
+// whole point of those failure modes.
+bool SimCoreActuator::write(std::size_t cpu, double hz, double now) {
+  const int target = static_cast<int>(cpu);
+  if (faults_) {
+    using sim::FaultKind;
+    if (faults_->active(FaultKind::kActuationReject, target, now)) {
+      return false;
+    }
+    if (faults_->active(FaultKind::kActuationSticky, target, now)) {
+      return true;
+    }
+    if (const sim::FaultSpec* delay =
+            faults_->active(FaultKind::kActuationDelay, target, now);
+        delay && sim_ && delay->value > 0.0) {
+      sim_->schedule_after(delay->value, [this, cpu, hz] {
+        cluster_.core(procs_[cpu]).set_frequency(hz);
+      });
+      return true;
+    }
   }
+  cluster_.core(procs_[cpu]).set_frequency(hz);
+  return true;
+}
+
+ActuationReport SimCoreActuator::apply(const ScheduleResult& result,
+                                       double now, CycleTrigger trigger) {
+  (void)trigger;
+  ActuationReport report;
+  for (std::size_t i = 0; i < procs_.size(); ++i) {
+    const double hz = result.decisions[i].hz;
+    if (skip_unchanged_ && hz == cluster_.core(procs_[i]).frequency_hz()) {
+      continue;
+    }
+    if (!write(i, hz, now)) report.rejected.push_back(i);
+  }
+  return report;
+}
+
+bool SimCoreActuator::write_one(std::size_t cpu, double hz, double now) {
+  return write(cpu, hz, now);
 }
 
 }  // namespace fvsst::core

@@ -36,6 +36,8 @@
 #include "cluster/cluster.h"
 #include "core/scheduler.h"
 #include "simkit/event_log.h"
+#include "simkit/event_queue.h"
+#include "simkit/fault_plan.h"
 #include "simkit/stats.h"
 #include "simkit/telemetry.h"
 
@@ -125,12 +127,32 @@ enum class CycleTrigger {
 /// Stable wire name ("timer", "budget", "manual") for journals and logs.
 std::string_view cycle_trigger_name(CycleTrigger trigger);
 
+/// What an actuation attempt accomplished.  Real actuation paths fail —
+/// cpufreq writes get refused, settings messages get lost — and the engine
+/// reacts (retry, then fail-safe) rather than assuming success.
+struct ActuationReport {
+  /// CPUs whose frequency write was refused.  Empty on full success; the
+  /// engine starts a bounded retry for each listed CPU.
+  std::vector<std::size_t> rejected;
+};
+
 /// Stage 4: applies decisions to the world.
 class Actuator {
  public:
   virtual ~Actuator() = default;
-  virtual void apply(const ScheduleResult& result, double now,
-                     CycleTrigger trigger) = 0;
+
+  /// Applies every decision; reports the CPUs whose write was refused.
+  virtual ActuationReport apply(const ScheduleResult& result, double now,
+                                CycleTrigger trigger) = 0;
+
+  /// Retries a single CPU's frequency write (the engine's retry path
+  /// between cycles).  Returns false when the write was refused again.
+  virtual bool write_one(std::size_t cpu, double hz, double now) {
+    (void)cpu;
+    (void)hz;
+    (void)now;
+    return true;
+  }
 };
 
 /// Wall-clock cost of one stage, accumulated across cycles.
@@ -193,6 +215,17 @@ struct ControlLoopConfig {
   /// Invoked between estimation and the policy run — facades charge their
   /// modelled scheduling cost (dead cycles) here.
   std::function<void(CycleTrigger)> pre_policy;
+  /// Rejected frequency writes are retried this many times (with a
+  /// doubling tick backoff) before the engine fail-safes the CPU to its
+  /// table minimum frequency.
+  int actuation_max_retries = 3;
+  /// Ticks until the first retry of a rejected write; doubles per failure,
+  /// capped so a CPU recovers within about one scheduling period T.
+  int actuation_backoff_ticks = 1;
+  /// Journal (observation only) when a CPU's measured set-point disagrees
+  /// with the last successfully written grant — the sticky-actuation
+  /// failure that raises no error.  Needs a journal to matter.
+  bool detect_actuation_mismatch = false;
   /// Decision journal (not owned; must outlive the loop).  When set, the
   /// engine emits table_point events at construction and cycle_start /
   /// idle transitions / decision / downgrade / infeasible_budget /
@@ -223,7 +256,8 @@ class ControlLoop {
              const std::vector<double>& watts);
 
   /// One sampling tick.  Returns true when a scheduled cycle is now due
-  /// (i.e. n ticks have elapsed since the last cycle).
+  /// (i.e. n ticks have elapsed since the last cycle).  Due actuation
+  /// retries (rejected writes being retried with backoff) run here.
   bool collect(double now);
 
   /// One full cycle: close interval -> estimate -> policy -> actuate.
@@ -266,6 +300,29 @@ class ControlLoop {
 
   sim::MetricRegistry* telemetry() { return telemetry_; }
 
+  // --- Degraded-mode scheduling --------------------------------------
+  // A pinned CPU is scheduled against a one-point table at its *actual*
+  // operating point, so the policy accounts its true power draw and
+  // downgrades the others to keep the aggregate under budget.  The engine
+  // pins CPUs whose writes are rejected; facades pin for their own reasons
+  // (a cluster node gone silent is accounted at f_max).
+
+  /// Pins `cpu` to the operating point of its real table nearest at or
+  /// above `hz` (table max when hz is 0 or out of range).
+  void pin_cpu(std::size_t cpu, double hz);
+
+  /// Restores `cpu` to its full operating-point table.
+  void unpin_cpu(std::size_t cpu);
+
+  bool pinned(std::size_t cpu) const;
+
+  /// CPUs currently in the actuation fail-safe (writes kept failing past
+  /// the retry budget; the engine is holding an f_min grant for them).
+  std::size_t degraded_cpu_count() const;
+
+  /// CPUs with an actuation retry in flight (including degraded ones).
+  std::size_t retrying_cpu_count() const;
+
  private:
   struct CpuState {
     bool has_prediction = false;
@@ -280,9 +337,23 @@ class ControlLoop {
     sim::TimeSeries* dev = nullptr;
   };
 
+  /// Bounded retry of one CPU's rejected write, escalating to the f_min
+  /// fail-safe once the retry budget is spent.
+  struct RetryState {
+    bool active = false;
+    bool degraded = false;   ///< Past the retry budget; holding f_min.
+    int attempts = 0;
+    int backoff_ticks = 1;   ///< Doubles per failure, capped near T/2.
+    int ticks_until_retry = 0;
+    double target_hz = 0.0;  ///< What the retry is trying to write.
+  };
+
   void publish_timings();
   void journal_cycle(double now, CycleTrigger trigger, double power_budget_w,
                      double estimate_s, double policy_s, double actuate_s);
+  void handle_rejections(const ActuationReport& report, double now);
+  void process_retries(double now);
+  void finish_recovery(std::size_t cpu, double hz_written, double now);
 
   ControlLoopConfig config_;
   std::unique_ptr<Sampler> sampler_;
@@ -290,6 +361,15 @@ class ControlLoop {
   std::unique_ptr<PolicyStage> policy_;
   std::unique_ptr<Actuator> actuator_;
   std::vector<const mach::FrequencyTable*> tables_;
+  /// The construction-time tables; tables_ entries divert to
+  /// pinned_tables_ while a CPU is pinned.
+  std::vector<const mach::FrequencyTable*> real_tables_;
+  /// Owned one-point tables for pinned CPUs (null when unpinned).
+  std::vector<std::unique_ptr<mach::FrequencyTable>> pinned_tables_;
+  std::vector<RetryState> retries_;
+  /// Last grant the actuator accepted (sticky-write detection baseline);
+  /// negative until the first successful write.
+  std::vector<double> last_written_hz_;
   sim::MetricRegistry* telemetry_;
   std::vector<ProcView> views_;
   std::vector<CpuState> states_;
@@ -401,13 +481,25 @@ class SimCoreActuator final : public Actuator {
                   std::vector<cluster::ProcAddress> procs,
                   bool skip_unchanged = false);
 
-  void apply(const ScheduleResult& result, double now,
-             CycleTrigger trigger) override;
+  /// Subjects writes to an injected fault plan (rejected / sticky /
+  /// delayed writes).  `sim` is needed only for kActuationDelay; without
+  /// it delayed writes apply immediately.  Null plan (the default)
+  /// restores perfect actuation.
+  void set_fault_plan(const sim::FaultPlan* plan,
+                      sim::Simulation* sim = nullptr);
+
+  ActuationReport apply(const ScheduleResult& result, double now,
+                        CycleTrigger trigger) override;
+  bool write_one(std::size_t cpu, double hz, double now) override;
 
  private:
+  bool write(std::size_t cpu, double hz, double now);
+
   cluster::Cluster& cluster_;
   std::vector<cluster::ProcAddress> procs_;
   bool skip_unchanged_;
+  const sim::FaultPlan* faults_ = nullptr;
+  sim::Simulation* sim_ = nullptr;
 };
 
 }  // namespace fvsst::core

@@ -31,11 +31,16 @@ FvsstDaemon::FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       table, cluster_.node(0).machine().latencies, config_.scheduler);
   policy_ = policy.get();
   auto actuator = std::make_unique<SimCoreActuator>(cluster_, procs_);
+  actuator->set_fault_plan(config_.fault_plan, &sim_);
 
   ControlLoopConfig loop_config;
   loop_config.schedule_every_n_samples = config_.schedule_every_n_samples;
   loop_config.record_traces = config_.record_traces;
   loop_config.journal = config_.journal;
+  // Sticky-write surveillance only makes sense when writes can actually go
+  // wrong; keeping it off otherwise keeps fault-free journals unchanged.
+  loop_config.detect_actuation_mismatch =
+      config_.fault_plan && !config_.fault_plan->empty();
   if (config_.journal) {
     // t_restarts = 1: a budget trigger resets the tick count, restarting T
     // (the paper's SMP daemon semantic the inspector verifies).

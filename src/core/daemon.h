@@ -64,6 +64,12 @@ struct DaemonConfig {
   /// contributes run_meta and budget_change events; the engine emits the
   /// per-cycle record.  Null disables journalling.
   sim::EventLog* journal = nullptr;
+  /// Injected faults (not owned; must outlive the daemon).  Actuation
+  /// kinds (reject / sticky / delay) apply to the daemon's frequency
+  /// writes; the engine answers rejects with retry-with-backoff escalating
+  /// to an f_min fail-safe.  Null or empty: no injection, bit-for-bit
+  /// identical behaviour.
+  const sim::FaultPlan* fault_plan = nullptr;
 };
 
 /// The frequency/voltage scheduling daemon.

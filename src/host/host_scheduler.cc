@@ -47,15 +47,26 @@ std::vector<core::IntervalSample> PerfEventSampler::end_interval(double now) {
 SysfsActuator::SysfsActuator(CpufreqSysfs& sysfs, std::vector<int> cpus)
     : sysfs_(sysfs), cpus_(std::move(cpus)) {}
 
-void SysfsActuator::apply(const core::ScheduleResult& result, double now,
-                          core::CycleTrigger trigger) {
+core::ActuationReport SysfsActuator::apply(const core::ScheduleResult& result,
+                                           double now,
+                                           core::CycleTrigger trigger) {
   (void)now;
   (void)trigger;
+  core::ActuationReport report;
   for (std::size_t i = 0; i < cpus_.size(); ++i) {
     if (!sysfs_.set_frequency(cpus_[i], result.decisions[i].hz)) {
       ++failed_writes_;
+      report.rejected.push_back(i);
     }
   }
+  return report;
+}
+
+bool SysfsActuator::write_one(std::size_t cpu, double hz, double now) {
+  (void)now;
+  if (sysfs_.set_frequency(cpus_.at(cpu), hz)) return true;
+  ++failed_writes_;
+  return false;
 }
 
 HostScheduler::HostScheduler(Options options)

@@ -72,8 +72,9 @@ class SysfsActuator final : public core::Actuator {
  public:
   SysfsActuator(CpufreqSysfs& sysfs, std::vector<int> cpus);
 
-  void apply(const core::ScheduleResult& result, double now,
-             core::CycleTrigger trigger) override;
+  core::ActuationReport apply(const core::ScheduleResult& result, double now,
+                              core::CycleTrigger trigger) override;
+  bool write_one(std::size_t cpu, double hz, double now) override;
 
   std::size_t failed_writes() const { return failed_writes_; }
 

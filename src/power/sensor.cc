@@ -1,5 +1,8 @@
 #include "power/sensor.h"
 
+#include <algorithm>
+#include <string>
+
 namespace fvsst::power {
 
 PowerSensor::PowerSensor(sim::Simulation& sim,
@@ -14,8 +17,66 @@ PowerSensor::~PowerSensor() {
   sim_.cancel(event_id_);
 }
 
+void PowerSensor::set_fault_plan(const sim::FaultPlan* plan,
+                                 sim::EventLog* journal, int sensor_id) {
+  faults_ = plan && !plan->empty() ? plan : nullptr;
+  journal_ = journal;
+  sensor_id_ = sensor_id;
+}
+
+double PowerSensor::apply_faults(double watts) {
+  using sim::FaultKind;
+  const double now = sim_.now();
+  const sim::FaultSpec* dropout =
+      faults_->active(FaultKind::kSensorDropout, sensor_id_, now);
+  const sim::FaultSpec* stuck =
+      faults_->active(FaultKind::kSensorStuck, sensor_id_, now);
+  const sim::FaultSpec* noise =
+      faults_->active(FaultKind::kSensorNoise, sensor_id_, now);
+
+  const bool fault_active = dropout || stuck || noise;
+  if (journal_ && fault_active != fault_was_active_) {
+    const char* kind = dropout  ? "sensor_dropout"
+                       : stuck  ? "sensor_stuck"
+                       : noise  ? "sensor_noise"
+                                : "sensor";
+    journal_->append(now, sim::EventType::kFault)
+        .set("sensor", static_cast<double>(sensor_id_))
+        .set("held_w", have_good_ ? last_good_w_ : watts)
+        .set("kind", std::string(kind))
+        .set("state", std::string(fault_active ? "enter" : "exit"));
+  }
+  fault_was_active_ = fault_active;
+  if (!fault_active) {
+    // Clean reading: refresh the hold-last-known-good baseline and re-arm
+    // the stuck capture for the next window.
+    last_good_w_ = watts;
+    have_good_ = true;
+    stuck_captured_ = false;
+    return watts;
+  }
+
+  ++faulted_samples_;
+  if (dropout) {
+    // No reading at all: hold the last value a healthy sensor produced.
+    return have_good_ ? last_good_w_ : watts;
+  }
+  if (stuck) {
+    if (!stuck_captured_) {
+      stuck_w_ = stuck->value > 0.0 ? stuck->value : watts;
+      stuck_captured_ = true;
+    }
+    return stuck_w_;
+  }
+  // Noise: a negative power reading is physically meaningless; clamp.
+  return std::max(
+      0.0, watts + faults_->noise(FaultKind::kSensorNoise, sensor_id_, now,
+                                  noise->value));
+}
+
 void PowerSensor::sample() {
-  const double watts = power_fn_();
+  double watts = power_fn_();
+  if (faults_) watts = apply_faults(watts);
   trace_.add(sim_.now(), watts);
   weighted_.record(sim_.now(), watts);
 }

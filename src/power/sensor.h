@@ -9,7 +9,9 @@
 
 #include <functional>
 
+#include "simkit/event_log.h"
 #include "simkit/event_queue.h"
+#include "simkit/fault_plan.h"
 #include "simkit/stats.h"
 #include "simkit/time_series.h"
 
@@ -38,14 +40,37 @@ class PowerSensor {
   /// Most recent sample.
   double last_sample_w() const { return weighted_.last_value(); }
 
+  /// Subjects readings to an injected fault plan (neither owned; both must
+  /// outlive the sensor).  Sensor kinds handled with sample-validity
+  /// checks: kSensorDropout holds the last known-good reading,
+  /// kSensorStuck freezes at the spec value (or the window's first
+  /// reading) and kSensorNoise adds deterministic Gaussian noise.  Fault
+  /// windows are journalled (when `journal` is set) as fault enter/exit
+  /// events.  Null or empty plan: readings pass through untouched.
+  void set_fault_plan(const sim::FaultPlan* plan,
+                      sim::EventLog* journal = nullptr, int sensor_id = 0);
+
+  /// Samples taken while a sensor fault was active.
+  std::size_t faulted_samples() const { return faulted_samples_; }
+
  private:
   void sample();
+  double apply_faults(double watts);
 
   sim::Simulation& sim_;
   std::function<double()> power_fn_;
   sim::EventId event_id_ = 0;
   sim::TimeSeries trace_;
   sim::TimeWeightedStat weighted_;
+  const sim::FaultPlan* faults_ = nullptr;
+  sim::EventLog* journal_ = nullptr;
+  int sensor_id_ = 0;
+  double last_good_w_ = 0.0;       ///< Held through a dropout window.
+  bool have_good_ = false;
+  double stuck_w_ = 0.0;           ///< Captured at stuck-window entry.
+  bool stuck_captured_ = false;
+  bool fault_was_active_ = false;  ///< For enter/exit journalling.
+  std::size_t faulted_samples_ = 0;
 };
 
 }  // namespace fvsst::power

@@ -22,7 +22,7 @@ struct TypeName {
   std::string_view name;
 };
 
-constexpr std::array<TypeName, 10> kTypeNames{{
+constexpr std::array<TypeName, 13> kTypeNames{{
     {EventType::kRunMeta, "run_meta"},
     {EventType::kTablePoint, "table_point"},
     {EventType::kCycleStart, "cycle_start"},
@@ -33,6 +33,9 @@ constexpr std::array<TypeName, 10> kTypeNames{{
     {EventType::kIdleExit, "idle_exit"},
     {EventType::kInfeasibleBudget, "infeasible_budget"},
     {EventType::kActuation, "actuation"},
+    {EventType::kFault, "fault"},
+    {EventType::kDegradedMode, "degraded_mode"},
+    {EventType::kMessageLost, "message_lost"},
 }};
 
 }  // namespace
@@ -292,21 +295,61 @@ class LineParser {
 
 }  // namespace
 
+namespace {
+
+bool is_blank(const std::string& line) {
+  for (char c : line) {
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 EventLog read_jsonl(std::istream& in) {
   EventLog log;
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
-    bool blank = true;
-    for (char c : line) {
-      if (c != ' ' && c != '\t' && c != '\r') {
-        blank = false;
-        break;
-      }
-    }
-    if (blank) continue;
+    if (is_blank(line)) continue;
     log.push(LineParser(line, line_no).parse());
+  }
+  return log;
+}
+
+EventLog read_jsonl(std::istream& in, JsonlReadReport* report) {
+  if (report) *report = {};
+  EventLog log;
+  std::string line;
+  std::size_t line_no = 0;
+  // Hold each parsed line until we know another non-blank line follows: a
+  // failure with more data behind it is mid-file corruption (still thrown),
+  // a failure on the last line is a torn tail (reported, not thrown).
+  std::optional<Event> held;
+  std::string held_error;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_blank(line)) continue;
+    if (held) {
+      log.push(*std::move(held));
+      held.reset();
+    } else if (!held_error.empty()) {
+      throw std::runtime_error(held_error);  // corruption before the tail
+    }
+    try {
+      held = LineParser(line, line_no).parse();
+    } catch (const std::runtime_error& err) {
+      held_error = err.what();
+    }
+  }
+  if (held) {
+    log.push(*std::move(held));
+  } else if (!held_error.empty()) {
+    if (report) {
+      report->torn_tail = true;
+      report->error = held_error;
+    }
   }
   return log;
 }
@@ -441,6 +484,36 @@ void write_chrome_trace(std::ostream& out, const EventLog& log) {
                   ChromeWriter::args(
                       {{"budget_w", e.num_or("budget_w")},
                        {"total_power_w", e.num_or("total_power_w")}}));
+        break;
+      case EventType::kFault: {
+        std::string name = "fault";
+        if (const std::string* kind = e.find_str("kind")) {
+          name += ' ';
+          name += *kind;
+        }
+        if (const std::string* state = e.find_str("state")) {
+          name += ' ';
+          name += *state;
+        }
+        w.instant(name, ts, {});
+        break;
+      }
+      case EventType::kDegradedMode: {
+        std::string name = "degraded";
+        if (const std::string* reason = e.find_str("reason")) {
+          name += ' ';
+          name += *reason;
+        }
+        if (const std::string* state = e.find_str("state")) {
+          name += ' ';
+          name += *state;
+        }
+        w.instant(name, ts, {});
+        break;
+      }
+      case EventType::kMessageLost:
+        w.instant("message_lost", ts,
+                  ChromeWriter::args({{"node", e.num_or("node", -1.0)}}));
         break;
       case EventType::kActuation: {
         if (const std::string* stage = e.find_str("stage")) {

@@ -69,6 +69,18 @@ enum class EventType {
   /// emits deferred per-node applies with str "stage" = "node_apply" and
   /// "node", "cluster_power_w".
   kActuation,
+  /// An injected or observed fault: str "kind" (a sim::FaultKind wire
+  /// name), str "state" (enter | exit) for windowed faults, plus
+  /// kind-specific fields ("attempt", "target_hz" for actuation rejects,
+  /// "held_w" for sensor dropout).
+  kFault,
+  /// The engine entered or left a degraded operating mode: str "state"
+  /// (enter | exit), str "reason" (actuation_failsafe | node_silent),
+  /// "hz" (the fail-safe grant) or "node" (the silent node).
+  kDegradedMode,
+  /// A cluster message was dropped in flight: str "direction" (up | down),
+  /// "node"; str "cause" = "fault" when a FaultPlan forced the drop.
+  kMessageLost,
 };
 
 /// Stable wire name ("cycle_start", "decision", ...).
@@ -143,6 +155,21 @@ void write_jsonl(std::ostream& out, const EventLog& log);
 /// event types or malformed JSON throw std::runtime_error with a line
 /// number.  Blank lines are skipped.
 EventLog read_jsonl(std::istream& in);
+
+/// Outcome of the tolerant read_jsonl overload.
+struct JsonlReadReport {
+  /// The final non-blank line failed to parse — the classic torn tail of a
+  /// journal whose writer died mid-line.  The complete events before it
+  /// were still recovered.
+  bool torn_tail = false;
+  std::string error;  ///< The tail's parse error (empty when !torn_tail).
+};
+
+/// Tolerant variant for journals that may end mid-write: a parse failure on
+/// the *final* non-blank line is reported in `report` instead of thrown, and
+/// every complete line before it is returned.  Corruption anywhere else
+/// still throws — a torn tail is expected wear, a torn middle is not.
+EventLog read_jsonl(std::istream& in, JsonlReadReport* report);
 
 /// Writes Chrome trace-event JSON (load in Perfetto or chrome://tracing).
 /// The timeline is simulated time in microseconds; each cycle's measured

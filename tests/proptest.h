@@ -1,0 +1,63 @@
+// proptest.h - A minimal property-based testing harness on top of GTest.
+//
+// run_seeded() drives a test body across a range of derived seeds.  When
+// an iteration fails, the harness prints the failing seed and a one-line
+// repro command, so a CI failure is reproducible locally without
+// re-running the whole sweep:
+//
+//   [proptest] FAILING SEED 1007 -- repro: FVSST_CHAOS_SEED=1007 <hint>
+//
+// Environment overrides:
+//   FVSST_CHAOS_SEED=N        run exactly the one seed N (debugging)
+//   FVSST_CHAOS_ITERATIONS=N  override the iteration count (CI dials)
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace fvsst::proptest {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value || !*value) return fallback;
+  char* end = nullptr;
+  const std::uint64_t parsed = std::strtoull(value, &end, 0);
+  return end && *end == '\0' ? parsed : fallback;
+}
+
+/// Runs `body(seed)` for seeds base_seed, base_seed + 1, ... and stops at
+/// the first failing seed, printing it with a repro hint.  `repro_hint`
+/// should name the test binary/filter to re-run with FVSST_CHAOS_SEED set.
+inline void run_seeded(std::uint64_t base_seed, int iterations,
+                       const std::string& repro_hint,
+                       const std::function<void(std::uint64_t)>& body) {
+  if (const char* pinned = std::getenv("FVSST_CHAOS_SEED");
+      pinned && *pinned) {
+    const std::uint64_t seed = std::strtoull(pinned, nullptr, 0);
+    SCOPED_TRACE("FVSST_CHAOS_SEED=" + std::to_string(seed));
+    body(seed);
+    return;
+  }
+  const int n = static_cast<int>(env_u64(
+      "FVSST_CHAOS_ITERATIONS", static_cast<std::uint64_t>(iterations)));
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(i);
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    body(seed);
+    if (::testing::Test::HasFailure()) {
+      std::fprintf(stderr,
+                   "[proptest] FAILING SEED %llu -- repro: "
+                   "FVSST_CHAOS_SEED=%llu %s\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(seed), repro_hint.c_str());
+      return;
+    }
+  }
+}
+
+}  // namespace fvsst::proptest

@@ -1,0 +1,360 @@
+// Property-based chaos harness: seeded random fault scenarios against the
+// SMP daemon and the cluster daemon, asserting the invariants the
+// inspector checks plus recovery once every fault window has closed.
+//
+// Each scenario derives everything — workload mix, budget, and the fault
+// plan itself — from one seed, so a CI failure reproduces locally with
+//   FVSST_CHAOS_SEED=<seed> ./tests/test_chaos
+// (see tests/proptest.h; FVSST_CHAOS_ITERATIONS dials the sweep width).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "core/cluster_daemon.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "power/sensor.h"
+#include "proptest.h"
+#include "simkit/event_log.h"
+#include "simkit/fault_plan.h"
+#include "simkit/units.h"
+#include "workload/synthetic.h"
+
+namespace fvsst {
+namespace {
+
+using units::ms;
+
+std::size_t count_type(const sim::EventLog& log, sim::EventType type) {
+  std::size_t n = 0;
+  for (const sim::Event& e : log.events()) n += e.type == type;
+  return n;
+}
+
+// --- Random SMP scenarios -------------------------------------------------
+
+// One seeded SMP scenario: random workloads and budget, a random fault
+// plan mixing sensor and actuation faults, run long enough that every
+// fault window closes with headroom for recovery.
+void run_smp_scenario(std::uint64_t seed) {
+  constexpr double kDuration = 1.2;
+  sim::Simulation simulation;
+  sim::Rng rng(seed);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(simulation, machine, 1, rng);
+  for (std::size_t c = 0; c < cluster.cpu_count(); ++c) {
+    if (rng.bernoulli(0.8)) {
+      cluster.core({0, c}).add_workload(
+          workload::make_uniform_synthetic(rng.uniform(5.0, 100.0), 1e12));
+    }
+  }
+
+  sim::RandomPlanOptions plan_opts;
+  plan_opts.cpus = cluster.cpu_count();
+  plan_opts.duration_s = kDuration;
+  const sim::FaultPlan plan = sim::FaultPlan::random(seed, plan_opts);
+  ASSERT_FALSE(plan.empty());
+  // random() keeps every window inside the recovery fraction, so the tail
+  // of the run observes the recovered system.
+  ASSERT_LE(plan.last_end_s(), plan_opts.recovery_fraction * kDuration + 1e-9);
+
+  // Always feasible: 4 CPUs at the table floor cost 36 W.
+  power::PowerBudget budget(rng.uniform(45.0, 560.0));
+  sim::EventLog journal;
+  core::DaemonConfig config;
+  config.journal = &journal;
+  config.fault_plan = &plan;
+  core::FvsstDaemon daemon(simulation, cluster, machine.freq_table, budget,
+                           config);
+  power::PowerSensor sensor(simulation, [&] { return cluster.cpu_power_w(); },
+                            5 * ms);
+  sensor.set_fault_plan(&plan, &journal);
+  simulation.run_for(kDuration);
+
+  // The inspector's invariants hold on the faulted journal: power claimed
+  // compliant is compliant, grants are table points at table-minimum
+  // voltage (degraded pins included), T restarts on budget triggers.
+  const sim::JournalCheckReport report = sim::check_journal(journal);
+  EXPECT_TRUE(report.ok())
+      << (report.violations.empty() ? "" : report.violations.front());
+  EXPECT_GT(report.checks_run, 0u);
+
+  // Recovery: all fault windows closed >= 0.4 * duration ago, so no CPU is
+  // still degraded or mid-retry and actual power obeys the budget again.
+  EXPECT_EQ(daemon.loop().degraded_cpu_count(), 0u);
+  EXPECT_EQ(daemon.loop().retrying_cpu_count(), 0u);
+  if (daemon.last_result().feasible) {
+    EXPECT_LE(cluster.cpu_power_w(), budget.effective_limit_w() + 1e-9);
+  }
+
+  // The faulted sensor never produced a physically impossible reading.
+  EXPECT_GE(sensor.last_sample_w(), 0.0);
+  EXPECT_TRUE(std::isfinite(sensor.mean_power_w()));
+  EXPECT_GE(sensor.mean_power_w(), 0.0);
+}
+
+TEST(ChaosSmp, SeededScenariosKeepInvariantsAndRecover) {
+  proptest::run_seeded(9000, 32,
+                       "./tests/test_chaos "
+                       "--gtest_filter=ChaosSmp.*",
+                       run_smp_scenario);
+}
+
+// --- Random cluster scenarios ---------------------------------------------
+
+// One seeded cluster scenario: channel-loss bursts, node crash/restart and
+// stale summaries against the distributed daemon.
+void run_cluster_scenario(std::uint64_t seed) {
+  constexpr double kDuration = 1.5;
+  sim::Simulation simulation;
+  sim::Rng rng(seed);
+  const mach::MachineConfig machine = mach::p630();
+  const std::size_t nodes = 2 + static_cast<std::size_t>(rng.uniform_int(0, 1));
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(simulation, machine, nodes, rng);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t c = 0; c < cluster.node(n).cpu_count(); ++c) {
+      if (rng.bernoulli(0.7)) {
+        cluster.core({n, c}).add_workload(
+            workload::make_uniform_synthetic(rng.uniform(5.0, 100.0), 1e12));
+      }
+    }
+  }
+
+  sim::RandomPlanOptions plan_opts;
+  plan_opts.cpus = cluster.cpu_count();
+  plan_opts.nodes = nodes;
+  plan_opts.duration_s = kDuration;
+  plan_opts.sensor_faults = false;
+  plan_opts.actuation_faults = false;
+  plan_opts.cluster_faults = true;
+  const sim::FaultPlan plan = sim::FaultPlan::random(seed, plan_opts);
+  ASSERT_FALSE(plan.empty());
+  ASSERT_LE(plan.last_end_s(), plan_opts.recovery_fraction * kDuration + 1e-9);
+
+  power::PowerBudget budget(
+      rng.uniform(static_cast<double>(nodes) * 60.0,
+                  static_cast<double>(nodes) * 560.0));
+  sim::EventLog journal;
+  core::ClusterDaemonConfig config;
+  config.journal = &journal;
+  config.fault_plan = &plan;
+  core::ClusterDaemon daemon(simulation, cluster, machine.freq_table, budget,
+                             config);
+  simulation.run_for(kDuration);
+
+  const sim::JournalCheckReport report = sim::check_journal(journal);
+  EXPECT_TRUE(report.ok())
+      << (report.violations.empty() ? "" : report.violations.front());
+
+  // Recovery: crashed nodes restarted and resumed summaries long enough
+  // ago that silent-node accounting has stood down everywhere.
+  EXPECT_EQ(daemon.stale_node_count(), 0u);
+
+  // Every lost message was journalled, and vice versa (the configured
+  // channel loss probability is zero, so only faults lose messages).
+  EXPECT_EQ(count_type(journal, sim::EventType::kMessageLost),
+            daemon.messages_lost());
+}
+
+TEST(ChaosCluster, SeededScenariosKeepInvariantsAndRecover) {
+  proptest::run_seeded(7000, 20,
+                       "./tests/test_chaos "
+                       "--gtest_filter=ChaosCluster.*",
+                       run_cluster_scenario);
+}
+
+// --- Deterministic acceptance: the actuation fail-safe --------------------
+
+// A CPU whose frequency writes are rejected must be retried with backoff,
+// escalated to an f_min fail-safe grant, kept inside the power budget the
+// whole time, and recovered within about one scheduling period T of the
+// fault clearing.
+TEST(ChaosFailSafe, RejectedWritesEscalateToFminAndRecover) {
+  constexpr double kFaultStart = 0.25;
+  constexpr double kFaultEnd = 0.62;
+  sim::Simulation simulation;
+  sim::Rng rng(11);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(simulation, machine, 1, rng);
+  for (std::size_t c = 0; c < cluster.cpu_count(); ++c) {
+    cluster.core({0, c}).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  sim::FaultPlan plan(1);
+  plan.add({sim::FaultKind::kActuationReject, kFaultStart, kFaultEnd,
+            /*target=*/1, 0.0});
+
+  power::PowerBudget budget(500.0);
+  sim::EventLog journal;
+  core::DaemonConfig config;
+  config.journal = &journal;
+  config.fault_plan = &plan;
+  core::FvsstDaemon daemon(simulation, cluster, machine.freq_table, budget,
+                           config);
+
+  // Aggregate power compliance at every probe instant after the first
+  // scheduling round — through the fault, the fail-safe, and recovery.
+  simulation.run_for(0.101);
+  double worst_over = 0.0;
+  simulation.schedule_every(7 * ms, [&] {
+    worst_over = std::max(
+        worst_over, cluster.cpu_power_w() - budget.effective_limit_w());
+  });
+  simulation.run_for(1.2 - 0.101);
+
+  EXPECT_LE(worst_over, 1e-9);
+  EXPECT_EQ(daemon.loop().degraded_cpu_count(), 0u);
+  EXPECT_EQ(daemon.loop().retrying_cpu_count(), 0u);
+  EXPECT_TRUE(sim::check_journal(journal).ok());
+
+  // Journal sequence for cpu 1: reject attempts counting up, then the
+  // degraded-mode f_min fail-safe, then exit + recovery once the fault
+  // window closes.
+  double last_attempt = 0.0;
+  bool saw_failsafe_enter = false;
+  bool saw_failsafe_exit = false;
+  double recovered_at = -1.0;
+  const double f_min = machine.freq_table.min_hz();
+  for (const sim::Event& e : journal.events()) {
+    if (e.cpu != 1) continue;
+    if (e.type == sim::EventType::kFault) {
+      const std::string* kind = e.find_str("kind");
+      if (!kind || *kind != "actuation_reject") continue;
+      const std::string* state = e.find_str("state");
+      if (state && *state == "exit") {
+        recovered_at = e.t;
+        EXPECT_TRUE(e.has_num("recovered_hz"));
+      } else {
+        // Attempts never go backwards.  A scheduling cycle whose own write
+        // is rejected re-journals the in-flight attempt count, so equal
+        // neighbours are legitimate; only timer retries increment.
+        EXPECT_GE(e.num_or("attempt"), last_attempt);
+        last_attempt = e.num_or("attempt");
+        EXPECT_GE(e.t, kFaultStart);
+        EXPECT_LT(e.t, kFaultEnd);
+      }
+    } else if (e.type == sim::EventType::kDegradedMode) {
+      const std::string* state = e.find_str("state");
+      ASSERT_NE(state, nullptr);
+      ASSERT_NE(e.find_str("reason"), nullptr);
+      EXPECT_EQ(*e.find_str("reason"), "actuation_failsafe");
+      if (*state == "enter") {
+        saw_failsafe_enter = true;
+        // The fail-safe grant is the table minimum frequency.
+        EXPECT_DOUBLE_EQ(e.num_or("hz"), f_min);
+      } else {
+        saw_failsafe_exit = true;
+      }
+    }
+  }
+  // The retry budget (3) was exhausted before escalation.
+  EXPECT_GE(last_attempt, 4.0);
+  EXPECT_TRUE(saw_failsafe_enter);
+  EXPECT_TRUE(saw_failsafe_exit);
+  // Recovery within about one scheduling period T (100 ms) of the window
+  // closing.
+  ASSERT_GE(recovered_at, kFaultEnd);
+  EXPECT_LE(recovered_at, kFaultEnd + 0.1 + 1e-9);
+}
+
+// --- Deterministic acceptance: sensor hold-last-known-good ----------------
+
+TEST(ChaosSensor, DropoutHoldsLastKnownGoodReading) {
+  sim::Simulation simulation;
+  double watts = 120.0;
+  sim::FaultPlan plan(2);
+  plan.add({sim::FaultKind::kSensorDropout, 0.3, 0.6, /*target=*/0, 0.0});
+
+  sim::EventLog journal;
+  power::PowerSensor sensor(simulation, [&] { return watts; }, 10 * ms);
+  sensor.set_fault_plan(&plan, &journal);
+
+  // The underlying power moves inside the dropout window; the sensor must
+  // hold 120 W (its last known-good reading) until the window closes.
+  simulation.schedule_at(0.4, [&] { watts = 300.0; });
+  simulation.run_for(0.5);
+  EXPECT_DOUBLE_EQ(sensor.last_sample_w(), 120.0);
+  EXPECT_GT(sensor.faulted_samples(), 0u);
+
+  simulation.run_for(0.2);  // past the window: live readings again
+  EXPECT_DOUBLE_EQ(sensor.last_sample_w(), 300.0);
+
+  // The fault window was journalled as an enter/exit pair.
+  ASSERT_EQ(count_type(journal, sim::EventType::kFault), 2u);
+  const sim::Event& enter = journal.events()[0];
+  ASSERT_NE(enter.find_str("kind"), nullptr);
+  EXPECT_EQ(*enter.find_str("kind"), "sensor_dropout");
+  ASSERT_NE(enter.find_str("state"), nullptr);
+  EXPECT_EQ(*enter.find_str("state"), "enter");
+}
+
+// --- Deterministic acceptance: silent cluster node ------------------------
+
+TEST(ChaosClusterCrash, SilentNodeAccountedAtFmaxUntilRestart) {
+  constexpr double kCrashStart = 0.2;
+  constexpr double kCrashEnd = 0.7;
+  sim::Simulation simulation;
+  sim::Rng rng(21);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(simulation, machine, 2, rng);
+  for (std::size_t n = 0; n < 2; ++n) {
+    cluster.core({n, 0}).add_workload(
+        workload::make_uniform_synthetic(80.0, 1e12));
+  }
+  sim::FaultPlan plan(3);
+  plan.add({sim::FaultKind::kNodeCrash, kCrashStart, kCrashEnd, /*target=*/1,
+            0.0});
+
+  power::PowerBudget budget(800.0);
+  sim::EventLog journal;
+  core::ClusterDaemonConfig config;
+  config.journal = &journal;
+  config.fault_plan = &plan;
+  core::ClusterDaemon daemon(simulation, cluster, machine.freq_table, budget,
+                             config);
+
+  // Silent-node detection trips after 3 * T = 300 ms without a summary, so
+  // node 1 is stale by 0.65 and recovered well before the run ends.
+  std::size_t stale_mid_crash = 0;
+  simulation.schedule_at(0.65, [&] { stale_mid_crash = daemon.stale_node_count(); });
+  simulation.run_for(1.3);
+
+  EXPECT_EQ(stale_mid_crash, 1u);
+  EXPECT_EQ(daemon.stale_node_count(), 0u);
+  EXPECT_TRUE(sim::check_journal(journal).ok());
+
+  // Settings fanned out during the crash were lost and journalled as such.
+  bool saw_crash_loss = false;
+  for (const sim::Event& e : journal.events()) {
+    if (e.type != sim::EventType::kMessageLost) continue;
+    const std::string* cause = e.find_str("cause");
+    if (cause && *cause == "node_crash") saw_crash_loss = true;
+  }
+  EXPECT_TRUE(saw_crash_loss);
+  EXPECT_GT(daemon.messages_lost(), 0u);
+
+  // The node's silence entered and exited degraded mode in the journal.
+  bool saw_silent_enter = false;
+  bool saw_silent_exit = false;
+  for (const sim::Event& e : journal.events()) {
+    if (e.type != sim::EventType::kDegradedMode) continue;
+    const std::string* reason = e.find_str("reason");
+    if (!reason || *reason != "node_silent") continue;
+    const std::string* state = e.find_str("state");
+    ASSERT_NE(state, nullptr);
+    if (*state == "enter") saw_silent_enter = true;
+    if (*state == "exit") saw_silent_exit = true;
+  }
+  EXPECT_TRUE(saw_silent_enter);
+  EXPECT_TRUE(saw_silent_exit);
+}
+
+}  // namespace
+}  // namespace fvsst

@@ -18,6 +18,8 @@
 #include "core/daemon.h"
 #include "mach/machine_config.h"
 #include "power/budget.h"
+#include "simkit/event_log.h"
+#include "simkit/fault_plan.h"
 #include "simkit/telemetry.h"
 #include "simkit/units.h"
 #include "workload/synthetic.h"
@@ -235,6 +237,103 @@ TEST(PolicyStageAdapter, RunsComparatorPoliciesOnTheEngineContract) {
   EXPECT_TRUE(result.feasible);
   // No prediction contract: the engine must skip scoring entirely.
   EXPECT_LT(adapter.predict_ipc(views[0], table.max_hz()), 0.0);
+}
+
+// --- Fault-handling races -------------------------------------------------
+
+TEST(ControlLoopFaults, BudgetChangeDuringActuationRetryStaysSafe) {
+  // A budget drop lands while cpu 1 is inside a reject window (already
+  // escalated to the f_min fail-safe).  The budget-triggered cycle must
+  // schedule around the pinned CPU, the retry must keep aiming at the
+  // fail-safe grant, and everything must recover once the fault clears.
+  Rig rig;
+  for (std::size_t c = 0; c < rig.cluster.cpu_count(); ++c) {
+    rig.cluster.core({0, c}).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  sim::FaultPlan plan(5);
+  plan.add({sim::FaultKind::kActuationReject, 0.2, 0.55, /*target=*/1, 0.0});
+
+  sim::EventLog journal;
+  DaemonConfig cfg;
+  cfg.journal = &journal;
+  cfg.fault_plan = &plan;
+  FvsstDaemon daemon(rig.sim, rig.cluster, rig.machine.freq_table, rig.budget,
+                     cfg);
+
+  rig.sim.run_for(0.45);
+  EXPECT_GT(daemon.loop().retrying_cpu_count(), 0u);  // mid-fault
+  rig.budget.set_limit_w(200.0);  // fires a budget cycle during the retry
+  rig.sim.run_for(0.75);
+
+  EXPECT_EQ(daemon.loop().degraded_cpu_count(), 0u);
+  EXPECT_EQ(daemon.loop().retrying_cpu_count(), 0u);
+  EXPECT_LE(rig.cluster.cpu_power_w(), rig.budget.effective_limit_w() + 1e-9);
+  const sim::JournalCheckReport report = sim::check_journal(journal);
+  EXPECT_TRUE(report.ok())
+      << (report.violations.empty() ? "" : report.violations.front());
+
+  // The budget trigger really did interleave with the fault window.
+  bool budget_cycle_in_window = false;
+  for (const sim::Event& e : journal.events()) {
+    if (e.type != sim::EventType::kCycleStart) continue;
+    const std::string* trigger = e.find_str("trigger");
+    if (trigger && *trigger == "budget" && e.t >= 0.2 && e.t < 0.55) {
+      budget_cycle_in_window = true;
+    }
+  }
+  EXPECT_TRUE(budget_cycle_in_window);
+}
+
+TEST(ControlLoopFaults, IdleExitMidIntervalRecoversFrequency) {
+  // cpu 2's workload drains mid-run (idle enter), then new work arrives in
+  // the middle of a sampling interval (idle exit).  The loop must pin the
+  // idle CPU to the floor and lift it again after the mid-interval wakeup.
+  Rig rig;
+  rig.cluster.core({0, 2}).add_workload(workload::make_uniform_synthetic(
+      100.0, 1e8, /*loop=*/false));  // drains in ~0.2 s
+
+  sim::EventLog journal;
+  DaemonConfig cfg;
+  cfg.journal = &journal;
+  FvsstDaemon daemon(rig.sim, rig.cluster, rig.machine.freq_table, rig.budget,
+                     cfg);
+
+  bool was_idle_at_floor = false;
+  rig.sim.schedule_at(0.45, [&] {
+    was_idle_at_floor = rig.cluster.core({0, 2}).idle() &&
+                        rig.cluster.core({0, 2}).frequency_hz() ==
+                            rig.machine.freq_table.min_hz();
+  });
+  // New work lands at 0.473 — mid-interval, off every tick boundary.
+  rig.sim.schedule_at(0.473, [&] {
+    rig.cluster.core({0, 2}).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  });
+  rig.sim.run_for(1.0);
+
+  EXPECT_TRUE(was_idle_at_floor);
+  EXPECT_FALSE(rig.cluster.core({0, 2}).idle());
+  EXPECT_GT(rig.cluster.core({0, 2}).frequency_hz(),
+            rig.machine.freq_table.min_hz());
+
+  // Both transitions were journalled for cpu 2, in order.
+  double idle_enter_t = -1.0;
+  double idle_exit_t = -1.0;
+  for (const sim::Event& e : journal.events()) {
+    if (e.cpu != 2) continue;
+    if (e.type == sim::EventType::kIdleEnter && idle_enter_t < 0.0) {
+      idle_enter_t = e.t;
+    }
+    if (e.type == sim::EventType::kIdleExit && idle_exit_t < 0.0) {
+      idle_exit_t = e.t;
+    }
+  }
+  ASSERT_GE(idle_enter_t, 0.0);
+  ASSERT_GE(idle_exit_t, 0.0);
+  EXPECT_LT(idle_enter_t, idle_exit_t);
+  EXPECT_GE(idle_exit_t, 0.473);
+  EXPECT_TRUE(sim::check_journal(journal).ok());
 }
 
 // --- MetricRegistry and sinks --------------------------------------------

@@ -6,7 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <sstream>
 #include <string>
@@ -17,6 +19,8 @@
 #include "core/scheduler.h"
 #include "mach/machine_config.h"
 #include "power/budget.h"
+#include "proptest.h"
+#include "simkit/rng.h"
 #include "simkit/units.h"
 #include "workload/synthetic.h"
 
@@ -129,6 +133,120 @@ TEST(EventLog, ReaderRejectsMalformedLines) {
   ASSERT_EQ(log.size(), 1u);
   EXPECT_EQ(log.events()[0].type, sim::EventType::kIdleEnter);
   EXPECT_EQ(log.events()[0].cpu, 2);
+}
+
+// --- Reader fuzzing ------------------------------------------------------
+
+// A log of random events whose string payloads deliberately include control
+// characters, quotes, backslashes, and the occasional multi-KB blob —
+// everything the JSONL escaper has to survive.
+sim::EventLog random_log(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  static const sim::EventType kTypes[] = {
+      sim::EventType::kCycleStart,   sim::EventType::kDecision,
+      sim::EventType::kActuation,    sim::EventType::kFault,
+      sim::EventType::kDegradedMode, sim::EventType::kMessageLost,
+      sim::EventType::kIdleEnter};
+  sim::EventLog log;
+  const int events = static_cast<int>(rng.uniform_int(1, 60));
+  double t = 0.0;
+  for (int i = 0; i < events; ++i) {
+    t += rng.uniform(0.0, 0.1);
+    auto& e = log.append(t, kTypes[rng.uniform_int(0, 6)],
+                         static_cast<int>(rng.uniform_int(-1, 7)));
+    const int nums = static_cast<int>(rng.uniform_int(0, 4));
+    for (int k = 0; k < nums; ++k) {
+      e.set("n" + std::to_string(k),
+            rng.uniform(-1e6, 1e6) *
+                std::pow(10.0, static_cast<double>(rng.uniform_int(-9, 9))));
+    }
+    const int strs = static_cast<int>(rng.uniform_int(0, 2));
+    for (int k = 0; k < strs; ++k) {
+      const std::size_t len =
+          rng.bernoulli(0.05)
+              ? 4096
+              : static_cast<std::size_t>(rng.uniform_int(0, 40));
+      std::string payload;
+      payload.reserve(len);
+      for (std::size_t c = 0; c < len; ++c) {
+        payload.push_back(static_cast<char>(rng.uniform_int(1, 126)));
+      }
+      e.set("s" + std::to_string(k), payload);
+    }
+  }
+  return log;
+}
+
+TEST(EventLogFuzz, RandomLogsRoundTripThroughJsonl) {
+  // write -> read -> write is the identity on the wire: every payload key,
+  // control character, and double survives exactly.
+  proptest::run_seeded(41000, 200, "./tests/test_event_log",
+                       [](std::uint64_t seed) {
+    const sim::EventLog log = random_log(seed);
+    std::ostringstream first;
+    sim::write_jsonl(first, log);
+    std::istringstream in(first.str());
+    const sim::EventLog back = sim::read_jsonl(in);
+    ASSERT_EQ(back.size(), log.size());
+    std::ostringstream second;
+    sim::write_jsonl(second, back);
+    EXPECT_EQ(second.str(), first.str());
+  });
+}
+
+TEST(EventLogFuzz, TruncatedTailsRecoverCompleteEvents) {
+  // Cutting a journal at any byte must never crash the tolerant reader: it
+  // recovers exactly the complete lines, and flags a torn tail that the
+  // strict reader would have rejected.
+  proptest::run_seeded(43000, 100, "./tests/test_event_log",
+                       [](std::uint64_t seed) {
+    sim::Rng cuts(seed ^ 0x9e3779b97f4a7c15ull);
+    const sim::EventLog log = random_log(seed);
+    std::ostringstream out;
+    sim::write_jsonl(out, log);
+    const std::string full = out.str();
+    ASSERT_FALSE(full.empty());
+    for (int i = 0; i < 20; ++i) {
+      const std::size_t at = static_cast<std::size_t>(
+          cuts.uniform_int(0, static_cast<std::int64_t>(full.size())));
+      const std::string torn = full.substr(0, at);
+      const std::size_t complete_lines = static_cast<std::size_t>(
+          std::count(torn.begin(), torn.end(), '\n'));
+      std::istringstream in(torn);
+      sim::JsonlReadReport report;
+      sim::EventLog recovered;
+      ASSERT_NO_THROW(recovered = sim::read_jsonl(in, &report))
+          << "cut at byte " << at;
+      // A cut exactly after a closing brace leaves a complete unterminated
+      // final line; every other cut loses only the torn line.
+      EXPECT_TRUE(recovered.size() == complete_lines ||
+                  recovered.size() == complete_lines + 1)
+          << "cut at byte " << at << " recovered " << recovered.size();
+      if (report.torn_tail) {
+        EXPECT_EQ(recovered.size(), complete_lines) << "cut at byte " << at;
+        EXPECT_FALSE(report.error.empty());
+        std::istringstream strict(torn);
+        EXPECT_THROW(sim::read_jsonl(strict), std::runtime_error)
+            << "cut at byte " << at;
+      }
+    }
+  });
+}
+
+TEST(EventLogFuzz, MidFileCorruptionThrowsEvenWithReport) {
+  // The tolerant overload forgives only the tail; a corrupt line with valid
+  // lines after it is real damage and must still throw.
+  sim::EventLog log;
+  for (int i = 0; i < 3; ++i) {
+    log.append(i * 0.1, sim::EventType::kCycleStart).set("cycle", i);
+  }
+  std::ostringstream out;
+  sim::write_jsonl(out, log);
+  std::string text = out.str();
+  text[0] = 'X';
+  std::istringstream in(text);
+  sim::JsonlReadReport report;
+  EXPECT_THROW(sim::read_jsonl(in, &report), std::runtime_error);
 }
 
 // --- End-to-end journals from a daemon run ------------------------------

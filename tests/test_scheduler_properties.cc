@@ -1,0 +1,141 @@
+// Property-based scheduler tests: 1000 seeded (workload, counters, budget)
+// triples against the paper's two-pass procedure, asserting the algebraic
+// properties Fig. 3 promises rather than golden outputs:
+//
+//   * pass 2 only ever downgrades (granted <= desired), and a tighter
+//     budget never raises any processor's grant (greedy monotonicity);
+//   * the epsilon cutoff is exact: a kEpsilon grant is the lowest setting
+//     whose predicted loss is under epsilon, and the next-lower setting
+//     was rejected at >= epsilon;
+//   * predicted power respects the budget whenever the scheduler claims
+//     feasibility, and an infeasible budget pins everything to the floor;
+//   * every grant is a table operating point at table-minimum voltage.
+//
+// Failures print the seed for one-line repro (see tests/proptest.h).
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mach/machine_config.h"
+#include "proptest.h"
+#include "simkit/rng.h"
+
+namespace fvsst {
+namespace {
+
+void run_property(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  const mach::MemoryLatencies latencies = mach::p630().latencies;
+
+  core::FrequencyScheduler::Options options;
+  options.epsilon = rng.uniform(0.005, 0.3);
+  const core::FrequencyScheduler scheduler(table, latencies, options);
+
+  const std::size_t cpus = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+  std::vector<core::ProcView> views(cpus);
+  for (core::ProcView& view : views) {
+    view.estimate.valid = rng.bernoulli(0.9);
+    view.estimate.alpha_inv = rng.uniform(0.3, 3.0);
+    view.estimate.mem_time_per_instr = rng.uniform(0.0, 4e-9);
+    view.idle = rng.bernoulli(0.15);
+    view.current_hz =
+        table.points()[static_cast<std::size_t>(
+                           rng.uniform_int(0, static_cast<std::int64_t>(
+                                                  table.size() - 1)))]
+            .hz;
+  }
+  // Spans clearly-infeasible (below the all-minimum floor) through
+  // unconstrained (above the all-maximum peak).
+  const double budget =
+      rng.uniform(0.8 * static_cast<double>(cpus) * table.min_point().watts,
+                  1.2 * static_cast<double>(cpus) * table.max_point().watts);
+
+  const core::ScheduleResult result = scheduler.schedule(views, budget);
+  ASSERT_EQ(result.decisions.size(), cpus);
+
+  double total = 0.0;
+  for (std::size_t i = 0; i < cpus; ++i) {
+    const core::ScheduleDecision& d = result.decisions[i];
+    // Pass 3: every grant is a table point at its minimum stable voltage.
+    ASSERT_TRUE(table.contains(d.hz)) << "cpu " << i << " hz " << d.hz;
+    EXPECT_DOUBLE_EQ(d.volts, table.min_voltage(d.hz)) << "cpu " << i;
+    EXPECT_DOUBLE_EQ(d.watts, table.power(d.hz)) << "cpu " << i;
+    // Pass 2 never upgrades past the pass-1 desire.
+    EXPECT_LE(d.hz, d.desired_hz + 1e-9) << "cpu " << i;
+    total += d.watts;
+
+    switch (d.pass1_reason) {
+      case core::Pass1Reason::kIdle:
+        EXPECT_TRUE(views[i].idle) << "cpu " << i;
+        EXPECT_DOUBLE_EQ(d.desired_hz, table.min_hz()) << "cpu " << i;
+        break;
+      case core::Pass1Reason::kNoEstimate:
+        EXPECT_FALSE(views[i].estimate.valid) << "cpu " << i;
+        EXPECT_DOUBLE_EQ(d.desired_hz, table.max_hz()) << "cpu " << i;
+        break;
+      case core::Pass1Reason::kEpsilon: {
+        // The cutoff is exact: desired is under epsilon, the next-lower
+        // setting (when one exists) was rejected at >= epsilon.
+        EXPECT_LT(scheduler.predicted_loss(views[i].estimate, d.desired_hz),
+                  options.epsilon)
+            << "cpu " << i;
+        if (const auto lower = table.next_lower(d.desired_hz)) {
+          EXPECT_GE(scheduler.predicted_loss(views[i].estimate, lower->hz),
+                    options.epsilon)
+              << "cpu " << i;
+        }
+        break;
+      }
+      case core::Pass1Reason::kFmax: {
+        EXPECT_DOUBLE_EQ(d.desired_hz, table.max_hz()) << "cpu " << i;
+        // Loss shrinks as frequency grows, so the setting just under f_max
+        // bounds every lower one: all were rejected at >= epsilon.
+        if (const auto lower = table.next_lower(table.max_hz())) {
+          EXPECT_GE(scheduler.predicted_loss(views[i].estimate, lower->hz),
+                    options.epsilon)
+              << "cpu " << i;
+        }
+        break;
+      }
+      case core::Pass1Reason::kUnspecified:
+        ADD_FAILURE() << "two-pass scheduler left cpu " << i
+                      << " unclassified";
+        break;
+    }
+  }
+  EXPECT_NEAR(total, result.total_cpu_power_w, 1e-6);
+
+  if (result.feasible) {
+    EXPECT_LE(result.total_cpu_power_w, budget + 1e-9);
+  } else {
+    // Infeasible means even the all-minimum configuration exceeds the
+    // budget, and that floor is what must have been granted.
+    EXPECT_GT(static_cast<double>(cpus) * table.min_point().watts,
+              budget - 1e-9);
+    for (const core::ScheduleDecision& d : result.decisions) {
+      EXPECT_DOUBLE_EQ(d.hz, table.min_hz());
+    }
+  }
+
+  // Greedy monotonicity: a tighter budget never raises any grant.
+  const double tighter_budget = budget * rng.uniform(0.3, 0.95);
+  const core::ScheduleResult tighter = scheduler.schedule(views, tighter_budget);
+  ASSERT_EQ(tighter.decisions.size(), cpus);
+  for (std::size_t i = 0; i < cpus; ++i) {
+    EXPECT_LE(tighter.decisions[i].hz, result.decisions[i].hz + 1e-9)
+        << "cpu " << i << " budget " << budget << " -> " << tighter_budget;
+  }
+}
+
+TEST(SchedulerProperties, ThousandSeededTriples) {
+  proptest::run_seeded(100000, 1000,
+                       "./tests/test_scheduler_properties",
+                       run_property);
+}
+
+}  // namespace
+}  // namespace fvsst

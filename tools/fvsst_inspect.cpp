@@ -41,7 +41,17 @@ sim::EventLog load(const std::string& path) {
   std::ifstream in(path);
   if (!in) usage_error("cannot open journal '" + path + "'");
   try {
-    return sim::read_jsonl(in);
+    // Tolerant load: a torn final line (the writer died mid-record) is a
+    // fact about the run worth inspecting, not a reason to refuse it.
+    sim::JsonlReadReport report;
+    sim::EventLog log = sim::read_jsonl(in, &report);
+    if (report.torn_tail) {
+      std::fprintf(stderr,
+                   "fvsst_inspect: %s: torn final line dropped (%s); "
+                   "recovered %zu complete event(s)\n",
+                   path.c_str(), report.error.c_str(), log.size());
+    }
+    return log;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fvsst_inspect: %s: %s\n", path.c_str(), e.what());
     std::exit(2);
@@ -79,6 +89,9 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
   std::map<int, std::pair<std::size_t, std::map<double, std::size_t>>> by_cpu;
   std::size_t infeasible = 0;
   std::vector<double> budget_moves;
+  std::map<std::string, std::size_t> faults_by_kind;
+  std::map<std::string, std::size_t> degraded_by_reason;
+  std::map<std::string, std::size_t> lost_by_cause;
   for (const sim::Event& e : log.events()) {
     ++by_type[std::string(sim::event_type_name(e.type))];
     switch (e.type) {
@@ -99,6 +112,24 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
       case sim::EventType::kBudgetChange:
         budget_moves.push_back(e.num_or("budget_w"));
         break;
+      case sim::EventType::kFault: {
+        const std::string* kind = e.find_str("kind");
+        ++faults_by_kind[kind ? *kind : "?"];
+        break;
+      }
+      case sim::EventType::kDegradedMode: {
+        const std::string* state = e.find_str("state");
+        if (state && *state == "enter") {
+          const std::string* reason = e.find_str("reason");
+          ++degraded_by_reason[reason ? *reason : "?"];
+        }
+        break;
+      }
+      case sim::EventType::kMessageLost: {
+        const std::string* cause = e.find_str("cause");
+        ++lost_by_cause[cause ? *cause : "?"];
+        break;
+      }
       default:
         break;
     }
@@ -127,6 +158,27 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
   }
   if (infeasible > 0) {
     std::printf("infeasible-budget cycles: %zu\n", infeasible);
+  }
+  if (!faults_by_kind.empty()) {
+    std::printf("fault events by kind:");
+    for (const auto& [kind, count] : faults_by_kind) {
+      std::printf(" %s=%zu", kind.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (!degraded_by_reason.empty()) {
+    std::printf("degraded-mode entries by reason:");
+    for (const auto& [reason, count] : degraded_by_reason) {
+      std::printf(" %s=%zu", reason.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (!lost_by_cause.empty()) {
+    std::printf("messages lost by cause:");
+    for (const auto& [cause, count] : lost_by_cause) {
+      std::printf(" %s=%zu", cause.c_str(), count);
+    }
+    std::printf("\n");
   }
 
   if (!by_cpu.empty()) {

@@ -38,6 +38,8 @@
 //   --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto-loadable)
 //   --journal-cap N      ring-buffer the journal at N events (0: unbounded)
 //   --explain            record pass-1/pass-2 rationale in the journal
+//   --fault-plan FILE    inject faults from a fault-plan file (see
+//                        sim::FaultPlan::parse for the line format)
 //   --help               this text
 #include <cstdio>
 #include <cstdlib>
@@ -110,6 +112,7 @@ struct CliOptions {
   std::string chrome_trace_path;  ///< Chrome trace-event JSON.
   std::size_t journal_cap = 0;    ///< Ring-buffer capacity (0: unbounded).
   bool explain = false;           ///< Record scheduler rationale.
+  std::string fault_plan_path;    ///< Fault-injection plan file.
 };
 
 std::string json_escape(const std::string& s) {
@@ -150,7 +153,7 @@ void print_help() {
       "                 [--multiplier N] [--cluster] [--governor G]\n"
       "                 [--margin-controller] [--seed S] [--csv DIR]\n"
       "                 [--journal FILE] [--chrome-trace FILE]\n"
-      "                 [--journal-cap N] [--explain]\n"
+      "                 [--journal-cap N] [--explain] [--fault-plan FILE]\n"
       "SPEC: synth:INTENSITY[:INSTRUCTIONS] | app:NAME | trace:FILE\n"
       "G: performance | powersave | ondemand | conservative\n"
       "(see docs/fvsst_sim.md for the full manual)\n");
@@ -345,6 +348,8 @@ CliOptions parse_args(int argc, char** argv) {
           parse_double(next_value(i, "--journal-cap"), "journal cap"));
     } else if (flag == "--explain") {
       opts.explain = true;
+    } else if (flag == "--fault-plan") {
+      opts.fault_plan_path = next_value(i, "--fault-plan");
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -397,6 +402,20 @@ int main(int argc, char** argv) {
       !opts.journal_path.empty() || !opts.chrome_trace_path.empty();
   sim::EventLog journal(opts.journal_cap);
 
+  sim::FaultPlan fault_plan;
+  if (!opts.fault_plan_path.empty()) {
+    std::ifstream plan_in(opts.fault_plan_path);
+    if (!plan_in) {
+      usage_error("cannot open fault plan '" + opts.fault_plan_path + "'");
+    }
+    try {
+      fault_plan = sim::FaultPlan::parse(plan_in);
+    } catch (const std::runtime_error& err) {
+      usage_error(opts.fault_plan_path + ": " + err.what());
+    }
+  }
+  const bool have_faults = !fault_plan.empty();
+
   core::DaemonConfig dcfg;
   dcfg.t_sample_s = opts.t_ms * ms;
   dcfg.schedule_every_n_samples = opts.multiplier;
@@ -405,6 +424,7 @@ int main(int argc, char** argv) {
   dcfg.idle_signal = opts.idle_signal;
   dcfg.estimate_smoothing = opts.smoothing;
   if (want_journal) dcfg.journal = &journal;
+  if (have_faults) dcfg.fault_plan = &fault_plan;
 
   std::unique_ptr<core::FvsstDaemon> daemon;
   std::unique_ptr<core::ClusterDaemon> cluster_daemon;
@@ -423,6 +443,7 @@ int main(int argc, char** argv) {
     ccfg.scheduler = dcfg.scheduler;
     ccfg.idle_signal = opts.idle_signal;
     if (want_journal) ccfg.journal = &journal;
+    if (have_faults) ccfg.fault_plan = &fault_plan;
     cluster_daemon = std::make_unique<core::ClusterDaemon>(
         sim, cluster, machine.freq_table, budget, ccfg);
   } else {
@@ -440,13 +461,28 @@ int main(int argc, char** argv) {
   }
 
   std::unique_ptr<power::MarginController> margin;
+  power::PowerSensor* margin_sensor = nullptr;  // set once the sensor exists
   if (opts.margin_controller) {
-    margin = std::make_unique<power::MarginController>(
-        sim, budget, [&] { return cluster.cpu_power_w(); });
+    // Under fault injection the controller reads the (faultable) sensor —
+    // noisy or stuck readings then feed back into the margin, as they
+    // would in a real deployment.  Fault-free runs keep reading the model
+    // directly so their outputs stay bit-for-bit unchanged.
+    if (have_faults) {
+      margin = std::make_unique<power::MarginController>(
+          sim, budget,
+          [&margin_sensor] { return margin_sensor->last_sample_w(); });
+    } else {
+      margin = std::make_unique<power::MarginController>(
+          sim, budget, [&] { return cluster.cpu_power_w(); });
+    }
   }
 
   power::PowerSensor sensor(sim, [&] { return cluster.cpu_power_w(); },
                             5 * ms);
+  margin_sensor = &sensor;
+  if (have_faults) {
+    sensor.set_fault_plan(&fault_plan, want_journal ? &journal : nullptr);
+  }
 
   sim.run_for(opts.duration_s);
 
@@ -535,6 +571,22 @@ int main(int argc, char** argv) {
     std::printf("governor: %s, %zu evaluations\n",
                 baselines::governor_name(*opts.governor).c_str(),
                 governor->evaluations());
+  }
+  if (have_faults) {
+    std::printf("faults: %zu spec(s), seed %llu; sensor samples faulted %zu",
+                fault_plan.size(),
+                static_cast<unsigned long long>(fault_plan.seed()),
+                sensor.faulted_samples());
+    if (daemon) {
+      std::printf("; degraded CPUs now %zu, retrying %zu",
+                  daemon->loop().degraded_cpu_count(),
+                  daemon->loop().retrying_cpu_count());
+    } else if (cluster_daemon) {
+      std::printf("; messages lost %zu, stale nodes now %zu",
+                  cluster_daemon->messages_lost(),
+                  cluster_daemon->stale_node_count());
+    }
+    std::printf("\n");
   }
 
   sim::TextTable out("Per-CPU state at end of run");
