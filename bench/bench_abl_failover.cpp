@@ -1,0 +1,117 @@
+// bench_abl_failover - Ablation A16: how long does the cluster stay over
+// budget when the supply fails and the coordinator dies at the same
+// instant?  The paper's requirement — under the new limit within the
+// supply's cascade tolerance DT — must survive the scheduler's own
+// failure, so this sweeps the protection mechanisms (standby takeover
+// aggressiveness, the node-local fail-safe, nothing at all) against the
+// worst case: a budget drop whose triggered settings the coordinator never
+// gets to send.
+#include "bench/common.h"
+
+#include "core/cluster_daemon.h"
+#include "simkit/fault_plan.h"
+
+using namespace fvsst;
+using units::ms;
+using units::us;
+
+namespace {
+
+constexpr double kFailAt = 1.0123;
+constexpr std::size_t kNodes = 4;
+
+/// Time from the simultaneous budget-drop + coordinator-crash to
+/// cluster-wide compliance; < 0 when the cluster never complies before the
+/// crashed coordinator returns at t = 3 s.
+double failover_response(core::FailoverConfig failover) {
+  sim::Simulation sim;
+  sim::Rng rng(99);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, kNodes, rng);
+  for (const auto& addr : cluster.all_procs()) {
+    cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(80.0, 1e12));
+  }
+  power::PowerBudget budget(static_cast<double>(kNodes) * 4 * 140.0);
+  sim::FaultPlan plan(1);
+  plan.add({sim::FaultKind::kCoordinatorCrash, kFailAt, 3.0, /*target=*/0,
+            0.0});
+  core::ClusterDaemonConfig cfg;
+  cfg.fault_plan = &plan;
+  cfg.failover = failover;
+  core::ClusterDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+  sim.run_for(1.0);
+
+  const double new_limit = static_cast<double>(kNodes) * 4 * 140.0 * 0.5;
+  sim.schedule_at(kFailAt, [&] { budget.set_limit_w(new_limit); });
+  double compliant_at = -1.0;
+  sim.schedule_every(0.5 * ms, [&] {
+    if (compliant_at < 0.0 && sim.now() > kFailAt &&
+        cluster.cpu_power_w() <= new_limit) {
+      compliant_at = sim.now();
+    }
+  });
+  sim.run_for(2.9 - 1.0);  // stop before the crashed coordinator returns
+  return compliant_at > 0.0 ? compliant_at - kFailAt : -1.0;
+}
+
+std::string fmt_response(double r) {
+  return r < 0 ? "never (until restart)"
+               : sim::TextTable::num(r * 1e3, 1) + " ms";
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A16",
+                "Coordinator failover latency vs cascade tolerance DT");
+
+  // The worst case for every row: the budget drops and the coordinator
+  // crashes at the same instant, so the budget-triggered round dies with
+  // it and only the configured protection can restore compliance.
+  sim::TextTable standby_table(
+      "Standby takeover: time to compliance vs election timeout "
+      "(4 nodes, 50% budget cut + coordinator crash at t=1.0123)");
+  standby_table.set_header(
+      {"takeover factor k (timeout = k*T)", "time to comply"});
+  for (double k : {1.5, 3.0, 6.0, 12.0}) {
+    core::FailoverConfig f;
+    f.standby = true;
+    f.takeover_factor = k;
+    standby_table.add_row(
+        {sim::TextTable::num(k, 1), fmt_response(failover_response(f))});
+  }
+  standby_table.print();
+  std::printf(
+      "Expected: compliance lands roughly one election timeout plus one\n"
+      "scheduling round after the crash, so the takeover factor trades\n"
+      "false-failover margin directly against response time.  Against a\n"
+      "supply tolerance DT of a few hundred ms, k <= 3 keeps the takeover\n"
+      "path inside DT; very conservative timeouts (k = 12) do not.\n");
+
+  sim::TextTable failsafe_table(
+      "Node fail-safe only (no standby): time to compliance vs silence "
+      "threshold");
+  failsafe_table.set_header(
+      {"fail-safe factor k (threshold = k*T)", "time to comply"});
+  for (double k : {1.0, 2.0, 4.0}) {
+    core::FailoverConfig f;
+    f.node_failsafe_factor = k;
+    failsafe_table.add_row(
+        {sim::TextTable::num(k, 1), fmt_response(failover_response(f))});
+  }
+  failsafe_table.print();
+
+  core::FailoverConfig nothing;
+  std::printf(
+      "No protection at all: %s\n",
+      fmt_response(failover_response(nothing)).c_str());
+  std::printf(
+      "Expected: the autonomous budget/N drop restores compliance without\n"
+      "any election, at the cost of scheduling quality (each node assumes\n"
+      "an equal share instead of the global optimum).  With no protection\n"
+      "the cluster stays over the new limit for the entire outage — the\n"
+      "case the paper's single-coordinator design cannot survive.\n");
+  return 0;
+}

@@ -43,6 +43,21 @@ else
   echo "python3 not found; skipping JSON validation of the smoke outputs"
 fi
 
+# Failover smoke: kill the coordinator the instant the budget drops; the
+# standby must take over and the journal must pass every invariant check —
+# epoch fencing and failover-window compliance included.
+cat > "${smoke_dir}/failover.plan" <<'EOF'
+seed 9
+coordinator_crash 1.05 2.0 coordinator=0
+EOF
+"${build_dir}/tools/fvsst_sim" \
+  --cluster --nodes 2 --standby --failsafe 2 \
+  --workload synth:100@0.0 --workload synth:100@1.0 \
+  --budget 1120 --budget-at 1.0123:500 --duration 2.5 \
+  --fault-plan "${smoke_dir}/failover.plan" \
+  --journal "${smoke_dir}/failover.jsonl"
+"${build_dir}/tools/fvsst_inspect" "${smoke_dir}/failover.jsonl" --check
+
 # Sanitizer gate: rebuild with ASan + UBSan and run the suites that
 # exercise the engine's fault paths, the chaos harness, and the JSONL
 # reader fuzzers — the code most likely to hide memory or UB mistakes.
@@ -53,6 +68,6 @@ cmake -S "${repo_root}" -B "${asan_dir}" "${generator[@]}" \
   -DFVSST_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${asan_dir}" -j "$(nproc)" --target \
   test_chaos test_scheduler_properties test_event_log test_control_loop \
-  test_determinism fvsst_sim fvsst_inspect
+  test_determinism test_failover bench_abl_failover fvsst_sim fvsst_inspect
 FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${asan_dir}" --output-on-failure \
-  -R 'chaos|scheduler_properties|event_log|control_loop|determinism|cli_fault_plan'
+  -R 'chaos|scheduler_properties|event_log|control_loop|determinism|failover|cli_fault_plan'

@@ -24,6 +24,11 @@ void Channel::set_drop_handler(std::function<void()> handler) {
   drop_handler_ = std::move(handler);
 }
 
+bool Channel::send(const Envelope& envelope,
+                   std::function<void(const Envelope&)> handler) {
+  return send([envelope, h = std::move(handler)] { h(envelope); });
+}
+
 bool Channel::send(std::function<void()> handler) {
   if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
     ++dropped_;

@@ -10,12 +10,24 @@
 // can measure time-to-compliance against the supply's cascade deadline.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "simkit/event_queue.h"
 #include "simkit/rng.h"
 
 namespace fvsst::cluster {
+
+/// Coordinator epoch/term number.  Stamped on every settings and heartbeat
+/// message so receivers can fence off traffic from a deposed coordinator.
+using Epoch = std::uint64_t;
+
+/// Protocol metadata carried next to a message's closure payload: the
+/// sending coordinator's epoch and identity.
+struct Envelope {
+  Epoch epoch = 0;
+  int sender = -1;  ///< Coordinator index (0 = primary, 1 = standby).
+};
 
 /// One-way message channel with latency, jitter and loss.
 class Channel {
@@ -31,6 +43,13 @@ class Channel {
   /// unreliable datagram path; returns false for a drop so the sender can
   /// account the loss instead of inferring it.
   bool send(std::function<void()> handler);
+
+  /// Envelope-stamped variant: delivers `handler(envelope)` after the same
+  /// delay model.  Consumes exactly the randomness of the plain overload,
+  /// so wiring envelopes through an existing protocol does not perturb its
+  /// loss/jitter stream.
+  bool send(const Envelope& envelope,
+            std::function<void(const Envelope&)> handler);
 
   /// Fraction of messages dropped, in [0, 1).  The periodic scheduling
   /// rounds make the cluster protocol naturally loss-tolerant; tests and

@@ -1,0 +1,29 @@
+#include "cluster/election.h"
+
+namespace fvsst::cluster {
+
+namespace {
+
+// Same mix as sim::FaultPlan's stateless draws: platform-independent and
+// free of query-order effects.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double takeover_jitter_s(std::uint64_t seed, int coordinator, Epoch claim,
+                         double max_jitter_s) {
+  if (max_jitter_s <= 0.0) return 0.0;
+  std::uint64_t h = splitmix64(seed ^ 0xe1ec710de1ec710dull);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(
+                         static_cast<std::int64_t>(coordinator)));
+  h = splitmix64(h ^ claim);
+  const double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return unit * max_jitter_s;
+}
+
+}  // namespace fvsst::cluster

@@ -1,0 +1,85 @@
+// election.h - Epoch fencing and heartbeat-timeout election for the
+// cluster coordinator.
+//
+// The paper's cluster design routes every node's summaries through one
+// global scheduler — the exact component whose loss matters most during
+// the supply-failure scenario the paper is built around.  This module is
+// the small, self-contained half of making that coordinator survivable:
+//
+//   EpochFence       the receiver-side guard.  Every settings/heartbeat
+//                    message carries the sender's epoch (cluster::Epoch);
+//                    a fence admits only epochs >= the highest it has
+//                    seen, so a deposed coordinator's stale grants can
+//                    never over-commit the power budget (no split-brain
+//                    over-grant).
+//   FailureDetector  a lease clock: leadership is presumed alive while
+//                    heartbeats keep arriving, and expires after a fixed
+//                    silence.
+//   claim_epoch      the epoch a candidate announces when it takes over.
+//                    Claims are unique per coordinator by construction
+//                    (max_seen + 1 + id), so two candidates electing
+//                    themselves in the same instant still produce
+//                    distinct, totally ordered epochs.
+//   takeover_jitter  a deterministic, seeded election delay spread so
+//                    concurrent candidates stand down for each other in
+//                    every rerun of the same seed (simulations must stay
+//                    reproducible; there is no wall-clock randomness).
+#pragma once
+
+#include <cstdint>
+
+#include "cluster/channel.h"
+
+namespace fvsst::cluster {
+
+/// Receiver-side epoch guard.  Starts below any real epoch so the first
+/// message always admits.
+class EpochFence {
+ public:
+  /// Admits `epoch` when it is not older than the newest epoch seen,
+  /// adopting it as the new fence; returns false (reject) for messages
+  /// from a deposed coordinator.
+  bool admit(Epoch epoch) {
+    if (epoch < current_) return false;
+    current_ = epoch;
+    return true;
+  }
+
+  Epoch current() const { return current_; }
+
+ private:
+  Epoch current_ = 0;
+};
+
+/// Heartbeat lease clock: tracks the last time the monitored party was
+/// heard from and expires after `timeout_s` of silence.
+class FailureDetector {
+ public:
+  explicit FailureDetector(double timeout_s, double start_time = 0.0)
+      : timeout_s_(timeout_s), last_heard_(start_time) {}
+
+  void heard(double now) { last_heard_ = now; }
+  double silent_for(double now) const { return now - last_heard_; }
+  bool expired(double now) const { return silent_for(now) > timeout_s_; }
+  double timeout_s() const { return timeout_s_; }
+  double last_heard() const { return last_heard_; }
+
+ private:
+  double timeout_s_;
+  double last_heard_;
+};
+
+/// The epoch a candidate coordinator claims at election: strictly above
+/// everything it has seen, and unique per coordinator id even when two
+/// candidates claim simultaneously from the same `max_seen`.
+inline Epoch claim_epoch(Epoch max_seen, int coordinator) {
+  return max_seen + 1 + static_cast<Epoch>(coordinator);
+}
+
+/// Deterministic election-delay jitter in [0, max_jitter_s): hashed from
+/// (seed, coordinator, claim), so concurrent candidates spread out
+/// identically on every rerun of the same seed.
+double takeover_jitter_s(std::uint64_t seed, int coordinator, Epoch claim,
+                         double max_jitter_s);
+
+}  // namespace fvsst::cluster

@@ -1,60 +1,28 @@
 #include "core/cluster_daemon.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "simkit/log.h"
 
 namespace fvsst::core {
 
-// The global scheduler has no counters of its own: its knowledge arrives as
-// summary messages.  The sampler therefore reports every interval as
-// invalid (there is nothing to score locally) and the estimator copies the
-// freshest delivered views out of the mailbox.
-class ClusterDaemon::SummarySampler final : public Sampler {
- public:
-  explicit SummarySampler(std::size_t cpus) : cpus_(cpus) {}
+namespace {
 
-  std::size_t cpu_count() const override { return cpus_; }
-  std::vector<IntervalSample> end_interval(double now) override {
-    (void)now;
-    return std::vector<IntervalSample>(cpus_);
+/// Does the plan schedule any coordinator-level fault?  Decides whether
+/// the failover protocol's journal fields are emitted at all.
+bool plan_has_coordinator_faults(const sim::FaultPlan* plan) {
+  if (!plan) return false;
+  for (const sim::FaultSpec& spec : plan->specs()) {
+    if (spec.kind == sim::FaultKind::kCoordinatorCrash ||
+        spec.kind == sim::FaultKind::kPartition) {
+      return true;
+    }
   }
+  return false;
+}
 
- private:
-  std::size_t cpus_;
-};
-
-class ClusterDaemon::MailboxEstimator final : public Estimator {
- public:
-  explicit MailboxEstimator(const std::vector<ProcView>* mailbox)
-      : mailbox_(mailbox) {}
-
-  void update(const std::vector<IntervalSample>& samples,
-              std::vector<ProcView>& views) override {
-    (void)samples;
-    views = *mailbox_;
-  }
-
- private:
-  const std::vector<ProcView>* mailbox_;
-};
-
-class ClusterDaemon::SettingsActuator final : public Actuator {
- public:
-  explicit SettingsActuator(ClusterDaemon& daemon) : daemon_(daemon) {}
-
-  ActuationReport apply(const ScheduleResult& result, double now,
-                        CycleTrigger trigger) override {
-    (void)now;
-    daemon_.fan_out(result, trigger == CycleTrigger::kBudget);
-    // Message loss is handled by the protocol (the next round repairs a
-    // lost settings message), not by per-CPU retries.
-    return {};
-  }
-
- private:
-  ClusterDaemon& daemon_;
-};
+}  // namespace
 
 ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
                              const mach::FrequencyTable& table,
@@ -67,7 +35,8 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       up_channel_(sim, config.channel_latency_s, config.channel_jitter_s,
                   sim::Rng(0xc1a0)),
       down_channel_(sim, config.channel_latency_s, config.channel_jitter_s,
-                    sim::Rng(0xc1a1)) {
+                    sim::Rng(0xc1a1)),
+      default_table_(table) {
   // Per-processor tables: each node's own operating points, so mixed
   // generations and leaky bins are scheduled against their real options.
   for (std::size_t n = 0; n < cluster_.node_count(); ++n) {
@@ -75,7 +44,8 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       proc_tables_.push_back(&cluster_.node(n).machine().freq_table);
     }
   }
-  mailbox_.resize(proc_tables_.size());
+  protocol_visible_ = config_.failover.enabled() ||
+                      plan_has_coordinator_faults(config_.fault_plan);
 
   IpcEstimator::Options est_opts;
   est_opts.idle_signal = config_.idle_signal;
@@ -96,27 +66,56 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
     agents_.push_back(std::move(agent));
   }
 
-  ControlLoopConfig loop_config;
-  loop_config.schedule_every_n_samples = config_.schedule_every_n_samples;
-  loop_config.record_traces = false;  // Nothing to score at the global side.
-  loop_config.journal = config_.journal;
+  const double period =
+      config_.t_sample_s * config_.schedule_every_n_samples;
   if (config_.journal) {
     // t_restarts = 0: the global round runs on its own absolute timer, so
     // a budget trigger does NOT restart T (unlike the SMP daemon).
-    config_.journal->append(sim_.now(), sim::EventType::kRunMeta)
-        .set("t_sample_s", config_.t_sample_s)
-        .set("multiplier", static_cast<double>(config_.schedule_every_n_samples))
-        .set("cpus", static_cast<double>(proc_tables_.size()))
-        .set("t_restarts", 0.0)
-        .set("daemon", std::string("cluster"));
+    auto& meta =
+        config_.journal->append(sim_.now(), sim::EventType::kRunMeta)
+            .set("t_sample_s", config_.t_sample_s)
+            .set("multiplier",
+                 static_cast<double>(config_.schedule_every_n_samples))
+            .set("cpus", static_cast<double>(proc_tables_.size()))
+            .set("t_restarts", 0.0)
+            .set("daemon", std::string("cluster"));
+    if (protocol_visible_) {
+      // The compliance deadline this run promises after a budget drop
+      // (the inspector's failover-window check).  Base: one round plus
+      // the message flight both ways.  When coordinator crashes are in
+      // play, the bound stretches to whichever protection recovers first
+      // — standby takeover or the node-local fail-safe; with neither
+      // there is no bound to promise, so the field is omitted.
+      const double lat = config_.channel_latency_s;
+      const double base = period + 2.0 * lat + config_.t_sample_s +
+                          config_.channel_jitter_s;
+      double window = base;
+      if (plan_has_coordinator_faults(config_.fault_plan)) {
+        double bound = -1.0;
+        if (config_.failover.standby) {
+          bound = (config_.failover.takeover_factor +
+                   config_.failover.takeover_jitter_factor + 1.0) *
+                      period +
+                  config_.t_sample_s + 2.0 * lat +
+                  config_.channel_jitter_s;
+        }
+        if (config_.failover.node_failsafe_factor > 0.0) {
+          const double failsafe =
+              config_.failover.node_failsafe_factor * period +
+              2.0 * config_.t_sample_s;
+          bound = bound < 0.0 ? failsafe : std::min(bound, failsafe);
+        }
+        window = bound < 0.0 ? 0.0 : std::max(base, bound);
+      }
+      if (window > 0.0) meta.set("failover_window_s", window);
+    }
   }
-  loop_ = std::make_unique<ControlLoop>(
-      std::move(loop_config),
-      std::make_unique<SummarySampler>(proc_tables_.size()),
-      std::make_unique<MailboxEstimator>(&mailbox_),
-      std::make_unique<SchedulerPolicyStage>(
-          table, cluster_.node(0).machine().latencies, config_.scheduler),
-      std::make_unique<SettingsActuator>(*this), proc_tables_, &telemetry_);
+
+  primary_ = std::make_unique<Coordinator>(make_wiring(0, true, default_table_));
+  if (config_.failover.standby) {
+    standby_ =
+        std::make_unique<Coordinator>(make_wiring(1, false, default_table_));
+  }
   power_trace_ =
       &telemetry_.series("cluster/scheduled_power_w", "scheduled_cpu_power_w");
 
@@ -125,7 +124,7 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       config_.journal->append(sim_.now(), sim::EventType::kBudgetChange)
           .set("budget_w", limit);
     }
-    global_cycle(CycleTrigger::kBudget);
+    global_round(CycleTrigger::kBudget);
   });
   up_channel_.set_loss_probability(config.channel_loss_probability);
   down_channel_.set_loss_probability(config.channel_loss_probability);
@@ -135,21 +134,68 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       [this] { journal_message_lost(sending_node_, "up", "channel"); });
   down_channel_.set_drop_handler(
       [this] { journal_message_lost(sending_node_, "down", "channel"); });
-  last_summary_at_.assign(cluster_.node_count(), sim_.now());
-  node_silent_.assign(cluster_.node_count(), 0);
+  node_fence_.resize(cluster_.node_count());
+  node_last_contact_.assign(cluster_.node_count(), sim_.now());
+  node_failsafe_.assign(cluster_.node_count(), 0);
+  node_failsafe_hz_.assign(cluster_.node_count(), 0.0);
+  pending_apply_.assign(cluster_.node_count(), 0);
   // The global scheduler runs on its own timer (the paper's periodic
   // trigger), offset so each round sees the freshest summaries even when
   // some were lost in transit.
-  const double period =
-      config_.t_sample_s * config_.schedule_every_n_samples;
   global_event_ = sim_.schedule_every_from(
       period + 2.0 * config_.channel_latency_s + config_.channel_jitter_s,
-      period, [this] { global_cycle(CycleTrigger::kTimer); });
+      period, [this] { global_round(CycleTrigger::kTimer); });
+  if (standby_) {
+    // The heartbeat/election clock.  Scheduled after the global timer so
+    // at a coincident instant the scheduling round runs first and the
+    // protocol reacts to its outcome.
+    monitor_event_ =
+        sim_.schedule_every(config_.t_sample_s, [this] { monitor_tick(); });
+  }
 }
 
 ClusterDaemon::~ClusterDaemon() {
   for (auto& agent : agents_) sim_.cancel(agent->tick_event);
   sim_.cancel(global_event_);
+  if (monitor_event_) sim_.cancel(monitor_event_);
+}
+
+Coordinator::Wiring ClusterDaemon::make_wiring(
+    int id, bool initially_leader, const mach::FrequencyTable& table) {
+  Coordinator::Wiring w;
+  w.id = id;
+  w.initially_leader = initially_leader;
+  w.sim = &sim_;
+  w.journal = config_.journal;
+  w.journal_protocol = protocol_visible_;
+  w.faults = config_.fault_plan;
+  w.failover = config_.failover;
+  w.period_s = config_.t_sample_s * config_.schedule_every_n_samples;
+  w.silent_node_factor = config_.silent_node_factor;
+  for (const auto& agent : agents_) {
+    w.node_spans.emplace_back(agent->first_cpu, agent->sampler.cpu_count());
+  }
+  w.loop_config.schedule_every_n_samples = config_.schedule_every_n_samples;
+  w.loop_config.record_traces = false;  // Nothing to score globally.
+  w.loop_config.journal = config_.journal;
+  w.default_table = &table;
+  w.latencies = &cluster_.node(0).machine().latencies;
+  w.scheduler = config_.scheduler;
+  w.proc_tables = proc_tables_;
+  // The standby shadows without telemetry; its engine journals only the
+  // rounds it runs as leader.
+  w.telemetry = id == 0 ? &telemetry_ : nullptr;
+  w.fan_out = [this](const Coordinator& from, const ScheduleResult& result,
+                     bool budget_triggered) {
+    fan_out(from, result, budget_triggered);
+  };
+  return w;
+}
+
+std::size_t ClusterDaemon::failsafe_node_count() const {
+  std::size_t n = 0;
+  for (char f : node_failsafe_) n += f ? 1 : 0;
+  return n;
 }
 
 void ClusterDaemon::node_tick(std::size_t node) {
@@ -160,11 +206,78 @@ void ClusterDaemon::node_tick(std::size_t node) {
                                  static_cast<int>(node), sim_.now())) {
     return;
   }
+  if (config_.failover.node_failsafe_factor > 0.0) node_failsafe_tick(node);
   auto& agent = *agents_[node];
   agent.sampler.collect();
   if (++agent.samples >= config_.schedule_every_n_samples) {
     agent.samples = 0;
     node_send_summary(node);
+  }
+}
+
+double ClusterDaemon::node_failsafe_hz(std::size_t node) const {
+  // The power budget is a hardware broadcast (paper Sec. 2), so a node cut
+  // off from every coordinator still knows the global limit; its fair,
+  // coordination-free share is budget over the cluster's CPU count.
+  const double share_w = budget_.effective_limit_w() /
+                         static_cast<double>(proc_tables_.size());
+  const auto& table = cluster_.node(node).machine().freq_table;
+  if (const auto point = table.highest_under_power(share_w)) {
+    return point->hz;
+  }
+  return table.min_hz();  // Even f_min exceeds the share: best effort.
+}
+
+void ClusterDaemon::node_failsafe_tick(std::size_t node) {
+  const double now = sim_.now();
+  if (!node_failsafe_[node]) {
+    const double threshold =
+        config_.failover.node_failsafe_factor *
+        (config_.t_sample_s * config_.schedule_every_n_samples);
+    if (now - node_last_contact_[node] <= threshold) return;
+    // No coordinator heard from for > k*T: assume total coordinator loss
+    // and autonomously drop to the frequency that keeps this node's share
+    // of the budget honoured without any coordination.
+    node_failsafe_[node] = 1;
+    const double hz = node_failsafe_hz(node);
+    node_failsafe_hz_[node] = hz;
+    for (std::size_t c = 0; c < cluster_.node(node).cpu_count(); ++c) {
+      cluster_.node(node).core(c).set_frequency(hz);
+    }
+    power_trace_->add(now, cluster_.cpu_power_w());
+    if (config_.journal) {
+      config_.journal->append(now, sim::EventType::kDegradedMode)
+          .set("node", static_cast<double>(node))
+          .set("hz", hz)
+          .set("silent_s", now - node_last_contact_[node])
+          .set("state", std::string("enter"))
+          .set("reason", std::string("coordinator_silent"));
+      // The autonomous apply, in the same shape as a coordinated one, so
+      // the inspector's compliance checks see the recovery.
+      config_.journal->append(now, sim::EventType::kActuation)
+          .set("node", static_cast<double>(node))
+          .set("cluster_power_w", cluster_.cpu_power_w())
+          .set("failsafe", 1.0)
+          .set("stage", std::string("node_apply"));
+    }
+    return;
+  }
+  // Already in the fail-safe: track budget moves (the broadcast keeps
+  // arriving) until a coordinator's settings take over again.
+  const double hz = node_failsafe_hz(node);
+  if (hz != node_failsafe_hz_[node]) {
+    node_failsafe_hz_[node] = hz;
+    for (std::size_t c = 0; c < cluster_.node(node).cpu_count(); ++c) {
+      cluster_.node(node).core(c).set_frequency(hz);
+    }
+    power_trace_->add(now, cluster_.cpu_power_w());
+    if (config_.journal) {
+      config_.journal->append(now, sim::EventType::kActuation)
+          .set("node", static_cast<double>(node))
+          .set("cluster_power_w", cluster_.cpu_power_w())
+          .set("failsafe", 1.0)
+          .set("stage", std::string("node_apply"));
+    }
   }
 }
 
@@ -191,71 +304,44 @@ void ClusterDaemon::node_send_summary(std::size_t node) {
       loss && config_.fault_plan->chance(sim::FaultKind::kChannelLoss,
                                          static_cast<int>(node), sim_.now(),
                                          loss->value)) {
-    journal_message_lost(node, "up", "fault");
+    journal_message_lost(static_cast<int>(node), "up", "fault");
     return;
   }
 
-  sending_node_ = node;
+  sending_node_ = static_cast<int>(node);
   up_channel_.send([this, node, summary = agent.views]() {
-    const auto& agent_at_arrival = *agents_[node];
-    for (std::size_t c = 0; c < summary.size(); ++c) {
-      mailbox_[agent_at_arrival.first_cpu + c] = summary[c];
-    }
-    on_summary_arrived(node);
+    deliver_summary(node, summary);
   });
 }
 
-void ClusterDaemon::on_summary_arrived(std::size_t node) {
-  last_summary_at_[node] = sim_.now();
-  if (!node_silent_[node]) return;
-  // The node is talking again: lift the conservative f_max accounting.
-  node_silent_[node] = 0;
-  const auto& agent = *agents_[node];
-  for (std::size_t c = 0; c < agent.views.size(); ++c) {
-    loop_->unpin_cpu(agent.first_cpu + c);
-  }
-  if (config_.journal) {
-    config_.journal->append(sim_.now(), sim::EventType::kDegradedMode)
-        .set("node", static_cast<double>(node))
-        .set("state", std::string("exit"))
-        .set("reason", std::string("node_silent"));
-  }
-}
-
-void ClusterDaemon::refresh_silent_nodes() {
-  if (config_.silent_node_factor <= 0.0) return;
-  const double period =
-      config_.t_sample_s * config_.schedule_every_n_samples;
-  const double threshold = config_.silent_node_factor * period;
-  for (std::size_t n = 0; n < agents_.size(); ++n) {
-    if (node_silent_[n]) continue;
-    if (sim_.now() - last_summary_at_[n] <= threshold) continue;
-    // No word from the node for > k*T: its true draw is unknown, so the
-    // budget math assumes the worst case — every CPU flat out at f_max.
-    node_silent_[n] = 1;
-    const auto& agent = *agents_[n];
-    for (std::size_t c = 0; c < agent.views.size(); ++c) {
-      const std::size_t flat = agent.first_cpu + c;
-      loop_->pin_cpu(flat, proc_tables_[flat]->max_hz());
+void ClusterDaemon::deliver_summary(std::size_t node,
+                                    const std::vector<ProcView>& summary) {
+  const double now = sim_.now();
+  const std::size_t first_cpu = agents_[node]->first_cpu;
+  // One summary reaches every coordinator (the standby shadows the same
+  // traffic, which is what makes takeover warm).  A crashed or partitioned
+  // coordinator misses it; the loss is journalled only when it deprives
+  // the acting leader, so passive shadows don't inflate the loss count.
+  for (Coordinator* coordinator : {primary_.get(), standby_.get()}) {
+    if (!coordinator) continue;
+    if (!coordinator->refresh_fault_state(now)) {
+      if (coordinator->leader()) {
+        journal_message_lost(static_cast<int>(node), "up",
+                             "coordinator_crash");
+      }
+      continue;
     }
-    if (config_.journal) {
-      config_.journal->append(sim_.now(), sim::EventType::kDegradedMode)
-          .set("node", static_cast<double>(n))
-          .set("silent_s", sim_.now() - last_summary_at_[n])
-          .set("state", std::string("enter"))
-          .set("reason", std::string("node_silent"));
+    if (coordinator->partitioned(now)) {
+      if (coordinator->leader()) {
+        journal_message_lost(static_cast<int>(node), "up", "partition");
+      }
+      continue;
     }
+    coordinator->on_summary(node, first_cpu, summary, now);
   }
 }
 
-std::size_t ClusterDaemon::stale_node_count() const {
-  std::size_t n = 0;
-  for (char s : node_silent_) n += s ? 1 : 0;
-  return n;
-}
-
-void ClusterDaemon::journal_message_lost(std::size_t node,
-                                         const char* direction,
+void ClusterDaemon::journal_message_lost(int node, const char* direction,
                                          const char* cause) {
   ++messages_lost_;
   if (config_.journal) {
@@ -266,25 +352,94 @@ void ClusterDaemon::journal_message_lost(std::size_t node,
   }
 }
 
-void ClusterDaemon::global_cycle(CycleTrigger trigger) {
-  refresh_silent_nodes();
-  loop_->run_cycle(sim_.now(), budget_.effective_limit_w(), trigger);
+void ClusterDaemon::global_round(CycleTrigger trigger) {
+  const double now = sim_.now();
+  const double budget_w = budget_.effective_limit_w();
+  primary_->refresh_fault_state(now);
+  if (standby_) standby_->refresh_fault_state(now);
+  // Every coordinator gets the trigger; run_round itself no-ops unless the
+  // coordinator is the live leader past its recovery warm-up.
+  primary_->run_round(now, budget_w, trigger);
+  if (standby_) standby_->run_round(now, budget_w, trigger);
 }
 
-void ClusterDaemon::fan_out(const ScheduleResult& result,
+void ClusterDaemon::monitor_tick() {
+  const double now = sim_.now();
+  primary_->refresh_fault_state(now);
+  standby_->refresh_fault_state(now);
+  for (Coordinator* coordinator : {primary_.get(), standby_.get()}) {
+    if (coordinator->heartbeat_due(now)) send_heartbeat(*coordinator);
+  }
+  for (Coordinator* coordinator : {primary_.get(), standby_.get()}) {
+    if (coordinator->maybe_take_over(now)) {
+      // Announce the new epoch at once (fencing off the old leader), then
+      // schedule immediately — the shadowed mailbox is already warm and
+      // the cluster may be sitting on a stale budget.
+      send_heartbeat(*coordinator);
+      coordinator->run_round(now, budget_.effective_limit_w(),
+                             CycleTrigger::kManual);
+    }
+  }
+}
+
+void ClusterDaemon::send_heartbeat(Coordinator& from) {
+  const double now = sim_.now();
+  from.heartbeat_sent(now);
+  if (from.partitioned(now)) {
+    journal_message_lost(-1, "down", "partition");
+    return;
+  }
+  const cluster::Envelope envelope{from.epoch(), from.id()};
+  sending_node_ = -1;
+  down_channel_.send(
+      envelope, [this, grants = from.last_grants(),
+                 budget_w = budget_.effective_limit_w()](
+                    const cluster::Envelope& env) {
+        deliver_heartbeat(env, grants, budget_w);
+      });
+}
+
+void ClusterDaemon::deliver_heartbeat(const cluster::Envelope& envelope,
+                                      const std::vector<double>& grants,
+                                      double budget_w) {
+  const double now = sim_.now();
+  // The heartbeat doubles as the nodes' liveness signal: hearing a current
+  // (fence-admitted) coordinator resets the fail-safe clock, so a leader
+  // whose settings happen to be lost still keeps its nodes out of the
+  // autonomous mode.
+  for (std::size_t n = 0; n < node_fence_.size(); ++n) {
+    if (node_fence_[n].admit(envelope.epoch)) node_last_contact_[n] = now;
+  }
+  Coordinator* peer =
+      envelope.sender == 0 ? standby_.get() : primary_.get();
+  if (!peer) return;
+  if (!peer->refresh_fault_state(now) || peer->partitioned(now)) return;
+  peer->on_peer_heartbeat(envelope.epoch, grants, budget_w, now);
+}
+
+void ClusterDaemon::fan_out(const Coordinator& from,
+                            const ScheduleResult& result,
                             bool budget_triggered) {
   if (budget_triggered) {
     last_trigger_time_ = sim_.now();
     last_applied_time_ = -1.0;
     pending_trigger_applies_ = agents_.size();
+    pending_apply_.assign(agents_.size(), 1);
   }
 
-  // Fan the per-node frequency vectors back out over the network.
+  // Fan the per-node frequency vectors back out over the network, each
+  // message fenced with the sender's epoch.
+  const bool cut_off = from.partitioned(sim_.now());
+  const cluster::Envelope envelope{from.epoch(), from.id()};
   std::size_t flat = 0;
   for (std::size_t n = 0; n < agents_.size(); ++n) {
     std::vector<double> freqs(cluster_.node(n).cpu_count());
     for (std::size_t c = 0; c < freqs.size(); ++c) {
       freqs[c] = result.decisions[flat++].hz;
+    }
+    if (cut_off) {
+      journal_message_lost(static_cast<int>(n), "down", "partition");
+      continue;
     }
     if (const sim::FaultSpec* loss =
             config_.fault_plan
@@ -294,31 +449,60 @@ void ClusterDaemon::fan_out(const ScheduleResult& result,
         loss && config_.fault_plan->chance(sim::FaultKind::kChannelLoss,
                                            static_cast<int>(n), sim_.now(),
                                            loss->value)) {
-      journal_message_lost(n, "down", "fault");
+      journal_message_lost(static_cast<int>(n), "down", "fault");
       continue;
     }
-    sending_node_ = n;
-    down_channel_.send([this, n, freqs = std::move(freqs),
-                        budget_triggered]() mutable {
-      apply_on_node(n, std::move(freqs), budget_triggered);
+    sending_node_ = static_cast<int>(n);
+    down_channel_.send(envelope, [this, n, freqs = std::move(freqs)](
+                                     const cluster::Envelope& env) mutable {
+      apply_on_node(n, std::move(freqs), env);
     });
   }
 }
 
 void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
-                                  bool budget_triggered) {
+                                  const cluster::Envelope& envelope) {
   // Settings arriving at a crashed node land on nothing.
   if (config_.fault_plan &&
       config_.fault_plan->active(sim::FaultKind::kNodeCrash,
                                  static_cast<int>(node), sim_.now())) {
-    journal_message_lost(node, "down", "node_crash");
+    journal_message_lost(static_cast<int>(node), "down", "node_crash");
     return;
+  }
+  // The epoch fence: grants from a deposed coordinator are refused, so a
+  // stale leader can never over-commit the budget (split-brain guard).
+  if (!node_fence_[node].admit(envelope.epoch)) {
+    ++settings_rejected_;
+    if (config_.journal) {
+      config_.journal->append(sim_.now(), sim::EventType::kSettingsRejected)
+          .set("node", static_cast<double>(node))
+          .set("msg_epoch", static_cast<double>(envelope.epoch))
+          .set("epoch", static_cast<double>(node_fence_[node].current()));
+    }
+    return;
+  }
+  node_last_contact_[node] = sim_.now();
+  if (node_failsafe_[node]) {
+    // Coordinated settings are back: leave the autonomous budget/N mode
+    // (the grants below supersede the fail-safe frequency).
+    node_failsafe_[node] = 0;
+    if (config_.journal) {
+      config_.journal->append(sim_.now(), sim::EventType::kDegradedMode)
+          .set("node", static_cast<double>(node))
+          .set("state", std::string("exit"))
+          .set("reason", std::string("coordinator_silent"));
+    }
   }
   for (std::size_t c = 0; c < freqs.size(); ++c) {
     cluster_.node(node).core(c).set_frequency(freqs[c]);
   }
-  if (budget_triggered && pending_trigger_applies_ > 0) {
-    if (--pending_trigger_applies_ == 0) {
+  // Response-latency accounting: a node's slot for the latest budget-
+  // triggered round is closed by the first settings it *accepts* — if the
+  // triggered message itself was lost, the next round's repair closes it,
+  // so the measurement completes instead of wedging open forever.
+  if (pending_apply_[node]) {
+    pending_apply_[node] = 0;
+    if (pending_trigger_applies_ > 0 && --pending_trigger_applies_ == 0) {
       last_applied_time_ = sim_.now();
       sim::LogLine(sim::LogLevel::kInfo, "cluster-fvsst", sim_.now())
           << "budget trigger applied cluster-wide in "
@@ -329,10 +513,14 @@ void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
   if (config_.journal) {
     // The deferred, per-node half of the actuation: settings landed after
     // crossing the down channel.
-    config_.journal->append(sim_.now(), sim::EventType::kActuation)
-        .set("node", static_cast<double>(node))
-        .set("cluster_power_w", cluster_.cpu_power_w())
-        .set("stage", std::string("node_apply"));
+    auto& event =
+        config_.journal->append(sim_.now(), sim::EventType::kActuation)
+            .set("node", static_cast<double>(node))
+            .set("cluster_power_w", cluster_.cpu_power_w());
+    if (protocol_visible_) {
+      event.set("epoch", static_cast<double>(envelope.epoch));
+    }
+    event.set("stage", std::string("node_apply"));
   }
 }
 

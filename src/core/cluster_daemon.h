@@ -12,15 +12,25 @@
 //
 // Both halves are built from the shared control-loop stages: every node
 // agent is a SimCoreSampler + IpcEstimator pair whose views are shipped as
-// the summary message, and the global side is a ControlLoop whose Sampler
-// is the summary mailbox and whose Actuator fans settings back out over the
-// down channel.
+// the summary message, and the global side is a core::Coordinator — a
+// ControlLoop whose Sampler is the summary mailbox and whose Actuator fans
+// settings back out over the down channel.
 //
 // The global scheduler runs on the paper's two triggers: the periodic timer
 // and a power-budget change.  Because summaries and settings both cross the
 // network, there is a measurable delay between a supply failure and cluster
 // compliance — bench_abl_response_time compares it against the supply's
 // cascade tolerance DT.
+//
+// The coordinator role itself is made survivable (see core/coordinator.h):
+// an optional standby shadows the summary traffic and elects itself over
+// epoch-fenced heartbeats when the leader goes silent, every settings
+// message carries the sender's epoch so nodes reject grants from a deposed
+// coordinator, and a node-local fail-safe drops a node to its budget/N
+// frequency when no coordinator has been heard from at all.  All of it is
+// off by default: with FailoverConfig at defaults and no coordinator
+// faults in the plan, the daemon is bit-for-bit the single-coordinator
+// scheduler (messages, randomness and journal included).
 #pragma once
 
 #include <cstddef>
@@ -29,7 +39,9 @@
 
 #include "cluster/channel.h"
 #include "cluster/cluster.h"
+#include "cluster/election.h"
 #include "core/control_loop.h"
+#include "core/coordinator.h"
 #include "core/scheduler.h"
 #include "power/budget.h"
 #include "simkit/telemetry.h"
@@ -58,14 +70,20 @@ struct ClusterDaemonConfig {
   /// Injected faults (not owned; must outlive the daemon).  Cluster kinds
   /// consulted here: kNodeCrash (agent stops sampling/summarising and
   /// arriving settings are lost), kStaleSummaries (agent ships frozen
-  /// views), kChannelLoss (per-node loss bursts on both directions).
-  /// Null or empty: no injection, bit-for-bit identical behaviour.
+  /// views), kChannelLoss (per-node loss bursts on both directions),
+  /// kCoordinatorCrash (a coordinator is down until the window closes,
+  /// then recovers from its stable store) and kPartition (every message to
+  /// or from a coordinator is dropped).  Null or empty: no injection,
+  /// bit-for-bit identical behaviour.
   const sim::FaultPlan* fault_plan = nullptr;
   /// A node silent for more than this many global periods T is pinned at
   /// f_max in the power accounting (the conservative assumption that keeps
   /// the global budget honoured when its true draw is unknown).  0
   /// disables silent-node detection.
   double silent_node_factor = 3.0;
+  /// Coordinator high availability (standby election, epoch fencing,
+  /// node-local fail-safe).  Defaults keep everything off.
+  FailoverConfig failover;
 };
 
 /// Global scheduler plus one agent per node.
@@ -84,18 +102,27 @@ class ClusterDaemon {
   ClusterDaemon(const ClusterDaemon&) = delete;
   ClusterDaemon& operator=(const ClusterDaemon&) = delete;
 
-  /// Global scheduling rounds completed.
-  std::size_t rounds() const { return loop_->cycles_run(); }
+  /// Global scheduling rounds completed (across both coordinators; a
+  /// coordinator's count survives its own crash via the stable store).
+  std::size_t rounds() const {
+    return static_cast<std::size_t>(primary_->rounds() +
+                                    (standby_ ? standby_->rounds() : 0));
+  }
 
-  /// Result of the latest global round.
-  const ScheduleResult& last_result() const { return loop_->last_result(); }
+  /// Result of the latest global round (from the current leader).
+  const ScheduleResult& last_result() const {
+    return leader_coordinator().loop().last_result();
+  }
 
   /// Simulated time of the most recent budget-triggered round (< 0: none).
   double last_budget_trigger_time() const { return last_trigger_time_; }
 
   /// Simulated time when the last budget-triggered settings finished
   /// applying on every node (< 0 until it happens).  The difference to
-  /// last_budget_trigger_time() is the cluster's response latency.
+  /// last_budget_trigger_time() is the cluster's response latency.  A node
+  /// whose triggered settings were lost closes its slot with the next
+  /// settings message it accepts (the protocol's repair round), so a lost
+  /// message delays the measurement instead of wedging it open forever.
   double last_trigger_applied_time() const { return last_applied_time_; }
 
   /// Trace of aggregate cluster CPU power as the scheduler believes it
@@ -113,11 +140,30 @@ class ClusterDaemon {
   /// fault plan forced (the journal's message_lost events).
   std::size_t messages_lost() const { return messages_lost_; }
 
-  /// Nodes currently treated as silent (accounted at f_max).
-  std::size_t stale_node_count() const;
+  /// Settings messages a node's epoch fence rejected (grants from a
+  /// deposed coordinator; the journal's settings_rejected events).
+  std::size_t settings_rejected() const { return settings_rejected_; }
 
-  /// The global scheduler's engine (stage timings, latest mailbox views).
-  const ControlLoop& loop() const { return *loop_; }
+  /// Nodes currently treated as silent (accounted at f_max).
+  std::size_t stale_node_count() const {
+    return leader_coordinator().stale_node_count();
+  }
+
+  /// Nodes currently in the coordinator-silence fail-safe (running at
+  /// their autonomous budget/N frequency).
+  std::size_t failsafe_node_count() const;
+
+  /// The current leader's epoch (what nodes' fences converge to).
+  cluster::Epoch epoch() const { return leader_coordinator().epoch(); }
+
+  /// The global scheduler's engine (stage timings, latest mailbox views),
+  /// from the current leader.
+  const ControlLoop& loop() const { return leader_coordinator().loop(); }
+
+  const Coordinator& primary() const { return *primary_; }
+  /// The standby coordinator; null unless failover.standby was configured.
+  const Coordinator* standby() const { return standby_.get(); }
+  Coordinator* mutable_primary() { return primary_.get(); }
 
   sim::MetricRegistry& telemetry() { return telemetry_; }
   const sim::MetricRegistry& telemetry() const { return telemetry_; }
@@ -145,20 +191,31 @@ class ClusterDaemon {
     int samples = 0;
   };
 
-  class SummarySampler;
-  class MailboxEstimator;
-  class SettingsActuator;
+  const Coordinator& leader_coordinator() const {
+    if (standby_ && standby_->leader() && !primary_->leader()) {
+      return *standby_;
+    }
+    return *primary_;
+  }
 
+  Coordinator::Wiring make_wiring(int id, bool initially_leader,
+                                  const mach::FrequencyTable& table);
   void node_tick(std::size_t node);
+  void node_failsafe_tick(std::size_t node);
+  double node_failsafe_hz(std::size_t node) const;
   void node_send_summary(std::size_t node);
-  void global_cycle(CycleTrigger trigger);
-  void fan_out(const ScheduleResult& result, bool budget_triggered);
+  void deliver_summary(std::size_t node, const std::vector<ProcView>& summary);
+  void global_round(CycleTrigger trigger);
+  void monitor_tick();
+  void send_heartbeat(Coordinator& from);
+  void deliver_heartbeat(const cluster::Envelope& envelope,
+                         const std::vector<double>& grants, double budget_w);
+  void fan_out(const Coordinator& from, const ScheduleResult& result,
+               bool budget_triggered);
   void apply_on_node(std::size_t node, std::vector<double> freqs,
-                     bool budget_triggered);
-  void journal_message_lost(std::size_t node, const char* direction,
+                     const cluster::Envelope& envelope);
+  void journal_message_lost(int node, const char* direction,
                             const char* cause);
-  void on_summary_arrived(std::size_t node);
-  void refresh_silent_nodes();
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
@@ -167,24 +224,39 @@ class ClusterDaemon {
   cluster::Channel up_channel_;    ///< Agents -> global.
   cluster::Channel down_channel_;  ///< Global -> agents.
   std::vector<std::unique_ptr<NodeAgent>> agents_;
-  /// Freshest delivered summary per flattened processor (the global
-  /// scheduler's knowledge of the cluster).
-  std::vector<ProcView> mailbox_;
   /// Per flattened processor: its node's operating-point table.
   std::vector<const mach::FrequencyTable*> proc_tables_;
+  /// Owned copy of the scheduler's default table: a coordinator rebuilding
+  /// its engine on restart must not chase the caller's (possibly
+  /// temporary) table argument.
+  mach::FrequencyTable default_table_;
   sim::MetricRegistry telemetry_;
-  std::unique_ptr<ControlLoop> loop_;
-  sim::EventId global_event_ = 0;  ///< The global scheduler's own timer.
+  /// The failover protocol is in play (failover enabled or coordinator
+  /// faults planned): gates every new journal field/event and the run-meta
+  /// additions, so default runs keep byte-identical journals.
+  bool protocol_visible_ = false;
+  std::unique_ptr<Coordinator> primary_;
+  std::unique_ptr<Coordinator> standby_;  ///< Null unless configured.
+  sim::EventId global_event_ = 0;   ///< The global scheduler's own timer.
+  sim::EventId monitor_event_ = 0;  ///< Heartbeat/election clock (standby).
   double last_trigger_time_ = -1.0;
   double last_applied_time_ = -1.0;
   std::size_t pending_trigger_applies_ = 0;
+  /// Per node: still owes an apply for the latest budget-triggered round.
+  std::vector<char> pending_apply_;
   sim::TimeSeries* power_trace_ = nullptr;  ///< Registry-owned.
-  /// Node a send is in flight for, so the channels' drop callbacks can
-  /// attribute the loss (everything is single-threaded).
-  std::size_t sending_node_ = 0;
+  /// Node a send is in flight for (-1: a coordinator heartbeat), so the
+  /// channels' drop callbacks can attribute the loss (single-threaded).
+  int sending_node_ = 0;
   std::size_t messages_lost_ = 0;
-  std::vector<double> last_summary_at_;  ///< Per node, simulated seconds.
-  std::vector<char> node_silent_;        ///< Per node: pinned at f_max.
+  std::size_t settings_rejected_ = 0;
+  // --- Node-side protocol state (each node's own tiny piece of the
+  // failover machinery; lives here because the daemon *is* the nodes'
+  // receive path). ---
+  std::vector<cluster::EpochFence> node_fence_;    ///< Per node.
+  std::vector<double> node_last_contact_;          ///< Coordinator heard at.
+  std::vector<char> node_failsafe_;                ///< In budget/N mode.
+  std::vector<double> node_failsafe_hz_;           ///< Current fail-safe grant.
 };
 
 }  // namespace fvsst::core

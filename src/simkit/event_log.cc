@@ -22,7 +22,7 @@ struct TypeName {
   std::string_view name;
 };
 
-constexpr std::array<TypeName, 13> kTypeNames{{
+constexpr std::array<TypeName, 16> kTypeNames{{
     {EventType::kRunMeta, "run_meta"},
     {EventType::kTablePoint, "table_point"},
     {EventType::kCycleStart, "cycle_start"},
@@ -36,6 +36,9 @@ constexpr std::array<TypeName, 13> kTypeNames{{
     {EventType::kFault, "fault"},
     {EventType::kDegradedMode, "degraded_mode"},
     {EventType::kMessageLost, "message_lost"},
+    {EventType::kEpochChange, "epoch_change"},
+    {EventType::kSettingsRejected, "settings_rejected"},
+    {EventType::kSnapshot, "snapshot"},
 }};
 
 }  // namespace
@@ -515,6 +518,35 @@ void write_chrome_trace(std::ostream& out, const EventLog& log) {
         w.instant("message_lost", ts,
                   ChromeWriter::args({{"node", e.num_or("node", -1.0)}}));
         break;
+      case EventType::kEpochChange: {
+        std::string name = "epoch_change";
+        if (const std::string* reason = e.find_str("reason")) {
+          name += ' ';
+          name += *reason;
+        }
+        w.instant(name, ts,
+                  ChromeWriter::args(
+                      {{"epoch", e.num_or("epoch")},
+                       {"coordinator", e.num_or("coordinator", -1.0)}}));
+        break;
+      }
+      case EventType::kSettingsRejected:
+        w.instant("settings_rejected", ts,
+                  ChromeWriter::args({{"node", e.num_or("node", -1.0)},
+                                      {"msg_epoch", e.num_or("msg_epoch")},
+                                      {"epoch", e.num_or("epoch")}}));
+        break;
+      case EventType::kSnapshot: {
+        std::string name = "snapshot";
+        if (const std::string* op = e.find_str("op")) {
+          name += ' ';
+          name += *op;
+        }
+        w.instant(name, ts,
+                  ChromeWriter::args({{"epoch", e.num_or("epoch")},
+                                      {"round", e.num_or("round")}}));
+        break;
+      }
       case EventType::kActuation: {
         if (const std::string* stage = e.find_str("stage")) {
           if (*stage == "node_apply") {
@@ -659,6 +691,124 @@ JournalCheckReport check_journal(const EventLog& log) {
               "; T did not restart");
         }
         pending_budget_cycle = nullptr;
+      }
+    }
+  }
+
+  // 4. Epoch fencing: coordinators only ever move forward through epochs,
+  //    every node's applied epoch is non-decreasing (no settings from a
+  //    deposed coordinator land), and nothing applies from an epoch no
+  //    coordinator announced.
+  {
+    bool any_epoch_data = false;
+    double last_announced = -1.0;
+    double max_announced = -1.0;
+    bool saw_announcement = false;
+    std::map<int, double> node_epoch;
+    for (const Event& e : log.events()) {
+      if (e.type == EventType::kEpochChange) {
+        any_epoch_data = true;
+        saw_announcement = true;
+        ++report.checks_run;
+        const double epoch = e.num_or("epoch");
+        if (epoch < last_announced) {
+          report.violations.push_back(
+              "epoch regressed" + at_time(e.t) + ": coordinator " +
+              std::to_string(static_cast<int>(e.num_or("coordinator", -1.0))) +
+              " announced epoch " + std::to_string(epoch) + " after epoch " +
+              std::to_string(last_announced));
+        }
+        last_announced = std::max(last_announced, epoch);
+        max_announced = std::max(max_announced, epoch);
+        continue;
+      }
+      if (e.type != EventType::kActuation) continue;
+      const std::string* stage = e.find_str("stage");
+      if (!stage || *stage != "node_apply" || !e.has_num("epoch")) continue;
+      any_epoch_data = true;
+      ++report.checks_run;
+      const double epoch = e.num_or("epoch");
+      const int node = static_cast<int>(e.num_or("node", -1.0));
+      auto [it, inserted] = node_epoch.try_emplace(node, epoch);
+      if (!inserted) {
+        if (epoch < it->second) {
+          report.violations.push_back(
+              "node" + std::to_string(node) + at_time(e.t) +
+              " applied settings from deposed epoch " + std::to_string(epoch) +
+              " after epoch " + std::to_string(it->second));
+        }
+        it->second = std::max(it->second, epoch);
+      }
+      if (saw_announcement && epoch > max_announced) {
+        report.violations.push_back(
+            "node" + std::to_string(node) + at_time(e.t) +
+            " applied settings from unannounced epoch " +
+            std::to_string(epoch) + " (highest announced: " +
+            std::to_string(max_announced) + ")");
+      }
+    }
+    if (!any_epoch_data) {
+      report.skipped.push_back(
+          "epoch-fence check: no epoch data in journal");
+    }
+  }
+
+  // 5. Failover compliance: after every budget *drop* the cluster must be
+  //    back under the new limit within the failover window the run
+  //    declared (covering coordinator crashes in between — this is the
+  //    paper's cascade-deadline requirement restated over the journal).
+  const double failover_window =
+      meta ? meta->num_or("failover_window_s") : 0.0;
+  if (failover_window <= 0.0) {
+    report.skipped.push_back(
+        "failover-window check: journal does not declare failover_window_s");
+  } else {
+    const auto& events = log.events();
+    double prev_budget = -1.0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      if (e.type != EventType::kBudgetChange) continue;
+      const double budget = e.num_or("budget_w");
+      const bool drop = prev_budget >= 0.0 && budget < prev_budget;
+      prev_budget = budget;
+      if (!drop) continue;
+      const double deadline = e.t + failover_window;
+      bool compliant = false;
+      bool superseded = false;
+      bool past_deadline = false;
+      for (std::size_t j = i + 1; j < events.size(); ++j) {
+        const Event& f = events[j];
+        if (f.type == EventType::kBudgetChange) {
+          superseded = true;  // a newer limit owns the next window
+          break;
+        }
+        if (f.type != EventType::kActuation) continue;
+        const std::string* stage = f.find_str("stage");
+        if (!stage || *stage != "node_apply") continue;
+        if (f.t > deadline) {
+          past_deadline = true;
+          break;
+        }
+        if (f.num_or("cluster_power_w",
+                     std::numeric_limits<double>::max()) <=
+            budget + kPowerTolW) {
+          compliant = true;
+          break;
+        }
+      }
+      if (compliant || superseded) {
+        ++report.checks_run;
+      } else if (past_deadline) {
+        ++report.checks_run;
+        report.violations.push_back(
+            "cluster still over the " + std::to_string(budget) +
+            " W budget " + std::to_string(failover_window) +
+            "s after the drop" + at_time(e.t) +
+            " (failover window missed)");
+      } else {
+        report.skipped.push_back(
+            "failover-window check: journal ends inside the window of the "
+            "budget drop" + at_time(e.t));
       }
     }
   }

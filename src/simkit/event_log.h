@@ -75,12 +75,26 @@ enum class EventType {
   /// "held_w" for sensor dropout).
   kFault,
   /// The engine entered or left a degraded operating mode: str "state"
-  /// (enter | exit), str "reason" (actuation_failsafe | node_silent),
-  /// "hz" (the fail-safe grant) or "node" (the silent node).
+  /// (enter | exit), str "reason" (actuation_failsafe | node_silent |
+  /// coordinator_silent), "hz" (the fail-safe grant) or "node" (the silent
+  /// node; for coordinator_silent, the node that dropped to its autonomous
+  /// budget/N frequency).
   kDegradedMode,
   /// A cluster message was dropped in flight: str "direction" (up | down),
   /// "node"; str "cause" = "fault" when a FaultPlan forced the drop.
   kMessageLost,
+  /// A cluster coordinator announced a new epoch: "epoch", "coordinator";
+  /// str "reason" (boot | takeover | stepdown).  Epochs must be
+  /// non-decreasing over the journal (the inspector enforces it).
+  kEpochChange,
+  /// A node fenced off a settings message from a deposed coordinator:
+  /// "node", "msg_epoch" (the stale message's epoch), "epoch" (the node's
+  /// fence).
+  kSettingsRejected,
+  /// Coordinator stable-store activity: "epoch", "round", "budget_w"; str
+  /// "op" (save | recover); recover adds "replayed" (grant records applied
+  /// on top of the snapshot) and "checksum_ok".
+  kSnapshot,
 };
 
 /// Stable wire name ("cycle_start", "decision", ...).
@@ -193,7 +207,14 @@ struct JournalCheckReport {
 ///      events);
 ///   3. the scheduling period T restarts after a budget trigger (needs a
 ///      kRunMeta with t_restarts = 1): the next timer cycle comes no sooner
-///      than (multiplier - 1) * t_sample_s after the budget cycle.
+///      than (multiplier - 1) * t_sample_s after the budget cycle;
+///   4. epoch fencing (needs epoch data): announced epochs are
+///      non-decreasing, each node's applied epoch is non-decreasing (no
+///      settings from a deposed coordinator are applied), and nothing
+///      applies from an unannounced epoch;
+///   5. failover compliance (needs a kRunMeta with failover_window_s > 0):
+///      after every budget drop, some node_apply shows aggregate cluster
+///      power back under the new limit within the window.
 JournalCheckReport check_journal(const EventLog& log);
 
 /// Outcome of diff_journals.

@@ -28,6 +28,8 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kChannelLoss, "channel_loss"},
     {FaultKind::kNodeCrash, "node_crash"},
     {FaultKind::kStaleSummaries, "stale_summaries"},
+    {FaultKind::kCoordinatorCrash, "coordinator_crash"},
+    {FaultKind::kPartition, "partition"},
 };
 
 std::uint64_t splitmix64(std::uint64_t x) {
@@ -58,6 +60,23 @@ double to_unit(std::uint64_t h) {
 [[noreturn]] void parse_fail(int line_no, const std::string& why) {
   throw std::runtime_error("fault plan line " + std::to_string(line_no) +
                            ": " + why);
+}
+
+/// Strict full-token number parsing: std::stoi/stod accept trailing junk
+/// ("cpu=1x" would silently parse as 1), which hides typos in hand-written
+/// plans.  Throws std::invalid_argument unless the whole token converts.
+int parse_int_strict(const std::string& s) {
+  std::size_t used = 0;
+  const int v = std::stoi(s, &used);
+  if (used != s.size()) throw std::invalid_argument(s);
+  return v;
+}
+
+double parse_double_strict(const std::string& s) {
+  std::size_t used = 0;
+  const double v = std::stod(s, &used);
+  if (used != s.size()) throw std::invalid_argument(s);
+  return v;
 }
 
 }  // namespace
@@ -129,7 +148,11 @@ FaultPlan FaultPlan::parse(std::istream& in) {
 
     if (head == "seed") {
       std::uint64_t seed = 0;
+      std::string trailing;
       if (!(tokens >> seed)) parse_fail(line_no, "expected `seed N`");
+      if (tokens >> trailing) {
+        parse_fail(line_no, "trailing junk after seed: `" + trailing + "`");
+      }
       plan.seed_ = seed;
       continue;
     }
@@ -156,11 +179,11 @@ FaultPlan FaultPlan::parse(std::istream& in) {
       std::string val = kv.substr(eq + 1);
       try {
         if (key == "cpu" || key == "node" || key == "sensor" ||
-            key == "target") {
-          spec.target = std::stoi(val);
+            key == "target" || key == "coordinator") {
+          spec.target = parse_int_strict(val);
         } else if (key == "value" || key == "stddev" || key == "p" ||
                    key == "delay" || key == "watts") {
-          spec.value = std::stod(val);
+          spec.value = parse_double_strict(val);
         } else {
           parse_fail(line_no, "unknown key `" + key + "`");
         }
@@ -194,6 +217,10 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
     pool.insert(pool.end(), {FaultKind::kChannelLoss, FaultKind::kNodeCrash,
                              FaultKind::kStaleSummaries});
   }
+  if (opts.coordinator_faults) {
+    pool.insert(pool.end(),
+                {FaultKind::kCoordinatorCrash, FaultKind::kPartition});
+  }
   if (pool.empty() || opts.max_faults <= 0) return plan;
 
   double horizon =
@@ -212,7 +239,11 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
     bool cluster_kind = spec.kind == FaultKind::kChannelLoss ||
                         spec.kind == FaultKind::kNodeCrash ||
                         spec.kind == FaultKind::kStaleSummaries;
-    std::size_t targets = cluster_kind ? opts.nodes : opts.cpus;
+    bool coordinator_kind = spec.kind == FaultKind::kCoordinatorCrash ||
+                            spec.kind == FaultKind::kPartition;
+    std::size_t targets = coordinator_kind ? opts.coordinators
+                          : cluster_kind   ? opts.nodes
+                                           : opts.cpus;
     bool sensor_kind = spec.kind == FaultKind::kSensorDropout ||
                        spec.kind == FaultKind::kSensorNoise ||
                        spec.kind == FaultKind::kSensorStuck;

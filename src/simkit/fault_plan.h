@@ -61,6 +61,16 @@ enum class FaultKind {
   /// The node's agent keeps sending but its summaries are frozen at their
   /// last refresh (sensor path wedged).  Target: node.  value: unused.
   kStaleSummaries,
+  /// A cluster coordinator process is down: it runs no rounds, sends no
+  /// heartbeats, and summaries addressed to it are lost.  On window close
+  /// it restarts and recovers from its stable store.  Target: coordinator
+  /// index (0 = primary, 1 = standby).  value: unused.
+  kCoordinatorCrash,
+  /// A coordinator is network-partitioned: every message to or from it is
+  /// dropped while the window is open (the coordinator itself keeps
+  /// running — the split-brain case epoch fencing exists for).  Target:
+  /// coordinator index.  value: unused.
+  kPartition,
 };
 
 /// Stable wire name ("sensor_dropout", "actuation_reject", ...).
@@ -91,6 +101,11 @@ struct RandomPlanOptions {
   bool sensor_faults = true;
   bool actuation_faults = true;
   bool cluster_faults = false;
+  /// Also draw coordinator crashes/partitions (needs a ClusterDaemon with
+  /// failover enabled to be meaningful).  Kept separate from
+  /// cluster_faults so existing seeds keep producing identical plans.
+  bool coordinator_faults = false;
+  std::size_t coordinators = 2;  ///< Coordinator-fault target count.
 };
 
 /// An immutable, seeded schedule of faults.
@@ -131,9 +146,10 @@ class FaultPlan {
   ///   sensor_noise     0.0 9.0 stddev=4
   ///   channel_loss     1.0 3.0 node=0 p=0.6
   ///
-  /// Line syntax: KIND START END [cpu|node|sensor|target=N]
+  /// Line syntax: KIND START END [cpu|node|sensor|coordinator|target=N]
   /// [value|stddev|p|delay|watts=V].  Throws std::runtime_error with a line
-  /// number on malformed input.
+  /// number on malformed input — including numbers with trailing junk
+  /// ("cpu=1x"), which would otherwise silently truncate.
   static FaultPlan parse(std::istream& in);
 
   /// Draws a random-but-reproducible plan for the chaos harness: window

@@ -168,6 +168,76 @@ TEST(ChaosCluster, SeededScenariosKeepInvariantsAndRecover) {
                        run_cluster_scenario);
 }
 
+// --- Random failover scenarios --------------------------------------------
+
+// One seeded failover scenario: coordinator crashes and partitions (on top
+// of the cluster kinds) against a daemon with the full protection stack —
+// standby election, epoch fencing and the node-local fail-safe.
+void run_failover_scenario(std::uint64_t seed) {
+  constexpr double kDuration = 2.5;
+  sim::Simulation simulation;
+  sim::Rng rng(seed);
+  const mach::MachineConfig machine = mach::p630();
+  const std::size_t nodes = 2 + static_cast<std::size_t>(rng.uniform_int(0, 1));
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(simulation, machine, nodes, rng);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t c = 0; c < cluster.node(n).cpu_count(); ++c) {
+      if (rng.bernoulli(0.7)) {
+        cluster.core({n, c}).add_workload(
+            workload::make_uniform_synthetic(rng.uniform(5.0, 100.0), 1e12));
+      }
+    }
+  }
+
+  sim::RandomPlanOptions plan_opts;
+  plan_opts.cpus = cluster.cpu_count();
+  plan_opts.nodes = nodes;
+  plan_opts.duration_s = kDuration;
+  plan_opts.sensor_faults = false;
+  plan_opts.actuation_faults = false;
+  plan_opts.cluster_faults = true;
+  plan_opts.coordinator_faults = true;
+  const sim::FaultPlan plan = sim::FaultPlan::random(seed, plan_opts);
+  ASSERT_FALSE(plan.empty());
+
+  power::PowerBudget budget(
+      rng.uniform(static_cast<double>(nodes) * 60.0,
+                  static_cast<double>(nodes) * 560.0));
+  sim::EventLog journal;
+  core::ClusterDaemonConfig config;
+  config.journal = &journal;
+  config.fault_plan = &plan;
+  config.failover.standby = true;
+  config.failover.node_failsafe_factor = 2.0;
+  core::ClusterDaemon daemon(simulation, cluster, machine.freq_table, budget,
+                             config);
+  simulation.run_for(kDuration);
+
+  // Every invariant check, epoch fencing and failover-window compliance
+  // included, holds no matter how the coordinators died.
+  const sim::JournalCheckReport report = sim::check_journal(journal);
+  EXPECT_TRUE(report.ok())
+      << (report.violations.empty() ? "" : report.violations.front());
+
+  // Recovery: silent-node accounting and the node fail-safe have both
+  // stood down, and every crashed coordinator restarted.
+  EXPECT_EQ(daemon.stale_node_count(), 0u);
+  EXPECT_EQ(daemon.failsafe_node_count(), 0u);
+  EXPECT_FALSE(daemon.primary().crashed());
+  EXPECT_EQ(count_type(journal, sim::EventType::kMessageLost),
+            daemon.messages_lost());
+  EXPECT_EQ(count_type(journal, sim::EventType::kSettingsRejected),
+            daemon.settings_rejected());
+}
+
+TEST(ChaosFailover, SeededScenariosKeepInvariantsAndRecover) {
+  proptest::run_seeded(11000, 20,
+                       "./tests/test_chaos "
+                       "--gtest_filter=ChaosFailover.*",
+                       run_failover_scenario);
+}
+
 // --- Deterministic acceptance: the actuation fail-safe --------------------
 
 // A CPU whose frequency writes are rejected must be retried with backoff,

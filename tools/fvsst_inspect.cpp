@@ -92,6 +92,9 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
   std::map<std::string, std::size_t> faults_by_kind;
   std::map<std::string, std::size_t> degraded_by_reason;
   std::map<std::string, std::size_t> lost_by_cause;
+  std::vector<std::pair<double, std::string>> epoch_moves;  // (epoch, reason)
+  std::size_t settings_rejected = 0;
+  std::map<std::string, std::size_t> snapshots_by_op;
   for (const sim::Event& e : log.events()) {
     ++by_type[std::string(sim::event_type_name(e.type))];
     switch (e.type) {
@@ -128,6 +131,19 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
       case sim::EventType::kMessageLost: {
         const std::string* cause = e.find_str("cause");
         ++lost_by_cause[cause ? *cause : "?"];
+        break;
+      }
+      case sim::EventType::kEpochChange: {
+        const std::string* reason = e.find_str("reason");
+        epoch_moves.emplace_back(e.num_or("epoch"), reason ? *reason : "?");
+        break;
+      }
+      case sim::EventType::kSettingsRejected:
+        ++settings_rejected;
+        break;
+      case sim::EventType::kSnapshot: {
+        const std::string* op = e.find_str("op");
+        ++snapshots_by_op[op ? *op : "?"];
         break;
       }
       default:
@@ -177,6 +193,23 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
     std::printf("messages lost by cause:");
     for (const auto& [cause, count] : lost_by_cause) {
       std::printf(" %s=%zu", cause.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (!epoch_moves.empty()) {
+    std::printf("coordinator epochs:");
+    for (const auto& [epoch, reason] : epoch_moves) {
+      std::printf(" %.0f(%s)", epoch, reason.c_str());
+    }
+    std::printf("\n");
+  }
+  if (settings_rejected > 0) {
+    std::printf("settings fenced off (stale epoch): %zu\n", settings_rejected);
+  }
+  if (!snapshots_by_op.empty()) {
+    std::printf("coordinator snapshots:");
+    for (const auto& [op, count] : snapshots_by_op) {
+      std::printf(" %s=%zu", op.c_str(), count);
     }
     std::printf("\n");
   }

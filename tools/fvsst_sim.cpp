@@ -40,6 +40,10 @@
 //   --explain            record pass-1/pass-2 rationale in the journal
 //   --fault-plan FILE    inject faults from a fault-plan file (see
 //                        sim::FaultPlan::parse for the line format)
+//   --standby            run a standby coordinator that elects itself when
+//                        the leader goes silent (--cluster only)
+//   --failsafe K         nodes drop to their budget/N frequency after K
+//                        global periods without a coordinator (--cluster)
 //   --help               this text
 #include <cstdio>
 #include <cstdlib>
@@ -113,6 +117,8 @@ struct CliOptions {
   std::size_t journal_cap = 0;    ///< Ring-buffer capacity (0: unbounded).
   bool explain = false;           ///< Record scheduler rationale.
   std::string fault_plan_path;    ///< Fault-injection plan file.
+  bool standby = false;           ///< Run a standby coordinator (--cluster).
+  double failsafe_factor = 0.0;   ///< Node fail-safe after K global periods.
 };
 
 std::string json_escape(const std::string& s) {
@@ -154,6 +160,7 @@ void print_help() {
       "                 [--margin-controller] [--seed S] [--csv DIR]\n"
       "                 [--journal FILE] [--chrome-trace FILE]\n"
       "                 [--journal-cap N] [--explain] [--fault-plan FILE]\n"
+      "                 [--standby] [--failsafe K]\n"
       "SPEC: synth:INTENSITY[:INSTRUCTIONS] | app:NAME | trace:FILE\n"
       "G: performance | powersave | ondemand | conservative\n"
       "(see docs/fvsst_sim.md for the full manual)\n");
@@ -350,6 +357,14 @@ CliOptions parse_args(int argc, char** argv) {
       opts.explain = true;
     } else if (flag == "--fault-plan") {
       opts.fault_plan_path = next_value(i, "--fault-plan");
+    } else if (flag == "--standby") {
+      opts.standby = true;
+    } else if (flag == "--failsafe") {
+      opts.failsafe_factor =
+          parse_double(next_value(i, "--failsafe"), "failsafe factor");
+      if (opts.failsafe_factor <= 0.0) {
+        usage_error("--failsafe must be > 0 (global periods of silence)");
+      }
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -371,6 +386,10 @@ int main(int argc, char** argv) {
   }
   if (opts.slow_nodes > opts.nodes) {
     usage_error("--slow-nodes exceeds --nodes");
+  }
+  if ((opts.standby || opts.failsafe_factor > 0.0) &&
+      !opts.use_cluster_daemon) {
+    usage_error("--standby/--failsafe require --cluster");
   }
   std::vector<mach::MachineConfig> configs(opts.nodes, machine);
   for (std::size_t i = opts.nodes - opts.slow_nodes; i < opts.nodes; ++i) {
@@ -444,6 +463,8 @@ int main(int argc, char** argv) {
     ccfg.idle_signal = opts.idle_signal;
     if (want_journal) ccfg.journal = &journal;
     if (have_faults) ccfg.fault_plan = &fault_plan;
+    ccfg.failover.standby = opts.standby;
+    ccfg.failover.node_failsafe_factor = opts.failsafe_factor;
     cluster_daemon = std::make_unique<core::ClusterDaemon>(
         sim, cluster, machine.freq_table, budget, ccfg);
   } else {
