@@ -1,20 +1,71 @@
 // bench_micro_substrate - google-benchmark microbenchmarks of the
-// simulation substrate: event queue, RNG, cache model, and the core's
-// execution loop.  These bound how much simulated time per wall second the
-// experiment harness can deliver.
+// simulation substrate: event queue, RNG, cache model, the core's
+// execution loop, the metric registry's string vs interned-handle paths,
+// and journal serialization.  These bound how much simulated time per wall
+// second the experiment harness can deliver.
+//
+// The registry and journal benches also report "allocs/iter" (counted via
+// this TU's operator new) so the zero-allocation claim of the handle path
+// is measured, not asserted.
 #include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <string>
 
 #include "cpu/core.h"
 #include "mach/machine_config.h"
 #include "mem/cache.h"
 #include "mem/hierarchy.h"
+#include "simkit/event_log.h"
 #include "simkit/event_queue.h"
 #include "simkit/rng.h"
+#include "simkit/telemetry.h"
 #include "workload/synthetic.h"
+
+// Heap-allocation counter.  Replacing operator new/delete in this TU
+// intercepts every allocation in the process, so benches can report the
+// allocations their hot path performs per iteration.
+namespace {
+std::atomic<std::size_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
 
 namespace {
 
 using namespace fvsst;
+
+/// Wraps a benchmark loop body with the allocation counter and reports
+/// allocs/iter alongside the timing.
+template <typename Fn>
+void with_alloc_counter(benchmark::State& state, Fn&& body) {
+  const std::size_t before = g_allocs.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    body();
+  }
+  const std::size_t after = g_allocs.load(std::memory_order_relaxed);
+  state.counters["allocs/iter"] = benchmark::Counter(
+      static_cast<double>(after - before) /
+      static_cast<double>(state.iterations()));
+}
 
 void BM_RngNextU64(benchmark::State& state) {
   sim::Rng rng(1);
@@ -99,6 +150,124 @@ void BM_CoreSimulatedSecond(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoreSimulatedSecond);
+
+// ---- Metric registry: string keys vs interned handles ---------------------
+
+void BM_RegistrySeriesByString(benchmark::State& state) {
+  sim::MetricRegistry reg;
+  // A realistic registry: the per-CPU series of a 16-CPU daemon.
+  for (int c = 0; c < 16; ++c) {
+    const std::string prefix = "cpu" + std::to_string(c) + "/";
+    for (const char* name :
+         {"granted_hz", "desired_hz", "predicted_ipc", "measured_ipc",
+          "ipc_deviation"}) {
+      reg.series(prefix + name);
+    }
+  }
+  double t = 0.0;
+  with_alloc_counter(state, [&] {
+    // What the pre-handle hot loop did every sample: rebuild the key,
+    // hash it, then append.
+    reg.series("cpu7/granted_hz").add(t, 1e9);
+    t += 0.01;
+  });
+}
+BENCHMARK(BM_RegistrySeriesByString);
+
+void BM_RegistrySeriesByHandle(benchmark::State& state) {
+  sim::MetricRegistry reg;
+  for (int c = 0; c < 16; ++c) {
+    const std::string prefix = "cpu" + std::to_string(c) + "/";
+    for (const char* name :
+         {"granted_hz", "desired_hz", "predicted_ipc", "measured_ipc",
+          "ipc_deviation"}) {
+      reg.series(prefix + name);
+    }
+  }
+  const sim::MetricId id = reg.intern_series("cpu7/granted_hz");
+  sim::TimeSeries& series = reg.series(id);
+  double t = 0.0;
+  with_alloc_counter(state, [&] {
+    series.add(t, 1e9);
+    t += 0.01;
+  });
+}
+BENCHMARK(BM_RegistrySeriesByHandle);
+
+void BM_RegistryCounterByString(benchmark::State& state) {
+  sim::MetricRegistry reg;
+  for (int i = 0; i < 32; ++i) reg.counter("loop/c" + std::to_string(i));
+  with_alloc_counter(state,
+                     [&] { benchmark::DoNotOptimize(++reg.counter(
+                           "loop/cycles")); });
+}
+BENCHMARK(BM_RegistryCounterByString);
+
+void BM_RegistryCounterByHandle(benchmark::State& state) {
+  sim::MetricRegistry reg;
+  for (int i = 0; i < 32; ++i) reg.counter("loop/c" + std::to_string(i));
+  const sim::CounterId id = reg.intern_counter("loop/cycles");
+  with_alloc_counter(state,
+                     [&] { benchmark::DoNotOptimize(++reg.counter(id)); });
+}
+BENCHMARK(BM_RegistryCounterByHandle);
+
+// ---- Journal: event append and JSONL serialization ------------------------
+
+sim::Event sample_decision(double t) {
+  sim::Event e;
+  e.t = t;
+  e.type = sim::EventType::kDecision;
+  e.cpu = 3;
+  e.set("granted_hz", 1.1e9)
+      .set("desired_hz", 1.3e9)
+      .set("predicted_ipc", 0.91)
+      .set("volts", 1.26);
+  return e;
+}
+
+void BM_JournalPush(benchmark::State& state) {
+  sim::EventLog log;
+  double t = 0.0;
+  with_alloc_counter(state, [&] {
+    log.push(sample_decision(t));
+    t += 0.01;
+    if (log.size() > 65536) log.clear();
+  });
+}
+BENCHMARK(BM_JournalPush);
+
+void BM_JournalSerializeEvent(benchmark::State& state) {
+  const sim::Event e = sample_decision(1.23);
+  std::string buf;
+  with_alloc_counter(state, [&] {
+    buf.clear();
+    sim::append_event_jsonl(buf, e);
+    benchmark::DoNotOptimize(buf.data());
+  });
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_JournalSerializeEvent);
+
+void BM_JournalStreamWrite(benchmark::State& state) {
+  // Steady-state streaming: push into a log drained by a stream writer, so
+  // the in-memory tail stays at one event regardless of run length.
+  std::ostringstream sink;
+  sim::JsonlStreamWriter writer(sink);
+  sim::EventLog log;
+  log.stream_to(&writer);
+  double t = 0.0;
+  with_alloc_counter(state, [&] {
+    log.push(sample_decision(t));
+    t += 0.01;
+    if (sink.tellp() > (1 << 22)) {
+      sink.str({});
+      sink.clear();
+    }
+  });
+}
+BENCHMARK(BM_JournalStreamWrite);
 
 }  // namespace
 

@@ -71,3 +71,14 @@ cmake --build "${asan_dir}" -j "$(nproc)" --target \
   test_determinism test_failover bench_abl_failover fvsst_sim fvsst_inspect
 FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${asan_dir}" --output-on-failure \
   -R 'chaos|scheduler_properties|event_log|control_loop|determinism|failover|cli_fault_plan'
+
+# Thread-sanitizer gate: rebuild with TSan and run the parallel-stepper
+# suite plus the scale-sweep smoke — the only code that shares simulation
+# state across threads, so the only code TSan can vet.
+tsan_dir="${build_dir}-tsan"
+cmake -S "${repo_root}" -B "${tsan_dir}" "${generator[@]}" \
+  -DFVSST_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "${tsan_dir}" -j "$(nproc)" --target \
+  test_parallel_stepper bench_scale
+ctest --test-dir "${tsan_dir}" --output-on-failure -R 'parallel_stepper'
+"${tsan_dir}/bench/bench_scale" --smoke

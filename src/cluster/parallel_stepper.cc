@@ -1,0 +1,62 @@
+#include "cluster/parallel_stepper.h"
+
+namespace fvsst::cluster {
+
+StepPool::StepPool(int threads) : threads_(threads < 1 ? 1 : threads) {
+  workers_.reserve(threads_ > 1 ? static_cast<std::size_t>(threads_ - 1) : 0);
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back(
+        [this, w] { worker_main(static_cast<std::size_t>(w)); });
+  }
+}
+
+StepPool::~StepPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void StepPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    fn_ = &fn;
+    outstanding_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // The caller is worker 0, processing its own fixed partition while the
+  // pool covers the rest.
+  const auto stride = static_cast<std::size_t>(threads_);
+  for (std::size_t i = 0; i < n; i += stride) fn(i);
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  fn_ = nullptr;
+}
+
+void StepPool::worker_main(std::size_t worker) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::size_t n = n_;
+    const auto* fn = fn_;
+    lock.unlock();
+    const auto stride = static_cast<std::size_t>(threads_);
+    for (std::size_t i = worker; i < n; i += stride) (*fn)(i);
+    lock.lock();
+    if (--outstanding_ == 0) done_cv_.notify_one();
+  }
+}
+
+}  // namespace fvsst::cluster

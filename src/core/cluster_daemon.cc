@@ -61,9 +61,18 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
         est_opts, sim_.now());
     agent->first_cpu = flat;
     flat += agent->sampler.cpu_count();
-    agent->tick_event =
-        sim_.schedule_every(config_.t_sample_s, [this, n] { node_tick(n); });
     agents_.push_back(std::move(agent));
+  }
+  // One merged clock for every node's tick.  The agents share a period and
+  // phase, so N periodic events collapse into one whose action runs the
+  // node ticks in node order — the same execution order the per-node
+  // events produced (when-then-seq FIFO kept coincident ticks in node
+  // order) — and gives the parallel stepper a single point to pre-sync all
+  // live nodes' cores before any tick commits.
+  agents_tick_event_ =
+      sim_.schedule_every(config_.t_sample_s, [this] { agents_tick(); });
+  if (config_.step_threads > 1) {
+    step_pool_ = std::make_unique<cluster::StepPool>(config_.step_threads);
   }
 
   const double period =
@@ -116,8 +125,8 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
     standby_ =
         std::make_unique<Coordinator>(make_wiring(1, false, default_table_));
   }
-  power_trace_ =
-      &telemetry_.series("cluster/scheduled_power_w", "scheduled_cpu_power_w");
+  power_trace_ = &telemetry_.series(telemetry_.intern_series(
+      "cluster/scheduled_power_w", "scheduled_cpu_power_w"));
 
   budget_.on_change([this](double limit) {
     if (config_.journal) {
@@ -155,7 +164,7 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
 }
 
 ClusterDaemon::~ClusterDaemon() {
-  for (auto& agent : agents_) sim_.cancel(agent->tick_event);
+  sim_.cancel(agents_tick_event_);
   sim_.cancel(global_event_);
   if (monitor_event_) sim_.cancel(monitor_event_);
 }
@@ -196,6 +205,42 @@ std::size_t ClusterDaemon::failsafe_node_count() const {
   std::size_t n = 0;
   for (char f : node_failsafe_) n += f ? 1 : 0;
   return n;
+}
+
+void ClusterDaemon::agents_tick() {
+  if (step_pool_) {
+    // Parallel pre-sync: advance every live node's cores to the tick time
+    // before the serial commits below.  Each core is advanced to exactly
+    // the boundary the serial run would sync it to (node_tick's counter
+    // read), by code that touches only that core's own state, so the
+    // result is bit-identical — the per-core advance draws its noise at
+    // the same chunk boundaries either way.  Crashed nodes must be left
+    // alone: their agents skip sampling, so a sync here would insert a
+    // chunk boundary (and extra noise draws) the serial run never has.
+    // The crash predicate is evaluated on this thread; workers only read
+    // the result.
+    const double now = sim_.now();
+    node_skip_.assign(agents_.size(), 0);
+    if (config_.fault_plan) {
+      for (std::size_t n = 0; n < agents_.size(); ++n) {
+        if (config_.fault_plan->active(sim::FaultKind::kNodeCrash,
+                                       static_cast<int>(n), now)) {
+          node_skip_[n] = 1;
+        }
+      }
+    }
+    step_pool_->run(agents_.size(), [this](std::size_t n) {
+      if (node_skip_[n]) return;
+      auto& node = cluster_.node(n);
+      for (std::size_t c = 0; c < node.cpu_count(); ++c) {
+        node.core(c).read_counters();  // sync to now; the copy is discarded
+      }
+    });
+  }
+  // The ordered (node-id, tick) merge: journal events, channel sends and
+  // summary deliveries are all emitted here, on the simulation thread, in
+  // node order — byte-identical to a serial run at any thread count.
+  for (std::size_t n = 0; n < agents_.size(); ++n) node_tick(n);
 }
 
 void ClusterDaemon::node_tick(std::size_t node) {

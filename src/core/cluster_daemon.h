@@ -40,6 +40,7 @@
 #include "cluster/channel.h"
 #include "cluster/cluster.h"
 #include "cluster/election.h"
+#include "cluster/parallel_stepper.h"
 #include "core/control_loop.h"
 #include "core/coordinator.h"
 #include "core/scheduler.h"
@@ -84,6 +85,15 @@ struct ClusterDaemonConfig {
   /// Coordinator high availability (standby election, epoch fencing,
   /// node-local fail-safe).  Defaults keep everything off.
   FailoverConfig failover;
+  /// Worker threads for the deterministic parallel node stepper.  At every
+  /// node-tick instant the live nodes' core models are advanced to the
+  /// tick time on a fixed partition of this many threads *before* the
+  /// serial, node-ordered tick commits run.  Any value produces
+  /// bit-identical journals, telemetry and schedules to 1 (the default):
+  /// parallelism only relocates the pure per-core state advance, never the
+  /// ordered event processing, and each core is advanced to exactly the
+  /// sync boundaries the serial run would use.
+  int step_threads = 1;
 };
 
 /// Global scheduler plus one agent per node.
@@ -187,7 +197,6 @@ class ClusterDaemon {
     /// Latest local views; shipped wholesale as the summary message.
     std::vector<ProcView> views;
     std::size_t first_cpu = 0;  ///< Flattened index of this node's cpu 0.
-    sim::EventId tick_event = 0;
     int samples = 0;
   };
 
@@ -200,6 +209,7 @@ class ClusterDaemon {
 
   Coordinator::Wiring make_wiring(int id, bool initially_leader,
                                   const mach::FrequencyTable& table);
+  void agents_tick();
   void node_tick(std::size_t node);
   void node_failsafe_tick(std::size_t node);
   double node_failsafe_hz(std::size_t node) const;
@@ -237,8 +247,14 @@ class ClusterDaemon {
   bool protocol_visible_ = false;
   std::unique_ptr<Coordinator> primary_;
   std::unique_ptr<Coordinator> standby_;  ///< Null unless configured.
+  sim::EventId agents_tick_event_ = 0;  ///< The merged per-node tick clock.
   sim::EventId global_event_ = 0;   ///< The global scheduler's own timer.
   sim::EventId monitor_event_ = 0;  ///< Heartbeat/election clock (standby).
+  /// Worker pool for the parallel pre-sync; null when step_threads <= 1.
+  std::unique_ptr<cluster::StepPool> step_pool_;
+  /// Scratch, sized per tick on the simulation thread: nodes whose crash
+  /// fault is active (their cores must not gain a sync boundary).
+  std::vector<char> node_skip_;
   double last_trigger_time_ = -1.0;
   double last_applied_time_ = -1.0;
   std::size_t pending_trigger_applies_ = 0;

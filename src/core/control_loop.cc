@@ -58,13 +58,18 @@ ControlLoop::ControlLoop(ControlLoopConfig config,
       const std::string suffix =
           nm.append_cpu_index ? std::to_string(i) : std::string();
       auto& st = states_[i];
-      st.granted = &telemetry_->series(prefix + "granted_hz", nm.granted + suffix);
-      st.desired = &telemetry_->series(prefix + "desired_hz", nm.desired + suffix);
-      st.pred_ipc =
-          &telemetry_->series(prefix + "predicted_ipc", nm.predicted_ipc + suffix);
-      st.meas_ipc =
-          &telemetry_->series(prefix + "measured_ipc", nm.measured_ipc + suffix);
-      st.dev = &telemetry_->series(prefix + "ipc_deviation", nm.deviation + suffix);
+      // One-time interning: the hot loop appends through these pointers
+      // and never touches the registry's hash map again.
+      st.granted = &telemetry_->series(
+          telemetry_->intern_series(prefix + "granted_hz", nm.granted + suffix));
+      st.desired = &telemetry_->series(
+          telemetry_->intern_series(prefix + "desired_hz", nm.desired + suffix));
+      st.pred_ipc = &telemetry_->series(telemetry_->intern_series(
+          prefix + "predicted_ipc", nm.predicted_ipc + suffix));
+      st.meas_ipc = &telemetry_->series(telemetry_->intern_series(
+          prefix + "measured_ipc", nm.measured_ipc + suffix));
+      st.dev = &telemetry_->series(telemetry_->intern_series(
+          prefix + "ipc_deviation", nm.deviation + suffix));
     }
   }
   if (config_.journal) {
@@ -403,28 +408,56 @@ std::size_t ControlLoop::retrying_cpu_count() const {
 
 void ControlLoop::publish_timings() {
   if (!telemetry_) return;
-  auto put = [this](const char* name, double value) {
-    telemetry_->counter(std::string("loop/") + name) = value;
-  };
-  put("cycles", static_cast<double>(cycles_run_));
-  put("sample_count", static_cast<double>(timings_.sample.invocations));
-  put("sample_s", timings_.sample.total_s);
-  put("estimate_count", static_cast<double>(timings_.estimate.invocations));
-  put("estimate_s", timings_.estimate.total_s);
-  put("policy_count", static_cast<double>(timings_.policy.invocations));
-  put("policy_s", timings_.policy.total_s);
-  put("actuate_count", static_cast<double>(timings_.actuate.invocations));
-  put("actuate_s", timings_.actuate.total_s);
-  const auto put_quantiles = [&](const char* stage, const StageTiming& t) {
+  if (!timing_ids_.base_resolved) {
+    timing_ids_.cycles = telemetry_->intern_counter("loop/cycles");
+    timing_ids_.sample_count = telemetry_->intern_counter("loop/sample_count");
+    timing_ids_.sample_s = telemetry_->intern_counter("loop/sample_s");
+    timing_ids_.estimate_count =
+        telemetry_->intern_counter("loop/estimate_count");
+    timing_ids_.estimate_s = telemetry_->intern_counter("loop/estimate_s");
+    timing_ids_.policy_count = telemetry_->intern_counter("loop/policy_count");
+    timing_ids_.policy_s = telemetry_->intern_counter("loop/policy_s");
+    timing_ids_.actuate_count =
+        telemetry_->intern_counter("loop/actuate_count");
+    timing_ids_.actuate_s = telemetry_->intern_counter("loop/actuate_s");
+    timing_ids_.base_resolved = true;
+  }
+  sim::MetricRegistry& reg = *telemetry_;
+  reg.counter(timing_ids_.cycles) = static_cast<double>(cycles_run_);
+  reg.counter(timing_ids_.sample_count) =
+      static_cast<double>(timings_.sample.invocations);
+  reg.counter(timing_ids_.sample_s) = timings_.sample.total_s;
+  reg.counter(timing_ids_.estimate_count) =
+      static_cast<double>(timings_.estimate.invocations);
+  reg.counter(timing_ids_.estimate_s) = timings_.estimate.total_s;
+  reg.counter(timing_ids_.policy_count) =
+      static_cast<double>(timings_.policy.invocations);
+  reg.counter(timing_ids_.policy_s) = timings_.policy.total_s;
+  reg.counter(timing_ids_.actuate_count) =
+      static_cast<double>(timings_.actuate.invocations);
+  reg.counter(timing_ids_.actuate_s) = timings_.actuate.total_s;
+  const auto put_quantiles = [&reg, this](TimingCounterIds::Quantiles& q,
+                                          const char* stage,
+                                          const StageTiming& t) {
     if (!t.samples.count()) return;
-    put((std::string(stage) + "_p50_s").c_str(), t.quantile_s(0.50));
-    put((std::string(stage) + "_p95_s").c_str(), t.quantile_s(0.95));
-    put((std::string(stage) + "_p99_s").c_str(), t.quantile_s(0.99));
+    if (!q.resolved) {
+      // Resolved at the first publish where the stage has samples — the
+      // same gate the string path applied per cycle — so a stage that
+      // never runs never registers its trio.
+      const std::string base = std::string("loop/") + stage;
+      q.p50 = telemetry_->intern_counter(base + "_p50_s");
+      q.p95 = telemetry_->intern_counter(base + "_p95_s");
+      q.p99 = telemetry_->intern_counter(base + "_p99_s");
+      q.resolved = true;
+    }
+    reg.counter(q.p50) = t.quantile_s(0.50);
+    reg.counter(q.p95) = t.quantile_s(0.95);
+    reg.counter(q.p99) = t.quantile_s(0.99);
   };
-  put_quantiles("sample", timings_.sample);
-  put_quantiles("estimate", timings_.estimate);
-  put_quantiles("policy", timings_.policy);
-  put_quantiles("actuate", timings_.actuate);
+  put_quantiles(timing_ids_.sample, "sample", timings_.sample);
+  put_quantiles(timing_ids_.estimate, "estimate", timings_.estimate);
+  put_quantiles(timing_ids_.policy, "policy", timings_.policy);
+  put_quantiles(timing_ids_.actuate, "actuate", timings_.actuate);
 }
 
 const sim::RunningStat& ControlLoop::deviation_stat(std::size_t cpu) const {

@@ -337,6 +337,23 @@ class ControlLoop {
     sim::TimeSeries* dev = nullptr;
   };
 
+  /// Interned handles for the loop/* timing counters.  Base counters
+  /// resolve at the first publish and each stage's quantile trio at the
+  /// first publish where that stage has samples — the same lazy gating the
+  /// string-keyed path had, so counter registration order (and with it
+  /// every counters.csv / JSONL export) is unchanged, while steady-state
+  /// publishes do no string building or hashing.
+  struct TimingCounterIds {
+    bool base_resolved = false;
+    sim::CounterId cycles, sample_count, sample_s, estimate_count,
+        estimate_s, policy_count, policy_s, actuate_count, actuate_s;
+    struct Quantiles {
+      bool resolved = false;
+      sim::CounterId p50, p95, p99;
+    };
+    Quantiles sample, estimate, policy, actuate;
+  };
+
   /// Bounded retry of one CPU's rejected write, escalating to the f_min
   /// fail-safe once the retry budget is spent.
   struct RetryState {
@@ -378,6 +395,7 @@ class ControlLoop {
   std::size_t cycles_run_ = 0;
   ScheduleResult last_result_;
   ControlLoopTimings timings_;
+  TimingCounterIds timing_ids_;
 };
 
 // ---------------------------------------------------------------------------

@@ -88,6 +88,10 @@ Event& EventLog::append(double t, EventType type, int cpu) {
 }
 
 void EventLog::push(Event event) {
+  // A new append finalizes every earlier event's payload (the fluent .set
+  // chain only ever touches the newest), so the pending tail can be sealed
+  // into the stream now.
+  if (stream_) seal_into_stream();
   if (capacity_ > 0 && events_.size() >= capacity_) {
     events_.pop_front();
     ++dropped_;
@@ -95,9 +99,40 @@ void EventLog::push(Event event) {
   events_.push_back(std::move(event));
 }
 
+void EventLog::stream_to(JsonlStreamWriter* writer) {
+  if (writer && capacity_ > 0) {
+    throw std::logic_error(
+        "EventLog::stream_to: a capped ring buffer cannot stream (events "
+        "already written cannot be dropped)");
+  }
+  stream_ = writer;
+  // Everything but the newest event is already final; hand it over so the
+  // in-memory tail shrinks to at most one event immediately.
+  while (stream_ && events_.size() > 1) {
+    stream_->write(events_.front());
+    events_.pop_front();
+    ++streamed_;
+  }
+}
+
+void EventLog::flush_stream() {
+  if (!stream_) return;
+  seal_into_stream();
+  stream_->flush();
+}
+
+void EventLog::seal_into_stream() {
+  while (!events_.empty()) {
+    stream_->write(events_.front());
+    events_.pop_front();
+    ++streamed_;
+  }
+}
+
 void EventLog::clear() {
   events_.clear();
   dropped_ = 0;
+  streamed_ = 0;
 }
 
 // ---------------------------------------------------------------------------
@@ -117,29 +152,98 @@ void write_number(std::ostream& out, double v) {
   out.write(buf, res.ptr - buf);
 }
 
+void append_number(std::string& out, double v) {
+  if (std::isnan(v)) v = 0.0;
+  v = std::clamp(v, -std::numeric_limits<double>::max(),
+                 std::numeric_limits<double>::max());
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+// String-buffer twin of write_json_string; the two must escape
+// identically for the streamed and end-of-run journals to match.
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          const auto u = static_cast<unsigned char>(c);
+          out += "\\u00";
+          out += hex[u >> 4];
+          out += hex[u & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
 }  // namespace
 
-void write_jsonl(std::ostream& out, const EventLog& log) {
-  for (const Event& e : log.events()) {
-    out << "{\"t\":";
-    write_number(out, e.t);
-    out << ",\"type\":";
-    write_json_string(out, event_type_name(e.type));
-    if (e.cpu >= 0) out << ",\"cpu\":" << e.cpu;
-    for (const auto& [key, value] : e.num) {
-      out << ',';
-      write_json_string(out, key);
-      out << ':';
-      write_number(out, value);
-    }
-    for (const auto& [key, value] : e.str) {
-      out << ',';
-      write_json_string(out, key);
-      out << ':';
-      write_json_string(out, value);
-    }
-    out << "}\n";
+void append_event_jsonl(std::string& out, const Event& e) {
+  out += "{\"t\":";
+  append_number(out, e.t);
+  out += ",\"type\":";
+  append_json_string(out, event_type_name(e.type));
+  if (e.cpu >= 0) {
+    out += ",\"cpu\":";
+    char buf[16];
+    const auto res = std::to_chars(buf, buf + sizeof buf, e.cpu);
+    out.append(buf, res.ptr);
   }
+  for (const auto& [key, value] : e.num) {
+    out += ',';
+    append_json_string(out, key);
+    out += ':';
+    append_number(out, value);
+  }
+  for (const auto& [key, value] : e.str) {
+    out += ',';
+    append_json_string(out, key);
+    out += ':';
+    append_json_string(out, value);
+  }
+  out += "}\n";
+}
+
+void write_jsonl(std::ostream& out, const EventLog& log) {
+  std::string buf;
+  for (const Event& e : log.events()) {
+    buf.clear();
+    append_event_jsonl(buf, e);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+}
+
+JsonlStreamWriter::JsonlStreamWriter(std::ostream& out,
+                                     std::size_t flush_bytes)
+    : out_(out), flush_bytes_(flush_bytes) {
+  buffer_.reserve(flush_bytes_ + 256);
+}
+
+JsonlStreamWriter::~JsonlStreamWriter() { flush(); }
+
+void JsonlStreamWriter::write(const Event& e) {
+  append_event_jsonl(buffer_, e);
+  ++events_;
+  if (buffer_.size() >= flush_bytes_) flush();
+}
+
+void JsonlStreamWriter::flush() {
+  if (buffer_.empty()) return;
+  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  buffer_.clear();
 }
 
 namespace {
@@ -309,23 +413,23 @@ bool is_blank(const std::string& line) {
 
 }  // namespace
 
-EventLog read_jsonl(std::istream& in) {
-  EventLog log;
+std::size_t for_each_jsonl(std::istream& in,
+                           const std::function<void(Event&&)>& fn,
+                           JsonlReadReport* report) {
+  std::size_t delivered = 0;
   std::string line;
   std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (is_blank(line)) continue;
-    log.push(LineParser(line, line_no).parse());
+  if (!report) {
+    // Strict contract: any malformed line throws immediately.
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (is_blank(line)) continue;
+      fn(LineParser(line, line_no).parse());
+      ++delivered;
+    }
+    return delivered;
   }
-  return log;
-}
-
-EventLog read_jsonl(std::istream& in, JsonlReadReport* report) {
-  if (report) *report = {};
-  EventLog log;
-  std::string line;
-  std::size_t line_no = 0;
+  *report = {};
   // Hold each parsed line until we know another non-blank line follows: a
   // failure with more data behind it is mid-file corruption (still thrown),
   // a failure on the last line is a torn tail (reported, not thrown).
@@ -335,7 +439,8 @@ EventLog read_jsonl(std::istream& in, JsonlReadReport* report) {
     ++line_no;
     if (is_blank(line)) continue;
     if (held) {
-      log.push(*std::move(held));
+      fn(*std::move(held));
+      ++delivered;
       held.reset();
     } else if (!held_error.empty()) {
       throw std::runtime_error(held_error);  // corruption before the tail
@@ -347,13 +452,26 @@ EventLog read_jsonl(std::istream& in, JsonlReadReport* report) {
     }
   }
   if (held) {
-    log.push(*std::move(held));
+    fn(*std::move(held));
+    ++delivered;
   } else if (!held_error.empty()) {
-    if (report) {
-      report->torn_tail = true;
-      report->error = held_error;
-    }
+    report->torn_tail = true;
+    report->error = held_error;
   }
+  return delivered;
+}
+
+EventLog read_jsonl(std::istream& in) {
+  EventLog log;
+  for_each_jsonl(in, [&log](Event&& e) { log.push(std::move(e)); });
+  return log;
+}
+
+EventLog read_jsonl(std::istream& in, JsonlReadReport* report) {
+  EventLog log;
+  JsonlReadReport local;
+  for_each_jsonl(in, [&log](Event&& e) { log.push(std::move(e)); },
+                 report ? report : &local);
   return log;
 }
 
@@ -597,223 +715,239 @@ std::string at_time(double t) {
   return " at t=" + std::string(buf, res.ptr) + "s";
 }
 
+constexpr double kPowerTolW = 1e-6;
+constexpr double kVoltTol = 1e-9;
+
 }  // namespace
 
-JournalCheckReport check_journal(const EventLog& log) {
-  JournalCheckReport report;
-  constexpr double kPowerTolW = 1e-6;
-  constexpr double kVoltTol = 1e-9;
+void JournalChecker::observe(const Event& e) {
+  switch (e.type) {
+    case EventType::kRunMeta:
+      // First run_meta wins, matching the historical whole-journal scan.
+      if (!have_meta_) {
+        have_meta_ = true;
+        meta_t_sample_ = e.num_or("t_sample_s");
+        meta_multiplier_ = e.num_or("multiplier");
+        meta_t_restarts_ = e.num_or("t_restarts");
+        meta_failover_window_ = e.num_or("failover_window_s");
+      }
+      return;
 
-  // 1. Budget compliance: whenever the scheduler claims feasibility, the
-  //    total it granted must fit under the budget it was given.
-  for (const Event& e : log.events()) {
-    if (e.type != EventType::kActuation || e.find_str("stage")) continue;
-    ++report.checks_run;
-    const double total = e.num_or("total_power_w");
-    const double budget = e.num_or("budget_w",
-                                   std::numeric_limits<double>::max());
-    if (e.num_or("feasible", 1.0) != 0.0 && total > budget + kPowerTolW) {
-      report.violations.push_back(
-          "feasible actuation exceeds budget" + at_time(e.t) + ": " +
-          std::to_string(total) + " W > " + std::to_string(budget) + " W");
-    }
-  }
+    case EventType::kTablePoint:
+      tables_[e.cpu][e.num_or("hz")] = e.num_or("volts");
+      return;
 
-  // 2. Voltage is the table minimum for every granted frequency.
-  std::map<int, std::map<double, const Event*>> tables;
-  for (const Event& e : log.events()) {
-    if (e.type == EventType::kTablePoint) {
-      tables[e.cpu][e.num_or("hz")] = &e;
-    }
-  }
-  if (tables.empty()) {
-    report.skipped.push_back(
-        "voltage-table check: no table_point events in journal");
-  } else {
-    for (const Event& e : log.events()) {
-      if (e.type != EventType::kDecision) continue;
-      const auto table_it = tables.find(e.cpu);
-      if (table_it == tables.end()) continue;
-      ++report.checks_run;
+    case EventType::kDecision: {
+      // 2. Voltage is the table minimum for every granted frequency.
+      const auto table_it = tables_.find(e.cpu);
+      if (table_it == tables_.end()) return;
+      ++checks_run_;
       const double hz = e.num_or("granted_hz");
       const auto point_it = table_it->second.find(hz);
       if (point_it == table_it->second.end()) {
-        report.violations.push_back(
+        voltage_violations_.push_back(
             "cpu" + std::to_string(e.cpu) + " granted " +
             std::to_string(hz / 1e6) + " MHz" + at_time(e.t) +
             ", not an operating point of its table");
-        continue;
+        return;
       }
-      const double table_volts = point_it->second->num_or("volts");
+      const double table_volts = point_it->second;
       if (std::abs(e.num_or("volts") - table_volts) > kVoltTol) {
-        report.violations.push_back(
+        voltage_violations_.push_back(
             "cpu" + std::to_string(e.cpu) + at_time(e.t) + ": voltage " +
             std::to_string(e.num_or("volts")) + " V is not the table minimum " +
             std::to_string(table_volts) + " V for its granted frequency");
       }
+      return;
     }
-  }
 
-  // 3. T restarts after a budget trigger (only meaningful for daemons with
-  //    tick-counted periods, declared via run_meta t_restarts = 1).
-  const Event* meta = nullptr;
-  for (const Event& e : log.events()) {
-    if (e.type == EventType::kRunMeta) {
-      meta = &e;
-      break;
+    case EventType::kCycleStart: {
+      // 3. Record each budget-cycle -> next-timer-cycle gap; judged at
+      //    finish() once we know whether the journal declares a
+      //    tick-counted period (there is one gap per budget trigger, so
+      //    this list stays tiny).
+      const std::string* trigger = e.find_str("trigger");
+      if (!trigger) return;
+      if (*trigger == "budget") {
+        pending_budget_cycle_t_ = e.t;
+      } else if (*trigger == "timer" && pending_budget_cycle_t_ >= 0.0) {
+        restart_gaps_.emplace_back(pending_budget_cycle_t_, e.t);
+        pending_budget_cycle_t_ = -1.0;
+      }
+      return;
     }
+
+    case EventType::kEpochChange: {
+      // 4. Announced epochs never regress.
+      any_epoch_data_ = true;
+      saw_announcement_ = true;
+      ++checks_run_;
+      const double epoch = e.num_or("epoch");
+      if (epoch < last_announced_) {
+        epoch_violations_.push_back(
+            "epoch regressed" + at_time(e.t) + ": coordinator " +
+            std::to_string(static_cast<int>(e.num_or("coordinator", -1.0))) +
+            " announced epoch " + std::to_string(epoch) + " after epoch " +
+            std::to_string(last_announced_));
+      }
+      last_announced_ = std::max(last_announced_, epoch);
+      max_announced_ = std::max(max_announced_, epoch);
+      return;
+    }
+
+    case EventType::kBudgetChange: {
+      // 5. A newer limit supersedes (and closes) any open window; a drop
+      //    opens the next one.
+      const double budget = e.num_or("budget_w");
+      if (window_open_) {
+        window_open_ = false;
+        ++checks_run_;
+      }
+      const bool drop = prev_budget_ >= 0.0 && budget < prev_budget_;
+      prev_budget_ = budget;
+      if (drop && have_meta_ && meta_failover_window_ > 0.0) {
+        window_open_ = true;
+        window_t_ = e.t;
+        window_deadline_ = e.t + meta_failover_window_;
+        window_budget_ = budget;
+      }
+      return;
+    }
+
+    case EventType::kActuation: {
+      const std::string* stage = e.find_str("stage");
+      if (!stage) {
+        // 1. Budget compliance: whenever the scheduler claims
+        //    feasibility, the total it granted must fit under the budget
+        //    it was given.
+        ++checks_run_;
+        const double total = e.num_or("total_power_w");
+        const double budget =
+            e.num_or("budget_w", std::numeric_limits<double>::max());
+        if (e.num_or("feasible", 1.0) != 0.0 && total > budget + kPowerTolW) {
+          budget_violations_.push_back(
+              "feasible actuation exceeds budget" + at_time(e.t) + ": " +
+              std::to_string(total) + " W > " + std::to_string(budget) +
+              " W");
+        }
+        return;
+      }
+      if (*stage != "node_apply") return;
+      // 4. Per-node applied epochs never regress and never come from an
+      //    unannounced epoch.
+      if (e.has_num("epoch")) {
+        any_epoch_data_ = true;
+        ++checks_run_;
+        const double epoch = e.num_or("epoch");
+        const int node = static_cast<int>(e.num_or("node", -1.0));
+        auto [it, inserted] = node_epoch_.try_emplace(node, epoch);
+        if (!inserted) {
+          if (epoch < it->second) {
+            epoch_violations_.push_back(
+                "node" + std::to_string(node) + at_time(e.t) +
+                " applied settings from deposed epoch " +
+                std::to_string(epoch) + " after epoch " +
+                std::to_string(it->second));
+          }
+          it->second = std::max(it->second, epoch);
+        }
+        if (saw_announcement_ && epoch > max_announced_) {
+          epoch_violations_.push_back(
+              "node" + std::to_string(node) + at_time(e.t) +
+              " applied settings from unannounced epoch " +
+              std::to_string(epoch) + " (highest announced: " +
+              std::to_string(max_announced_) + ")");
+        }
+      }
+      // 5. The open window closes on the first node_apply past the
+      //    deadline (violation) or the first one back under the limit.
+      if (window_open_) {
+        if (e.t > window_deadline_) {
+          ++checks_run_;
+          failover_violations_.push_back(
+              "cluster still over the " + std::to_string(window_budget_) +
+              " W budget " + std::to_string(meta_failover_window_) +
+              "s after the drop" + at_time(window_t_) +
+              " (failover window missed)");
+          window_open_ = false;
+        } else if (e.num_or("cluster_power_w",
+                            std::numeric_limits<double>::max()) <=
+                   window_budget_ + kPowerTolW) {
+          ++checks_run_;
+          window_open_ = false;
+        }
+      }
+      return;
+    }
+
+    default:
+      return;
   }
-  const double t_sample = meta ? meta->num_or("t_sample_s") : 0.0;
-  const double multiplier = meta ? meta->num_or("multiplier") : 0.0;
-  if (!meta || meta->num_or("t_restarts") == 0.0 || t_sample <= 0.0 ||
-      multiplier <= 0.0) {
-    report.skipped.push_back(
-        "T-restart check: journal does not declare a tick-counted period");
-  } else {
+}
+
+JournalCheckReport JournalChecker::finish() {
+  JournalCheckReport report;
+  report.checks_run = checks_run_;
+
+  // 3. T restarts after a budget trigger (only meaningful for daemons
+  //    with tick-counted periods, declared via run_meta t_restarts = 1).
+  std::vector<std::string> restart_violations;
+  const bool declares_period = have_meta_ && meta_t_restarts_ != 0.0 &&
+                               meta_t_sample_ > 0.0 && meta_multiplier_ > 0.0;
+  if (declares_period) {
     // After a budget cycle the tick count restarts, so the next timer
     // cycle comes at least (n - 1) ticks later.
-    const double min_gap = (multiplier - 1.0) * t_sample - 1e-9;
-    const Event* pending_budget_cycle = nullptr;
-    for (const Event& e : log.events()) {
-      if (e.type != EventType::kCycleStart) continue;
-      const std::string* trigger = e.find_str("trigger");
-      if (!trigger) continue;
-      if (*trigger == "budget") {
-        pending_budget_cycle = &e;
-      } else if (*trigger == "timer" && pending_budget_cycle) {
-        ++report.checks_run;
-        if (e.t - pending_budget_cycle->t < min_gap) {
-          report.violations.push_back(
-              "timer cycle" + at_time(e.t) +
-              " fired only " + std::to_string(e.t - pending_budget_cycle->t) +
-              "s after the budget trigger" +
-              at_time(pending_budget_cycle->t) +
-              "; T did not restart");
-        }
-        pending_budget_cycle = nullptr;
-      }
-    }
-  }
-
-  // 4. Epoch fencing: coordinators only ever move forward through epochs,
-  //    every node's applied epoch is non-decreasing (no settings from a
-  //    deposed coordinator land), and nothing applies from an epoch no
-  //    coordinator announced.
-  {
-    bool any_epoch_data = false;
-    double last_announced = -1.0;
-    double max_announced = -1.0;
-    bool saw_announcement = false;
-    std::map<int, double> node_epoch;
-    for (const Event& e : log.events()) {
-      if (e.type == EventType::kEpochChange) {
-        any_epoch_data = true;
-        saw_announcement = true;
-        ++report.checks_run;
-        const double epoch = e.num_or("epoch");
-        if (epoch < last_announced) {
-          report.violations.push_back(
-              "epoch regressed" + at_time(e.t) + ": coordinator " +
-              std::to_string(static_cast<int>(e.num_or("coordinator", -1.0))) +
-              " announced epoch " + std::to_string(epoch) + " after epoch " +
-              std::to_string(last_announced));
-        }
-        last_announced = std::max(last_announced, epoch);
-        max_announced = std::max(max_announced, epoch);
-        continue;
-      }
-      if (e.type != EventType::kActuation) continue;
-      const std::string* stage = e.find_str("stage");
-      if (!stage || *stage != "node_apply" || !e.has_num("epoch")) continue;
-      any_epoch_data = true;
+    const double min_gap = (meta_multiplier_ - 1.0) * meta_t_sample_ - 1e-9;
+    for (const auto& [budget_t, timer_t] : restart_gaps_) {
       ++report.checks_run;
-      const double epoch = e.num_or("epoch");
-      const int node = static_cast<int>(e.num_or("node", -1.0));
-      auto [it, inserted] = node_epoch.try_emplace(node, epoch);
-      if (!inserted) {
-        if (epoch < it->second) {
-          report.violations.push_back(
-              "node" + std::to_string(node) + at_time(e.t) +
-              " applied settings from deposed epoch " + std::to_string(epoch) +
-              " after epoch " + std::to_string(it->second));
-        }
-        it->second = std::max(it->second, epoch);
+      if (timer_t - budget_t < min_gap) {
+        restart_violations.push_back(
+            "timer cycle" + at_time(timer_t) + " fired only " +
+            std::to_string(timer_t - budget_t) +
+            "s after the budget trigger" + at_time(budget_t) +
+            "; T did not restart");
       }
-      if (saw_announcement && epoch > max_announced) {
-        report.violations.push_back(
-            "node" + std::to_string(node) + at_time(e.t) +
-            " applied settings from unannounced epoch " +
-            std::to_string(epoch) + " (highest announced: " +
-            std::to_string(max_announced) + ")");
-      }
-    }
-    if (!any_epoch_data) {
-      report.skipped.push_back(
-          "epoch-fence check: no epoch data in journal");
     }
   }
 
-  // 5. Failover compliance: after every budget *drop* the cluster must be
-  //    back under the new limit within the failover window the run
-  //    declared (covering coordinator crashes in between — this is the
-  //    paper's cascade-deadline requirement restated over the journal).
-  const double failover_window =
-      meta ? meta->num_or("failover_window_s") : 0.0;
-  if (failover_window <= 0.0) {
+  // Skips and violations keep check_journal's historical 1..5 ordering.
+  if (tables_.empty()) {
+    report.skipped.push_back(
+        "voltage-table check: no table_point events in journal");
+  }
+  if (!declares_period) {
+    report.skipped.push_back(
+        "T-restart check: journal does not declare a tick-counted period");
+  }
+  if (!any_epoch_data_) {
+    report.skipped.push_back("epoch-fence check: no epoch data in journal");
+  }
+  if (!have_meta_ || meta_failover_window_ <= 0.0) {
     report.skipped.push_back(
         "failover-window check: journal does not declare failover_window_s");
-  } else {
-    const auto& events = log.events();
-    double prev_budget = -1.0;
-    for (std::size_t i = 0; i < events.size(); ++i) {
-      const Event& e = events[i];
-      if (e.type != EventType::kBudgetChange) continue;
-      const double budget = e.num_or("budget_w");
-      const bool drop = prev_budget >= 0.0 && budget < prev_budget;
-      prev_budget = budget;
-      if (!drop) continue;
-      const double deadline = e.t + failover_window;
-      bool compliant = false;
-      bool superseded = false;
-      bool past_deadline = false;
-      for (std::size_t j = i + 1; j < events.size(); ++j) {
-        const Event& f = events[j];
-        if (f.type == EventType::kBudgetChange) {
-          superseded = true;  // a newer limit owns the next window
-          break;
-        }
-        if (f.type != EventType::kActuation) continue;
-        const std::string* stage = f.find_str("stage");
-        if (!stage || *stage != "node_apply") continue;
-        if (f.t > deadline) {
-          past_deadline = true;
-          break;
-        }
-        if (f.num_or("cluster_power_w",
-                     std::numeric_limits<double>::max()) <=
-            budget + kPowerTolW) {
-          compliant = true;
-          break;
-        }
-      }
-      if (compliant || superseded) {
-        ++report.checks_run;
-      } else if (past_deadline) {
-        ++report.checks_run;
-        report.violations.push_back(
-            "cluster still over the " + std::to_string(budget) +
-            " W budget " + std::to_string(failover_window) +
-            "s after the drop" + at_time(e.t) +
-            " (failover window missed)");
-      } else {
-        report.skipped.push_back(
-            "failover-window check: journal ends inside the window of the "
-            "budget drop" + at_time(e.t));
-      }
-    }
+  } else if (window_open_) {
+    report.skipped.push_back(
+        "failover-window check: journal ends inside the window of the "
+        "budget drop" + at_time(window_t_));
+    window_open_ = false;
   }
 
+  const auto take = [&report](std::vector<std::string>& from) {
+    for (std::string& v : from) report.violations.push_back(std::move(v));
+    from.clear();
+  };
+  take(budget_violations_);
+  take(voltage_violations_);
+  take(restart_violations);
+  take(epoch_violations_);
+  take(failover_violations_);
   return report;
+}
+
+JournalCheckReport check_journal(const EventLog& log) {
+  JournalChecker checker;
+  for (const Event& e : log.events()) checker.observe(e);
+  return checker.finish();
 }
 
 // ---------------------------------------------------------------------------

@@ -26,7 +26,9 @@
 
 #include <cstddef>
 #include <deque>
+#include <functional>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -128,10 +130,45 @@ struct Event {
   const std::string* find_str(std::string_view key) const;
 };
 
+/// Appends `e`'s JSONL line (including the trailing newline) to `out` —
+/// the exact bytes write_jsonl emits for that event.  write_jsonl and
+/// JsonlStreamWriter both serialize through here, which is what makes the
+/// buffered streaming path byte-identical to the end-of-run export by
+/// construction.
+void append_event_jsonl(std::string& out, const Event& e);
+
+/// Buffered JSONL emitter: serializes events into an internal buffer and
+/// writes the underlying stream in `flush_bytes` chunks, so a scale run's
+/// journal costs one syscall per few hundred events instead of one per
+/// event.  flush() (also run by the destructor) drains the buffer.
+class JsonlStreamWriter {
+ public:
+  explicit JsonlStreamWriter(std::ostream& out,
+                             std::size_t flush_bytes = 64 * 1024);
+  ~JsonlStreamWriter();
+  JsonlStreamWriter(const JsonlStreamWriter&) = delete;
+  JsonlStreamWriter& operator=(const JsonlStreamWriter&) = delete;
+
+  void write(const Event& e);
+  void flush();
+  std::size_t events_written() const { return events_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t flush_bytes_;
+  std::string buffer_;
+  std::size_t events_ = 0;
+};
+
 /// Append-only journal, optionally bounded.  With capacity > 0 the log is a
 /// ring buffer: appending past capacity drops the oldest event (counted in
 /// dropped()).  References returned by append() stay valid until that event
 /// is itself dropped (storage is a deque).
+///
+/// Unbounded logs can instead stream: attach a JsonlStreamWriter and each
+/// event is serialized once its payload is final (when the next append
+/// arrives, or at flush_stream()) and released from memory, so an
+/// arbitrarily long run journals in O(1) space.
 class EventLog {
  public:
   /// `capacity` 0 keeps everything (unbounded).
@@ -144,6 +181,21 @@ class EventLog {
   /// Appends a fully built event (the JSONL reader's path).
   void push(Event event);
 
+  /// Streams every future event to `writer` (nullptr detaches).  Only the
+  /// newest, still-mutable event is retained in events(); each is sealed
+  /// and handed to the writer when the next append arrives.  Requires an
+  /// unbounded log: the ring's drop-oldest contract cannot be honoured
+  /// once bytes have left the process, so capacity > 0 throws.  Events
+  /// already in the log are sealed by the next append as usual.
+  void stream_to(JsonlStreamWriter* writer);
+
+  /// Seals any pending tail into the stream and flushes the writer; call
+  /// once the run is over.  No-op when not streaming.
+  void flush_stream();
+
+  /// Events handed to the streaming writer so far.
+  std::size_t streamed() const { return streamed_; }
+
   const std::deque<Event>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
   bool empty() const { return events_.empty(); }
@@ -153,8 +205,12 @@ class EventLog {
   void clear();
 
  private:
+  void seal_into_stream();
+
   std::size_t capacity_;
   std::size_t dropped_ = 0;
+  std::size_t streamed_ = 0;
+  JsonlStreamWriter* stream_ = nullptr;
   std::deque<Event> events_;
 };
 
@@ -185,6 +241,16 @@ struct JsonlReadReport {
 /// still throws — a torn tail is expected wear, a torn middle is not.
 EventLog read_jsonl(std::istream& in, JsonlReadReport* report);
 
+/// Streaming form of read_jsonl: invokes `fn` for each parsed event in
+/// file order without materializing an EventLog, so a multi-GB scale-run
+/// journal is inspected in bounded memory.  With `report` null any
+/// malformed line throws (the strict contract); with `report` non-null the
+/// tolerant torn-tail contract applies.  Returns the number of events
+/// delivered.
+std::size_t for_each_jsonl(std::istream& in,
+                           const std::function<void(Event&&)>& fn,
+                           JsonlReadReport* report = nullptr);
+
 /// Writes Chrome trace-event JSON (load in Perfetto or chrome://tracing).
 /// The timeline is simulated time in microseconds; each cycle's measured
 /// stage costs render as nested duration slices at the cycle instant,
@@ -198,6 +264,54 @@ struct JournalCheckReport {
   std::vector<std::string> skipped;         ///< Checks lacking data.
   std::vector<std::string> violations;
   bool ok() const { return violations.empty(); }
+};
+
+/// Incremental journal verifier: feed events in journal order (observe),
+/// then collect the report (finish).  State is O(1) in the journal length
+/// — the operating-point tables, a few per-node epoch scalars and the one
+/// open failover window — so multi-GB journals check in bounded memory
+/// (pair with for_each_jsonl).  The checks and their report wording are
+/// exactly check_journal's; the only caveat of the single pass is that
+/// events are judged against the metadata seen *so far*: a journal whose
+/// run_meta or table_point events trailed the decisions they govern would
+/// skip those early events, which no writer in this repo produces.
+class JournalChecker {
+ public:
+  void observe(const Event& e);
+  JournalCheckReport finish();
+
+ private:
+  std::size_t checks_run_ = 0;
+  // 1. Budget compliance.
+  std::vector<std::string> budget_violations_;
+  // 2. Voltage-table minimum: cpu -> hz -> table volts, grown as
+  //    table_point events arrive.
+  std::map<int, std::map<double, double>> tables_;
+  std::vector<std::string> voltage_violations_;
+  // 3. T-restart: (budget-cycle t, next timer-cycle t) gaps, judged at
+  //    finish() once the first run_meta has declared (or not) the period.
+  bool have_meta_ = false;
+  double meta_t_sample_ = 0.0;
+  double meta_multiplier_ = 0.0;
+  double meta_t_restarts_ = 0.0;
+  double meta_failover_window_ = 0.0;
+  double pending_budget_cycle_t_ = -1.0;
+  std::vector<std::pair<double, double>> restart_gaps_;
+  // 4. Epoch fencing.
+  bool any_epoch_data_ = false;
+  double last_announced_ = -1.0;
+  double max_announced_ = -1.0;
+  bool saw_announcement_ = false;
+  std::map<int, double> node_epoch_;
+  std::vector<std::string> epoch_violations_;
+  // 5. Failover window: at most one window is open at a time (a newer
+  //    budget change supersedes the previous window).
+  double prev_budget_ = -1.0;
+  bool window_open_ = false;
+  double window_t_ = 0.0;
+  double window_deadline_ = 0.0;
+  double window_budget_ = 0.0;
+  std::vector<std::string> failover_violations_;
 };
 
 /// Verifies scheduling invariants over a journal:
@@ -215,6 +329,7 @@ struct JournalCheckReport {
 ///   5. failover compliance (needs a kRunMeta with failover_window_s > 0):
 ///      after every budget drop, some node_apply shows aggregate cluster
 ///      power back under the new limit within the window.
+/// Convenience wrapper over JournalChecker for in-memory logs.
 JournalCheckReport check_journal(const EventLog& log);
 
 /// Outcome of diff_journals.

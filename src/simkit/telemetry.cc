@@ -33,18 +33,38 @@ void write_json_string(std::ostream& out, std::string_view s) {
   out << '"';
 }
 
-TimeSeries& MetricRegistry::series(const std::string& key,
-                                   const std::string& display_name) {
+MetricId MetricRegistry::intern_series(const std::string& key,
+                                       const std::string& display_name) {
+  ++map_lookups_;
   if (const auto it = series_index_.find(key); it != series_index_.end()) {
-    return series_storage_[it->second];
+    return MetricId{it->second};
   }
-  series_index_.emplace(key, series_storage_.size());
+  const std::size_t index = series_storage_.size();
+  series_index_.emplace(key, index);
   series_keys_.push_back(key);
   series_storage_.emplace_back(display_name.empty() ? key : display_name);
-  return series_storage_.back();
+  return MetricId{index};
+}
+
+CounterId MetricRegistry::intern_counter(const std::string& key) {
+  ++map_lookups_;
+  if (const auto it = counter_index_.find(key); it != counter_index_.end()) {
+    return CounterId{it->second};
+  }
+  const std::size_t index = counter_storage_.size();
+  counter_index_.emplace(key, index);
+  counter_keys_.push_back(key);
+  counter_storage_.push_back(0.0);
+  return CounterId{index};
+}
+
+TimeSeries& MetricRegistry::series(const std::string& key,
+                                   const std::string& display_name) {
+  return series(intern_series(key, display_name));
 }
 
 const TimeSeries* MetricRegistry::find_series(const std::string& key) const {
+  ++map_lookups_;
   const auto it = series_index_.find(key);
   return it == series_index_.end() ? nullptr : &series_storage_[it->second];
 }
@@ -55,16 +75,11 @@ const TimeSeries& MetricRegistry::at(const std::string& key) const {
 }
 
 double& MetricRegistry::counter(const std::string& key) {
-  if (const auto it = counter_index_.find(key); it != counter_index_.end()) {
-    return counter_storage_[it->second];
-  }
-  counter_index_.emplace(key, counter_storage_.size());
-  counter_keys_.push_back(key);
-  counter_storage_.push_back(0.0);
-  return counter_storage_.back();
+  return counter(intern_counter(key));
 }
 
 double MetricRegistry::counter_value(const std::string& key) const {
+  ++map_lookups_;
   const auto it = counter_index_.find(key);
   return it == counter_index_.end() ? 0.0 : counter_storage_[it->second];
 }

@@ -166,6 +166,25 @@ TEST(ControlLoopTimings, StagesAreCountedAndPublished) {
   EXPECT_DOUBLE_EQ(reg.counter_value("loop/policy_s"), t.policy.total_s);
 }
 
+TEST(ControlLoopTimings, SteadyStateLoopDoesNoRegistryLookups) {
+  // Regression guard for the interned-handle migration: after the first
+  // scheduling cycles have lazily resolved the loop/* counter handles
+  // (base counters on the first publish, each stage's quantile trio on its
+  // first nonempty sample set), the hot loop must never touch the
+  // registry's hash map again — no key rebuilding, no hashing, no
+  // allocation in steady state.
+  Rig rig;
+  rig.cluster.core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(50.0, 1e12));
+  FvsstDaemon daemon(rig.sim, rig.cluster, rig.machine.freq_table, rig.budget,
+                     DaemonConfig{});
+  rig.sim.run_for(0.301);  // warm-up: several full cycles
+  const std::uint64_t warm = daemon.telemetry().map_lookups();
+  rig.sim.run_for(1.0);
+  EXPECT_EQ(daemon.telemetry().map_lookups(), warm)
+      << "steady-state control loop performed registry hash-map lookups";
+}
+
 // --- Engine trace registry ------------------------------------------------
 
 TEST(ControlLoopTraces, RegistryKeysKeepLegacyDisplayNames) {

@@ -539,5 +539,129 @@ TEST(JournalDiff, DivergingBudgetsDetected) {
   EXPECT_GE(diff.first_divergence_cpu, 0);
 }
 
+// --- Streaming writer -----------------------------------------------------
+
+TEST(JsonlStream, StreamedBytesMatchEndOfRunExport) {
+  // Attach the stream before the run: every event travels through the
+  // writer incrementally, and the file must still be byte-identical to
+  // what write_jsonl would have produced from the full in-memory log.
+  const sim::EventLog reference = run_daemon_journal(/*explain=*/true);
+  std::ostringstream buffered;
+  sim::write_jsonl(buffered, reference);
+
+  std::ostringstream streamed;
+  {
+    sim::JsonlStreamWriter writer(streamed, /*flush_bytes=*/256);
+    sim::EventLog log;
+    log.stream_to(&writer);
+    for (const sim::Event& e : reference.events()) log.push(e);
+    log.flush_stream();
+    EXPECT_EQ(log.streamed(), reference.size());
+    EXPECT_LE(log.size(), 1u);  // the tail never accumulates
+  }
+  EXPECT_EQ(streamed.str(), buffered.str());
+}
+
+TEST(JsonlStream, AttachMidRunDrainsSealedPrefix) {
+  sim::EventLog log;
+  log.append(0.0, sim::EventType::kCycleStart).set("trigger", "timer");
+  log.append(0.1, sim::EventType::kCycleStart).set("trigger", "timer");
+  std::ostringstream out;
+  sim::JsonlStreamWriter writer(out);
+  log.stream_to(&writer);
+  // Everything but the newest (still mutable) event is handed over.
+  EXPECT_EQ(log.streamed(), 1u);
+  EXPECT_EQ(log.size(), 1u);
+  log.flush_stream();
+  EXPECT_EQ(log.streamed(), 2u);
+}
+
+TEST(JsonlStream, CappedRingRefusesToStream) {
+  sim::EventLog ring(8);
+  std::ostringstream out;
+  sim::JsonlStreamWriter writer(out);
+  EXPECT_THROW(ring.stream_to(&writer), std::logic_error);
+}
+
+TEST(JsonlStream, ForEachMatchesReadJsonl) {
+  const sim::EventLog reference = run_daemon_journal(/*explain=*/false);
+  std::ostringstream out;
+  sim::write_jsonl(out, reference);
+
+  std::istringstream in(out.str());
+  std::size_t seen = 0;
+  const std::size_t delivered = sim::for_each_jsonl(in, [&](sim::Event&& e) {
+    EXPECT_EQ(e.type, reference.events()[seen].type);
+    EXPECT_DOUBLE_EQ(e.t, reference.events()[seen].t);
+    ++seen;
+  });
+  EXPECT_EQ(delivered, reference.size());
+  EXPECT_EQ(seen, reference.size());
+}
+
+TEST(JsonlStream, ForEachTolerantRecoversTornTail) {
+  sim::EventLog log;
+  log.append(0.0, sim::EventType::kCycleStart).set("trigger", "timer");
+  log.append(0.1, sim::EventType::kDecision).set("granted_hz", 1e9);
+  std::ostringstream out;
+  sim::write_jsonl(out, log);
+  std::string text = out.str();
+  text.resize(text.size() - 10);  // tear the final line
+
+  // Strict mode (no report) refuses the torn file outright.
+  std::istringstream strict_in(text);
+  EXPECT_THROW(sim::for_each_jsonl(strict_in, [](sim::Event&&) {}),
+               std::runtime_error);
+
+  // Tolerant mode delivers the complete prefix and reports the tear.
+  std::istringstream tolerant_in(text);
+  sim::JsonlReadReport report;
+  std::size_t seen = 0;
+  const std::size_t delivered = sim::for_each_jsonl(
+      tolerant_in, [&](sim::Event&&) { ++seen; }, &report);
+  EXPECT_EQ(delivered, 1u);
+  EXPECT_EQ(seen, 1u);
+  EXPECT_TRUE(report.torn_tail);
+  EXPECT_FALSE(report.error.empty());
+}
+
+// --- Incremental checker --------------------------------------------------
+
+sim::JournalCheckReport check_incrementally(const sim::EventLog& log) {
+  sim::JournalChecker checker;
+  for (const sim::Event& e : log.events()) checker.observe(e);
+  return checker.finish();
+}
+
+void expect_same_report(const sim::JournalCheckReport& a,
+                        const sim::JournalCheckReport& b) {
+  EXPECT_EQ(a.checks_run, b.checks_run);
+  EXPECT_EQ(a.violations, b.violations);
+  EXPECT_EQ(a.skipped, b.skipped);
+}
+
+TEST(JournalChecker, MatchesBatchCheckerOnRealRuns) {
+  for (double budget_w : {300.0, 150.0}) {
+    const sim::EventLog log = run_daemon_journal(/*explain=*/true, budget_w);
+    expect_same_report(check_incrementally(log), sim::check_journal(log));
+  }
+}
+
+TEST(JournalChecker, MatchesBatchCheckerOnViolations) {
+  sim::EventLog log = minimal_table_journal();
+  log.append(0.1, sim::EventType::kActuation)
+      .set("total_power_w", 180.0)
+      .set("budget_w", 140.0)
+      .set("feasible", 1.0)
+      .set("downgrade_steps", 0.0);
+  log.append(0.2, sim::EventType::kDecision, 0)
+      .set("granted_hz", 1 * GHz)
+      .set("volts", 1.05)  // off the table's 1.3 V point for 1 GHz
+      .set("watts", 140.0);
+  const auto batch = sim::check_journal(log);
+  ASSERT_FALSE(batch.ok());
+  expect_same_report(check_incrementally(log), batch);
+}
+
 }  // namespace
 }  // namespace fvsst

@@ -62,6 +62,44 @@ TEST(JsonLinesSink, WritesOneParseableObjectPerMetric) {
   EXPECT_FALSE(std::getline(lines, line));
 }
 
+TEST(MetricRegistry, HandlesAliasTheStringApi) {
+  MetricRegistry registry;
+  const MetricId sid = registry.intern_series("cpu0/granted_hz", "granted0");
+  ASSERT_TRUE(sid.valid());
+  // Same storage whichever way it is reached.
+  registry.series(sid).add(0.0, 1e9);
+  registry.series("cpu0/granted_hz").add(0.1, 8e8);
+  EXPECT_EQ(registry.series(sid).size(), 2u);
+  EXPECT_EQ(&registry.series(sid), &registry.series("cpu0/granted_hz"));
+  EXPECT_EQ(registry.series_key(sid), "cpu0/granted_hz");
+  // Re-interning an existing key returns the same handle.
+  EXPECT_EQ(registry.intern_series("cpu0/granted_hz").index, sid.index);
+
+  const CounterId cid = registry.intern_counter("loop/cycles");
+  registry.counter(cid) = 41.0;
+  ++registry.counter("loop/cycles");
+  EXPECT_DOUBLE_EQ(registry.counter(cid), 42.0);
+  EXPECT_EQ(registry.counter_key(cid), "loop/cycles");
+  EXPECT_EQ(registry.intern_counter("loop/cycles").index, cid.index);
+}
+
+TEST(MetricRegistry, HandleAccessDoesNotTouchTheHashMap) {
+  MetricRegistry registry;
+  const MetricId sid = registry.intern_series("cpu0/granted_hz");
+  const CounterId cid = registry.intern_counter("loop/cycles");
+  const std::uint64_t before = registry.map_lookups();
+  for (int i = 0; i < 1000; ++i) {
+    registry.series(sid).add(i * 0.01, 1e9);
+    ++registry.counter(cid);
+  }
+  EXPECT_EQ(registry.map_lookups(), before);
+  // The string paths do count, one lookup per call.
+  registry.series("cpu0/granted_hz");
+  registry.counter("loop/cycles");
+  registry.counter_value("loop/cycles");
+  EXPECT_EQ(registry.map_lookups(), before + 3);
+}
+
 TEST(MetricRegistry, KeyListsAreRegistrationOrdered) {
   MetricRegistry registry;
   registry.series("b");

@@ -12,8 +12,11 @@
 //      carries that point's minimum stable voltage (pass 3);
 //   3. the scheduling period T restarts after a budget trigger (SMP daemon
 //      journals only — declared by run_meta t_restarts).
-// All checking logic lives in sim::check_journal / sim::diff_journals
-// (src/simkit/event_log.h); this binary is the command-line face.
+// All checking logic lives in sim::JournalChecker / sim::diff_journals
+// (src/simkit/event_log.h); this binary is the command-line face.  Summary
+// and --check run as a single streaming pass (sim::for_each_jsonl), so a
+// multi-gigabyte journal is inspected in bounded memory; only --diff loads
+// journals whole.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -58,32 +61,21 @@ sim::EventLog load(const std::string& path) {
   }
 }
 
-void print_summary(const std::string& path, const sim::EventLog& log) {
-  std::printf("journal: %s (%zu events)\n", path.c_str(), log.size());
-  if (log.empty()) return;
-
-  // Run metadata and the journal's time span.
-  double t_lo = log.events().front().t;
-  double t_hi = t_lo;
-  for (const sim::Event& e : log.events()) {
-    t_lo = std::min(t_lo, e.t);
-    t_hi = std::max(t_hi, e.t);
-  }
-  for (const sim::Event& e : log.events()) {
-    if (e.type != sim::EventType::kRunMeta) continue;
-    const std::string* daemon = e.find_str("daemon");
-    std::printf(
-        "run: daemon=%s, %d CPU(s), t=%.0f ms, T=%.0f ms%s\n",
-        daemon ? daemon->c_str() : "?",
-        static_cast<int>(e.num_or("cpus")), e.num_or("t_sample_s") * 1e3,
-        e.num_or("t_sample_s") * e.num_or("multiplier") * 1e3,
-        e.num_or("t_restarts") != 0.0 ? " (T restarts on budget trigger)"
-                                      : "");
-    break;
-  }
-  std::printf("time span: %.3f s .. %.3f s\n", t_lo, t_hi);
-
-  // Event counts by type, cycle counts by trigger, decision stats.
+// Summary aggregates, filled by one streaming pass over the journal.  The
+// state here is bounded by the variety of the journal (event types, CPUs,
+// distinct frequencies), not its length, so arbitrarily long journals
+// summarise in constant memory.
+struct SummaryStats {
+  std::size_t count = 0;
+  double t_lo = 0.0;
+  double t_hi = 0.0;
+  bool have_meta = false;
+  std::string meta_daemon;
+  bool meta_has_daemon = false;
+  double meta_cpus = 0.0;
+  double meta_t_sample = 0.0;
+  double meta_multiplier = 0.0;
+  double meta_t_restarts = 0.0;
   std::map<std::string, std::size_t> by_type;
   std::map<std::string, std::size_t> by_trigger;
   std::map<int, std::pair<std::size_t, std::map<double, std::size_t>>> by_cpu;
@@ -95,17 +87,38 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
   std::vector<std::pair<double, std::string>> epoch_moves;  // (epoch, reason)
   std::size_t settings_rejected = 0;
   std::map<std::string, std::size_t> snapshots_by_op;
-  for (const sim::Event& e : log.events()) {
+
+  void observe(const sim::Event& e) {
+    if (count == 0) {
+      t_lo = t_hi = e.t;
+    } else {
+      t_lo = std::min(t_lo, e.t);
+      t_hi = std::max(t_hi, e.t);
+    }
+    ++count;
     ++by_type[std::string(sim::event_type_name(e.type))];
     switch (e.type) {
+      case sim::EventType::kRunMeta:
+        if (!have_meta) {
+          have_meta = true;
+          if (const std::string* daemon = e.find_str("daemon")) {
+            meta_daemon = *daemon;
+            meta_has_daemon = true;
+          }
+          meta_cpus = e.num_or("cpus");
+          meta_t_sample = e.num_or("t_sample_s");
+          meta_multiplier = e.num_or("multiplier");
+          meta_t_restarts = e.num_or("t_restarts");
+        }
+        break;
       case sim::EventType::kCycleStart:
         if (const std::string* trigger = e.find_str("trigger")) {
           ++by_trigger[*trigger];
         }
         break;
       case sim::EventType::kDecision: {
-        auto& [count, freqs] = by_cpu[e.cpu];
-        ++count;
+        auto& [decisions, freqs] = by_cpu[e.cpu];
+        ++decisions;
         ++freqs[e.num_or("granted_hz")];
         break;
       }
@@ -150,6 +163,33 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
         break;
     }
   }
+};
+
+void print_summary(const std::string& path, const SummaryStats& s) {
+  std::printf("journal: %s (%zu events)\n", path.c_str(), s.count);
+  if (s.count == 0) return;
+
+  const auto& by_type = s.by_type;
+  const auto& by_trigger = s.by_trigger;
+  const auto& by_cpu = s.by_cpu;
+  const auto& budget_moves = s.budget_moves;
+  const auto& faults_by_kind = s.faults_by_kind;
+  const auto& degraded_by_reason = s.degraded_by_reason;
+  const auto& lost_by_cause = s.lost_by_cause;
+  const auto& epoch_moves = s.epoch_moves;
+  const auto& snapshots_by_op = s.snapshots_by_op;
+  const std::size_t infeasible = s.infeasible;
+  const std::size_t settings_rejected = s.settings_rejected;
+
+  if (s.have_meta) {
+    std::printf(
+        "run: daemon=%s, %d CPU(s), t=%.0f ms, T=%.0f ms%s\n",
+        s.meta_has_daemon ? s.meta_daemon.c_str() : "?",
+        static_cast<int>(s.meta_cpus), s.meta_t_sample * 1e3,
+        s.meta_t_sample * s.meta_multiplier * 1e3,
+        s.meta_t_restarts != 0.0 ? " (T restarts on budget trigger)" : "");
+  }
+  std::printf("time span: %.3f s .. %.3f s\n", s.t_lo, s.t_hi);
 
   sim::TextTable types("Events by type");
   types.set_header({"type", "count"});
@@ -238,14 +278,9 @@ void print_summary(const std::string& path, const sim::EventLog& log) {
     }
     decisions.print();
   }
-  if (log.dropped() > 0) {
-    std::printf("note: ring buffer dropped %zu events before export\n",
-                log.dropped());
-  }
 }
 
-int run_check(const sim::EventLog& log) {
-  const sim::JournalCheckReport report = sim::check_journal(log);
+int run_check(const sim::JournalCheckReport& report) {
   for (const std::string& s : report.skipped) {
     std::printf("skipped: %s\n", s.c_str());
   }
@@ -314,15 +349,44 @@ int main(int argc, char** argv) {
   }
   if (journal_path.empty()) usage_error("no journal given");
 
-  const sim::EventLog log = load(journal_path);
   if (!diff_path.empty()) {
+    // Diffing genuinely needs both decision streams resident (events are
+    // matched by (t, cpu) across the runs), so it keeps the in-memory load.
+    const sim::EventLog log = load(journal_path);
     const sim::EventLog other = load(diff_path);
     return run_diff(journal_path, log, diff_path, other);
   }
-  print_summary(journal_path, log);
+
+  // Summary and --check share one streaming pass: memory stays bounded by
+  // the journal's variety, never its length.
+  std::ifstream in(journal_path);
+  if (!in) usage_error("cannot open journal '" + journal_path + "'");
+  SummaryStats stats;
+  sim::JournalChecker checker;
+  sim::JsonlReadReport report;
+  std::size_t delivered = 0;
+  try {
+    delivered = sim::for_each_jsonl(in,
+                                    [&](sim::Event&& e) {
+                                      stats.observe(e);
+                                      if (check) checker.observe(e);
+                                    },
+                                    &report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fvsst_inspect: %s: %s\n", journal_path.c_str(),
+                 e.what());
+    return 2;
+  }
+  if (report.torn_tail) {
+    std::fprintf(stderr,
+                 "fvsst_inspect: %s: torn final line dropped (%s); "
+                 "recovered %zu complete event(s)\n",
+                 journal_path.c_str(), report.error.c_str(), delivered);
+  }
+  print_summary(journal_path, stats);
   if (check) {
     std::printf("\n");
-    return run_check(log);
+    return run_check(checker.finish());
   }
   return 0;
 }

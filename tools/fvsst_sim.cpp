@@ -31,6 +31,8 @@
 //   --t MS               sampling period t in ms (default 10)
 //   --multiplier N       T = N * t (default 10)
 //   --cluster            use the distributed ClusterDaemon
+//   --threads N          advance node cores on N threads per tick; output
+//                        is byte-identical to --threads 1 (--cluster only)
 //   --margin-controller  enable the measured-power margin feedback loop
 //   --seed S             RNG seed (default 42)
 //   --csv DIR            dump frequency/power traces as CSV
@@ -108,6 +110,7 @@ struct CliOptions {
   double t_ms = 10.0;
   int multiplier = 10;
   bool use_cluster_daemon = false;
+  int step_threads = 1;  ///< Parallel node stepping (--cluster only).
   bool margin_controller = false;
   std::uint64_t seed = 42;
   std::string csv_dir;
@@ -156,7 +159,8 @@ void print_help() {
       "                 [--budget W] [--budget-at T:W ...] [--duration S]\n"
       "                 [--epsilon E] [--smoothing S] [--variant V]\n"
       "                 [--idle-signal os|halted|none] [--t MS]\n"
-      "                 [--multiplier N] [--cluster] [--governor G]\n"
+      "                 [--multiplier N] [--cluster] [--threads N]\n"
+      "                 [--governor G]\n"
       "                 [--margin-controller] [--seed S] [--csv DIR]\n"
       "                 [--journal FILE] [--chrome-trace FILE]\n"
       "                 [--journal-cap N] [--explain] [--fault-plan FILE]\n"
@@ -337,6 +341,10 @@ CliOptions parse_args(int argc, char** argv) {
       }
     } else if (flag == "--cluster") {
       opts.use_cluster_daemon = true;
+    } else if (flag == "--threads") {
+      opts.step_threads = static_cast<int>(
+          parse_double(next_value(i, "--threads"), "thread count"));
+      if (opts.step_threads < 1) usage_error("--threads must be >= 1");
     } else if (flag == "--margin-controller") {
       opts.margin_controller = true;
     } else if (flag == "--seed") {
@@ -390,6 +398,9 @@ int main(int argc, char** argv) {
   if ((opts.standby || opts.failsafe_factor > 0.0) &&
       !opts.use_cluster_daemon) {
     usage_error("--standby/--failsafe require --cluster");
+  }
+  if (opts.step_threads > 1 && !opts.use_cluster_daemon) {
+    usage_error("--threads requires --cluster");
   }
   std::vector<mach::MachineConfig> configs(opts.nodes, machine);
   for (std::size_t i = opts.nodes - opts.slow_nodes; i < opts.nodes; ++i) {
@@ -465,6 +476,7 @@ int main(int argc, char** argv) {
     if (have_faults) ccfg.fault_plan = &fault_plan;
     ccfg.failover.standby = opts.standby;
     ccfg.failover.node_failsafe_factor = opts.failsafe_factor;
+    ccfg.step_threads = opts.step_threads;
     cluster_daemon = std::make_unique<core::ClusterDaemon>(
         sim, cluster, machine.freq_table, budget, ccfg);
   } else {
@@ -505,10 +517,43 @@ int main(int argc, char** argv) {
     sensor.set_fault_plan(&fault_plan, want_journal ? &journal : nullptr);
   }
 
+  // Streaming journal: an unbounded journal headed for a plain JSONL file
+  // is flushed to disk as the run produces events, so memory stays bounded
+  // at scale.  A chrome trace needs the whole log at the end and a
+  // --journal-cap ring drops events after the fact, so either keeps the
+  // buffered end-of-run path (as does a path that fails to open — the
+  // buffered write reports that error).
+  std::ofstream journal_stream_out;
+  std::unique_ptr<sim::JsonlStreamWriter> journal_stream;
+  if (!opts.journal_path.empty() && opts.journal_cap == 0 &&
+      opts.chrome_trace_path.empty()) {
+    journal_stream_out.open(opts.journal_path);
+    if (journal_stream_out) {
+      journal_stream =
+          std::make_unique<sim::JsonlStreamWriter>(journal_stream_out);
+      journal.stream_to(journal_stream.get());
+    }
+  }
+
   sim.run_for(opts.duration_s);
 
   // ---- Journal exports --------------------------------------------------
   int exit_code = 0;
+  const bool streamed_journal = journal_stream != nullptr;
+  if (journal_stream) {
+    journal.flush_stream();
+    journal.stream_to(nullptr);
+    journal_stream.reset();  // flushes the writer's buffer
+    journal_stream_out.flush();
+    if (!journal_stream_out) {
+      std::fprintf(stderr, "fvsst_sim: failed to write journal '%s'\n",
+                   opts.journal_path.c_str());
+      exit_code = 1;
+    } else {
+      std::fprintf(stderr, "[journal] wrote %zu events to %s%s\n",
+                   journal.streamed(), opts.journal_path.c_str(), "");
+    }
+  }
   const auto write_journal_file = [&](const std::string& path, auto writer,
                                       const char* what) {
     std::ofstream out(path);
@@ -527,7 +572,7 @@ int main(int argc, char** argv) {
                         " dropped by --journal-cap)").c_str()
                      : "");
   };
-  if (!opts.journal_path.empty()) {
+  if (!opts.journal_path.empty() && !streamed_journal) {
     write_journal_file(opts.journal_path,
                        [](std::ostream& o, const sim::EventLog& l) {
                          sim::write_jsonl(o, l);
