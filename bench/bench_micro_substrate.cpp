@@ -7,18 +7,31 @@
 // The registry and journal benches also report "allocs/iter" (counted via
 // this TU's operator new) so the zero-allocation claim of the handle path
 // is measured, not asserted.
+//
+// `--smoke` skips google-benchmark entirely and runs the sim-throughput
+// regression gates instead: skip-ahead advance-call reduction, event-driven
+// daemon event-count reduction, and binary-vs-JSONL serialize throughput.
+// The first two are deterministic counters; only the serialize ratio is
+// timed, and as a same-process ratio it is stable under machine load.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <new>
 #include <sstream>
 #include <string>
 
+#include "cluster/cluster.h"
+#include "core/daemon.h"
 #include "cpu/core.h"
 #include "mach/machine_config.h"
 #include "mem/cache.h"
 #include "mem/hierarchy.h"
+#include "power/budget.h"
 #include "simkit/event_log.h"
 #include "simkit/event_queue.h"
 #include "simkit/rng.h"
@@ -28,6 +41,13 @@
 // Heap-allocation counter.  Replacing operator new/delete in this TU
 // intercepts every allocation in the process, so benches can report the
 // allocations their hot path performs per iteration.
+//
+// GCC flags malloc-backed operator new paired with std::free as a
+// mismatched allocation pair at inlined call sites; the pairing is the
+// whole point of the interposer, so silence that one diagnostic here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
 namespace {
 std::atomic<std::size_t> g_allocs{0};
 }  // namespace
@@ -151,6 +171,47 @@ void BM_CoreSimulatedSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_CoreSimulatedSecond);
 
+/// Grid-free core for the skip-ahead path: noise-free (the phase ETA is
+/// exact) and a single job (quantum expiry out of the way), so
+/// next_interesting_time() names the phase boundaries and nothing else.
+std::unique_ptr<cpu::Core> make_skip_core(sim::Simulation& sim) {
+  cpu::Core::Config cfg;
+  cfg.latencies = mach::p630().latencies;
+  cfg.max_hz = 1e9;
+  cfg.execution_noise_sigma = 0.0;
+  cfg.counter_noise_sigma = 0.0;
+  cfg.quantum_s = 1e9;
+  auto core = std::make_unique<cpu::Core>(sim, cfg, sim::Rng(4));
+  workload::SyntheticParams params;
+  params.phase1 = {100.0, 3e8};
+  params.phase2 = {20.0, 1e8};
+  core->add_workload(workload::make_synthetic(params));
+  return core;
+}
+
+/// Advances `core` to `end` by jumping between interesting times (each
+/// boundary crossed by 1 ns so the next query names the phase after it).
+void skip_ahead_to(cpu::Core& core, double end) {
+  for (;;) {
+    const double next = core.next_interesting_time() + 1e-9;
+    if (!(next < end)) break;
+    core.advance_to(next);
+  }
+  core.advance_to(end);
+}
+
+void BM_CoreSimulatedSecondSkipAhead(benchmark::State& state) {
+  // BM_CoreSimulatedSecond's question again, but jumping between
+  // next_interesting_time() boundaries instead of ticking every 10 ms.
+  for (auto _ : state) {
+    sim::Simulation sim;
+    auto core = make_skip_core(sim);
+    skip_ahead_to(*core, 1.0);
+    benchmark::DoNotOptimize(core->read_counters().instructions);
+  }
+}
+BENCHMARK(BM_CoreSimulatedSecondSkipAhead);
+
 // ---- Metric registry: string keys vs interned handles ---------------------
 
 void BM_RegistrySeriesByString(benchmark::State& state) {
@@ -250,6 +311,22 @@ void BM_JournalSerializeEvent(benchmark::State& state) {
 }
 BENCHMARK(BM_JournalSerializeEvent);
 
+void BM_JournalSerializeEventBinary(benchmark::State& state) {
+  // The same decision event through the FJB1 encoder: doubles as raw bits
+  // instead of shortest-round-trip decimal, which is where the JSONL path
+  // spends most of its time.
+  const sim::Event e = sample_decision(1.23);
+  std::string buf;
+  with_alloc_counter(state, [&] {
+    buf.clear();
+    sim::append_event_binary(buf, e);
+    benchmark::DoNotOptimize(buf.data());
+  });
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_JournalSerializeEventBinary);
+
 void BM_JournalStreamWrite(benchmark::State& state) {
   // Steady-state streaming: push into a log drained by a stream writer, so
   // the in-memory tail stays at one event regardless of run length.
@@ -269,6 +346,166 @@ void BM_JournalStreamWrite(benchmark::State& state) {
 }
 BENCHMARK(BM_JournalStreamWrite);
 
+void BM_JournalStreamWriteBinary(benchmark::State& state) {
+  std::ostringstream sink;
+  sim::BinaryJournalWriter writer(sink);
+  sim::EventLog log;
+  log.stream_to(&writer);
+  double t = 0.0;
+  with_alloc_counter(state, [&] {
+    log.push(sample_decision(t));
+    t += 0.01;
+    if (sink.tellp() > (1 << 22)) {
+      sink.str({});
+      sink.clear();
+    }
+  });
+}
+BENCHMARK(BM_JournalStreamWriteBinary);
+
+// ---- --smoke: sim-throughput regression gates -----------------------------
+
+/// One SMP daemon second in the given advance mode; returns the simulation's
+/// executed-event count (deterministic — no wall clock involved).
+std::size_t daemon_events_executed(core::AdvanceMode mode) {
+  sim::Simulation sim;
+  sim::Rng rng(17);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  workload::SyntheticParams params;
+  params.phase1 = {100.0, 3e8};
+  params.phase2 = {20.0, 1e8};
+  cluster.core({0, 1}).add_workload(workload::make_synthetic(params));
+  cluster.core({0, 2}).add_workload(
+      workload::make_uniform_synthetic(60.0, 1e12));
+  power::PowerBudget budget(560.0);
+  core::DaemonConfig config;
+  config.advance_mode = mode;
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget, config);
+  sim.run_for(2.0);
+  if (daemon.schedules_run() == 0) {
+    std::fprintf(stderr, "smoke: daemon ran no scheduling cycles\n");
+    std::exit(1);
+  }
+  return sim.events_executed();
+}
+
+/// Nanoseconds per event for `serialize` over `iters` calls, best of three
+/// passes so a scheduler hiccup cannot fail the gate on its own.
+template <typename Fn>
+double serialize_ns_per_event(Fn&& serialize, std::size_t iters) {
+  double best = 1e300;
+  std::string buf;
+  for (int pass = 0; pass < 3; ++pass) {
+    buf.clear();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      serialize(buf);
+      if (buf.size() > (1u << 22)) buf.clear();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(buf.data());
+    const double ns =
+        static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                t1 - t0)
+                                .count()) /
+        static_cast<double>(iters);
+    if (ns < best) best = ns;
+  }
+  return best;
+}
+
+/// The sim-throughput floors from scripts/check.sh.  Exits nonzero when a
+/// regression eats the skip-ahead or binary-journal speedups this tier
+/// exists to protect.
+int run_smoke() {
+  int failures = 0;
+
+  // Gate 1: skip-ahead stepping must collapse per-tick advances.  Both
+  // cores simulate the same 4 phased seconds; the ticked one is advanced
+  // every 10 ms, the other jumps between next_interesting_time() marks.
+  {
+    sim::Simulation sim;
+    auto tick = make_skip_core(sim);
+    auto jump = make_skip_core(sim);
+    const double t = 0.010;
+    for (int k = 1; k <= 400; ++k) {
+      tick->advance_to(static_cast<double>(k) * t);
+    }
+    skip_ahead_to(*jump, 400.0 * t);
+    const auto tick_calls = tick->advance_calls();
+    const auto jump_calls = jump->advance_calls();
+    std::printf("smoke: advance calls per 4 sim-seconds: tick=%llu "
+                "skip-ahead=%llu (%.1fx)\n",
+                static_cast<unsigned long long>(tick_calls),
+                static_cast<unsigned long long>(jump_calls),
+                static_cast<double>(tick_calls) /
+                    static_cast<double>(jump_calls ? jump_calls : 1));
+    if (tick_calls < 3 * jump_calls) {
+      std::fprintf(stderr,
+                   "smoke FAIL: skip-ahead saved < 3x advance calls\n");
+      ++failures;
+    }
+  }
+
+  // Gate 2: the event-driven daemon must execute far fewer simulation
+  // events than the tick-driven one for the same (byte-identical) run.
+  {
+    const std::size_t tick_events =
+        daemon_events_executed(core::AdvanceMode::kTick);
+    const std::size_t event_events =
+        daemon_events_executed(core::AdvanceMode::kEvent);
+    std::printf("smoke: daemon events per 2 sim-seconds: tick=%zu "
+                "event-driven=%zu (%.1fx)\n",
+                tick_events, event_events,
+                static_cast<double>(tick_events) /
+                    static_cast<double>(event_events ? event_events : 1));
+    if (tick_events < 3 * event_events) {
+      std::fprintf(stderr,
+                   "smoke FAIL: event-driven daemon executed > 1/3 of the "
+                   "tick-driven event count\n");
+      ++failures;
+    }
+  }
+
+  // Gate 3: the binary record must serialize >= 4x faster than JSONL.
+  // A same-process timing ratio, so machine load cancels out.
+  {
+    const sim::Event e = sample_decision(1.23);
+    const std::size_t iters = 300000;
+    const double jsonl_ns = serialize_ns_per_event(
+        [&](std::string& buf) { sim::append_event_jsonl(buf, e); }, iters);
+    const double binary_ns = serialize_ns_per_event(
+        [&](std::string& buf) { sim::append_event_binary(buf, e); }, iters);
+    const double ratio = jsonl_ns / binary_ns;
+    std::printf("smoke: serialize ns/event: jsonl=%.0f binary=%.0f "
+                "(%.1fx)\n",
+                jsonl_ns, binary_ns, ratio);
+    if (ratio < 4.0) {
+      std::fprintf(stderr,
+                   "smoke FAIL: binary serialize < 4x JSONL throughput\n");
+      ++failures;
+    }
+  }
+
+  if (failures == 0) {
+    std::printf("smoke: all sim-throughput floors hold\n");
+  } else {
+    std::printf("smoke: %d floor(s) violated\n", failures);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return run_smoke();
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

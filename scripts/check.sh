@@ -58,6 +58,31 @@ EOF
   --journal "${smoke_dir}/failover.jsonl"
 "${build_dir}/tools/fvsst_inspect" "${smoke_dir}/failover.jsonl" --check
 
+# Sim-throughput smoke: the skip-ahead advance-call, event-driven
+# event-count, and binary-serialize floors must hold (events/s and
+# advance-calls/sim-second are regression-gated like determinism is).
+"${build_dir}/bench/bench_micro_substrate" --smoke
+
+# Binary-journal smoke: the same failover scenario streamed as FJB1 must
+# pass the same invariant checks after auto-detection, and --to-jsonl must
+# reproduce the JSONL run byte-for-byte apart from wall-clock stage
+# timings.
+"${build_dir}/tools/fvsst_sim" \
+  --cluster --nodes 2 --standby --failsafe 2 \
+  --workload synth:100@0.0 --workload synth:100@1.0 \
+  --budget 1120 --budget-at 1.0123:500 --duration 2.5 \
+  --fault-plan "${smoke_dir}/failover.plan" \
+  --journal "${smoke_dir}/failover.fjb"
+"${build_dir}/tools/fvsst_inspect" "${smoke_dir}/failover.fjb" --check
+"${build_dir}/tools/fvsst_inspect" "${smoke_dir}/failover.fjb" \
+  --to-jsonl "${smoke_dir}/failover_converted.jsonl"
+strip_wall_clock='s/"(estimate_s|policy_s|actuate_s|sample_s|cycle_s)":[^,}]+//g'
+sed -E "${strip_wall_clock}" "${smoke_dir}/failover.jsonl" \
+  > "${smoke_dir}/failover.norm"
+sed -E "${strip_wall_clock}" "${smoke_dir}/failover_converted.jsonl" \
+  > "${smoke_dir}/failover_converted.norm"
+cmp "${smoke_dir}/failover.norm" "${smoke_dir}/failover_converted.norm"
+
 # Sanitizer gate: rebuild with ASan + UBSan and run the suites that
 # exercise the engine's fault paths, the chaos harness, and the JSONL
 # reader fuzzers — the code most likely to hide memory or UB mistakes.
@@ -68,9 +93,10 @@ cmake -S "${repo_root}" -B "${asan_dir}" "${generator[@]}" \
   -DFVSST_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${asan_dir}" -j "$(nproc)" --target \
   test_chaos test_scheduler_properties test_event_log test_control_loop \
-  test_determinism test_failover bench_abl_failover fvsst_sim fvsst_inspect
+  test_determinism test_failover test_event_mode test_binary_journal \
+  bench_abl_failover fvsst_sim fvsst_inspect
 FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${asan_dir}" --output-on-failure \
-  -R 'chaos|scheduler_properties|event_log|control_loop|determinism|failover|cli_fault_plan'
+  -R 'chaos|scheduler_properties|event_log|control_loop|determinism|failover|cli_fault_plan|event_mode|binary_journal'
 
 # Thread-sanitizer gate: rebuild with TSan and run the parallel-stepper
 # suite plus the scale-sweep smoke — the only code that shares simulation

@@ -3,11 +3,16 @@
 //
 // The cluster daemon's per-tick hot work is advancing every node's lazily
 // synchronised core models up to the tick time.  Those advances touch only
-// per-core state — each core owns its RNG stream and value-copied workload
-// runners — so distinct nodes can advance concurrently without changing a
-// single bit of the result.  Everything order-sensitive (journal emission,
-// channel sends, coordinator rounds) stays on the simulation thread, run
-// in node order after the pool joins.
+// per-core state — each core owns its RNG stream, sampling-grid cursor,
+// counter history and value-copied workload runners — so distinct nodes
+// can advance concurrently without changing a single bit of the result.
+// This holds in event-driven mode too: a pre-synced core subdivides the
+// skipped span at its own sampling grid (cpu::Core::set_sampling_grid),
+// reproducing exactly the sync boundaries the tick-driven serial run would
+// have used, entirely within per-core state.  Everything order-sensitive
+// (journal emission, channel sends, coordinator rounds, history replay
+// into the samplers) stays on the simulation thread, run in node order
+// after the pool joins.
 //
 // StepPool implements the parallel half.  run(n, fn) executes fn(i) for
 // every i in [0, n); worker w owns the fixed partition { i : i % threads

@@ -63,14 +63,38 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
     flat += agent->sampler.cpu_count();
     agents_.push_back(std::move(agent));
   }
-  // One merged clock for every node's tick.  The agents share a period and
-  // phase, so N periodic events collapse into one whose action runs the
-  // node ticks in node order — the same execution order the per-node
-  // events produced (when-then-seq FIFO kept coincident ticks in node
-  // order) — and gives the parallel stepper a single point to pre-sync all
-  // live nodes' cores before any tick commits.
-  agents_tick_event_ =
-      sim_.schedule_every(config_.t_sample_s, [this] { agents_tick(); });
+  // Event-driven advance needs every tick-granular mechanism disabled:
+  // crash windows, fail-safe clocks and the election monitor all count
+  // ticks, so a non-empty fault plan or enabled failover forces the tick
+  // fallback (behaviour, not just timing, would diverge otherwise).
+  event_driven_ = config_.advance_mode == AdvanceMode::kEvent &&
+                  !(config_.fault_plan && !config_.fault_plan->empty()) &&
+                  !config_.failover.enabled();
+  if (event_driven_) {
+    // The lattice the merged agents clock would tick on: schedule_every
+    // fires first at now + t and anchors every re-arm on that first
+    // firing, so the first tick instant is the grid origin.
+    grid_origin_ = sim_.now() + config_.t_sample_s;
+    for (std::size_t n = 0; n < cluster_.node_count(); ++n) {
+      for (std::size_t c = 0; c < cluster_.node(n).cpu_count(); ++c) {
+        // The node agents charge no per-tick overhead (their cost is
+        // modelled as channel latency), so the grid only subdivides the
+        // advance and records snapshots for the samplers' replay.
+        cluster_.node(n).core(c).set_sampling_grid(
+            grid_origin_, config_.t_sample_s, /*recurring_steal_s=*/0.0,
+            /*record_history=*/true);
+      }
+    }
+  } else {
+    // One merged clock for every node's tick.  The agents share a period
+    // and phase, so N periodic events collapse into one whose action runs
+    // the node ticks in node order — the same execution order the per-node
+    // events produced (when-then-seq FIFO kept coincident ticks in node
+    // order) — and gives the parallel stepper a single point to pre-sync
+    // all live nodes' cores before any tick commits.
+    agents_tick_event_ =
+        sim_.schedule_every(config_.t_sample_s, [this] { agents_tick(); });
+  }
   if (config_.step_threads > 1) {
     step_pool_ = std::make_unique<cluster::StepPool>(config_.step_threads);
   }
@@ -161,12 +185,24 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
     monitor_event_ =
         sim_.schedule_every(config_.t_sample_s, [this] { monitor_tick(); });
   }
+  if (event_driven_) {
+    // Scheduled after the global timer: at a coincident instant
+    // (zero-latency configs put global rounds on the tick lattice) the
+    // round must fire first, as it does in tick mode — there the tick's
+    // re-arm always carries a younger sequence number than the round's.
+    // Each later wake is scheduled from inside the previous one, after
+    // that instant's global re-arm, so the order holds inductively.
+    next_summary_k_ =
+        static_cast<std::uint64_t>(config_.schedule_every_n_samples);
+    schedule_summary_wake();
+  }
 }
 
 ClusterDaemon::~ClusterDaemon() {
   sim_.cancel(agents_tick_event_);
   sim_.cancel(global_event_);
   if (monitor_event_) sim_.cancel(monitor_event_);
+  if (summary_wake_event_) sim_.cancel(summary_wake_event_);
 }
 
 Coordinator::Wiring ClusterDaemon::make_wiring(
@@ -241,6 +277,39 @@ void ClusterDaemon::agents_tick() {
   // summary deliveries are all emitted here, on the simulation thread, in
   // node order — byte-identical to a serial run at any thread count.
   for (std::size_t n = 0; n < agents_.size(); ++n) node_tick(n);
+}
+
+void ClusterDaemon::schedule_summary_wake() {
+  summary_wake_event_ = sim_.schedule_at(
+      grid_origin_ +
+          static_cast<double>(next_summary_k_ - 1) * config_.t_sample_s,
+      [this] { on_summary_wake(); });
+}
+
+void ClusterDaemon::on_summary_wake() {
+  // Event-mode summary instant: every node's agent folds the grid-recorded
+  // per-tick history (sampler.collect replays it) and ships its summary.
+  // The per-tick sample counter is bypassed — a wake *is* the n-th tick.
+  // Fault plans and failover force the tick fallback, so there are no
+  // crashed nodes or fail-safe clocks to consult here.
+  if (step_pool_) {
+    // Parallel pre-sync, same contract as agents_tick(): advance every
+    // node's cores to the wake time (the grid subdivides the span) before
+    // the serial node-ordered commits.
+    step_pool_->run(agents_.size(), [this](std::size_t n) {
+      auto& node = cluster_.node(n);
+      for (std::size_t c = 0; c < node.cpu_count(); ++c) {
+        node.core(c).read_counters();  // sync to now; the copy is discarded
+      }
+    });
+  }
+  for (std::size_t n = 0; n < agents_.size(); ++n) {
+    agents_[n]->sampler.collect();
+    node_send_summary(n);
+  }
+  next_summary_k_ +=
+      static_cast<std::uint64_t>(config_.schedule_every_n_samples);
+  schedule_summary_wake();
 }
 
 void ClusterDaemon::node_tick(std::size_t node) {

@@ -34,6 +34,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -94,6 +95,14 @@ struct ClusterDaemonConfig {
   /// ordered event processing, and each core is advanced to exactly the
   /// sync boundaries the serial run would use.
   int step_threads = 1;
+  /// kEvent wakes the node agents only at summary instants (every n
+  /// node-ticks); the cores subdivide the skipped span on their sampling
+  /// grids (Core::set_sampling_grid), so summaries, rounds and journals
+  /// are byte-identical to kTick at ~1/n the event count.  The daemon
+  /// silently falls back to kTick when a non-empty fault plan is installed
+  /// or failover is enabled: crash windows, fail-safe clocks and election
+  /// monitors are tick-granular and must observe every tick.
+  AdvanceMode advance_mode = AdvanceMode::kTick;
 };
 
 /// Global scheduler plus one agent per node.
@@ -210,6 +219,10 @@ class ClusterDaemon {
   Coordinator::Wiring make_wiring(int id, bool initially_leader,
                                   const mach::FrequencyTable& table);
   void agents_tick();
+  void on_summary_wake();
+  /// Schedules the next event-mode summary wake at lattice index
+  /// next_summary_k_.
+  void schedule_summary_wake();
   void node_tick(std::size_t node);
   void node_failsafe_tick(std::size_t node);
   double node_failsafe_hz(std::size_t node) const;
@@ -250,6 +263,14 @@ class ClusterDaemon {
   sim::EventId agents_tick_event_ = 0;  ///< The merged per-node tick clock.
   sim::EventId global_event_ = 0;   ///< The global scheduler's own timer.
   sim::EventId monitor_event_ = 0;  ///< Heartbeat/election clock (standby).
+  // Event-driven mode: grid_origin_ is the FIRST agents-tick instant (ctor
+  // time + t); summary wake k lands on grid_origin_ + (k-1) * t_sample_s
+  // in that exact floating-point form (the event queue's re-arm
+  // expression), so they compare equal to the node ticks they replace.
+  bool event_driven_ = false;
+  double grid_origin_ = 0.0;
+  std::uint64_t next_summary_k_ = 0;  ///< Tick number (1-based) of next summary.
+  sim::EventId summary_wake_event_ = 0;
   /// Worker pool for the parallel pre-sync; null when step_threads <= 1.
   std::unique_ptr<cluster::StepPool> step_pool_;
   /// Scratch, sized per tick on the simulation thread: nodes whose crash

@@ -504,7 +504,22 @@ SimCoreSampler::SimCoreSampler(cluster::Cluster& cluster,
 
 void SimCoreSampler::collect() {
   for (std::size_t i = 0; i < procs_.size(); ++i) {
-    const cpu::PerfCounters now = cluster_.core(procs_[i]).read_counters();
+    auto& core = cluster_.core(procs_[i]);
+    // read_counters() syncs the core first, so any grid instants crossed
+    // since the last collect have already recorded their snapshots.
+    const cpu::PerfCounters now = core.read_counters();
+    if (core.has_sampling_grid()) {
+      // Event-driven mode: replay the per-tick folds this wake-up skipped.
+      // Each snapshot is the exact counter value a tick-driven collect
+      // would have read at that instant, so folding them in order leaves
+      // aggregate_ bit-identical to the per-tick sum.
+      history_scratch_.clear();
+      core.drain_counter_history(history_scratch_);
+      for (const auto& snap : history_scratch_) {
+        aggregate_[i] += snap - last_snapshot_[i];
+        last_snapshot_[i] = snap;
+      }
+    }
     aggregate_[i] += now - last_snapshot_[i];
     last_snapshot_[i] = now;
   }

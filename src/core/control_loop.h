@@ -43,6 +43,19 @@
 
 namespace fvsst::core {
 
+/// How a daemon advances simulated time between decisions.
+enum class AdvanceMode {
+  /// A periodic event every sampling interval t drives collect() —
+  /// simple, and required when tick-granular machinery (fault-plan
+  /// retries, failover clocks) must observe every tick.
+  kTick,
+  /// The daemon wakes only at scheduling instants T = n*t; cores
+  /// subdivide the skipped span internally (Core::set_sampling_grid), so
+  /// decisions, telemetry and journals stay byte-identical to kTick at a
+  /// fraction of the event count.
+  kEvent,
+};
+
 /// How a loop learns that a processor is idle (paper Sec. 5).
 enum class IdleSignal {
   /// Poll the OS/firmware idle state (the explicit indicator the paper
@@ -260,6 +273,14 @@ class ControlLoop {
   /// retries (rejected writes being retried with backoff) run here.
   bool collect(double now);
 
+  /// Folds `k` sampling ticks an event-driven facade skipped into the
+  /// sample-stage invocation count, so the loop/sample_count telemetry a
+  /// cycle publishes matches the tick-driven run (the skipped ticks cost
+  /// no host time, so the *_s totals stay honest).
+  void note_skipped_collects(std::uint64_t k) {
+    timings_.sample.invocations += k;
+  }
+
   /// One full cycle: close interval -> estimate -> policy -> actuate.
   /// Resets the tick count (a budget-triggered cycle restarts T).
   const ScheduleResult& run_cycle(double now, double power_budget_w,
@@ -437,6 +458,9 @@ class SimCoreSampler final : public Sampler {
   std::vector<cpu::PerfCounters> last_snapshot_;
   std::vector<cpu::PerfCounters> aggregate_;
   std::vector<double> aggregate_started_at_;
+  /// Reused buffer for draining grid-instant counter snapshots
+  /// (event-driven mode); avoids a per-collect allocation.
+  std::vector<cpu::PerfCounters> history_scratch_;
 };
 
 /// The paper's workload estimation stage: distils counter deltas into

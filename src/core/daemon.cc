@@ -1,5 +1,7 @@
 #include "core/daemon.h"
 
+#include <cmath>
+#include <cstdint>
 #include <utility>
 
 #include "simkit/log.h"
@@ -74,14 +76,79 @@ FvsstDaemon::FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       config_.journal->append(sim_.now(), sim::EventType::kBudgetChange)
           .set("budget_w", limit);
     }
-    run_cycle(CycleTrigger::kBudget);
+    if (event_driven_) {
+      // A budget trigger restarts T (t_restarts = 1): in tick mode the tick
+      // count resets and the next timer cycle lands n counted ticks later,
+      // where a tick at exactly now still counts (budget events carry
+      // setup-time sequence numbers, so they fire before the re-armed tick
+      // at a coincident instant).  Reproduce that arithmetic on the
+      // lattice: j0 = min{j : g_j >= now}, next cycle at index j0 + n - 1.
+      // Tick number m (1-based) fires at grid_origin_ + (m-1)*t; find the
+      // first tick at or after the trigger by lattice index i = m - 1.
+      const double tau = sim_.now();
+      const double t = config_.t_sample_s;
+      double est = std::ceil((tau - grid_origin_) / t);
+      if (!(est > 0.0)) est = 0.0;
+      std::uint64_t i = static_cast<std::uint64_t>(est);
+      while (grid_origin_ + static_cast<double>(i) * t < tau) ++i;
+      while (i > 0 && grid_origin_ + static_cast<double>(i - 1) * t >= tau) {
+        --i;
+      }
+      const std::uint64_t j = i + 1;  // First tick number at or after tau.
+      // Ticks fired strictly before this trigger: numbers 1 .. j-1.  Fold
+      // the ones no wake accounted yet so the telemetry this cycle
+      // publishes matches tick mode.
+      const std::uint64_t fired = j - 1;
+      if (fired > ticks_accounted_) {
+        loop_->note_skipped_collects(fired - ticks_accounted_);
+        ticks_accounted_ = fired;
+      }
+      run_cycle(CycleTrigger::kBudget);
+      next_cycle_k_ =
+          j + static_cast<std::uint64_t>(config_.schedule_every_n_samples) - 1;
+      sim_.cancel(wake_event_);
+      schedule_wake();
+    } else {
+      run_cycle(CycleTrigger::kBudget);
+    }
   });
-  tick_event_ =
-      sim_.schedule_every(config_.t_sample_s, [this] { on_sample_tick(); });
+  // Event-driven advance needs every tick-granular mechanism disabled:
+  // actuation retries count ticks, so a non-empty fault plan forces the
+  // tick fallback (behaviour, not just timing, would diverge otherwise).
+  event_driven_ = config_.advance_mode == AdvanceMode::kEvent &&
+                  !(config_.fault_plan && !config_.fault_plan->empty());
+  if (event_driven_) {
+    // The lattice a tick-driven daemon would sample on: schedule_every
+    // fires first at now + t, and re-arms firing m at that SAME origin
+    // plus (m-1)*t — so the first firing, not the schedule time, anchors
+    // every later instant's floating-point value.
+    grid_origin_ = sim_.now() + config_.t_sample_s;
+    for (std::size_t i = 0; i < procs_.size(); ++i) {
+      // The overhead a tick-driven daemon would have stolen at each tick:
+      // locally per CPU with per-CPU collector threads, else all charged
+      // to the CPU hosting the daemon process.
+      double steal = 0.0;
+      if (config_.per_cpu_threads) {
+        steal = config_.overhead_per_cpu_sample_s;
+      } else if (i == config_.daemon_cpu) {
+        steal = config_.overhead_per_cpu_sample_s *
+                static_cast<double>(procs_.size());
+      }
+      cluster_.core(procs_[i]).set_sampling_grid(
+          grid_origin_, config_.t_sample_s, steal, /*record_history=*/true);
+    }
+    next_cycle_k_ =
+        static_cast<std::uint64_t>(config_.schedule_every_n_samples);
+    schedule_wake();
+  } else {
+    tick_event_ =
+        sim_.schedule_every(config_.t_sample_s, [this] { on_sample_tick(); });
+  }
 }
 
 FvsstDaemon::~FvsstDaemon() {
   sim_.cancel(tick_event_);
+  sim_.cancel(wake_event_);
 }
 
 const sim::TimeSeries& FvsstDaemon::granted_freq_trace(std::size_t cpu) const {
@@ -117,6 +184,30 @@ void FvsstDaemon::on_sample_tick() {
   if (loop_->collect(sim_.now())) {
     run_cycle(CycleTrigger::kTimer);
   }
+}
+
+void FvsstDaemon::schedule_wake() {
+  // Tick number next_cycle_k_ fires at origin + (k-1)*t: grid_origin_ is
+  // the first tick itself, matching sim::Simulation's re-arm expression.
+  wake_event_ = sim_.schedule_at(
+      grid_origin_ +
+          static_cast<double>(next_cycle_k_ - 1) * config_.t_sample_s,
+      [this] { on_event_wake(); });
+}
+
+void FvsstDaemon::on_event_wake() {
+  // The per-tick steals were applied by the cores' sampling grids; collect
+  // replays the skipped per-tick counter folds from the recorded history.
+  // Its due-cycle return is ignored: in event mode a wake *is* the cycle.
+  loop_->collect(sim_.now());
+  // This wake is tick number next_cycle_k_; fold the ticks it absorbed so
+  // the loop/sample_count published below matches a tick-driven run.
+  loop_->note_skipped_collects(next_cycle_k_ - ticks_accounted_ - 1);
+  ticks_accounted_ = next_cycle_k_;
+  run_cycle(CycleTrigger::kTimer);
+  next_cycle_k_ +=
+      static_cast<std::uint64_t>(config_.schedule_every_n_samples);
+  schedule_wake();
 }
 
 void FvsstDaemon::run_cycle(CycleTrigger trigger) {

@@ -70,6 +70,12 @@ struct DaemonConfig {
   /// to an f_min fail-safe.  Null or empty: no injection, bit-for-bit
   /// identical behaviour.
   const sim::FaultPlan* fault_plan = nullptr;
+  /// kEvent wakes the daemon only at scheduling instants T = n*t and lets
+  /// the cores subdivide the skipped span (Core::set_sampling_grid) —
+  /// byte-identical decisions and journals at ~1/n the event count.  The
+  /// daemon silently falls back to kTick when a non-empty fault plan is
+  /// installed: actuation retries are tick-counted and must see every tick.
+  AdvanceMode advance_mode = AdvanceMode::kTick;
 };
 
 /// The frequency/voltage scheduling daemon.
@@ -133,9 +139,16 @@ class FvsstDaemon {
   sim::MetricRegistry& telemetry() { return telemetry_; }
   const sim::MetricRegistry& telemetry() const { return telemetry_; }
 
+  /// True when running event-driven (advance_mode == kEvent and no fault
+  /// plan forced the tick fallback).
+  bool event_driven() const { return event_driven_; }
+
  private:
   void on_sample_tick();
+  void on_event_wake();
   void run_cycle(CycleTrigger trigger);
+  /// Schedules the next event-mode wake at lattice index next_cycle_k_.
+  void schedule_wake();
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
@@ -149,6 +162,17 @@ class FvsstDaemon {
   SchedulerPolicyStage* policy_ = nullptr;  ///< Owned by loop_.
   std::unique_ptr<ControlLoop> loop_;
   sim::EventId tick_event_ = 0;
+  // Event-driven mode: grid_origin_ is the FIRST tick instant (ctor time
+  // + t), and tick number m fires at grid_origin_ + (m-1) * t_sample_s in
+  // that exact floating-point form (the expression the event queue uses to
+  // re-arm periodic timers), so wakes compare equal to the ticks they
+  // replace.
+  bool event_driven_ = false;
+  double grid_origin_ = 0.0;
+  std::uint64_t next_cycle_k_ = 0;  ///< Tick number (1-based) of next cycle.
+  /// Ticks already folded into loop/sample_count (telemetry parity).
+  std::uint64_t ticks_accounted_ = 0;
+  sim::EventId wake_event_ = 0;
 };
 
 }  // namespace fvsst::core

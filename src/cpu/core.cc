@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace fvsst::cpu {
@@ -90,10 +91,93 @@ void Core::steal_time(double seconds) {
   stolen_pending_s_ += seconds;
 }
 
-void Core::sync() {
-  const double dt = sim_.now() - synced_until_;
-  if (dt > kTimeEpsilon) advance(dt);
-  synced_until_ = sim_.now();
+void Core::sync() { advance_to(sim_.now()); }
+
+void Core::advance_to(double t) {
+  if (t < synced_until_) return;
+  if (grid_period_ > 0.0) {
+    // Subdivide at the sampling lattice: every instant in (synced_until, t]
+    // ends its own advance segment, so chunk boundaries (and with them the
+    // per-chunk noise draws) land exactly where a per-tick driver would
+    // have put them.  Instants are origin + k*period in that exact
+    // floating-point form — the expression sim::Simulation uses to re-arm
+    // periodic events — so a lattice instant compares equal to the tick
+    // time it stands in for.
+    while (true) {
+      const double g =
+          grid_origin_ + static_cast<double>(grid_next_k_) * grid_period_;
+      if (g > t) break;
+      const double dt = g - synced_until_;
+      if (dt > kTimeEpsilon) advance(dt, g);
+      synced_until_ = g;
+      // The per-sample overhead the daemon would have stolen at this tick.
+      // Pending stolen time never touches the counters until a later
+      // advance consumes it, so adding it before the snapshot leaves the
+      // snapshot identical to a tick-driven read.
+      if (grid_steal_s_ > 0.0) stolen_pending_s_ += grid_steal_s_;
+      if (grid_history_) history_.push_back(counters_);
+      ++grid_next_k_;
+    }
+  }
+  const double dt = t - synced_until_;
+  if (dt > kTimeEpsilon) advance(dt, t);
+  synced_until_ = t;
+}
+
+double Core::next_interesting_time() const {
+  double limit = std::numeric_limits<double>::infinity();
+  if (grid_period_ > 0.0) {
+    limit = std::min(limit, grid_origin_ + static_cast<double>(grid_next_k_) *
+                                               grid_period_);
+  }
+  if (stolen_pending_s_ > kTimeEpsilon) {
+    return std::min(limit, synced_until_ + stolen_pending_s_);
+  }
+  // pick_runner() mutates the round-robin cursor; peek without committing.
+  const WorkloadRunner* runner = nullptr;
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const auto& j = jobs_[(rr_index_ + i) % jobs_.size()];
+    if (!j.finished()) {
+      runner = &j;
+      break;
+    }
+  }
+  const bool is_idle = (runner == nullptr);
+  if (is_idle && cfg_.idles_by_halting) return limit;
+  const WorkloadRunner& active = is_idle ? idle_runner_ : *runner;
+  const double rate = workload::true_performance(
+      active.current_phase(), cfg_.latencies, effective_hz_);
+  if (rate > 0.0) {
+    limit = std::min(limit, synced_until_ +
+                                active.instructions_left_in_phase() / rate);
+  }
+  if (!is_idle) {
+    limit = std::min(limit,
+                     synced_until_ + (cfg_.quantum_s - quantum_used_s_));
+  }
+  return limit;
+}
+
+void Core::set_sampling_grid(double origin, double period,
+                             double recurring_steal_s, bool record_history) {
+  if (period <= 0.0) {
+    throw std::invalid_argument("Core: sampling grid period must be positive");
+  }
+  if (grid_period_ > 0.0 &&
+      (grid_origin_ != origin || grid_period_ != period)) {
+    throw std::logic_error(
+        "Core: a different sampling grid is already registered");
+  }
+  grid_origin_ = origin;
+  grid_period_ = period;
+  grid_steal_s_ = recurring_steal_s;
+  grid_history_ = record_history;
+  grid_next_k_ = 0;
+}
+
+void Core::drain_counter_history(std::vector<PerfCounters>& out) {
+  out.insert(out.end(), history_.begin(), history_.end());
+  history_.clear();
 }
 
 WorkloadRunner* Core::pick_runner() {
@@ -117,7 +201,12 @@ void Core::rotate_if_quantum_expired() {
   if (!jobs_.empty()) rr_index_ = (rr_index_ + 1) % jobs_.size();
 }
 
-void Core::advance(double dt) {
+// Advances the model by `dt` seconds ending at absolute time `end_time`.
+// Finish times are derived from end_time (not sim_.now()) so a span
+// subdivided at grid instants produces bit-identical timestamps to the
+// per-tick advances it replaces.
+void Core::advance(double dt, double end_time) {
+  ++advance_calls_;
   double remaining = dt;
   while (remaining > kTimeEpsilon) {
     // Scheduler/daemon overhead executes first: cycles pass, no retirement.
@@ -176,7 +265,7 @@ void Core::advance(double dt) {
     if (!is_idle) {
       quantum_used_s_ += chunk;
       if (active.finished()) {
-        const double now_local = sim_.now() - remaining + chunk;
+        const double now_local = end_time - remaining + chunk;
         finish_times_[rr_index_] = now_local;
         ++jobs_finished_;
         quantum_used_s_ = 0.0;

@@ -16,10 +16,19 @@
 //     Power4+ behaviour that defeats naive utilisation-based scaling.
 //
 // The core is lazily synchronised: queries advance the model to the current
-// simulation time, so no per-tick events are needed.
+// simulation time, so no per-tick events are needed.  Event-driven callers
+// can go further: next_interesting_time() names the next model
+// discontinuity (phase boundary, quantum rotation, stolen-time end, trace
+// exhaustion) and advance_to(t) jumps the model there in one call.  When a
+// daemon samples the core on a fixed lattice, set_sampling_grid() makes a
+// single large advance_to() internally subdivide at the lattice instants —
+// reproducing the exact chunk boundaries, noise draws, overhead steals and
+// counter snapshots a per-tick driver would have produced — so an
+// event-driven run is bit-for-bit identical to a tick-driven one.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -112,8 +121,49 @@ class Core {
   /// Advances the execution model to the current simulation time.
   void sync();
 
+  // --- Event-driven advance ---------------------------------------------
+
+  /// Advances the model to absolute time `t` (clamped to never move
+  /// backwards).  With a sampling grid registered the span is subdivided at
+  /// every grid instant in (synced_until, t]: each segment advances with
+  /// the exact chunking a per-tick sync would have used, and each grid
+  /// instant applies the recurring steal and (when enabled) records a
+  /// counter snapshot.  `sync()` is `advance_to(sim.now())`.
+  void advance_to(double t);
+
+  /// Absolute time of the next model discontinuity after the last advance:
+  /// the earliest of pending-stolen-time end, round-robin quantum expiry,
+  /// current phase boundary, and next sampling-grid instant.  Infinity when
+  /// nothing bounds the advance (halting idle, no grid).  The phase
+  /// boundary uses the noise-free retirement rate, so with
+  /// execution_noise_sigma > 0 it is an estimate; jumping past it is always
+  /// safe (the model re-chunks), it just costs the skipped precision.
+  double next_interesting_time() const;
+
+  /// Registers the daemon's sampling lattice: instants origin + k*period
+  /// for k = 0, 1, 2, ... where `origin` is itself the FIRST instant —
+  /// the exact floating-point expression sim::Simulation uses to re-arm
+  /// periodic events (origin is the first firing, not the schedule time).
+  /// At each instant crossed by an advance the core adds
+  /// `recurring_steal_s` of overhead and, when `record_history`, snapshots
+  /// its counters for later replay by the sampler.  One consumer only:
+  /// re-registering with a different lattice throws.
+  void set_sampling_grid(double origin, double period,
+                         double recurring_steal_s, bool record_history);
+
+  bool has_sampling_grid() const { return grid_period_ > 0.0; }
+
+  /// Moves the per-grid-instant counter snapshots accumulated since the
+  /// last drain into `out` (appended in time order).
+  void drain_counter_history(std::vector<PerfCounters>& out);
+
+  /// Model-advance invocations so far (one per advance_to/sync that had
+  /// work to do, counting grid-subdivision segments separately).  The
+  /// skip-ahead bench pins its regression floor on this.
+  std::uint64_t advance_calls() const { return advance_calls_; }
+
  private:
-  void advance(double dt);
+  void advance(double dt, double end_time);
   WorkloadRunner* pick_runner();
   void rotate_if_quantum_expired();
 
@@ -136,6 +186,15 @@ class Core {
   double synced_until_ = 0.0;
   double stolen_pending_s_ = 0.0;
   PerfCounters counters_;
+
+  // Sampling lattice (event-driven mode); period 0 = none registered.
+  double grid_origin_ = 0.0;
+  double grid_period_ = 0.0;
+  double grid_steal_s_ = 0.0;
+  bool grid_history_ = false;
+  std::uint64_t grid_next_k_ = 0;  ///< Next unprocessed lattice index.
+  std::vector<PerfCounters> history_;
+  std::uint64_t advance_calls_ = 0;
 };
 
 }  // namespace fvsst::cpu

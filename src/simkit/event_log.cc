@@ -4,7 +4,9 @@
 #include <array>
 #include <charconv>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <istream>
 #include <limits>
 #include <map>
@@ -99,7 +101,7 @@ void EventLog::push(Event event) {
   events_.push_back(std::move(event));
 }
 
-void EventLog::stream_to(JsonlStreamWriter* writer) {
+void EventLog::stream_to(JournalWriter* writer) {
   if (writer && capacity_ > 0) {
     throw std::logic_error(
         "EventLog::stream_to: a capped ring buffer cannot stream (events "
@@ -232,7 +234,13 @@ JsonlStreamWriter::JsonlStreamWriter(std::ostream& out,
   buffer_.reserve(flush_bytes_ + 256);
 }
 
-JsonlStreamWriter::~JsonlStreamWriter() { flush(); }
+JsonlStreamWriter::~JsonlStreamWriter() {
+  // Destructors cannot throw; durability-sensitive callers flush() first.
+  try {
+    flush();
+  } catch (const JournalWriteError&) {
+  }
+}
 
 void JsonlStreamWriter::write(const Event& e) {
   append_event_jsonl(buffer_, e);
@@ -242,8 +250,302 @@ void JsonlStreamWriter::write(const Event& e) {
 
 void JsonlStreamWriter::flush() {
   if (buffer_.empty()) return;
-  out_.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  if (!out_.write(buffer_.data(),
+                  static_cast<std::streamsize>(buffer_.size()))) {
+    throw JournalWriteError(
+        "journal write failed after " + std::to_string(events_) +
+        " events: output stream is in a failed state (disk full or closed "
+        "sink?)");
+  }
   buffer_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Binary journal ("FJB1"): length-prefixed records, doubles as raw bits
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kBinaryMagic[4] = {'F', 'J', 'B', '1'};
+/// Sanity bound on one record: a journal event is a handful of short
+/// key/value pairs; anything claiming more is corruption, not data.
+constexpr std::uint32_t kMaxRecordBytes = 1u << 24;
+
+// The put_* encoders materialize the little-endian bytes in a stack
+// buffer and append once: a single length check per field instead of one
+// per byte, which is most of the encoder's cost on the hot decision path.
+void put_u16(std::string& out, std::uint16_t v) {
+  const char buf[2] = {static_cast<char>(v & 0xff),
+                       static_cast<char>((v >> 8) & 0xff)};
+  out.append(buf, sizeof buf);
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(buf, sizeof buf);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.append(buf, sizeof buf);
+}
+
+void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+void put_key(std::string& out, const std::string& key) {
+  if (key.size() > 0xffff) {
+    throw JournalWriteError("binary journal: key longer than 65535 bytes");
+  }
+  put_u16(out, static_cast<std::uint16_t>(key.size()));
+  out += key;
+}
+
+/// Bounds-checked cursor over one record's payload bytes.
+class BinaryDecoder {
+ public:
+  BinaryDecoder(const char* data, std::size_t size, std::size_t record_no)
+      : p_(data), n_(size), record_no_(record_no) {}
+
+  Event decode() {
+    Event e;
+    const std::uint8_t type = take_u8();
+    if (type >= kTypeNames.size()) {
+      fail("unknown event type " + std::to_string(type));
+    }
+    e.type = static_cast<EventType>(type);
+    e.t = take_f64();
+    e.cpu = static_cast<std::int32_t>(take_u32());
+    const std::uint16_t num_count = take_u16();
+    const std::uint16_t str_count = take_u16();
+    e.num.reserve(num_count);
+    for (std::uint16_t i = 0; i < num_count; ++i) {
+      std::string key = take_bytes(take_u16());
+      const double value = take_f64();
+      e.num.emplace_back(std::move(key), value);
+    }
+    e.str.reserve(str_count);
+    for (std::uint16_t i = 0; i < str_count; ++i) {
+      std::string key = take_bytes(take_u16());
+      std::string value = take_bytes(take_u32());
+      e.str.emplace_back(std::move(key), std::move(value));
+    }
+    if (pos_ != n_) fail("trailing bytes after payload");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("binary journal record " +
+                             std::to_string(record_no_) + ": " + why);
+  }
+
+  const char* need(std::size_t count) {
+    if (n_ - pos_ < count) fail("field runs past the record's end");
+    const char* at = p_ + pos_;
+    pos_ += count;
+    return at;
+  }
+
+  std::uint8_t take_u8() {
+    return static_cast<std::uint8_t>(*need(1));
+  }
+  std::uint16_t take_u16() {
+    const char* b = need(2);
+    return static_cast<std::uint16_t>(
+        static_cast<std::uint8_t>(b[0]) |
+        (static_cast<std::uint16_t>(static_cast<std::uint8_t>(b[1])) << 8));
+  }
+  std::uint32_t take_u32() {
+    const char* b = need(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<std::uint8_t>(b[i]);
+    }
+    return v;
+  }
+  double take_f64() {
+    const char* b = need(8);
+    std::uint64_t bits = 0;
+    for (int i = 7; i >= 0; --i) {
+      bits = (bits << 8) | static_cast<std::uint8_t>(b[i]);
+    }
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  std::string take_bytes(std::size_t count) {
+    const char* b = need(count);
+    return std::string(b, count);
+  }
+
+  const char* p_;
+  std::size_t n_;
+  std::size_t record_no_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void append_event_binary(std::string& out, const Event& e) {
+  const std::size_t prefix_at = out.size();
+  put_u32(out, 0);  // Length back-patched once the payload is built.
+  const std::size_t payload_at = out.size();
+  out += static_cast<char>(static_cast<std::uint8_t>(e.type));
+  put_f64(out, e.t);
+  put_u32(out, static_cast<std::uint32_t>(e.cpu));
+  if (e.num.size() > 0xffff || e.str.size() > 0xffff) {
+    throw JournalWriteError("binary journal: more than 65535 payload fields");
+  }
+  put_u16(out, static_cast<std::uint16_t>(e.num.size()));
+  put_u16(out, static_cast<std::uint16_t>(e.str.size()));
+  for (const auto& [key, value] : e.num) {
+    put_key(out, key);
+    put_f64(out, value);
+  }
+  for (const auto& [key, value] : e.str) {
+    put_key(out, key);
+    if (value.size() > 0xffffffffu) {
+      throw JournalWriteError("binary journal: oversized string value");
+    }
+    put_u32(out, static_cast<std::uint32_t>(value.size()));
+    out += value;
+  }
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(out.size() - payload_at);
+  for (int i = 0; i < 4; ++i) {
+    out[prefix_at + static_cast<std::size_t>(i)] =
+        static_cast<char>((len >> (8 * i)) & 0xff);
+  }
+}
+
+BinaryJournalWriter::BinaryJournalWriter(std::ostream& out,
+                                         std::size_t flush_bytes)
+    : out_(out), flush_bytes_(flush_bytes) {
+  buffer_.reserve(flush_bytes_ + 256);
+  buffer_.append(kBinaryMagic, sizeof kBinaryMagic);
+}
+
+BinaryJournalWriter::~BinaryJournalWriter() {
+  try {
+    flush();
+  } catch (const JournalWriteError&) {
+  }
+}
+
+void BinaryJournalWriter::write(const Event& e) {
+  append_event_binary(buffer_, e);
+  ++events_;
+  if (buffer_.size() >= flush_bytes_) flush();
+}
+
+void BinaryJournalWriter::flush() {
+  if (buffer_.empty()) return;
+  if (!out_.write(buffer_.data(),
+                  static_cast<std::streamsize>(buffer_.size()))) {
+    throw JournalWriteError(
+        "journal write failed after " + std::to_string(events_) +
+        " events: output stream is in a failed state (disk full or closed "
+        "sink?)");
+  }
+  buffer_.clear();
+}
+
+void write_binary(std::ostream& out, const EventLog& log) {
+  BinaryJournalWriter writer(out);
+  for (const Event& e : log.events()) writer.write(e);
+  writer.flush();
+}
+
+std::size_t for_each_binary(std::istream& in,
+                            const std::function<void(Event&&)>& fn,
+                            JsonlReadReport* report) {
+  if (report) *report = {};
+  const auto torn = [&](const std::string& why) {
+    if (!report) {
+      throw std::runtime_error("binary journal: torn tail: " + why);
+    }
+    report->torn_tail = true;
+    report->error = why;
+  };
+
+  char magic[sizeof kBinaryMagic];
+  in.read(magic, sizeof magic);
+  const auto magic_got = static_cast<std::size_t>(in.gcount());
+  if (magic_got == 0) return 0;  // An empty stream is an empty journal.
+  if (magic_got < sizeof magic ||
+      std::memcmp(magic, kBinaryMagic, sizeof magic) != 0) {
+    throw std::runtime_error(
+        "binary journal: missing FJB1 magic (not a binary journal?)");
+  }
+
+  std::size_t delivered = 0;
+  std::string payload;
+  while (true) {
+    char len_bytes[4];
+    in.read(len_bytes, sizeof len_bytes);
+    const auto len_got = static_cast<std::size_t>(in.gcount());
+    if (len_got == 0) break;  // Clean end of journal.
+    if (len_got < sizeof len_bytes) {
+      torn("record " + std::to_string(delivered + 1) +
+           ": partial length prefix (" + std::to_string(len_got) +
+           " of 4 bytes)");
+      break;
+    }
+    std::uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) | static_cast<std::uint8_t>(len_bytes[i]);
+    }
+    if (len == 0 || len > kMaxRecordBytes) {
+      throw std::runtime_error("binary journal record " +
+                               std::to_string(delivered + 1) +
+                               ": implausible length " + std::to_string(len));
+    }
+    payload.resize(len);
+    in.read(payload.data(), static_cast<std::streamsize>(len));
+    const auto payload_got = static_cast<std::size_t>(in.gcount());
+    if (payload_got < len) {
+      torn("record " + std::to_string(delivered + 1) + ": payload cut at " +
+           std::to_string(payload_got) + " of " + std::to_string(len) +
+           " bytes");
+      break;
+    }
+    fn(BinaryDecoder(payload.data(), len, delivered + 1).decode());
+    ++delivered;
+  }
+  return delivered;
+}
+
+EventLog read_binary(std::istream& in) {
+  EventLog log;
+  for_each_binary(in, [&log](Event&& e) { log.push(std::move(e)); });
+  return log;
+}
+
+EventLog read_binary(std::istream& in, JsonlReadReport* report) {
+  EventLog log;
+  JsonlReadReport local;
+  for_each_binary(in, [&log](Event&& e) { log.push(std::move(e)); },
+                  report ? report : &local);
+  return log;
+}
+
+JournalFormat detect_journal_format(std::istream& in) {
+  char magic[sizeof kBinaryMagic] = {};
+  in.read(magic, sizeof magic);
+  const auto got = in.gcount();
+  in.clear();  // A short read sets eof/fail; rewind needs a clean stream.
+  in.seekg(-got, std::ios_base::cur);
+  return (got == sizeof magic &&
+          std::memcmp(magic, kBinaryMagic, sizeof magic) == 0)
+             ? JournalFormat::kBinary
+             : JournalFormat::kJsonl;
 }
 
 namespace {

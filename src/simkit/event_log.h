@@ -14,8 +14,12 @@
 // off.  A bounded ring-buffer mode (capacity > 0) keeps long-lived daemons
 // at fixed memory by dropping the oldest events.
 //
-// Two export formats plus a reader:
+// Three export formats plus readers:
 //   write_jsonl        one JSON object per line; read_jsonl loads it back.
+//   write_binary       length-prefixed binary records ("FJB1" magic): the
+//                      same Event model, ~an order of magnitude cheaper to
+//                      serialize, and losslessly convertible to the exact
+//                      JSONL bytes (doubles travel as raw bits).
 //   write_chrome_trace Chrome trace-event JSON (open in Perfetto or
 //                      chrome://tracing): per-cycle stage costs as duration
 //                      slices, power/budget/frequency as counter tracks,
@@ -25,11 +29,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <iosfwd>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -137,21 +143,46 @@ struct Event {
 /// construction.
 void append_event_jsonl(std::string& out, const Event& e);
 
+/// Thrown when a journal writer's underlying stream reports failure: the
+/// bytes did not reach their destination (disk full, closed pipe, bad fd).
+/// Journalling is observational, so callers usually report and keep the
+/// simulation's results; what they must NOT do is trust the journal file.
+class JournalWriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Sink for sealed journal events.  EventLog streams through this
+/// interface, so a run can journal as JSONL or binary (or anything a test
+/// fakes) without the producers knowing.  write() may buffer; flush()
+/// drains and throws JournalWriteError if the underlying stream failed.
+class JournalWriter {
+ public:
+  virtual ~JournalWriter() = default;
+  virtual void write(const Event& e) = 0;
+  virtual void flush() = 0;
+  /// Events accepted by write() so far (buffered or flushed).
+  virtual std::size_t events_written() const = 0;
+};
+
 /// Buffered JSONL emitter: serializes events into an internal buffer and
 /// writes the underlying stream in `flush_bytes` chunks, so a scale run's
 /// journal costs one syscall per few hundred events instead of one per
-/// event.  flush() (also run by the destructor) drains the buffer.
-class JsonlStreamWriter {
+/// event.  flush() (also run by the destructor) drains the buffer and
+/// throws JournalWriteError when the stream has failed; the destructor
+/// swallows that error (it cannot throw), so callers who care about
+/// durability must flush() explicitly before tearing down.
+class JsonlStreamWriter final : public JournalWriter {
  public:
   explicit JsonlStreamWriter(std::ostream& out,
                              std::size_t flush_bytes = 64 * 1024);
-  ~JsonlStreamWriter();
+  ~JsonlStreamWriter() override;
   JsonlStreamWriter(const JsonlStreamWriter&) = delete;
   JsonlStreamWriter& operator=(const JsonlStreamWriter&) = delete;
 
-  void write(const Event& e);
-  void flush();
-  std::size_t events_written() const { return events_; }
+  void write(const Event& e) override;
+  void flush() override;
+  std::size_t events_written() const override { return events_; }
 
  private:
   std::ostream& out_;
@@ -160,15 +191,51 @@ class JsonlStreamWriter {
   std::size_t events_ = 0;
 };
 
+/// Buffered binary journal emitter.  The file is the 4-byte magic "FJB1"
+/// followed by length-prefixed records: u32 payload length (little
+/// endian), then the payload
+///   u8  event type     (EventType enumerator value)
+///   f64 t              (IEEE-754 bits, little endian)
+///   i32 cpu            (little endian two's complement)
+///   u16 num_count, u16 str_count
+///   num_count x { u16 key length, key bytes, f64 value bits }
+///   str_count x { u16 key length, key bytes, u32 value length, value }
+/// Doubles travel as raw bits, so decoding and re-serializing with
+/// append_event_jsonl reproduces the exact JSONL bytes write_jsonl would
+/// have emitted — the converter is lossless both ways.  Same buffering and
+/// error contract as JsonlStreamWriter.
+class BinaryJournalWriter final : public JournalWriter {
+ public:
+  explicit BinaryJournalWriter(std::ostream& out,
+                               std::size_t flush_bytes = 64 * 1024);
+  ~BinaryJournalWriter() override;
+  BinaryJournalWriter(const BinaryJournalWriter&) = delete;
+  BinaryJournalWriter& operator=(const BinaryJournalWriter&) = delete;
+
+  void write(const Event& e) override;
+  void flush() override;
+  std::size_t events_written() const override { return events_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t flush_bytes_;
+  std::string buffer_;
+  std::size_t events_ = 0;
+};
+
+/// Appends `e`'s length-prefixed binary record to `out` — the exact bytes
+/// BinaryJournalWriter emits for that event (sans the file magic).
+void append_event_binary(std::string& out, const Event& e);
+
 /// Append-only journal, optionally bounded.  With capacity > 0 the log is a
 /// ring buffer: appending past capacity drops the oldest event (counted in
 /// dropped()).  References returned by append() stay valid until that event
 /// is itself dropped (storage is a deque).
 ///
-/// Unbounded logs can instead stream: attach a JsonlStreamWriter and each
-/// event is serialized once its payload is final (when the next append
-/// arrives, or at flush_stream()) and released from memory, so an
-/// arbitrarily long run journals in O(1) space.
+/// Unbounded logs can instead stream: attach a JournalWriter (JSONL or
+/// binary) and each event is serialized once its payload is final (when
+/// the next append arrives, or at flush_stream()) and released from
+/// memory, so an arbitrarily long run journals in O(1) space.
 class EventLog {
  public:
   /// `capacity` 0 keeps everything (unbounded).
@@ -187,7 +254,7 @@ class EventLog {
   /// unbounded log: the ring's drop-oldest contract cannot be honoured
   /// once bytes have left the process, so capacity > 0 throws.  Events
   /// already in the log are sealed by the next append as usual.
-  void stream_to(JsonlStreamWriter* writer);
+  void stream_to(JournalWriter* writer);
 
   /// Seals any pending tail into the stream and flushes the writer; call
   /// once the run is over.  No-op when not streaming.
@@ -210,7 +277,7 @@ class EventLog {
   std::size_t capacity_;
   std::size_t dropped_ = 0;
   std::size_t streamed_ = 0;
-  JsonlStreamWriter* stream_ = nullptr;
+  JournalWriter* stream_ = nullptr;
   std::deque<Event> events_;
 };
 
@@ -250,6 +317,35 @@ EventLog read_jsonl(std::istream& in, JsonlReadReport* report);
 std::size_t for_each_jsonl(std::istream& in,
                            const std::function<void(Event&&)>& fn,
                            JsonlReadReport* report = nullptr);
+
+/// Writes the "FJB1" binary journal (see BinaryJournalWriter for the wire
+/// layout).
+void write_binary(std::ostream& out, const EventLog& log);
+
+/// Streaming binary reader, the for_each_jsonl twin.  A record cut short
+/// by the end of the stream — a partial length prefix or fewer payload
+/// bytes than the prefix promised — is the binary torn tail: reported via
+/// `report` (tolerant contract) or thrown (strict, `report` null); every
+/// complete record before it is still delivered.  A payload that decodes
+/// inconsistently (unknown event type, key running past the record, bytes
+/// left over) is corruption and always throws, as does a missing or wrong
+/// magic.  An empty stream is an empty journal.  Returns events delivered.
+std::size_t for_each_binary(std::istream& in,
+                            const std::function<void(Event&&)>& fn,
+                            JsonlReadReport* report = nullptr);
+
+/// Materializing wrappers over for_each_binary (strict / tolerant).
+EventLog read_binary(std::istream& in);
+EventLog read_binary(std::istream& in, JsonlReadReport* report);
+
+/// On-disk journal encodings.
+enum class JournalFormat { kJsonl, kBinary };
+
+/// Sniffs which journal encoding `in` holds by peeking its first bytes
+/// (the stream is rewound): the "FJB1" magic means binary, anything else
+/// — including an empty or short stream — is JSONL, whose lines can never
+/// start with that magic ('{' opens every line write_jsonl emits).
+JournalFormat detect_journal_format(std::istream& in);
 
 /// Writes Chrome trace-event JSON (load in Perfetto or chrome://tracing).
 /// The timeline is simulated time in microseconds; each cycle's measured

@@ -1,0 +1,357 @@
+// Tests for the "FJB1" binary journal (simkit/event_log.h): lossless
+// two-way conversion against the JSONL format, torn-tail tolerance under
+// truncation at every byte, corruption rejection, format sniffing, and the
+// checked write-error contract shared by both journal writers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/cluster_daemon.h"
+#include "core/daemon.h"
+#include "mach/machine_config.h"
+#include "power/budget.h"
+#include "simkit/event_log.h"
+#include "simkit/fault_plan.h"
+#include "workload/synthetic.h"
+
+namespace fvsst::sim {
+namespace {
+
+std::string jsonl_bytes(const EventLog& log) {
+  std::ostringstream out;
+  write_jsonl(out, log);
+  return out.str();
+}
+
+std::string binary_bytes(const EventLog& log) {
+  std::ostringstream out;
+  write_binary(out, log);
+  return out.str();
+}
+
+/// A small hand-built journal exercising every encoding edge the real
+/// producers can emit (and a few they cannot): empty payloads, global and
+/// per-CPU events, doubles whose shortest decimal form matters (negative
+/// zero, denormals, NaN, infinities), strings needing every JSON escape.
+EventLog edge_case_log() {
+  EventLog log;
+  log.append(0.0, EventType::kRunMeta)
+      .set("t_sample_s", 0.010)
+      .set("multiplier", 10.0)
+      .set("daemon", std::string("fvsst"));
+  log.append(0.0, EventType::kIdleEnter, 0);  // No payload at all.
+  log.append(0.1, EventType::kDecision, 3)
+      .set("granted_hz", 8e8)
+      .set("volts", 1.1491002456333963)
+      .set("predicted_loss", 0.03872857634388034);
+  log.append(-0.0, EventType::kBudgetChange)
+      .set("budget_w", -0.0)
+      .set("nan", std::numeric_limits<double>::quiet_NaN())
+      .set("inf", std::numeric_limits<double>::infinity())
+      .set("ninf", -std::numeric_limits<double>::infinity())
+      .set("denorm", std::numeric_limits<double>::denorm_min())
+      .set("max", std::numeric_limits<double>::max());
+  log.append(1e-9, EventType::kFault, 2)
+      .set("kind", std::string("actuation_reject"))
+      .set("escapes", std::string("a\"b\\c\nd\te\rf\bg\fh"))
+      .set("control", std::string("x\x01y\x1fz"))
+      .set("empty", std::string());
+  log.append(2.5, EventType::kSnapshot)
+      .set("epoch", 3.0)
+      .set("op", std::string("save"))
+      .set("blob", std::string(300, 'q'));
+  return log;
+}
+
+/// A journal from a real chaos run: an SMP daemon under actuation and
+/// sensor faults with a mid-run budget drop, so the log carries
+/// cycle/decision/actuation records, fault windows, degraded-mode
+/// transitions and budget changes with full-precision doubles throughout.
+EventLog chaos_run_log() {
+  Simulation sim;
+  Rng rng(11);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, 1, rng);
+  cluster.core({0, 0}).add_workload(
+      workload::make_uniform_synthetic(85.0, 1e12));
+  cluster.core({0, 2}).add_workload(
+      workload::make_uniform_synthetic(35.0, 1e12));
+  power::PowerBudget budget(560.0);
+  sim.schedule_at(0.9, [&] { budget.set_limit_w(200.0); });
+
+  EventLog journal;
+  FaultPlan plan(5);
+  plan.add({FaultKind::kActuationReject, 0.5, 1.2, /*target=*/0, 0.0});
+  plan.add({FaultKind::kSensorDropout, 1.3, 1.6, /*target=*/2, 0.0});
+  core::DaemonConfig config;
+  config.journal = &journal;
+  config.fault_plan = &plan;
+  core::FvsstDaemon daemon(sim, cluster, machine.freq_table, budget, config);
+  sim.run_for(2.0);
+  return journal;
+}
+
+/// A journal from a failover run: coordinator crash after a budget drop,
+/// so the log adds epoch changes, snapshots and node_apply actuations to
+/// the mix.
+EventLog failover_run_log() {
+  Simulation sim;
+  Rng rng(7);
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, mach::p630(), 2, rng);
+  for (const auto& addr : cluster.all_procs()) {
+    cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(100.0, 1e12));
+  }
+  power::PowerBudget budget(8 * 140.0);
+  sim.schedule_at(1.0123, [&] { budget.set_limit_w(500.0); });
+
+  EventLog journal;
+  FaultPlan plan(1);
+  plan.add({FaultKind::kCoordinatorCrash, 1.0123, 2.0, /*target=*/0, 0.0});
+  core::ClusterDaemonConfig cfg;
+  cfg.journal = &journal;
+  cfg.fault_plan = &plan;
+  cfg.failover.standby = true;
+  core::ClusterDaemon daemon(sim, cluster, mach::p630().freq_table, budget,
+                             cfg);
+  sim.run_for(2.5);
+  return journal;
+}
+
+// --- Lossless conversion ---------------------------------------------------
+
+class BinaryRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  EventLog make_log() const {
+    switch (GetParam()) {
+      case 0: return edge_case_log();
+      case 1: return chaos_run_log();
+      default: return failover_run_log();
+    }
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Journals, BinaryRoundTrip,
+                         ::testing::Values(0, 1, 2));
+
+TEST_P(BinaryRoundTrip, ReproducesJsonlBytesExactly) {
+  const EventLog log = make_log();
+  ASSERT_FALSE(log.empty());
+  const std::string jsonl = jsonl_bytes(log);
+
+  std::istringstream in(binary_bytes(log));
+  const EventLog decoded = read_binary(in);
+  ASSERT_EQ(decoded.size(), log.size());
+  // The converter's whole contract: binary -> Event -> JSONL emits the
+  // byte-identical journal, full double precision and escapes included.
+  EXPECT_EQ(jsonl_bytes(decoded), jsonl);
+}
+
+TEST_P(BinaryRoundTrip, BinaryBytesAreAFixedPoint) {
+  const EventLog log = make_log();
+  const std::string bytes = binary_bytes(log);
+  std::istringstream in(bytes);
+  EXPECT_EQ(binary_bytes(read_binary(in)), bytes);
+}
+
+TEST_P(BinaryRoundTrip, StreamingWriterMatchesBatchExport) {
+  const EventLog log = make_log();
+  std::ostringstream out;
+  {
+    BinaryJournalWriter writer(out);
+    EventLog streaming;
+    streaming.stream_to(&writer);
+    for (const Event& e : log.events()) {
+      Event copy = e;
+      streaming.push(std::move(copy));
+    }
+    streaming.flush_stream();
+    EXPECT_EQ(writer.events_written(), log.size());
+    EXPECT_EQ(streaming.streamed(), log.size());
+  }
+  EXPECT_EQ(out.str(), binary_bytes(log));
+}
+
+// --- Torn tails and corruption ---------------------------------------------
+
+std::size_t tolerant_count(const std::string& bytes, JsonlReadReport* report) {
+  std::istringstream in(bytes);
+  std::size_t n = 0;
+  for_each_binary(in, [&n](Event&&) { ++n; }, report);
+  return n;
+}
+
+TEST(BinaryJournalTruncation, EveryPrefixEitherReadsOrReportsTornTail) {
+  const EventLog log = edge_case_log();
+  const std::string bytes = binary_bytes(log);
+
+  // Record boundaries: after the magic, then after each full record.
+  std::vector<std::size_t> boundaries{4};
+  {
+    std::size_t pos = 4;
+    std::istringstream in(bytes);
+    for_each_binary(in, [&](Event&& e) {
+      std::string rec;
+      append_event_binary(rec, e);
+      pos += rec.size();
+      boundaries.push_back(pos);
+    });
+    ASSERT_EQ(pos, bytes.size());
+  }
+
+  std::size_t prev_count = 0;
+  for (std::size_t len = 0; len <= bytes.size(); ++len) {
+    const std::string prefix = bytes.substr(0, len);
+    if (len == 0) {
+      JsonlReadReport report;
+      EXPECT_EQ(tolerant_count(prefix, &report), 0u);
+      EXPECT_FALSE(report.torn_tail);
+      continue;
+    }
+    if (len < 4) {
+      // Not even the magic made it: unidentifiable, rejected outright.
+      JsonlReadReport report;
+      EXPECT_THROW(tolerant_count(prefix, &report), std::runtime_error);
+      continue;
+    }
+    JsonlReadReport report;
+    std::size_t count = 0;
+    ASSERT_NO_THROW(count = tolerant_count(prefix, &report))
+        << "prefix length " << len;
+    const bool at_boundary =
+        std::find(boundaries.begin(), boundaries.end(), len) !=
+        boundaries.end();
+    EXPECT_EQ(report.torn_tail, !at_boundary) << "prefix length " << len;
+    if (!at_boundary) {
+      EXPECT_FALSE(report.error.empty()) << "prefix length " << len;
+    }
+    // Complete records before the cut are always recovered, in order.
+    EXPECT_GE(count, prev_count) << "prefix length " << len;
+    prev_count = count;
+  }
+  EXPECT_EQ(prev_count, log.size());
+
+  // Strict contract: the same torn prefix throws without a report.
+  const std::string torn = bytes.substr(0, bytes.size() - 1);
+  std::istringstream in(torn);
+  EXPECT_THROW(for_each_binary(in, [](Event&&) {}), std::runtime_error);
+}
+
+TEST(BinaryJournalTruncation, RealRunJournalSurvivesSampledCuts) {
+  const std::string bytes = binary_bytes(chaos_run_log());
+  // Full per-byte coverage would be quadratic in the journal; a stride
+  // coprime to every field width still lands cuts inside length prefixes,
+  // keys, doubles and string bodies.
+  for (std::size_t len = 4; len < bytes.size(); len += 37) {
+    JsonlReadReport report;
+    ASSERT_NO_THROW(tolerant_count(bytes.substr(0, len), &report))
+        << "prefix length " << len;
+  }
+}
+
+TEST(BinaryJournalCorruption, RejectsBadMagicBadLengthsAndBadPayloads) {
+  const EventLog log = edge_case_log();
+  std::string bytes = binary_bytes(log);
+
+  {  // Wrong magic.
+    std::string bad = bytes;
+    bad[0] = 'X';
+    std::istringstream in(bad);
+    EXPECT_THROW(read_binary(in), std::runtime_error);
+  }
+  {  // JSONL handed to the binary reader.
+    std::istringstream in(jsonl_bytes(log));
+    EXPECT_THROW(read_binary(in), std::runtime_error);
+  }
+  {  // Implausible record length (prefix of the first record).
+    std::string bad = bytes;
+    bad[4] = '\xff';
+    bad[5] = '\xff';
+    bad[6] = '\xff';
+    bad[7] = '\x7f';
+    std::istringstream in(bad);
+    JsonlReadReport report;
+    EXPECT_THROW(read_binary(in, &report), std::runtime_error);
+  }
+  {  // Unknown event type byte in the first payload.
+    std::string bad = bytes;
+    bad[8] = '\x7f';
+    std::istringstream in(bad);
+    JsonlReadReport report;
+    EXPECT_THROW(read_binary(in, &report), std::runtime_error);
+  }
+}
+
+// --- Format sniffing --------------------------------------------------------
+
+TEST(JournalFormatDetection, SniffsAndRewinds) {
+  const EventLog log = edge_case_log();
+  {
+    std::istringstream in(binary_bytes(log));
+    EXPECT_EQ(detect_journal_format(in), JournalFormat::kBinary);
+    // The sniff must not consume the stream: a full read still works.
+    EXPECT_EQ(read_binary(in).size(), log.size());
+  }
+  {
+    std::istringstream in(jsonl_bytes(log));
+    EXPECT_EQ(detect_journal_format(in), JournalFormat::kJsonl);
+    EXPECT_EQ(read_jsonl(in).size(), log.size());
+  }
+  {
+    std::istringstream empty;
+    EXPECT_EQ(detect_journal_format(empty), JournalFormat::kJsonl);
+  }
+  {
+    std::istringstream shorty("{}");
+    EXPECT_EQ(detect_journal_format(shorty), JournalFormat::kJsonl);
+  }
+}
+
+// --- Checked write errors ---------------------------------------------------
+
+/// A stream buffer that refuses every byte, as a full disk or closed pipe
+/// would at the stdio layer.
+class FailingBuf : public std::streambuf {
+ protected:
+  int_type overflow(int_type) override { return traits_type::eof(); }
+  std::streamsize xsputn(const char*, std::streamsize) override { return 0; }
+};
+
+TEST(JournalWriteErrors, JsonlFlushThrowsOnFailedStream) {
+  FailingBuf buf;
+  std::ostream out(&buf);
+  JsonlStreamWriter writer(out);
+  writer.write(edge_case_log().events().front());
+  EXPECT_THROW(writer.flush(), JournalWriteError);
+  // The destructor must swallow the same failure (it cannot throw); the
+  // writer going out of scope here is the assertion.
+}
+
+TEST(JournalWriteErrors, BinaryFlushThrowsOnFailedStream) {
+  FailingBuf buf;
+  std::ostream out(&buf);
+  BinaryJournalWriter writer(out);
+  writer.write(edge_case_log().events().front());
+  EXPECT_THROW(writer.flush(), JournalWriteError);
+}
+
+TEST(JournalWriteErrors, HealthyStreamsDoNotThrow) {
+  const EventLog log = edge_case_log();
+  std::ostringstream out;
+  JsonlStreamWriter writer(out);
+  for (const Event& e : log.events()) writer.write(e);
+  EXPECT_NO_THROW(writer.flush());
+  EXPECT_EQ(out.str(), jsonl_bytes(log));
+}
+
+}  // namespace
+}  // namespace fvsst::sim

@@ -1,10 +1,19 @@
 // fvsst_inspect - Reads a decision journal (fvsst_sim --journal) and prints
-// a run summary, checks scheduling invariants, or diffs two runs.
+// a run summary, checks scheduling invariants, diffs two runs, or converts
+// between encodings.
 //
 // Usage:
 //   fvsst_inspect JOURNAL             per-run summary
 //   fvsst_inspect JOURNAL --check     verify invariants; exit 1 on violation
 //   fvsst_inspect JOURNAL --diff B    compare decisions; exit 1 on divergence
+//   fvsst_inspect JOURNAL --to-jsonl OUT
+//                                     re-emit as JSON lines ('-': stdout)
+//
+// Journals may be JSON lines or the compact "FJB1" binary record
+// (fvsst_sim --journal foo.fjb); the encoding is sniffed from the first
+// bytes, so every mode accepts either.  --to-jsonl on a binary journal
+// reproduces the exact JSONL bytes fvsst_sim's buffered JSONL path would
+// have written for the same run — the lossless converter.
 //
 // The checks (--check):
 //   1. total power <= budget whenever the scheduler claims feasibility;
@@ -13,14 +22,16 @@
 //   3. the scheduling period T restarts after a budget trigger (SMP daemon
 //      journals only — declared by run_meta t_restarts).
 // All checking logic lives in sim::JournalChecker / sim::diff_journals
-// (src/simkit/event_log.h); this binary is the command-line face.  Summary
-// and --check run as a single streaming pass (sim::for_each_jsonl), so a
-// multi-gigabyte journal is inspected in bounded memory; only --diff loads
-// journals whole.
+// (src/simkit/event_log.h); this binary is the command-line face.  Summary,
+// --check and --to-jsonl run as a single streaming pass (sim::for_each_jsonl
+// / sim::for_each_binary), so a multi-gigabyte journal is inspected in
+// bounded memory; only --diff loads journals whole.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
+#include <iostream>
 #include <map>
 #include <string>
 #include <vector>
@@ -35,22 +46,39 @@ namespace {
 [[noreturn]] void usage_error(const std::string& message) {
   std::fprintf(stderr,
                "fvsst_inspect: %s\n"
-               "usage: fvsst_inspect JOURNAL [--check] [--diff OTHER]\n",
+               "usage: fvsst_inspect JOURNAL [--check] [--diff OTHER] "
+               "[--to-jsonl OUT]\n",
                message.c_str());
   std::exit(2);
 }
 
+/// One streaming pass in whichever encoding the sniff reported.  The two
+/// readers share the delivery and torn-tail contracts, so callers only
+/// differ in which decoder runs.
+std::size_t for_each_event(std::istream& in, sim::JournalFormat format,
+                           const std::function<void(sim::Event&&)>& fn,
+                           sim::JsonlReadReport* report) {
+  return format == sim::JournalFormat::kBinary
+             ? sim::for_each_binary(in, fn, report)
+             : sim::for_each_jsonl(in, fn, report);
+}
+
 sim::EventLog load(const std::string& path) {
-  std::ifstream in(path);
+  // std::ios::binary keeps the FJB1 byte stream untranslated; it is a
+  // no-op for JSONL text.
+  std::ifstream in(path, std::ios::binary);
   if (!in) usage_error("cannot open journal '" + path + "'");
   try {
-    // Tolerant load: a torn final line (the writer died mid-record) is a
+    // Tolerant load: a torn final record (the writer died mid-record) is a
     // fact about the run worth inspecting, not a reason to refuse it.
+    const sim::JournalFormat format = sim::detect_journal_format(in);
     sim::JsonlReadReport report;
-    sim::EventLog log = sim::read_jsonl(in, &report);
+    sim::EventLog log = format == sim::JournalFormat::kBinary
+                            ? sim::read_binary(in, &report)
+                            : sim::read_jsonl(in, &report);
     if (report.torn_tail) {
       std::fprintf(stderr,
-                   "fvsst_inspect: %s: torn final line dropped (%s); "
+                   "fvsst_inspect: %s: torn final record dropped (%s); "
                    "recovered %zu complete event(s)\n",
                    path.c_str(), report.error.c_str(), log.size());
     }
@@ -59,6 +87,62 @@ sim::EventLog load(const std::string& path) {
     std::fprintf(stderr, "fvsst_inspect: %s: %s\n", path.c_str(), e.what());
     std::exit(2);
   }
+}
+
+/// --to-jsonl: stream the journal out as JSON lines.  For a binary input
+/// this emits, byte for byte, the JSONL that fvsst_sim's buffered JSONL
+/// path would have written; a JSONL input round-trips unchanged.
+int run_to_jsonl(const std::string& journal_path,
+                 const std::string& out_path) {
+  std::ifstream in(journal_path, std::ios::binary);
+  if (!in) usage_error("cannot open journal '" + journal_path + "'");
+  const sim::JournalFormat format = sim::detect_journal_format(in);
+
+  std::ofstream file_out;
+  std::ostream* out = &std::cout;
+  if (out_path != "-") {
+    file_out.open(out_path, std::ios::binary);
+    if (!file_out) usage_error("cannot open output '" + out_path + "'");
+    out = &file_out;
+  }
+
+  std::string buffer;
+  sim::JsonlReadReport report;
+  std::size_t delivered = 0;
+  try {
+    delivered = for_each_event(in, format,
+                               [&](sim::Event&& e) {
+                                 sim::append_event_jsonl(buffer, e);
+                                 if (buffer.size() >= 64 * 1024) {
+                                   out->write(buffer.data(),
+                                              static_cast<std::streamsize>(
+                                                  buffer.size()));
+                                   buffer.clear();
+                                 }
+                               },
+                               &report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "fvsst_inspect: %s: %s\n", journal_path.c_str(),
+                 e.what());
+    return 2;
+  }
+  out->write(buffer.data(), static_cast<std::streamsize>(buffer.size()));
+  out->flush();
+  if (!*out) {
+    std::fprintf(stderr, "fvsst_inspect: failed to write '%s'\n",
+                 out_path.c_str());
+    return 2;
+  }
+  if (report.torn_tail) {
+    std::fprintf(stderr,
+                 "fvsst_inspect: %s: torn final record dropped (%s); "
+                 "converted %zu complete event(s)\n",
+                 journal_path.c_str(), report.error.c_str(), delivered);
+  }
+  // Progress goes to stderr so '-' leaves pure JSONL on stdout.
+  std::fprintf(stderr, "[convert] wrote %zu event(s) as JSONL to %s\n",
+               delivered, out_path.c_str());
+  return 0;
 }
 
 // Summary aggregates, filled by one streaming pass over the journal.  The
@@ -320,25 +404,39 @@ int run_diff(const std::string& path_a, const sim::EventLog& a,
 int main(int argc, char** argv) {
   std::string journal_path;
   std::string diff_path;
+  std::string to_jsonl_path;
+  bool to_jsonl = false;
   bool check = false;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--help" || flag == "-h") {
       std::printf(
-          "usage: fvsst_inspect JOURNAL [--check] [--diff OTHER]\n"
-          "Reads a JSON-lines decision journal written by fvsst_sim "
-          "--journal.\n"
-          "  (no flags)   print a run summary\n"
-          "  --check      verify scheduling invariants; exit 1 on "
+          "usage: fvsst_inspect JOURNAL [--check] [--diff OTHER] "
+          "[--to-jsonl OUT]\n"
+          "Reads a decision journal written by fvsst_sim --journal; both\n"
+          "the JSON-lines and the binary (.fjb) encodings are detected\n"
+          "automatically.\n"
+          "  (no flags)     print a run summary\n"
+          "  --check        verify scheduling invariants; exit 1 on "
           "violation\n"
-          "  --diff B     compare decisions against journal B; exit 1 when "
-          "they diverge\n");
+          "  --diff B       compare decisions against journal B; exit 1 when "
+          "they diverge\n"
+          "  --to-jsonl OUT re-emit the journal as JSON lines ('-' for "
+          "stdout);\n"
+          "                 a binary journal converts to the exact bytes the\n"
+          "                 JSONL writer would have produced\n");
       return 0;
     } else if (flag == "--check") {
       check = true;
     } else if (flag == "--diff") {
       if (i + 1 >= argc) usage_error("--diff needs a journal path");
       diff_path = argv[++i];
+    } else if (flag == "--to-jsonl") {
+      if (i + 1 >= argc) {
+        usage_error("--to-jsonl needs an output path (or - for stdout)");
+      }
+      to_jsonl = true;
+      to_jsonl_path = argv[++i];
     } else if (!flag.empty() && flag[0] == '-') {
       usage_error("unknown flag '" + flag + "'");
     } else if (journal_path.empty()) {
@@ -348,6 +446,11 @@ int main(int argc, char** argv) {
     }
   }
   if (journal_path.empty()) usage_error("no journal given");
+  if (to_jsonl && (check || !diff_path.empty())) {
+    usage_error("--to-jsonl cannot be combined with --check or --diff");
+  }
+
+  if (to_jsonl) return run_to_jsonl(journal_path, to_jsonl_path);
 
   if (!diff_path.empty()) {
     // Diffing genuinely needs both decision streams resident (events are
@@ -359,19 +462,20 @@ int main(int argc, char** argv) {
 
   // Summary and --check share one streaming pass: memory stays bounded by
   // the journal's variety, never its length.
-  std::ifstream in(journal_path);
+  std::ifstream in(journal_path, std::ios::binary);
   if (!in) usage_error("cannot open journal '" + journal_path + "'");
+  const sim::JournalFormat format = sim::detect_journal_format(in);
   SummaryStats stats;
   sim::JournalChecker checker;
   sim::JsonlReadReport report;
   std::size_t delivered = 0;
   try {
-    delivered = sim::for_each_jsonl(in,
-                                    [&](sim::Event&& e) {
-                                      stats.observe(e);
-                                      if (check) checker.observe(e);
-                                    },
-                                    &report);
+    delivered = for_each_event(in, format,
+                               [&](sim::Event&& e) {
+                                 stats.observe(e);
+                                 if (check) checker.observe(e);
+                               },
+                               &report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "fvsst_inspect: %s: %s\n", journal_path.c_str(),
                  e.what());
@@ -379,7 +483,7 @@ int main(int argc, char** argv) {
   }
   if (report.torn_tail) {
     std::fprintf(stderr,
-                 "fvsst_inspect: %s: torn final line dropped (%s); "
+                 "fvsst_inspect: %s: torn final record dropped (%s); "
                  "recovered %zu complete event(s)\n",
                  journal_path.c_str(), report.error.c_str(), delivered);
   }

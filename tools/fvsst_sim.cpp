@@ -36,9 +36,15 @@
 //   --margin-controller  enable the measured-power margin feedback loop
 //   --seed S             RNG seed (default 42)
 //   --csv DIR            dump frequency/power traces as CSV
-//   --journal FILE       write the decision journal as JSON lines
+//   --journal FILE       write the decision journal; the extension picks
+//                        the format (.jsonl: JSON lines, .fjb: compact
+//                        binary), any other extension needs --journal-format
+//   --journal-format F   jsonl | binary — override the extension choice
 //   --chrome-trace FILE  write a Chrome trace-event JSON (Perfetto-loadable)
 //   --journal-cap N      ring-buffer the journal at N events (0: unbounded)
+//   --advance-mode M     event (default) skips stable phases analytically;
+//                        tick advances every core at every sampling instant.
+//                        Outputs are byte-identical either way.
 //   --explain            record pass-1/pass-2 rationale in the journal
 //   --fault-plan FILE    inject faults from a fault-plan file (see
 //                        sim::FaultPlan::parse for the line format)
@@ -115,9 +121,11 @@ struct CliOptions {
   std::uint64_t seed = 42;
   std::string csv_dir;
   bool json = false;  ///< Machine-readable summary on stdout.
-  std::string journal_path;       ///< JSON-lines decision journal.
+  std::string journal_path;       ///< Decision journal (.jsonl or .fjb).
+  std::string journal_format;     ///< "jsonl" | "binary" | "" (by extension).
   std::string chrome_trace_path;  ///< Chrome trace-event JSON.
   std::size_t journal_cap = 0;    ///< Ring-buffer capacity (0: unbounded).
+  core::AdvanceMode advance_mode = core::AdvanceMode::kEvent;
   bool explain = false;           ///< Record scheduler rationale.
   std::string fault_plan_path;    ///< Fault-injection plan file.
   bool standby = false;           ///< Run a standby coordinator (--cluster).
@@ -162,7 +170,8 @@ void print_help() {
       "                 [--multiplier N] [--cluster] [--threads N]\n"
       "                 [--governor G]\n"
       "                 [--margin-controller] [--seed S] [--csv DIR]\n"
-      "                 [--journal FILE] [--chrome-trace FILE]\n"
+      "                 [--journal FILE] [--journal-format jsonl|binary]\n"
+      "                 [--chrome-trace FILE] [--advance-mode tick|event]\n"
       "                 [--journal-cap N] [--explain] [--fault-plan FILE]\n"
       "                 [--standby] [--failsafe K]\n"
       "SPEC: synth:INTENSITY[:INSTRUCTIONS] | app:NAME | trace:FILE\n"
@@ -356,6 +365,17 @@ CliOptions parse_args(int argc, char** argv) {
       opts.csv_dir = next_value(i, "--csv");
     } else if (flag == "--journal") {
       opts.journal_path = next_value(i, "--journal");
+    } else if (flag == "--journal-format") {
+      opts.journal_format = next_value(i, "--journal-format");
+      if (opts.journal_format != "jsonl" && opts.journal_format != "binary") {
+        usage_error("--journal-format must be jsonl or binary, not '" +
+                    opts.journal_format + "'");
+      }
+    } else if (flag == "--advance-mode") {
+      const std::string v = next_value(i, "--advance-mode");
+      if (v == "tick") opts.advance_mode = core::AdvanceMode::kTick;
+      else if (v == "event") opts.advance_mode = core::AdvanceMode::kEvent;
+      else usage_error("unknown advance mode '" + v + "'");
     } else if (flag == "--chrome-trace") {
       opts.chrome_trace_path = next_value(i, "--chrome-trace");
     } else if (flag == "--journal-cap") {
@@ -378,6 +398,22 @@ CliOptions parse_args(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+/// Format for --journal: an explicit --journal-format wins, otherwise the
+/// file extension decides (.jsonl / .fjb).  Anything else is rejected so a
+/// typo never silently produces the wrong encoding.
+sim::JournalFormat resolve_journal_format(const CliOptions& opts) {
+  if (opts.journal_format == "jsonl") return sim::JournalFormat::kJsonl;
+  if (opts.journal_format == "binary") return sim::JournalFormat::kBinary;
+  const std::string ext =
+      std::filesystem::path(opts.journal_path).extension().string();
+  if (ext == ".jsonl") return sim::JournalFormat::kJsonl;
+  if (ext == ".fjb") return sim::JournalFormat::kBinary;
+  usage_error("--journal '" + opts.journal_path + "': cannot infer format" +
+              (ext.empty() ? " (no extension)"
+                           : " from extension '" + ext + "'") +
+              "; use .jsonl or .fjb, or pass --journal-format jsonl|binary");
 }
 
 }  // namespace
@@ -430,6 +466,9 @@ int main(int argc, char** argv) {
   // ScheduleResult), but is most useful combined with --journal.
   const bool want_journal =
       !opts.journal_path.empty() || !opts.chrome_trace_path.empty();
+  const sim::JournalFormat journal_format =
+      opts.journal_path.empty() ? sim::JournalFormat::kJsonl
+                                : resolve_journal_format(opts);
   sim::EventLog journal(opts.journal_cap);
 
   sim::FaultPlan fault_plan;
@@ -453,6 +492,7 @@ int main(int argc, char** argv) {
   dcfg.scheduler.explain = opts.explain;
   dcfg.idle_signal = opts.idle_signal;
   dcfg.estimate_smoothing = opts.smoothing;
+  dcfg.advance_mode = opts.advance_mode;
   if (want_journal) dcfg.journal = &journal;
   if (have_faults) dcfg.fault_plan = &fault_plan;
 
@@ -472,6 +512,7 @@ int main(int argc, char** argv) {
     ccfg.schedule_every_n_samples = dcfg.schedule_every_n_samples;
     ccfg.scheduler = dcfg.scheduler;
     ccfg.idle_signal = opts.idle_signal;
+    ccfg.advance_mode = opts.advance_mode;
     if (want_journal) ccfg.journal = &journal;
     if (have_faults) ccfg.fault_plan = &fault_plan;
     ccfg.failover.standby = opts.standby;
@@ -517,37 +558,66 @@ int main(int argc, char** argv) {
     sensor.set_fault_plan(&fault_plan, want_journal ? &journal : nullptr);
   }
 
-  // Streaming journal: an unbounded journal headed for a plain JSONL file
-  // is flushed to disk as the run produces events, so memory stays bounded
-  // at scale.  A chrome trace needs the whole log at the end and a
-  // --journal-cap ring drops events after the fact, so either keeps the
-  // buffered end-of-run path (as does a path that fails to open — the
+  // Streaming journal: an unbounded journal headed for a plain JSONL or
+  // binary file is flushed to disk as the run produces events, so memory
+  // stays bounded at scale.  A chrome trace needs the whole log at the end
+  // and a --journal-cap ring drops events after the fact, so either keeps
+  // the buffered end-of-run path (as does a path that fails to open — the
   // buffered write reports that error).
+  const bool journal_is_binary =
+      journal_format == sim::JournalFormat::kBinary;
   std::ofstream journal_stream_out;
-  std::unique_ptr<sim::JsonlStreamWriter> journal_stream;
+  std::unique_ptr<sim::JournalWriter> journal_stream;
   if (!opts.journal_path.empty() && opts.journal_cap == 0 &&
       opts.chrome_trace_path.empty()) {
-    journal_stream_out.open(opts.journal_path);
+    journal_stream_out.open(opts.journal_path,
+                            journal_is_binary
+                                ? std::ios::out | std::ios::binary
+                                : std::ios::out);
     if (journal_stream_out) {
-      journal_stream =
-          std::make_unique<sim::JsonlStreamWriter>(journal_stream_out);
+      if (journal_is_binary) {
+        journal_stream =
+            std::make_unique<sim::BinaryJournalWriter>(journal_stream_out);
+      } else {
+        journal_stream =
+            std::make_unique<sim::JsonlStreamWriter>(journal_stream_out);
+      }
       journal.stream_to(journal_stream.get());
     }
   }
 
-  sim.run_for(opts.duration_s);
+  int exit_code = 0;
+  try {
+    sim.run_for(opts.duration_s);
+  } catch (const sim::JournalWriteError& err) {
+    // A mid-run flush hit a dead sink (disk full, closed pipe).  The run
+    // is incomplete, so report and bail rather than print a bogus summary.
+    std::fprintf(stderr, "fvsst_sim: journal '%s': %s\n",
+                 opts.journal_path.c_str(), err.what());
+    journal.stream_to(nullptr);
+    return 1;
+  }
 
   // ---- Journal exports --------------------------------------------------
-  int exit_code = 0;
   const bool streamed_journal = journal_stream != nullptr;
   if (journal_stream) {
-    journal.flush_stream();
+    bool stream_failed = false;
+    try {
+      journal.flush_stream();
+      journal_stream->flush();
+    } catch (const sim::JournalWriteError& err) {
+      std::fprintf(stderr, "fvsst_sim: journal '%s': %s\n",
+                   opts.journal_path.c_str(), err.what());
+      stream_failed = true;
+    }
     journal.stream_to(nullptr);
-    journal_stream.reset();  // flushes the writer's buffer
+    journal_stream.reset();
     journal_stream_out.flush();
-    if (!journal_stream_out) {
-      std::fprintf(stderr, "fvsst_sim: failed to write journal '%s'\n",
-                   opts.journal_path.c_str());
+    if (stream_failed || !journal_stream_out) {
+      if (!stream_failed) {
+        std::fprintf(stderr, "fvsst_sim: failed to write journal '%s'\n",
+                     opts.journal_path.c_str());
+      }
       exit_code = 1;
     } else {
       std::fprintf(stderr, "[journal] wrote %zu events to %s%s\n",
@@ -555,9 +625,17 @@ int main(int argc, char** argv) {
     }
   }
   const auto write_journal_file = [&](const std::string& path, auto writer,
-                                      const char* what) {
-    std::ofstream out(path);
-    if (out) writer(out, journal);
+                                      const char* what, bool binary) {
+    std::ofstream out(path, binary ? std::ios::out | std::ios::binary
+                                   : std::ios::out);
+    try {
+      if (out) writer(out, journal);
+    } catch (const sim::JournalWriteError& err) {
+      std::fprintf(stderr, "fvsst_sim: %s '%s': %s\n", what, path.c_str(),
+                   err.what());
+      exit_code = 1;
+      return;
+    }
     out.flush();
     if (!out) {
       std::fprintf(stderr, "fvsst_sim: failed to write %s '%s'\n", what,
@@ -574,17 +652,18 @@ int main(int argc, char** argv) {
   };
   if (!opts.journal_path.empty() && !streamed_journal) {
     write_journal_file(opts.journal_path,
-                       [](std::ostream& o, const sim::EventLog& l) {
-                         sim::write_jsonl(o, l);
+                       [&](std::ostream& o, const sim::EventLog& l) {
+                         if (journal_is_binary) sim::write_binary(o, l);
+                         else sim::write_jsonl(o, l);
                        },
-                       "journal");
+                       "journal", journal_is_binary);
   }
   if (!opts.chrome_trace_path.empty()) {
     write_journal_file(opts.chrome_trace_path,
                        [](std::ostream& o, const sim::EventLog& l) {
                          sim::write_chrome_trace(o, l);
                        },
-                       "chrome trace");
+                       "chrome trace", /*binary=*/false);
   }
 
   // ---- Report -----------------------------------------------------------
