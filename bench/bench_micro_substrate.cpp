@@ -10,9 +10,11 @@
 //
 // `--smoke` skips google-benchmark entirely and runs the sim-throughput
 // regression gates instead: skip-ahead advance-call reduction, event-driven
-// daemon event-count reduction, and binary-vs-JSONL serialize throughput.
-// The first two are deterministic counters; only the serialize ratio is
-// timed, and as a same-process ratio it is stable under machine load.
+// daemon event-count reduction, binary-vs-JSONL serialize throughput, and
+// the monitor aggregators' per-observation cost.  The first two are
+// deterministic counters; the serialize ratio is a same-process ratio so
+// machine load cancels out, and the monitor gate takes the best of three
+// passes for the same reason.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -34,6 +36,7 @@
 #include "power/budget.h"
 #include "simkit/event_log.h"
 #include "simkit/event_queue.h"
+#include "simkit/monitor.h"
 #include "simkit/rng.h"
 #include "simkit/telemetry.h"
 #include "workload/synthetic.h"
@@ -363,6 +366,46 @@ void BM_JournalStreamWriteBinary(benchmark::State& state) {
 }
 BENCHMARK(BM_JournalStreamWriteBinary);
 
+// ---- Monitor: aggregator hot path -----------------------------------------
+
+void BM_MonitorWindowObserve(benchmark::State& state) {
+  sim::monitor::SlidingWindow window(0.6, 16);
+  double t = 0.0;
+  with_alloc_counter(state, [&] {
+    window.observe(t, 1.5);
+    t += 1e-4;
+  });
+}
+BENCHMARK(BM_MonitorWindowObserve);
+
+void BM_MonitorSketchObserve(benchmark::State& state) {
+  sim::monitor::P2Quantile sketch(0.9);
+  double x = 0.0;
+  with_alloc_counter(state, [&] {
+    sketch.observe(x);
+    x += 0.7;
+    if (x > 1000.0) x = 0.0;
+  });
+  benchmark::DoNotOptimize(sketch.value());
+}
+BENCHMARK(BM_MonitorSketchObserve);
+
+void BM_MonitorObserveAndEvaluate(benchmark::State& state) {
+  // The full per-sample monitor cost a daemon pays: one observation into
+  // the default rule pack's windows plus one evaluation of every rule.
+  const sim::monitor::RuleSet rules =
+      sim::monitor::RuleSet::parse_string(sim::monitor::default_rule_pack());
+  sim::monitor::Monitor mon(rules);
+  const sim::monitor::InputId over = mon.input("over_budget_w");
+  double t = 0.0;
+  with_alloc_counter(state, [&] {
+    mon.observe(over, t, 0.0);
+    mon.evaluate(t);
+    t += 0.01;
+  });
+}
+BENCHMARK(BM_MonitorObserveAndEvaluate);
+
 // ---- --smoke: sim-throughput regression gates -----------------------------
 
 /// One SMP daemon second in the given advance mode; returns the simulation's
@@ -485,6 +528,63 @@ int run_smoke() {
     if (ratio < 4.0) {
       std::fprintf(stderr,
                    "smoke FAIL: binary serialize < 4x JSONL throughput\n");
+      ++failures;
+    }
+  }
+
+  // Gate 4: the monitor's per-observation cost.  The aggregators sit on
+  // the daemon's commit path at every sample, so their hot loop must stay
+  // under 25 ns per observation and allocation-free in steady state.
+  // Wall-clock timed, hence best of three passes.
+  {
+    sim::monitor::SlidingWindow window(0.6, 16);
+    sim::monitor::P2Quantile sketch(0.9);
+    const std::size_t iters = 300000;
+    double t = 0.0, x = 0.0;
+    // Warm-up settles the window ring and the sketch markers before any
+    // allocation accounting starts.
+    for (std::size_t i = 0; i < 1000; ++i) {
+      window.observe(t, x);
+      sketch.observe(x);
+      t += 1e-4;
+      x += 0.7;
+    }
+    double best = 1e300;
+    std::size_t allocs = 0;
+    for (int pass = 0; pass < 3; ++pass) {
+      const std::size_t allocs_before =
+          g_allocs.load(std::memory_order_relaxed);
+      const auto t0 = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < iters; ++i) {
+        window.observe(t, x);
+        sketch.observe(x);
+        t += 1e-4;
+        x += 0.7;
+        if (x > 1000.0) x = 0.0;
+      }
+      const auto t1 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(window.max(t));
+      benchmark::DoNotOptimize(sketch.value());
+      allocs += g_allocs.load(std::memory_order_relaxed) - allocs_before;
+      const double ns =
+          static_cast<double>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                  .count()) /
+          static_cast<double>(iters);
+      if (ns < best) best = ns;
+    }
+    std::printf("smoke: monitor observe ns/obs (window + sketch): %.1f, "
+                "allocs over 3x%zu obs: %zu\n",
+                best, iters, allocs);
+    if (best >= 25.0) {
+      std::fprintf(stderr,
+                   "smoke FAIL: monitor observation cost >= 25 ns\n");
+      ++failures;
+    }
+    if (allocs != 0) {
+      std::fprintf(stderr,
+                   "smoke FAIL: monitor hot path allocated %zu time(s)\n",
+                   allocs);
       ++failures;
     }
   }

@@ -83,6 +83,77 @@ sed -E "${strip_wall_clock}" "${smoke_dir}/failover_converted.jsonl" \
   > "${smoke_dir}/failover_converted.norm"
 cmp "${smoke_dir}/failover.norm" "${smoke_dir}/failover_converted.norm"
 
+# Monitor smoke: a cluster run under the default rule pack with a crashed
+# coordinator must raise (and clear) coordinator_silent in the journal,
+# write a Prometheus snapshot a strict parser accepts, and render an HTML
+# report carrying every section anchor.
+cat > "${smoke_dir}/monitor.plan" <<'EOF'
+seed 3
+coordinator_crash 1.05 2.5 coordinator=0
+EOF
+"${build_dir}/tools/fvsst_sim" \
+  --cluster --nodes 2 --duration 3 --seed 3 \
+  --fault-plan "${smoke_dir}/monitor.plan" --rules default \
+  --journal "${smoke_dir}/monitor.jsonl" \
+  --metrics-out "${smoke_dir}/monitor.prom"
+grep '"type":"alert_raised"' "${smoke_dir}/monitor.jsonl" \
+  | grep -q '"rule":"coordinator_silent"'
+grep '"type":"alert_cleared"' "${smoke_dir}/monitor.jsonl" \
+  | grep -q '"rule":"coordinator_silent"'
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "${smoke_dir}/monitor.prom" <<'EOF'
+import re, sys
+# Strict Prometheus text-format check: every line is a comment (# HELP /
+# # TYPE with a declared name) or a sample  name{labels} value  whose name
+# was declared, whose labels are well-formed, and whose value parses as a
+# float.  Every fvsst_alert_firing sample must be 0 or 1.
+sample_re = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{((?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*)\})?'
+    r' (\S+)$')
+declared = set()
+samples = 0
+with open(sys.argv[1]) as fh:
+    for n, line in enumerate(fh, 1):
+        line = line.rstrip('\n')
+        if not line:
+            continue
+        if line.startswith('#'):
+            parts = line.split()
+            if len(parts) < 4 or parts[1] not in ('HELP', 'TYPE'):
+                raise SystemExit(f'line {n}: malformed comment: {line}')
+            if parts[1] == 'TYPE':
+                declared.add(parts[2])
+            continue
+        m = sample_re.match(line)
+        if not m:
+            raise SystemExit(f'line {n}: not a valid sample: {line}')
+        name, _, value = m.groups()
+        if name not in declared:
+            raise SystemExit(f'line {n}: sample for undeclared metric {name}')
+        v = float(value)  # raises on junk
+        if name == 'fvsst_alert_firing' and v not in (0.0, 1.0):
+            raise SystemExit(f'line {n}: alert_firing must be 0 or 1: {line}')
+        samples += 1
+if samples == 0:
+    raise SystemExit('no samples in the Prometheus snapshot')
+print(f'prometheus OK: {samples} samples, {len(declared)} metrics')
+EOF
+else
+  echo "python3 not found; skipping strict Prometheus validation"
+fi
+"${build_dir}/tools/fvsst_report" "${smoke_dir}/monitor.jsonl" \
+  --metrics "${smoke_dir}/monitor.prom" --out "${smoke_dir}/monitor.html"
+for id in summary alerts latency residency power metrics; do
+  grep -q "id=\"${id}\"" "${smoke_dir}/monitor.html"
+done
+grep -q coordinator_silent "${smoke_dir}/monitor.html"
+grep -q '<svg' "${smoke_dir}/monitor.html"
+
+# Alert-detection smoke: both injected incidents must be caught, latency
+# monotone in the rule window.
+"${build_dir}/bench/bench_abl_alerts" --smoke
+
 # Sanitizer gate: rebuild with ASan + UBSan and run the suites that
 # exercise the engine's fault paths, the chaos harness, and the JSONL
 # reader fuzzers — the code most likely to hide memory or UB mistakes.

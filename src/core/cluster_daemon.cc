@@ -101,6 +101,36 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
 
   const double period =
       config_.t_sample_s * config_.schedule_every_n_samples;
+  {
+    // The compliance deadline this run promises after a budget drop (the
+    // inspector's failover-window check, and the monitor's failover_breach
+    // rule input).  Base: one round plus the message flight both ways.
+    // When coordinator crashes are in play, the bound stretches to
+    // whichever protection recovers first — standby takeover or the
+    // node-local fail-safe; with neither there is no bound to promise
+    // (window 0).
+    const double lat = config_.channel_latency_s;
+    const double base = period + 2.0 * lat + config_.t_sample_s +
+                        config_.channel_jitter_s;
+    failover_window_s_ = base;
+    if (plan_has_coordinator_faults(config_.fault_plan)) {
+      double bound = -1.0;
+      if (config_.failover.standby) {
+        bound = (config_.failover.takeover_factor +
+                 config_.failover.takeover_jitter_factor + 1.0) *
+                    period +
+                config_.t_sample_s + 2.0 * lat +
+                config_.channel_jitter_s;
+      }
+      if (config_.failover.node_failsafe_factor > 0.0) {
+        const double failsafe =
+            config_.failover.node_failsafe_factor * period +
+            2.0 * config_.t_sample_s;
+        bound = bound < 0.0 ? failsafe : std::min(bound, failsafe);
+      }
+      failover_window_s_ = bound < 0.0 ? 0.0 : std::max(base, bound);
+    }
+  }
   if (config_.journal) {
     // t_restarts = 0: the global round runs on its own absolute timer, so
     // a budget trigger does NOT restart T (unlike the SMP daemon).
@@ -112,35 +142,8 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
             .set("cpus", static_cast<double>(proc_tables_.size()))
             .set("t_restarts", 0.0)
             .set("daemon", std::string("cluster"));
-    if (protocol_visible_) {
-      // The compliance deadline this run promises after a budget drop
-      // (the inspector's failover-window check).  Base: one round plus
-      // the message flight both ways.  When coordinator crashes are in
-      // play, the bound stretches to whichever protection recovers first
-      // — standby takeover or the node-local fail-safe; with neither
-      // there is no bound to promise, so the field is omitted.
-      const double lat = config_.channel_latency_s;
-      const double base = period + 2.0 * lat + config_.t_sample_s +
-                          config_.channel_jitter_s;
-      double window = base;
-      if (plan_has_coordinator_faults(config_.fault_plan)) {
-        double bound = -1.0;
-        if (config_.failover.standby) {
-          bound = (config_.failover.takeover_factor +
-                   config_.failover.takeover_jitter_factor + 1.0) *
-                      period +
-                  config_.t_sample_s + 2.0 * lat +
-                  config_.channel_jitter_s;
-        }
-        if (config_.failover.node_failsafe_factor > 0.0) {
-          const double failsafe =
-              config_.failover.node_failsafe_factor * period +
-              2.0 * config_.t_sample_s;
-          bound = bound < 0.0 ? failsafe : std::min(bound, failsafe);
-        }
-        window = bound < 0.0 ? 0.0 : std::max(base, bound);
-      }
-      if (window > 0.0) meta.set("failover_window_s", window);
+    if (protocol_visible_ && failover_window_s_ > 0.0) {
+      meta.set("failover_window_s", failover_window_s_);
     }
   }
 
@@ -151,6 +154,16 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   }
   power_trace_ = &telemetry_.series(telemetry_.intern_series(
       "cluster/scheduled_power_w", "scheduled_cpu_power_w"));
+  if (config_.monitor) {
+    mon_over_budget_ = config_.monitor->input("over_budget_w");
+    mon_failsafe_frac_ = config_.monitor->input("failsafe_frac");
+    mon_stale_frac_ = config_.monitor->input("stale_frac");
+    mon_failover_breach_ = config_.monitor->input("failover_breach");
+    mon_since_round_ = config_.monitor->input("since_round_s");
+    mon_messages_lost_ = config_.monitor->input("messages_lost");
+    mon_journal_dropped_ = config_.monitor->input("journal_dropped");
+    mon_last_round_time_ = sim_.now();
+  }
 
   budget_.on_change([this](double limit) {
     if (config_.journal) {
@@ -223,6 +236,9 @@ Coordinator::Wiring ClusterDaemon::make_wiring(
   w.loop_config.schedule_every_n_samples = config_.schedule_every_n_samples;
   w.loop_config.record_traces = false;  // Nothing to score globally.
   w.loop_config.journal = config_.journal;
+  // Both coordinators share the monitor's downgrade/infeasible channels:
+  // run_round gates on leadership, so only the acting leader ever feeds.
+  w.loop_config.monitor = config_.monitor;
   w.default_table = &table;
   w.latencies = &cluster_.node(0).machine().latencies;
   w.scheduler = config_.scheduler;
@@ -277,6 +293,16 @@ void ClusterDaemon::agents_tick() {
   // summary deliveries are all emitted here, on the simulation thread, in
   // node order — byte-identical to a serial run at any thread count.
   for (std::size_t n = 0; n < agents_.size(); ++n) node_tick(n);
+  // Monitor evaluation every n ticks — the same instants the event-mode
+  // summary wakes land on, so alert journals match across advance modes.
+  // Runs on the daemon's clock, after the node loop, even while every
+  // coordinator is down (coordinator silence is a rule, not an outage of
+  // the alerting itself).
+  if (config_.monitor &&
+      ++monitor_samples_ >= config_.schedule_every_n_samples) {
+    monitor_samples_ = 0;
+    monitor_sample();
+  }
 }
 
 void ClusterDaemon::schedule_summary_wake() {
@@ -307,6 +333,9 @@ void ClusterDaemon::on_summary_wake() {
     agents_[n]->sampler.collect();
     node_send_summary(n);
   }
+  // Same cadence and ordering as the tick path's every-n evaluation: after
+  // the node loop, at the summary instant.
+  if (config_.monitor) monitor_sample();
   next_summary_k_ +=
       static_cast<std::uint64_t>(config_.schedule_every_n_samples);
   schedule_summary_wake();
@@ -475,6 +504,47 @@ void ClusterDaemon::global_round(CycleTrigger trigger) {
   // coordinator is the live leader past its recovery warm-up.
   primary_->run_round(now, budget_w, trigger);
   if (standby_) standby_->run_round(now, budget_w, trigger);
+}
+
+void ClusterDaemon::monitor_sample() {
+  sim::monitor::Monitor& mon = *config_.monitor;
+  const double now = sim_.now();
+  const double nodes = static_cast<double>(agents_.size());
+  // Measured draw, not the schedule's belief: silent or sticky nodes keep
+  // drawing real power and that overshoot is what the rule pack watches.
+  mon.observe(mon_over_budget_, now,
+              std::max(0.0, cluster_.cpu_power_w() -
+                                budget_.effective_limit_w()));
+  mon.observe(mon_failsafe_frac_, now,
+              static_cast<double>(failsafe_node_count()) / nodes);
+  mon.observe(mon_stale_frac_, now,
+              static_cast<double>(leader_coordinator().stale_node_count()) /
+                  nodes);
+  // A budget-triggered round whose applies are still outstanding past the
+  // promised compliance window is a breach (0/1 level input).
+  const bool breach = pending_trigger_applies_ > 0 &&
+                      failover_window_s_ > 0.0 && last_trigger_time_ >= 0.0 &&
+                      now - last_trigger_time_ > failover_window_s_;
+  mon.observe(mon_failover_breach_, now, breach ? 1.0 : 0.0);
+  // Coordinator progress clock: a fresh round since the last evaluation
+  // resets the silence timer to that evaluation's instant, so the input
+  // measures (to one period's granularity) how long no round has landed.
+  const std::size_t seen = rounds();
+  if (seen != mon_rounds_seen_) {
+    mon_rounds_seen_ = seen;
+    mon_last_round_time_ = now;
+  }
+  mon.observe(mon_since_round_, now, now - mon_last_round_time_);
+  mon.observe(mon_messages_lost_, now,
+              static_cast<double>(messages_lost_ - mon_last_messages_lost_));
+  mon_last_messages_lost_ = messages_lost_;
+  if (config_.journal) {
+    const std::size_t dropped = config_.journal->dropped();
+    mon.observe(mon_journal_dropped_, now,
+                static_cast<double>(dropped - mon_last_dropped_));
+    mon_last_dropped_ = dropped;
+  }
+  mon.evaluate(now);
 }
 
 void ClusterDaemon::monitor_tick() {

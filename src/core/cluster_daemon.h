@@ -103,6 +103,16 @@ struct ClusterDaemonConfig {
   /// or failover is enabled: crash windows, fail-safe clocks and election
   /// monitors are tick-granular and must observe every tick.
   AdvanceMode advance_mode = AdvanceMode::kTick;
+  /// Online monitor (not owned; must outlive the daemon).  The daemon
+  /// feeds the cluster rule inputs (over_budget_w, failsafe_frac,
+  /// stale_frac, failover_breach, since_round_s, messages_lost,
+  /// journal_dropped) and evaluates once per summary instant — in both
+  /// advance modes the same instants, so monitored journals stay
+  /// byte-identical across kTick and kEvent.  Evaluation runs on the
+  /// daemon's own clock, not the coordinators', so alerting keeps working
+  /// while every coordinator is crashed (that silence is itself a rule).
+  /// Observation only: null leaves the run bit-for-bit unchanged.
+  sim::monitor::Monitor* monitor = nullptr;
 };
 
 /// Global scheduler plus one agent per node.
@@ -230,6 +240,9 @@ class ClusterDaemon {
   void deliver_summary(std::size_t node, const std::vector<ProcView>& summary);
   void global_round(CycleTrigger trigger);
   void monitor_tick();
+  /// Feeds the cluster rule inputs and evaluates the monitor (one summary
+  /// instant's worth); no-op without a configured monitor.
+  void monitor_sample();
   void send_heartbeat(Coordinator& from);
   void deliver_heartbeat(const cluster::Envelope& envelope,
                          const std::vector<double>& grants, double budget_w);
@@ -294,6 +307,25 @@ class ClusterDaemon {
   std::vector<double> node_last_contact_;          ///< Coordinator heard at.
   std::vector<char> node_failsafe_;                ///< In budget/N mode.
   std::vector<double> node_failsafe_hz_;           ///< Current fail-safe grant.
+  // --- Monitor state (unused when config_.monitor is null). ---
+  /// Compliance deadline after a budget drop (the run_meta
+  /// failover_window_s value); the failover_breach rule input trips when a
+  /// triggered round's applies are still pending past it.
+  double failover_window_s_ = 0.0;
+  int monitor_samples_ = 0;  ///< Tick-mode countdown to the next evaluate.
+  /// Round count at the last evaluate, to timestamp coordinator progress:
+  /// since_round_s grows from the last evaluate that saw a fresh round.
+  std::size_t mon_rounds_seen_ = 0;
+  double mon_last_round_time_ = 0.0;
+  std::size_t mon_last_messages_lost_ = 0;
+  std::size_t mon_last_dropped_ = 0;
+  sim::monitor::InputId mon_over_budget_;
+  sim::monitor::InputId mon_failsafe_frac_;
+  sim::monitor::InputId mon_stale_frac_;
+  sim::monitor::InputId mon_failover_breach_;
+  sim::monitor::InputId mon_since_round_;
+  sim::monitor::InputId mon_messages_lost_;
+  sim::monitor::InputId mon_journal_dropped_;
 };
 
 }  // namespace fvsst::core

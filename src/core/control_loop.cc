@@ -222,6 +222,17 @@ const ScheduleResult& ControlLoop::run_cycle(double now, double power_budget_w,
     journal_cycle(now, trigger, power_budget_w, estimate_s, policy_s,
                   actuate_s);
   }
+  if (config_.monitor) {
+    if (!monitor_ids_.resolved) {
+      monitor_ids_.downgrade_steps = config_.monitor->input("downgrade_steps");
+      monitor_ids_.infeasible = config_.monitor->input("infeasible");
+      monitor_ids_.resolved = true;
+    }
+    config_.monitor->observe(monitor_ids_.downgrade_steps, now,
+                             static_cast<double>(last_result_.downgrade_steps));
+    config_.monitor->observe(monitor_ids_.infeasible, now,
+                             last_result_.feasible ? 0.0 : 1.0);
+  }
   return last_result_;
 }
 

@@ -38,6 +38,7 @@
 #include "simkit/event_log.h"
 #include "simkit/event_queue.h"
 #include "simkit/fault_plan.h"
+#include "simkit/monitor.h"
 #include "simkit/stats.h"
 #include "simkit/telemetry.h"
 
@@ -245,6 +246,11 @@ struct ControlLoopConfig {
   /// actuation events per cycle.  Purely observational: with it null the
   /// loop's behaviour is bit-for-bit identical.
   sim::EventLog* journal = nullptr;
+  /// Online monitor (not owned; must outlive the loop).  When set, every
+  /// cycle feeds the `downgrade_steps` and `infeasible` rule inputs from
+  /// the schedule result — the facade that owns the loop decides when to
+  /// evaluate().  Observation only: with it null the loop is unchanged.
+  sim::monitor::Monitor* monitor = nullptr;
 };
 
 /// The unified control-loop engine.  Passive: facades own the timers (or
@@ -375,6 +381,13 @@ class ControlLoop {
     Quantiles sample, estimate, policy, actuate;
   };
 
+  /// Interned monitor input channels, resolved once at the first cycle
+  /// (the TimingCounterIds idiom: steady-state feeds hash no strings).
+  struct MonitorInputIds {
+    bool resolved = false;
+    sim::monitor::InputId downgrade_steps, infeasible;
+  };
+
   /// Bounded retry of one CPU's rejected write, escalating to the f_min
   /// fail-safe once the retry budget is spent.
   struct RetryState {
@@ -417,6 +430,7 @@ class ControlLoop {
   ScheduleResult last_result_;
   ControlLoopTimings timings_;
   TimingCounterIds timing_ids_;
+  MonitorInputIds monitor_ids_;
 };
 
 // ---------------------------------------------------------------------------

@@ -1,5 +1,6 @@
 #include "core/daemon.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <utility>
@@ -59,6 +60,11 @@ FvsstDaemon::FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
     cluster_.core(procs_[config_.daemon_cpu])
         .steal_time(config_.overhead_per_schedule_s);
   };
+  loop_config.monitor = config_.monitor;
+  if (config_.monitor) {
+    mon_over_budget_ = config_.monitor->input("over_budget_w");
+    mon_journal_dropped_ = config_.monitor->input("journal_dropped");
+  }
   loop_ = std::make_unique<ControlLoop>(
       std::move(loop_config), std::move(sampler), std::move(estimator),
       std::move(policy), std::move(actuator), proc_tables_, &telemetry_);
@@ -214,6 +220,23 @@ void FvsstDaemon::run_cycle(CycleTrigger trigger) {
   const double now = sim_.now();
   const ScheduleResult& result =
       loop_->run_cycle(now, budget_.effective_limit_w(), trigger);
+  if (config_.monitor) {
+    // Measured draw, not the grant: sticky or rejected writes leave the
+    // hardware above budget even when the schedule looks feasible, and
+    // that is exactly the overshoot the default rule pack watches for.
+    const double drawn = cluster_.cpu_power_w();
+    config_.monitor->observe(
+        mon_over_budget_, now,
+        std::max(0.0, drawn - budget_.effective_limit_w()));
+    if (config_.journal) {
+      const std::size_t dropped = config_.journal->dropped();
+      config_.monitor->observe(
+          mon_journal_dropped_, now,
+          static_cast<double>(dropped - mon_last_dropped_));
+      mon_last_dropped_ = dropped;
+    }
+    config_.monitor->evaluate(now);
+  }
   if (!result.feasible) {
     sim::LogLine(sim::LogLevel::kWarn, "fvsst", now)
         << "budget " << budget_.effective_limit_w()

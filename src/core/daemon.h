@@ -76,6 +76,13 @@ struct DaemonConfig {
   /// daemon silently falls back to kTick when a non-empty fault plan is
   /// installed: actuation retries are tick-counted and must see every tick.
   AdvanceMode advance_mode = AdvanceMode::kTick;
+  /// Online monitor (not owned; must outlive the daemon).  The daemon
+  /// feeds `over_budget_w` (measured power above the effective limit) and
+  /// `journal_dropped` at the end of every cycle and evaluates the rule
+  /// set there — a scheduling instant shared by both advance modes, so
+  /// monitored journals stay byte-identical across kTick and kEvent.
+  /// Observation only: null leaves the run bit-for-bit unchanged.
+  sim::monitor::Monitor* monitor = nullptr;
 };
 
 /// The frequency/voltage scheduling daemon.
@@ -173,6 +180,11 @@ class FvsstDaemon {
   /// Ticks already folded into loop/sample_count (telemetry parity).
   std::uint64_t ticks_accounted_ = 0;
   sim::EventId wake_event_ = 0;
+  // Monitor input channels (interned once in the ctor; unused when the
+  // config carries no monitor).
+  sim::monitor::InputId mon_over_budget_;
+  sim::monitor::InputId mon_journal_dropped_;
+  std::size_t mon_last_dropped_ = 0;  ///< Last pushed journal drop count.
 };
 
 }  // namespace fvsst::core

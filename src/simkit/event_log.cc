@@ -24,7 +24,7 @@ struct TypeName {
   std::string_view name;
 };
 
-constexpr std::array<TypeName, 16> kTypeNames{{
+constexpr std::array<TypeName, 18> kTypeNames{{
     {EventType::kRunMeta, "run_meta"},
     {EventType::kTablePoint, "table_point"},
     {EventType::kCycleStart, "cycle_start"},
@@ -41,6 +41,8 @@ constexpr std::array<TypeName, 16> kTypeNames{{
     {EventType::kEpochChange, "epoch_change"},
     {EventType::kSettingsRejected, "settings_rejected"},
     {EventType::kSnapshot, "snapshot"},
+    {EventType::kAlertRaised, "alert_raised"},
+    {EventType::kAlertCleared, "alert_cleared"},
 }};
 
 }  // namespace
@@ -965,6 +967,19 @@ void write_chrome_trace(std::ostream& out, const EventLog& log) {
         w.instant(name, ts,
                   ChromeWriter::args({{"epoch", e.num_or("epoch")},
                                       {"round", e.num_or("round")}}));
+        break;
+      }
+      case EventType::kAlertRaised:
+      case EventType::kAlertCleared: {
+        std::string name = e.type == EventType::kAlertRaised
+                               ? "alert_raised"
+                               : "alert_cleared";
+        if (const std::string* rule = e.find_str("rule")) {
+          name += ' ';
+          name += *rule;
+        }
+        w.instant(name, ts,
+                  ChromeWriter::args({{"value", e.num_or("value")}}));
         break;
       }
       case EventType::kActuation: {

@@ -103,6 +103,16 @@ enum class EventType {
   /// "op" (save | recover); recover adds "replayed" (grant records applied
   /// on top of the snapshot) and "checksum_ok".
   kSnapshot,
+  // New event types are appended (never inserted): the enumerator value
+  // travels as the u8 type byte of FJB1 binary records, so reordering
+  // would silently re-type every existing binary journal.
+  /// A monitor rule started firing: str "rule", "severity", "expr"; num
+  /// "value" (the aggregate that crossed), "threshold", "window_s",
+  /// "for_windows".  Producer: sim::monitor::Monitor.
+  kAlertRaised,
+  /// The rule's predicate went false while firing: str "rule", "severity";
+  /// num "value", "raised_t", "duration_s".
+  kAlertCleared,
 };
 
 /// Stable wire name ("cycle_start", "decision", ...).

@@ -1,0 +1,151 @@
+#include "simkit/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "simkit/monitor.h"
+
+namespace fvsst::sim {
+
+namespace {
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+/// Label values backslash-escape '\', '"' and newline (the exposition
+/// format's escaping rules).
+std::string escape_label(std::string_view s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Emits one `# TYPE` header + single sample, deduplicating by name.
+class Exposition {
+ public:
+  explicit Exposition(std::ostream& out) : out_(out) {}
+
+  /// Declares `name` as `type` once; false when the name was already
+  /// declared with a conflicting shape (the sample must then be dropped).
+  bool declare(const std::string& name, const char* type) {
+    if (!declared_.insert(name).second) return false;
+    out_ << "# TYPE " << name << ' ' << type << '\n';
+    return true;
+  }
+
+  void gauge(const std::string& name, double value) {
+    if (!declare(name, "gauge")) return;
+    out_ << name << ' ' << format_value(value) << '\n';
+  }
+
+  /// Declares once and appends one labelled sample per call.
+  void labelled(const std::string& name, const char* type,
+                const std::string& labels, double value) {
+    if (declared_.insert(name).second) {
+      out_ << "# TYPE " << name << ' ' << type << '\n';
+    }
+    out_ << name << '{' << labels << "} " << format_value(value) << '\n';
+  }
+
+ private:
+  std::ostream& out_;
+  std::set<std::string> declared_;
+};
+
+class PrometheusSink final : public MetricSink {
+ public:
+  explicit PrometheusSink(Exposition& exp) : exp_(exp) {}
+
+  void series(const std::string& key, const TimeSeries& s) override {
+    const std::string name = prometheus_metric_name(key);
+    if (!s.empty()) {
+      exp_.gauge(name, s[s.size() - 1].value);
+    }
+    exp_.gauge(name + "_samples", static_cast<double>(s.size()));
+  }
+
+  void counter(const std::string& key, double value) override {
+    exp_.gauge(prometheus_metric_name(key), value);
+  }
+
+ private:
+  Exposition& exp_;
+};
+
+}  // namespace
+
+std::string prometheus_metric_name(std::string_view key) {
+  std::string out = "fvsst_";
+  for (char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+void write_prometheus(std::ostream& out, const MetricRegistry* registry,
+                      const monitor::Monitor* mon, double now) {
+  Exposition exp(out);
+  exp.gauge("fvsst_snapshot_time_seconds", now);
+  if (registry) {
+    PrometheusSink sink(exp);
+    registry->export_to(sink);
+  }
+  if (mon) {
+    exp.gauge("fvsst_monitor_evaluations",
+              static_cast<double>(mon->evaluations()));
+    exp.gauge("fvsst_monitor_alerts_raised_total",
+              static_cast<double>(mon->alerts_raised()));
+    exp.gauge("fvsst_monitor_alerts_cleared_total",
+              static_cast<double>(mon->alerts_cleared()));
+    exp.gauge("fvsst_monitor_alerts_firing",
+              static_cast<double>(mon->firing_count()));
+    const auto& rules = mon->rules();
+    const auto& alerts = mon->alerts();
+    for (std::size_t i = 0; i < rules.size(); ++i) {
+      const std::string labels = "rule=\"" + escape_label(rules[i].name) +
+                                 "\",severity=\"" +
+                                 std::string(monitor::severity_name(
+                                     rules[i].severity)) +
+                                 "\"";
+      exp.labelled("fvsst_alert_firing", "gauge", labels,
+                   alerts[i].firing ? 1.0 : 0.0);
+      exp.labelled("fvsst_alert_raised_total", "counter", labels,
+                   static_cast<double>(alerts[i].raises));
+      exp.labelled("fvsst_alert_value", "gauge", labels, alerts[i].value);
+    }
+    const auto& inputs = mon->input_names();
+    const auto& quantiles = mon->sketch_quantiles();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const monitor::InputId id{i};
+      const std::string base = "input=\"" + escape_label(inputs[i]) + "\"";
+      exp.labelled("fvsst_monitor_input_observations", "counter", base,
+                   static_cast<double>(mon->input_count(id)));
+      if (mon->input_count(id) == 0) continue;
+      exp.labelled("fvsst_monitor_input_last", "gauge", base,
+                   mon->input_last(id));
+      for (std::size_t k = 0; k < quantiles.size(); ++k) {
+        exp.labelled("fvsst_monitor_input_quantile", "gauge",
+                     base + ",q=\"" + format_value(quantiles[k]) + "\"",
+                     mon->input_quantile(id, k));
+      }
+    }
+  }
+}
+
+}  // namespace fvsst::sim

@@ -1,0 +1,38 @@
+// prometheus.h - Prometheus text-format exposition of metrics and alerts.
+//
+// Writes a MetricRegistry snapshot (and, when given one, the monitor's
+// alert and sketch state) in the Prometheus text exposition format, so a
+// run's health is scrapeable-shaped: `# TYPE` headers, sanitized metric
+// names under the `fvsst_` prefix, and label-carrying samples for alerts
+// and per-input quantiles.  fvsst_sim exposes this via --metrics-out
+// (written at the end of the run, or periodically with --metrics-every);
+// scripts/check.sh validates the output with a strict parser.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "simkit/telemetry.h"
+
+namespace fvsst::sim {
+
+namespace monitor {
+class Monitor;
+}  // namespace monitor
+
+/// `key` mapped to a legal Prometheus metric name: every character outside
+/// [a-zA-Z0-9_] becomes '_' and the result is prefixed with "fvsst_"
+/// ("cpu0/granted_hz" -> "fvsst_cpu0_granted_hz").
+std::string prometheus_metric_name(std::string_view key);
+
+/// Writes the registry (series: last value + sample count; counters:
+/// value) and, when `mon` is non-null, the monitor's rule and input state
+/// as Prometheus text.  Either pointer may be null; `now` stamps the
+/// `fvsst_snapshot_time_seconds` gauge (simulated time).  Duplicate
+/// sanitized names keep the first metric and drop later ones, so the
+/// output never declares a metric twice.
+void write_prometheus(std::ostream& out, const MetricRegistry* registry,
+                      const monitor::Monitor* mon, double now);
+
+}  // namespace fvsst::sim

@@ -95,8 +95,12 @@ double Histogram::fraction(std::size_t i) const {
 }
 
 double Histogram::quantile(double p) const {
-  if (total_ <= 0.0) throw std::out_of_range("Histogram: empty");
-  if (p < 0.0 || p > 1.0) throw std::out_of_range("Histogram: p in [0,1]");
+  // Total contract (the report generator feeds arbitrary journals through
+  // here): an empty histogram or NaN p is NaN, out-of-range p clamps.
+  if (total_ <= 0.0 || std::isnan(p)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  p = std::clamp(p, 0.0, 1.0);
   const double target = p * total_;
   double cumulative = 0.0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {

@@ -77,11 +77,14 @@ class Histogram {
   /// Fraction of total weight in bin i (0 when empty).
   double fraction(std::size_t i) const;
 
-  /// Approximate p-quantile (p in [0, 1]): finds the bin where the
-  /// cumulative weight crosses p and interpolates linearly inside it, so
-  /// resolution is the bin width.  Throws std::out_of_range when the
-  /// histogram is empty or p is outside [0, 1].  For exact order
-  /// statistics use SampleSet::percentile.
+  /// Approximate p-quantile: finds the bin where the cumulative weight
+  /// crosses p and interpolates linearly inside it, so resolution is the
+  /// bin width.  Total function: an empty histogram (or NaN p) returns
+  /// NaN — never throws — and p is clamped into [0, 1].  Endpoints are
+  /// pinned to observed support: p = 0 is the lower edge of the first
+  /// non-empty bin, p = 1 the upper edge of the last, so a single sample
+  /// spans exactly its own bin.  For exact order statistics use
+  /// SampleSet::percentile.
   double quantile(double p) const;
 
  private:

@@ -156,5 +156,65 @@ TEST(CategoryHistogram, EmptyFractionIsZero) {
   EXPECT_TRUE(h.sorted().empty());
 }
 
+// Histogram::quantile is a total function: every input returns a value
+// (possibly NaN), nothing throws, and the endpoints pin to the observed
+// support rather than the configured range.
+
+TEST(HistogramQuantile, EmptyReturnsNaN) {
+  Histogram h(0.0, 10.0, 10);
+  EXPECT_TRUE(std::isnan(h.quantile(0.5)));
+  EXPECT_TRUE(std::isnan(h.quantile(0.0)));
+  EXPECT_TRUE(std::isnan(h.quantile(1.0)));
+}
+
+TEST(HistogramQuantile, NaNProbabilityReturnsNaN) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  EXPECT_TRUE(std::isnan(h.quantile(std::nan(""))));
+}
+
+TEST(HistogramQuantile, ProbabilityClampsIntoUnitInterval) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-3.0), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(7.0), h.quantile(1.0));
+}
+
+TEST(HistogramQuantile, EndpointsPinToObservedSupport) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.2);  // lands in bin [5, 6)
+  // A single sample spans exactly its own bin, not the configured range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+}
+
+TEST(HistogramQuantile, InterpolatesWithinCrossingBin) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 4; ++i) h.add(2.5);  // bin [2, 3)
+  for (int i = 0; i < 4; ++i) h.add(7.5);  // bin [7, 8)
+  // The median falls between the two occupied bins; whichever bin the
+  // cumulative crossing lands in, the estimate stays inside the support.
+  const double median = h.quantile(0.5);
+  EXPECT_GE(median, 2.0);
+  EXPECT_LE(median, 8.0);
+  // p = 0.25 sits mid-way through the first bin's mass.
+  EXPECT_NEAR(h.quantile(0.25), 2.5, 0.51);
+}
+
+TEST(HistogramQuantile, MonotoneInProbability) {
+  Histogram h(0.0, 100.0, 50);
+  unsigned state = 12345;
+  for (int i = 0; i < 1000; ++i) {
+    state = state * 1664525u + 1013904223u;
+    h.add(static_cast<double>(state % 10000u) / 100.0);
+  }
+  double prev = h.quantile(0.0);
+  for (double p = 0.05; p <= 1.0 + 1e-12; p += 0.05) {
+    const double q = h.quantile(p);
+    EXPECT_GE(q, prev - 1e-12) << "p=" << p;
+    prev = q;
+  }
+}
+
 }  // namespace
 }  // namespace fvsst::sim

@@ -8,12 +8,17 @@
 //   fvsst_inspect JOURNAL --diff B    compare decisions; exit 1 on divergence
 //   fvsst_inspect JOURNAL --to-jsonl OUT
 //                                     re-emit as JSON lines ('-': stdout)
+//   fvsst_inspect JOURNAL --chrome-trace OUT
+//                                     export as Chrome trace-event JSON
 //
 // Journals may be JSON lines or the compact "FJB1" binary record
 // (fvsst_sim --journal foo.fjb); the encoding is sniffed from the first
 // bytes, so every mode accepts either.  --to-jsonl on a binary journal
 // reproduces the exact JSONL bytes fvsst_sim's buffered JSONL path would
-// have written for the same run — the lossless converter.
+// have written for the same run — the lossless converter.  --chrome-trace
+// renders any journal, including a binary one recorded without fvsst_sim's
+// live --chrome-trace flag, into a file Perfetto / chrome://tracing loads
+// directly.
 //
 // The checks (--check):
 //   1. total power <= budget whenever the scheduler claims feasibility;
@@ -47,7 +52,7 @@ namespace {
   std::fprintf(stderr,
                "fvsst_inspect: %s\n"
                "usage: fvsst_inspect JOURNAL [--check] [--diff OTHER] "
-               "[--to-jsonl OUT]\n",
+               "[--to-jsonl OUT] [--chrome-trace OUT]\n",
                message.c_str());
   std::exit(2);
 }
@@ -142,6 +147,29 @@ int run_to_jsonl(const std::string& journal_path,
   // Progress goes to stderr so '-' leaves pure JSONL on stdout.
   std::fprintf(stderr, "[convert] wrote %zu event(s) as JSONL to %s\n",
                delivered, out_path.c_str());
+  return 0;
+}
+
+/// --chrome-trace: convert the journal into Chrome trace-event JSON.  The
+/// trace writer needs cross-event context (stage slices nest under their
+/// cycle, counter tracks close at the run's end), so this mode loads the
+/// journal whole — the tolerant load, like every other mode, so a torn
+/// tail still converts.
+int run_chrome_trace(const std::string& journal_path,
+                     const std::string& out_path) {
+  const sim::EventLog log = load(journal_path);
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out) usage_error("cannot open output '" + out_path + "'");
+  sim::write_chrome_trace(out, log);
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "fvsst_inspect: failed to write '%s'\n",
+                 out_path.c_str());
+    return 2;
+  }
+  std::fprintf(stderr,
+               "[convert] wrote chrome trace for %zu event(s) to %s\n",
+               log.size(), out_path.c_str());
   return 0;
 }
 
@@ -405,14 +433,16 @@ int main(int argc, char** argv) {
   std::string journal_path;
   std::string diff_path;
   std::string to_jsonl_path;
+  std::string chrome_trace_path;
   bool to_jsonl = false;
+  bool chrome_trace = false;
   bool check = false;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--help" || flag == "-h") {
       std::printf(
           "usage: fvsst_inspect JOURNAL [--check] [--diff OTHER] "
-          "[--to-jsonl OUT]\n"
+          "[--to-jsonl OUT] [--chrome-trace OUT]\n"
           "Reads a decision journal written by fvsst_sim --journal; both\n"
           "the JSON-lines and the binary (.fjb) encodings are detected\n"
           "automatically.\n"
@@ -424,7 +454,11 @@ int main(int argc, char** argv) {
           "  --to-jsonl OUT re-emit the journal as JSON lines ('-' for "
           "stdout);\n"
           "                 a binary journal converts to the exact bytes the\n"
-          "                 JSONL writer would have produced\n");
+          "                 JSONL writer would have produced\n"
+          "  --chrome-trace OUT\n"
+          "                 export as Chrome trace-event JSON (open in\n"
+          "                 Perfetto or chrome://tracing); works on binary\n"
+          "                 journals recorded without a live trace\n");
       return 0;
     } else if (flag == "--check") {
       check = true;
@@ -437,6 +471,10 @@ int main(int argc, char** argv) {
       }
       to_jsonl = true;
       to_jsonl_path = argv[++i];
+    } else if (flag == "--chrome-trace") {
+      if (i + 1 >= argc) usage_error("--chrome-trace needs an output path");
+      chrome_trace = true;
+      chrome_trace_path = argv[++i];
     } else if (!flag.empty() && flag[0] == '-') {
       usage_error("unknown flag '" + flag + "'");
     } else if (journal_path.empty()) {
@@ -446,11 +484,15 @@ int main(int argc, char** argv) {
     }
   }
   if (journal_path.empty()) usage_error("no journal given");
-  if (to_jsonl && (check || !diff_path.empty())) {
-    usage_error("--to-jsonl cannot be combined with --check or --diff");
+  if ((to_jsonl || chrome_trace) &&
+      (check || !diff_path.empty() || (to_jsonl && chrome_trace))) {
+    usage_error(
+        "--to-jsonl / --chrome-trace are exclusive of each other and of "
+        "--check / --diff");
   }
 
   if (to_jsonl) return run_to_jsonl(journal_path, to_jsonl_path);
+  if (chrome_trace) return run_chrome_trace(journal_path, chrome_trace_path);
 
   if (!diff_path.empty()) {
     // Diffing genuinely needs both decision streams resident (events are

@@ -52,6 +52,13 @@
 //                        the leader goes silent (--cluster only)
 //   --failsafe K         nodes drop to their budget/N frequency after K
 //                        global periods without a coordinator (--cluster)
+//   --rules FILE         enable the online monitor with alert rules from
+//                        FILE ("default": the built-in rule pack); alerts
+//                        are journalled and summarised in the report
+//   --metrics-out FILE   write a Prometheus text-format metrics snapshot
+//                        at the end of the run
+//   --metrics-every S    also rewrite --metrics-out every S simulated
+//                        seconds (a scrape-style refresh)
 //   --help               this text
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +82,8 @@
 #include "simkit/csv.h"
 #include "simkit/event_log.h"
 #include "simkit/log.h"
+#include "simkit/monitor.h"
+#include "simkit/prometheus.h"
 #include "simkit/table.h"
 #include "simkit/units.h"
 #include "workload/app_profiles.h"
@@ -130,6 +139,9 @@ struct CliOptions {
   std::string fault_plan_path;    ///< Fault-injection plan file.
   bool standby = false;           ///< Run a standby coordinator (--cluster).
   double failsafe_factor = 0.0;   ///< Node fail-safe after K global periods.
+  std::string rules_path;         ///< Alert rules file, or "default".
+  std::string metrics_out;        ///< Prometheus snapshot file.
+  double metrics_every_s = 0.0;   ///< Periodic snapshot rewrite (0: final only).
 };
 
 std::string json_escape(const std::string& s) {
@@ -173,7 +185,8 @@ void print_help() {
       "                 [--journal FILE] [--journal-format jsonl|binary]\n"
       "                 [--chrome-trace FILE] [--advance-mode tick|event]\n"
       "                 [--journal-cap N] [--explain] [--fault-plan FILE]\n"
-      "                 [--standby] [--failsafe K]\n"
+      "                 [--standby] [--failsafe K] [--rules FILE|default]\n"
+      "                 [--metrics-out FILE] [--metrics-every S]\n"
       "SPEC: synth:INTENSITY[:INSTRUCTIONS] | app:NAME | trace:FILE\n"
       "G: performance | powersave | ondemand | conservative\n"
       "(see docs/fvsst_sim.md for the full manual)\n");
@@ -393,6 +406,16 @@ CliOptions parse_args(int argc, char** argv) {
       if (opts.failsafe_factor <= 0.0) {
         usage_error("--failsafe must be > 0 (global periods of silence)");
       }
+    } else if (flag == "--rules") {
+      opts.rules_path = next_value(i, "--rules");
+    } else if (flag == "--metrics-out") {
+      opts.metrics_out = next_value(i, "--metrics-out");
+    } else if (flag == "--metrics-every") {
+      opts.metrics_every_s =
+          parse_double(next_value(i, "--metrics-every"), "metrics period");
+      if (opts.metrics_every_s <= 0.0) {
+        usage_error("--metrics-every must be > 0 seconds");
+      }
     } else {
       usage_error("unknown flag '" + flag + "'");
     }
@@ -485,6 +508,35 @@ int main(int argc, char** argv) {
   }
   const bool have_faults = !fault_plan.empty();
 
+  if (opts.metrics_every_s > 0.0 && opts.metrics_out.empty()) {
+    usage_error("--metrics-every needs --metrics-out");
+  }
+
+  // The online monitor (declared before the daemons so it outlives them:
+  // they feed it from their destructors' perspective until the run ends).
+  std::unique_ptr<sim::monitor::Monitor> monitor;
+  if (!opts.rules_path.empty()) {
+    sim::monitor::RuleSet rules;
+    try {
+      if (opts.rules_path == "default") {
+        rules = sim::monitor::RuleSet::parse_string(
+            sim::monitor::default_rule_pack());
+      } else {
+        std::ifstream rules_in(opts.rules_path);
+        if (!rules_in) {
+          usage_error("cannot open rules '" + opts.rules_path + "'");
+        }
+        rules = sim::monitor::RuleSet::parse(rules_in);
+      }
+    } catch (const std::runtime_error& err) {
+      usage_error(opts.rules_path + ": " + err.what());
+    }
+    sim::monitor::Monitor::Options mopts;
+    if (want_journal) mopts.journal = &journal;
+    monitor =
+        std::make_unique<sim::monitor::Monitor>(rules, std::move(mopts));
+  }
+
   core::DaemonConfig dcfg;
   dcfg.t_sample_s = opts.t_ms * ms;
   dcfg.schedule_every_n_samples = opts.multiplier;
@@ -495,6 +547,7 @@ int main(int argc, char** argv) {
   dcfg.advance_mode = opts.advance_mode;
   if (want_journal) dcfg.journal = &journal;
   if (have_faults) dcfg.fault_plan = &fault_plan;
+  dcfg.monitor = monitor.get();
 
   std::unique_ptr<core::FvsstDaemon> daemon;
   std::unique_ptr<core::ClusterDaemon> cluster_daemon;
@@ -518,6 +571,7 @@ int main(int argc, char** argv) {
     ccfg.failover.standby = opts.standby;
     ccfg.failover.node_failsafe_factor = opts.failsafe_factor;
     ccfg.step_threads = opts.step_threads;
+    ccfg.monitor = monitor.get();
     cluster_daemon = std::make_unique<core::ClusterDaemon>(
         sim, cluster, machine.freq_table, budget, ccfg);
   } else {
@@ -556,6 +610,26 @@ int main(int argc, char** argv) {
   margin_sensor = &sensor;
   if (have_faults) {
     sensor.set_fault_plan(&fault_plan, want_journal ? &journal : nullptr);
+  }
+
+  // Prometheus exposition: snapshot semantics, so each write replaces the
+  // file — a scraper (or scripts/check.sh) always sees one consistent
+  // snapshot.  Works with or without --rules; without, it exports just the
+  // active daemon's registry.
+  sim::MetricRegistry* metrics_registry =
+      daemon ? &daemon->telemetry()
+             : cluster_daemon ? &cluster_daemon->telemetry()
+                              : governor ? &governor->telemetry() : nullptr;
+  bool metrics_write_failed = false;
+  const auto write_metrics = [&]() {
+    std::ofstream out(opts.metrics_out, std::ios::out | std::ios::trunc);
+    if (out) sim::write_prometheus(out, metrics_registry, monitor.get(),
+                                   sim.now());
+    out.flush();
+    if (!out) metrics_write_failed = true;
+  };
+  if (!opts.metrics_out.empty() && opts.metrics_every_s > 0.0) {
+    sim.schedule_every(opts.metrics_every_s, write_metrics);
   }
 
   // Streaming journal: an unbounded journal headed for a plain JSONL or
@@ -665,10 +739,36 @@ int main(int argc, char** argv) {
                        },
                        "chrome trace", /*binary=*/false);
   }
+  if (!opts.metrics_out.empty()) {
+    write_metrics();
+    if (metrics_write_failed) {
+      std::fprintf(stderr, "fvsst_sim: failed to write metrics '%s'\n",
+                   opts.metrics_out.c_str());
+      exit_code = 1;
+    } else {
+      std::fprintf(stderr, "[metrics] wrote %s\n", opts.metrics_out.c_str());
+    }
+  }
 
   // ---- Report -----------------------------------------------------------
   if (opts.json) {
-    std::printf("{\n  \"nodes\": %zu,\n  \"cpus\": %zu,\n"
+    std::printf("{\n");
+    if (monitor) {
+      // Extra top-level key, only with --rules, so existing consumers of
+      // the plain summary see byte-identical output.
+      std::printf("  \"alerts\": {\"raised\": %zu, \"cleared\": %zu, "
+                  "\"firing\": [",
+                  monitor->alerts_raised(), monitor->alerts_cleared());
+      bool first_alert = true;
+      for (std::size_t i = 0; i < monitor->rules().size(); ++i) {
+        if (!monitor->alerts()[i].firing) continue;
+        std::printf("%s\"%s\"", first_alert ? "" : ", ",
+                    json_escape(monitor->rules()[i].name).c_str());
+        first_alert = false;
+      }
+      std::printf("]},\n");
+    }
+    std::printf("  \"nodes\": %zu,\n  \"cpus\": %zu,\n"
                 "  \"simulated_s\": %.6f,\n  \"budget_w\": %.3f,\n"
                 "  \"effective_budget_w\": %.3f,\n  \"cpu_power_w\": %.3f,\n"
                 "  \"compliant\": %s,\n  \"mean_power_w\": %.3f,\n"
@@ -732,6 +832,25 @@ int main(int argc, char** argv) {
                   cluster_daemon->stale_node_count());
     }
     std::printf("\n");
+  }
+  if (monitor) {
+    std::printf(
+        "monitor: %zu rule(s), %zu evaluation(s); "
+        "alerts raised %zu, cleared %zu, firing %zu\n",
+        monitor->rules().size(), monitor->evaluations(),
+        monitor->alerts_raised(), monitor->alerts_cleared(),
+        monitor->firing_count());
+    for (std::size_t i = 0; i < monitor->rules().size(); ++i) {
+      const auto& state = monitor->alerts()[i];
+      if (!state.firing) continue;
+      std::printf("  ALERT %s [%s]: value %.6g since t=%.3f s (%s)\n",
+                  monitor->rules()[i].name.c_str(),
+                  std::string(sim::monitor::severity_name(
+                                  monitor->rules()[i].severity))
+                      .c_str(),
+                  state.value, state.raised_t,
+                  monitor->rules()[i].expression().c_str());
+    }
   }
 
   sim::TextTable out("Per-CPU state at end of run");
