@@ -1,17 +1,30 @@
 // bench_abl_policies - Ablation A3: fvsst vs the alternatives the paper's
 // introduction dismisses — powering nodes down, slowing everything
 // uniformly, and utilisation-driven demand-based switching — on a tiered
-// cluster under a sweep of power budgets.
+// cluster under a sweep of power budgets.  A second table (A19) scores
+// every policy against the LP optimality bound of baselines/optimal.h:
+// gap = policy loss - LP-optimal loss, nonnegative for every within-budget
+// always-on assignment.
+//
+// --smoke: skip the tables and assert the gap invariants on the reference
+// mix (gap >= 0 for the always-on policies, fvsst's gap under a fixed
+// bound); exit 1 on violation.  scripts/check.sh runs this as a gate.
 #include "bench/common.h"
 
+#include <cstring>
+
+#include "baselines/optimal.h"
 #include "baselines/policies.h"
 #include "workload/mixes.h"
 
 using namespace fvsst;
 
-int main() {
-  bench::banner("Ablation A3",
-                "Policy comparison on a 8-node/32-CPU tiered cluster");
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (!smoke) {
+    bench::banner("Ablation A3",
+                  "Policy comparison on a 8-node/32-CPU tiered cluster");
+  }
 
   const auto lat = mach::p630().latencies;
   const auto table = mach::p630_frequency_table();
@@ -37,6 +50,7 @@ int main() {
   }
   const std::size_t n = truth.size();
   const double full_budget = 140.0 * static_cast<double>(n);
+  const double epsilon = core::FrequencyScheduler::Options{}.epsilon;
 
   // Reference performance: everything at f_max.
   double perf_ref = 0.0;
@@ -49,17 +63,32 @@ int main() {
   const auto policies = baselines::standard_policies();
   sim::TextTable out(
       "Aggregate performance (vs all-at-fmax) under budget fractions");
+  sim::TextTable gaps(
+      "Optimality gap (policy loss - LP-bound loss, model terms)");
   std::vector<std::string> header{"policy"};
   const double fractions[] = {1.0, 0.7, 0.5, 0.35, 0.25, 0.15};
   for (double f : fractions) {
     header.push_back(sim::TextTable::num(f * 100, 0) + "% budget");
   }
   out.set_header(header);
+  gaps.set_header(header);
+
+  // Powered-off assignments (and budget-ignoring no-dvfs) leave the LP's
+  // within-budget always-on feasible set, so only these policies carry the
+  // gap >= 0 guarantee the smoke gate asserts.
+  const auto always_on = [](const std::string& name) {
+    return name == "uniform" || name == "dbs-capped" ||
+           name == "two-freq-split" || name == "lp-optimal" ||
+           name == "fvsst";
+  };
+  const double kFvsstGapBound = 0.05;  // 5% of reference performance.
+  bool smoke_ok = true;
 
   for (const auto& policy : policies) {
     const bool is_consolidate = policy->name() == "consolidate";
     std::vector<std::string> row{is_consolidate ? "consolidate (migration)"
                                                 : policy->name()};
+    std::vector<std::string> gap_row{row[0]};
     for (double f : fractions) {
       const double budget = full_budget * f;
       const auto assignments = policy->decide(samples, table, budget);
@@ -88,9 +117,38 @@ int main() {
       std::string cell = sim::TextTable::num(perf / perf_ref, 2);
       if (!within) cell += "!";
       row.push_back(std::move(cell));
+
+      const auto gap = baselines::optimality_gap(samples, assignments, table,
+                                                 budget, epsilon);
+      std::string gap_cell = sim::TextTable::pct(gap.gap, 2);
+      if (!always_on(policy->name())) gap_cell += "*";
+      gap_row.push_back(std::move(gap_cell));
+
+      if (smoke && always_on(policy->name())) {
+        if (gap.gap < -1e-9) {
+          std::printf("SMOKE FAIL: %s at %.0f%% budget: gap %.6f < 0\n",
+                      policy->name().c_str(), f * 100, gap.gap);
+          smoke_ok = false;
+        }
+        if (policy->name() == "fvsst" && gap.gap >= kFvsstGapBound) {
+          std::printf(
+              "SMOKE FAIL: fvsst at %.0f%% budget: gap %.4f >= bound %.4f\n",
+              f * 100, gap.gap, kFvsstGapBound);
+          smoke_ok = false;
+        }
+      }
     }
     out.add_row(std::move(row));
+    gaps.add_row(std::move(gap_row));
   }
+
+  if (smoke) {
+    std::printf("bench_abl_policies --smoke: %s (gap >= 0 for always-on "
+                "policies; fvsst gap < %.0f%% at every budget)\n",
+                smoke_ok ? "PASS" : "FAIL", kFvsstGapBound * 100);
+    return smoke_ok ? 0 : 1;
+  }
+
   out.print();
   std::printf(
       "(\"!\" marks a budget violation — no-dvfs ignores the budget and\n"
@@ -102,6 +160,13 @@ int main() {
       "clusters) — fares worst on this busy cluster: dropping pipelines\n"
       "costs performance linearly, while slowing saturated memory-bound\n"
       "work costs almost nothing.  Exactly the paper's argument for\n"
-      "scheduling frequencies instead of work.\n");
+      "scheduling frequencies instead of work.\n\n");
+  gaps.print();
+  std::printf(
+      "(\"*\" marks policies outside the LP's always-on feasible set —\n"
+      "no-dvfs ignores the budget, power-down/consolidate switch\n"
+      "processors off — whose gap may legitimately go negative.  For\n"
+      "every within-budget always-on policy the gap lower-bounds at 0:\n"
+      "the LP optimum dominates all such assignments by construction.)\n");
   return 0;
 }

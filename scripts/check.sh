@@ -154,6 +154,11 @@ grep -q '<svg' "${smoke_dir}/monitor.html"
 # monotone in the rule window.
 "${build_dir}/bench/bench_abl_alerts" --smoke
 
+# Optimality-gap smoke: every always-on policy's gap against the LP bound
+# must be nonnegative on the reference mix, and the two-pass heuristic's
+# gap must stay under the fixed bound at every budget fraction.
+"${build_dir}/bench/bench_abl_policies" --smoke
+
 # Sanitizer gate: rebuild with ASan + UBSan and run the suites that
 # exercise the engine's fault paths, the chaos harness, and the JSONL
 # reader fuzzers — the code most likely to hide memory or UB mistakes.
@@ -163,11 +168,12 @@ asan_dir="${build_dir}-asan"
 cmake -S "${repo_root}" -B "${asan_dir}" "${generator[@]}" \
   -DFVSST_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${asan_dir}" -j "$(nproc)" --target \
-  test_chaos test_scheduler_properties test_event_log test_control_loop \
+  test_chaos test_scheduler_properties test_optimal_policies \
+  test_event_log test_control_loop \
   test_determinism test_failover test_event_mode test_binary_journal \
   bench_abl_failover fvsst_sim fvsst_inspect
 FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${asan_dir}" --output-on-failure \
-  -R 'chaos|scheduler_properties|event_log|control_loop|determinism|failover|cli_fault_plan|event_mode|binary_journal'
+  -R 'chaos|scheduler_properties|optimal_policies|event_log|control_loop|determinism|failover|cli_fault_plan|event_mode|binary_journal'
 
 # Thread-sanitizer gate: rebuild with TSan and run the parallel-stepper
 # suite plus the scale-sweep smoke — the only code that shares simulation

@@ -1,0 +1,599 @@
+#include "baselines/optimal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace fvsst::baselines {
+namespace {
+
+// Simplex numerics: entries below kPivotTol are treated as zero; a phase-1
+// objective above kFeasTol means infeasible.  The programs built here are
+// normalised (fractions in [0,1], perf coefficients scaled to <= 1, watts
+// in single-digit-to-hundreds), so fixed absolute tolerances are safe.
+constexpr double kPivotTol = 1e-9;
+constexpr double kFeasTol = 1e-7;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// solve_lp: two-phase dense tableau simplex, Bland's rule throughout.
+// ---------------------------------------------------------------------------
+
+LpSolution solve_lp(const LinearProgram& lp) {
+  const std::size_t n = lp.c.size();
+  const std::size_t m = lp.rows.size();
+
+  // Normalise every row to b >= 0 (flip the relation when negating).
+  struct NRow {
+    std::vector<double> a;
+    LinearProgram::Relation rel;
+    double b;
+  };
+  std::vector<NRow> rows(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rows[i].a = lp.rows[i].a;
+    rows[i].a.resize(n, 0.0);
+    rows[i].rel = lp.rows[i].rel;
+    rows[i].b = lp.rows[i].b;
+    if (rows[i].b < 0.0) {
+      for (double& v : rows[i].a) v = -v;
+      rows[i].b = -rows[i].b;
+      if (rows[i].rel == LinearProgram::Relation::kLe) {
+        rows[i].rel = LinearProgram::Relation::kGe;
+      } else if (rows[i].rel == LinearProgram::Relation::kGe) {
+        rows[i].rel = LinearProgram::Relation::kLe;
+      }
+    }
+  }
+
+  // Column layout: [ structural | slack/surplus | artificial | rhs ].
+  std::size_t n_slack = 0, n_art = 0;
+  for (const auto& r : rows) {
+    if (r.rel != LinearProgram::Relation::kEq) ++n_slack;
+    if (r.rel != LinearProgram::Relation::kLe) ++n_art;
+  }
+  const std::size_t slack0 = n;
+  const std::size_t art0 = n + n_slack;
+  const std::size_t cols = n + n_slack + n_art;  // rhs kept separately
+
+  std::vector<std::vector<double>> T(m, std::vector<double>(cols + 1, 0.0));
+  std::vector<std::size_t> basis(m, 0);
+  std::vector<char> artificial(cols, 0);
+  std::size_t next_slack = slack0, next_art = art0;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) T[i][j] = rows[i].a[j];
+    T[i][cols] = rows[i].b;
+    switch (rows[i].rel) {
+      case LinearProgram::Relation::kLe:
+        T[i][next_slack] = 1.0;
+        basis[i] = next_slack++;
+        break;
+      case LinearProgram::Relation::kGe:
+        T[i][next_slack] = -1.0;
+        ++next_slack;
+        T[i][next_art] = 1.0;
+        artificial[next_art] = 1;
+        basis[i] = next_art++;
+        break;
+      case LinearProgram::Relation::kEq:
+        T[i][next_art] = 1.0;
+        artificial[next_art] = 1;
+        basis[i] = next_art++;
+        break;
+    }
+  }
+
+  // One pivot step: Bland's rule (smallest eligible entering column;
+  // smallest basic variable on ratio ties) — deterministic and cycle-free.
+  std::vector<double> obj(cols + 1, 0.0);
+  const auto pivot = [&](std::size_t pr, std::size_t pc) {
+    const double piv = T[pr][pc];
+    for (double& v : T[pr]) v /= piv;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (i == pr) continue;
+      const double f = T[i][pc];
+      if (std::fabs(f) <= kPivotTol) continue;
+      for (std::size_t j = 0; j <= cols; ++j) T[i][j] -= f * T[pr][j];
+    }
+    const double f = obj[pc];
+    if (std::fabs(f) > 0.0) {
+      for (std::size_t j = 0; j <= cols; ++j) obj[j] -= f * T[pr][j];
+    }
+    basis[pr] = pc;
+  };
+
+  const auto run_simplex = [&](bool allow_artificial) {
+    // Safety cap far above what Bland needs for these program sizes.
+    for (std::size_t iter = 0; iter < 100000; ++iter) {
+      std::size_t enter = cols;
+      for (std::size_t j = 0; j < cols; ++j) {
+        if (!allow_artificial && artificial[j]) continue;
+        if (obj[j] < -kPivotTol) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == cols) return;  // optimal
+      std::size_t leave = m;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m; ++i) {
+        if (T[i][enter] <= kPivotTol) continue;
+        const double ratio = T[i][cols] / T[i][enter];
+        if (ratio < best_ratio - kPivotTol ||
+            (ratio < best_ratio + kPivotTol &&
+             (leave == m || basis[i] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = i;
+        }
+      }
+      if (leave == m) return;  // unbounded (never for unit-simplex programs)
+      pivot(leave, enter);
+    }
+  };
+
+  LpSolution out;
+  // Phase 1: minimise the artificial sum.  Reduced costs: 1 on artificial
+  // columns minus the rows they are basic in.
+  for (std::size_t j = 0; j < cols; ++j) obj[j] = artificial[j] ? 1.0 : 0.0;
+  obj[cols] = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!artificial[basis[i]]) continue;
+    for (std::size_t j = 0; j <= cols; ++j) obj[j] -= T[i][j];
+  }
+  run_simplex(/*allow_artificial=*/true);
+  if (-obj[cols] > kFeasTol) return out;  // infeasible
+
+  // Drive any artificial still basic (at zero) out of the basis so phase 2
+  // cannot resurrect it; a row with no eligible pivot is redundant.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (!artificial[basis[i]]) continue;
+    for (std::size_t j = 0; j < art0; ++j) {
+      if (std::fabs(T[i][j]) > kPivotTol) {
+        pivot(i, j);
+        break;
+      }
+    }
+  }
+
+  // Phase 2: the real objective, artificial columns locked out.
+  for (std::size_t j = 0; j <= cols; ++j) obj[j] = 0.0;
+  for (std::size_t j = 0; j < n; ++j) obj[j] = lp.c[j];
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] >= n) continue;
+    const double f = obj[basis[i]];
+    if (f == 0.0) continue;
+    for (std::size_t j = 0; j <= cols; ++j) obj[j] -= f * T[i][j];
+  }
+  run_simplex(/*allow_artificial=*/false);
+
+  out.feasible = true;
+  out.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (basis[i] < n) out.x[basis[i]] = std::max(T[i][cols], 0.0);
+  }
+  out.objective = 0.0;
+  for (std::size_t j = 0; j < n; ++j) out.objective += lp.c[j] * out.x[j];
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// The frequency-selection LPs.
+// ---------------------------------------------------------------------------
+
+double model_performance(const core::WorkloadEstimate& est, double hz) {
+  if (!est.valid || hz <= 0.0) return 0.0;
+  const double denom = est.alpha_inv + est.mem_time_per_instr * hz;
+  return denom > 0.0 ? hz / denom : 0.0;
+}
+
+double reference_performance(const std::vector<ProcSample>& procs,
+                             const mach::FrequencyTable& table) {
+  double ref = 0.0;
+  for (const auto& p : procs) {
+    if (!p.idle && p.estimate.valid) {
+      ref += model_performance(p.estimate, table.max_hz());
+    }
+  }
+  return ref;
+}
+
+namespace {
+
+// Shared assembly: one unit-simplex row per CPU, one aggregate power row,
+// optional pins and per-CPU performance floors.  Variable v(p, i) is the
+// time fraction of processor p at table point i.
+struct LpBuild {
+  LinearProgram lp;
+  std::size_t k = 0;
+  std::size_t var(std::size_t p, std::size_t i) const { return p * k + i; }
+};
+
+LpBuild begin_build(const std::vector<ProcSample>& procs,
+                    const mach::FrequencyTable& table, double budget_w) {
+  LpBuild b;
+  b.k = table.size();
+  const std::size_t nvar = procs.size() * b.k;
+  b.lp.c.assign(nvar, 0.0);
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    LinearProgram::Row sum_row;
+    sum_row.a.assign(nvar, 0.0);
+    for (std::size_t i = 0; i < b.k; ++i) sum_row.a[b.var(p, i)] = 1.0;
+    sum_row.rel = LinearProgram::Relation::kEq;
+    sum_row.b = 1.0;
+    b.lp.rows.push_back(std::move(sum_row));
+  }
+  LinearProgram::Row power_row;
+  power_row.a.assign(nvar, 0.0);
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    for (std::size_t i = 0; i < b.k; ++i) {
+      power_row.a[b.var(p, i)] = table[i].watts;
+    }
+  }
+  power_row.rel = LinearProgram::Relation::kLe;
+  power_row.b = budget_w;
+  b.lp.rows.push_back(std::move(power_row));
+  return b;
+}
+
+FractionalSchedule finish_build(const LpBuild& b, const LpSolution& sol,
+                                const std::vector<ProcSample>& procs,
+                                const mach::FrequencyTable& table) {
+  FractionalSchedule out;
+  if (!sol.feasible) return out;
+  out.feasible = true;
+  out.fractions.assign(procs.size(), std::vector<double>(b.k, 0.0));
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    for (std::size_t i = 0; i < b.k; ++i) {
+      double v = sol.x[b.var(p, i)];
+      if (v < 1e-9) v = 0.0;
+      if (v > 1.0) v = 1.0;
+      out.fractions[p][i] = v;
+      out.total_power_w += v * table[i].watts;
+      if (!procs[p].idle && procs[p].estimate.valid) {
+        out.total_performance +=
+            v * model_performance(procs[p].estimate, table[i].hz);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FractionalSchedule lp_max_performance(const std::vector<ProcSample>& procs,
+                                      const mach::FrequencyTable& table,
+                                      double budget_w) {
+  if (procs.empty() || table.empty()) return FractionalSchedule{};
+  LpBuild b = begin_build(procs, table, budget_w);
+  // Maximise performance == minimise its negation, scaled by the f_max
+  // reference so coefficients sit near [-1, 0] regardless of workload
+  // magnitudes (perf is instructions/second, easily 1e9+).
+  const double ref = reference_performance(procs, table);
+  const double scale = ref > 0.0 ? 1.0 / ref : 1.0;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    if (procs[p].idle || !procs[p].estimate.valid) continue;
+    for (std::size_t i = 0; i < b.k; ++i) {
+      b.lp.c[b.var(p, i)] =
+          -scale * model_performance(procs[p].estimate, table[i].hz);
+    }
+  }
+  return finish_build(b, solve_lp(b.lp), procs, table);
+}
+
+FractionalSchedule lp_min_energy(const std::vector<ProcSample>& procs,
+                                 const mach::FrequencyTable& table,
+                                 double budget_w, double epsilon) {
+  if (procs.empty() || table.empty()) return FractionalSchedule{};
+  LpBuild b = begin_build(procs, table, budget_w);
+  const std::size_t nvar = procs.size() * b.k;
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    for (std::size_t i = 0; i < b.k; ++i) {
+      b.lp.c[b.var(p, i)] = table[i].watts;
+    }
+  }
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    if (procs[p].idle) continue;  // unconstrained: objective drives to f_min
+    if (!procs[p].estimate.valid) {
+      // No model: pin to f_max, the heuristic's kNoEstimate stance.
+      LinearProgram::Row pin;
+      pin.a.assign(nvar, 0.0);
+      pin.a[b.var(p, b.k - 1)] = 1.0;
+      pin.rel = LinearProgram::Relation::kEq;
+      pin.b = 1.0;
+      b.lp.rows.push_back(std::move(pin));
+      continue;
+    }
+    // Expected performance >= (1 - epsilon) of the f_max performance,
+    // normalised by that reference so coefficients sit in (0, 1].
+    const double perf_max = model_performance(procs[p].estimate, table.max_hz());
+    if (perf_max <= 0.0) continue;
+    LinearProgram::Row floor;
+    floor.a.assign(nvar, 0.0);
+    for (std::size_t i = 0; i < b.k; ++i) {
+      floor.a[b.var(p, i)] =
+          model_performance(procs[p].estimate, table[i].hz) / perf_max;
+    }
+    floor.rel = LinearProgram::Relation::kGe;
+    floor.b = 1.0 - epsilon;
+    b.lp.rows.push_back(std::move(floor));
+  }
+  return finish_build(b, solve_lp(b.lp), procs, table);
+}
+
+// ---------------------------------------------------------------------------
+// The optimality-gap report.
+// ---------------------------------------------------------------------------
+
+GapReport optimality_gap(const std::vector<ProcSample>& procs,
+                         const std::vector<Assignment>& assignments,
+                         const mach::FrequencyTable& table, double budget_w,
+                         double epsilon) {
+  GapReport gap;
+  gap.reference_performance = reference_performance(procs, table);
+  const FractionalSchedule best = lp_max_performance(procs, table, budget_w);
+  gap.lp_feasible = best.feasible;
+  gap.lp_performance = best.total_performance;
+  for (std::size_t p = 0; p < procs.size() && p < assignments.size(); ++p) {
+    const Assignment& a = assignments[p];
+    if (!a.powered_on) continue;
+    gap.policy_power_w += table.ceil_point(a.hz).watts;
+    if (!procs[p].idle && procs[p].estimate.valid) {
+      gap.policy_performance += model_performance(procs[p].estimate, a.hz);
+    }
+  }
+  if (gap.reference_performance > 0.0) {
+    gap.lp_loss = (gap.reference_performance - gap.lp_performance) /
+                  gap.reference_performance;
+    gap.policy_loss = (gap.reference_performance - gap.policy_performance) /
+                      gap.reference_performance;
+    gap.gap = gap.policy_loss - gap.lp_loss;
+  }
+  const FractionalSchedule energy =
+      lp_min_energy(procs, table, budget_w, epsilon);
+  gap.lp_min_energy_w = energy.feasible ? energy.total_power_w : -1.0;
+  return gap;
+}
+
+// ---------------------------------------------------------------------------
+// TwoFrequencySplitPolicy.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Expected power of one CPU time-slicing to realise continuous `target_hz`
+// on `table` via frequency interpolation between the adjacent pair.
+double split_power(const mach::FrequencyTable& table, double target_hz) {
+  const auto lo = table.highest_under_frequency(target_hz);
+  if (!lo) return table.min_point().watts;  // below range: pure f_min
+  if (lo->hz == target_hz) return lo->watts;
+  const auto hi = table.next_higher(lo->hz);
+  if (!hi) return lo->watts;  // at the top
+  const double theta = (target_hz - lo->hz) / (hi->hz - lo->hz);
+  return theta * hi->watts + (1.0 - theta) * lo->watts;
+}
+
+}  // namespace
+
+std::vector<TwoFrequencySplitPolicy::Split> TwoFrequencySplitPolicy::plan(
+    const std::vector<ProcSample>& procs, const mach::FrequencyTable& table,
+    double budget_w) const {
+  const std::size_t n = procs.size();
+  std::vector<Split> out(n);
+  if (n == 0 || table.empty()) return out;
+
+  // Per-CPU continuous target, before the budget cap.
+  std::vector<double> raw(n);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (procs[p].idle) {
+      raw[p] = table.min_hz();
+    } else if (!procs[p].estimate.valid) {
+      raw[p] = table.max_hz();
+    } else {
+      const double ideal =
+          core::ideal_frequency(procs[p].estimate, table.max_hz(), epsilon_);
+      raw[p] = std::clamp(ideal, table.min_hz(), table.max_hz());
+    }
+  }
+
+  const auto total_at_cap = [&](double cap) {
+    double w = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      w += split_power(table, std::min(raw[p], cap));
+    }
+    return w;
+  };
+
+  // Shared continuous cap: the 1201.1695 structure applied under a global
+  // budget — expected split power is monotone in the cap, so bisect for
+  // the largest cap whose expected power fits.  Fixed iteration count
+  // keeps the result a pure function of the inputs.
+  double cap = table.max_hz();
+  if (total_at_cap(cap) > budget_w + 1e-9) {
+    double lo_cap = table.min_hz();
+    if (total_at_cap(lo_cap) > budget_w + 1e-9) {
+      // Even all-f_min exceeds the budget: frequency scaling alone cannot
+      // satisfy it (the greedy's infeasible case).  Plan pure f_min.
+      return out;
+    }
+    double hi_cap = cap;
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (lo_cap + hi_cap);
+      if (total_at_cap(mid) <= budget_w + 1e-9) {
+        lo_cap = mid;
+      } else {
+        hi_cap = mid;
+      }
+    }
+    cap = lo_cap;
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    const double target = std::min(raw[p], cap);
+    const auto lo = table.highest_under_frequency(target);
+    if (!lo) continue;  // below range: pure f_min (index 0, fraction 0)
+    const std::size_t lo_idx = *table.index_of(lo->hz);
+    out[p].lo = out[p].hi = lo_idx;
+    if (lo->hz == target || lo_idx + 1 >= table.size()) continue;
+    out[p].hi = lo_idx + 1;
+    const auto& hi = table[lo_idx + 1];
+    out[p].hi_fraction = (target - lo->hz) / (hi.hz - lo->hz);
+  }
+  return out;
+}
+
+std::vector<Assignment> TwoFrequencySplitPolicy::decide(
+    const std::vector<ProcSample>& procs, const mach::FrequencyTable& table,
+    double budget_w) const {
+  const std::size_t n = procs.size();
+  std::vector<Assignment> out(n);
+  if (n == 0 || table.empty()) return out;
+  if (credit_.size() != n) credit_.assign(n, 0.0);
+
+  const std::vector<Split> splits = plan(procs, table, budget_w);
+
+  // Duty cycle: accumulate each CPU's high-point credit; a full credit
+  // grants the high entry this interval.
+  std::vector<char> granted_hi(n, 0);
+  double total_w = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    if (splits[p].hi != splits[p].lo) {
+      credit_[p] += splits[p].hi_fraction;
+      if (credit_[p] >= 1.0 - 1e-9) granted_hi[p] = 1;
+    }
+    const std::size_t idx = granted_hi[p] ? splits[p].hi : splits[p].lo;
+    out[p] = {table[idx].hz, true};
+    total_w += table[idx].watts;
+  }
+
+  // Budget-aware rounding: the all-low configuration fits whenever the
+  // plan does (w_lo <= expected split power per CPU), so deferring high
+  // grants — biggest watts saving first, lowest CPU on ties — always
+  // restores per-interval compliance.  Deferred credit is kept, so the
+  // long-run residency still converges to the plan.
+  while (total_w > budget_w + 1e-9) {
+    std::size_t best = n;
+    double best_saving = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (!granted_hi[p]) continue;
+      const double saving =
+          table[splits[p].hi].watts - table[splits[p].lo].watts;
+      if (saving > best_saving + 1e-12) {
+        best_saving = saving;
+        best = p;
+      }
+    }
+    if (best == n) break;  // nothing to defer: the plan itself is infeasible
+    granted_hi[best] = 0;
+    out[best] = {table[splits[best].lo].hz, true};
+    total_w -= best_saving;
+  }
+  for (std::size_t p = 0; p < n; ++p) {
+    if (granted_hi[p]) credit_[p] -= 1.0;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LpFrequencySelectionPolicy.
+// ---------------------------------------------------------------------------
+
+FractionalSchedule LpFrequencySelectionPolicy::solve(
+    const std::vector<ProcSample>& procs, const mach::FrequencyTable& table,
+    double budget_w) const {
+  FractionalSchedule sched =
+      lp_min_energy(procs, table, budget_w, epsilon_);
+  if (sched.feasible) return sched;
+  // The budget forces more than epsilon loss even fractionally: degrade to
+  // the performance-optimal program (pass 2's "keep downgrading" analogue).
+  return lp_max_performance(procs, table, budget_w);
+}
+
+std::vector<Assignment> LpFrequencySelectionPolicy::decide(
+    const std::vector<ProcSample>& procs, const mach::FrequencyTable& table,
+    double budget_w) const {
+  const std::size_t n = procs.size();
+  std::vector<Assignment> out(n);
+  if (n == 0 || table.empty()) return out;
+  const std::size_t k = table.size();
+
+  const FractionalSchedule sched = solve(procs, table, budget_w);
+  if (!sched.feasible) {
+    // n * w_min > budget: pin everything to f_min, the greedy's
+    // infeasible behaviour (the control loop journals it as such).
+    for (std::size_t p = 0; p < n; ++p) out[p] = {table.min_hz(), true};
+    return out;
+  }
+
+  if (credit_.size() != n || (n > 0 && credit_[0].size() != k)) {
+    credit_.assign(n, std::vector<double>(k, 0.0));
+  }
+
+  // Stride-scheduling realisation: add this interval's fractions to the
+  // per-point credits and grant each CPU its largest-credit point (lowest
+  // index on ties).  The chosen point's credit pays 1 at the end, so
+  // long-run residency converges to the LP fractions.
+  std::vector<std::size_t> grant(n, 0);
+  double total_w = 0.0;
+  for (std::size_t p = 0; p < n; ++p) {
+    std::size_t best = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      credit_[p][i] += sched.fractions[p][i];
+      if (credit_[p][i] > credit_[p][best] + 1e-12) best = i;
+    }
+    grant[p] = best;
+    total_w += table[best].watts;
+  }
+
+  // Budget-aware rounding: step the most expensive grant down one table
+  // point at a time (lowest CPU on watt ties) until the interval fits.
+  // The LP's expected power fits the budget, so the all-minimum floor
+  // always does too and the loop terminates.
+  while (total_w > budget_w + 1e-9) {
+    std::size_t best = n;
+    double best_saving = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (grant[p] == 0) continue;
+      const double saving =
+          table[grant[p]].watts - table[grant[p] - 1].watts;
+      if (saving > best_saving + 1e-12) {
+        best_saving = saving;
+        best = p;
+      }
+    }
+    if (best == n) break;
+    --grant[best];
+    total_w -= best_saving;
+  }
+
+  for (std::size_t p = 0; p < n; ++p) {
+    out[p] = {table[grant[p]].hz, true};
+    credit_[p][grant[p]] -= 1.0;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Name registry.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<Policy> make_policy(
+    const std::string& name, const core::FrequencyScheduler::Options& options) {
+  if (name == "no-dvfs") return std::make_unique<MaxFrequencyPolicy>();
+  if (name == "uniform") return std::make_unique<UniformScalingPolicy>();
+  if (name == "power-down") return std::make_unique<PowerDownPolicy>();
+  if (name == "consolidate") return std::make_unique<ConsolidationPolicy>();
+  if (name == "dbs") return std::make_unique<DemandBasedSwitchingPolicy>(false);
+  if (name == "dbs-capped") {
+    return std::make_unique<DemandBasedSwitchingPolicy>(true);
+  }
+  if (name == "two-freq-split") {
+    return std::make_unique<TwoFrequencySplitPolicy>(options.epsilon);
+  }
+  if (name == "lp-optimal") {
+    return std::make_unique<LpFrequencySelectionPolicy>(options.epsilon);
+  }
+  return nullptr;
+}
+
+}  // namespace fvsst::baselines

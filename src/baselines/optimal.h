@@ -1,0 +1,229 @@
+// optimal.h - Optimization-based baselines and the optimality oracle.
+//
+// The two-pass heuristic is one point in policy space.  PAPERS.md's
+// optimal-frequency line of work gives the other end: "Some Observations
+// on Optimal Frequency Selection in DVFS-based Energy Consumption
+// Minimization" (arxiv 1201.1695) shows the continuous optimum is realised
+// on a discrete table by time-slicing each CPU between the two table
+// entries adjacent to its ideal continuous frequency, and "Multiple
+// Frequency Selection in DVFS-Enabled Processors to Minimize Energy
+// Consumption" (arxiv 1203.5160) formulates the general problem as a
+// linear program over per-frequency time fractions.  This header provides
+// both as baselines::Policy implementations plus the LP machinery the
+// optimality-gap harness (bench_abl_policies, tools/fvsst_oracle) uses to
+// lower-bound what any frequency-scaling policy could have achieved.
+//
+// Everything here is deterministic: the simplex pivots by Bland's rule
+// (no randomness, no cycling), the duty-cycle realisation uses exact
+// credit arithmetic, and no wall-clock state is consulted — two runs over
+// the same inputs are byte-identical.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "baselines/policies.h"
+#include "mach/frequency_table.h"
+
+namespace fvsst::baselines {
+
+// ---------------------------------------------------------------------------
+// A small self-contained LP solver (no external dependencies).
+// ---------------------------------------------------------------------------
+
+/// min c.x subject to rows `a.x (<=|>=|==) b` and x >= 0.
+struct LinearProgram {
+  enum class Relation { kLe, kGe, kEq };
+  struct Row {
+    std::vector<double> a;
+    Relation rel = Relation::kLe;
+    double b = 0.0;
+  };
+  std::vector<double> c;
+  std::vector<Row> rows;
+};
+
+/// Solution of a LinearProgram.
+struct LpSolution {
+  bool feasible = false;
+  double objective = 0.0;   ///< c.x at the optimum (0 when infeasible).
+  std::vector<double> x;    ///< Optimal point (empty when infeasible).
+};
+
+/// Two-phase dense simplex with Bland's rule: deterministic (pure
+/// smallest-index pivoting, no randomness) and cycle-free.  Intended for
+/// the small programs this file builds (tens of rows, hundreds of
+/// columns); unbounded programs return feasible with the last vertex
+/// visited (the programs here are all bounded by construction: every
+/// variable is a time fraction in a unit simplex).
+LpSolution solve_lp(const LinearProgram& lp);
+
+// ---------------------------------------------------------------------------
+// The frequency-selection LPs (arxiv 1203.5160).
+// ---------------------------------------------------------------------------
+
+/// Predicted performance (instructions/second) of the paper's model at
+/// `hz`: hz / (alpha_inv + M * hz).  Zero for invalid estimates.
+double model_performance(const core::WorkloadEstimate& est, double hz);
+
+/// Sum of model_performance at f_max over busy CPUs with valid estimates —
+/// the loss reference every gap below is measured against.
+double reference_performance(const std::vector<ProcSample>& procs,
+                             const mach::FrequencyTable& table);
+
+/// A fractional (time-sliced) frequency schedule: fractions[p][i] is the
+/// fraction of time processor p spends at table point i.  Rows sum to 1.
+struct FractionalSchedule {
+  bool feasible = false;
+  std::vector<std::vector<double>> fractions;
+  double total_performance = 0.0;  ///< Expected model performance (busy+valid).
+  double total_power_w = 0.0;      ///< Expected aggregate power (watts).
+};
+
+/// Performance-optimal LP: maximize total expected model performance
+/// subject to per-CPU fractions summing to 1 and expected aggregate power
+/// <= budget_w.  Idle CPUs and CPUs without a valid estimate contribute
+/// zero objective (the model predicts nothing for them), so the program is
+/// feasible exactly when n * w_min <= budget_w — the same condition under
+/// which the greedy pass 2 reports feasible.  Its optimum upper-bounds the
+/// model performance of EVERY within-budget, always-on frequency
+/// assignment (any such assignment is a vertex of this polytope), which is
+/// what makes the optimality gap in bench_abl_policies nonnegative.
+FractionalSchedule lp_max_performance(const std::vector<ProcSample>& procs,
+                                      const mach::FrequencyTable& table,
+                                      double budget_w);
+
+/// Energy-optimal LP (the 1203.5160 objective): minimize expected power
+/// subject to fractions summing to 1, expected aggregate power <= budget_w
+/// and, per busy CPU with a valid estimate, expected performance >=
+/// (1 - epsilon) * performance(f_max).  CPUs without a valid estimate are
+/// pinned to f_max (the heuristic's kNoEstimate behaviour: predict
+/// nothing, assume the worst); idle CPUs are unconstrained and the
+/// objective drives them to f_min.  May be infeasible under budgets that
+/// force more than epsilon loss even fractionally — callers fall back to
+/// lp_max_performance then.
+FractionalSchedule lp_min_energy(const std::vector<ProcSample>& procs,
+                                 const mach::FrequencyTable& table,
+                                 double budget_w, double epsilon);
+
+// ---------------------------------------------------------------------------
+// The optimality-gap report (bench_abl_policies, tools/fvsst_oracle).
+// ---------------------------------------------------------------------------
+
+/// How far a concrete assignment sits from the LP bounds, all in the
+/// predictor's model (so a policy fed oracle estimates is scored against
+/// the same physics the LP optimised).
+struct GapReport {
+  bool lp_feasible = false;        ///< n * w_min <= budget held.
+  double reference_performance = 0.0;  ///< Everyone busy+valid at f_max.
+  double lp_performance = 0.0;     ///< lp_max_performance optimum.
+  double lp_loss = 0.0;            ///< (ref - lp_perf) / ref.
+  double policy_performance = 0.0; ///< Model performance of `assignments`.
+  double policy_loss = 0.0;        ///< (ref - policy_perf) / ref.
+  /// policy_loss - lp_loss.  Nonnegative for every within-budget always-on
+  /// assignment; policies that power processors off (power-down,
+  /// consolidate) leave the LP's feasible set and may go negative.
+  double gap = 0.0;
+  double policy_power_w = 0.0;     ///< Table power of `assignments`.
+  /// lp_min_energy optimum at the same epsilon; < 0 when that LP is
+  /// infeasible (the budget forces more than epsilon loss).
+  double lp_min_energy_w = -1.0;
+};
+
+/// Scores `assignments` (parallel to `procs`) against both LPs.
+GapReport optimality_gap(const std::vector<ProcSample>& procs,
+                         const std::vector<Assignment>& assignments,
+                         const mach::FrequencyTable& table, double budget_w,
+                         double epsilon);
+
+// ---------------------------------------------------------------------------
+// The policies.
+// ---------------------------------------------------------------------------
+
+/// The 1201.1695 optimum on a discrete table: each CPU time-slices between
+/// the two table entries adjacent to its ideal continuous frequency
+/// (core::ideal_frequency), with a shared continuous frequency cap bisected
+/// so the expected aggregate power meets the budget.  decide() realises
+/// the per-CPU split as a deterministic duty cycle: an error-diffusion
+/// credit per CPU accumulates the high-point fraction and grants the high
+/// point when it reaches one, so the long-run residency converges to the
+/// planned split while every single interval stays a real table setting.
+/// Intervals whose rounding would overshoot the budget defer the high
+/// grant (the all-low configuration always fits whenever the plan is
+/// feasible), so per-interval budget compliance is unconditional.
+class TwoFrequencySplitPolicy final : public Policy {
+ public:
+  explicit TwoFrequencySplitPolicy(double epsilon = 0.04)
+      : epsilon_(epsilon) {}
+  std::string name() const override { return "two-freq-split"; }
+
+  /// One CPU's planned split: table indices of the adjacent pair (lo ==
+  /// hi for a pure point) and the fraction of time at the high entry.
+  struct Split {
+    std::size_t lo = 0;
+    std::size_t hi = 0;
+    double hi_fraction = 0.0;
+  };
+
+  /// The stateless per-interval plan (exposed for the property tests:
+  /// adjacency and budget feasibility are properties of the plan).
+  std::vector<Split> plan(const std::vector<ProcSample>& procs,
+                          const mach::FrequencyTable& table,
+                          double budget_w) const;
+
+  std::vector<Assignment> decide(const std::vector<ProcSample>& procs,
+                                 const mach::FrequencyTable& table,
+                                 double budget_w) const override;
+
+ private:
+  double epsilon_;
+  /// Duty-cycle state: accumulated high-point credit per CPU.  decide() is
+  /// const across the Policy interface, but the duty cycle is inherently
+  /// stateful; mutable keeps the interface unchanged.  Fresh instances
+  /// start at zero credit, so two runs from the same seed (each with its
+  /// own instance) are bit-identical.
+  mutable std::vector<double> credit_;
+};
+
+/// The 1203.5160 multiple-frequency LP as a live policy: solve the
+/// energy-optimal LP each interval and realise the per-CPU fractional
+/// schedule as a deterministic duty cycle (largest-credit selection per
+/// CPU, budget-aware rounding).  When the energy LP is infeasible — the
+/// budget forces more than epsilon loss — the policy degrades to the
+/// performance-optimal LP (mirroring pass 2's "relax epsilon until the
+/// budget fits"); when even that is infeasible (n * w_min > budget) every
+/// CPU pins to f_min, exactly the greedy's infeasible behaviour.
+class LpFrequencySelectionPolicy final : public Policy {
+ public:
+  explicit LpFrequencySelectionPolicy(double epsilon = 0.04)
+      : epsilon_(epsilon) {}
+  std::string name() const override { return "lp-optimal"; }
+
+  /// The fractional plan decide() realises: lp_min_energy, falling back to
+  /// lp_max_performance (exposed for the property tests).
+  FractionalSchedule solve(const std::vector<ProcSample>& procs,
+                           const mach::FrequencyTable& table,
+                           double budget_w) const;
+
+  std::vector<Assignment> decide(const std::vector<ProcSample>& procs,
+                                 const mach::FrequencyTable& table,
+                                 double budget_w) const override;
+
+ private:
+  double epsilon_;
+  /// Per-CPU, per-table-point duty-cycle credits (see TwoFrequencySplit).
+  mutable std::vector<std::vector<double>> credit_;
+};
+
+/// Builds a comparator policy by wire name ("no-dvfs", "uniform",
+/// "power-down", "consolidate", "dbs", "dbs-capped", "two-freq-split",
+/// "lp-optimal").  The optimization policies take their epsilon from
+/// `options`; returns nullptr for unknown names (note "fvsst" is the
+/// default scheduler stage, not a comparator — callers wanting it should
+/// not construct an adapter at all).
+std::unique_ptr<Policy> make_policy(const std::string& name,
+                                    const core::FrequencyScheduler::Options&
+                                        options);
+
+}  // namespace fvsst::baselines

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "baselines/optimal.h"
+
 namespace fvsst::baselines {
 
 std::vector<Assignment> MaxFrequencyPolicy::decide(
@@ -219,6 +221,8 @@ std::vector<std::unique_ptr<Policy>> standard_policies() {
   out.push_back(std::make_unique<PowerDownPolicy>());
   out.push_back(std::make_unique<ConsolidationPolicy>());
   out.push_back(std::make_unique<DemandBasedSwitchingPolicy>(true));
+  out.push_back(std::make_unique<TwoFrequencySplitPolicy>());
+  out.push_back(std::make_unique<LpFrequencySelectionPolicy>());
   out.push_back(std::make_unique<FvsstPolicy>());
   return out;
 }

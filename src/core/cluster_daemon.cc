@@ -242,6 +242,7 @@ Coordinator::Wiring ClusterDaemon::make_wiring(
   w.default_table = &table;
   w.latencies = &cluster_.node(0).machine().latencies;
   w.scheduler = config_.scheduler;
+  w.policy_factory = config_.policy_factory;
   w.proc_tables = proc_tables_;
   // The standby shadows without telemetry; its engine journals only the
   // rounds it runs as leader.

@@ -113,6 +113,11 @@ struct ClusterDaemonConfig {
   /// while every coordinator is crashed (that silence is itself a rule).
   /// Observation only: null leaves the run bit-for-bit unchanged.
   sim::monitor::Monitor* monitor = nullptr;
+  /// Replaces the coordinators' default SchedulerPolicyStage when set (see
+  /// core::PolicyStageFactory).  Both coordinators share the factory, and
+  /// a crash-restarted coordinator rebuilds its stage through it, so the
+  /// policy in force survives failover.  Null keeps the paper's scheduler.
+  PolicyStageFactory policy_factory;
 };
 
 /// Global scheduler plus one agent per node.

@@ -257,6 +257,15 @@ void ControlLoop::journal_cycle(double now, CycleTrigger trigger,
     if (last_result_.explained) {
       e.set("pass1_loss", d.pass1_loss);
       e.set("rejected_loss", d.rejected_loss);
+      // The workload estimate behind the decision, so offline tooling
+      // (tools/fvsst_oracle) can replay the cycle against the same model
+      // the policy saw and bound what any policy could have achieved.
+      if (i < views_.size()) {
+        const WorkloadEstimate& est = views_[i].estimate;
+        e.set("est_valid", est.valid ? 1.0 : 0.0)
+            .set("est_alpha_inv", est.alpha_inv)
+            .set("est_mem_s", est.mem_time_per_instr);
+      }
     }
   }
   for (std::size_t k = 0; k < last_result_.downgrades.size(); ++k) {

@@ -131,6 +131,18 @@ class PolicyStage {
   }
 };
 
+/// Builds a replacement policy stage for a daemon.  Facades that hardwire
+/// SchedulerPolicyStage (the SMP daemon, the cluster coordinators) accept
+/// one of these in their configs so comparator policies — the baselines
+/// adapter in particular — can drive the same live engine; the factory
+/// form (rather than a unique_ptr) keeps configs copyable and lets a
+/// crash-restarted coordinator rebuild its stage from scratch.  Arguments:
+/// the daemon's default table, its nominal latencies and the configured
+/// scheduler options (epsilon et al.).
+using PolicyStageFactory = std::function<std::unique_ptr<PolicyStage>(
+    const mach::FrequencyTable& table, const mach::MemoryLatencies& latencies,
+    const FrequencyScheduler::Options& options)>;
+
 /// What caused a scheduling cycle.
 enum class CycleTrigger {
   kTimer,   ///< The periodic T boundary.

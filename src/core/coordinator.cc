@@ -234,12 +234,17 @@ void Coordinator::build_loop() {
   // The standby keeps the journal: its engine only journals cycles while
   // it actually leads (run_round gates on leadership), so post-takeover
   // rounds stay auditable without double-journalling the shadow phase.
+  std::unique_ptr<PolicyStage> policy;
+  if (wiring_.policy_factory) {
+    policy = wiring_.policy_factory(*wiring_.default_table, *wiring_.latencies,
+                                    wiring_.scheduler);
+  } else {
+    policy = std::make_unique<SchedulerPolicyStage>(
+        *wiring_.default_table, *wiring_.latencies, wiring_.scheduler);
+  }
   loop_ = std::make_unique<ControlLoop>(
       wiring_.loop_config, std::make_unique<SummarySampler>(mailbox_.size()),
-      std::make_unique<MailboxEstimator>(&mailbox_),
-      std::make_unique<SchedulerPolicyStage>(*wiring_.default_table,
-                                             *wiring_.latencies,
-                                             wiring_.scheduler),
+      std::make_unique<MailboxEstimator>(&mailbox_), std::move(policy),
       std::make_unique<SettingsActuator>(*this), wiring_.proc_tables,
       wiring_.telemetry);
 }

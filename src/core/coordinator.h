@@ -163,6 +163,9 @@ class Coordinator {
     const mach::FrequencyTable* default_table = nullptr;
     const mach::MemoryLatencies* latencies = nullptr;
     FrequencyScheduler::Options scheduler;
+    /// Replaces the default SchedulerPolicyStage when set; called again on
+    /// every crash restart (the engine is rebuilt, so the stage is too).
+    PolicyStageFactory policy_factory;
     std::vector<const mach::FrequencyTable*> proc_tables;
     sim::MetricRegistry* telemetry = nullptr;  ///< Null for the standby.
     /// Fans a round's settings out over the network (the daemon owns the

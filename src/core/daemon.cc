@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <utility>
 
 #include "simkit/log.h"
@@ -30,9 +31,16 @@ FvsstDaemon::FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   est_opts.smoothing = config_.estimate_smoothing;
   auto estimator = std::make_unique<IpcEstimator>(
       cluster_.node(0).machine().latencies, est_opts);
-  auto policy = std::make_unique<SchedulerPolicyStage>(
-      table, cluster_.node(0).machine().latencies, config_.scheduler);
-  policy_ = policy.get();
+  std::unique_ptr<PolicyStage> policy;
+  if (config_.policy_factory) {
+    policy = config_.policy_factory(table, cluster_.node(0).machine().latencies,
+                                    config_.scheduler);
+  } else {
+    auto scheduler_stage = std::make_unique<SchedulerPolicyStage>(
+        table, cluster_.node(0).machine().latencies, config_.scheduler);
+    policy_ = scheduler_stage.get();
+    policy = std::move(scheduler_stage);
+  }
   auto actuator = std::make_unique<SimCoreActuator>(cluster_, procs_);
   actuator->set_fault_plan(config_.fault_plan, &sim_);
 
@@ -155,6 +163,15 @@ FvsstDaemon::FvsstDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
 FvsstDaemon::~FvsstDaemon() {
   sim_.cancel(tick_event_);
   sim_.cancel(wake_event_);
+}
+
+const FrequencyScheduler& FvsstDaemon::scheduler() const {
+  if (policy_ == nullptr) {
+    throw std::logic_error(
+        "FvsstDaemon::scheduler: a custom policy_factory replaced the "
+        "default scheduler stage");
+  }
+  return policy_->scheduler();
 }
 
 const sim::TimeSeries& FvsstDaemon::granted_freq_trace(std::size_t cpu) const {

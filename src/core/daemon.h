@@ -83,6 +83,11 @@ struct DaemonConfig {
   /// monitored journals stay byte-identical across kTick and kEvent.
   /// Observation only: null leaves the run bit-for-bit unchanged.
   sim::monitor::Monitor* monitor = nullptr;
+  /// Replaces the default SchedulerPolicyStage when set: the daemon calls
+  /// the factory with its table, latencies and scheduler options and runs
+  /// the returned stage instead (fvsst_sim --policy wires the comparator
+  /// policies through here).  Null keeps the paper's scheduler.
+  PolicyStageFactory policy_factory;
 };
 
 /// The frequency/voltage scheduling daemon.
@@ -136,7 +141,10 @@ class FvsstDaemon {
   /// Time-weighted mean power of one CPU since the daemon started.
   double cpu_mean_power_w(std::size_t cpu) const;
 
-  const FrequencyScheduler& scheduler() const { return policy_->scheduler(); }
+  /// The paper scheduler behind the default policy stage.  Throws
+  /// std::logic_error when a DaemonConfig::policy_factory replaced the
+  /// stage (there is no FrequencyScheduler to expose then).
+  const FrequencyScheduler& scheduler() const;
 
   /// The underlying engine (per-stage timings, latest views).
   const ControlLoop& loop() const { return *loop_; }

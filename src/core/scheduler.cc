@@ -108,7 +108,11 @@ void FrequencyScheduler::pass2_power_fit(std::vector<std::size_t>& idx,
   };
 
   double power = total_power();
-  while (power > power_budget_w) {
+  // kPowerSlackW: `power` is maintained incrementally across downgrades,
+  // so at a budget that equals a reachable configuration exactly the
+  // running total can sit an ulp above it; a strict comparison would then
+  // take a spurious extra downgrade (or report infeasible at the floor).
+  while (power > power_budget_w + mach::kPowerSlackW) {
     // Pick the processor whose next-lower setting costs the least
     // performance ("select n,p with smallest PerfLoss(f_max, f_less)").
     std::size_t best_proc = procs.size();
@@ -235,7 +239,7 @@ ScheduleResult FrequencyScheduler::schedule_single_pass(
   };
   for (std::size_t p = 0; p < procs.size(); ++p) push_candidate(p);
 
-  while (power > power_budget_w) {
+  while (power > power_budget_w + mach::kPowerSlackW) {
     // Skip stale candidates (a proc may have been downgraded since).
     bool applied = false;
     while (!queue.empty()) {
@@ -306,7 +310,7 @@ ScheduleResult FrequencyScheduler::schedule_watts_per_loss(
   }
   const std::vector<std::size_t> desired = idx;
 
-  while (power > power_budget_w) {
+  while (power > power_budget_w + mach::kPowerSlackW) {
     // Pick the downgrade with the most watts saved per unit of *extra*
     // predicted loss (the marginal cost, not the absolute loss).
     std::size_t best_proc = procs.size();

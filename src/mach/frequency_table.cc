@@ -74,7 +74,10 @@ std::optional<OperatingPoint> FrequencyTable::highest_under_power(
     double watts) const {
   std::optional<OperatingPoint> best;
   for (const auto& p : points_) {
-    if (p.watts <= watts) best = p;
+    // kPowerSlackW: a cap that admits a point exactly must select it even
+    // when the caller computed the cap arithmetically (budget / n lands an
+    // ulp below the table value).
+    if (p.watts <= watts + kPowerSlackW) best = p;
   }
   return best;
 }

@@ -15,6 +15,15 @@
 
 namespace fvsst::mach {
 
+/// Slack applied to power-cap comparisons throughout the scheduler stack.
+/// A budget that admits a setting *exactly* (budget == n * watts) must
+/// select it even when the caller derived the cap arithmetically (a
+/// per-processor share like budget / n, or an incrementally maintained
+/// running total): those derivations sit within an ulp or two of the exact
+/// value, and a strict comparison at the boundary would spuriously reject
+/// the only feasible setting.
+inline constexpr double kPowerSlackW = 1e-9;
+
 /// One available frequency setting with its minimum stable voltage and the
 /// pre-computed peak (upper-bound) power at that voltage.
 struct OperatingPoint {

@@ -192,8 +192,10 @@ TEST(Comparison, FvsstBeatsPowerDownOnBusyCluster) {
 
 TEST(StandardPolicies, AllPresentWithFvsstLast) {
   const auto policies = standard_policies();
-  ASSERT_EQ(policies.size(), 6u);
+  ASSERT_EQ(policies.size(), 8u);
   EXPECT_EQ(policies.front()->name(), "no-dvfs");
+  EXPECT_EQ(policies[5]->name(), "two-freq-split");
+  EXPECT_EQ(policies[6]->name(), "lp-optimal");
   EXPECT_EQ(policies.back()->name(), "fvsst");
 }
 

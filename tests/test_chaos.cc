@@ -11,6 +11,8 @@
 #include <cmath>
 #include <string>
 
+#include "baselines/optimal.h"
+#include "baselines/policies.h"
 #include "cluster/cluster.h"
 #include "core/cluster_daemon.h"
 #include "core/daemon.h"
@@ -32,6 +34,29 @@ std::size_t count_type(const sim::EventLog& log, sim::EventType type) {
   std::size_t n = 0;
   for (const sim::Event& e : log.events()) n += e.type == type;
   return n;
+}
+
+/// A PolicyStageFactory running the named comparator policy through the
+/// live engine (fvsst_sim --policy's wiring, minus the CLI).
+core::PolicyStageFactory chaos_policy_factory(const std::string& name) {
+  return [name](const mach::FrequencyTable&, const mach::MemoryLatencies&,
+                const core::FrequencyScheduler::Options& opts)
+             -> std::unique_ptr<core::PolicyStage> {
+    return std::make_unique<baselines::PolicyStageAdapter>(
+        baselines::make_policy(name, opts));
+  };
+}
+
+/// Seed-based rotation through the decision stages under test: the paper's
+/// scheduler plus the two optimization baselines.  The retry/fail-safe
+/// machinery lives in the engine, so every stage must survive the same
+/// faults with the same invariants.
+core::PolicyStageFactory rotated_policy_factory(std::uint64_t seed) {
+  switch (seed % 3) {
+    case 1: return chaos_policy_factory("two-freq-split");
+    case 2: return chaos_policy_factory("lp-optimal");
+    default: return {};  // the default SchedulerPolicyStage
+  }
 }
 
 // --- Random SMP scenarios -------------------------------------------------
@@ -68,6 +93,7 @@ void run_smp_scenario(std::uint64_t seed) {
   core::DaemonConfig config;
   config.journal = &journal;
   config.fault_plan = &plan;
+  config.policy_factory = rotated_policy_factory(seed);
   core::FvsstDaemon daemon(simulation, cluster, machine.freq_table, budget,
                            config);
   power::PowerSensor sensor(simulation, [&] { return cluster.cpu_power_w(); },
@@ -143,6 +169,7 @@ void run_cluster_scenario(std::uint64_t seed) {
   core::ClusterDaemonConfig config;
   config.journal = &journal;
   config.fault_plan = &plan;
+  config.policy_factory = rotated_policy_factory(seed);
   core::ClusterDaemon daemon(simulation, cluster, machine.freq_table, budget,
                              config);
   simulation.run_for(kDuration);
@@ -208,6 +235,7 @@ void run_failover_scenario(std::uint64_t seed) {
   core::ClusterDaemonConfig config;
   config.journal = &journal;
   config.fault_plan = &plan;
+  config.policy_factory = rotated_policy_factory(seed);
   config.failover.standby = true;
   config.failover.node_failsafe_factor = 2.0;
   core::ClusterDaemon daemon(simulation, cluster, machine.freq_table, budget,
@@ -331,6 +359,70 @@ TEST(ChaosFailSafe, RejectedWritesEscalateToFminAndRecover) {
   // closing.
   ASSERT_GE(recovered_at, kFaultEnd);
   EXPECT_LE(recovered_at, kFaultEnd + 0.1 + 1e-9);
+}
+
+// The fail-safe is engine machinery, not scheduler machinery: with either
+// optimization baseline driving the decisions, a CPU whose writes are
+// rejected must still escalate to the f_min pin, stay budget-compliant
+// throughout, and recover once the window closes.
+TEST(ChaosFailSafe, OptimizationPoliciesStillPinFmin) {
+  for (const std::string policy : {"two-freq-split", "lp-optimal"}) {
+    SCOPED_TRACE(policy);
+    constexpr double kFaultStart = 0.25;
+    constexpr double kFaultEnd = 0.62;
+    sim::Simulation simulation;
+    sim::Rng rng(11);
+    const mach::MachineConfig machine = mach::p630();
+    cluster::Cluster cluster =
+        cluster::Cluster::homogeneous(simulation, machine, 1, rng);
+    for (std::size_t c = 0; c < cluster.cpu_count(); ++c) {
+      cluster.core({0, c}).add_workload(
+          workload::make_uniform_synthetic(100.0, 1e12));
+    }
+    sim::FaultPlan plan(1);
+    plan.add({sim::FaultKind::kActuationReject, kFaultStart, kFaultEnd,
+              /*target=*/1, 0.0});
+
+    power::PowerBudget budget(500.0);
+    sim::EventLog journal;
+    core::DaemonConfig config;
+    config.journal = &journal;
+    config.fault_plan = &plan;
+    config.policy_factory = chaos_policy_factory(policy);
+    core::FvsstDaemon daemon(simulation, cluster, machine.freq_table, budget,
+                             config);
+
+    simulation.run_for(0.101);
+    double worst_over = 0.0;
+    simulation.schedule_every(7 * ms, [&] {
+      worst_over = std::max(
+          worst_over, cluster.cpu_power_w() - budget.effective_limit_w());
+    });
+    simulation.run_for(1.2 - 0.101);
+
+    EXPECT_LE(worst_over, 1e-9);
+    EXPECT_EQ(daemon.loop().degraded_cpu_count(), 0u);
+    EXPECT_EQ(daemon.loop().retrying_cpu_count(), 0u);
+    EXPECT_TRUE(sim::check_journal(journal).ok());
+
+    bool saw_failsafe_enter = false;
+    bool saw_failsafe_exit = false;
+    const double f_min = machine.freq_table.min_hz();
+    for (const sim::Event& e : journal.events()) {
+      if (e.cpu != 1 || e.type != sim::EventType::kDegradedMode) continue;
+      const std::string* state = e.find_str("state");
+      ASSERT_NE(state, nullptr);
+      EXPECT_EQ(*e.find_str("reason"), "actuation_failsafe");
+      if (*state == "enter") {
+        saw_failsafe_enter = true;
+        EXPECT_DOUBLE_EQ(e.num_or("hz"), f_min);
+      } else {
+        saw_failsafe_exit = true;
+      }
+    }
+    EXPECT_TRUE(saw_failsafe_enter);
+    EXPECT_TRUE(saw_failsafe_exit);
+  }
 }
 
 // --- Deterministic acceptance: sensor hold-last-known-good ----------------

@@ -78,6 +78,27 @@ TEST(FrequencyTable, HighestUnderPower) {
   EXPECT_FALSE(t.highest_under_power(8.9).has_value());
 }
 
+TEST(FrequencyTable, HighestUnderPowerAdmitsExactArithmeticBoundary) {
+  // Power caps are usually derived arithmetically (budget / n, budget minus
+  // the other grants) and can land an ulp below the point they intend to
+  // admit.  kPowerSlackW must absorb that ulp: a cap that names a point
+  // exactly selects it, while a cap meaningfully below still rejects it.
+  const FrequencyTable t({
+      {250 * MHz, 0.8, 0.1},
+      {500 * MHz, 1.0, 0.2},
+      {750 * MHz, 1.15, 0.3},
+  });
+  const double cap = 1.0 - 0.9;  // 0.0999...98, one ulp under 0.1
+  ASSERT_LT(cap, 0.1);
+  ASSERT_TRUE(t.highest_under_power(cap).has_value());
+  EXPECT_DOUBLE_EQ(t.highest_under_power(cap)->hz, 250 * MHz);
+  // Drift in the other direction must not promote past the boundary
+  // point, and a genuinely lower cap still finds nothing.
+  const double drift_up = 0.1 + 0.1 + 0.1;  // 0.300...04, just over 0.3
+  EXPECT_DOUBLE_EQ(t.highest_under_power(drift_up)->hz, 750 * MHz);
+  EXPECT_FALSE(t.highest_under_power(0.1 - 1e-6).has_value());
+}
+
 TEST(FrequencyTable, HighestUnderFrequency) {
   const FrequencyTable t = small_table();
   EXPECT_DOUBLE_EQ(t.highest_under_frequency(800 * MHz)->hz, 750 * MHz);

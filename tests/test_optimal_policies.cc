@@ -1,0 +1,366 @@
+// Property tests for the optimization-based baselines (baselines/optimal.h):
+// the simplex itself on small known programs, then 1000 seeded scenarios
+// asserting the algebraic relationships between the LPs, the two-frequency
+// split and the paper's two-pass heuristic:
+//
+//   * the energy LP lower-bounds the heuristic's power whenever the
+//     heuristic's assignment lies inside the LP's feasible set;
+//   * the performance LP upper-bounds the heuristic's model performance
+//     (optimality gap >= 0) for every within-budget always-on assignment;
+//   * the two-frequency split only ever uses adjacent table entries;
+//   * the LP is infeasible exactly when greedy pass 2 is (n * w_min > B);
+//   * both duty-cycled policies are bit-deterministic across fresh runs.
+//
+// Failures print the seed for one-line repro (see tests/proptest.h).
+#include "baselines/optimal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/scheduler.h"
+#include "mach/machine_config.h"
+#include "proptest.h"
+#include "simkit/rng.h"
+
+namespace fvsst {
+namespace {
+
+using baselines::LinearProgram;
+using Relation = LinearProgram::Relation;
+
+// ---------------------------------------------------------------------------
+// Simplex unit tests.
+// ---------------------------------------------------------------------------
+
+TEST(Simplex, SolvesSmallMaximisation) {
+  // max 3x + 2y s.t. x + y <= 4, x <= 2  ->  x = 2, y = 2, value 10.
+  LinearProgram lp;
+  lp.c = {-3.0, -2.0};
+  lp.rows.push_back({{1.0, 1.0}, Relation::kLe, 4.0});
+  lp.rows.push_back({{1.0, 0.0}, Relation::kLe, 2.0});
+  const auto sol = baselines::solve_lp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, -10.0, 1e-9);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, HandlesEqualityRows) {
+  // min x s.t. x + y == 2  ->  x = 0, y = 2.
+  LinearProgram lp;
+  lp.c = {1.0, 0.0};
+  lp.rows.push_back({{1.0, 1.0}, Relation::kEq, 2.0});
+  const auto sol = baselines::solve_lp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x <= 1 and x >= 2 cannot both hold.
+  LinearProgram lp;
+  lp.c = {1.0};
+  lp.rows.push_back({{1.0}, Relation::kLe, 1.0});
+  lp.rows.push_back({{1.0}, Relation::kGe, 2.0});
+  const auto sol = baselines::solve_lp(lp);
+  EXPECT_FALSE(sol.feasible);
+}
+
+TEST(Simplex, NegativeRhsNormalised) {
+  // -x <= -3 is x >= 3; min x -> 3.
+  LinearProgram lp;
+  lp.c = {1.0};
+  lp.rows.push_back({{-1.0}, Relation::kLe, -3.0});
+  const auto sol = baselines::solve_lp(lp);
+  ASSERT_TRUE(sol.feasible);
+  EXPECT_NEAR(sol.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, DeterministicAcrossCalls) {
+  LinearProgram lp;
+  lp.c = {-1.0, -1.0, -1.0};
+  lp.rows.push_back({{2.0, 1.0, 0.0}, Relation::kLe, 4.0});
+  lp.rows.push_back({{0.0, 1.0, 3.0}, Relation::kLe, 6.0});
+  lp.rows.push_back({{1.0, 1.0, 1.0}, Relation::kLe, 5.0});
+  const auto a = baselines::solve_lp(lp);
+  const auto b = baselines::solve_lp(lp);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_EQ(a.x[i], b.x[i]) << "var " << i;  // bitwise, not approximate
+  }
+  EXPECT_EQ(a.objective, b.objective);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario generation shared by the seeded properties.
+// ---------------------------------------------------------------------------
+
+struct Scenario {
+  std::vector<baselines::ProcSample> procs;
+  std::vector<core::ProcView> views;  ///< Same workloads, scheduler shape.
+  double budget_w = 0.0;
+  double epsilon = 0.04;
+};
+
+Scenario random_scenario(sim::Rng& rng, const mach::FrequencyTable& table) {
+  Scenario s;
+  s.epsilon = rng.uniform(0.005, 0.3);
+  const std::size_t cpus = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+  s.procs.resize(cpus);
+  s.views.resize(cpus);
+  for (std::size_t i = 0; i < cpus; ++i) {
+    baselines::ProcSample& p = s.procs[i];
+    p.estimate.valid = rng.bernoulli(0.9);
+    p.estimate.alpha_inv = rng.uniform(0.3, 3.0);
+    p.estimate.mem_time_per_instr = rng.uniform(0.0, 4e-9);
+    p.idle = rng.bernoulli(0.15);
+    p.naive_utilization = rng.uniform(0.0, 1.0);
+    s.views[i].estimate = p.estimate;
+    s.views[i].idle = p.idle;
+    s.views[i].current_hz = table.max_hz();
+  }
+  s.budget_w =
+      rng.uniform(0.8 * static_cast<double>(cpus) * table.min_point().watts,
+                  1.2 * static_cast<double>(cpus) * table.max_point().watts);
+  return s;
+}
+
+double assignment_power(const std::vector<baselines::Assignment>& assignments,
+                        const mach::FrequencyTable& table) {
+  double total = 0.0;
+  for (const auto& a : assignments) {
+    if (a.powered_on) total += table.power(a.hz);
+  }
+  return total;
+}
+
+/// Does `assignments` satisfy every constraint of lp_min_energy's feasible
+/// set?  (Fractions are a relaxation, so membership of the integral
+/// assignment implies the LP optimum lower-bounds its power.)
+bool in_energy_feasible_set(const Scenario& s,
+                            const std::vector<baselines::Assignment>& a,
+                            const mach::FrequencyTable& table) {
+  double power = 0.0;
+  for (std::size_t p = 0; p < s.procs.size(); ++p) {
+    if (!a[p].powered_on) return false;
+    power += table.power(a[p].hz);
+    if (s.procs[p].idle) continue;
+    if (!s.procs[p].estimate.valid) {
+      if (a[p].hz != table.max_hz()) return false;  // LP pins these.
+      continue;
+    }
+    const double perf_max =
+        baselines::model_performance(s.procs[p].estimate, table.max_hz());
+    const double perf =
+        baselines::model_performance(s.procs[p].estimate, a[p].hz);
+    if (perf < (1.0 - s.epsilon) * perf_max - 1e-9) return false;
+  }
+  return power <= s.budget_w + 1e-9;
+}
+
+// ---------------------------------------------------------------------------
+// The seeded properties.
+// ---------------------------------------------------------------------------
+
+void run_property(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  const mach::MemoryLatencies latencies = mach::p630().latencies;
+  const Scenario s = random_scenario(rng, table);
+  const double n_wmin =
+      static_cast<double>(s.procs.size()) * table.min_point().watts;
+
+  // --- Feasibility equivalence: LP <=> greedy pass 2 (n * w_min <= B). ---
+  const auto lp_perf =
+      baselines::lp_max_performance(s.procs, table, s.budget_w);
+  core::FrequencyScheduler::Options opts;
+  opts.epsilon = s.epsilon;
+  const core::FrequencyScheduler scheduler(table, latencies, opts);
+  const core::ScheduleResult greedy = scheduler.schedule(s.views, s.budget_w);
+  // Skip the knife-edge: the two sides use different (tiny) comparison
+  // slacks, so a budget within 1e-6 W of the floor may legitimately split.
+  if (std::abs(s.budget_w - n_wmin) > 1e-6) {
+    EXPECT_EQ(lp_perf.feasible, greedy.feasible)
+        << "budget " << s.budget_w << " floor " << n_wmin;
+  }
+  if (!lp_perf.feasible) return;  // Nothing below bounds anything.
+
+  // --- The performance LP upper-bounds every within-budget always-on
+  // assignment, heuristic included: optimality gap >= 0. -----------------
+  baselines::FvsstPolicy fvsst(opts);
+  const auto fvsst_assign = fvsst.decide(s.procs, table, s.budget_w);
+  ASSERT_EQ(fvsst_assign.size(), s.procs.size());
+  const auto gap = baselines::optimality_gap(s.procs, fvsst_assign, table,
+                                             s.budget_w, s.epsilon);
+  if (gap.reference_performance > 0.0) {
+    EXPECT_GE(gap.gap, -1e-7) << "LP bound violated at budget " << s.budget_w;
+  }
+
+  // --- The energy LP lower-bounds the heuristic's power whenever the
+  // heuristic's assignment sits inside the LP's feasible set. ------------
+  const auto energy =
+      baselines::lp_min_energy(s.procs, table, s.budget_w, s.epsilon);
+  if (in_energy_feasible_set(s, fvsst_assign, table)) {
+    ASSERT_TRUE(energy.feasible)
+        << "heuristic found an energy-feasible point the LP missed";
+    EXPECT_LE(energy.total_power_w,
+              assignment_power(fvsst_assign, table) + 1e-6);
+  }
+
+  // --- Two-frequency split: adjacency and planned budget compliance. ----
+  baselines::TwoFrequencySplitPolicy split_policy(s.epsilon);
+  const auto plan = split_policy.plan(s.procs, table, s.budget_w);
+  ASSERT_EQ(plan.size(), s.procs.size());
+  double planned_power = 0.0;
+  for (std::size_t p = 0; p < plan.size(); ++p) {
+    const auto& sp = plan[p];
+    ASSERT_LT(sp.hi, table.size()) << "cpu " << p;
+    ASSERT_LE(sp.lo, sp.hi) << "cpu " << p;
+    EXPECT_LE(sp.hi - sp.lo, 1u) << "cpu " << p << ": non-adjacent split";
+    EXPECT_GE(sp.hi_fraction, 0.0) << "cpu " << p;
+    EXPECT_LE(sp.hi_fraction, 1.0) << "cpu " << p;
+    planned_power += sp.hi_fraction * table[sp.hi].watts +
+                     (1.0 - sp.hi_fraction) * table[sp.lo].watts;
+  }
+  EXPECT_LE(planned_power, s.budget_w + 1e-6)
+      << "planned expected power exceeds the budget";
+
+  // --- Realised intervals: table settings only, within budget. ----------
+  baselines::LpFrequencySelectionPolicy lp_policy(s.epsilon);
+  for (const baselines::Policy* policy :
+       {static_cast<const baselines::Policy*>(&split_policy),
+        static_cast<const baselines::Policy*>(&lp_policy)}) {
+    const auto out = policy->decide(s.procs, table, s.budget_w);
+    ASSERT_EQ(out.size(), s.procs.size()) << policy->name();
+    double power = 0.0;
+    for (const auto& a : out) {
+      EXPECT_TRUE(a.powered_on) << policy->name();
+      EXPECT_TRUE(table.contains(a.hz))
+          << policy->name() << " granted off-table " << a.hz;
+      power += table.power(a.hz);
+    }
+    EXPECT_LE(power, s.budget_w + 1e-9)
+        << policy->name() << ": interval over budget";
+  }
+}
+
+TEST(OptimalPolicyProperties, ThousandSeededScenarios) {
+  proptest::run_seeded(110000, 1000, "./tests/test_optimal_policies",
+                       run_property);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-determinism: two fresh instances fed the same interval sequence give
+// byte-identical grants (duty-cycle credits start at zero, evolve purely
+// from the inputs).
+// ---------------------------------------------------------------------------
+
+void run_determinism(std::uint64_t seed) {
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  sim::Rng rng_a(seed);
+  sim::Rng rng_b(seed);
+  baselines::TwoFrequencySplitPolicy split_a(0.04), split_b(0.04);
+  baselines::LpFrequencySelectionPolicy lp_a(0.04), lp_b(0.04);
+  for (int interval = 0; interval < 6; ++interval) {
+    const Scenario sa = random_scenario(rng_a, table);
+    const Scenario sb = random_scenario(rng_b, table);
+    const auto oa = split_a.decide(sa.procs, table, sa.budget_w);
+    const auto ob = split_b.decide(sb.procs, table, sb.budget_w);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (std::size_t p = 0; p < oa.size(); ++p) {
+      EXPECT_EQ(oa[p].hz, ob[p].hz) << "split interval " << interval;
+    }
+    const auto la = lp_a.decide(sa.procs, table, sa.budget_w);
+    const auto lb = lp_b.decide(sb.procs, table, sb.budget_w);
+    ASSERT_EQ(la.size(), lb.size());
+    for (std::size_t p = 0; p < la.size(); ++p) {
+      EXPECT_EQ(la[p].hz, lb[p].hz) << "lp interval " << interval;
+    }
+  }
+}
+
+TEST(OptimalPolicyProperties, BitDeterministicAcrossRuns) {
+  proptest::run_seeded(120000, 50, "./tests/test_optimal_policies",
+                       run_determinism);
+}
+
+// ---------------------------------------------------------------------------
+// Directed cases.
+// ---------------------------------------------------------------------------
+
+TEST(LpMinEnergy, DrivesIdleProcessorsToFloor) {
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  std::vector<baselines::ProcSample> procs(2);
+  procs[0].idle = true;
+  procs[1].estimate = {1.0, 0.0, true};
+  procs[1].idle = false;
+  const auto sched =
+      baselines::lp_min_energy(procs, table, 2 * 140.0, 0.04);
+  ASSERT_TRUE(sched.feasible);
+  // The idle CPU spends all its time at the lowest point.
+  EXPECT_NEAR(sched.fractions[0][0], 1.0, 1e-6);
+}
+
+TEST(LpMinEnergy, InfeasibleWhenBudgetForcesMoreThanEpsilonLoss) {
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  std::vector<baselines::ProcSample> procs(4);
+  for (auto& p : procs) p.estimate = {1.0, 0.0, true};  // pure CPU-bound
+  // 4 CPUs, pure CPU work, epsilon 1%: needs ~0.99 * f_max everywhere,
+  // ~4 * 137 W; a 100 W budget cannot fit even fractionally.
+  const auto sched = baselines::lp_min_energy(procs, table, 100.0, 0.01);
+  EXPECT_FALSE(sched.feasible);
+  // The performance LP still is feasible (4 * 9 W floor fits) — the
+  // policy's documented fallback.
+  EXPECT_TRUE(baselines::lp_max_performance(procs, table, 100.0).feasible);
+}
+
+TEST(TwoFrequencySplit, PinsFloorWhenInfeasible) {
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  std::vector<baselines::ProcSample> procs(4);
+  for (auto& p : procs) p.estimate = {1.0, 0.0, true};
+  baselines::TwoFrequencySplitPolicy policy(0.04);
+  // 4 * 9 W = 36 W floor; 20 W is infeasible even at minimum.
+  const auto out = policy.decide(procs, table, 20.0);
+  for (const auto& a : out) {
+    EXPECT_EQ(a.hz, table.min_hz());
+    EXPECT_TRUE(a.powered_on);
+  }
+}
+
+TEST(LpPolicy, PinsFloorWhenInfeasible) {
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  std::vector<baselines::ProcSample> procs(4);
+  for (auto& p : procs) p.estimate = {1.0, 0.0, true};
+  baselines::LpFrequencySelectionPolicy policy(0.04);
+  const auto out = policy.decide(procs, table, 20.0);
+  for (const auto& a : out) {
+    EXPECT_EQ(a.hz, table.min_hz());
+    EXPECT_TRUE(a.powered_on);
+  }
+}
+
+TEST(TwoFrequencySplit, DutyCycleConvergesToPlannedFraction) {
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+  std::vector<baselines::ProcSample> procs(1);
+  procs[0].estimate = {1.0, 1e-9, true};
+  baselines::TwoFrequencySplitPolicy policy(0.04);
+  const auto plan = policy.plan(procs, table, 140.0);
+  ASSERT_EQ(plan.size(), 1u);
+  if (plan[0].lo == plan[0].hi) GTEST_SKIP() << "degenerate pure point";
+  int hi_grants = 0;
+  const int intervals = 10000;
+  for (int i = 0; i < intervals; ++i) {
+    const auto out = policy.decide(procs, table, 140.0);
+    if (out[0].hz == table[plan[0].hi].hz) ++hi_grants;
+  }
+  const double residency = static_cast<double>(hi_grants) / intervals;
+  EXPECT_NEAR(residency, plan[0].hi_fraction, 0.01)
+      << "long-run residency drifted from the planned split";
+}
+
+}  // namespace
+}  // namespace fvsst

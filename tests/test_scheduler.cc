@@ -127,6 +127,74 @@ TEST(Scheduler, InfeasibleBudgetReportsAndFloors) {
   EXPECT_DOUBLE_EQ(result.total_cpu_power_w, 36.0);
 }
 
+TEST(Scheduler, BudgetAdmittingOnlyTheFloorExactlyIsFeasible) {
+  // Boundary regression: a budget that admits the all-minimum
+  // configuration exactly (4 x 9 W) must be feasible.  Pass 2 reaches it
+  // through a long chain of downgrades with the running power total
+  // maintained incrementally, so the comparison has to tolerate
+  // accumulated rounding (mach::kPowerSlackW) instead of declaring the
+  // floor infeasible by an ulp.
+  const auto sched = make_scheduler();
+  std::vector<ProcView> procs(4, ProcView{make_estimate(1.6, 0.06), false});
+  const auto table = mach::p630_frequency_table();
+  const double budget = 4.0 * table.min_point().watts;
+  const auto result = sched.schedule(procs, budget);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_DOUBLE_EQ(result.total_cpu_power_w, budget);
+  for (const auto& d : result.decisions) {
+    EXPECT_DOUBLE_EQ(d.hz, 250 * MHz);
+  }
+  // One watt less and the floor no longer fits: infeasible, still floored.
+  const auto under = sched.schedule(procs, budget - 1.0);
+  EXPECT_FALSE(under.feasible);
+  for (const auto& d : under.decisions) {
+    EXPECT_DOUBLE_EQ(d.hz, 250 * MHz);
+  }
+}
+
+TEST(Scheduler, BudgetExactlyAtEpsilonDemandNeedsNoDowngrade) {
+  // Epsilon demand for [cpu-bound, memory-bound] is 140 + 66 = 206 W.  A
+  // budget of exactly 206 W admits it, and the boundary comparison must
+  // not trigger a spurious extra downgrade.
+  const auto sched = make_scheduler();
+  std::vector<ProcView> procs{{make_estimate(1.6, 0.06), false},
+                              {make_estimate(1.6, 6.4), false}};
+  const auto result = sched.schedule(procs, 206.0);
+  EXPECT_TRUE(result.feasible);
+  EXPECT_EQ(result.downgrade_steps, 0u);
+  EXPECT_DOUBLE_EQ(result.decisions[0].hz, 1 * GHz);
+  EXPECT_DOUBLE_EQ(result.decisions[1].hz, 700 * MHz);
+  EXPECT_DOUBLE_EQ(result.total_cpu_power_w, 206.0);
+}
+
+TEST(Scheduler, Pass1EpsilonCutoffIsStrictAtExactBoundary) {
+  // Pure-CPU work on a two-point table: with mem_time 0 performance
+  // scales linearly with frequency, so predicted loss at half speed is
+  // exactly 0.5.  The paper's pass-1 test is strict (`loss < epsilon`),
+  // so epsilon = 0.5 must reject the 500 MHz point and desire f_max.
+  const mach::FrequencyTable table(
+      {{500 * MHz, 1.0, 35.0}, {1000 * MHz, 1.3, 140.0}});
+  FrequencyScheduler::Options opts;
+  opts.epsilon = 0.5;
+  const FrequencyScheduler sched(table, kLat, opts);
+  WorkloadEstimate est;
+  est.valid = true;
+  est.alpha_inv = 1.0;
+  est.mem_time_per_instr = 0.0;
+  ASSERT_DOUBLE_EQ(sched.predicted_loss(est, 500 * MHz), 0.5);
+  std::vector<ProcView> procs{{est, false}};
+  const auto at_boundary = sched.schedule(procs, 1e9);
+  EXPECT_DOUBLE_EQ(at_boundary.decisions[0].desired_hz, 1 * GHz);
+  EXPECT_EQ(at_boundary.decisions[0].pass1_reason, Pass1Reason::kFmax);
+
+  // Nudge epsilon past the boundary and the half-speed point qualifies.
+  opts.epsilon = 0.5 + 1e-9;
+  const FrequencyScheduler above(table, kLat, opts);
+  const auto past_boundary = above.schedule(procs, 1e9);
+  EXPECT_DOUBLE_EQ(past_boundary.decisions[0].desired_hz, 500 * MHz);
+  EXPECT_EQ(past_boundary.decisions[0].pass1_reason, Pass1Reason::kEpsilon);
+}
+
 TEST(Scheduler, IdleDetectionPinsToMinimum) {
   const auto sched = make_scheduler();
   std::vector<ProcView> procs{

@@ -17,8 +17,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "baselines/policies.h"
 #include "mach/machine_config.h"
 #include "proptest.h"
 #include "simkit/rng.h"
@@ -135,6 +137,75 @@ TEST(SchedulerProperties, ThousandSeededTriples) {
   proptest::run_seeded(100000, 1000,
                        "./tests/test_scheduler_properties",
                        run_property);
+}
+
+// --- Cross-policy invariants ----------------------------------------------
+//
+// Every registered comparator (baselines::standard_policies) must, on any
+// scenario: grant only table operating points while powered on, respect
+// the budget whenever it is honourable (policies documented as
+// budget-blind or power-gating are exempt — no-dvfs ignores the budget,
+// power-down/consolidate keep a last host alive even over it), and be
+// bit-deterministic across two fresh registry instances.
+
+bool budget_exempt(const std::string& name) {
+  return name == "no-dvfs" || name == "power-down" || name == "consolidate";
+}
+
+void run_cross_policy_property(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  const mach::FrequencyTable table = mach::p630_frequency_table();
+
+  const std::size_t cpus = 1 + static_cast<std::size_t>(rng.uniform_int(0, 7));
+  std::vector<baselines::ProcSample> procs(cpus);
+  for (auto& p : procs) {
+    p.estimate.valid = rng.bernoulli(0.9);
+    p.estimate.alpha_inv = rng.uniform(0.3, 3.0);
+    p.estimate.mem_time_per_instr = rng.uniform(0.0, 4e-9);
+    p.idle = rng.bernoulli(0.15);
+    p.naive_utilization = rng.uniform(0.0, 1.0);
+  }
+  const double budget =
+      rng.uniform(0.8 * static_cast<double>(cpus) * table.min_point().watts,
+                  1.2 * static_cast<double>(cpus) * table.max_point().watts);
+  const bool floor_fits =
+      static_cast<double>(cpus) * table.min_point().watts <=
+      budget - 1e-6;  // clear of the knife-edge
+
+  const auto registry_a = baselines::standard_policies();
+  const auto registry_b = baselines::standard_policies();
+  ASSERT_EQ(registry_a.size(), registry_b.size());
+  for (std::size_t k = 0; k < registry_a.size(); ++k) {
+    const auto& policy = *registry_a[k];
+    SCOPED_TRACE(policy.name());
+    const auto out = policy.decide(procs, table, budget);
+    ASSERT_EQ(out.size(), cpus);
+    double power = 0.0;
+    for (const auto& a : out) {
+      if (!a.powered_on) continue;
+      // Never a frequency outside the table.
+      ASSERT_TRUE(table.contains(a.hz)) << "off-table grant " << a.hz;
+      power += table.power(a.hz);
+    }
+    if (floor_fits && !budget_exempt(policy.name())) {
+      EXPECT_LE(power, budget + 1e-9) << "over budget";
+    }
+    // Bit-determinism: a fresh instance from a fresh registry makes the
+    // same decisions (no hidden wall-clock or cross-instance state).
+    const auto again = registry_b[k]->decide(procs, table, budget);
+    ASSERT_EQ(again.size(), out.size());
+    for (std::size_t p = 0; p < out.size(); ++p) {
+      EXPECT_EQ(out[p].hz, again[p].hz) << "cpu " << p;
+      EXPECT_EQ(out[p].powered_on, again[p].powered_on) << "cpu " << p;
+    }
+  }
+}
+
+TEST(CrossPolicyProperties, EveryRegisteredPolicyKeepsCoreInvariants) {
+  proptest::run_seeded(130000, 300,
+                       "./tests/test_scheduler_properties "
+                       "--gtest_filter=CrossPolicyProperties.*",
+                       run_cross_policy_property);
 }
 
 }  // namespace

@@ -1,0 +1,311 @@
+// fvsst_oracle - Offline optimality oracle: replays a recorded decision
+// journal and reports how far the run's policy sat from the LP optimum.
+//
+// Usage:
+//   fvsst_oracle JOURNAL [--epsilon E] [--per-cycle] [--json]
+//
+// The journal must come from the SMP daemon with --explain (fvsst_sim
+// --journal FILE --explain): explain mode stamps every decision with the
+// workload estimate (est_valid / est_alpha_inv / est_mem_s) behind it, and
+// the oracle replays each cycle against that same model — the hindsight
+// question is "given what the policy knew, what could any frequency
+// assignment have achieved under this budget?", answered by the
+// performance-optimal LP of baselines/optimal.h.  Per cycle it scores the
+// recorded grants against the LP bound and reports the loss gap; a negative
+// gap is possible only for policies that power processors off (they leave
+// the LP's always-on feasible set — see GapReport).
+//
+// Encodings: JSON lines or FJB1 binary, sniffed from the first bytes, same
+// as fvsst_inspect.  The pass is streaming, so multi-gigabyte journals are
+// scored in bounded memory.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/optimal.h"
+#include "mach/frequency_table.h"
+#include "simkit/event_log.h"
+#include "simkit/table.h"
+
+using namespace fvsst;
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr,
+               "fvsst_oracle: %s\n"
+               "usage: fvsst_oracle JOURNAL [--epsilon E] [--per-cycle] "
+               "[--json]\n",
+               message.c_str());
+  std::exit(2);
+}
+
+struct CliOptions {
+  std::string journal_path;
+  double epsilon = 0.04;   ///< Must match the recorded run's --epsilon.
+  bool per_cycle = false;  ///< Print one table row per scheduling cycle.
+  bool json = false;       ///< Machine-readable summary on stdout.
+};
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--help" || flag == "-h") {
+      std::printf(
+          "usage: fvsst_oracle JOURNAL [--epsilon E] [--per-cycle] "
+          "[--json]\n"
+          "Scores a recorded --explain journal against the LP optimality\n"
+          "bound (see DESIGN.md, 'Optimization-based baselines').\n");
+      std::exit(0);
+    } else if (flag == "--epsilon") {
+      if (i + 1 >= argc) usage_error("--epsilon needs a value");
+      opts.epsilon = std::atof(argv[++i]);
+      if (opts.epsilon <= 0.0 || opts.epsilon >= 1.0) {
+        usage_error("--epsilon must be in (0, 1)");
+      }
+    } else if (flag == "--per-cycle") {
+      opts.per_cycle = true;
+    } else if (flag == "--json") {
+      opts.json = true;
+    } else if (!flag.empty() && flag[0] == '-') {
+      usage_error("unknown flag '" + flag + "'");
+    } else if (opts.journal_path.empty()) {
+      opts.journal_path = flag;
+    } else {
+      usage_error("more than one journal given");
+    }
+  }
+  if (opts.journal_path.empty()) usage_error("no journal given");
+  return opts;
+}
+
+/// One CPU's recorded decision within the cycle being accumulated.
+struct CpuDecision {
+  bool seen = false;
+  double granted_hz = 0.0;
+  double watts = 0.0;
+  bool idle = false;
+  bool has_estimate = false;  ///< est_* fields present (explain mode).
+  core::WorkloadEstimate estimate;
+};
+
+/// Streaming replay state: per-CPU tables, the cycle under accumulation,
+/// and the aggregate gap statistics.
+struct Replay {
+  double epsilon = 0.04;
+  std::map<int, std::vector<mach::OperatingPoint>> table_points;
+  mach::FrequencyTable table;  ///< Built lazily from CPU 0's points.
+  bool table_built = false;
+  std::string daemon;          ///< run_meta "daemon" value.
+
+  std::vector<CpuDecision> cycle;  ///< Indexed by flattened CPU.
+
+  struct CycleScore {
+    double t = 0.0;
+    double budget_w = 0.0;
+    baselines::GapReport gap;
+  };
+  std::vector<CycleScore> scores;   ///< Kept only under --per-cycle.
+  bool keep_per_cycle = false;
+
+  std::size_t cycles_scored = 0;
+  std::size_t cycles_unexplained = 0;  ///< Decisions without est_* fields.
+  std::size_t cycles_lp_infeasible = 0;
+  double sum_policy_loss = 0.0;
+  double sum_lp_loss = 0.0;
+  double sum_gap = 0.0;
+  double max_gap = 0.0;
+  double min_gap = 0.0;
+  bool any_gap = false;
+
+  void on_event(const sim::Event& e);
+  void finish_cycle(const sim::Event& actuation);
+};
+
+void Replay::on_event(const sim::Event& e) {
+  switch (e.type) {
+    case sim::EventType::kRunMeta:
+      if (const std::string* d = e.find_str("daemon")) daemon = *d;
+      break;
+    case sim::EventType::kTablePoint:
+      table_points[e.cpu].push_back({e.num_or("hz"), e.num_or("volts"),
+                                     e.num_or("watts")});
+      break;
+    case sim::EventType::kDecision: {
+      if (e.cpu < 0) break;
+      const std::size_t cpu = static_cast<std::size_t>(e.cpu);
+      if (cycle.size() <= cpu) cycle.resize(cpu + 1);
+      CpuDecision& d = cycle[cpu];
+      d.seen = true;
+      d.granted_hz = e.num_or("granted_hz");
+      d.watts = e.num_or("watts");
+      d.idle = e.num_or("idle") != 0.0;
+      d.has_estimate = e.has_num("est_valid");
+      if (d.has_estimate) {
+        d.estimate.valid = e.num_or("est_valid") != 0.0;
+        d.estimate.alpha_inv = e.num_or("est_alpha_inv");
+        d.estimate.mem_time_per_instr = e.num_or("est_mem_s");
+      }
+      break;
+    }
+    case sim::EventType::kActuation:
+      // Deferred cluster node applies carry str "stage"; the cycle-level
+      // actuation record (no stage) terminates the cycle.
+      if (e.find_str("stage") == nullptr) finish_cycle(e);
+      break;
+    default:
+      break;
+  }
+}
+
+void Replay::finish_cycle(const sim::Event& actuation) {
+  std::vector<CpuDecision> decisions;
+  decisions.swap(cycle);
+  if (decisions.empty()) return;  // Actuation without decisions: nothing.
+  bool explained = true;
+  for (const CpuDecision& d : decisions) {
+    if (d.seen && !d.has_estimate) explained = false;
+  }
+  if (!explained) {
+    ++cycles_unexplained;
+    return;
+  }
+  if (!table_built) {
+    auto it = table_points.find(0);
+    if (it == table_points.end() || it->second.empty()) {
+      std::fprintf(stderr,
+                   "fvsst_oracle: journal has no table_point events for "
+                   "cpu 0 — cannot reconstruct the operating-point table\n");
+      std::exit(1);
+    }
+    table = mach::FrequencyTable(it->second);
+    table_built = true;
+  }
+  std::vector<baselines::ProcSample> procs(decisions.size());
+  std::vector<baselines::Assignment> assignments(decisions.size());
+  for (std::size_t p = 0; p < decisions.size(); ++p) {
+    procs[p].estimate = decisions[p].estimate;
+    procs[p].idle = decisions[p].idle;
+    assignments[p].hz = decisions[p].granted_hz;
+    assignments[p].powered_on = decisions[p].watts > 0.0;
+  }
+  const double budget_w = actuation.num_or("budget_w");
+  const baselines::GapReport gap = baselines::optimality_gap(
+      procs, assignments, table, budget_w, epsilon);
+  ++cycles_scored;
+  if (!gap.lp_feasible) ++cycles_lp_infeasible;
+  if (gap.reference_performance > 0.0) {
+    sum_policy_loss += gap.policy_loss;
+    sum_lp_loss += gap.lp_loss;
+    sum_gap += gap.gap;
+    if (!any_gap || gap.gap > max_gap) max_gap = gap.gap;
+    if (!any_gap || gap.gap < min_gap) min_gap = gap.gap;
+    any_gap = true;
+  }
+  if (keep_per_cycle) scores.push_back({actuation.t, budget_w, gap});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opts = parse_args(argc, argv);
+
+  // std::ios::binary keeps the FJB1 byte stream untranslated; it is a
+  // no-op for JSONL text.
+  std::ifstream in(opts.journal_path, std::ios::binary);
+  if (!in) usage_error("cannot open journal '" + opts.journal_path + "'");
+
+  Replay replay;
+  replay.epsilon = opts.epsilon;
+  replay.keep_per_cycle = opts.per_cycle;
+  const sim::JournalFormat format = sim::detect_journal_format(in);
+  sim::JsonlReadReport report;
+  const auto deliver = [&replay](sim::Event&& e) { replay.on_event(e); };
+  const std::size_t events =
+      format == sim::JournalFormat::kBinary
+          ? sim::for_each_binary(in, deliver, &report)
+          : sim::for_each_jsonl(in, deliver, &report);
+
+  if (!replay.daemon.empty() && replay.daemon != "fvsst") {
+    std::fprintf(stderr,
+                 "fvsst_oracle: journal was recorded by the '%s' daemon; "
+                 "only SMP (fvsst) journals are supported\n",
+                 replay.daemon.c_str());
+    return 1;
+  }
+  if (replay.cycles_scored == 0) {
+    if (replay.cycles_unexplained > 0) {
+      std::fprintf(stderr,
+                   "fvsst_oracle: all %zu cycles lack workload estimates — "
+                   "record the journal with fvsst_sim --explain\n",
+                   replay.cycles_unexplained);
+    } else {
+      std::fprintf(stderr,
+                   "fvsst_oracle: no scheduling cycles found in %zu "
+                   "events\n",
+                   events);
+    }
+    return 1;
+  }
+
+  const double n = static_cast<double>(replay.cycles_scored);
+  if (opts.json) {
+    std::printf(
+        "{\n"
+        "  \"cycles\": %zu,\n"
+        "  \"cycles_unexplained\": %zu,\n"
+        "  \"cycles_lp_infeasible\": %zu,\n"
+        "  \"epsilon\": %.6f,\n"
+        "  \"mean_policy_loss\": %.6f,\n"
+        "  \"mean_lp_loss\": %.6f,\n"
+        "  \"mean_gap\": %.6f,\n"
+        "  \"max_gap\": %.6f,\n"
+        "  \"min_gap\": %.6f\n"
+        "}\n",
+        replay.cycles_scored, replay.cycles_unexplained,
+        replay.cycles_lp_infeasible, opts.epsilon,
+        replay.sum_policy_loss / n, replay.sum_lp_loss / n,
+        replay.sum_gap / n, replay.max_gap, replay.min_gap);
+    return 0;
+  }
+
+  std::printf("fvsst_oracle: %zu cycle(s) scored", replay.cycles_scored);
+  if (replay.cycles_unexplained > 0) {
+    std::printf(" (%zu skipped: recorded without --explain)",
+                replay.cycles_unexplained);
+  }
+  std::printf(", epsilon %.3g\n", opts.epsilon);
+  std::printf(
+      "mean loss: policy %s, LP optimum %s; gap mean %s, max %s, min %s\n",
+      sim::TextTable::pct(replay.sum_policy_loss / n, 2).c_str(),
+      sim::TextTable::pct(replay.sum_lp_loss / n, 2).c_str(),
+      sim::TextTable::pct(replay.sum_gap / n, 2).c_str(),
+      sim::TextTable::pct(replay.max_gap, 2).c_str(),
+      sim::TextTable::pct(replay.min_gap, 2).c_str());
+  if (replay.cycles_lp_infeasible > 0) {
+    std::printf("%zu cycle(s) infeasible even fractionally "
+                "(n * w_min > budget): heuristic and LP agree\n",
+                replay.cycles_lp_infeasible);
+  }
+
+  if (opts.per_cycle) {
+    sim::TextTable table("Per-cycle optimality gap");
+    table.set_header({"t (s)", "budget W", "policy loss", "LP loss", "gap",
+                      "LP feasible"});
+    for (const auto& s : replay.scores) {
+      table.add_row({sim::TextTable::num(s.t, 3),
+                     sim::TextTable::num(s.budget_w, 1),
+                     sim::TextTable::pct(s.gap.policy_loss, 2),
+                     sim::TextTable::pct(s.gap.lp_loss, 2),
+                     sim::TextTable::pct(s.gap.gap, 2),
+                     s.gap.lp_feasible ? "yes" : "no"});
+    }
+    table.print();
+  }
+  return 0;
+}

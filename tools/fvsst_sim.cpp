@@ -71,6 +71,8 @@
 #include <vector>
 
 #include "baselines/governor_daemon.h"
+#include "baselines/optimal.h"
+#include "baselines/policies.h"
 #include "cluster/cluster.h"
 #include "cluster/job_manager.h"
 #include "core/cluster_daemon.h"
@@ -111,6 +113,10 @@ struct CliOptions {
   std::size_t nodes = 1;
   std::size_t slow_nodes = 0;  ///< Last K nodes derated to 600 MHz.
   std::optional<baselines::GovernorPolicy> governor;  ///< Replaces fvsst.
+  /// Comparator policy (baselines::make_policy name) run through the real
+  /// control loop in place of the two-pass scheduler.  Empty or "fvsst":
+  /// the paper's scheduler.
+  std::string policy;
   double smoothing = 0.0;
   std::vector<Assignment> assignments;
   /// Batch jobs: (submit time, spec); placed by the job manager.
@@ -180,7 +186,7 @@ void print_help() {
       "                 [--epsilon E] [--smoothing S] [--variant V]\n"
       "                 [--idle-signal os|halted|none] [--t MS]\n"
       "                 [--multiplier N] [--cluster] [--threads N]\n"
-      "                 [--governor G]\n"
+      "                 [--governor G] [--policy P]\n"
       "                 [--margin-controller] [--seed S] [--csv DIR]\n"
       "                 [--journal FILE] [--journal-format jsonl|binary]\n"
       "                 [--chrome-trace FILE] [--advance-mode tick|event]\n"
@@ -189,6 +195,8 @@ void print_help() {
       "                 [--metrics-out FILE] [--metrics-every S]\n"
       "SPEC: synth:INTENSITY[:INSTRUCTIONS] | app:NAME | trace:FILE\n"
       "G: performance | powersave | ondemand | conservative\n"
+      "P: fvsst | no-dvfs | uniform | power-down | consolidate | dbs |\n"
+      "   dbs-capped | two-freq-split | lp-optimal\n"
       "(see docs/fvsst_sim.md for the full manual)\n");
 }
 
@@ -361,6 +369,8 @@ CliOptions parse_args(int argc, char** argv) {
       } else {
         usage_error("unknown governor '" + v + "'");
       }
+    } else if (flag == "--policy") {
+      opts.policy = next_value(i, "--policy");
     } else if (flag == "--cluster") {
       opts.use_cluster_daemon = true;
     } else if (flag == "--threads") {
@@ -537,6 +547,28 @@ int main(int argc, char** argv) {
         std::make_unique<sim::monitor::Monitor>(rules, std::move(mopts));
   }
 
+  // Comparator policy: wrap a baselines::Policy in a PolicyStageAdapter and
+  // hand the daemons a factory — coordinators rebuild their engine on crash
+  // restart, so they need the recipe, not a single instance.  "fvsst" means
+  // the default scheduler stage (no factory).
+  core::PolicyStageFactory policy_factory;
+  if (!opts.policy.empty() && opts.policy != "fvsst") {
+    if (opts.governor) {
+      usage_error("--policy and --governor are mutually exclusive");
+    }
+    if (!baselines::make_policy(opts.policy, opts.scheduler)) {
+      usage_error("unknown policy '" + opts.policy + "'");
+    }
+    policy_factory = [name = opts.policy](
+                         const mach::FrequencyTable&,
+                         const mach::MemoryLatencies&,
+                         const core::FrequencyScheduler::Options& sched)
+        -> std::unique_ptr<core::PolicyStage> {
+      return std::make_unique<baselines::PolicyStageAdapter>(
+          baselines::make_policy(name, sched));
+    };
+  }
+
   core::DaemonConfig dcfg;
   dcfg.t_sample_s = opts.t_ms * ms;
   dcfg.schedule_every_n_samples = opts.multiplier;
@@ -548,6 +580,7 @@ int main(int argc, char** argv) {
   if (want_journal) dcfg.journal = &journal;
   if (have_faults) dcfg.fault_plan = &fault_plan;
   dcfg.monitor = monitor.get();
+  dcfg.policy_factory = policy_factory;
 
   std::unique_ptr<core::FvsstDaemon> daemon;
   std::unique_ptr<core::ClusterDaemon> cluster_daemon;
@@ -572,6 +605,7 @@ int main(int argc, char** argv) {
     ccfg.failover.node_failsafe_factor = opts.failsafe_factor;
     ccfg.step_threads = opts.step_threads;
     ccfg.monitor = monitor.get();
+    ccfg.policy_factory = policy_factory;
     cluster_daemon = std::make_unique<core::ClusterDaemon>(
         sim, cluster, machine.freq_table, budget, ccfg);
   } else {
@@ -809,8 +843,10 @@ int main(int argc, char** argv) {
                   : "OVER BUDGET",
               sensor.mean_power_w(), sensor.energy_j());
   if (daemon) {
+    if (policy_factory) std::printf("policy: %s\n", opts.policy.c_str());
     std::printf("schedules run: %zu\n", daemon->schedules_run());
   } else if (cluster_daemon) {
+    if (policy_factory) std::printf("policy: %s\n", opts.policy.c_str());
     std::printf("global rounds: %zu\n", cluster_daemon->rounds());
   } else if (governor) {
     std::printf("governor: %s, %zu evaluations\n",
