@@ -1,0 +1,235 @@
+// bench_abl_transport - Ablation A20: reliable vs datagram transport under
+// adversarial channels.
+//
+//   bench_abl_transport [--smoke]
+//     --smoke   reduced sweep for CI, plus hard gates: the journal
+//               invariants (including bounded convergence) must hold for
+//               every scenario, and the reliable transport's convergence
+//               rounds must never exceed the datagram transport's at any
+//               loss rate.
+//
+// The cluster protocol was designed to tolerate loss by retrying every
+// scheduling round; the session layer (cluster/transport.h) upgrades that
+// to acked, retransmitted, duplicate-suppressed delivery.  This ablation
+// sweeps loss x reorder x duplication bursts over both transport modes and
+// reports what reliability buys: time-to-compliance for a budget cut that
+// lands mid-burst, worst settings staleness (the longest a node ran on old
+// settings), rounds to re-converge after the burst closes, and the
+// retransmit/duplicate/corrupt traffic the session layer generated.
+//
+// Expected: at zero loss the modes are indistinguishable (no retransmits,
+// no duplicates) and the reliable session costs nothing.  As loss grows,
+// datagram staleness stretches toward multiple scheduling periods (a lost
+// settings message waits for the next round's repair, which may itself be
+// lost) while the reliable transport's ack-driven fast retransmit repairs
+// most losses within one summary round; duplication is invisible to the
+// reliable mode (suppressed) but double-applies on datagram; corruption is
+// detected by checksum in both modes and surfaces as message_corrupt.
+#include "bench/common.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+#include "core/cluster_daemon.h"
+#include "simkit/event_log.h"
+#include "simkit/fault_plan.h"
+#include "simkit/log.h"
+
+using namespace fvsst;
+using units::ms;
+
+namespace {
+
+constexpr std::size_t kNodes = 4;
+constexpr double kBurstStart = 0.5;
+constexpr double kBurstEnd = 2.5;
+constexpr double kBudgetDropAt = 1.0;  // mid-burst, the hard case
+constexpr double kDuration = 3.5;
+constexpr double kPeriodS = 0.1;  // T = 10 * 10 ms
+
+struct Scenario {
+  std::string name;
+  double loss = 0.0;
+  double reorder = 0.0;
+  double duplicate = 0.0;
+  double corrupt = 0.0;
+};
+
+struct RunResult {
+  double ttc_ms = -1.0;       // budget drop -> cluster-wide apply
+  double staleness_ms = 0.0;  // worst inter-apply gap on any node
+  int conv_rounds = 0;        // rounds to first apply after the burst
+  std::size_t retransmits = 0;
+  std::size_t duplicates = 0;
+  std::size_t corrupt = 0;
+  bool journal_ok = true;
+};
+
+sim::FaultPlan make_plan(const Scenario& s) {
+  sim::FaultPlan plan(11);
+  if (s.loss > 0.0) {
+    plan.add({sim::FaultKind::kChannelLoss, kBurstStart, kBurstEnd, -1,
+              s.loss});
+  }
+  if (s.reorder > 0.0) {
+    plan.add({sim::FaultKind::kChannelReorder, kBurstStart, kBurstEnd, -1,
+              s.reorder});
+  }
+  if (s.duplicate > 0.0) {
+    plan.add({sim::FaultKind::kChannelDuplicate, kBurstStart, kBurstEnd, -1,
+              s.duplicate});
+  }
+  if (s.corrupt > 0.0) {
+    plan.add({sim::FaultKind::kChannelCorrupt, kBurstStart, kBurstEnd, -1,
+              s.corrupt});
+  }
+  return plan;
+}
+
+RunResult run_scenario(const Scenario& s, cluster::TransportMode mode) {
+  sim::Simulation sim;
+  sim::Rng rng(99);
+  const mach::MachineConfig machine = mach::p630();
+  cluster::Cluster cluster =
+      cluster::Cluster::homogeneous(sim, machine, kNodes, rng);
+  for (const auto& addr : cluster.all_procs()) {
+    cluster.core(addr).add_workload(
+        workload::make_uniform_synthetic(80.0, 1e12));
+  }
+  power::PowerBudget budget(static_cast<double>(kNodes) * 4 * 140.0);
+  const sim::FaultPlan plan = make_plan(s);
+  sim::EventLog journal;
+  core::ClusterDaemonConfig cfg;
+  cfg.journal = &journal;
+  if (!plan.empty()) cfg.fault_plan = &plan;
+  cfg.transport = mode;
+  core::ClusterDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+  sim.schedule_at(kBudgetDropAt, [&] {
+    budget.set_limit_w(static_cast<double>(kNodes) * 4 * 140.0 * 0.5);
+  });
+  sim.run_for(kDuration);
+
+  RunResult out;
+  if (daemon.last_trigger_applied_time() >= 0.0) {
+    out.ttc_ms = (daemon.last_trigger_applied_time() -
+                  daemon.last_budget_trigger_time()) *
+                 1e3;
+  }
+  out.retransmits = daemon.messages_retransmitted();
+  out.duplicates = daemon.messages_duplicate();
+  out.corrupt = daemon.messages_corrupt();
+  out.journal_ok = sim::check_journal(journal).ok();
+
+  // Per-node apply timeline: worst staleness gap anywhere in the run, and
+  // the first apply at or after the burst closes (the re-convergence the
+  // journal checker bounds).
+  std::map<int, double> last_apply;
+  std::map<int, double> first_after_burst;
+  for (const sim::Event& e : journal.events()) {
+    if (e.type != sim::EventType::kActuation) continue;
+    const std::string* stage = e.find_str("stage");
+    if (!stage || *stage != "node_apply") continue;
+    const int node = static_cast<int>(e.num_or("node", -1.0));
+    auto [it, inserted] = last_apply.try_emplace(node, e.t);
+    if (!inserted) {
+      out.staleness_ms = std::max(out.staleness_ms, (e.t - it->second) * 1e3);
+      it->second = e.t;
+    }
+    if (e.t >= kBurstEnd) first_after_burst.try_emplace(node, e.t);
+  }
+  double worst_reconverge = 0.0;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    const auto it = first_after_burst.find(static_cast<int>(n));
+    // A node with no apply after the burst never re-converged: score the
+    // remaining run length so the smoke gate trips.
+    const double at = it != first_after_burst.end() ? it->second : kDuration;
+    worst_reconverge = std::max(worst_reconverge, at - kBurstEnd);
+  }
+  out.conv_rounds = static_cast<int>(std::ceil(worst_reconverge / kPeriodS));
+  return out;
+}
+
+std::string fmt_ttc(double ttc_ms) {
+  return ttc_ms < 0.0 ? "never" : sim::TextTable::num(ttc_ms, 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::banner("Ablation A20",
+                "Reliable vs datagram transport under channel faults");
+  sim::set_log_level(sim::LogLevel::kError);
+
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"clean", 0.0, 0.0, 0.0, 0.0});
+  const std::vector<double> losses =
+      smoke ? std::vector<double>{0.2, 0.4} : std::vector<double>{0.2, 0.4,
+                                                                  0.6};
+  for (double p : losses) {
+    scenarios.push_back({"loss " + sim::TextTable::num(p, 1), p, 0, 0, 0});
+  }
+  scenarios.push_back({"reorder 0.3", 0.0, 0.3, 0.0, 0.0});
+  scenarios.push_back({"duplicate 0.2", 0.0, 0.0, 0.2, 0.0});
+  if (!smoke) {
+    scenarios.push_back({"corrupt 0.3", 0.0, 0.0, 0.0, 0.3});
+    scenarios.push_back({"loss+reorder+dup", 0.4, 0.3, 0.2, 0.0});
+    scenarios.push_back({"everything", 0.4, 0.3, 0.2, 0.3});
+  }
+
+  sim::TextTable table(
+      "4 nodes, 50% budget cut at t=1.0 inside a [0.5, 2.5) fault burst; "
+      "T=100 ms");
+  table.set_header({"scenario", "mode", "ttc ms", "stale ms", "conv rounds",
+                    "retx", "dup", "corrupt", "journal"});
+  bool gates_ok = true;
+  for (const Scenario& s : scenarios) {
+    const RunResult datagram =
+        run_scenario(s, cluster::TransportMode::kDatagram);
+    const RunResult reliable =
+        run_scenario(s, cluster::TransportMode::kReliable);
+    for (const auto& [mode, r] :
+         {std::pair<const char*, const RunResult*>{"datagram", &datagram},
+          {"reliable", &reliable}}) {
+      table.add_row({s.name, mode, fmt_ttc(r->ttc_ms),
+                     sim::TextTable::num(r->staleness_ms, 1),
+                     sim::TextTable::num(r->conv_rounds, 0),
+                     sim::TextTable::num(r->retransmits, 0),
+                     sim::TextTable::num(r->duplicates, 0),
+                     sim::TextTable::num(r->corrupt, 0),
+                     r->journal_ok ? "ok" : "VIOLATED"});
+    }
+    // The gates --smoke enforces (and the full run still reports):
+    // reliability must never converge slower than fire-and-forget, and
+    // both modes' journals must satisfy every invariant, including the
+    // bounded-convergence promise recorded in run_meta.
+    if (reliable.conv_rounds > datagram.conv_rounds) {
+      std::printf("GATE: %s: reliable took %d rounds vs datagram %d\n",
+                  s.name.c_str(), reliable.conv_rounds, datagram.conv_rounds);
+      gates_ok = false;
+    }
+    if (!reliable.journal_ok || !datagram.journal_ok) {
+      std::printf("GATE: %s: journal invariants violated\n", s.name.c_str());
+      gates_ok = false;
+    }
+  }
+  table.print();
+  std::printf(
+      "Expected: identical behaviour on a clean channel (zero retransmits —\n"
+      "the session layer is free when nothing is lost).  Under loss the\n"
+      "datagram rows' staleness stretches to several scheduling periods\n"
+      "while reliable rows repair within about one summary round via the\n"
+      "ack-driven fast retransmit; duplication double-delivers on datagram\n"
+      "but is suppressed (dup column) on reliable; corruption is detected\n"
+      "by checksum in both modes and never misdelivers.\n");
+  if (smoke && !gates_ok) {
+    std::printf("SMOKE GATES FAILED\n");
+    return 1;
+  }
+  if (smoke) std::printf("smoke gates: ok\n");
+  return gates_ok ? 0 : 0;
+}

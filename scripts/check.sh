@@ -154,6 +154,12 @@ grep -q '<svg' "${smoke_dir}/monitor.html"
 # monotone in the rule window.
 "${build_dir}/bench/bench_abl_alerts" --smoke
 
+# Transport smoke: across a loss/reorder/duplication sweep the reliable
+# session must never converge slower than the datagram baseline, and
+# every scenario's journal must pass all invariant checks (bounded
+# convergence included).
+"${build_dir}/bench/bench_abl_transport" --smoke
+
 # Optimality-gap smoke: every always-on policy's gap against the LP bound
 # must be nonnegative on the reference mix, and the two-pass heuristic's
 # gap must stay under the fixed bound at every budget fraction.
@@ -169,19 +175,22 @@ cmake -S "${repo_root}" -B "${asan_dir}" "${generator[@]}" \
   -DFVSST_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${asan_dir}" -j "$(nproc)" --target \
   test_chaos test_scheduler_properties test_optimal_policies \
-  test_event_log test_control_loop \
+  test_event_log test_control_loop test_transport \
   test_determinism test_failover test_event_mode test_binary_journal \
-  bench_abl_failover fvsst_sim fvsst_inspect
+  bench_abl_failover bench_abl_transport fvsst_sim fvsst_inspect
 FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${asan_dir}" --output-on-failure \
-  -R 'chaos|scheduler_properties|optimal_policies|event_log|control_loop|determinism|failover|cli_fault_plan|event_mode|binary_journal'
+  -R 'chaos|scheduler_properties|optimal_policies|event_log|control_loop|determinism|failover|cli_fault_plan|event_mode|binary_journal|transport'
 
 # Thread-sanitizer gate: rebuild with TSan and run the parallel-stepper
-# suite plus the scale-sweep smoke — the only code that shares simulation
-# state across threads, so the only code TSan can vet.
+# suite, the transport suite (its determinism test drives the reliable
+# session through the 4-thread stepper), and the scale-sweep smoke — the
+# only code that shares simulation state across threads, so the only code
+# TSan can vet.
 tsan_dir="${build_dir}-tsan"
 cmake -S "${repo_root}" -B "${tsan_dir}" "${generator[@]}" \
   -DFVSST_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${tsan_dir}" -j "$(nproc)" --target \
-  test_parallel_stepper bench_scale
-ctest --test-dir "${tsan_dir}" --output-on-failure -R 'parallel_stepper'
+  test_parallel_stepper test_transport bench_scale
+FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${tsan_dir}" --output-on-failure \
+  -R 'parallel_stepper|^test_transport$'
 "${tsan_dir}/bench/bench_scale" --smoke

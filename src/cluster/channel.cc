@@ -1,6 +1,7 @@
 #include "cluster/channel.h"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace fvsst::cluster {
@@ -14,8 +15,12 @@ Channel::Channel(sim::Simulation& sim, double latency_s, double jitter_s,
 }
 
 void Channel::set_loss_probability(double p) {
-  if (p < 0.0 || p >= 1.0) {
-    throw std::invalid_argument("Channel: loss probability in [0, 1)");
+  // The negated comparison also rejects NaN, which `p < 0.0 || p >= 1.0`
+  // would silently wave through (every comparison with NaN is false).
+  if (!(p >= 0.0 && p < 1.0)) {
+    throw std::invalid_argument(
+        "Channel: loss probability must be in [0, 1), got " +
+        std::to_string(p));
   }
   loss_probability_ = p;
 }
@@ -30,13 +35,24 @@ bool Channel::send(const Envelope& envelope,
 }
 
 bool Channel::send(std::function<void()> handler) {
+  return send_delayed(0.0, std::move(handler));
+}
+
+bool Channel::send_delayed(double extra_delay_s,
+                           std::function<void()> handler) {
+  if (!(extra_delay_s >= 0.0)) {
+    throw std::invalid_argument("Channel: negative extra delay");
+  }
   if (loss_probability_ > 0.0 && rng_.bernoulli(loss_probability_)) {
+    // The drop is fully accounted (counter bumped, loss draw consumed)
+    // before the handler runs, so a handler that reenters send() sees a
+    // consistent channel and simply consumes the next RNG draws.
     ++dropped_;
     if (drop_handler_) drop_handler_();
     return false;
   }
-  const double delay =
-      latency_s_ + (jitter_s_ > 0.0 ? rng_.uniform(0.0, jitter_s_) : 0.0);
+  const double delay = extra_delay_s + latency_s_ +
+                       (jitter_s_ > 0.0 ? rng_.uniform(0.0, jitter_s_) : 0.0);
   sim_.schedule_after(delay, [this, h = std::move(handler)] {
     ++delivered_;
     h();

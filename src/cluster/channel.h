@@ -44,6 +44,12 @@ class Channel {
   /// account the loss instead of inferring it.
   bool send(std::function<void()> handler);
 
+  /// As send(), with `extra_delay_s` (>= 0) added on top of the
+  /// latency+jitter draw — the transport layer's hook for fault-injected
+  /// delay spikes and reordering.  Consumes exactly the randomness of
+  /// send(), so a zero extra delay is indistinguishable from it.
+  bool send_delayed(double extra_delay_s, std::function<void()> handler);
+
   /// Envelope-stamped variant: delivers `handler(envelope)` after the same
   /// delay model.  Consumes exactly the randomness of the plain overload,
   /// so wiring envelopes through an existing protocol does not perturb its
@@ -53,15 +59,27 @@ class Channel {
 
   /// Fraction of messages dropped, in [0, 1).  The periodic scheduling
   /// rounds make the cluster protocol naturally loss-tolerant; tests and
-  /// the robustness ablation exercise that.
+  /// the robustness ablation exercise that.  Throws std::invalid_argument
+  /// for NaN or out-of-range values (NaN would otherwise slip through a
+  /// range comparison and silently disable loss).
   void set_loss_probability(double p);
   double loss_probability() const { return loss_probability_; }
 
   /// Invoked synchronously for every dropped message, before send()
   /// returns false — the owner's hook for counting and journalling losses.
+  ///
+  /// Reentrancy contract: the handler runs *after* the drop has been fully
+  /// accounted (dropped() already includes it and the loss draw is
+  /// complete), so a handler that itself calls send() — e.g. to emit a
+  /// loss report — is safe: the nested send is an ordinary message that
+  /// draws the next values from the RNG stream and is counted like any
+  /// other, and no counter or RNG state is left half-updated.  A handler
+  /// whose nested send is itself dropped recurses; guard against unbounded
+  /// recursion in the handler, not here.
   void set_drop_handler(std::function<void()> handler);
 
   double latency_s() const { return latency_s_; }
+  double jitter_s() const { return jitter_s_; }
 
   /// Messages delivered so far.
   std::size_t delivered() const { return delivered_; }

@@ -22,6 +22,22 @@ bool plan_has_coordinator_faults(const sim::FaultPlan* plan) {
   return false;
 }
 
+/// Does the plan schedule any transport-level channel fault?  Decides
+/// whether the transport's journal fields/events are emitted in datagram
+/// mode (reliable mode always emits them).
+bool plan_has_transport_faults(const sim::FaultPlan* plan) {
+  if (!plan) return false;
+  for (const sim::FaultSpec& spec : plan->specs()) {
+    if (spec.kind == sim::FaultKind::kChannelReorder ||
+        spec.kind == sim::FaultKind::kChannelDuplicate ||
+        spec.kind == sim::FaultKind::kChannelDelaySpike ||
+        spec.kind == sim::FaultKind::kChannelCorrupt) {
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
@@ -46,6 +62,8 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   }
   protocol_visible_ = config_.failover.enabled() ||
                       plan_has_coordinator_faults(config_.fault_plan);
+  transport_visible_ = config_.transport == cluster::TransportMode::kReliable ||
+                       plan_has_transport_faults(config_.fault_plan);
 
   IpcEstimator::Options est_opts;
   est_opts.idle_signal = config_.idle_signal;
@@ -131,6 +149,48 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
       failover_window_s_ = bound < 0.0 ? 0.0 : std::max(base, bound);
     }
   }
+  {
+    // The session layers (both directions route every unicast through
+    // them; in datagram mode they are pure pass-throughs that consume
+    // exactly the channels' pre-transport randomness).
+    cluster::TransportOptions topts;
+    topts.mode = config_.transport;
+    topts.round_period_s = period;
+    topts.pump_period_s = config_.t_sample_s;
+    up_transport_ = std::make_unique<cluster::Transport>(
+        sim_, up_channel_, config_.fault_plan, topts, cluster_.node_count(),
+        /*coordinators=*/2, "up");
+    down_transport_ = std::make_unique<cluster::Transport>(
+        sim_, down_channel_, config_.fault_plan, topts, cluster_.node_count(),
+        /*coordinators=*/2, "down");
+    cluster::Transport::Hooks up_hooks;
+    up_hooks.on_fault_drop = [this](int node) {
+      journal_message_lost(node, "up", "fault");
+    };
+    up_transport_->set_hooks(std::move(up_hooks));
+    cluster::Transport::Hooks down_hooks;
+    down_hooks.on_fault_drop = [this](int node) {
+      journal_message_lost(node, "down", "fault");
+    };
+    down_hooks.on_retransmit = [this](int node, std::uint64_t seq,
+                                      int attempt) {
+      journal_retransmit(node, seq, attempt, "down");
+    };
+    down_hooks.on_expired = [this](int node, std::uint64_t seq, int attempts,
+                                   const char* cause) {
+      journal_expired(node, seq, attempts, cause, "down");
+    };
+    down_transport_->set_hooks(std::move(down_hooks));
+    // The bounded-convergence promise: after the last channel disturbance
+    // (loss, corruption or an expired message), every live node re-applies
+    // the coordinator's grant within this window.  Reliable mode repairs
+    // with the first post-disturbance ack round (fast retransmit) and
+    // datagram mode with the next scheduling round; three periods bound
+    // both with slack for budget-deferred retries and message flight.
+    convergence_window_s_ = 3.0 * period + config_.t_sample_s +
+                            2.0 * (config_.channel_latency_s +
+                                   config_.channel_jitter_s);
+  }
   if (config_.journal) {
     // t_restarts = 0: the global round runs on its own absolute timer, so
     // a budget trigger does NOT restart T (unlike the SMP daemon).
@@ -144,6 +204,15 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
             .set("daemon", std::string("cluster"));
     if (protocol_visible_ && failover_window_s_ > 0.0) {
       meta.set("failover_window_s", failover_window_s_);
+    }
+    if (transport_visible_) {
+      meta.set("transport",
+               std::string(config_.transport ==
+                                   cluster::TransportMode::kReliable
+                               ? "reliable"
+                               : "datagram"))
+          .set("nodes", static_cast<double>(cluster_.node_count()))
+          .set("convergence_window_s", convergence_window_s_);
     }
   }
 
@@ -162,6 +231,7 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
     mon_since_round_ = config_.monitor->input("since_round_s");
     mon_messages_lost_ = config_.monitor->input("messages_lost");
     mon_journal_dropped_ = config_.monitor->input("journal_dropped");
+    mon_retransmits_ = config_.monitor->input("retransmits");
     mon_last_round_time_ = sim_.now();
   }
 
@@ -439,33 +509,39 @@ void ClusterDaemon::node_send_summary(std::size_t node) {
                                  static_cast<int>(node), sim_.now());
   if (!stale) agent.estimator.update(samples, agent.views);
 
-  // An injected loss burst drops the message before it ever leaves.
-  if (const sim::FaultSpec* loss =
-          config_.fault_plan
-              ? config_.fault_plan->active(sim::FaultKind::kChannelLoss,
-                                           static_cast<int>(node), sim_.now())
-              : nullptr;
-      loss && config_.fault_plan->chance(sim::FaultKind::kChannelLoss,
-                                         static_cast<int>(node), sim_.now(),
-                                         loss->value)) {
-    journal_message_lost(static_cast<int>(node), "up", "fault");
-    return;
-  }
-
+  // The transport shim owns fault-injected loss (and the other channel
+  // faults); summaries ride untracked — the next round's summary
+  // supersedes a lost one by construction — but in reliable mode they are
+  // sequenced for duplicate suppression and carry the node's cumulative
+  // settings ack.
   sending_node_ = static_cast<int>(node);
-  up_channel_.send([this, node, summary = agent.views]() {
-    deliver_summary(node, summary);
-  });
+  cluster::Envelope envelope;
+  envelope.epoch = down_transport_->node_ack_epoch(static_cast<int>(node));
+  up_transport_->send(
+      static_cast<int>(node), envelope,
+      down_transport_->node_ack(static_cast<int>(node)), /*track=*/false,
+      [this, node, summary = agent.views](const cluster::Frame& frame) {
+        deliver_summary(node, summary, frame);
+      });
 }
 
 void ClusterDaemon::deliver_summary(std::size_t node,
-                                    const std::vector<ProcView>& summary) {
+                                    const std::vector<ProcView>& summary,
+                                    const cluster::Frame& frame) {
   const double now = sim_.now();
   const std::size_t first_cpu = agents_[node]->first_cpu;
+  // A frame damaged in flight is detected here by its checksum and
+  // dropped — never silently misdelivered as a good summary.
+  if (cluster::frame_corrupt(frame)) {
+    ++messages_corrupt_;
+    journal_corrupt(static_cast<int>(node), "up");
+    return;
+  }
   // One summary reaches every coordinator (the standby shadows the same
   // traffic, which is what makes takeover warm).  A crashed or partitioned
   // coordinator misses it; the loss is journalled only when it deprives
   // the acting leader, so passive shadows don't inflate the loss count.
+  bool acked = false;
   for (Coordinator* coordinator : {primary_.get(), standby_.get()}) {
     if (!coordinator) continue;
     if (!coordinator->refresh_fault_state(now)) {
@@ -481,6 +557,21 @@ void ClusterDaemon::deliver_summary(std::size_t node,
       }
       continue;
     }
+    if (!acked && up_transport_->reliable()) {
+      // The piggybacked cumulative ack reached a live coordinator:
+      // release (or fast-retransmit) the node's pending settings.
+      acked = true;
+      down_transport_->on_ack(static_cast<int>(node), frame.envelope.epoch,
+                              frame.ack);
+    }
+    if (up_transport_->receive_at_coordinator(coordinator->id(),
+                                              static_cast<int>(node), frame) ==
+        cluster::Transport::Verdict::kDuplicate) {
+      if (coordinator->leader()) {
+        journal_duplicate(static_cast<int>(node), frame.seq, frame.seq, "up");
+      }
+      continue;
+    }
     coordinator->on_summary(node, first_cpu, summary, now);
   }
 }
@@ -493,6 +584,50 @@ void ClusterDaemon::journal_message_lost(int node, const char* direction,
         .set("node", static_cast<double>(node))
         .set("direction", std::string(direction))
         .set("cause", std::string(cause));
+  }
+}
+
+void ClusterDaemon::journal_retransmit(int node, std::uint64_t seq,
+                                       int attempt, const char* direction) {
+  if (config_.journal) {
+    config_.journal->append(sim_.now(), sim::EventType::kMessageRetransmit)
+        .set("node", static_cast<double>(node))
+        .set("seq", static_cast<double>(seq))
+        .set("attempt", static_cast<double>(attempt))
+        .set("direction", std::string(direction));
+  }
+}
+
+void ClusterDaemon::journal_expired(int node, std::uint64_t seq, int attempts,
+                                    const char* cause,
+                                    const char* direction) {
+  if (config_.journal) {
+    config_.journal->append(sim_.now(), sim::EventType::kMessageExpired)
+        .set("node", static_cast<double>(node))
+        .set("seq", static_cast<double>(seq))
+        .set("attempts", static_cast<double>(attempts))
+        .set("cause", std::string(cause))
+        .set("direction", std::string(direction));
+  }
+}
+
+void ClusterDaemon::journal_duplicate(int node, std::uint64_t seq,
+                                      std::uint64_t applied,
+                                      const char* direction) {
+  if (config_.journal) {
+    config_.journal->append(sim_.now(), sim::EventType::kMessageDuplicate)
+        .set("node", static_cast<double>(node))
+        .set("seq", static_cast<double>(seq))
+        .set("applied_seq", static_cast<double>(applied))
+        .set("direction", std::string(direction));
+  }
+}
+
+void ClusterDaemon::journal_corrupt(int node, const char* direction) {
+  if (config_.journal) {
+    config_.journal->append(sim_.now(), sim::EventType::kMessageCorrupt)
+        .set("node", static_cast<double>(node))
+        .set("direction", std::string(direction));
   }
 }
 
@@ -539,6 +674,13 @@ void ClusterDaemon::monitor_sample() {
   mon.observe(mon_messages_lost_, now,
               static_cast<double>(messages_lost_ - mon_last_messages_lost_));
   mon_last_messages_lost_ = messages_lost_;
+  // Retransmission pressure (0 in datagram mode): the retransmit_storm
+  // rule watches this delta for a channel so bad the reliable transport
+  // is spinning instead of converging.
+  const std::size_t retx = messages_retransmitted();
+  mon.observe(mon_retransmits_, now,
+              static_cast<double>(retx - mon_last_retransmits_));
+  mon_last_retransmits_ = retx;
   if (config_.journal) {
     const std::size_t dropped = config_.journal->dropped();
     mon.observe(mon_journal_dropped_, now,
@@ -595,6 +737,11 @@ void ClusterDaemon::deliver_heartbeat(const cluster::Envelope& envelope,
   for (std::size_t n = 0; n < node_fence_.size(); ++n) {
     if (node_fence_[n].admit(envelope.epoch)) node_last_contact_[n] = now;
   }
+  // Epoch fencing for the retransmit queue: once a newer coordinator is
+  // announced, a deposed leader's pending settings can never be acked —
+  // drain them (message_expired cause "epoch") instead of retransmitting
+  // into the nodes' fences.
+  if (down_transport_->reliable()) down_transport_->fence(envelope.epoch);
   Coordinator* peer =
       envelope.sender == 0 ? standby_.get() : primary_.get();
   if (!peer) return;
@@ -626,32 +773,33 @@ void ClusterDaemon::fan_out(const Coordinator& from,
       journal_message_lost(static_cast<int>(n), "down", "partition");
       continue;
     }
-    if (const sim::FaultSpec* loss =
-            config_.fault_plan
-                ? config_.fault_plan->active(sim::FaultKind::kChannelLoss,
-                                             static_cast<int>(n), sim_.now())
-                : nullptr;
-        loss && config_.fault_plan->chance(sim::FaultKind::kChannelLoss,
-                                           static_cast<int>(n), sim_.now(),
-                                           loss->value)) {
-      journal_message_lost(static_cast<int>(n), "down", "fault");
-      continue;
-    }
+    // The transport owns fault-injected loss and, in reliable mode, tracks
+    // the frame for ack-or-retransmit.  The deliver closure is re-invoked
+    // on every retransmission, so it must not consume its captures.
     sending_node_ = static_cast<int>(n);
-    down_channel_.send(envelope, [this, n, freqs = std::move(freqs)](
-                                     const cluster::Envelope& env) mutable {
-      apply_on_node(n, std::move(freqs), env);
-    });
+    down_transport_->send(
+        static_cast<int>(n), envelope, /*ack=*/0, /*track=*/true,
+        [this, n, freqs = std::move(freqs)](const cluster::Frame& frame) {
+          apply_on_node(n, freqs, frame);
+        });
   }
 }
 
 void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
-                                  const cluster::Envelope& envelope) {
+                                  const cluster::Frame& frame) {
+  const cluster::Envelope& envelope = frame.envelope;
   // Settings arriving at a crashed node land on nothing.
   if (config_.fault_plan &&
       config_.fault_plan->active(sim::FaultKind::kNodeCrash,
                                  static_cast<int>(node), sim_.now())) {
     journal_message_lost(static_cast<int>(node), "down", "node_crash");
+    return;
+  }
+  // A frame damaged in flight is detected here by its checksum and
+  // dropped — never silently applied as good settings.
+  if (cluster::frame_corrupt(frame)) {
+    ++messages_corrupt_;
+    journal_corrupt(static_cast<int>(node), "down");
     return;
   }
   // The epoch fence: grants from a deposed coordinator are refused, so a
@@ -664,6 +812,17 @@ void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
           .set("msg_epoch", static_cast<double>(envelope.epoch))
           .set("epoch", static_cast<double>(node_fence_[node].current()));
     }
+    return;
+  }
+  // Duplicate suppression (retransmitted or fault-duplicated frames):
+  // at-least-once delivery on the wire, effectively-once application
+  // here.  A duplicate still refreshes the ack state above it, but must
+  // not re-apply, re-journal or roll back newer settings.
+  if (down_transport_->receive_at_node(static_cast<int>(node), frame) ==
+      cluster::Transport::Verdict::kDuplicate) {
+    journal_duplicate(
+        static_cast<int>(node), frame.seq,
+        down_transport_->node_ack(static_cast<int>(node)), "down");
     return;
   }
   node_last_contact_[node] = sim_.now();
@@ -702,8 +861,13 @@ void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
         config_.journal->append(sim_.now(), sim::EventType::kActuation)
             .set("node", static_cast<double>(node))
             .set("cluster_power_w", cluster_.cpu_power_w());
-    if (protocol_visible_) {
+    if (protocol_visible_ || (transport_visible_ && frame.seq > 0)) {
       event.set("epoch", static_cast<double>(envelope.epoch));
+    }
+    if (transport_visible_ && frame.seq > 0) {
+      // The session sequence the checker's monotone-apply invariant runs
+      // on (reliable mode only; datagram frames are unsequenced).
+      event.set("seq", static_cast<double>(frame.seq));
     }
     event.set("stage", std::string("node_apply"));
   }

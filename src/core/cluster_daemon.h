@@ -42,6 +42,7 @@
 #include "cluster/cluster.h"
 #include "cluster/election.h"
 #include "cluster/parallel_stepper.h"
+#include "cluster/transport.h"
 #include "core/control_loop.h"
 #include "core/coordinator.h"
 #include "core/scheduler.h"
@@ -118,6 +119,15 @@ struct ClusterDaemonConfig {
   /// a crash-restarted coordinator rebuilds its stage through it, so the
   /// policy in force survives failover.  Null keeps the paper's scheduler.
   PolicyStageFactory policy_factory;
+  /// Transport mode for coordinator <-> node messaging (see
+  /// cluster/transport.h).  kDatagram keeps the fire-and-forget protocol
+  /// and is byte-identical to runs built before the session layer existed;
+  /// kReliable sequences settings, piggybacks cumulative acks on the
+  /// summaries, retransmits unacked settings with bounded backoff and
+  /// suppresses duplicates, all epoch-fenced across failover.  The four
+  /// transport-level channel faults (kChannelReorder, kChannelDuplicate,
+  /// kChannelDelaySpike, kChannelCorrupt) act in both modes.
+  cluster::TransportMode transport = cluster::TransportMode::kDatagram;
 };
 
 /// Global scheduler plus one agent per node.
@@ -177,6 +187,32 @@ class ClusterDaemon {
   /// Settings messages a node's epoch fence rejected (grants from a
   /// deposed coordinator; the journal's settings_rejected events).
   std::size_t settings_rejected() const { return settings_rejected_; }
+
+  /// Settings retransmissions performed by the reliable transport (the
+  /// journal's message_retransmit events); 0 in datagram mode.
+  std::size_t messages_retransmitted() const {
+    return down_transport_->retransmits() + up_transport_->retransmits();
+  }
+
+  /// Frames the reliable transport's duplicate suppression swallowed (the
+  /// journal's message_duplicate events).
+  std::size_t messages_duplicate() const {
+    return down_transport_->duplicates_suppressed() +
+           up_transport_->duplicates_suppressed();
+  }
+
+  /// Tracked settings the transport gave up on — retransmit budget
+  /// exhausted or epoch-fenced (the journal's message_expired events).
+  std::size_t messages_expired() const {
+    return down_transport_->expired() + up_transport_->expired();
+  }
+
+  /// Frames dropped because their checksum no longer matched (the
+  /// channel_corrupt fault; the journal's message_corrupt events).
+  std::size_t messages_corrupt() const { return messages_corrupt_; }
+
+  const cluster::Transport& up_transport() const { return *up_transport_; }
+  const cluster::Transport& down_transport() const { return *down_transport_; }
 
   /// Nodes currently treated as silent (accounted at f_max).
   std::size_t stale_node_count() const {
@@ -242,7 +278,8 @@ class ClusterDaemon {
   void node_failsafe_tick(std::size_t node);
   double node_failsafe_hz(std::size_t node) const;
   void node_send_summary(std::size_t node);
-  void deliver_summary(std::size_t node, const std::vector<ProcView>& summary);
+  void deliver_summary(std::size_t node, const std::vector<ProcView>& summary,
+                       const cluster::Frame& frame);
   void global_round(CycleTrigger trigger);
   void monitor_tick();
   /// Feeds the cluster rule inputs and evaluates the monitor (one summary
@@ -254,9 +291,16 @@ class ClusterDaemon {
   void fan_out(const Coordinator& from, const ScheduleResult& result,
                bool budget_triggered);
   void apply_on_node(std::size_t node, std::vector<double> freqs,
-                     const cluster::Envelope& envelope);
+                     const cluster::Frame& frame);
   void journal_message_lost(int node, const char* direction,
                             const char* cause);
+  void journal_retransmit(int node, std::uint64_t seq, int attempt,
+                          const char* direction);
+  void journal_expired(int node, std::uint64_t seq, int attempts,
+                       const char* cause, const char* direction);
+  void journal_duplicate(int node, std::uint64_t seq, std::uint64_t applied,
+                         const char* direction);
+  void journal_corrupt(int node, const char* direction);
 
   sim::Simulation& sim_;
   cluster::Cluster& cluster_;
@@ -276,6 +320,18 @@ class ClusterDaemon {
   /// faults planned): gates every new journal field/event and the run-meta
   /// additions, so default runs keep byte-identical journals.
   bool protocol_visible_ = false;
+  /// The session layer is in play (reliable mode selected or transport
+  /// faults planned): gates the transport run-meta fields and the seq
+  /// field on node applies, so default datagram runs keep byte-identical
+  /// journals.
+  bool transport_visible_ = false;
+  /// Bounded-convergence promise recorded in run_meta when
+  /// transport_visible_: every live node re-applies settings within this
+  /// many seconds of the last channel disturbance (checked by
+  /// JournalChecker).
+  double convergence_window_s_ = 0.0;
+  std::unique_ptr<cluster::Transport> up_transport_;
+  std::unique_ptr<cluster::Transport> down_transport_;
   std::unique_ptr<Coordinator> primary_;
   std::unique_ptr<Coordinator> standby_;  ///< Null unless configured.
   sim::EventId agents_tick_event_ = 0;  ///< The merged per-node tick clock.
@@ -305,6 +361,7 @@ class ClusterDaemon {
   int sending_node_ = 0;
   std::size_t messages_lost_ = 0;
   std::size_t settings_rejected_ = 0;
+  std::size_t messages_corrupt_ = 0;
   // --- Node-side protocol state (each node's own tiny piece of the
   // failover machinery; lives here because the daemon *is* the nodes'
   // receive path). ---
@@ -324,6 +381,7 @@ class ClusterDaemon {
   double mon_last_round_time_ = 0.0;
   std::size_t mon_last_messages_lost_ = 0;
   std::size_t mon_last_dropped_ = 0;
+  std::size_t mon_last_retransmits_ = 0;
   sim::monitor::InputId mon_over_budget_;
   sim::monitor::InputId mon_failsafe_frac_;
   sim::monitor::InputId mon_stale_frac_;
@@ -331,6 +389,7 @@ class ClusterDaemon {
   sim::monitor::InputId mon_since_round_;
   sim::monitor::InputId mon_messages_lost_;
   sim::monitor::InputId mon_journal_dropped_;
+  sim::monitor::InputId mon_retransmits_;
 };
 
 }  // namespace fvsst::core

@@ -24,7 +24,7 @@ struct TypeName {
   std::string_view name;
 };
 
-constexpr std::array<TypeName, 18> kTypeNames{{
+constexpr std::array<TypeName, 22> kTypeNames{{
     {EventType::kRunMeta, "run_meta"},
     {EventType::kTablePoint, "table_point"},
     {EventType::kCycleStart, "cycle_start"},
@@ -43,6 +43,10 @@ constexpr std::array<TypeName, 18> kTypeNames{{
     {EventType::kSnapshot, "snapshot"},
     {EventType::kAlertRaised, "alert_raised"},
     {EventType::kAlertCleared, "alert_cleared"},
+    {EventType::kMessageRetransmit, "message_retransmit"},
+    {EventType::kMessageDuplicate, "message_duplicate"},
+    {EventType::kMessageExpired, "message_expired"},
+    {EventType::kMessageCorrupt, "message_corrupt"},
 }};
 
 }  // namespace
@@ -1038,6 +1042,7 @@ constexpr double kVoltTol = 1e-9;
 }  // namespace
 
 void JournalChecker::observe(const Event& e) {
+  if (e.t > last_event_t_) last_event_t_ = e.t;
   switch (e.type) {
     case EventType::kRunMeta:
       // First run_meta wins, matching the historical whole-journal scan.
@@ -1047,7 +1052,19 @@ void JournalChecker::observe(const Event& e) {
         meta_multiplier_ = e.num_or("multiplier");
         meta_t_restarts_ = e.num_or("t_restarts");
         meta_failover_window_ = e.num_or("failover_window_s");
+        meta_convergence_window_ = e.num_or("convergence_window_s");
+        meta_nodes_ = e.num_or("nodes");
       }
+      return;
+
+    case EventType::kMessageLost:
+    case EventType::kMessageCorrupt:
+    case EventType::kMessageExpired:
+      // 6. Every drop (including a retransmission's) is a disturbance: the
+      //    convergence clock restarts at the *last* one, after which every
+      //    message goes through and repair is bounded.
+      any_disturbance_ = true;
+      if (e.t > last_disturb_t_) last_disturb_t_ = e.t;
       return;
 
     case EventType::kTablePoint:
@@ -1176,6 +1193,38 @@ void JournalChecker::observe(const Event& e) {
               std::to_string(max_announced_) + ")");
         }
       }
+      // 6. Monotone applied sequence per (node, epoch): the reliable
+      //    transport's effectively-once guarantee — a duplicate or stale
+      //    reordered settings message must never be applied.
+      if (e.has_num("seq") && e.has_num("epoch")) {
+        ++checks_run_;
+        const int node = static_cast<int>(e.num_or("node", -1.0));
+        const double epoch = e.num_or("epoch");
+        const double seq = e.num_or("seq");
+        auto [it, inserted] =
+            node_seq_.try_emplace(node, std::make_pair(epoch, seq));
+        if (!inserted) {
+          if (epoch == it->second.first && seq <= it->second.second) {
+            transport_violations_.push_back(
+                "node" + std::to_string(node) + at_time(e.t) +
+                " applied seq " + std::to_string(seq) +
+                " at or below the already-applied seq " +
+                std::to_string(it->second.second) + " in epoch " +
+                std::to_string(epoch) + " (duplicate or stale apply)");
+          }
+          if (epoch > it->second.first ||
+              (epoch == it->second.first && seq > it->second.second)) {
+            it->second = {epoch, seq};
+          }
+        }
+      }
+      // 6. Convergence bookkeeping: remember each node's earliest apply
+      //    after the latest disturbance seen so far.
+      {
+        const int node = static_cast<int>(e.num_or("node", -1.0));
+        auto [it, inserted] = node_apply_after_.try_emplace(node, e.t);
+        if (!inserted && it->second < last_disturb_t_) it->second = e.t;
+      }
       // 5. The open window closes on the first node_apply past the
       //    deadline (violation) or the first one back under the limit.
       if (window_open_) {
@@ -1249,6 +1298,39 @@ JournalCheckReport JournalChecker::finish() {
     window_open_ = false;
   }
 
+  // 6. Bounded convergence, judged at finish() once the last disturbance
+  //    is known.  Monotone-seq violations were collected inline.
+  if (!have_meta_ || meta_convergence_window_ <= 0.0) {
+    report.skipped.push_back(
+        "transport-convergence check: journal does not declare "
+        "convergence_window_s");
+  } else if (!any_disturbance_) {
+    report.skipped.push_back(
+        "transport-convergence check: no channel disturbances in journal");
+  } else {
+    const double deadline = last_disturb_t_ + meta_convergence_window_;
+    if (last_event_t_ < deadline) {
+      report.skipped.push_back(
+          "transport-convergence check: journal ends inside the "
+          "convergence window of the disturbance" + at_time(last_disturb_t_));
+    } else {
+      for (int n = 0; n < static_cast<int>(meta_nodes_); ++n) {
+        ++report.checks_run;
+        const auto it = node_apply_after_.find(n);
+        const double applied =
+            it == node_apply_after_.end() ? -1.0 : it->second;
+        if (applied < last_disturb_t_ || applied > deadline) {
+          transport_violations_.push_back(
+              "node" + std::to_string(n) +
+              " did not re-apply settings within " +
+              std::to_string(meta_convergence_window_) +
+              "s of the last channel disturbance" + at_time(last_disturb_t_) +
+              " (bounded convergence missed)");
+        }
+      }
+    }
+  }
+
   const auto take = [&report](std::vector<std::string>& from) {
     for (std::string& v : from) report.violations.push_back(std::move(v));
     from.clear();
@@ -1258,6 +1340,7 @@ JournalCheckReport JournalChecker::finish() {
   take(restart_violations);
   take(epoch_violations_);
   take(failover_violations_);
+  take(transport_violations_);
   return report;
 }
 

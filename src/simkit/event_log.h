@@ -113,6 +113,22 @@ enum class EventType {
   /// The rule's predicate went false while firing: str "rule", "severity";
   /// num "value", "raised_t", "duration_s".
   kAlertCleared,
+  /// The reliable transport re-sent an unacked settings message: "node",
+  /// "seq", "attempt" (1 = first retransmission); str "direction"
+  /// ("down").  Producer: cluster::Transport via the cluster daemon.
+  kMessageRetransmit,
+  /// A sequenced message was suppressed at the receiver as a duplicate or
+  /// stale reordered copy (at-least-once delivery, effectively-once
+  /// apply): "node", "seq", "applied_seq"; str "direction".
+  kMessageDuplicate,
+  /// The transport gave up on an unacked message: "node", "seq",
+  /// "attempts"; str "cause" ("retries" = retransmit budget exhausted,
+  /// "epoch" = queue drained by the epoch fence across failover).
+  kMessageExpired,
+  /// A message failed its envelope checksum at the receiver (injected
+  /// kChannelCorrupt) and was dropped instead of misdelivered: "node";
+  /// str "direction".
+  kMessageCorrupt,
 };
 
 /// Stable wire name ("cycle_start", "decision", ...).
@@ -418,6 +434,21 @@ class JournalChecker {
   double window_deadline_ = 0.0;
   double window_budget_ = 0.0;
   std::vector<std::string> failover_violations_;
+  // 6. Transport (needs a kRunMeta with convergence_window_s > 0):
+  //    monotone applied sequence per (node, epoch) — no duplicate or
+  //    stale apply — and bounded convergence: after the last channel
+  //    disturbance (message_lost / message_corrupt / message_expired),
+  //    every node applies settings within the declared window.
+  double meta_convergence_window_ = 0.0;
+  double meta_nodes_ = 0.0;
+  double last_disturb_t_ = -1.0;
+  double last_event_t_ = 0.0;
+  bool any_disturbance_ = false;
+  std::map<int, std::pair<double, double>> node_seq_;  ///< node -> (epoch, seq).
+  /// Per node: earliest node_apply after the latest disturbance seen so
+  /// far (a value < last_disturb_t_ means none yet).
+  std::map<int, double> node_apply_after_;
+  std::vector<std::string> transport_violations_;
 };
 
 /// Verifies scheduling invariants over a journal:
@@ -435,6 +466,13 @@ class JournalChecker {
 ///   5. failover compliance (needs a kRunMeta with failover_window_s > 0):
 ///      after every budget drop, some node_apply shows aggregate cluster
 ///      power back under the new limit within the window.
+///   6. transport guarantees (needs a kRunMeta with convergence_window_s
+///      > 0): applied sequence numbers are strictly increasing per
+///      (node, epoch) — at-least-once delivery never becomes a duplicate
+///      or stale apply — and after the last channel disturbance
+///      (message_lost / message_corrupt / message_expired) every node
+///      applies settings within the declared window (the
+///      bounded-convergence guarantee).
 /// Convenience wrapper over JournalChecker for in-memory logs.
 JournalCheckReport check_journal(const EventLog& log);
 

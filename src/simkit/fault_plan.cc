@@ -30,7 +30,21 @@ constexpr KindName kKindNames[] = {
     {FaultKind::kStaleSummaries, "stale_summaries"},
     {FaultKind::kCoordinatorCrash, "coordinator_crash"},
     {FaultKind::kPartition, "partition"},
+    {FaultKind::kChannelReorder, "channel_reorder"},
+    {FaultKind::kChannelDuplicate, "channel_duplicate"},
+    {FaultKind::kChannelDelaySpike, "channel_delay_spike"},
+    {FaultKind::kChannelCorrupt, "channel_corrupt"},
 };
+
+/// Kinds whose `value` is a per-message probability — the parser enforces
+/// the [0, 1] range with a line number (a typo'd p=1.5 or p=nan would
+/// otherwise inject nonsense silently).
+bool value_is_probability(FaultKind kind) {
+  return kind == FaultKind::kChannelLoss ||
+         kind == FaultKind::kChannelReorder ||
+         kind == FaultKind::kChannelDuplicate ||
+         kind == FaultKind::kChannelCorrupt;
+}
 
 std::uint64_t splitmix64(std::uint64_t x) {
   x += 0x9e3779b97f4a7c15ull;
@@ -193,6 +207,19 @@ FaultPlan FaultPlan::parse(std::istream& in) {
         parse_fail(line_no, "number out of range `" + val + "`");
       }
     }
+    // Range validation per kind.  The negated comparisons also reject NaN
+    // (every comparison with NaN is false), matching the strict-parsing
+    // contract: a malformed plan fails loudly with its line number.
+    if (value_is_probability(spec.kind) &&
+        !(spec.value >= 0.0 && spec.value <= 1.0)) {
+      parse_fail(line_no, std::string(fault_kind_name(spec.kind)) +
+                              " probability must be in [0, 1], got `" +
+                              std::to_string(spec.value) + "`");
+    }
+    if (spec.kind == FaultKind::kChannelDelaySpike && !(spec.value >= 0.0)) {
+      parse_fail(line_no, "channel_delay_spike delay must be >= 0, got `" +
+                              std::to_string(spec.value) + "`");
+    }
     plan.specs_.push_back(spec);
   }
   return plan;
@@ -221,6 +248,11 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
     pool.insert(pool.end(),
                 {FaultKind::kCoordinatorCrash, FaultKind::kPartition});
   }
+  if (opts.transport_faults) {
+    pool.insert(pool.end(),
+                {FaultKind::kChannelReorder, FaultKind::kChannelDuplicate,
+                 FaultKind::kChannelDelaySpike, FaultKind::kChannelCorrupt});
+  }
   if (pool.empty() || opts.max_faults <= 0) return plan;
 
   double horizon =
@@ -238,7 +270,11 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
 
     bool cluster_kind = spec.kind == FaultKind::kChannelLoss ||
                         spec.kind == FaultKind::kNodeCrash ||
-                        spec.kind == FaultKind::kStaleSummaries;
+                        spec.kind == FaultKind::kStaleSummaries ||
+                        spec.kind == FaultKind::kChannelReorder ||
+                        spec.kind == FaultKind::kChannelDuplicate ||
+                        spec.kind == FaultKind::kChannelDelaySpike ||
+                        spec.kind == FaultKind::kChannelCorrupt;
     bool coordinator_kind = spec.kind == FaultKind::kCoordinatorCrash ||
                             spec.kind == FaultKind::kPartition;
     std::size_t targets = coordinator_kind ? opts.coordinators
@@ -263,6 +299,14 @@ FaultPlan FaultPlan::random(std::uint64_t seed,
         break;
       case FaultKind::kActuationDelay:
         spec.value = rng.uniform(0.001, 0.02);  // seconds
+        break;
+      case FaultKind::kChannelReorder:
+      case FaultKind::kChannelDuplicate:
+      case FaultKind::kChannelCorrupt:
+        spec.value = rng.uniform(0.2, 0.8);  // per-message probability
+        break;
+      case FaultKind::kChannelDelaySpike:
+        spec.value = rng.uniform(0.002, 0.03);  // extra seconds
         break;
       default:
         spec.value = 0.0;

@@ -71,6 +71,27 @@ enum class FaultKind {
   /// running — the split-brain case epoch fencing exists for).  Target:
   /// coordinator index.  value: unused.
   kPartition,
+  // Transport-level channel faults (consumed by cluster::Transport in both
+  // transport modes).  Appended after kPartition: parsers and journals
+  // refer to kinds by wire name, but keeping enumerator values stable is
+  // free and avoids surprises.
+  /// Messages to/from the node may be delayed past later traffic so they
+  /// arrive out of order.  Target: node index.  value: per-message
+  /// reorder probability in [0, 1].
+  kChannelReorder,
+  /// Messages to/from the node may be delivered twice (the second copy
+  /// slightly later).  Target: node index.  value: per-message
+  /// duplication probability in [0, 1].
+  kChannelDuplicate,
+  /// Every message to/from the node is delayed by a fixed extra amount (a
+  /// congestion spike).  Target: node index.  value: extra delay in
+  /// seconds (>= 0).
+  kChannelDelaySpike,
+  /// Messages to/from the node may be corrupted in flight.  The transport
+  /// detects this via its envelope checksum and drops the message with a
+  /// message_corrupt journal event — never silent misdelivery.  Target:
+  /// node index.  value: per-message corruption probability in [0, 1].
+  kChannelCorrupt,
 };
 
 /// Stable wire name ("sensor_dropout", "actuation_reject", ...).
@@ -106,6 +127,10 @@ struct RandomPlanOptions {
   /// cluster_faults so existing seeds keep producing identical plans.
   bool coordinator_faults = false;
   std::size_t coordinators = 2;  ///< Coordinator-fault target count.
+  /// Also draw the four transport-level channel faults (reorder,
+  /// duplication, delay spikes, corruption).  Kept separate from
+  /// cluster_faults so existing seeds keep producing identical plans.
+  bool transport_faults = false;
 };
 
 /// An immutable, seeded schedule of faults.

@@ -466,7 +466,12 @@ std::string default_rule_pack() {
       "0 for 1 windows\n"
       "# Cluster channels losing more than 2 messages/s.\n"
       "alert message_loss severity warning when rate(messages_lost, 2s) > 2 "
-      "for 2 windows\n";
+      "for 2 windows\n"
+      "# The reliable transport retransmitting faster than it converges:\n"
+      "# a sustained storm means the channel is bad enough that settings\n"
+      "# are being repaired by brute force round after round.\n"
+      "alert retransmit_storm severity warning when rate(retransmits, 2s) > "
+      "5 for 2 windows\n";
 }
 
 // ---- Monitor --------------------------------------------------------------

@@ -81,6 +81,10 @@ void run_smp_scenario(std::uint64_t seed) {
   sim::RandomPlanOptions plan_opts;
   plan_opts.cpus = cluster.cpu_count();
   plan_opts.duration_s = kDuration;
+  // The transport-level channel kinds are inert on an SMP daemon (there is
+  // no cluster channel to fault), but they must rotate through the pool
+  // without perturbing any invariant.
+  plan_opts.transport_faults = true;
   const sim::FaultPlan plan = sim::FaultPlan::random(seed, plan_opts);
   ASSERT_FALSE(plan.empty());
   // random() keeps every window inside the recovery fraction, so the tail
@@ -158,6 +162,7 @@ void run_cluster_scenario(std::uint64_t seed) {
   plan_opts.sensor_faults = false;
   plan_opts.actuation_faults = false;
   plan_opts.cluster_faults = true;
+  plan_opts.transport_faults = true;
   const sim::FaultPlan plan = sim::FaultPlan::random(seed, plan_opts);
   ASSERT_FALSE(plan.empty());
   ASSERT_LE(plan.last_end_s(), plan_opts.recovery_fraction * kDuration + 1e-9);
@@ -170,6 +175,11 @@ void run_cluster_scenario(std::uint64_t seed) {
   config.journal = &journal;
   config.fault_plan = &plan;
   config.policy_factory = rotated_policy_factory(seed);
+  // Both transport modes must survive the same adversarial channels: the
+  // reliable session layer by repair, the datagram path by the next
+  // round's natural retry.
+  config.transport = seed % 2 == 0 ? cluster::TransportMode::kReliable
+                                   : cluster::TransportMode::kDatagram;
   core::ClusterDaemon daemon(simulation, cluster, machine.freq_table, budget,
                              config);
   simulation.run_for(kDuration);
@@ -225,6 +235,7 @@ void run_failover_scenario(std::uint64_t seed) {
   plan_opts.actuation_faults = false;
   plan_opts.cluster_faults = true;
   plan_opts.coordinator_faults = true;
+  plan_opts.transport_faults = true;
   const sim::FaultPlan plan = sim::FaultPlan::random(seed, plan_opts);
   ASSERT_FALSE(plan.empty());
 
@@ -238,6 +249,11 @@ void run_failover_scenario(std::uint64_t seed) {
   config.policy_factory = rotated_policy_factory(seed);
   config.failover.standby = true;
   config.failover.node_failsafe_factor = 2.0;
+  // Rotate the session layer through coordinator failover: retransmit
+  // queues must drain across epochs without resurrecting a deposed
+  // leader's settings.
+  config.transport = seed % 2 == 0 ? cluster::TransportMode::kReliable
+                                   : cluster::TransportMode::kDatagram;
   core::ClusterDaemon daemon(simulation, cluster, machine.freq_table, budget,
                              config);
   simulation.run_for(kDuration);

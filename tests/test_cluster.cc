@@ -1,6 +1,9 @@
 // Tests for nodes, clusters and the message channel.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "cluster/channel.h"
 #include "cluster/cluster.h"
 #include "mach/machine_config.h"
@@ -139,6 +142,85 @@ TEST(Channel, LossProbabilityValidated) {
   EXPECT_THROW(ch.set_loss_probability(-0.1), std::invalid_argument);
   EXPECT_THROW(ch.set_loss_probability(1.0), std::invalid_argument);
   EXPECT_NO_THROW(ch.set_loss_probability(0.0));
+  // NaN fails every range comparison, so an unguarded implementation would
+  // accept it and silently disable loss; it must be rejected instead.
+  EXPECT_THROW(ch.set_loss_probability(std::nan("")),
+               std::invalid_argument);
+  EXPECT_THROW(ch.set_loss_probability(
+                   std::numeric_limits<double>::quiet_NaN()),
+               std::invalid_argument);
+}
+
+TEST(Channel, SendDelayedAddsExtraDelay) {
+  sim::Simulation sim;
+  Channel ch(sim, 0.1);
+  double plain_at = -1.0;
+  double delayed_at = -1.0;
+  ch.send([&] { plain_at = sim.now(); });
+  ch.send_delayed(0.25, [&] { delayed_at = sim.now(); });
+  sim.run_until(1.0);
+  EXPECT_DOUBLE_EQ(plain_at, 0.1);
+  EXPECT_DOUBLE_EQ(delayed_at, 0.35);
+  EXPECT_THROW(ch.send_delayed(-0.01, [] {}), std::invalid_argument);
+}
+
+TEST(Channel, SendDelayedZeroMatchesSendRandomness) {
+  // send_delayed(0, ...) must consume exactly the randomness of send(), so
+  // interleaving the two leaves every subsequent jitter/loss draw
+  // unchanged.  Two channels seeded identically, one using send() and one
+  // using send_delayed(0), must deliver at identical times.
+  sim::Simulation sim;
+  Channel plain(sim, 0.01, 0.02, sim::Rng(77));
+  Channel shimmed(sim, 0.01, 0.02, sim::Rng(77));
+  std::vector<double> plain_times;
+  std::vector<double> shimmed_times;
+  for (int i = 0; i < 20; ++i) {
+    plain.send([&] { plain_times.push_back(sim.now()); });
+    shimmed.send_delayed(0.0, [&] { shimmed_times.push_back(sim.now()); });
+  }
+  sim.run_until(1.0);
+  EXPECT_EQ(plain_times, shimmed_times);
+}
+
+TEST(Channel, DropHandlerReentrantSendIsSafe) {
+  // The documented reentrancy contract: the drop handler runs after the
+  // drop is fully accounted, so a handler that itself sends a message (a
+  // loss report, say) must observe consistent counters and inject an
+  // ordinary message into the stream.
+  sim::Simulation sim;
+  Channel ch(sim, 0.001, 0.0, sim::Rng(5));
+  ch.set_loss_probability(0.5);
+  std::size_t reports_sent = 0;
+  std::size_t reports_delivered = 0;
+  std::size_t dropped_seen_by_handler = 0;
+  ch.set_drop_handler([&] {
+    // The drop that triggered us is already counted.
+    dropped_seen_by_handler = ch.dropped();
+    // One nested send per drop; it may itself be dropped, which re-enters
+    // this handler exactly one level deep (the nested send carries no
+    // handler-side send of its own, so recursion is bounded).
+    ++reports_sent;
+    const std::size_t depth_guard = reports_sent;
+    if (depth_guard <= 4096) {
+      ch.send([&] { ++reports_delivered; });
+    }
+  });
+  int primary_delivered = 0;
+  constexpr int kPrimary = 200;
+  for (int i = 0; i < kPrimary; ++i) {
+    ch.send([&] { ++primary_delivered; });
+  }
+  sim.run_until(1.0);
+  // Every message — primary or nested report — was either delivered or
+  // dropped, and the handler always saw the triggering drop accounted.
+  EXPECT_EQ(ch.delivered() + ch.dropped(),
+            static_cast<std::size_t>(kPrimary) + reports_sent);
+  EXPECT_EQ(ch.dropped(), reports_sent);  // one report per drop
+  EXPECT_EQ(dropped_seen_by_handler, ch.dropped());
+  EXPECT_EQ(static_cast<std::size_t>(primary_delivered) + reports_delivered,
+            ch.delivered());
+  EXPECT_GT(reports_sent, 0u);
+  EXPECT_GT(reports_delivered, 0u);
 }
 
 TEST(Channel, PreservesOrderWithoutJitter) {

@@ -323,12 +323,14 @@ TEST(EventLogDaemon, CheckPassesOnRealRun) {
                                    ? ""
                                    : report.violations.front());
   EXPECT_GT(report.checks_run, 0u);
-  // An SMP journal has no cluster-failover data, so exactly the two
-  // protocol checks (epoch fencing, failover window) report as skipped.
-  EXPECT_EQ(report.skipped.size(), 2u);
+  // An SMP journal has no cluster-failover or transport data, so exactly
+  // the three protocol checks (epoch fencing, failover window, transport
+  // convergence) report as skipped.
+  EXPECT_EQ(report.skipped.size(), 3u);
   for (const std::string& s : report.skipped) {
     EXPECT_TRUE(s.find("epoch") != std::string::npos ||
-                s.find("failover") != std::string::npos)
+                s.find("failover") != std::string::npos ||
+                s.find("transport-convergence") != std::string::npos)
         << s;
   }
 }

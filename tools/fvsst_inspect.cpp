@@ -199,6 +199,13 @@ struct SummaryStats {
   std::vector<std::pair<double, std::string>> epoch_moves;  // (epoch, reason)
   std::size_t settings_rejected = 0;
   std::map<std::string, std::size_t> snapshots_by_op;
+  // Transport session-layer breakdowns (reliable mode / channel faults).
+  std::string meta_transport;
+  std::map<std::string, std::size_t> retransmit_by_direction;
+  double retransmit_max_attempt = 0.0;
+  std::map<std::string, std::size_t> duplicate_by_direction;
+  std::map<std::string, std::size_t> expired_by_cause;
+  std::map<std::string, std::size_t> corrupt_by_direction;
 
   void observe(const sim::Event& e) {
     if (count == 0) {
@@ -221,6 +228,9 @@ struct SummaryStats {
           meta_t_sample = e.num_or("t_sample_s");
           meta_multiplier = e.num_or("multiplier");
           meta_t_restarts = e.num_or("t_restarts");
+          if (const std::string* transport = e.find_str("transport")) {
+            meta_transport = *transport;
+          }
         }
         break;
       case sim::EventType::kCycleStart:
@@ -271,6 +281,28 @@ struct SummaryStats {
         ++snapshots_by_op[op ? *op : "?"];
         break;
       }
+      case sim::EventType::kMessageRetransmit: {
+        const std::string* direction = e.find_str("direction");
+        ++retransmit_by_direction[direction ? *direction : "?"];
+        retransmit_max_attempt =
+            std::max(retransmit_max_attempt, e.num_or("attempt"));
+        break;
+      }
+      case sim::EventType::kMessageDuplicate: {
+        const std::string* direction = e.find_str("direction");
+        ++duplicate_by_direction[direction ? *direction : "?"];
+        break;
+      }
+      case sim::EventType::kMessageExpired: {
+        const std::string* cause = e.find_str("cause");
+        ++expired_by_cause[cause ? *cause : "?"];
+        break;
+      }
+      case sim::EventType::kMessageCorrupt: {
+        const std::string* direction = e.find_str("direction");
+        ++corrupt_by_direction[direction ? *direction : "?"];
+        break;
+      }
       default:
         break;
     }
@@ -295,11 +327,13 @@ void print_summary(const std::string& path, const SummaryStats& s) {
 
   if (s.have_meta) {
     std::printf(
-        "run: daemon=%s, %d CPU(s), t=%.0f ms, T=%.0f ms%s\n",
+        "run: daemon=%s, %d CPU(s), t=%.0f ms, T=%.0f ms%s%s%s\n",
         s.meta_has_daemon ? s.meta_daemon.c_str() : "?",
         static_cast<int>(s.meta_cpus), s.meta_t_sample * 1e3,
         s.meta_t_sample * s.meta_multiplier * 1e3,
-        s.meta_t_restarts != 0.0 ? " (T restarts on budget trigger)" : "");
+        s.meta_t_restarts != 0.0 ? " (T restarts on budget trigger)" : "",
+        s.meta_transport.empty() ? "" : ", transport=",
+        s.meta_transport.c_str());
   }
   std::printf("time span: %.3f s .. %.3f s\n", s.t_lo, s.t_hi);
 
@@ -362,6 +396,35 @@ void print_summary(const std::string& path, const SummaryStats& s) {
     std::printf("coordinator snapshots:");
     for (const auto& [op, count] : snapshots_by_op) {
       std::printf(" %s=%zu", op.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (!s.retransmit_by_direction.empty()) {
+    std::printf("retransmissions:");
+    for (const auto& [direction, count] : s.retransmit_by_direction) {
+      std::printf(" %s=%zu", direction.c_str(), count);
+    }
+    std::printf(" (max attempt %d)\n",
+                static_cast<int>(s.retransmit_max_attempt));
+  }
+  if (!s.duplicate_by_direction.empty()) {
+    std::printf("duplicates suppressed:");
+    for (const auto& [direction, count] : s.duplicate_by_direction) {
+      std::printf(" %s=%zu", direction.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (!s.expired_by_cause.empty()) {
+    std::printf("messages expired by cause:");
+    for (const auto& [cause, count] : s.expired_by_cause) {
+      std::printf(" %s=%zu", cause.c_str(), count);
+    }
+    std::printf("\n");
+  }
+  if (!s.corrupt_by_direction.empty()) {
+    std::printf("corrupt frames dropped:");
+    for (const auto& [direction, count] : s.corrupt_by_direction) {
+      std::printf(" %s=%zu", direction.c_str(), count);
     }
     std::printf("\n");
   }

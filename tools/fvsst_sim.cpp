@@ -50,6 +50,8 @@
 //                        sim::FaultPlan::parse for the line format)
 //   --standby            run a standby coordinator that elects itself when
 //                        the leader goes silent (--cluster only)
+//   --transport M        datagram (default) | reliable: ack/retransmit
+//                        sessions with duplicate suppression (--cluster)
 //   --failsafe K         nodes drop to their budget/N frequency after K
 //                        global periods without a coordinator (--cluster)
 //   --rules FILE         enable the online monitor with alert rules from
@@ -145,6 +147,8 @@ struct CliOptions {
   std::string fault_plan_path;    ///< Fault-injection plan file.
   bool standby = false;           ///< Run a standby coordinator (--cluster).
   double failsafe_factor = 0.0;   ///< Node fail-safe after K global periods.
+  cluster::TransportMode transport = cluster::TransportMode::kDatagram;
+  bool transport_set = false;     ///< --transport given (needs --cluster).
   std::string rules_path;         ///< Alert rules file, or "default".
   std::string metrics_out;        ///< Prometheus snapshot file.
   double metrics_every_s = 0.0;   ///< Periodic snapshot rewrite (0: final only).
@@ -192,6 +196,7 @@ void print_help() {
       "                 [--chrome-trace FILE] [--advance-mode tick|event]\n"
       "                 [--journal-cap N] [--explain] [--fault-plan FILE]\n"
       "                 [--standby] [--failsafe K] [--rules FILE|default]\n"
+      "                 [--transport datagram|reliable]\n"
       "                 [--metrics-out FILE] [--metrics-every S]\n"
       "SPEC: synth:INTENSITY[:INSTRUCTIONS] | app:NAME | trace:FILE\n"
       "G: performance | powersave | ondemand | conservative\n"
@@ -408,6 +413,12 @@ CliOptions parse_args(int argc, char** argv) {
       opts.explain = true;
     } else if (flag == "--fault-plan") {
       opts.fault_plan_path = next_value(i, "--fault-plan");
+    } else if (flag == "--transport") {
+      const std::string v = next_value(i, "--transport");
+      if (v == "datagram") opts.transport = cluster::TransportMode::kDatagram;
+      else if (v == "reliable") opts.transport = cluster::TransportMode::kReliable;
+      else usage_error("unknown transport '" + v + "' (datagram|reliable)");
+      opts.transport_set = true;
     } else if (flag == "--standby") {
       opts.standby = true;
     } else if (flag == "--failsafe") {
@@ -467,6 +478,9 @@ int main(int argc, char** argv) {
   if ((opts.standby || opts.failsafe_factor > 0.0) &&
       !opts.use_cluster_daemon) {
     usage_error("--standby/--failsafe require --cluster");
+  }
+  if (opts.transport_set && !opts.use_cluster_daemon) {
+    usage_error("--transport requires --cluster");
   }
   if (opts.step_threads > 1 && !opts.use_cluster_daemon) {
     usage_error("--threads requires --cluster");
@@ -603,6 +617,7 @@ int main(int argc, char** argv) {
     if (have_faults) ccfg.fault_plan = &fault_plan;
     ccfg.failover.standby = opts.standby;
     ccfg.failover.node_failsafe_factor = opts.failsafe_factor;
+    ccfg.transport = opts.transport;
     ccfg.step_threads = opts.step_threads;
     ccfg.monitor = monitor.get();
     ccfg.policy_factory = policy_factory;
