@@ -28,6 +28,7 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "core/cluster_daemon.h"
 #include "core/daemon.h"
 #include "cpu/core.h"
 #include "mach/machine_config.h"
@@ -585,6 +586,48 @@ int run_smoke() {
       std::fprintf(stderr,
                    "smoke FAIL: monitor hot path allocated %zu time(s)\n",
                    allocs);
+      ++failures;
+    }
+  }
+
+  // Gate 5: a regression pin on the flat cluster daemon's steady-state
+  // allocation rate.  Pooled summaries, the shared grant snapshot and the
+  // into-buffer interval read keep the grant path itself off the heap;
+  // what remains per round is event re-arms and channel-message envelopes
+  // (std::function + payload), measured at ~72/round on this scenario.
+  // The budget below pins that level — reintroducing per-round scratch
+  // vectors (per-node grant copies, fresh summary buffers) blows it.
+  {
+    sim::Simulation sim;
+    sim::Rng rng(11);
+    const mach::MachineConfig machine = mach::p630();
+    cluster::Cluster cluster =
+        cluster::Cluster::homogeneous(sim, machine, 4, rng);
+    cluster.core({0, 0}).add_workload(
+        workload::make_uniform_synthetic(90.0, 1e12));
+    cluster.core({2, 1}).add_workload(
+        workload::make_uniform_synthetic(60.0, 1e12));
+    power::PowerBudget budget(
+        static_cast<double>(cluster.cpu_count()) * 140.0 * 0.4);
+    core::ClusterDaemonConfig cfg;
+    core::ClusterDaemon daemon(sim, cluster, machine.freq_table, budget, cfg);
+    sim.run_for(3.0);  // warm-up: pools filled, telemetry vectors grown
+    const std::size_t rounds_before = daemon.rounds();
+    const std::size_t allocs_before = g_allocs.load(std::memory_order_relaxed);
+    sim.run_for(10.0);
+    const std::size_t rounds = daemon.rounds() - rounds_before;
+    const std::size_t allocs =
+        g_allocs.load(std::memory_order_relaxed) - allocs_before;
+    const double per_round =
+        static_cast<double>(allocs) / static_cast<double>(rounds ? rounds : 1);
+    std::printf("smoke: cluster grant path: %zu allocs over %zu rounds "
+                "(%.2f/round)\n",
+                allocs, rounds, per_round);
+    if (rounds == 0 || per_round > 90.0) {
+      std::fprintf(stderr,
+                   "smoke FAIL: cluster grant path allocates %.2f/round "
+                   "(budget 90) — per-round scratch is back\n",
+                   per_round);
       ++failures;
     }
   }

@@ -165,6 +165,11 @@ grep -q '<svg' "${smoke_dir}/monitor.html"
 # gap must stay under the fixed bound at every budget fraction.
 "${build_dir}/bench/bench_abl_policies" --smoke
 
+# Scale smoke: the thread-determinism sweep plus the topology gates — the
+# hierarchical tree must beat the flat coordinator at 10k nodes and must
+# complete a 100k-node cell (nodes*sim-s per wall-s is the metric).
+"${build_dir}/bench/bench_scale" --smoke
+
 # Sanitizer gate: rebuild with ASan + UBSan and run the suites that
 # exercise the engine's fault paths, the chaos harness, and the JSONL
 # reader fuzzers — the code most likely to hide memory or UB mistakes.
@@ -177,20 +182,22 @@ cmake --build "${asan_dir}" -j "$(nproc)" --target \
   test_chaos test_scheduler_properties test_optimal_policies \
   test_event_log test_control_loop test_transport \
   test_determinism test_failover test_event_mode test_binary_journal \
+  test_shard test_summary_tree test_tree_daemon \
   bench_abl_failover bench_abl_transport fvsst_sim fvsst_inspect
 FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${asan_dir}" --output-on-failure \
-  -R 'chaos|scheduler_properties|optimal_policies|event_log|control_loop|determinism|failover|cli_fault_plan|event_mode|binary_journal|transport'
+  -R 'chaos|scheduler_properties|optimal_policies|event_log|control_loop|determinism|failover|cli_fault_plan|event_mode|binary_journal|transport|^test_shard$|summary_tree|tree_daemon|cli_topology'
 
 # Thread-sanitizer gate: rebuild with TSan and run the parallel-stepper
 # suite, the transport suite (its determinism test drives the reliable
-# session through the 4-thread stepper), and the scale-sweep smoke — the
-# only code that shares simulation state across threads, so the only code
-# TSan can vet.
+# session through the 4-thread stepper), the tree-daemon suite (its
+# invariance matrix runs the batched shard pre-sync on up to 8 threads),
+# and the scale-sweep smoke — the only code that shares simulation state
+# across threads, so the only code TSan can vet.
 tsan_dir="${build_dir}-tsan"
 cmake -S "${repo_root}" -B "${tsan_dir}" "${generator[@]}" \
   -DFVSST_SANITIZE=thread -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "${tsan_dir}" -j "$(nproc)" --target \
-  test_parallel_stepper test_transport bench_scale
+  test_parallel_stepper test_transport test_tree_daemon bench_scale
 FVSST_CHAOS_ITERATIONS=8 ctest --test-dir "${tsan_dir}" --output-on-failure \
-  -R 'parallel_stepper|^test_transport$'
+  -R 'parallel_stepper|^test_transport$|tree_daemon'
 "${tsan_dir}/bench/bench_scale" --smoke

@@ -115,6 +115,12 @@ ClusterDaemon::ClusterDaemon(sim::Simulation& sim, cluster::Cluster& cluster,
   }
   if (config_.step_threads > 1) {
     step_pool_ = std::make_unique<cluster::StepPool>(config_.step_threads);
+    // One contiguous slab per worker: the pre-sync sweeps linear SoA
+    // ranges instead of interleaving every worker across the whole core
+    // array (the old `i mod N` partition).
+    shard_map_ = std::make_unique<cluster::ShardMap>(
+        cluster_, static_cast<std::size_t>(config_.step_threads));
+    shards_ = cluster::make_shards(cluster_, *shard_map_);
   }
 
   const double period =
@@ -352,12 +358,12 @@ void ClusterDaemon::agents_tick() {
         }
       }
     }
-    step_pool_->run(agents_.size(), [this](std::size_t n) {
-      if (node_skip_[n]) return;
-      auto& node = cluster_.node(n);
-      for (std::size_t c = 0; c < node.cpu_count(); ++c) {
-        node.core(c).read_counters();  // sync to now; the copy is discarded
-      }
+    const unsigned char* skip =
+        node_skip_.empty()
+            ? nullptr
+            : reinterpret_cast<const unsigned char*>(node_skip_.data());
+    step_pool_->run(shards_.size(), [this, now, skip](std::size_t s) {
+      shards_[s].advance_to(now, skip);
     });
   }
   // The ordered (node-id, tick) merge: journal events, channel sends and
@@ -393,11 +399,9 @@ void ClusterDaemon::on_summary_wake() {
     // Parallel pre-sync, same contract as agents_tick(): advance every
     // node's cores to the wake time (the grid subdivides the span) before
     // the serial node-ordered commits.
-    step_pool_->run(agents_.size(), [this](std::size_t n) {
-      auto& node = cluster_.node(n);
-      for (std::size_t c = 0; c < node.cpu_count(); ++c) {
-        node.core(c).read_counters();  // sync to now; the copy is discarded
-      }
+    const double now = sim_.now();
+    step_pool_->run(shards_.size(), [this, now](std::size_t s) {
+      shards_[s].advance_to(now);
     });
   }
   for (std::size_t n = 0; n < agents_.size(); ++n) {
@@ -495,10 +499,22 @@ void ClusterDaemon::node_failsafe_tick(std::size_t node) {
   }
 }
 
+template <typename T>
+std::shared_ptr<std::vector<T>> ClusterDaemon::acquire_pooled(
+    std::vector<std::shared_ptr<std::vector<T>>>& pool) {
+  for (auto& slot : pool) {
+    if (slot.use_count() == 1) return slot;
+  }
+  pool.push_back(std::make_shared<std::vector<T>>());
+  return pool.back();
+}
+
 void ClusterDaemon::node_send_summary(std::size_t node) {
   auto& agent = *agents_[node];
-  std::vector<IntervalSample> samples = agent.sampler.end_interval(sim_.now());
-  if (samples.empty() || samples.front().elapsed_s <= 0.0) return;
+  agent.sampler.end_interval(sim_.now(), interval_scratch_);
+  if (interval_scratch_.empty() || interval_scratch_.front().elapsed_s <= 0.0) {
+    return;
+  }
 
   // Distil this interval into per-CPU views and ship only the summary
   // across the network, as a real agent would.  A wedged sensor path
@@ -507,21 +523,27 @@ void ClusterDaemon::node_send_summary(std::size_t node) {
       config_.fault_plan &&
       config_.fault_plan->active(sim::FaultKind::kStaleSummaries,
                                  static_cast<int>(node), sim_.now());
-  if (!stale) agent.estimator.update(samples, agent.views);
+  if (!stale) agent.estimator.update(interval_scratch_, agent.views);
 
   // The transport shim owns fault-injected loss (and the other channel
   // faults); summaries ride untracked — the next round's summary
   // supersedes a lost one by construction — but in reliable mode they are
   // sequenced for duplicate suppression and carry the node's cumulative
   // settings ack.
+  // The in-flight copy rides in a pooled buffer: copy-assignment reuses
+  // the slot's capacity, so a round's summaries cost no allocations once
+  // the pool is warm.
+  std::shared_ptr<std::vector<ProcView>> snapshot =
+      acquire_pooled(views_pool_);
+  *snapshot = agent.views;
   sending_node_ = static_cast<int>(node);
   cluster::Envelope envelope;
   envelope.epoch = down_transport_->node_ack_epoch(static_cast<int>(node));
   up_transport_->send(
       static_cast<int>(node), envelope,
       down_transport_->node_ack(static_cast<int>(node)), /*track=*/false,
-      [this, node, summary = agent.views](const cluster::Frame& frame) {
-        deliver_summary(node, summary, frame);
+      [this, node, summary = std::move(snapshot)](const cluster::Frame& frame) {
+        deliver_summary(node, *summary, frame);
       });
 }
 
@@ -759,16 +781,21 @@ void ClusterDaemon::fan_out(const Coordinator& from,
     pending_apply_.assign(agents_.size(), 1);
   }
 
-  // Fan the per-node frequency vectors back out over the network, each
-  // message fenced with the sender's epoch.
+  // Fan the round's grants back out over the network, each message fenced
+  // with the sender's epoch.  One pooled, refcounted snapshot of the whole
+  // round's frequencies is shared by every node's deliver closure (each
+  // reads its own slice by first_cpu), replacing the per-node fresh
+  // vectors; the slot recycles once no in-flight closure — including a
+  // reliable-mode retransmit slot — still references it.
   const bool cut_off = from.partitioned(sim_.now());
   const cluster::Envelope envelope{from.epoch(), from.id()};
-  std::size_t flat = 0;
+  std::shared_ptr<std::vector<double>> grants = acquire_pooled(grant_pool_);
+  grants->resize(result.decisions.size());
+  for (std::size_t i = 0; i < result.decisions.size(); ++i) {
+    (*grants)[i] = result.decisions[i].hz;
+  }
+  const std::shared_ptr<const std::vector<double>> snapshot = grants;
   for (std::size_t n = 0; n < agents_.size(); ++n) {
-    std::vector<double> freqs(cluster_.node(n).cpu_count());
-    for (std::size_t c = 0; c < freqs.size(); ++c) {
-      freqs[c] = result.decisions[flat++].hz;
-    }
     if (cut_off) {
       journal_message_lost(static_cast<int>(n), "down", "partition");
       continue;
@@ -779,14 +806,15 @@ void ClusterDaemon::fan_out(const Coordinator& from,
     sending_node_ = static_cast<int>(n);
     down_transport_->send(
         static_cast<int>(n), envelope, /*ack=*/0, /*track=*/true,
-        [this, n, freqs = std::move(freqs)](const cluster::Frame& frame) {
-          apply_on_node(n, freqs, frame);
+        [this, n, snapshot](const cluster::Frame& frame) {
+          apply_on_node(n, snapshot, frame);
         });
   }
 }
 
-void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
-                                  const cluster::Frame& frame) {
+void ClusterDaemon::apply_on_node(
+    std::size_t node, const std::shared_ptr<const std::vector<double>>& freqs,
+    const cluster::Frame& frame) {
   const cluster::Envelope& envelope = frame.envelope;
   // Settings arriving at a crashed node land on nothing.
   if (config_.fault_plan &&
@@ -837,8 +865,10 @@ void ClusterDaemon::apply_on_node(std::size_t node, std::vector<double> freqs,
           .set("reason", std::string("coordinator_silent"));
     }
   }
-  for (std::size_t c = 0; c < freqs.size(); ++c) {
-    cluster_.node(node).core(c).set_frequency(freqs[c]);
+  const std::size_t first = agents_[node]->first_cpu;
+  const std::size_t cpus = cluster_.node(node).cpu_count();
+  for (std::size_t c = 0; c < cpus; ++c) {
+    cluster_.node(node).core(c).set_frequency((*freqs)[first + c]);
   }
   // Response-latency accounting: a node's slot for the latest budget-
   // triggered round is closed by the first settings it *accepts* — if the

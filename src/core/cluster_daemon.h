@@ -42,6 +42,7 @@
 #include "cluster/cluster.h"
 #include "cluster/election.h"
 #include "cluster/parallel_stepper.h"
+#include "cluster/shard.h"
 #include "cluster/transport.h"
 #include "core/control_loop.h"
 #include "core/coordinator.h"
@@ -280,6 +281,12 @@ class ClusterDaemon {
   void node_send_summary(std::size_t node);
   void deliver_summary(std::size_t node, const std::vector<ProcView>& summary,
                        const cluster::Frame& frame);
+  /// Acquires a pool slot no in-flight closure references any more (or
+  /// grows the pool): the round-trip buffers for grants and summary
+  /// snapshots are recycled instead of allocated per node per round.
+  template <typename T>
+  static std::shared_ptr<std::vector<T>> acquire_pooled(
+      std::vector<std::shared_ptr<std::vector<T>>>& pool);
   void global_round(CycleTrigger trigger);
   void monitor_tick();
   /// Feeds the cluster rule inputs and evaluates the monitor (one summary
@@ -290,7 +297,8 @@ class ClusterDaemon {
                          const std::vector<double>& grants, double budget_w);
   void fan_out(const Coordinator& from, const ScheduleResult& result,
                bool budget_triggered);
-  void apply_on_node(std::size_t node, std::vector<double> freqs,
+  void apply_on_node(std::size_t node,
+                     const std::shared_ptr<const std::vector<double>>& freqs,
                      const cluster::Frame& frame);
   void journal_message_lost(int node, const char* direction,
                             const char* cause);
@@ -347,9 +355,21 @@ class ClusterDaemon {
   sim::EventId summary_wake_event_ = 0;
   /// Worker pool for the parallel pre-sync; null when step_threads <= 1.
   std::unique_ptr<cluster::StepPool> step_pool_;
+  /// Locality-aware partition for the pre-sync: one contiguous node slab
+  /// per worker, swept in SoA form (cluster/shard.h) instead of the old
+  /// `i mod N` interleave.  Built only when step_pool_ exists.
+  std::unique_ptr<cluster::ShardMap> shard_map_;
+  std::vector<cluster::Shard> shards_;
   /// Scratch, sized per tick on the simulation thread: nodes whose crash
   /// fault is active (their cores must not gain a sync boundary).
   std::vector<char> node_skip_;
+  /// Recycled buffers for the per-round messaging: the round's grant
+  /// snapshot (shared by every node's deliver closure) and the in-flight
+  /// per-node summary copies.  A slot is reusable once its refcount drops
+  /// to the pool's own reference, so steady state allocates nothing.
+  std::vector<std::shared_ptr<std::vector<double>>> grant_pool_;
+  std::vector<std::shared_ptr<std::vector<ProcView>>> views_pool_;
+  std::vector<IntervalSample> interval_scratch_;
   double last_trigger_time_ = -1.0;
   double last_applied_time_ = -1.0;
   std::size_t pending_trigger_applies_ = 0;

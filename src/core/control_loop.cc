@@ -546,8 +546,15 @@ void SimCoreSampler::collect() {
 }
 
 std::vector<IntervalSample> SimCoreSampler::end_interval(double now) {
+  std::vector<IntervalSample> out;
+  end_interval(now, out);
+  return out;
+}
+
+void SimCoreSampler::end_interval(double now,
+                                  std::vector<IntervalSample>& out) {
   collect();  // fold anything gathered since the last tick
-  std::vector<IntervalSample> out(procs_.size());
+  out.assign(procs_.size(), IntervalSample{});
   for (std::size_t i = 0; i < procs_.size(); ++i) {
     IntervalSample& s = out[i];
     auto& core = cluster_.core(procs_[i]);
@@ -565,7 +572,6 @@ std::vector<IntervalSample> SimCoreSampler::end_interval(double now) {
       aggregate_started_at_[i] = now;
     }
   }
-  return out;
 }
 
 // ---------------------------------------------------------------------------

@@ -95,6 +95,14 @@ class Sampler {
   /// Folds outstanding counters, closes the measurement interval ending at
   /// `now`, and returns one sample per CPU.
   virtual std::vector<IntervalSample> end_interval(double now) = 0;
+
+  /// Allocation-free variant: fills `out` (cleared and resized to
+  /// cpu_count()) instead of returning a fresh vector, so a caller closing
+  /// intervals every round can reuse one buffer.  The default forwards to
+  /// the returning overload; hot-path samplers override both.
+  virtual void end_interval(double now, std::vector<IntervalSample>& out) {
+    out = end_interval(now);
+  }
 };
 
 /// Stage 2: interval samples -> persistent per-CPU views.
@@ -474,6 +482,7 @@ class SimCoreSampler final : public Sampler {
   std::size_t cpu_count() const override { return procs_.size(); }
   void collect() override;
   std::vector<IntervalSample> end_interval(double now) override;
+  void end_interval(double now, std::vector<IntervalSample>& out) override;
 
   const std::vector<cluster::ProcAddress>& procs() const { return procs_; }
 

@@ -1,0 +1,129 @@
+#include "core/summary_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace fvsst::core {
+
+MicroWatts to_microwatts(double watts) {
+  if (watts <= 0.0) return 0;
+  return static_cast<MicroWatts>(std::llround(watts * 1e6));
+}
+
+void ShardSummary::merge(const ShardSummary& other) {
+  if (other.desired.size() > desired.size()) {
+    desired.resize(other.desired.size(), 0);
+  }
+  for (std::size_t b = 0; b < other.desired.size(); ++b) {
+    desired[b] += other.desired[b];
+  }
+  cpus += other.cpus;
+  idle += other.idle;
+  desired_power_uw += other.desired_power_uw;
+  round = std::max(round, other.round);
+}
+
+std::uint64_t ShardSummary::above(std::size_t cap) const {
+  std::uint64_t n = 0;
+  for (std::size_t b = cap + 1; b < desired.size(); ++b) n += desired[b];
+  return n;
+}
+
+std::size_t ShardSummary::wire_bytes() const {
+  // round(8) + cpus(4) + idle(4) + power(8) + bucket count(2) + 4/bucket.
+  return 26 + 4 * desired.size();
+}
+
+CapProfile compute_cap_profile(const ShardSummary& total,
+                               const mach::FrequencyTable& table,
+                               double budget_w) {
+  const std::size_t k = table.size();
+  if (k == 0) throw std::invalid_argument("cap profile: empty table");
+  std::vector<MicroWatts> pw(k);
+  for (std::size_t b = 0; b < k; ++b) pw[b] = to_microwatts(table[b].watts);
+  // +1 uW of slack mirrors mach::kPowerSlackW: a budget that admits an
+  // assignment exactly must not lose it to the rounding of to_microwatts.
+  const MicroWatts budget_uw = to_microwatts(budget_w) + 1;
+
+  CapProfile out;
+  if (total.desired_power_uw <= budget_uw) {
+    // The desired assignment already fits: no capping at all.
+    out.cap = k - 1;
+    out.promote = 0;
+    out.power_uw = total.desired_power_uw;
+    return out;
+  }
+  // Power of "cap everyone at c": CPUs at or below c keep their desired
+  // point, CPUs above run at c.  Scan caps descending; the first fit wins
+  // (low_power(c) is monotone non-decreasing in c only above the optimum,
+  // but scanning all caps keeps this robust for arbitrary tables).
+  std::uint64_t below_cnt = 0;  // CPUs with desired <= c
+  MicroWatts below_pw = 0;      // their desired power
+  std::vector<MicroWatts> low_power(k, 0);
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::uint32_t cnt =
+        c < total.desired.size() ? total.desired[c] : 0;
+    below_cnt += cnt;
+    below_pw += static_cast<MicroWatts>(cnt) * pw[c];
+    const std::uint64_t above = total.cpus - below_cnt;
+    low_power[c] = below_pw + above * pw[c];
+  }
+  for (std::size_t c1 = k; c1-- > 0;) {
+    if (low_power[c1] > budget_uw) continue;
+    out.cap = c1;
+    const std::uint64_t above = total.above(c1);
+    // Spend the remainder promoting above-cap CPUs one step to c+1.
+    if (c1 + 1 < k && above > 0) {
+      const MicroWatts step = pw[c1 + 1] - pw[c1];
+      if (step == 0) {
+        out.promote = above;
+      } else {
+        out.promote = std::min<std::uint64_t>(
+            above, (budget_uw - low_power[c1]) / step);
+      }
+      out.power_uw = low_power[c1] + out.promote * step;
+    } else {
+      out.power_uw = low_power[c1];
+    }
+    return out;
+  }
+  // Even all-minimum overshoots: infeasible.  Grant everyone the floor
+  // (the flat daemon's convention for an infeasible budget).
+  out.feasible = false;
+  out.cap = 0;
+  out.promote = 0;
+  out.power_uw = low_power[0];
+  return out;
+}
+
+std::vector<std::uint64_t> split_quota(
+    const std::vector<std::uint64_t>& child_above, std::uint64_t quota) {
+  std::vector<std::uint64_t> out(child_above.size(), 0);
+  for (std::size_t i = 0; i < child_above.size() && quota > 0; ++i) {
+    out[i] = std::min(child_above[i], quota);
+    quota -= out[i];
+  }
+  return out;
+}
+
+void apply_cap_profile(const std::vector<std::uint16_t>& desired,
+                       const CapProfile& profile, std::uint64_t quota,
+                       std::vector<std::uint16_t>& granted) {
+  granted.clear();
+  granted.reserve(desired.size());
+  const auto cap = static_cast<std::uint16_t>(profile.cap);
+  std::uint64_t left = quota;
+  for (const std::uint16_t d : desired) {
+    if (d <= cap) {
+      granted.push_back(d);
+    } else if (left > 0) {
+      --left;
+      granted.push_back(static_cast<std::uint16_t>(cap + 1));
+    } else {
+      granted.push_back(cap);
+    }
+  }
+}
+
+}  // namespace fvsst::core

@@ -1,0 +1,102 @@
+// summary_tree.h - Compressed demand summaries and the root cap profile
+// for the hierarchical coordinator tree.
+//
+// The flat cluster daemon ships one ProcView per CPU to a coordinator that
+// runs the paper's two-pass schedule over all of them — O(total CPUs)
+// state and messages at a single actor, which is what makes 100k-node
+// clusters architecturally impossible.  The tree replaces the upward
+// per-CPU views with a *compressed summary* per shard:
+//
+//   desired[b]        how many of the shard's CPUs want operating point b
+//                     (pass 1 of the paper's algorithm, run leaf-locally);
+//   cpus, idle        population and idle counts;
+//   desired_power_uw  exact power of the desired assignment, in integer
+//                     microwatts.
+//
+// Everything is integer on purpose: integer addition is associative and
+// exact, so merging summaries up any tree shape — any shard count, any
+// fan-in, any merge order — produces bit-identical aggregates.  That is
+// the whole determinism story for `--topology tree`: the root's decision
+// is a pure function of the aggregate histogram and the budget, and the
+// per-CPU grant is a pure function of (per-CPU desired index, cap
+// profile, flat CPU order), none of which can see shard boundaries.
+//
+// The root's decision is a *cap profile*: the largest cap index c such
+// that granting min(desired, c) to everyone fits the budget, plus a
+// promotion quota m — the first m above-cap CPUs in flat order run one
+// step higher at c+1, consuming the budget remainder.  The profile is the
+// histogram analogue of the paper's pass 2 (downgrade until the budget
+// holds): with one shared table, uniform capping with a one-step
+// remainder is exactly the family of assignments pass-2-style downgrading
+// reaches, computed in closed form over bucket counts instead of
+// per-CPU greedy steps.  Quotas split down the tree in child order
+// (split_quota), which reproduces the flat-order rule exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mach/frequency_table.h"
+
+namespace fvsst::core {
+
+/// Integer microwatts: the tree's exact power arithmetic.
+using MicroWatts = std::uint64_t;
+
+/// Rounds table watts to integer microwatts (the compression quantum; a
+/// microwatt is far below the table's own model error).
+MicroWatts to_microwatts(double watts);
+
+/// One shard's compressed upward summary (or any merge of them).
+struct ShardSummary {
+  std::uint64_t round = 0;  ///< Scheduling round the summary closes.
+  /// desired[b] = CPUs whose pass-1 desired operating point is index b.
+  std::vector<std::uint32_t> desired;
+  std::uint32_t cpus = 0;
+  std::uint32_t idle = 0;
+  MicroWatts desired_power_uw = 0;
+
+  /// Folds `other` in (exact integer sums; associative and commutative,
+  /// so any merge tree yields the same aggregate).
+  void merge(const ShardSummary& other);
+
+  /// CPUs desiring an operating point strictly above index `cap`.
+  std::uint64_t above(std::size_t cap) const;
+
+  /// Modelled wire size of the encoded summary (the per-tier bandwidth
+  /// statistic journals and the inspector report).
+  std::size_t wire_bytes() const;
+};
+
+/// The root's decision over an aggregate summary.
+struct CapProfile {
+  std::size_t cap = 0;              ///< c*: grants are capped at this index.
+  std::uint64_t promote = 0;        ///< First m above-cap CPUs run at c*+1.
+  bool feasible = true;             ///< False: even all-minimum overshoots.
+  MicroWatts power_uw = 0;          ///< Exact power of the final assignment.
+};
+
+/// Computes the cap profile for `total` under `budget_w` against the
+/// (shared, homogeneous) operating-point table.  Pure and integer-exact:
+/// the same aggregate and budget always yield the same profile.
+CapProfile compute_cap_profile(const ShardSummary& total,
+                               const mach::FrequencyTable& table,
+                               double budget_w);
+
+/// Splits a promotion quota over children in child order: child i gets
+/// min(child_above[i], what remains).  Applied at every tier, this
+/// reproduces "the first m above-cap CPUs in flat order" exactly, because
+/// shard slabs are contiguous and tiers group contiguous shard ranges.
+std::vector<std::uint64_t> split_quota(
+    const std::vector<std::uint64_t>& child_above, std::uint64_t quota);
+
+/// Applies a cap profile to one leaf's per-CPU desired indices (flat
+/// order within the leaf).  `quota` of the leaf's above-cap CPUs are
+/// promoted to cap+1, first-come in flat order; the rest are capped.
+/// Appends granted indices to `granted` (cleared first).
+void apply_cap_profile(const std::vector<std::uint16_t>& desired,
+                       const CapProfile& profile, std::uint64_t quota,
+                       std::vector<std::uint16_t>& granted);
+
+}  // namespace fvsst::core

@@ -24,7 +24,7 @@ struct TypeName {
   std::string_view name;
 };
 
-constexpr std::array<TypeName, 22> kTypeNames{{
+constexpr std::array<TypeName, 23> kTypeNames{{
     {EventType::kRunMeta, "run_meta"},
     {EventType::kTablePoint, "table_point"},
     {EventType::kCycleStart, "cycle_start"},
@@ -47,6 +47,7 @@ constexpr std::array<TypeName, 22> kTypeNames{{
     {EventType::kMessageDuplicate, "message_duplicate"},
     {EventType::kMessageExpired, "message_expired"},
     {EventType::kMessageCorrupt, "message_corrupt"},
+    {EventType::kAggregation, "aggregation"},
 }};
 
 }  // namespace

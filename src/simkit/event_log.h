@@ -129,6 +129,13 @@ enum class EventType {
   /// kChannelCorrupt) and was dropped instead of misdelivered: "node";
   /// str "direction".
   kMessageCorrupt,
+  /// A coordinator-tree summary round (producer: core::TreeDaemon).  The
+  /// per-round root decision carries "round", "cpus", "idle",
+  /// "desired_power_w", "power_w", "budget_w", "cap_hz", "promoted",
+  /// "feasible", "lag_s"; str "trigger".  With per-shard journalling
+  /// enabled (journal_topology), leaf/aggregate hops add "tier", "shard"
+  /// or "agg", "bytes" and "mailbox".
+  kAggregation,
 };
 
 /// Stable wire name ("cycle_start", "decision", ...).

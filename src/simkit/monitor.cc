@@ -461,6 +461,12 @@ std::string default_rule_pack() {
       "# down or partitioned.\n"
       "alert coordinator_silent severity critical when min(since_round_s, "
       "500ms) > 0.35 for 1 windows\n"
+      "# Tree topology: grants applying more than 5 ms after the summary\n"
+      "# instant they answer.  The four-hop pipeline is 400 us at the\n"
+      "# nominal 100 us link latency, so a 10x lag means the tree is\n"
+      "# congested, lossy, or repairing via retransmission.\n"
+      "alert aggregation_lag severity warning when max(aggregation_lag_s, "
+      "500ms) > 0.005 for 1 windows\n"
       "# The journal ring dropped events (undersized --journal-cap).\n"
       "alert journal_loss severity warning when rate(journal_dropped, 5s) > "
       "0 for 1 windows\n"

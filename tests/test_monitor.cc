@@ -268,16 +268,21 @@ TEST(RuleSet, RejectsMalformedInputWithLineNumber) {
 TEST(RuleSet, DefaultRulePackParses) {
   const RuleSet rules = RuleSet::parse_string(default_rule_pack());
   EXPECT_GE(rules.size(), 6u);
-  bool has_overshoot = false, has_silent = false;
+  bool has_overshoot = false, has_silent = false, has_agg_lag = false;
   for (const Rule& r : rules.rules()) {
     if (r.name == "budget_overshoot") {
       has_overshoot = true;
       EXPECT_EQ(r.severity, Severity::kCritical);
     }
     if (r.name == "coordinator_silent") has_silent = true;
+    if (r.name == "aggregation_lag") {
+      has_agg_lag = true;
+      EXPECT_EQ(r.severity, Severity::kWarning);
+    }
   }
   EXPECT_TRUE(has_overshoot);
   EXPECT_TRUE(has_silent);
+  EXPECT_TRUE(has_agg_lag);
 }
 
 // ---------------------------------------------------------------------------

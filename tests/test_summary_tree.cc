@@ -1,0 +1,218 @@
+// test_summary_tree - The tree's compressed summaries and the root's cap
+// profile: integer exactness, merge-order independence, and the closed-form
+// cap/promotion decision matching the budget from both sides.
+#include "core/summary_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <random>
+#include <vector>
+
+#include "mach/frequency_table.h"
+
+namespace fvsst::core {
+namespace {
+
+mach::FrequencyTable four_points() {
+  // Watts chosen integer so every expectation below is exact by hand.
+  return mach::FrequencyTable({
+      {250e6, 0.8, 5.0},
+      {500e6, 0.9, 10.0},
+      {750e6, 1.1, 20.0},
+      {1000e6, 1.3, 40.0},
+  });
+}
+
+ShardSummary make_summary(std::vector<std::uint32_t> desired,
+                          const mach::FrequencyTable& table) {
+  ShardSummary s;
+  s.desired = std::move(desired);
+  for (std::size_t b = 0; b < s.desired.size(); ++b) {
+    s.cpus += s.desired[b];
+    s.desired_power_uw +=
+        static_cast<MicroWatts>(s.desired[b]) * to_microwatts(table[b].watts);
+  }
+  return s;
+}
+
+TEST(SummaryTree, MicrowattConversionIsExactForTableScaleValues) {
+  EXPECT_EQ(to_microwatts(0.0), 0u);
+  EXPECT_EQ(to_microwatts(5.0), 5'000'000u);
+  EXPECT_EQ(to_microwatts(40.0), 40'000'000u);
+  // Sub-microwatt differences round to the same bucket.
+  EXPECT_EQ(to_microwatts(5.0 + 1e-9), to_microwatts(5.0));
+}
+
+TEST(SummaryTree, MergeIsExactAndOrderIndependent) {
+  const mach::FrequencyTable table = four_points();
+  std::mt19937 rng(7);
+  std::vector<ShardSummary> parts;
+  for (int i = 0; i < 16; ++i) {
+    std::vector<std::uint32_t> d(table.size());
+    for (auto& v : d) v = rng() % 40;
+    parts.push_back(make_summary(std::move(d), table));
+    parts.back().idle = rng() % 10;
+    parts.back().round = 3;
+  }
+
+  // Merge in flat order, then in three shuffled orders: bit-identical.
+  ShardSummary flat;
+  for (const ShardSummary& p : parts) flat.merge(p);
+  for (unsigned seed : {1u, 2u, 3u}) {
+    std::vector<std::size_t> order(parts.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::shuffle(order.begin(), order.end(), std::mt19937(seed));
+    ShardSummary shuffled;
+    for (std::size_t i : order) shuffled.merge(parts[i]);
+    EXPECT_EQ(shuffled.desired, flat.desired);
+    EXPECT_EQ(shuffled.cpus, flat.cpus);
+    EXPECT_EQ(shuffled.idle, flat.idle);
+    EXPECT_EQ(shuffled.desired_power_uw, flat.desired_power_uw);
+  }
+
+  // And a two-level merge tree (the aggregate tier) gives the same total.
+  ShardSummary left, right, tree;
+  for (std::size_t i = 0; i < parts.size() / 2; ++i) left.merge(parts[i]);
+  for (std::size_t i = parts.size() / 2; i < parts.size(); ++i)
+    right.merge(parts[i]);
+  tree.merge(left);
+  tree.merge(right);
+  EXPECT_EQ(tree.desired, flat.desired);
+  EXPECT_EQ(tree.desired_power_uw, flat.desired_power_uw);
+}
+
+TEST(SummaryTree, AboveCountsStrictlyAboveTheCap) {
+  const mach::FrequencyTable table = four_points();
+  const ShardSummary s = make_summary({3, 5, 7, 11}, table);
+  EXPECT_EQ(s.above(0), 5u + 7u + 11u);
+  EXPECT_EQ(s.above(1), 7u + 11u);
+  EXPECT_EQ(s.above(2), 11u);
+  EXPECT_EQ(s.above(3), 0u);
+}
+
+TEST(SummaryTree, WireBytesGrowWithBucketCount) {
+  const mach::FrequencyTable table = four_points();
+  const ShardSummary s = make_summary({1, 1, 1, 1}, table);
+  ShardSummary wide = s;
+  wide.desired.resize(8, 0);
+  EXPECT_GT(wide.wire_bytes(), s.wire_bytes());
+}
+
+TEST(CapProfile, UnconstrainedBudgetGrantsEveryDesire) {
+  const mach::FrequencyTable table = four_points();
+  const ShardSummary total = make_summary({0, 4, 4, 4}, table);
+  const CapProfile p = compute_cap_profile(total, table, 1e6);
+  EXPECT_TRUE(p.feasible);
+  EXPECT_EQ(p.cap, table.size() - 1);
+  EXPECT_EQ(p.promote, 0u);
+  EXPECT_EQ(p.power_uw, total.desired_power_uw);
+}
+
+TEST(CapProfile, CapAndPromotionQuotaMeetTheBudgetFromBelow) {
+  const mach::FrequencyTable table = four_points();
+  // 8 CPUs all desiring the top point: desired power 8 * 40 = 320 W.
+  const ShardSummary total = make_summary({0, 0, 0, 8}, table);
+  // 8 * 20 = 160 W fits at cap 2; each promotion to index 3 adds 20 W.
+  // Budget 205 W admits cap 2 plus exactly two promotions (200 W).
+  const CapProfile p = compute_cap_profile(total, table, 205.0);
+  EXPECT_TRUE(p.feasible);
+  EXPECT_EQ(p.cap, 2u);
+  EXPECT_EQ(p.promote, 2u);
+  EXPECT_EQ(p.power_uw, to_microwatts(200.0));
+}
+
+TEST(CapProfile, ExactBudgetBoundaryIsAdmitted) {
+  const mach::FrequencyTable table = four_points();
+  const ShardSummary total = make_summary({0, 0, 0, 8}, table);
+  // budget == 8 * 40 W exactly: the full desire must be admitted.
+  const CapProfile p = compute_cap_profile(total, table, 320.0);
+  EXPECT_TRUE(p.feasible);
+  EXPECT_EQ(p.cap, table.size() - 1);
+  EXPECT_EQ(p.power_uw, to_microwatts(320.0));
+}
+
+TEST(CapProfile, InfeasibleBudgetFloorsEveryCpu) {
+  const mach::FrequencyTable table = four_points();
+  const ShardSummary total = make_summary({0, 0, 0, 8}, table);
+  // Even all-minimum is 8 * 5 = 40 W; a 30 W budget cannot be met.
+  const CapProfile p = compute_cap_profile(total, table, 30.0);
+  EXPECT_FALSE(p.feasible);
+  EXPECT_EQ(p.cap, 0u);
+  EXPECT_EQ(p.promote, 0u);
+  EXPECT_EQ(p.power_uw, to_microwatts(40.0));
+}
+
+TEST(CapProfile, CapNeverExceedsAnyDesire) {
+  // Desires below the cap are granted as-is (min(desired, cap)): the
+  // profile power must account them at their own point, not the cap's.
+  const mach::FrequencyTable table = four_points();
+  const ShardSummary total = make_summary({4, 0, 0, 4}, table);
+  // 4 idle-low at 5 W + 4 capped at 20 W = 100 W under a 110 W budget;
+  // one promotion (+20 W) would overshoot, so promote stays 0.
+  const CapProfile p = compute_cap_profile(total, table, 110.0);
+  EXPECT_TRUE(p.feasible);
+  EXPECT_EQ(p.cap, 2u);
+  EXPECT_EQ(p.promote, 0u);
+  EXPECT_EQ(p.power_uw, to_microwatts(100.0));
+}
+
+TEST(SplitQuota, GreedyPrefixInChildOrder) {
+  const std::vector<std::uint64_t> above = {3, 0, 5, 2};
+  const std::vector<std::uint64_t> split = split_quota(above, 6);
+  ASSERT_EQ(split.size(), above.size());
+  EXPECT_EQ(split[0], 3u);
+  EXPECT_EQ(split[1], 0u);
+  EXPECT_EQ(split[2], 3u);
+  EXPECT_EQ(split[3], 0u);
+  EXPECT_EQ(std::accumulate(split.begin(), split.end(), std::uint64_t{0}),
+            6u);
+}
+
+TEST(SplitQuota, QuotaBeyondDemandIsCappedPerChild) {
+  const std::vector<std::uint64_t> split = split_quota({2, 2}, 100);
+  EXPECT_EQ(split[0], 2u);
+  EXPECT_EQ(split[1], 2u);
+}
+
+TEST(SplitQuota, TwoLevelSplitMatchesFlatOrder) {
+  // Splitting at the root over aggregates, then at each aggregate over its
+  // leaves, must promote exactly the first m above-cap CPUs in flat order
+  // — i.e. equal the single-level split over the concatenated leaves.
+  const std::vector<std::uint64_t> leaves = {1, 4, 0, 2, 3, 1};
+  for (std::uint64_t quota = 0; quota <= 12; ++quota) {
+    const std::vector<std::uint64_t> flat = split_quota(leaves, quota);
+    // Aggregates group contiguous leaf ranges: {0,1}, {2,3}, {4,5}.
+    const std::vector<std::uint64_t> agg_above = {leaves[0] + leaves[1],
+                                                  leaves[2] + leaves[3],
+                                                  leaves[4] + leaves[5]};
+    const std::vector<std::uint64_t> agg_split =
+        split_quota(agg_above, quota);
+    std::vector<std::uint64_t> two_level;
+    for (std::size_t a = 0; a < 3; ++a) {
+      const std::vector<std::uint64_t> inner = split_quota(
+          {leaves[2 * a], leaves[2 * a + 1]}, agg_split[a]);
+      two_level.insert(two_level.end(), inner.begin(), inner.end());
+    }
+    EXPECT_EQ(two_level, flat) << "quota " << quota;
+  }
+}
+
+TEST(ApplyCapProfile, PromotesFirstComersAndCapsTheRest) {
+  CapProfile p;
+  p.cap = 1;
+  std::vector<std::uint16_t> granted;
+  // desired: {3, 0, 2, 3, 1}; above-cap CPUs in order: 0, 2, 3.
+  apply_cap_profile({3, 0, 2, 3, 1}, p, /*quota=*/2, granted);
+  ASSERT_EQ(granted.size(), 5u);
+  EXPECT_EQ(granted[0], 2u);  // promoted to cap + 1
+  EXPECT_EQ(granted[1], 0u);  // below cap: untouched
+  EXPECT_EQ(granted[2], 2u);  // promoted
+  EXPECT_EQ(granted[3], 1u);  // quota spent: capped
+  EXPECT_EQ(granted[4], 1u);  // at cap already
+}
+
+}  // namespace
+}  // namespace fvsst::core

@@ -206,6 +206,18 @@ struct SummaryStats {
   std::map<std::string, std::size_t> duplicate_by_direction;
   std::map<std::string, std::size_t> expired_by_cause;
   std::map<std::string, std::size_t> corrupt_by_direction;
+  // Tree-topology breakdowns (kAggregation events).  Root decisions carry
+  // a "round" field; per-tier detail (--journal-topology runs) carries
+  // "tier" 0 (leaf shard) or 1 (aggregate) instead.
+  std::size_t agg_rounds = 0;
+  double agg_lag_max = 0.0;
+  double agg_lag_sum = 0.0;
+  double agg_promoted = 0.0;
+  double agg_last_cap_hz = 0.0;
+  std::size_t agg_infeasible = 0;
+  // shard/agg id -> (summaries, wire bytes, max mailbox depth)
+  std::map<int, std::tuple<std::size_t, std::size_t, std::size_t>> by_shard;
+  std::map<int, std::tuple<std::size_t, std::size_t, std::size_t>> by_agg;
 
   void observe(const sim::Event& e) {
     if (count == 0) {
@@ -301,6 +313,28 @@ struct SummaryStats {
       case sim::EventType::kMessageCorrupt: {
         const std::string* direction = e.find_str("direction");
         ++corrupt_by_direction[direction ? *direction : "?"];
+        break;
+      }
+      case sim::EventType::kAggregation: {
+        if (e.has_num("round")) {
+          ++agg_rounds;
+          const double lag = e.num_or("lag_s");
+          agg_lag_max = std::max(agg_lag_max, lag);
+          agg_lag_sum += lag;
+          agg_promoted += e.num_or("promoted");
+          agg_last_cap_hz = e.num_or("cap_hz");
+          if (e.num_or("feasible", 1.0) == 0.0) ++agg_infeasible;
+        } else if (e.num_or("tier") == 0.0) {
+          auto& [n, bytes, mail] = by_shard[static_cast<int>(e.num_or("shard"))];
+          ++n;
+          bytes += static_cast<std::size_t>(e.num_or("bytes"));
+          mail = std::max(mail, static_cast<std::size_t>(e.num_or("mailbox")));
+        } else {
+          auto& [n, bytes, mail] = by_agg[static_cast<int>(e.num_or("agg"))];
+          ++n;
+          bytes += static_cast<std::size_t>(e.num_or("bytes"));
+          mail = std::max(mail, static_cast<std::size_t>(e.num_or("mailbox")));
+        }
         break;
       }
       default:
@@ -427,6 +461,36 @@ void print_summary(const std::string& path, const SummaryStats& s) {
       std::printf(" %s=%zu", direction.c_str(), count);
     }
     std::printf("\n");
+  }
+
+  if (s.agg_rounds > 0) {
+    std::printf(
+        "tree rounds: %zu; lag mean %.0f us, max %.0f us; promotions %.0f; "
+        "last cap %.0f MHz%s\n",
+        s.agg_rounds, s.agg_lag_sum / static_cast<double>(s.agg_rounds) * 1e6,
+        s.agg_lag_max * 1e6, s.agg_promoted, s.agg_last_cap_hz / 1e6,
+        s.agg_infeasible
+            ? (" (" + std::to_string(s.agg_infeasible) + " infeasible)")
+                  .c_str()
+            : "");
+  }
+  if (!s.by_shard.empty() || !s.by_agg.empty()) {
+    sim::TextTable tiers("Tree tiers (--journal-topology runs)");
+    tiers.set_header(
+        {"tier", "id", "summaries", "wire bytes", "max mailbox"});
+    for (const auto& [id, stats] : s.by_shard) {
+      const auto& [n, bytes, mail] = stats;
+      tiers.add_row({"leaf", "shard" + std::to_string(id),
+                     sim::TextTable::num(n, 0), sim::TextTable::num(bytes, 0),
+                     sim::TextTable::num(mail, 0)});
+    }
+    for (const auto& [id, stats] : s.by_agg) {
+      const auto& [n, bytes, mail] = stats;
+      tiers.add_row({"aggregate", "agg" + std::to_string(id),
+                     sim::TextTable::num(n, 0), sim::TextTable::num(bytes, 0),
+                     sim::TextTable::num(mail, 0)});
+    }
+    tiers.print();
   }
 
   if (!by_cpu.empty()) {

@@ -33,6 +33,17 @@
 //   --cluster            use the distributed ClusterDaemon
 //   --threads N          advance node cores on N threads per tick; output
 //                        is byte-identical to --threads 1 (--cluster only)
+//   --topology T         flat (default): one coordinator over all nodes;
+//                        tree: the sharded three-tier coordinator tree
+//                        (leaf shard -> aggregate -> root) for large
+//                        clusters (--cluster only, homogeneous nodes)
+//   --shards N           leaf shard count for --topology tree (default:
+//                        ~sqrt(nodes)); the journal is bit-identical
+//                        across shard counts
+//   --aggregates N       aggregate-tier coordinator count (default:
+//                        ~sqrt(shards))
+//   --journal-topology   opt into per-shard/per-tier journal detail
+//                        (depends on the shard count, so off by default)
 //   --margin-controller  enable the measured-power margin feedback loop
 //   --seed S             RNG seed (default 42)
 //   --csv DIR            dump frequency/power traces as CSV
@@ -79,6 +90,7 @@
 #include "cluster/job_manager.h"
 #include "core/cluster_daemon.h"
 #include "core/daemon.h"
+#include "core/tree_daemon.h"
 #include "mach/machine_config.h"
 #include "power/budget.h"
 #include "power/margin_controller.h"
@@ -134,6 +146,12 @@ struct CliOptions {
   int multiplier = 10;
   bool use_cluster_daemon = false;
   int step_threads = 1;  ///< Parallel node stepping (--cluster only).
+  /// "flat": one coordinator over all nodes (ClusterDaemon).  "tree": the
+  /// three-tier sharded coordinator tree (TreeDaemon).  Needs --cluster.
+  std::string topology = "flat";
+  std::size_t shards = 0;      ///< Leaf shard count (0: ~sqrt(nodes)).
+  std::size_t aggregates = 0;  ///< Aggregate fan-in (0: ~sqrt(shards)).
+  bool journal_topology = false;  ///< Per-shard/per-tier journal detail.
   bool margin_controller = false;
   std::uint64_t seed = 42;
   std::string csv_dir;
@@ -190,6 +208,8 @@ void print_help() {
       "                 [--epsilon E] [--smoothing S] [--variant V]\n"
       "                 [--idle-signal os|halted|none] [--t MS]\n"
       "                 [--multiplier N] [--cluster] [--threads N]\n"
+      "                 [--topology flat|tree] [--shards N]\n"
+      "                 [--aggregates N] [--journal-topology]\n"
       "                 [--governor G] [--policy P]\n"
       "                 [--margin-controller] [--seed S] [--csv DIR]\n"
       "                 [--journal FILE] [--journal-format jsonl|binary]\n"
@@ -382,6 +402,22 @@ CliOptions parse_args(int argc, char** argv) {
       opts.step_threads = static_cast<int>(
           parse_double(next_value(i, "--threads"), "thread count"));
       if (opts.step_threads < 1) usage_error("--threads must be >= 1");
+    } else if (flag == "--topology") {
+      opts.topology = next_value(i, "--topology");
+      if (opts.topology != "flat" && opts.topology != "tree") {
+        usage_error("unknown topology '" + opts.topology +
+                    "' (flat|tree)");
+      }
+    } else if (flag == "--shards") {
+      opts.shards = static_cast<std::size_t>(
+          parse_double(next_value(i, "--shards"), "shard count"));
+      if (opts.shards == 0) usage_error("--shards must be >= 1");
+    } else if (flag == "--aggregates") {
+      opts.aggregates = static_cast<std::size_t>(
+          parse_double(next_value(i, "--aggregates"), "aggregate count"));
+      if (opts.aggregates == 0) usage_error("--aggregates must be >= 1");
+    } else if (flag == "--journal-topology") {
+      opts.journal_topology = true;
     } else if (flag == "--margin-controller") {
       opts.margin_controller = true;
     } else if (flag == "--seed") {
@@ -484,6 +520,31 @@ int main(int argc, char** argv) {
   }
   if (opts.step_threads > 1 && !opts.use_cluster_daemon) {
     usage_error("--threads requires --cluster");
+  }
+  const bool tree_topology = opts.topology == "tree";
+  if (tree_topology && !opts.use_cluster_daemon) {
+    usage_error("--topology tree requires --cluster");
+  }
+  if ((opts.shards > 0 || opts.aggregates > 0 || opts.journal_topology) &&
+      !tree_topology) {
+    usage_error("--shards/--aggregates/--journal-topology require "
+                "--topology tree");
+  }
+  if (tree_topology && opts.slow_nodes > 0) {
+    // The tree's compressed histogram is indexed by table point; mixed
+    // tables have no shared bucket space.
+    usage_error("--topology tree requires a homogeneous cluster "
+                "(no --slow-nodes)");
+  }
+  if (tree_topology && opts.governor) {
+    usage_error("--topology tree and --governor are mutually exclusive");
+  }
+  if (tree_topology && !opts.policy.empty() && opts.policy != "fvsst") {
+    usage_error("--topology tree runs the fvsst scheduler only "
+                "(leaf pass 1 + root cap profile); --policy is flat-only");
+  }
+  if (tree_topology && opts.smoothing != 0.0) {
+    usage_error("--smoothing is not supported with --topology tree");
   }
   std::vector<mach::MachineConfig> configs(opts.nodes, machine);
   for (std::size_t i = opts.nodes - opts.slow_nodes; i < opts.nodes; ++i) {
@@ -598,6 +659,7 @@ int main(int argc, char** argv) {
 
   std::unique_ptr<core::FvsstDaemon> daemon;
   std::unique_ptr<core::ClusterDaemon> cluster_daemon;
+  std::unique_ptr<core::TreeDaemon> tree_daemon;
   std::unique_ptr<baselines::GovernorDaemon> governor;
   if (opts.governor) {
     baselines::GovernorDaemon::Config gcfg;
@@ -606,6 +668,25 @@ int main(int argc, char** argv) {
     if (want_journal) gcfg.journal = &journal;
     governor = std::make_unique<baselines::GovernorDaemon>(
         sim, cluster, machine.freq_table, gcfg);
+  } else if (opts.use_cluster_daemon && tree_topology) {
+    core::TreeDaemonConfig tcfg;
+    tcfg.t_sample_s = dcfg.t_sample_s;
+    tcfg.schedule_every_n_samples = dcfg.schedule_every_n_samples;
+    tcfg.shards = opts.shards;
+    tcfg.aggregates = opts.aggregates;
+    tcfg.advance_mode = opts.advance_mode;
+    tcfg.step_threads = opts.step_threads;
+    tcfg.idle_signal = opts.idle_signal;
+    tcfg.scheduler = dcfg.scheduler;
+    tcfg.transport = opts.transport;
+    tcfg.standby_root = opts.standby;
+    tcfg.failsafe_factor = opts.failsafe_factor;
+    if (want_journal) tcfg.journal = &journal;
+    if (have_faults) tcfg.fault_plan = &fault_plan;
+    tcfg.monitor = monitor.get();
+    tcfg.journal_topology = opts.journal_topology;
+    tree_daemon = std::make_unique<core::TreeDaemon>(
+        sim, cluster, machine.freq_table, budget, tcfg);
   } else if (opts.use_cluster_daemon) {
     core::ClusterDaemonConfig ccfg;
     ccfg.t_sample_s = dcfg.t_sample_s;
@@ -668,7 +749,10 @@ int main(int argc, char** argv) {
   sim::MetricRegistry* metrics_registry =
       daemon ? &daemon->telemetry()
              : cluster_daemon ? &cluster_daemon->telemetry()
-                              : governor ? &governor->telemetry() : nullptr;
+                              : tree_daemon ? &tree_daemon->telemetry()
+                                            : governor
+                                                  ? &governor->telemetry()
+                                                  : nullptr;
   bool metrics_write_failed = false;
   const auto write_metrics = [&]() {
     std::ofstream out(opts.metrics_out, std::ios::out | std::ios::trunc);
@@ -863,6 +947,15 @@ int main(int argc, char** argv) {
   } else if (cluster_daemon) {
     if (policy_factory) std::printf("policy: %s\n", opts.policy.c_str());
     std::printf("global rounds: %zu\n", cluster_daemon->rounds());
+  } else if (tree_daemon) {
+    std::printf("topology: tree, %zu shard(s), %zu aggregate(s)\n",
+                tree_daemon->shard_count(), tree_daemon->aggregate_count());
+    std::printf("tree rounds: %zu; summaries %zu (%zu bytes up); "
+                "last lag %.1f us; epoch %llu\n",
+                tree_daemon->rounds(), tree_daemon->summaries_sent(),
+                tree_daemon->summary_bytes_sent(),
+                tree_daemon->last_lag_s() * 1e6,
+                static_cast<unsigned long long>(tree_daemon->epoch()));
   } else if (governor) {
     std::printf("governor: %s, %zu evaluations\n",
                 baselines::governor_name(*opts.governor).c_str(),
@@ -881,6 +974,9 @@ int main(int argc, char** argv) {
       std::printf("; messages lost %zu, stale nodes now %zu",
                   cluster_daemon->messages_lost(),
                   cluster_daemon->stale_node_count());
+    } else if (tree_daemon) {
+      std::printf("; fail-safe shards now %zu",
+                  tree_daemon->failsafe_shard_count());
     }
     std::printf("\n");
   }
